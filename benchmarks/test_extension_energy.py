@@ -1,0 +1,70 @@
+"""Extension — energy-optimal DVFS per taxonomy category.
+
+The knobs the paper sweeps exist for power management; this experiment
+connects the taxonomy to the energy question (the paper group's own
+follow-on territory). Shape claims: the energy saved by per-kernel
+DVFS relative to always-flagship operation is ordered by category —
+plateau kernels save the most, compute-bound kernels the least — and
+bandwidth-bound kernels' optima keep the memory clock high while
+shedding CUs or engine clock.
+"""
+
+import numpy as np
+
+from repro.power import DvfsOptimizer, Objective
+from repro.report.tables import render_table
+from repro.suites import kernel_by_name
+from repro.sweep import reduced_space
+from repro.taxonomy import TaxonomyCategory
+
+SAMPLE_PER_CATEGORY = 4
+
+
+def test_energy_savings_follow_taxonomy(benchmark, ctx):
+    optimizer = DvfsOptimizer(space=reduced_space(2, 2, 2))
+
+    def evaluate():
+        savings = {}
+        optima = {}
+        for category in (
+            TaxonomyCategory.COMPUTE_BOUND,
+            TaxonomyCategory.BANDWIDTH_BOUND,
+            TaxonomyCategory.PLATEAU,
+        ):
+            names = ctx.taxonomy.kernels_in(category)[
+                :SAMPLE_PER_CATEGORY
+            ]
+            kernels = [kernel_by_name(n) for n in names]
+            savings[category] = [
+                optimizer.energy_saving_vs_flagship(k) for k in kernels
+            ]
+            optima[category] = [
+                optimizer.optimise(k, Objective.MIN_ENERGY).config
+                for k in kernels
+            ]
+        return savings, optima
+
+    savings, optima = benchmark.pedantic(
+        evaluate, rounds=1, iterations=1
+    )
+
+    rows = [
+        [cat.value, 100.0 * float(np.median(vals))]
+        for cat, vals in savings.items()
+    ]
+    print()
+    print(render_table(
+        ["category", "median energy saving vs flagship (%)"],
+        rows,
+        title="Extension: per-kernel DVFS savings by category",
+        precision=1,
+    ))
+
+    compute = float(np.median(savings[TaxonomyCategory.COMPUTE_BOUND]))
+    plateau = float(np.median(savings[TaxonomyCategory.PLATEAU]))
+    assert plateau > compute
+    assert plateau > 0.15
+
+    # Bandwidth-bound optima keep the memory clock at (or near) max.
+    for config in optima[TaxonomyCategory.BANDWIDTH_BOUND]:
+        assert config.memory_mhz >= 975.0

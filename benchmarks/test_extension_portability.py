@@ -1,0 +1,77 @@
+"""Extension — taxonomy portability across hardware families.
+
+The paper studies one (fused-down) discrete GPU. This experiment asks
+the question that determines whether its taxonomy is a property of
+*kernels* or of *one machine*: re-run the full study on an APU-class
+family (Kaveri-like: 8 CUs, shared DDR3, ~9x thinner memory) and
+compare labels.
+
+Shape claims: the stable core (pure compute kernels, plateau
+microkernels) keeps its labels; migrations are *systematic*, not
+random — they flow along the machine-balance shift (toward
+bandwidth-bound on the bandwidth-starved APU) and out of the
+contention classes (an 8-CU device cannot thrash like a 44-CU one).
+"""
+
+from collections import Counter
+
+from repro.gpu.families import APU_SPACE
+from repro.report.tables import render_table
+from repro.suites import all_kernels
+from repro.sweep import SweepRunner
+from repro.taxonomy import TaxonomyCategory, classify
+
+
+def test_taxonomy_portability(benchmark, ctx):
+    discrete = ctx.taxonomy
+
+    def evaluate():
+        apu_dataset = SweepRunner().run(all_kernels(), APU_SPACE)
+        return classify(apu_dataset)
+
+    apu = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    pairs = Counter(
+        (d.category, a.category)
+        for d, a in zip(discrete.labels, apu.labels)
+    )
+    stable = sum(n for (d, a), n in pairs.items() if d is a)
+    total = len(discrete.labels)
+
+    migrations = [
+        ((d, a), n) for (d, a), n in pairs.items() if d is not a
+    ]
+    migrations.sort(key=lambda kv: (-kv[1], kv[0][0].value,
+                                    kv[0][1].value))
+    rows = [[d.value, a.value, n] for (d, a), n in migrations[:8]]
+    print()
+    print(f"stable labels: {stable}/{total}")
+    print(render_table(
+        ["discrete label", "APU label", "kernels"],
+        rows,
+        title="Extension: top label migrations discrete -> APU",
+    ))
+
+    # A substantial stable core...
+    assert stable / total >= 0.45
+    # ...and systematic migration toward bandwidth-bound on the
+    # bandwidth-starved APU:
+    to_bandwidth = sum(
+        n
+        for (d, a), n in pairs.items()
+        if a is TaxonomyCategory.BANDWIDTH_BOUND
+        and d is not TaxonomyCategory.BANDWIDTH_BOUND
+    )
+    from_bandwidth = sum(
+        n
+        for (d, a), n in pairs.items()
+        if d is TaxonomyCategory.BANDWIDTH_BOUND
+        and a is not TaxonomyCategory.BANDWIDTH_BOUND
+    )
+    assert to_bandwidth > from_bandwidth
+    # The contention class collapses on the small device:
+    apu_counts = apu.category_counts()
+    discrete_counts = discrete.category_counts()
+    assert apu_counts[TaxonomyCategory.CU_INVERSE] < (
+        discrete_counts[TaxonomyCategory.CU_INVERSE]
+    )

@@ -1,0 +1,42 @@
+"""Extension — cross-kernel scaling prediction accuracy.
+
+Not a figure from the IISWC'15 paper itself, but its published
+follow-on: the authors used this dataset to predict performance across
+hardware configurations with machine learning (HPCA'15). This bench
+evaluates the shipped k-NN predictor with leave-one-out validation
+over a kernel sample and asserts the headline property: a new kernel's
+full 891-point surface is recovered from seven probe runs with small
+median error.
+"""
+
+import numpy as np
+
+from repro.predict import ScalingPredictor
+from repro.report.tables import render_table
+
+
+def test_leave_one_out_prediction(benchmark, ctx):
+    predictor = ScalingPredictor(ctx.dataset, k=3)
+    sample = ctx.dataset.kernel_names[::20]  # 14 held-out kernels
+
+    def evaluate():
+        return [
+            (name, predictor.leave_one_out_error(name))
+            for name in sample
+        ]
+
+    errors = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    values = [e for _, e in errors]
+    print()
+    print(render_table(
+        ["held-out kernel", "median abs rel error"],
+        [[n, e] for n, e in errors],
+        title="Extension: 7-probe surface prediction (leave-one-out)",
+        precision=3,
+    ))
+    print(f"median over sample: {np.median(values):.3f}")
+
+    assert float(np.median(values)) < 0.35
+    # At least half the sample predicts within 25%.
+    assert float(np.mean(np.asarray(values) < 0.25)) >= 0.5

@@ -1,0 +1,20 @@
+"""F10 — unsupervised clusters vs the rule-based taxonomy.
+
+The taxonomy is only a contribution if its categories are real
+structure in the scaling data; k-means over raw scaling shapes must
+substantially agree with the hand-written rules.
+"""
+
+from benchmarks.conftest import run_once
+from repro.report.experiments import f10_cluster_agreement
+
+
+def test_f10_cluster_agreement(benchmark, ctx):
+    result = run_once(benchmark, f10_cluster_agreement, ctx)
+    print()
+    print(result.text)
+
+    assert result.data["purity"] >= 0.6
+    assert result.data["ari"] > 0.2
+    # Distinct clusters map onto distinct taxonomy categories.
+    assert len(set(result.data["majorities"].values())) >= 3

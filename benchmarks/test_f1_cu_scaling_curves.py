@@ -1,0 +1,21 @@
+"""F1 — "scale directly with added computational capabilities":
+perf vs CU count for compute-bound kernels."""
+
+from benchmarks.conftest import run_once
+from repro.report.experiments import f1_cu_scaling
+
+
+def test_f1_cu_scaling_curves(benchmark, ctx):
+    result = run_once(benchmark, f1_cu_scaling, ctx)
+    print()
+    print(result.text)
+
+    assert len(result.data["kernels"]) >= 3
+    for name, series in result.data["series"].items():
+        speedup = series["y"]
+        # Shape: near-proportional growth over the 11x CU range —
+        # at least ~70% of ideal — and monotone within ripple.
+        assert speedup[-1] >= 7.5, name
+        assert all(
+            b >= a * 0.97 for a, b in zip(speedup, speedup[1:])
+        ), name

@@ -1,0 +1,19 @@
+"""F2 — engine-frequency scaling over the 5x clock range."""
+
+from benchmarks.conftest import run_once
+from repro.report.experiments import f2_engine_scaling
+
+
+def test_f2_freq_scaling_curves(benchmark, ctx):
+    result = run_once(benchmark, f2_engine_scaling, ctx)
+    print()
+    print(result.text)
+
+    for name, series in result.data["series"].items():
+        speedup = series["y"]
+        # Shape: compute-bound kernels track the 5x engine-clock range
+        # closely (>= ~80% of proportional).
+        assert speedup[-1] >= 4.0, name
+        assert all(
+            b >= a * 0.99 for a, b in zip(speedup, speedup[1:])
+        ), name

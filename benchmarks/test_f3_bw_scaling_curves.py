@@ -1,0 +1,21 @@
+"""F3 — "scale ... with memory bandwidth": perf vs memory clock over
+the 8.3x bandwidth range."""
+
+from benchmarks.conftest import run_once
+from repro.report.experiments import f3_bandwidth_scaling
+
+
+def test_f3_bw_scaling_curves(benchmark, ctx):
+    result = run_once(benchmark, f3_bandwidth_scaling, ctx)
+    print()
+    print(result.text)
+
+    strong = 0
+    for name, series in result.data["series"].items():
+        speedup = series["y"]
+        assert speedup[-1] >= 2.0, name
+        if speedup[-1] >= 5.0:
+            strong += 1
+    # Shape: the best bandwidth-bound kernels convert most of the 8.3x
+    # bandwidth range into speedup.
+    assert strong >= 1

@@ -1,0 +1,21 @@
+"""F4 — "plateauing as frequency and bandwidth are increased": the
+(engine, memory) surface of a plateau kernel."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.report.experiments import f4_plateau_surface
+
+
+def test_f4_plateau_surface(benchmark, ctx):
+    result = run_once(benchmark, f4_plateau_surface, ctx)
+    print()
+    print(result.text)
+
+    surface = np.asarray(result.data["surface"])
+    # Shape: the knobs jointly offer 5x x 8.3x headroom over this
+    # plane, yet the kernel gains < 2.5x anywhere on it, and the top
+    # quadrant (both knobs in their upper halves) is essentially flat.
+    assert result.data["max_gain"] < 2.5
+    top_quadrant = surface[surface.shape[0] // 2:, surface.shape[1] // 2:]
+    assert top_quadrant.max() / top_quadrant.min() < 1.5

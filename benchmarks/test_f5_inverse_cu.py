@@ -1,0 +1,22 @@
+"""F5 — "losing performance when more processing units are added"."""
+
+from benchmarks.conftest import run_once
+from repro.report.experiments import f5_inverse_cu
+
+
+def test_f5_inverse_cu(benchmark, ctx):
+    result = run_once(benchmark, f5_inverse_cu, ctx)
+    print()
+    print(result.text)
+
+    assert len(result.data["kernels"]) >= 2
+    for name, series in result.data["series"].items():
+        speedup = series["y"]
+        peak = max(speedup)
+        # Shape: performance at 44 CUs sits >= 10% below the curve's
+        # peak, and the peak is reached strictly before the end.
+        assert speedup[-1] <= 0.9 * peak, name
+        assert speedup.index(peak) < len(speedup) - 1, name
+    # The drop magnitudes recorded by the taxonomy agree.
+    for name, drop in result.data["drop_from_peak"].items():
+        assert drop >= 0.10, name

@@ -1,0 +1,18 @@
+"""F6 — distribution of all 267 kernels across taxonomy categories."""
+
+from benchmarks.conftest import run_once
+from repro.report.experiments import f6_category_histogram
+
+
+def test_f6_category_histogram(benchmark, ctx):
+    result = run_once(benchmark, f6_category_histogram, ctx)
+    print()
+    print(result.text)
+
+    counts = result.data["counts"]
+    assert sum(counts.values()) == 267
+    # Shape: every named behaviour the abstract describes is populated,
+    # and no single category swallows the study.
+    populated = [c for c, n in counts.items() if n > 0]
+    assert len(populated) >= 5
+    assert max(counts.values()) < 267 / 2

@@ -1,0 +1,24 @@
+"""F7 — "a number of current benchmark suites do not scale to modern
+GPU sizes, implying that either new benchmarks or new inputs are
+warranted"."""
+
+from benchmarks.conftest import run_once
+from repro.report.experiments import f7_suite_scalability
+
+
+def test_f7_suite_scalability(benchmark, ctx):
+    result = run_once(benchmark, f7_suite_scalability, ctx)
+    print()
+    print(result.text)
+
+    per_suite = result.data["per_suite"]
+    failing = [s for s, d in per_suite.items() if not d["scales"]]
+    # Shape: several mainstream suites fail the modern-GPU bar...
+    assert len(failing) >= 2
+    # ...while the modern proxy apps pass it.
+    assert per_suite["proxyapps"]["scales"]
+
+    # The stall histogram has real mass below the full device size.
+    histogram = result.data["useful_cu_histogram"]
+    stalled_early = sum(n for cu, n in histogram.items() if cu <= 22)
+    assert stalled_early >= 267 * 0.2

@@ -1,0 +1,18 @@
+"""F8 — compute-bound <-> bandwidth-bound crossover localisation for
+balanced kernels over the (engine, memory) plane."""
+
+from benchmarks.conftest import run_once
+from repro.report.experiments import f8_crossover
+
+
+def test_f8_crossover(benchmark, ctx):
+    result = run_once(benchmark, f8_crossover, ctx)
+    print()
+    print(result.text)
+
+    # Shape: balanced kernels exhibit both regimes somewhere on the
+    # clock plane — the defining property of the class.
+    crossing = [d for d in result.data.values() if d["has_crossover"]]
+    assert len(crossing) >= 1
+    for name, d in result.data.items():
+        assert d["compute_fraction"] + d["bandwidth_fraction"] <= 1.0, name

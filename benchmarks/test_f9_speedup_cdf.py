@@ -1,0 +1,26 @@
+"""F9 — end-to-end speedup CDFs (smallest -> largest configuration)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.report.experiments import f9_speedup_cdf
+
+
+def test_f9_speedup_cdf(benchmark, ctx):
+    result = run_once(benchmark, f9_speedup_cdf, ctx)
+    print()
+    print(result.text)
+
+    medians = result.data["medians"]
+    # Shape: the hardware offers ~55x compute headroom; compute-bound
+    # kernels get most of it, plateau kernels get almost none, and the
+    # ordering of the category medians follows the taxonomy.
+    assert result.data["ceiling"] == pytest.approx(55.0)
+    assert medians["compute_bound"] > 20.0
+    assert medians["plateau"] < 5.0
+    assert (
+        medians["compute_bound"]
+        > medians["bandwidth_bound"]
+        > medians["plateau"]
+    )
+    assert 1.0 < medians["all"] < 55.0

@@ -1,0 +1,25 @@
+"""Harness throughput: the data-collection sweep itself.
+
+Not a paper artifact — this benchmark guards the property that makes
+the reproduction practical: the analytical engine must sweep hundreds
+of configurations per kernel in milliseconds, so the full 237,897-point
+study stays interactive.
+"""
+
+from repro.suites import all_kernels
+from repro.sweep import SweepRunner, reduced_space
+
+
+def test_sweep_throughput(benchmark):
+    kernels = all_kernels("shoc")
+    space = reduced_space(2, 2, 2)
+
+    dataset = benchmark(lambda: SweepRunner().run(kernels, space))
+
+    points = dataset.num_kernels * dataset.space.size
+    seconds = benchmark.stats.stats.mean
+    points_per_second = points / seconds
+    print(f"\nsweep throughput: {points_per_second:,.0f} points/s "
+          f"({points} points in {seconds * 1e3:.1f} ms)")
+    # The full study must complete in well under a minute.
+    assert points_per_second > 5_000

@@ -1,0 +1,16 @@
+"""T1 — suite inventory: "267 GPGPU kernels from 97 programs"."""
+
+from benchmarks.conftest import run_once
+from repro.report.experiments import t1_suite_inventory
+
+
+def test_t1_suite_inventory(benchmark, ctx):
+    result = run_once(benchmark, t1_suite_inventory, ctx)
+    print()
+    print(result.text)
+
+    # Paper claim: exactly 97 programs and 267 kernels.
+    assert result.data["total_programs"] == 97
+    assert result.data["total_kernels"] == 267
+    # Eight mainstream suites of the era contribute.
+    assert len(result.data["per_suite"]) == 8

@@ -1,0 +1,19 @@
+"""T2 — hardware grid: 891 configs, 5x / 8.3x / 11x knob ranges."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.report.experiments import t2_config_space
+
+
+def test_t2_config_space(benchmark, ctx):
+    result = run_once(benchmark, t2_config_space, ctx)
+    print()
+    print(result.text)
+
+    # Paper claims: 891 hardware configurations; a 5x change in core
+    # frequency, 8.3x in memory bandwidth, 11x in compute units.
+    assert result.data["size"] == 891
+    assert result.data["engine_ratio"] == pytest.approx(5.0)
+    assert result.data["bandwidth_ratio"] == pytest.approx(8.33, abs=0.01)
+    assert result.data["cu_ratio"] == pytest.approx(11.0)

@@ -1,0 +1,25 @@
+"""T3 — the taxonomy: category definitions and kernel counts."""
+
+from benchmarks.conftest import run_once
+from repro.report.experiments import t3_taxonomy_counts
+
+
+def test_t3_taxonomy_counts(benchmark, ctx):
+    result = run_once(benchmark, t3_taxonomy_counts, ctx)
+    print()
+    print(result.text)
+
+    counts = result.data["counts"]
+    # Every kernel is classified exactly once.
+    assert result.data["total"] == 267
+
+    # Shape claims from the abstract: "many kernels scale in intuitive
+    # ways" — the intuitive family is the (roughly half-or-more)
+    # majority — while each non-obvious behaviour is present in a
+    # meaningful minority.
+    assert 0.4 < result.data["intuitive_fraction"] < 0.9
+    assert counts["compute_bound"] >= 30
+    assert counts["bandwidth_bound"] >= 20
+    assert counts["cu_inverse"] >= 5
+    assert counts["plateau"] >= 10
+    assert counts["parallelism_limited"] >= 10

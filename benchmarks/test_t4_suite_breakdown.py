@@ -1,0 +1,29 @@
+"""T4 — per-suite taxonomy breakdown."""
+
+from benchmarks.conftest import run_once
+from repro.report.experiments import t4_suite_breakdown
+
+
+def test_t4_suite_breakdown(benchmark, ctx):
+    result = run_once(benchmark, t4_suite_breakdown, ctx)
+    print()
+    print(result.text)
+
+    assert len(result.data) == 8
+    # Shape claims: the graph suite is dominated by non-obvious
+    # behaviours; the vendor SDK is dominated by intuitive ones.
+    pannotia = result.data["pannotia"]
+    pannotia_non_obvious = (
+        pannotia["cu_inverse"]
+        + pannotia["plateau"]
+        + pannotia["parallelism_limited"]
+    )
+    assert pannotia_non_obvious >= pannotia["compute_bound"]
+
+    amdapp = result.data["amdapp"]
+    amdapp_intuitive = (
+        amdapp["compute_bound"]
+        + amdapp["bandwidth_bound"]
+        + amdapp["balanced"]
+    )
+    assert amdapp_intuitive > 28 / 2

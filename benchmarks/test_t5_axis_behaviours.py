@@ -1,0 +1,39 @@
+"""T5 — per-axis behaviour histogram.
+
+The taxonomy's raw material: along each knob, how many kernels are
+linear, sublinear, saturating, flat or inverse. Shape claims mirror
+the physics: the memory axis has the largest flat population (compute
+kernels never touch it), the CU axis owns the inverse population
+(contention needs concurrency), and the engine axis is the most
+universally responsive knob (everything clocks against it at the low
+end).
+"""
+
+from benchmarks.conftest import run_once
+from repro.report.experiments import t5_axis_behaviours
+
+
+def test_t5_axis_behaviours(benchmark, ctx):
+    result = run_once(benchmark, t5_axis_behaviours, ctx)
+    print()
+    print(result.text)
+
+    data = result.data
+    for axis in ("cu", "engine", "memory"):
+        assert sum(data[axis].values()) == 267, axis
+
+    # Inverse scaling is a CU-axis phenomenon.
+    assert data["cu"]["inverse"] >= 10
+    assert data["cu"]["inverse"] > data["engine"]["inverse"]
+    assert data["cu"]["inverse"] > data["memory"]["inverse"]
+
+    # The memory knob is the most often irrelevant one...
+    assert data["memory"]["flat"] > data["engine"]["flat"]
+    # ...and the engine knob responds (rising or saturating) for the
+    # large majority of kernels.
+    engine_responsive = (
+        data["engine"]["linear"]
+        + data["engine"]["sublinear"]
+        + data["engine"]["saturating"]
+    )
+    assert engine_responsive >= 267 * 0.6

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Program-level speedup analysis: where does the app time go?
+
+Kernels scale; *applications* are weighted mixes of kernels, and the
+kernel with the worst scaling ends up owning the runtime on big
+hardware (Amdahl's law over heterogeneous launches). This example
+builds realistic invocation-weighted profiles for three catalog
+programs, compares program-level speedup against each program's best
+kernel, and names the kernel that caps further scaling.
+
+The punchline operationalises the paper's benchmark critique at app
+granularity: Rodinia's `lud` is capped by its single-workgroup diagonal
+kernel long before the GPU runs out of CUs.
+"""
+
+from repro.gpu import HardwareConfig, GpuSimulator
+from repro.kernels import ProgramProfile
+from repro.report import render_table
+from repro.suites import suite
+
+SMALL = HardwareConfig(4, 1000.0, 1250.0)
+LARGE = HardwareConfig(44, 1000.0, 1250.0)
+
+#: (suite, program, {kernel: invocations per run}).
+PROFILES = [
+    ("rodinia", "lud", {
+        "lud_diagonal": 64, "lud_perimeter": 63, "lud_internal": 63,
+    }),
+    ("rodinia", "srad", {
+        "srad_cuda_1": 100, "srad_cuda_2": 100, "extract": 1,
+        "compress": 1, "reduce": 100,
+    }),
+    ("proxyapps", "lulesh", {
+        "calc_force_elems": 50, "integrate_stress": 50,
+        "calc_eos": 50, "update_volumes": 50,
+    }),
+]
+
+
+def build_profile(suite_name, program_name, counts):
+    program = suite(suite_name).program(program_name)
+    pairs = []
+    for kernel in program.kernels:
+        if kernel.name in counts:
+            pairs.append((kernel, counts[kernel.name]))
+    return ProgramProfile.from_counts(
+        f"{suite_name}/{program_name}", pairs
+    )
+
+
+def main() -> None:
+    simulator = GpuSimulator()
+    rows = []
+    for suite_name, program_name, counts in PROFILES:
+        profile = build_profile(suite_name, program_name, counts)
+
+        program_speedup = profile.speedup(LARGE, SMALL, simulator)
+        best_kernel_speedup = max(
+            simulator.time_s(inv.kernel, SMALL)
+            / simulator.time_s(inv.kernel, LARGE)
+            for inv in profile.invocations
+        )
+        limiter, cap = profile.amdahl_cap(LARGE, SMALL, simulator)
+        attribution = profile.time_attribution(LARGE, simulator)
+        hog = max(attribution, key=attribution.__getitem__)
+
+        rows.append([
+            profile.name,
+            program_speedup,
+            best_kernel_speedup,
+            f"{hog.split('.')[-1]} ({100 * attribution[hog]:.0f}%)",
+            limiter.split(".")[-1],
+            cap,
+        ])
+
+    print(render_table(
+        ["program", "app speedup 4->44 CUs", "best kernel speedup",
+         "time hog at 44 CUs", "Amdahl limiter", "cap"],
+        rows,
+        title="Program-level scaling (invocation-weighted)",
+        precision=1,
+    ))
+
+
+if __name__ == "__main__":
+    main()

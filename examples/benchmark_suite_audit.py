@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Benchmark-suite audit: does your suite scale to modern GPUs?
+
+The paper's closing finding is that several mainstream GPGPU suites
+cannot exercise a modern (44-CU) GPU, so results collected with them
+understate large-device behaviour. This example reproduces that audit
+for every suite in the catalog and, for the worst offender, drills
+into *which* kernels stall and why — separating "the launch is too
+small" (a benchmark bug: fix the inputs) from "the kernel saturates
+memory bandwidth" (a hardware balance property: not the benchmark's
+fault).
+
+Usage::
+
+    python examples/benchmark_suite_audit.py [suite]
+"""
+
+import sys
+
+from repro import classify
+from repro.analysis import analyse_all_suites, kernel_scalability
+from repro.report import render_table
+from repro.suites import all_kernels, kernel_by_name
+from repro.sweep import PAPER_SPACE, SweepRunner
+from repro.taxonomy import TaxonomyCategory
+
+
+def audit_all(dataset, taxonomy):
+    """Print the per-suite verdict table; return the worst suite."""
+    results = analyse_all_suites(dataset, taxonomy)
+    rows = [
+        [
+            s.suite,
+            s.kernel_count,
+            100.0 * (s.fraction_parallelism_starved or 0.0),
+            s.median_useful_cus,
+            s.scales_to_modern_gpus,
+        ]
+        for s in sorted(
+            results.values(),
+            key=lambda s: -(s.fraction_parallelism_starved or 0.0),
+        )
+    ]
+    print(render_table(
+        ["suite", "kernels", "% starved of work", "median useful CUs",
+         "scales to 44 CUs?"],
+        rows,
+        title="Suite scalability audit",
+        precision=1,
+    ))
+    return rows[0][0]
+
+
+def drill_into(suite_name, dataset, taxonomy):
+    """Per-kernel diagnosis for one suite."""
+    print(f"\nDiagnosis for {suite_name!r}:")
+    rows = []
+    for name in dataset.kernel_names:
+        if not name.startswith(suite_name + "/"):
+            continue
+        label = taxonomy.label_for(name)
+        scalability = kernel_scalability(dataset, name)
+        if scalability.scales_to_full_device:
+            continue
+        kernel = kernel_by_name(name)
+        if label.category in (
+            TaxonomyCategory.PARALLELISM_LIMITED, TaxonomyCategory.PLATEAU
+        ):
+            diagnosis = (
+                f"starved: {kernel.geometry.num_workgroups} workgroups "
+                "— grow the input"
+            )
+        elif label.category is TaxonomyCategory.CU_INVERSE:
+            diagnosis = "inverse: contention grows with CUs"
+        else:
+            diagnosis = f"{label.category.value}: hardware-balance limit"
+        rows.append([name.split("/", 1)[1], scalability.useful_cus,
+                     diagnosis])
+    print(render_table(
+        ["kernel", "useful CUs", "diagnosis"],
+        rows,
+    ))
+
+
+def main() -> None:
+    print(f"collecting the full study "
+          f"(267 kernels x {PAPER_SPACE.size} configs)...")
+    dataset = SweepRunner().run(all_kernels(), PAPER_SPACE)
+    taxonomy = classify(dataset)
+
+    worst = audit_all(dataset, taxonomy)
+    target = sys.argv[1] if len(sys.argv) > 1 else worst
+    drill_into(target, dataset, taxonomy)
+
+
+if __name__ == "__main__":
+    main()

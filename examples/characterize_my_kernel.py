@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Characterise your own kernel against the taxonomy.
+
+The library is not tied to the shipped catalog: describe any kernel's
+resource profile and get (1) its predicted scaling behaviour on the
+modelled GPU, (2) its taxonomy label, and (3) actionable advice —
+which hardware knob buys performance, and what in the *kernel* is
+capping it.
+
+The example characterises a sparse matrix-vector product three ways —
+a naive scalar-CSR version, a coalesced vector-CSR version, and a
+blocked version whose per-workgroup slices thrash the shared L2 — and
+shows how each implementation choice moves the kernel across taxonomy
+categories.
+"""
+
+from repro import KernelCharacteristics, classify
+from repro.analysis import kernel_sensitivity
+from repro.kernels import Kernel, LaunchGeometry, ResourceUsage
+from repro.report import render_table
+from repro.sweep import PAPER_SPACE, SweepRunner
+
+MATRIX_MIB = 96.0
+
+MY_KERNELS = [
+    Kernel(
+        program="myspmv", name="csr_scalar", suite="user",
+        characteristics=KernelCharacteristics(
+            valu_ops_per_item=48.0,
+            global_load_bytes_per_item=52.0,
+            global_store_bytes_per_item=4.0,
+            l1_reuse=0.05,
+            l2_reuse=0.3,
+            footprint_bytes=MATRIX_MIB * 1024 * 1024,
+            shared_footprint=0.5,         # reuse comes from the shared x
+            coalescing_efficiency=0.25,   # one thread per row: strided
+            memory_parallelism=4.0,
+        ),
+        geometry=LaunchGeometry(1 << 21, 256),
+        resources=ResourceUsage(vgprs=28),
+    ),
+    Kernel(
+        program="myspmv", name="csr_vector", suite="user",
+        characteristics=KernelCharacteristics(
+            valu_ops_per_item=56.0,
+            global_load_bytes_per_item=52.0,
+            global_store_bytes_per_item=4.0,
+            l1_reuse=0.15,
+            l2_reuse=0.3,
+            footprint_bytes=MATRIX_MIB * 1024 * 1024,
+            shared_footprint=0.5,         # reuse comes from the shared x
+            coalescing_efficiency=0.8,    # wavefront per row: coalesced
+            memory_parallelism=8.0,
+        ),
+        geometry=LaunchGeometry(1 << 21, 256),
+        resources=ResourceUsage(vgprs=32),
+    ),
+    Kernel(
+        program="myspmv", name="csr_blocked", suite="user",
+        characteristics=KernelCharacteristics(
+            valu_ops_per_item=64.0,
+            global_load_bytes_per_item=48.0,
+            global_store_bytes_per_item=4.0,
+            l1_reuse=0.1,
+            l2_reuse=0.9,                 # block reuse...
+            footprint_bytes=24.0 * 1024 * 1024,
+            shared_footprint=0.0,         # ...but private per workgroup
+            coalescing_efficiency=0.6,
+            row_locality_sensitivity=0.7,
+            memory_parallelism=6.0,
+        ),
+        geometry=LaunchGeometry(1 << 20, 256),
+        resources=ResourceUsage(vgprs=36),
+    ),
+]
+
+ADVICE = {
+    "compute_bound": "buy CUs/clock; the kernel converts them directly",
+    "bandwidth_bound": "buy memory bandwidth; extra CUs idle on DRAM",
+    "balanced": "clocks trade off; size both to the balance point",
+    "cu_inverse": "CAP the CU count near the peak; contention beyond it",
+    "parallelism_limited": "grow the launch before growing the GPU",
+    "plateau": "hardware cannot help; restructure the kernel",
+    "mixed": "profile further; no single knob dominates",
+}
+
+
+def main() -> None:
+    dataset = SweepRunner().run(MY_KERNELS, PAPER_SPACE)
+    taxonomy = classify(dataset)
+
+    rows = []
+    for label in taxonomy.labels:
+        sensitivity = kernel_sensitivity(dataset, label.kernel_name)
+        rows.append([
+            label.kernel_name.split("/")[1],
+            label.category.value,
+            f"{label.features.cu.peak_gain:.1f}x",
+            f"{label.features.end_to_end_gain:.1f}x",
+            sensitivity.dominant_knob,
+            ADVICE[label.category.value],
+        ])
+    print(render_table(
+        ["kernel", "category", "peak CU gain", "total gain",
+         "dominant knob", "advice"],
+        rows,
+        title="Your kernels, characterised",
+    ))
+
+    # Counterfactuals: what would the standard optimisations buy?
+    from repro.predict import what_if
+
+    print()
+    print("Optimisation counterfactuals (flagship configuration):")
+    for kernel in MY_KERNELS:
+        results = [r for r in what_if(kernel) if r.speedup >= 1.1]
+        if not results:
+            print(f"  {kernel.name}: already near machine limits")
+            continue
+        top = results[0]
+        print(f"  {kernel.name}: {top.scenario.description} "
+              f"-> {top.speedup:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Design-space exploration: provisioning hardware for a workload mix.
+
+The paper frames GPUs as spanning "small, embedded designs to large,
+high-powered discrete cards". Given a workload mix, which point in that
+space should you build or buy? This example uses the scaling dataset to
+answer two provisioning questions for three realistic mixes:
+
+1. the *cheapest* configuration (by a simple area+power cost proxy)
+   that delivers at least 80% of flagship performance, and
+2. the *best-value* configuration (performance per unit cost).
+
+The punchline mirrors the taxonomy: compute mixes want every CU at full
+clock, memory mixes hit flagship-class performance with half the CUs,
+and latency/graph mixes barely justify more than an APU-class device.
+"""
+
+from repro.report import render_table
+from repro.suites import all_kernels
+from repro.sweep import PAPER_SPACE, SweepRunner
+
+#: Workload mixes: (label, predicate over kernel full names).
+MIXES = [
+    ("dense compute", ("shoc/md5hash", "amdapp/nbody", "shoc/md",
+                       "rodinia/lavamd")),
+    ("streaming hpc", ("shoc/triad", "parboil/lbm", "proxyapps/hpgmg",
+                       "proxyapps/minife")),
+    ("graph analytics", ("pannotia/bc", "pannotia/sssp", "rodinia/bfs",
+                         "pannotia/pagerank")),
+]
+
+
+def config_cost(config) -> float:
+    """Relative cost proxy: die area ~ CUs, power ~ CUs x f_eng plus
+    the memory interface running at f_mem."""
+    area = config.cu_count
+    dynamic = config.cu_count * (config.engine_mhz / 1000.0)
+    memory = 16.0 * (config.memory_mhz / 1250.0)
+    return area + 2.0 * dynamic + memory
+
+
+def mix_performance(dataset, prefixes):
+    """Geometric-mean relative performance per configuration."""
+    import numpy as np
+
+    rows = [
+        i for i, name in enumerate(dataset.kernel_names)
+        if name.startswith(prefixes)
+    ]
+    perf = dataset.perf[rows]
+    # Normalise per kernel so no single kernel dominates the mean.
+    relative = perf / perf.max(axis=(1, 2, 3), keepdims=True)
+    return np.exp(np.log(relative).mean(axis=0))
+
+
+def explore(dataset, label, prefixes):
+    import numpy as np
+
+    score = mix_performance(dataset, prefixes)
+    space = dataset.space
+    flagship = score[-1, -1, -1]
+
+    best_cheap = None
+    best_value = None
+    for flat in range(space.size):
+        c, e, m = space.unflatten(flat)
+        config = space.config(c, e, m)
+        cost = config_cost(config)
+        perf = score[c, e, m]
+        if perf >= 0.8 * flagship:
+            if best_cheap is None or cost < best_cheap[1]:
+                best_cheap = (config, cost, perf)
+        value = perf / cost
+        if best_value is None or value > best_value[1]:
+            best_value = (config, value, perf, cost)
+
+    cheap_config, cheap_cost, cheap_perf = best_cheap
+    value_config, _, value_perf, value_cost = best_value
+    flagship_config = space.max_config
+    return [
+        [label, "flagship", flagship_config.label(),
+         config_cost(flagship_config), 100.0],
+        [label, "cheapest @ 80%", cheap_config.label(), cheap_cost,
+         100.0 * cheap_perf / flagship],
+        [label, "best value", value_config.label(), value_cost,
+         100.0 * value_perf / flagship],
+    ]
+
+
+def main() -> None:
+    kernels = all_kernels()
+    print(f"sweeping {len(kernels)} kernels over {PAPER_SPACE.size} "
+          "configurations...")
+    dataset = SweepRunner().run(kernels, PAPER_SPACE)
+
+    rows = []
+    for label, prefixes in MIXES:
+        rows.extend(explore(dataset, label, prefixes))
+    print()
+    print(render_table(
+        ["workload mix", "pick", "configuration", "cost (a.u.)",
+         "% of flagship perf"],
+        rows,
+        title="Provisioning guidance from scaling data",
+        precision=1,
+    ))
+
+
+if __name__ == "__main__":
+    main()

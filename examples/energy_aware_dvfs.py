@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Energy-aware DVFS: pick operating points from the taxonomy.
+
+The CU-fusing and dual-clock knobs the paper sweeps are power-
+management hardware. This example closes the loop: for a representative
+kernel of each taxonomy category, find the minimum-energy and
+minimum-EDP operating points in the 891-configuration space, and
+compare against always-running-flagship.
+
+The result is the DVFS cheat-sheet the taxonomy implies:
+
+* compute-bound    -> race to idle (flagship is near energy-optimal);
+* bandwidth-bound  -> keep the memory clock, shed CUs/engine clock;
+* plateau          -> drop every knob; the work does not care;
+* cu-inverse       -> cap the CU count below the device size — the
+                      rare case where LESS hardware is faster AND
+                      cheaper.
+"""
+
+from repro import classify, collect_paper_dataset
+from repro.power import DvfsOptimizer, EnergyModel, Objective
+from repro.report import render_table
+from repro.suites import kernel_by_name
+from repro.taxonomy import TaxonomyCategory
+
+CATEGORIES = (
+    TaxonomyCategory.COMPUTE_BOUND,
+    TaxonomyCategory.BANDWIDTH_BOUND,
+    TaxonomyCategory.BALANCED,
+    TaxonomyCategory.CU_INVERSE,
+    TaxonomyCategory.PLATEAU,
+)
+
+
+def main() -> None:
+    print("collecting the study and classifying (one sweep)...")
+    dataset = collect_paper_dataset()
+    taxonomy = classify(dataset)
+
+    energy_model = EnergyModel()
+    optimizer = DvfsOptimizer(energy_model)
+    flagship = dataset.space.max_config
+
+    rows = []
+    for category in CATEGORIES:
+        members = taxonomy.kernels_in(category)
+        if not members:
+            continue
+        kernel = kernel_by_name(members[0])
+        at_flagship = energy_model.evaluate(kernel, flagship)
+        min_energy = optimizer.optimise(kernel, Objective.MIN_ENERGY)
+        min_edp = optimizer.optimise(kernel, Objective.MIN_EDP)
+        rows.append([
+            category.value,
+            kernel.full_name,
+            min_energy.config.label(),
+            100.0 * (1.0 - min_energy.energy_j / at_flagship.energy_j),
+            100.0 * (min_energy.time_s / at_flagship.time_s - 1.0),
+            min_edp.config.label(),
+        ])
+
+    print()
+    print(render_table(
+        ["category", "kernel", "min-energy config", "energy saved %",
+         "slowdown %", "min-EDP config"],
+        rows,
+        title="Energy-aware operating points by taxonomy category",
+        precision=1,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Predict a new kernel's full scaling surface from seven runs.
+
+Collecting a kernel's complete 891-configuration surface means 891
+reboots/re-clocks on real hardware. The ``repro.predict`` extension
+shows the alternative the paper's authors pursued: measure the new
+kernel at seven probe configurations, match its response against the
+267-kernel corpus, and transplant the nearest neighbours' surfaces.
+
+Here the "new" kernel is a molecular-dynamics force kernel that is
+*not* in the corpus (we synthesise it with the performance model and
+then hide it). The script reports the predicted vs. actual speedup at
+several configurations of interest and the corpus kernels the
+predictor matched.
+"""
+
+from repro import KernelCharacteristics, collect_paper_dataset
+from repro.gpu import GpuSimulator, HardwareConfig
+from repro.kernels import Kernel, LaunchGeometry, ResourceUsage
+from repro.predict import ScalingPredictor
+from repro.report import render_table
+
+NEW_KERNEL = Kernel(
+    program="userapp", name="md_force", suite="user",
+    characteristics=KernelCharacteristics(
+        valu_ops_per_item=4200.0,
+        global_load_bytes_per_item=50.0,
+        global_store_bytes_per_item=12.0,
+        l1_reuse=0.35,
+        l2_reuse=0.45,
+        coalescing_efficiency=0.85,
+        memory_parallelism=6.0,
+    ),
+    geometry=LaunchGeometry(1 << 18, 256),
+    resources=ResourceUsage(vgprs=76),
+)
+
+QUERIES = [
+    HardwareConfig(44, 1000.0, 1250.0),
+    HardwareConfig(24, 900.0, 1112.5),
+    HardwareConfig(8, 600.0, 425.0),
+    HardwareConfig(44, 1000.0, 150.0),
+]
+
+
+def main() -> None:
+    print("building the 267-kernel corpus (one full sweep)...")
+    corpus_data = collect_paper_dataset()
+    predictor = ScalingPredictor(corpus_data, k=3)
+
+    # "Measure" the new kernel at the seven probe configurations.
+    simulator = GpuSimulator()
+    probe_configs = predictor.probe_configs()
+    probes = [
+        simulator.performance(NEW_KERNEL, config)
+        for config in probe_configs
+    ]
+    print(f"measured the new kernel at {len(probes)} probe configs")
+
+    prediction = predictor.predict_cube(probes)
+    print("nearest corpus kernels:",
+          ", ".join(prediction.neighbours))
+
+    space = corpus_data.space
+    base = probes[0]
+    rows = []
+    for config in QUERIES:
+        c = space.cu_counts.index(config.cu_count)
+        e = space.engine_mhz.index(config.engine_mhz)
+        m = space.memory_mhz.index(config.memory_mhz)
+        predicted = prediction.cube[c, e, m] / base
+        actual = simulator.performance(NEW_KERNEL, config) / base
+        rows.append([
+            config.label(), predicted, actual,
+            100.0 * abs(predicted - actual) / actual,
+        ])
+    print()
+    print(render_table(
+        ["configuration", "predicted speedup", "actual speedup",
+         "error %"],
+        rows,
+        title="Seven-probe surface prediction vs ground truth",
+    ))
+
+
+if __name__ == "__main__":
+    main()

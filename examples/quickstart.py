@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: collect scaling data and classify it.
+
+Runs the paper's pipeline end-to-end on one suite (Pannotia, the graph
+workloads — the richest source of non-obvious scaling) and prints the
+taxonomy labels. Swap ``all_kernels("pannotia")`` for ``all_kernels()``
+to run the full 267-kernel / 891-configuration study (a few seconds).
+"""
+
+from repro import classify
+from repro.report import render_table
+from repro.suites import all_kernels
+from repro.sweep import PAPER_SPACE, SweepRunner
+
+
+def main() -> None:
+    kernels = all_kernels("pannotia")
+    print(f"sweeping {len(kernels)} kernels over "
+          f"{PAPER_SPACE.size} hardware configurations...")
+    dataset = SweepRunner().run(kernels, PAPER_SPACE)
+
+    taxonomy = classify(dataset)
+
+    rows = []
+    for label in taxonomy.labels:
+        rows.append([
+            label.kernel_name,
+            label.category.value,
+            label.cu_behaviour.value,
+            label.engine_behaviour.value,
+            label.memory_behaviour.value,
+            label.features.end_to_end_gain,
+        ])
+    print()
+    print(render_table(
+        ["kernel", "category", "cu", "engine", "memory", "total gain"],
+        rows,
+        title="Pannotia scaling taxonomy",
+        precision=1,
+    ))
+
+    print()
+    counts = taxonomy.category_counts()
+    populated = [(c.value, n) for c, n in counts.items() if n]
+    print(render_table(["category", "kernels"], populated,
+                       title="Summary"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Evaluation analytics: suite scalability, scaling-law regression,
+bottleneck crossovers, speedup distributions and knob sensitivities."""
+
+from repro.analysis.bottleneck_map import (
+    BottleneckMap,
+    bottleneck_map,
+    migration_summary,
+)
+from repro.analysis.crossover import (
+    CrossoverMap,
+    balance_point,
+    crossover_map,
+)
+from repro.analysis.input_scaling import (
+    InputScalingPoint,
+    InputScalingStudy,
+    recovery_by_suite,
+    scale_input,
+    study_input_scaling,
+)
+from repro.analysis.pareto import (
+    ParetoPoint,
+    knee_point,
+    pareto_front,
+    performance_power_front,
+)
+from repro.analysis.regression import (
+    CategoryRegressionSummary,
+    PowerLawFit,
+    fit_all,
+    fit_kernel,
+    summarise_by_category,
+)
+from repro.analysis.roofline import (
+    RooflinePoint,
+    attainable_gflops,
+    place_kernel,
+    ridge_point,
+    ridge_trajectory,
+    roofline_series,
+)
+from repro.analysis.sensitivity import (
+    SensitivityIndex,
+    all_sensitivities,
+    dominant_knob_histogram,
+    kernel_sensitivity,
+    sensitivity_from_features,
+)
+from repro.analysis.speedup import (
+    SpeedupCdf,
+    cdf_by_category,
+    configuration_ceiling,
+    overall_cdf,
+    speedup_summary,
+)
+from repro.analysis.suite_scaling import (
+    KernelScalability,
+    SuiteScalability,
+    analyse_all_suites,
+    analyse_suite,
+    kernel_scalability,
+    non_scaling_suites,
+    useful_cu_histogram,
+)
+
+__all__ = [
+    "BottleneckMap",
+    "CategoryRegressionSummary",
+    "InputScalingPoint",
+    "InputScalingStudy",
+    "RooflinePoint",
+    "CrossoverMap",
+    "KernelScalability",
+    "ParetoPoint",
+    "PowerLawFit",
+    "SensitivityIndex",
+    "SpeedupCdf",
+    "SuiteScalability",
+    "all_sensitivities",
+    "analyse_all_suites",
+    "analyse_suite",
+    "attainable_gflops",
+    "balance_point",
+    "bottleneck_map",
+    "cdf_by_category",
+    "configuration_ceiling",
+    "crossover_map",
+    "dominant_knob_histogram",
+    "fit_all",
+    "fit_kernel",
+    "kernel_scalability",
+    "knee_point",
+    "kernel_sensitivity",
+    "migration_summary",
+    "non_scaling_suites",
+    "overall_cdf",
+    "pareto_front",
+    "performance_power_front",
+    "place_kernel",
+    "recovery_by_suite",
+    "ridge_point",
+    "ridge_trajectory",
+    "roofline_series",
+    "scale_input",
+    "sensitivity_from_features",
+    "speedup_summary",
+    "study_input_scaling",
+    "summarise_by_category",
+    "useful_cu_histogram",
+]

@@ -1,0 +1,100 @@
+"""Bottleneck-migration maps.
+
+The taxonomy classifies *observed scaling*; this analysis opens the
+model and asks which machine resource actually binds at each of the
+891 configurations. The result explains the taxonomy from the inside:
+a "balanced" kernel is one whose binding resource migrates between
+compute and DRAM across the clock plane, a "plateau" kernel one that
+is latency- or launch-bound everywhere.
+
+Unlike the rest of :mod:`repro.analysis`, this module needs the
+simulator (the breakdown is model state, not measurement); on real
+hardware the equivalent data comes from per-configuration profiler
+counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.gpu.interval_model import IntervalModel
+from repro.kernels.kernel import Kernel
+from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
+
+
+@dataclass(frozen=True)
+class BottleneckMap:
+    """The binding resource of one kernel at every configuration."""
+
+    kernel_name: str
+    space: ConfigurationSpace
+    bottlenecks: Tuple[Tuple[Tuple[str, ...], ...], ...]
+
+    def at(self, cu_idx: int, eng_idx: int, mem_idx: int) -> str:
+        """The bottleneck name at one grid coordinate."""
+        return self.bottlenecks[cu_idx][eng_idx][mem_idx]
+
+    def histogram(self) -> Dict[str, int]:
+        """Configurations bound by each resource."""
+        counts: Counter = Counter()
+        for plane in self.bottlenecks:
+            for row in plane:
+                counts.update(row)
+        return dict(counts)
+
+    @property
+    def dominant(self) -> str:
+        """The most frequent bottleneck across the space."""
+        histogram = self.histogram()
+        return max(histogram, key=histogram.__getitem__)
+
+    @property
+    def migration_count(self) -> int:
+        """Distinct binding resources seen across the space.
+
+        1 = the kernel has one story everywhere; 3+ = the bottleneck
+        migrates substantially (the balanced/mixed signature).
+        """
+        return len(self.histogram())
+
+    def migrates(self) -> bool:
+        """True when more than one resource binds somewhere."""
+        return self.migration_count > 1
+
+
+def bottleneck_map(
+    kernel: Kernel,
+    space: ConfigurationSpace = PAPER_SPACE,
+    model: IntervalModel = None,
+) -> BottleneckMap:
+    """Compute the binding resource of *kernel* at every point."""
+    model = model or IntervalModel()
+    n_cu, n_eng, n_mem = space.shape
+    planes = []
+    for c in range(n_cu):
+        rows = []
+        for e in range(n_eng):
+            row = []
+            for m in range(n_mem):
+                result = model.simulate(kernel, space.config(c, e, m))
+                row.append(result.breakdown.bottleneck)
+            rows.append(tuple(row))
+        planes.append(tuple(rows))
+    return BottleneckMap(
+        kernel_name=kernel.full_name,
+        space=space,
+        bottlenecks=tuple(planes),
+    )
+
+
+def migration_summary(
+    kernels, space: ConfigurationSpace = PAPER_SPACE
+) -> Dict[str, int]:
+    """Histogram of migration counts over a kernel collection."""
+    model = IntervalModel()
+    counts: Counter = Counter()
+    for kernel in kernels:
+        counts[bottleneck_map(kernel, space, model).migration_count] += 1
+    return dict(counts)

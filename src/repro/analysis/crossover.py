@@ -1,0 +1,146 @@
+"""Compute-bound <-> bandwidth-bound crossover localisation.
+
+For kernels near the machine-balance ridge ("balanced" in the
+taxonomy), which clock knob matters depends on where in the
+(engine, memory) plane the configuration sits: at low engine clock the
+kernel is compute-bound; at low memory clock it is bandwidth-bound.
+This module maps, for every grid cell, which knob is locally more
+profitable, and extracts the crossover frontier — the paper's "where
+do the bottlenecks flip" view of the clock plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.sweep.dataset import ScalingDataset
+
+
+@dataclass(frozen=True)
+class CrossoverMap:
+    """Per-cell dominant knob over the (engine, memory) plane.
+
+    ``dominance`` holds +1 where raising the engine clock is locally
+    more profitable, -1 where raising the memory clock is, and 0 where
+    neither moves performance meaningfully (plateau cells).
+    """
+
+    kernel_name: str
+    cu_count: int
+    dominance: np.ndarray
+    engine_mhz: Tuple[float, ...]
+    memory_mhz: Tuple[float, ...]
+
+    @property
+    def compute_bound_fraction(self) -> float:
+        """Fraction of the plane where the engine knob dominates."""
+        return float(np.mean(self.dominance > 0))
+
+    @property
+    def bandwidth_bound_fraction(self) -> float:
+        """Fraction of the plane where the memory knob dominates."""
+        return float(np.mean(self.dominance < 0))
+
+    @property
+    def has_crossover(self) -> bool:
+        """True when both regimes appear somewhere in the plane."""
+        return self.compute_bound_fraction > 0 and (
+            self.bandwidth_bound_fraction > 0
+        )
+
+    def frontier(self) -> Optional[Tuple[Tuple[int, int], ...]]:
+        """Cells on the compute side adjacent to the bandwidth side.
+
+        Returns ``None`` when the plane has no crossover at all.
+        """
+        if not self.has_crossover:
+            return None
+        cells = []
+        rows, cols = self.dominance.shape
+        for i in range(rows):
+            for j in range(cols):
+                if self.dominance[i, j] <= 0:
+                    continue
+                neighbours = [
+                    (i + di, j + dj)
+                    for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1))
+                    if 0 <= i + di < rows and 0 <= j + dj < cols
+                ]
+                if any(self.dominance[n] < 0 for n in neighbours):
+                    cells.append((i, j))
+        return tuple(cells)
+
+
+#: Local elasticities below this are "neither knob helps" (plateau).
+PLATEAU_ELASTICITY = 0.05
+
+
+def crossover_map(
+    dataset: ScalingDataset,
+    kernel_name: str,
+    cu_index: int = -1,
+) -> CrossoverMap:
+    """Build the dominance map of one kernel at one CU setting.
+
+    Local profitability of a knob at a cell is the forward log-log
+    slope toward the next grid state (backward at the axis edge).
+    """
+    space = dataset.space
+    surface = dataset.kernel_cube(kernel_name)[cu_index]
+    n_eng, n_mem = surface.shape
+    if n_eng < 2 or n_mem < 2:
+        raise AnalysisError(
+            "crossover analysis needs >= 2 states on both clock axes"
+        )
+
+    log_perf = np.log(surface)
+    log_eng = np.log(np.asarray(space.engine_mhz))
+    log_mem = np.log(np.asarray(space.memory_mhz))
+
+    def forward_slope(values: np.ndarray, knobs: np.ndarray) -> np.ndarray:
+        slopes = np.empty_like(values)
+        slopes[:-1] = np.diff(values) / np.diff(knobs)
+        slopes[-1] = slopes[-2]
+        return slopes
+
+    eng_elasticity = np.apply_along_axis(
+        forward_slope, 0, log_perf, log_eng
+    )
+    mem_elasticity = np.apply_along_axis(
+        forward_slope, 1, log_perf, log_mem
+    )
+
+    dominance = np.zeros(surface.shape, dtype=np.int8)
+    engine_wins = eng_elasticity > mem_elasticity
+    meaningful = np.maximum(eng_elasticity, mem_elasticity) > (
+        PLATEAU_ELASTICITY
+    )
+    dominance[np.logical_and(engine_wins, meaningful)] = 1
+    dominance[np.logical_and(~engine_wins, meaningful)] = -1
+
+    cu_count = space.cu_counts[cu_index]
+    return CrossoverMap(
+        kernel_name=kernel_name,
+        cu_count=int(cu_count),
+        dominance=dominance,
+        engine_mhz=space.engine_mhz,
+        memory_mhz=space.memory_mhz,
+    )
+
+
+def balance_point(
+    dataset: ScalingDataset, kernel_name: str, cu_index: int = -1
+) -> Optional[Tuple[float, float]]:
+    """Representative (engine MHz, memory MHz) of the crossover frontier
+    — the centroid of frontier cells — or ``None`` without a crossover."""
+    cmap = crossover_map(dataset, kernel_name, cu_index)
+    frontier = cmap.frontier()
+    if not frontier:
+        return None
+    eng = float(np.mean([cmap.engine_mhz[i] for i, _ in frontier]))
+    mem = float(np.mean([cmap.memory_mhz[j] for _, j in frontier]))
+    return eng, mem

@@ -1,0 +1,159 @@
+"""Log-linear scaling-law regression.
+
+Fits each kernel's full 891-point cube to the power law
+
+    perf ~ A * cu^a * f_engine^b * f_memory^c
+
+via least squares in log space. The exponent triple (a, b, c) is a
+compact scaling signature: a compute-bound kernel sits near (1, 1, 0),
+a bandwidth-bound one near (0..0.5, 0..0.3, 1), a plateau kernel near
+(0, 0, 0). R² measures how power-law-like the kernel is — inverse
+scalers and kernels whose bottleneck migrates mid-sweep fit poorly,
+which is itself diagnostic (the taxonomy exists because one global
+power law cannot describe these kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.sweep.dataset import ScalingDataset
+from repro.taxonomy.classifier import TaxonomyResult
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """One kernel's fitted scaling law."""
+
+    kernel_name: str
+    cu_exponent: float
+    engine_exponent: float
+    memory_exponent: float
+    log_intercept: float
+    r_squared: float
+
+    @property
+    def exponents(self) -> Tuple[float, float, float]:
+        """(CU, engine, memory) exponents."""
+        return (
+            self.cu_exponent,
+            self.engine_exponent,
+            self.memory_exponent,
+        )
+
+    def predict(
+        self, cu_count: float, engine_mhz: float, memory_mhz: float
+    ) -> float:
+        """Performance predicted by the fitted law."""
+        return float(
+            np.exp(self.log_intercept)
+            * cu_count ** self.cu_exponent
+            * engine_mhz ** self.engine_exponent
+            * memory_mhz ** self.memory_exponent
+        )
+
+
+def fit_kernel(dataset: ScalingDataset, kernel_name: str) -> PowerLawFit:
+    """Least-squares power-law fit over one kernel's cube."""
+    cube = dataset.kernel_cube(kernel_name)
+    space = dataset.space
+    n_cu, n_eng, n_mem = space.shape
+
+    log_cu = np.log(np.asarray(space.cu_counts, dtype=np.float64))
+    log_eng = np.log(np.asarray(space.engine_mhz, dtype=np.float64))
+    log_mem = np.log(np.asarray(space.memory_mhz, dtype=np.float64))
+
+    grid_cu, grid_eng, grid_mem = np.meshgrid(
+        log_cu, log_eng, log_mem, indexing="ij"
+    )
+    design = np.column_stack(
+        [
+            np.ones(cube.size),
+            grid_cu.ravel(),
+            grid_eng.ravel(),
+            grid_mem.ravel(),
+        ]
+    )
+    target = np.log(cube.ravel())
+
+    coeffs, _, rank, _ = np.linalg.lstsq(design, target, rcond=None)
+    if rank < design.shape[1]:
+        raise AnalysisError(
+            f"rank-deficient design for kernel {kernel_name!r} "
+            "(degenerate configuration space?)"
+        )
+    predicted = design @ coeffs
+    residual = target - predicted
+    total = target - target.mean()
+    ss_tot = float(total @ total)
+    r_squared = 1.0 if ss_tot == 0.0 else 1.0 - float(
+        residual @ residual
+    ) / ss_tot
+
+    return PowerLawFit(
+        kernel_name=kernel_name,
+        log_intercept=float(coeffs[0]),
+        cu_exponent=float(coeffs[1]),
+        engine_exponent=float(coeffs[2]),
+        memory_exponent=float(coeffs[3]),
+        r_squared=r_squared,
+    )
+
+
+def fit_all(dataset: ScalingDataset) -> Dict[str, PowerLawFit]:
+    """Power-law fits for every kernel, keyed by full name."""
+    return {
+        name: fit_kernel(dataset, name) for name in dataset.kernel_names
+    }
+
+
+@dataclass(frozen=True)
+class CategoryRegressionSummary:
+    """Mean exponents and fit quality within one taxonomy category."""
+
+    category: str
+    kernel_count: int
+    mean_cu_exponent: float
+    mean_engine_exponent: float
+    mean_memory_exponent: float
+    mean_r_squared: float
+
+
+def summarise_by_category(
+    dataset: ScalingDataset, taxonomy: TaxonomyResult
+) -> Dict[str, CategoryRegressionSummary]:
+    """Aggregate the fitted exponents per taxonomy category.
+
+    Demonstrates that the rule-based categories correspond to distinct
+    regions of exponent space — the quantitative backbone of the
+    taxonomy's validity.
+    """
+    fits = fit_all(dataset)
+    groups: Dict[str, list] = {}
+    for label in taxonomy.labels:
+        groups.setdefault(label.category.value, []).append(
+            fits[label.kernel_name]
+        )
+    summaries: Dict[str, CategoryRegressionSummary] = {}
+    for category, members in groups.items():
+        summaries[category] = CategoryRegressionSummary(
+            category=category,
+            kernel_count=len(members),
+            mean_cu_exponent=float(
+                np.mean([f.cu_exponent for f in members])
+            ),
+            mean_engine_exponent=float(
+                np.mean([f.engine_exponent for f in members])
+            ),
+            mean_memory_exponent=float(
+                np.mean([f.memory_exponent for f in members])
+            ),
+            mean_r_squared=float(
+                np.mean([f.r_squared for f in members])
+            ),
+        )
+    return summaries

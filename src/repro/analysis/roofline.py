@@ -1,0 +1,119 @@
+"""Roofline-model utilities.
+
+The roofline is the one-picture summary of the compute-vs-bandwidth
+story the taxonomy tells over three axes: attainable performance is
+``min(peak FLOP/s, intensity x peak bandwidth)``, and the *ridge point*
+(the machine balance) moves as the knobs move — which is exactly why
+one kernel's bottleneck migrates across the 891-configuration space.
+
+These helpers place kernels on the roofline of any configuration and
+expose the ridge trajectory over the clock plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.gpu.config import HardwareConfig
+from repro.gpu.simulator import GpuSimulator
+from repro.kernels.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on one configuration's roofline."""
+
+    kernel_name: str
+    arithmetic_intensity: float
+    achieved_gflops: float
+    attainable_gflops: float
+    peak_gflops: float
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved over attainable performance at this intensity."""
+        return self.achieved_gflops / self.attainable_gflops
+
+    @property
+    def is_memory_side(self) -> bool:
+        """True when the kernel sits left of the ridge point
+        (bandwidth-limited region of the roofline)."""
+        return self.attainable_gflops < self.peak_gflops
+
+
+def attainable_gflops(
+    config: HardwareConfig, intensity: float
+) -> float:
+    """Roofline-attainable GFLOP/s at *intensity* (FLOP per DRAM byte)."""
+    bandwidth_bound = intensity * config.peak_dram_bytes_per_sec / 1e9
+    return min(config.peak_gflops, bandwidth_bound)
+
+
+def roofline_series(
+    config: HardwareConfig,
+    intensities: Sequence[float] = tuple(
+        2.0 ** e for e in range(-4, 10)
+    ),
+) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+    """(intensity, attainable GFLOP/s) series for plotting."""
+    xs = tuple(float(i) for i in intensities)
+    ys = tuple(attainable_gflops(config, i) for i in xs)
+    return xs, ys
+
+
+def ridge_point(config: HardwareConfig) -> float:
+    """Machine balance: the intensity where both roofs meet."""
+    return config.peak_gflops * 1e9 / config.peak_dram_bytes_per_sec
+
+
+def place_kernel(
+    kernel: Kernel,
+    config: HardwareConfig,
+    simulator: GpuSimulator = None,
+) -> RooflinePoint:
+    """Place *kernel* on *config*'s roofline using modelled DRAM traffic.
+
+    Operational intensity uses the traffic that actually reaches DRAM
+    (post-cache), matching how measured rooflines are built from
+    memory-controller counters.
+    """
+    simulator = simulator or GpuSimulator()
+    result = simulator.simulate(kernel, config)
+    ch = kernel.characteristics
+    total_flops = kernel.geometry.global_size * ch.valu_ops_per_item
+    dram_bytes = max(result.dram_bytes, 1.0)
+    intensity = total_flops / dram_bytes
+    achieved = total_flops / result.time_s / 1e9
+    return RooflinePoint(
+        kernel_name=kernel.full_name,
+        arithmetic_intensity=intensity,
+        achieved_gflops=achieved,
+        attainable_gflops=attainable_gflops(config, intensity),
+        peak_gflops=config.peak_gflops,
+    )
+
+
+def ridge_trajectory(
+    cu_count: int,
+    engine_mhz_values: Sequence[float],
+    memory_mhz_values: Sequence[float],
+) -> np.ndarray:
+    """Ridge-point intensity over the (engine, memory) clock plane.
+
+    The returned grid has shape (len(engine), len(memory)); its spread
+    quantifies how far the bottleneck boundary travels across the
+    sweep — the mechanism behind the taxonomy's "balanced" class.
+    """
+    grid = np.empty(
+        (len(engine_mhz_values), len(memory_mhz_values)),
+        dtype=np.float64,
+    )
+    for i, engine in enumerate(engine_mhz_values):
+        for j, memory in enumerate(memory_mhz_values):
+            grid[i, j] = ridge_point(
+                HardwareConfig(cu_count, engine, memory)
+            )
+    return grid

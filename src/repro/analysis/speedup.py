@@ -1,0 +1,110 @@
+"""Speedup distributions across the configuration space.
+
+Summarises how much performance the full hardware range buys each
+kernel — the paper's headline "5x frequency, 8.3x bandwidth, 11x CUs"
+knobs jointly offer up to ~55x, and the gap between that ceiling and
+what kernels actually achieve is the motivation for the taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.sweep.dataset import ScalingDataset
+from repro.sweep.views import end_to_end_speedups
+from repro.taxonomy.categories import TaxonomyCategory
+from repro.taxonomy.classifier import TaxonomyResult
+
+
+@dataclass(frozen=True)
+class SpeedupCdf:
+    """Empirical CDF of end-to-end speedups for one kernel population."""
+
+    population: str
+    speedups: Tuple[float, ...]
+
+    @property
+    def sorted_speedups(self) -> np.ndarray:
+        """Speedups in ascending order (the CDF x-values)."""
+        return np.sort(np.asarray(self.speedups))
+
+    @property
+    def cdf_y(self) -> np.ndarray:
+        """Cumulative fractions matching :attr:`sorted_speedups`."""
+        n = len(self.speedups)
+        return np.arange(1, n + 1) / n
+
+    def quantile(self, q: float) -> float:
+        """The *q*-quantile of the speedup distribution."""
+        if not 0.0 <= q <= 1.0:
+            raise AnalysisError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(np.asarray(self.speedups), q))
+
+    @property
+    def median(self) -> float:
+        """Median end-to-end speedup."""
+        return self.quantile(0.5)
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of kernels gaining less than *threshold*."""
+        return float(np.mean(np.asarray(self.speedups) < threshold))
+
+
+def overall_cdf(dataset: ScalingDataset) -> SpeedupCdf:
+    """CDF over every kernel in the dataset."""
+    return SpeedupCdf(
+        population="all",
+        speedups=tuple(float(s) for s in end_to_end_speedups(dataset)),
+    )
+
+
+def cdf_by_category(
+    dataset: ScalingDataset, taxonomy: TaxonomyResult
+) -> Dict[TaxonomyCategory, SpeedupCdf]:
+    """One CDF per (non-empty) taxonomy category."""
+    speedups = end_to_end_speedups(dataset)
+    name_to_speedup = dict(zip(dataset.kernel_names, speedups))
+    result: Dict[TaxonomyCategory, SpeedupCdf] = {}
+    for category in TaxonomyCategory:
+        members = taxonomy.kernels_in(category)
+        if not members:
+            continue
+        result[category] = SpeedupCdf(
+            population=category.value,
+            speedups=tuple(
+                float(name_to_speedup[name]) for name in members
+            ),
+        )
+    return result
+
+
+def configuration_ceiling(dataset: ScalingDataset) -> float:
+    """The joint knob range: max over min peak capability ratio.
+
+    On the paper grid this is 11 x 5 = 55 for compute capability and
+    8.33 for bandwidth; we report the compute ceiling, the larger of
+    the two, as the theoretical upper bound any kernel could reach.
+    """
+    cu_ratio, eng_ratio, mem_ratio = dataset.space.axis_ranges
+    return max(cu_ratio * eng_ratio, mem_ratio)
+
+
+def speedup_summary(
+    dataset: ScalingDataset, taxonomy: TaxonomyResult
+) -> Dict[str, float]:
+    """Headline numbers: ceiling, overall median, per-family medians."""
+    cdf = overall_cdf(dataset)
+    by_cat = cdf_by_category(dataset, taxonomy)
+    summary = {
+        "ceiling": configuration_ceiling(dataset),
+        "overall_median": cdf.median,
+        "overall_p90": cdf.quantile(0.9),
+        "fraction_below_2x": cdf.fraction_below(2.0),
+    }
+    for category, category_cdf in by_cat.items():
+        summary[f"median_{category.value}"] = category_cdf.median
+    return summary

@@ -1,0 +1,189 @@
+"""Benchmark-suite scalability critique.
+
+The paper's final finding: "a number of current benchmark suites do
+not scale to modern GPU sizes, implying that either new benchmarks or
+new inputs are warranted." This module quantifies that claim: for each
+kernel, the smallest CU count that already delivers (nearly) all the
+performance the kernel will ever get — its *useful CU count* — and
+per-suite aggregates of how much of a 44-CU device each suite can
+exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.sweep.dataset import ScalingDataset
+from repro.sweep.views import Axis, axis_slice
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.taxonomy.classifier import TaxonomyResult
+
+#: A CU count is "useful" until performance reaches this fraction of
+#: the kernel's best point on the CU axis.
+USEFUL_THRESHOLD = 0.95
+
+
+@dataclass(frozen=True)
+class KernelScalability:
+    """CU-axis scalability of one kernel."""
+
+    kernel_name: str
+    useful_cus: int
+    max_cus: int
+    cu_gain: float
+
+    @property
+    def scales_to_full_device(self) -> bool:
+        """True when the kernel keeps gaining to the last CU setting."""
+        return self.useful_cus >= self.max_cus
+
+    @property
+    def utilised_fraction(self) -> float:
+        """Useful CUs relative to the device size."""
+        return self.useful_cus / self.max_cus
+
+
+@dataclass(frozen=True)
+class SuiteScalability:
+    """Aggregated CU scalability of one suite.
+
+    Two complementary views feed the paper's critique:
+
+    * the *useful-CU* statistics (descriptive): where each kernel's CU
+      curve stops paying off, whatever the reason — this includes
+      bandwidth-bound kernels whose CU saturation is a property of the
+      hardware balance, not of the benchmark;
+    * the *parallelism-starved fraction* (the verdict, when a taxonomy
+      is supplied): kernels whose scaling dies because the benchmark
+      itself offers too little work (``PARALLELISM_LIMITED``) or too
+      little runtime (``PLATEAU``). Inputs, not silicon, are the fix —
+      the paper's "new benchmarks or new inputs are warranted".
+    """
+
+    suite: str
+    kernel_count: int
+    median_useful_cus: float
+    mean_useful_cus: float
+    fraction_scaling_to_full: float
+    fraction_stalled_by_half: float
+    fraction_parallelism_starved: Optional[float] = None
+
+    @property
+    def scales_to_modern_gpus(self) -> bool:
+        """The paper's pass/fail question for a suite.
+
+        With a taxonomy available: a suite fails when a quarter or more
+        of its kernels are starved of work — results gathered with such
+        a suite systematically under-exercise a 44-CU device. Without a
+        taxonomy, fall back to the purely curve-based criterion (at
+        least half the kernels still gaining at full device size).
+        """
+        if self.fraction_parallelism_starved is not None:
+            return self.fraction_parallelism_starved < 0.25
+        return self.fraction_scaling_to_full >= 0.5
+
+
+def kernel_scalability(
+    dataset: ScalingDataset, kernel_name: str
+) -> KernelScalability:
+    """Useful-CU analysis of one kernel (clocks pinned at maximum)."""
+    slice_ = axis_slice(dataset, kernel_name, Axis.CU)
+    speedup = np.asarray(slice_.speedup)
+    peak = speedup.max()
+    useful_index = int(np.argmax(speedup >= USEFUL_THRESHOLD * peak))
+    cu_counts = dataset.space.cu_counts
+    return KernelScalability(
+        kernel_name=kernel_name,
+        useful_cus=int(cu_counts[useful_index]),
+        max_cus=int(cu_counts[-1]),
+        cu_gain=float(slice_.gain),
+    )
+
+
+def analyse_suite(
+    dataset: ScalingDataset,
+    suite: str,
+    taxonomy: Optional["TaxonomyResult"] = None,
+) -> SuiteScalability:
+    """Aggregate the scalability of one suite.
+
+    Pass the dataset's taxonomy to enable the parallelism-starved
+    verdict (recommended — see :class:`SuiteScalability`).
+    """
+    rows = dataset.rows_for_suite(suite)
+    if not rows:
+        raise AnalysisError(f"dataset has no kernels for suite {suite!r}")
+    records = [dataset.kernel_records[i] for i in rows]
+    per_kernel = [
+        kernel_scalability(dataset, record.full_name) for record in records
+    ]
+    useful = np.array([k.useful_cus for k in per_kernel], dtype=np.float64)
+    max_cus = per_kernel[0].max_cus
+
+    starved_fraction = None
+    if taxonomy is not None:
+        from repro.taxonomy.categories import TaxonomyCategory
+
+        starved_categories = (
+            TaxonomyCategory.PARALLELISM_LIMITED,
+            TaxonomyCategory.PLATEAU,
+        )
+        starved = sum(
+            1
+            for record in records
+            if taxonomy.label_for(record.full_name).category
+            in starved_categories
+        )
+        starved_fraction = starved / len(records)
+
+    return SuiteScalability(
+        suite=suite,
+        kernel_count=len(per_kernel),
+        median_useful_cus=float(np.median(useful)),
+        mean_useful_cus=float(useful.mean()),
+        fraction_scaling_to_full=float(
+            np.mean([k.scales_to_full_device for k in per_kernel])
+        ),
+        fraction_stalled_by_half=float(np.mean(useful <= max_cus / 2)),
+        fraction_parallelism_starved=starved_fraction,
+    )
+
+
+def analyse_all_suites(
+    dataset: ScalingDataset,
+    taxonomy: Optional["TaxonomyResult"] = None,
+) -> Dict[str, SuiteScalability]:
+    """Per-suite scalability for every suite in the dataset."""
+    return {
+        suite: analyse_suite(dataset, suite, taxonomy)
+        for suite in dataset.suites()
+    }
+
+
+def useful_cu_histogram(
+    dataset: ScalingDataset,
+) -> Dict[int, int]:
+    """How many kernels stop being helped at each CU setting."""
+    histogram: Dict[int, int] = {
+        int(c): 0 for c in dataset.space.cu_counts
+    }
+    for name in dataset.kernel_names:
+        histogram[kernel_scalability(dataset, name).useful_cus] += 1
+    return histogram
+
+
+def non_scaling_suites(
+    dataset: ScalingDataset,
+    taxonomy: Optional["TaxonomyResult"] = None,
+) -> List[str]:
+    """Suites failing the paper's modern-GPU scalability bar."""
+    return [
+        suite
+        for suite, result in analyse_all_suites(dataset, taxonomy).items()
+        if not result.scales_to_modern_gpus
+    ]

@@ -1,0 +1,287 @@
+"""Command-line interface.
+
+Usage (installed as ``gpuscale`` or via ``python -m repro.cli``)::
+
+    gpuscale catalog                    # suite/program/kernel inventory
+    gpuscale sweep --out data.npz       # collect the full dataset
+    gpuscale classify [--data data.npz] # taxonomy labels + histogram
+    gpuscale report [T3 F7 ...]         # regenerate tables/figures
+    gpuscale kernel rodinia/bfs.kernel1 # one kernel's scaling detail
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.report.experiments import (
+    EXPERIMENTS,
+    ExperimentContext,
+    run_experiment,
+)
+from repro.report.tables import render_table
+from repro.suites import all_suites
+from repro.sweep.dataset import ScalingDataset
+from repro.sweep.runner import collect_paper_dataset
+from repro.sweep.views import Axis, axis_slice
+from repro.taxonomy.classifier import classify
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    if args.programs:
+        for suite in all_suites():
+            if args.programs not in ("all", suite.name):
+                continue
+            print(f"{suite.name}: {suite.description}")
+            for program in suite.programs:
+                print(f"  {program.name} ({program.kernel_count} "
+                      f"kernels): {program.description.strip()}")
+            print()
+        return 0
+    rows = []
+    for suite in all_suites():
+        rows.append([suite.name, suite.program_count, suite.kernel_count])
+    rows.append(
+        ["total", sum(r[1] for r in rows), sum(r[2] for r in rows)]
+    )
+    print(render_table(["suite", "programs", "kernels"], rows))
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.predict.what_if import what_if
+    from repro.suites import kernel_by_name
+
+    kernel = kernel_by_name(args.kernel)
+    results = what_if(kernel)
+    rows = [
+        [r.scenario.name, r.scenario.description, r.speedup]
+        for r in results
+    ]
+    print(render_table(
+        ["optimisation", "description", "throughput gain"],
+        rows,
+        title=f"What-if playbook for {args.kernel} (flagship config)",
+    ))
+    return 0
+
+
+def _progress(done: int, total: int) -> None:
+    sys.stderr.write(f"\rsweeping kernels: {done}/{total}")
+    sys.stderr.flush()
+    if done == total:
+        sys.stderr.write("\n")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    dataset = collect_paper_dataset(progress=_progress)
+    path = dataset.save(args.out)
+    print(f"dataset written to {path}")
+    if args.csv:
+        csv_path = dataset.export_csv(args.csv)
+        print(f"CSV export written to {csv_path}")
+    return 0
+
+
+def _load_or_collect(data: Optional[str]) -> ScalingDataset:
+    if data:
+        return ScalingDataset.load(data)
+    return collect_paper_dataset(progress=_progress)
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    dataset = _load_or_collect(args.data)
+    result = classify(dataset)
+    rows = [
+        [cat.value, n] for cat, n in result.category_counts().items()
+    ]
+    print(render_table(["category", "kernels"], rows,
+                       title="Taxonomy classification"))
+    if args.verbose:
+        for label in result.labels:
+            behaviours = "/".join(b.value for b in label.behaviours)
+            print(f"{label.kernel_name:48s} {label.category.value:20s} "
+                  f"{behaviours}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    ids = [e.upper() for e in args.experiments] or sorted(EXPERIMENTS)
+    ctx = ExperimentContext()
+    if args.out:
+        from repro.report.artifacts import write_artifacts
+
+        written = write_artifacts(args.out, ids, ctx)
+        for experiment_id, path in written.items():
+            print(f"{experiment_id} -> {path}")
+        return 0
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, ctx)
+        print(result.text)
+        print()
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from repro.power import DvfsOptimizer, EnergyModel, Objective
+    from repro.suites import kernel_by_name
+
+    kernel = kernel_by_name(args.kernel)
+    energy_model = EnergyModel()
+    optimizer = DvfsOptimizer(energy_model)
+    objective = Objective(args.objective)
+    point = optimizer.optimise(kernel, objective,
+                               power_cap_w=args.power_cap)
+
+    from repro.sweep import PAPER_SPACE
+
+    flagship = energy_model.evaluate(kernel, PAPER_SPACE.max_config)
+    chosen = energy_model.evaluate(kernel, point.config)
+    print(f"kernel:            {kernel.full_name}")
+    print(f"objective:         {objective.value}"
+          + (f" (cap {args.power_cap} W)" if args.power_cap else ""))
+    print(f"operating point:   {point.config.label()}")
+    print(f"power:             {chosen.power_w:.1f} W "
+          f"(flagship {flagship.power_w:.1f} W)")
+    print(f"energy vs flagship: "
+          f"{100 * (1 - chosen.energy_j / flagship.energy_j):+.1f}% saved")
+    print(f"time vs flagship:   "
+          f"{100 * (chosen.time_s / flagship.time_s - 1):+.1f}%")
+    return 0
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    dataset = _load_or_collect(args.data)
+    result = classify(dataset)
+    label = result.label_for(args.kernel)
+    print(f"kernel:   {args.kernel}")
+    print(f"category: {label.category.value}")
+    for axis in Axis:
+        slice_ = axis_slice(dataset, args.kernel, axis)
+        behaviour = {
+            Axis.CU: label.cu_behaviour,
+            Axis.ENGINE: label.engine_behaviour,
+            Axis.MEMORY: label.memory_behaviour,
+        }[axis]
+        curve = " ".join(f"{v:.2f}" for v in slice_.speedup)
+        print(f"{axis.value:7s} [{behaviour.value:10s}] {curve}")
+
+    from repro.taxonomy.explain import explain_label
+
+    print()
+    print(explain_label(label))
+
+    from repro.gpu.counters import collect_counters
+    from repro.suites import kernel_by_name
+    from repro.sweep import PAPER_SPACE
+
+    counters = collect_counters(
+        kernel_by_name(args.kernel), PAPER_SPACE.max_config
+    )
+    print("\nflagship counters:")
+    print(f"  duration     {counters.duration_us:.1f} us")
+    print(f"  VALU busy    {100 * counters.valu_busy_fraction:.0f}%")
+    print(f"  GFLOP/s      {counters.achieved_gflops:.0f}")
+    print(f"  DRAM         {counters.achieved_dram_gbps:.1f} GB/s "
+          f"({100 * counters.dram_utilisation:.0f}% of peak)")
+    print(f"  L2 hit       {100 * counters.l2_hit_rate:.0f}%")
+    print(f"  occupancy    {counters.occupancy_waves} waves/CU "
+          f"(limited by {counters.occupancy_limiter})")
+    print(f"  bottleneck   {counters.bottleneck}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="gpuscale",
+        description=(
+            "Reproduction of 'A Taxonomy of GPGPU Performance Scaling' "
+            "(IISWC 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    catalog = sub.add_parser("catalog", help="print the suite inventory")
+    catalog.add_argument(
+        "--programs", nargs="?", const="all", default=None,
+        metavar="SUITE",
+        help="list programs with descriptions (optionally one suite)",
+    )
+
+    whatif = sub.add_parser(
+        "whatif",
+        help="rank standard optimisations for one kernel by payoff",
+    )
+    whatif.add_argument("kernel", help="suite/program.kernel identifier")
+
+    sweep = sub.add_parser("sweep", help="collect the full dataset")
+    sweep.add_argument("--out", default="scaling_dataset.npz",
+                       help="output .npz path")
+    sweep.add_argument("--csv", default=None,
+                       help="also export long-format CSV here")
+
+    classify_p = sub.add_parser("classify", help="run the taxonomy")
+    classify_p.add_argument("--data", default=None,
+                            help="saved dataset (.npz); sweeps if omitted")
+    classify_p.add_argument("-v", "--verbose", action="store_true",
+                            help="print every kernel's label")
+
+    report = sub.add_parser("report", help="regenerate tables/figures")
+    report.add_argument("experiments", nargs="*",
+                        help="experiment IDs (default: all)")
+    report.add_argument("--out", default=None,
+                        help="write Markdown+JSON artifacts to this "
+                        "directory instead of stdout")
+
+    sub.add_parser(
+        "summary",
+        help="the study's abstract-style summary with measured numbers",
+    )
+
+    energy = sub.add_parser(
+        "energy", help="energy-optimal operating point for one kernel"
+    )
+    energy.add_argument("kernel", help="suite/program.kernel identifier")
+    energy.add_argument("--objective", default="min_edp",
+                        choices=["min_energy", "min_edp", "max_perf"],
+                        help="DVFS objective (default: min_edp)")
+    energy.add_argument("--power-cap", type=float, default=None,
+                        help="board power cap in watts")
+
+    kernel = sub.add_parser("kernel", help="inspect one kernel")
+    kernel.add_argument("kernel", help="suite/program.kernel identifier")
+    kernel.add_argument("--data", default=None,
+                        help="saved dataset (.npz); sweeps if omitted")
+
+    return parser
+
+
+def _cmd_summary(_args: argparse.Namespace) -> int:
+    from repro.report.summary import study_summary
+
+    print(study_summary())
+    return 0
+
+
+_COMMANDS = {
+    "catalog": _cmd_catalog,
+    "sweep": _cmd_sweep,
+    "classify": _cmd_classify,
+    "report": _cmd_report,
+    "kernel": _cmd_kernel,
+    "energy": _cmd_energy,
+    "summary": _cmd_summary,
+    "whatif": _cmd_whatif,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the GPGPU scaling-taxonomy reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers embedding the library can catch a single base class. Subclasses
+partition failures by subsystem: hardware-model configuration, workload
+definition, sweep/dataset handling, and taxonomy classification.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid hardware configuration or configuration space.
+
+    Raised when a :class:`~repro.gpu.config.HardwareConfig` (or the sweep
+    grid built from them) violates a physical or product constraint,
+    e.g. zero compute units or a memory clock outside the supported
+    DVFS range.
+    """
+
+
+class WorkloadError(ReproError):
+    """An invalid kernel or launch-geometry definition.
+
+    Raised when :class:`~repro.kernels.characteristics.KernelCharacteristics`
+    or :class:`~repro.kernels.kernel.LaunchGeometry` contain values that
+    cannot describe a real kernel (negative operation counts, zero-sized
+    workgroups, occupancy-impossible resource usage, ...).
+    """
+
+
+class SuiteError(ReproError):
+    """A benchmark-suite catalog inconsistency.
+
+    Raised when a suite definition breaks catalog invariants such as
+    duplicate program names or an empty kernel list.
+    """
+
+
+class DatasetError(ReproError):
+    """A malformed or inconsistent scaling dataset.
+
+    Raised on shape mismatches between the performance tensor and its
+    kernel/configuration metadata, and on failed (de)serialisation.
+    """
+
+
+class ClassificationError(ReproError):
+    """A taxonomy-classification failure.
+
+    Raised when scaling features cannot be extracted (e.g. an axis slice
+    with fewer than two points) or a label cannot be derived.
+    """
+
+
+class AnalysisError(ReproError):
+    """An analysis-stage failure (regression, crossover, suite study)."""

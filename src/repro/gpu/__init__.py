@@ -1,0 +1,86 @@
+"""GCN-class GPU performance-model substrate.
+
+This subpackage replaces the paper's physical AMD FirePro W9100 testbed
+(see DESIGN.md for the substitution record). It models a configurable
+GPU — compute-unit count, engine clock, memory clock — with the
+bottleneck physics needed to reproduce every scaling class the paper
+catalogues.
+"""
+
+from repro.gpu.caches import CacheBehaviour, CacheModel
+from repro.gpu.config import HAWAII_UARCH, HardwareConfig, Microarchitecture
+from repro.gpu.counters import (
+    CounterReport,
+    collect_counters,
+    counters_from_result,
+)
+from repro.gpu.dispatch import DispatchPlan, plan_dispatch
+from repro.gpu.dvfs import (
+    CU_SETTINGS,
+    ENGINE_DOMAIN,
+    MEMORY_DOMAIN,
+    FrequencyDomain,
+    legal_cu_counts,
+    snap_cu_count,
+)
+from repro.gpu.event_sim import EventSimResult, EventSimulator
+from repro.gpu.interval_model import (
+    IntervalBreakdown,
+    IntervalModel,
+    KernelRunResult,
+)
+from repro.gpu.memory import MemoryModel, MemorySystemState
+from repro.gpu.occupancy import (
+    OccupancyResult,
+    compute_occupancy,
+    kernel_occupancy,
+)
+from repro.gpu.products import (
+    APU_LIKE,
+    BASE_CONFIG,
+    EMBEDDED,
+    MIDRANGE,
+    PRODUCTS,
+    W9100_LIKE,
+    product,
+)
+from repro.gpu.simulator import Engine, GpuSimulator, simulate
+
+__all__ = [
+    "APU_LIKE",
+    "BASE_CONFIG",
+    "CU_SETTINGS",
+    "CacheBehaviour",
+    "CacheModel",
+    "CounterReport",
+    "DispatchPlan",
+    "EMBEDDED",
+    "ENGINE_DOMAIN",
+    "Engine",
+    "EventSimResult",
+    "EventSimulator",
+    "FrequencyDomain",
+    "GpuSimulator",
+    "HAWAII_UARCH",
+    "HardwareConfig",
+    "IntervalBreakdown",
+    "IntervalModel",
+    "KernelRunResult",
+    "MEMORY_DOMAIN",
+    "MIDRANGE",
+    "MemoryModel",
+    "MemorySystemState",
+    "Microarchitecture",
+    "OccupancyResult",
+    "PRODUCTS",
+    "W9100_LIKE",
+    "collect_counters",
+    "compute_occupancy",
+    "counters_from_result",
+    "kernel_occupancy",
+    "legal_cu_counts",
+    "plan_dispatch",
+    "product",
+    "simulate",
+    "snap_cu_count",
+]

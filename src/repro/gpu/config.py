@@ -1,0 +1,207 @@
+"""Hardware configuration of the modelled GCN-class GPU.
+
+The IISWC'15 study swept three knobs on a single physical GPU:
+
+* **compute-unit count** — an 11x range (the abstract's "11x difference
+  in compute units"),
+* **engine (core) clock** — a 5x range,
+* **memory clock** — an 8.3x range of resulting DRAM bandwidth.
+
+:class:`HardwareConfig` captures one point of that space plus the fixed
+microarchitectural parameters (SIMD width, cache sizes, bus width) of
+the reference product, and exposes the derived peak capabilities the
+roofline-style analysis needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB, KIB, MIB
+
+
+@dataclass(frozen=True)
+class Microarchitecture:
+    """Fixed (non-swept) parameters of the modelled GPU.
+
+    Defaults describe a Hawaii-class (FirePro W9100-like) part: 4
+    16-lane SIMDs per CU, 16 KiB vector L1 per CU, 1 MiB shared L2,
+    64 KiB LDS per CU, and a 512-bit GDDR5 interface (quad-pumped).
+    """
+
+    simds_per_cu: int = 4
+    lanes_per_simd: int = 16
+    max_waves_per_simd: int = 10
+    max_workgroups_per_cu: int = 16
+    vgprs_per_simd: int = 256
+    sgprs_per_cu: int = 512
+    lds_bytes_per_cu: int = 64 * KIB
+    l1_bytes_per_cu: int = 16 * KIB
+    l2_bytes_total: int = 1 * MIB
+    l2_banks: int = 16
+    memory_bus_bits: int = 512
+    memory_data_rate: int = 4  # GDDR5 transfers per memory-clock cycle
+    l1_latency_cycles: int = 114
+    l2_latency_cycles: int = 190
+    dram_latency_cycles: int = 30  # interface serialisation, memory clock
+    dram_fixed_latency_ns: float = 150.0  # DRAM core timings + controller,
+    # fixed in wall-clock time (tRCD/tCAS/tRP do not scale with clocks)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "simds_per_cu",
+            "lanes_per_simd",
+            "max_waves_per_simd",
+            "max_workgroups_per_cu",
+            "vgprs_per_simd",
+            "sgprs_per_cu",
+            "lds_bytes_per_cu",
+            "l1_bytes_per_cu",
+            "l2_bytes_total",
+            "l2_banks",
+            "memory_bus_bits",
+            "memory_data_rate",
+            "l1_latency_cycles",
+            "l2_latency_cycles",
+            "dram_latency_cycles",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if self.dram_fixed_latency_ns < 0:
+            raise ConfigurationError("dram_fixed_latency_ns must be >= 0")
+
+    @property
+    def lanes_per_cu(self) -> int:
+        """Vector lanes per compute unit (64 on GCN)."""
+        return self.simds_per_cu * self.lanes_per_simd
+
+    @property
+    def max_waves_per_cu(self) -> int:
+        """Architectural wavefront-slot cap per CU (40 on GCN)."""
+        return self.simds_per_cu * self.max_waves_per_simd
+
+
+#: The reference microarchitecture used across the study.
+HAWAII_UARCH = Microarchitecture()
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """One point in the (CU count, engine clock, memory clock) space."""
+
+    cu_count: int
+    engine_mhz: float
+    memory_mhz: float
+    uarch: Microarchitecture = HAWAII_UARCH
+
+    def __post_init__(self) -> None:
+        if self.cu_count < 1:
+            raise ConfigurationError(
+                f"cu_count must be >= 1, got {self.cu_count}"
+            )
+        if self.engine_mhz <= 0:
+            raise ConfigurationError(
+                f"engine_mhz must be > 0, got {self.engine_mhz}"
+            )
+        if self.memory_mhz <= 0:
+            raise ConfigurationError(
+                f"memory_mhz must be > 0, got {self.memory_mhz}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived peak capabilities
+    # ------------------------------------------------------------------
+
+    @property
+    def engine_hz(self) -> float:
+        """Engine clock in Hz."""
+        return self.engine_mhz * 1e6
+
+    @property
+    def memory_hz(self) -> float:
+        """Memory clock in Hz."""
+        return self.memory_mhz * 1e6
+
+    @property
+    def peak_valu_lane_ops_per_sec(self) -> float:
+        """Peak vector-lane operations per second (single-op, not FMA)."""
+        return self.cu_count * self.uarch.lanes_per_cu * self.engine_hz
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak single-precision GFLOP/s counting FMA as two FLOPs."""
+        return 2.0 * self.peak_valu_lane_ops_per_sec / 1e9
+
+    @property
+    def peak_dram_bytes_per_sec(self) -> float:
+        """Peak DRAM bandwidth in bytes/second.
+
+        ``bus_bits/8`` bytes per transfer, ``memory_data_rate`` transfers
+        per memory-clock cycle (4 for GDDR5). At 1250 MHz on a 512-bit
+        bus this gives the W9100's datasheet 320 GB/s.
+        """
+        bytes_per_cycle = (
+            self.uarch.memory_bus_bits / 8 * self.uarch.memory_data_rate
+        )
+        return bytes_per_cycle * self.memory_hz
+
+    @property
+    def peak_dram_gb_per_sec(self) -> float:
+        """Peak DRAM bandwidth in decimal GB/s."""
+        return self.peak_dram_bytes_per_sec / GB
+
+    @property
+    def peak_l2_bytes_per_sec(self) -> float:
+        """Peak L2 bandwidth in bytes/second.
+
+        The L2 sits in the engine clock domain and moves 64 bytes per
+        bank per cycle — this is why cache-resident kernels scale with
+        *engine* frequency rather than memory frequency.
+        """
+        return self.uarch.l2_banks * 64 * self.engine_hz
+
+    @property
+    def peak_lds_bytes_per_sec(self) -> float:
+        """Aggregate LDS bandwidth in bytes/second (32 banks x 4 B/cycle)."""
+        return self.cu_count * 128 * self.engine_hz
+
+    @property
+    def machine_balance_flops_per_byte(self) -> float:
+        """Roofline ridge point: peak FLOPs per peak DRAM byte."""
+        return self.peak_gflops * 1e9 / self.peak_dram_bytes_per_sec
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def replace(self, **changes) -> "HardwareConfig":
+        """Return a copy with ``changes`` applied (validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def label(self) -> str:
+        """Short human-readable identifier, e.g. ``44cu_1000e_1250m``."""
+        return (
+            f"{self.cu_count}cu_{self.engine_mhz:g}e_{self.memory_mhz:g}m"
+        )
+
+    def to_dict(self) -> dict:
+        """Serialise the swept knobs (the uarch is implied by context)."""
+        return {
+            "cu_count": self.cu_count,
+            "engine_mhz": self.engine_mhz,
+            "memory_mhz": self.memory_mhz,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: dict, uarch: Microarchitecture = HAWAII_UARCH
+    ) -> "HardwareConfig":
+        """Reconstruct from :meth:`to_dict` output."""
+        return cls(
+            cu_count=int(payload["cu_count"]),
+            engine_mhz=float(payload["engine_mhz"]),
+            memory_mhz=float(payload["memory_mhz"]),
+            uarch=uarch,
+        )

@@ -1,0 +1,104 @@
+"""Profiler-style performance counters derived from a simulation.
+
+The original study interpreted its measurements through the usual
+vendor-profiler lens — VALU busy percentage, cache hit rates, achieved
+bandwidth, occupancy. :func:`collect_counters` derives that familiar
+counter set from a :class:`~repro.gpu.interval_model.KernelRunResult`,
+so downstream tooling (roofline placement, bottleneck reports, the
+``gpuscale kernel`` command) can speak profiler vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.gpu.config import HardwareConfig
+from repro.gpu.interval_model import IntervalModel, KernelRunResult
+from repro.kernels.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class CounterReport:
+    """The derived counter set for one kernel execution."""
+
+    kernel_name: str
+    config_label: str
+    duration_us: float
+    valu_busy_fraction: float
+    achieved_gflops: float
+    achieved_dram_gbps: float
+    dram_utilisation: float
+    l1_hit_rate: float
+    l2_hit_rate: float
+    occupancy_waves: int
+    occupancy_fraction: float
+    occupancy_limiter: str
+    active_cus: int
+    bottleneck: str
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten for tabular rendering."""
+        return {
+            "kernel": self.kernel_name,
+            "config": self.config_label,
+            "duration_us": self.duration_us,
+            "valu_busy": self.valu_busy_fraction,
+            "gflops": self.achieved_gflops,
+            "dram_gbps": self.achieved_dram_gbps,
+            "dram_util": self.dram_utilisation,
+            "l1_hit": self.l1_hit_rate,
+            "l2_hit": self.l2_hit_rate,
+            "waves_per_cu": self.occupancy_waves,
+            "occupancy": self.occupancy_fraction,
+            "limiter": self.occupancy_limiter,
+            "active_cus": self.active_cus,
+            "bottleneck": self.bottleneck,
+        }
+
+
+def counters_from_result(
+    kernel: Kernel, result: KernelRunResult
+) -> CounterReport:
+    """Derive the counter set from an existing simulation result."""
+    ch = kernel.characteristics
+    config = result.config
+    items = float(kernel.geometry.global_size)
+
+    total_flops = items * ch.valu_ops_per_item
+    achieved_gflops = total_flops / result.time_s / 1e9
+
+    dram_gbps = result.dram_bytes / result.time_s / 1e9
+    dram_utilisation = min(
+        1.0, dram_gbps * 1e9 / config.peak_dram_bytes_per_sec
+    )
+
+    valu_busy = min(1.0, result.breakdown.compute_s / result.time_s)
+
+    return CounterReport(
+        kernel_name=result.kernel_name,
+        config_label=config.label(),
+        duration_us=result.time_s * 1e6,
+        valu_busy_fraction=valu_busy,
+        achieved_gflops=achieved_gflops,
+        achieved_dram_gbps=dram_gbps,
+        dram_utilisation=dram_utilisation,
+        l1_hit_rate=ch.l1_reuse,
+        l2_hit_rate=result.l2_hit_rate,
+        occupancy_waves=result.occupancy.waves_per_cu,
+        occupancy_fraction=result.occupancy.occupancy_fraction,
+        occupancy_limiter=result.occupancy.limiter,
+        active_cus=result.dispatch.active_cus,
+        bottleneck=result.breakdown.bottleneck,
+    )
+
+
+def collect_counters(
+    kernel: Kernel,
+    config: HardwareConfig,
+    model: IntervalModel = None,
+) -> CounterReport:
+    """Simulate *kernel* at *config* and derive its counters."""
+    model = model or IntervalModel()
+    result = model.simulate(kernel, config)
+    return counters_from_result(kernel, result)

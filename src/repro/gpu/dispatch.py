@@ -1,0 +1,79 @@
+"""Workgroup dispatch model.
+
+The hardware workgroup dispatcher places workgroups onto compute units
+round-robin. Two of its properties shape CU-count scaling:
+
+* **Limited parallelism** — a launch with fewer workgroups than CUs
+  cannot use the extra CUs at all. Several classic benchmark kernels
+  (e.g. small diagonal waves in Needleman-Wunsch) launch single-digit
+  workgroup counts, which is the mechanism behind the paper's finding
+  that "a number of current benchmark suites do not scale to modern GPU
+  sizes".
+* **Tail quantisation** — execution proceeds in batches of
+  ``active_cus * workgroups_per_cu`` resident workgroups; a final
+  partial batch runs at low utilisation, producing stair-step CU
+  scaling curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpu.occupancy import OccupancyResult
+from repro.kernels.kernel import LaunchGeometry
+
+
+@dataclass(frozen=True)
+class DispatchPlan:
+    """How one launch spreads over the available CUs."""
+
+    num_workgroups: int
+    active_cus: int
+    resident_workgroups_per_cu: int
+    batches: int
+
+    @property
+    def resident_workgroups_total(self) -> int:
+        """Workgroups simultaneously resident on the device."""
+        return self.active_cus * self.resident_workgroups_per_cu
+
+    @property
+    def quantisation_factor(self) -> float:
+        """Execution-time inflation from the partial final batch.
+
+        The ideal (infinitely divisible) schedule takes
+        ``num_workgroups / resident`` batch-times, where ``resident``
+        is capped at the launch size (a device with spare workgroup
+        slots is not slower for having them); the real schedule takes
+        ``ceil`` of that. The ratio (>= 1) multiplies the
+        throughput-limited portion of the kernel's runtime.
+        """
+        resident = min(self.resident_workgroups_total, self.num_workgroups)
+        ideal_batches = self.num_workgroups / resident
+        return self.batches / ideal_batches
+
+    @property
+    def cu_utilisation(self) -> float:
+        """Fraction of provisioned CUs that ever receive work."""
+        return self.active_cus / max(self.active_cus, 1)
+
+
+def plan_dispatch(
+    geometry: LaunchGeometry,
+    occupancy: OccupancyResult,
+    cu_count: int,
+) -> DispatchPlan:
+    """Build the dispatch plan for one launch on *cu_count* CUs."""
+    if cu_count < 1:
+        raise ValueError(f"cu_count must be >= 1, got {cu_count}")
+    num_workgroups = geometry.num_workgroups
+    active_cus = min(cu_count, num_workgroups)
+    per_cu = occupancy.workgroups_per_cu
+    batches = math.ceil(num_workgroups / (active_cus * per_cu))
+    return DispatchPlan(
+        num_workgroups=num_workgroups,
+        active_cus=active_cus,
+        resident_workgroups_per_cu=per_cu,
+        batches=batches,
+    )

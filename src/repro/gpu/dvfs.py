@@ -1,0 +1,101 @@
+"""DVFS domains and the legal operating points of the study GPU.
+
+The study GPU exposes two independently re-clockable domains — the
+engine (shader core + caches) and the memory interface — plus firmware
+CU fusing. This module records the legal ranges used by the paper's
+sweep (a 5x engine-clock range, a memory-clock range giving 8.3x
+bandwidth, and CU counts spanning an 11x range) and provides helpers to
+snap arbitrary requests onto legal states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FrequencyDomain:
+    """One clock domain with a discrete set of legal states (MHz)."""
+
+    name: str
+    states_mhz: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.states_mhz:
+            raise ConfigurationError(f"domain {self.name!r} has no states")
+        if any(s <= 0 for s in self.states_mhz):
+            raise ConfigurationError(
+                f"domain {self.name!r} has a non-positive state"
+            )
+        if tuple(sorted(self.states_mhz)) != self.states_mhz:
+            raise ConfigurationError(
+                f"domain {self.name!r} states must be sorted ascending"
+            )
+        if len(set(self.states_mhz)) != len(self.states_mhz):
+            raise ConfigurationError(
+                f"domain {self.name!r} has duplicate states"
+            )
+
+    @property
+    def min_mhz(self) -> float:
+        """Lowest legal state."""
+        return self.states_mhz[0]
+
+    @property
+    def max_mhz(self) -> float:
+        """Highest legal state."""
+        return self.states_mhz[-1]
+
+    @property
+    def dynamic_range(self) -> float:
+        """Ratio of highest to lowest state."""
+        return self.max_mhz / self.min_mhz
+
+    def is_legal(self, mhz: float) -> bool:
+        """True when *mhz* is exactly one of the domain's states."""
+        return mhz in self.states_mhz
+
+    def snap(self, mhz: float) -> float:
+        """Nearest legal state to *mhz* (ties resolve downward)."""
+        if mhz <= 0:
+            raise ConfigurationError(f"cannot snap non-positive clock {mhz}")
+        return min(self.states_mhz, key=lambda s: (abs(s - mhz), s))
+
+    def floor(self, mhz: float) -> float:
+        """Highest legal state <= *mhz* (or the minimum state)."""
+        candidates = [s for s in self.states_mhz if s <= mhz]
+        return candidates[-1] if candidates else self.min_mhz
+
+
+def _evenly_spaced(low: float, high: float, count: int) -> Tuple[float, ...]:
+    """*count* evenly spaced clock states from *low* to *high*, in MHz."""
+    if count < 2:
+        raise ConfigurationError("a swept domain needs >= 2 states")
+    step = (high - low) / (count - 1)
+    return tuple(round(low + i * step, 3) for i in range(count))
+
+
+#: Engine clock: 9 states covering the paper's 5x range (200..1000 MHz).
+ENGINE_DOMAIN = FrequencyDomain("engine", _evenly_spaced(200.0, 1000.0, 9))
+
+#: Memory clock: 9 states covering the paper's 8.3x bandwidth range
+#: (150..1250 MHz on the 512-bit GDDR5 bus -> 38.4..320 GB/s, 8.33x).
+MEMORY_DOMAIN = FrequencyDomain("memory", _evenly_spaced(150.0, 1250.0, 9))
+
+#: CU fusing: 4..44 active CUs in steps of 4 (11 settings, 11x range).
+CU_SETTINGS: Tuple[int, ...] = tuple(range(4, 45, 4))
+
+
+def legal_cu_counts() -> Sequence[int]:
+    """The 11 CU-count settings the study sweeps."""
+    return CU_SETTINGS
+
+
+def snap_cu_count(cu_count: int) -> int:
+    """Nearest legal CU-fusing setting to *cu_count*."""
+    if cu_count < 1:
+        raise ConfigurationError(f"cu_count must be >= 1, got {cu_count}")
+    return min(CU_SETTINGS, key=lambda c: (abs(c - cu_count), c))

@@ -1,0 +1,274 @@
+"""Coarse-grained discrete-event simulator (workgroup granularity).
+
+The analytical :class:`~repro.gpu.interval_model.IntervalModel` assumes
+a perfectly balanced, steady-state machine. This engine relaxes that:
+it dispatches individual workgroups onto CU slots, recomputes shared-
+resource shares as residency changes, and injects deterministic
+per-workgroup imbalance. It exists to *cross-check* the analytical
+model's scaling shapes (the two engines must agree on the sign of every
+axis response — see ``tests/gpu/test_engine_agreement.py``), and to
+capture dynamic effects the interval model folds into constants:
+
+* dispatch imbalance and ragged tails,
+* residency-dependent DRAM shares during ramp-up/drain,
+* cold-cache warmup for the first workgroup wave on each CU.
+
+It is ~100x slower than the interval model, so the full 891-point sweep
+uses the analytical engine and the event engine validates samples.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.gpu.caches import CacheModel
+from repro.gpu.config import HardwareConfig
+from repro.gpu.dispatch import plan_dispatch
+from repro.gpu.interval_model import REQUEST_BYTES
+from repro.gpu.memory import MemoryModel
+from repro.gpu.occupancy import compute_occupancy
+from repro.kernels.kernel import Kernel
+from repro.units import us_to_seconds
+
+#: Relative amplitude of the deterministic per-workgroup imbalance.
+IMBALANCE_AMPLITUDE = 0.06
+
+#: Cold-cache inflation applied to each CU's first workgroup.
+WARMUP_FACTOR = 1.25
+
+
+def _imbalance(workgroup_index: int) -> float:
+    """Deterministic per-workgroup runtime multiplier in [1-a, 1+a].
+
+    A cheap integer hash spreads workgroup indices over the interval so
+    repeated runs are identical (no RNG) while adjacent workgroups
+    still differ.
+    """
+    h = (workgroup_index * 2654435761) & 0xFFFFFFFF
+    unit = h / 0xFFFFFFFF
+    return 1.0 + IMBALANCE_AMPLITUDE * (2.0 * unit - 1.0)
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One workgroup's execution record (timeline mode only)."""
+
+    workgroup: int
+    cu: int
+    start_s: float
+    finish_s: float
+
+    @property
+    def duration_s(self) -> float:
+        """Service time of this workgroup."""
+        return self.finish_s - self.start_s
+
+
+@dataclass(frozen=True)
+class EventSimResult:
+    """Outcome of one event-driven kernel simulation."""
+
+    kernel_name: str
+    config: HardwareConfig
+    time_s: float
+    global_size: int
+    workgroups_executed: int
+    timeline: Tuple[TimelineEntry, ...] = ()
+
+    @property
+    def items_per_second(self) -> float:
+        """Throughput in work-items per second."""
+        return self.global_size / self.time_s
+
+    def cu_mean_residency(self) -> List[float]:
+        """Per-CU mean resident-workgroup count (timeline mode only).
+
+        Each CU hosts several workgroups concurrently, so this is
+        workgroup-seconds over the makespan — e.g. 5.2 means the CU
+        averaged 5.2 resident workgroups.
+        """
+        if not self.timeline:
+            return []
+        makespan = max(entry.finish_s for entry in self.timeline)
+        cu_count = max(entry.cu for entry in self.timeline) + 1
+        load = [0.0] * cu_count
+        for entry in self.timeline:
+            load[entry.cu] += entry.duration_s
+        return [l / makespan for l in load]
+
+    def load_imbalance(self) -> float:
+        """Max-over-mean CU load (1.0 = perfectly balanced)."""
+        residency = self.cu_mean_residency()
+        if not residency:
+            return 1.0
+        mean = sum(residency) / len(residency)
+        return max(residency) / mean
+
+
+class EventSimulator:
+    """Workgroup-granularity discrete-event execution engine."""
+
+    def simulate(
+        self,
+        kernel: Kernel,
+        config: HardwareConfig,
+        record_timeline: bool = False,
+    ) -> EventSimResult:
+        """Simulate *kernel* on *config* workgroup by workgroup.
+
+        With *record_timeline*, the result carries one
+        :class:`TimelineEntry` per workgroup (start/finish/CU) — the
+        data a Gantt view or a load-balance analysis needs. Timeline
+        recording is O(workgroups) memory; leave it off for sweeps.
+        """
+        uarch = config.uarch
+        geometry = kernel.geometry
+        occupancy = compute_occupancy(geometry, kernel.resources, uarch)
+        dispatch = plan_dispatch(geometry, occupancy, config.cu_count)
+
+        num_wgs = geometry.num_workgroups
+        active_cus = dispatch.active_cus
+        slots_per_cu = occupancy.workgroups_per_cu
+
+        base_wg_time = self._steady_state_wg_time(
+            kernel, config, active_cus, slots_per_cu
+        )
+        serial_s = self._serial_time(kernel, config, active_cus)
+
+        # Event loop: a min-heap of workgroup completion times plus a
+        # per-CU free-slot count. Dispatch is greedy round-robin.
+        free_slots = [slots_per_cu] * active_cus
+        warm = [False] * active_cus
+        completions: List[tuple] = []  # (finish_time, cu_index)
+        timeline: List[TimelineEntry] = []
+        next_wg = 0
+        now = 0.0
+        last_finish = 0.0
+
+        def dispatch_onto(cu: int, when: float) -> None:
+            nonlocal next_wg
+            duration = base_wg_time * _imbalance(next_wg)
+            if not warm[cu]:
+                duration *= WARMUP_FACTOR
+                warm[cu] = True
+            heapq.heappush(completions, (when + duration, cu))
+            if record_timeline:
+                timeline.append(
+                    TimelineEntry(
+                        workgroup=next_wg,
+                        cu=cu,
+                        start_s=when,
+                        finish_s=when + duration,
+                    )
+                )
+            free_slots[cu] -= 1
+            next_wg += 1
+
+        # Initial fill.
+        for cu in range(active_cus):
+            while free_slots[cu] > 0 and next_wg < num_wgs:
+                dispatch_onto(cu, now)
+
+        while completions:
+            now, cu = heapq.heappop(completions)
+            last_finish = now
+            free_slots[cu] += 1
+            if next_wg < num_wgs:
+                dispatch_onto(cu, now)
+
+        launch_s = us_to_seconds(kernel.characteristics.launch_overhead_us)
+        total_s = launch_s + last_finish + serial_s
+        return EventSimResult(
+            kernel_name=kernel.full_name,
+            config=config,
+            time_s=total_s,
+            global_size=geometry.global_size,
+            workgroups_executed=num_wgs,
+            timeline=tuple(timeline),
+        )
+
+    # ------------------------------------------------------------------
+    # Per-workgroup steady-state service time
+    # ------------------------------------------------------------------
+
+    def _steady_state_wg_time(
+        self, kernel: Kernel, config: HardwareConfig,
+        active_cus: int, slots_per_cu: int,
+    ) -> float:
+        """Service time of one workgroup at full residency.
+
+        Shared resources (DRAM, L2) are divided among all resident
+        workgroups; per-CU resources (lanes, LDS) among the CU's own
+        residents. The per-workgroup bottleneck rule mirrors the
+        interval model so the engines share physics and differ only in
+        schedule dynamics.
+        """
+        ch = kernel.characteristics
+        geometry = kernel.geometry
+        uarch = config.uarch
+        items_per_wg = geometry.workgroup_size
+        resident_total = active_cus * slots_per_cu
+
+        caches = CacheModel(uarch).behaviour(kernel, active_cus, slots_per_cu)
+        memory = MemoryModel(config)
+
+        lane_ops = items_per_wg * ch.valu_ops_per_item / ch.simd_efficiency
+        lane_share = uarch.lanes_per_cu * config.engine_hz / slots_per_cu
+        compute_s = lane_ops / lane_share
+
+        lds_bytes = items_per_wg * ch.lds_bytes_per_item
+        lds_share = 128.0 * config.engine_hz / slots_per_cu
+        lds_s = lds_bytes / lds_share if lds_bytes else 0.0
+
+        issued = items_per_wg * ch.global_bytes_per_item
+        l2_bytes = issued * (1.0 - caches.l1_hit_rate)
+        dram_bytes = issued * caches.dram_fraction
+        l2_share = config.peak_l2_bytes_per_sec / resident_total
+        l2_s = l2_bytes / l2_share if l2_bytes else 0.0
+
+        achieved_bw = memory.state(
+            ch.coalescing_efficiency, ch.row_locality_sensitivity, active_cus
+        ).achieved_bytes_per_sec
+        waves_per_wg = geometry.waves_per_workgroup
+        little_bw = (
+            resident_total
+            * waves_per_wg
+            * ch.memory_parallelism
+            * REQUEST_BYTES
+            / memory.unloaded_miss_latency_s()
+        )
+        bw_share = min(achieved_bw, little_bw) / resident_total
+        dram_s = dram_bytes / bw_share if dram_bytes else 0.0
+
+        latency_s = 0.0
+        if ch.dependent_access_fraction > 0.0 and l2_bytes > 0.0:
+            requests = l2_bytes / REQUEST_BYTES
+            dependent = requests * ch.dependent_access_fraction
+            miss_fraction = dram_bytes / l2_bytes
+            mean_latency = (
+                miss_fraction * memory.loaded_miss_latency_s(0.5)
+                + (1.0 - miss_fraction)
+                * uarch.l2_latency_cycles
+                / config.engine_hz
+            )
+            latency_s = dependent * mean_latency / waves_per_wg
+
+        barrier_s = (
+            ch.barriers_per_workgroup * 128.0 / config.engine_hz
+        )
+        return max(compute_s, lds_s, l2_s, dram_s, latency_s) + barrier_s
+
+    @staticmethod
+    def _serial_time(
+        kernel: Kernel, config: HardwareConfig, active_cus: int
+    ) -> float:
+        """Globally serialised atomic time (identical to interval model)."""
+        ch = kernel.characteristics
+        if ch.atomic_ops_per_item == 0.0 or ch.atomic_contention == 0.0:
+            return 0.0
+        items = float(kernel.geometry.global_size)
+        serialised = items * ch.atomic_ops_per_item * ch.atomic_contention
+        growth = 1.0 + 0.6 * ch.atomic_contention * (active_cus - 1) / 43.0
+        return serialised * 190.0 * growth / config.engine_hz

@@ -1,0 +1,58 @@
+"""Alternative hardware families.
+
+The paper emulates the "small, embedded designs to large, high-powered
+discrete cards" span by fusing down one discrete GPU. A natural
+question it leaves open is whether the taxonomy *transfers*: is a
+kernel that is bandwidth-bound on the discrete card also bandwidth-
+bound on an APU whose machine balance is entirely different? This
+module defines a Kaveri-class APU family (shared DDR3 memory: ~7x less
+bandwidth, smaller L2, fewer CUs) and the sweep grid for it, feeding
+the portability experiment in
+``benchmarks/test_extension_portability.py``.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.config import HardwareConfig, Microarchitecture
+from repro.sweep.space import ConfigurationSpace
+from repro.units import KIB, MIB
+
+#: Kaveri-class APU: 8 CUs, 512 KiB L2, 128-bit DDR3-2133 (dual
+#: channel, double data rate -> ~34 GB/s at the top memory state).
+KAVERI_UARCH = Microarchitecture(
+    l2_bytes_total=512 * KIB,
+    l2_banks=4,
+    memory_bus_bits=128,
+    memory_data_rate=2,
+    dram_fixed_latency_ns=120.0,
+)
+
+#: The APU's flagship operating point (A10-7850K-like).
+KAVERI_FLAGSHIP = HardwareConfig(
+    cu_count=8, engine_mhz=720.0, memory_mhz=1066.0, uarch=KAVERI_UARCH
+)
+
+#: Sweep grid for the APU family: 4 CU settings x 7 engine states x 7
+#: memory states = 196 configurations, with knob ranges in the same
+#: spirit as the paper's (4x CU, 3.6x engine, 5.3x bandwidth).
+APU_SPACE = ConfigurationSpace(
+    cu_counts=(2, 4, 6, 8),
+    engine_mhz=(200.0, 300.0, 400.0, 500.0, 600.0, 660.0, 720.0),
+    memory_mhz=(200.0, 333.0, 467.0, 600.0, 733.0, 900.0, 1066.0),
+    uarch=KAVERI_UARCH,
+)
+
+
+def apu_balance_vs_discrete() -> float:
+    """Machine-balance ratio (APU over discrete flagship).
+
+    Shared DDR3 cuts bandwidth by ~9x while compute only falls ~8x, so
+    the APU's FLOP-per-byte ridge sits *higher*: kernels migrate toward
+    bandwidth-bound when they move from the discrete card to the APU.
+    """
+    from repro.gpu.products import W9100_LIKE
+
+    return (
+        KAVERI_FLAGSHIP.machine_balance_flops_per_byte
+        / W9100_LIKE.machine_balance_flops_per_byte
+    )

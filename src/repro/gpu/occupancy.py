@@ -1,0 +1,134 @@
+"""GCN wavefront-occupancy calculator.
+
+Occupancy — how many wavefronts a compute unit can keep resident —
+determines how much memory latency the machine can hide. It is limited
+by whichever resource runs out first:
+
+* architectural wave slots (10 per SIMD, 40 per CU),
+* vector registers (256 VGPRs per SIMD, shared by its resident waves),
+* scalar registers,
+* LDS (64 KiB per CU, allocated per *workgroup*),
+* the per-CU workgroup cap (16 on GCN).
+
+The calculator mirrors the vendor occupancy rules closely enough that
+register- or LDS-heavy kernels in the suite catalog land at realistic
+occupancies, which in turn shapes their latency-hiding and therefore
+their frequency/bandwidth plateaus.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.gpu.config import Microarchitecture
+from repro.kernels.kernel import Kernel, LaunchGeometry, ResourceUsage
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Occupancy of one kernel on one CU, with the limiting resource."""
+
+    waves_per_cu: int
+    workgroups_per_cu: int
+    limiter: str
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """Waves resident relative to the 40-wave architectural cap."""
+        return self.waves_per_cu / 40.0
+
+
+def waves_limited_by_vgprs(vgprs: int, uarch: Microarchitecture) -> int:
+    """Waves per SIMD permitted by vector-register pressure.
+
+    GCN allocates VGPRs in granules of 4; a wave using ``v`` registers
+    allows ``floor(256 / ceil4(v))`` resident waves on its SIMD, capped
+    at the architectural 10.
+    """
+    granule = 4
+    allocated = math.ceil(vgprs / granule) * granule
+    return min(uarch.max_waves_per_simd, uarch.vgprs_per_simd // allocated)
+
+
+def waves_limited_by_sgprs(sgprs: int, uarch: Microarchitecture) -> int:
+    """Waves per SIMD permitted by scalar-register pressure.
+
+    SGPRs allocate in granules of 8 from a per-SIMD pool of 512
+    (``sgprs_per_cu`` names the per-SIMD pool for simplicity).
+    """
+    granule = 8
+    allocated = math.ceil(sgprs / granule) * granule
+    return min(uarch.max_waves_per_simd, uarch.sgprs_per_cu // allocated)
+
+
+def workgroups_limited_by_lds(
+    lds_bytes_per_workgroup: int, uarch: Microarchitecture
+) -> int:
+    """Workgroups per CU permitted by LDS capacity.
+
+    A workgroup using no LDS is only bounded by the architectural
+    workgroup cap.
+    """
+    if lds_bytes_per_workgroup == 0:
+        return uarch.max_workgroups_per_cu
+    if lds_bytes_per_workgroup > uarch.lds_bytes_per_cu:
+        raise WorkloadError(
+            f"workgroup LDS usage {lds_bytes_per_workgroup} exceeds the "
+            f"{uarch.lds_bytes_per_cu}-byte CU capacity"
+        )
+    return min(
+        uarch.max_workgroups_per_cu,
+        uarch.lds_bytes_per_cu // lds_bytes_per_workgroup,
+    )
+
+
+def compute_occupancy(
+    geometry: LaunchGeometry,
+    resources: ResourceUsage,
+    uarch: Microarchitecture,
+) -> OccupancyResult:
+    """Resident waves/workgroups per CU and the binding resource.
+
+    The result accounts for workgroup granularity: waves from one
+    workgroup must be co-resident, so the final wave count is
+    ``workgroups_per_cu * waves_per_workgroup``.
+    """
+    waves_per_wg = geometry.waves_per_workgroup
+
+    # Ordered so that on ties the architectural caps are reported as
+    # the limiter rather than a resource that is not actually in use
+    # (``min`` keeps the first of equal values).
+    limits = {
+        "wave_slots": uarch.max_waves_per_cu,
+        "workgroup_slots": uarch.max_workgroups_per_cu * waves_per_wg,
+        "vgpr": waves_limited_by_vgprs(resources.vgprs, uarch)
+        * uarch.simds_per_cu,
+        "sgpr": waves_limited_by_sgprs(resources.sgprs, uarch)
+        * uarch.simds_per_cu,
+        "lds": workgroups_limited_by_lds(
+            resources.lds_bytes_per_workgroup, uarch
+        )
+        * waves_per_wg,
+    }
+
+    limiter = min(limits, key=limits.__getitem__)
+    wave_cap = limits[limiter]
+
+    # Round down to whole workgroups; a CU must host at least one
+    # workgroup (GCN guarantees forward progress for any legal launch).
+    workgroups = max(1, wave_cap // waves_per_wg)
+    workgroups = min(workgroups, uarch.max_workgroups_per_cu)
+    waves = workgroups * waves_per_wg
+
+    return OccupancyResult(
+        waves_per_cu=waves, workgroups_per_cu=workgroups, limiter=limiter
+    )
+
+
+def kernel_occupancy(
+    kernel: Kernel, uarch: Microarchitecture
+) -> OccupancyResult:
+    """Convenience wrapper taking a :class:`~repro.kernels.kernel.Kernel`."""
+    return compute_occupancy(kernel.geometry, kernel.resources, uarch)

@@ -1,0 +1,54 @@
+"""Reference product descriptions.
+
+The paper frames its sweep as spanning "small, embedded designs to
+large, high-powered discrete cards" by fusing CUs and re-clocking one
+physical Hawaii-class GPU. These presets name the interesting corners
+of that space so examples and tests can speak in product terms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.gpu.config import HardwareConfig
+from repro.gpu.dvfs import ENGINE_DOMAIN, MEMORY_DOMAIN
+
+#: Full-size discrete card (FirePro W9100-like): 44 CUs, max clocks.
+W9100_LIKE = HardwareConfig(cu_count=44, engine_mhz=1000.0, memory_mhz=1250.0)
+
+#: Mid-range discrete configuration: half the CUs, high clocks.
+MIDRANGE = HardwareConfig(cu_count=24, engine_mhz=900.0, memory_mhz=1112.5)
+
+#: APU-like configuration: few CUs, modest clocks, thin memory.
+APU_LIKE = HardwareConfig(cu_count=8, engine_mhz=600.0, memory_mhz=425.0)
+
+#: Embedded corner: the smallest point of the swept space.
+EMBEDDED = HardwareConfig(
+    cu_count=4,
+    engine_mhz=ENGINE_DOMAIN.min_mhz,
+    memory_mhz=MEMORY_DOMAIN.min_mhz,
+)
+
+#: The base (reference) configuration scaling curves are normalised to.
+BASE_CONFIG = EMBEDDED
+
+#: All presets by name, for CLI/examples lookup.
+PRODUCTS: Dict[str, HardwareConfig] = {
+    "w9100": W9100_LIKE,
+    "midrange": MIDRANGE,
+    "apu": APU_LIKE,
+    "embedded": EMBEDDED,
+}
+
+
+def product(name: str) -> HardwareConfig:
+    """Look up a preset by name (case-insensitive).
+
+    Raises ``KeyError`` with the available names when unknown.
+    """
+    key = name.lower()
+    if key not in PRODUCTS:
+        raise KeyError(
+            f"unknown product {name!r}; available: {sorted(PRODUCTS)}"
+        )
+    return PRODUCTS[key]

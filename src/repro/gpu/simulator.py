@@ -1,0 +1,70 @@
+"""Public simulation facade.
+
+:class:`GpuSimulator` hides the choice of timing engine behind one
+``simulate`` call. The analytical interval engine is the default (fast
+enough for the full 267-kernel x 891-configuration sweep); the
+discrete-event engine provides an independent cross-check of scaling
+shapes.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Union
+
+from repro.errors import ConfigurationError
+from repro.gpu.config import HardwareConfig
+from repro.gpu.event_sim import EventSimResult, EventSimulator
+from repro.gpu.interval_model import IntervalModel, KernelRunResult
+from repro.kernels.kernel import Kernel
+
+SimulationResult = Union[KernelRunResult, EventSimResult]
+
+
+class Engine(Enum):
+    """Available timing engines."""
+
+    INTERVAL = "interval"
+    EVENT = "event"
+
+
+class GpuSimulator:
+    """Simulate kernels on configurable GCN-class hardware."""
+
+    def __init__(self, engine: Engine = Engine.INTERVAL):
+        self._engine = engine
+        self._interval = IntervalModel()
+        self._event = EventSimulator()
+
+    @property
+    def engine(self) -> Engine:
+        """The engine this simulator dispatches to."""
+        return self._engine
+
+    def simulate(
+        self, kernel: Kernel, config: HardwareConfig
+    ) -> SimulationResult:
+        """Run *kernel* at *config* and return a result with ``time_s``
+        and ``items_per_second``."""
+        if self._engine is Engine.INTERVAL:
+            return self._interval.simulate(kernel, config)
+        if self._engine is Engine.EVENT:
+            return self._event.simulate(kernel, config)
+        raise ConfigurationError(f"unknown engine {self._engine!r}")
+
+    def time_s(self, kernel: Kernel, config: HardwareConfig) -> float:
+        """Execution time in seconds (convenience)."""
+        return self.simulate(kernel, config).time_s
+
+    def performance(self, kernel: Kernel, config: HardwareConfig) -> float:
+        """Throughput in work-items/second (the sweep's metric)."""
+        return self.simulate(kernel, config).items_per_second
+
+
+def simulate(
+    kernel: Kernel,
+    config: HardwareConfig,
+    engine: Engine = Engine.INTERVAL,
+) -> SimulationResult:
+    """Module-level convenience wrapper around :class:`GpuSimulator`."""
+    return GpuSimulator(engine).simulate(kernel, config)

@@ -1,0 +1,49 @@
+"""Workload representation: kernel characteristics, launch geometry,
+and the scaling-behaviour archetype constructors."""
+
+from repro.kernels.archetypes import (
+    ARCHETYPE_BUILDERS,
+    atomic_kernel,
+    balanced_kernel,
+    build_archetype,
+    cache_resident_kernel,
+    compute_kernel,
+    divergent_kernel,
+    latency_kernel,
+    lds_kernel,
+    limited_parallelism_kernel,
+    streaming_kernel,
+    thrashing_kernel,
+    tiny_kernel,
+)
+from repro.kernels.characteristics import KernelCharacteristics
+from repro.kernels.workload import KernelInvocation, ProgramProfile
+from repro.kernels.kernel import (
+    WAVEFRONT_SIZE,
+    Kernel,
+    LaunchGeometry,
+    ResourceUsage,
+)
+
+__all__ = [
+    "ARCHETYPE_BUILDERS",
+    "Kernel",
+    "KernelInvocation",
+    "KernelCharacteristics",
+    "LaunchGeometry",
+    "ProgramProfile",
+    "ResourceUsage",
+    "WAVEFRONT_SIZE",
+    "atomic_kernel",
+    "balanced_kernel",
+    "build_archetype",
+    "cache_resident_kernel",
+    "compute_kernel",
+    "divergent_kernel",
+    "latency_kernel",
+    "lds_kernel",
+    "limited_parallelism_kernel",
+    "streaming_kernel",
+    "thrashing_kernel",
+    "tiny_kernel",
+]

@@ -1,0 +1,462 @@
+"""Constructors for the scaling-behaviour archetypes.
+
+The paper's taxonomy names recurring scaling shapes; each function here
+builds a :class:`~repro.kernels.kernel.Kernel` whose characteristics
+mechanistically produce one of those shapes on the modelled GPU:
+
+* :func:`compute_kernel` — arithmetic intensity far above the machine
+  balance point: performance tracks CU count x engine clock.
+* :func:`streaming_kernel` — low intensity, well-coalesced streams:
+  performance tracks memory bandwidth once enough CUs are active.
+* :func:`balanced_kernel` — intensity near the balance point: both
+  clock knobs matter, with a visible crossover.
+* :func:`cache_resident_kernel` — footprint inside the L2: scales with
+  engine clock (the L2 clock domain), flat in memory clock.
+* :func:`latency_kernel` — dependence chains + low occupancy: saturates
+  early on both clock axes (the paper's plateau class).
+* :func:`limited_parallelism_kernel` — too few workgroups to fill the
+  device: flat beyond a small CU count.
+* :func:`thrashing_kernel` — per-workgroup private footprints that
+  overflow the L2 as CUs are added: performance *falls* at high CU
+  counts (the paper's inverse class).
+* :func:`atomic_kernel` — contended global atomics: serialisation grows
+  with concurrency, another inverse/flat-CU mechanism.
+* :func:`divergent_kernel`, :func:`lds_kernel`, :func:`tiny_kernel` —
+  secondary behaviours (branch divergence, LDS-bound stencils,
+  launch-overhead-dominated microkernels).
+
+Suite modules layer realistic names and per-kernel parameter tweaks on
+top of these constructors; every parameter can be overridden.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernels.characteristics import KernelCharacteristics
+from repro.kernels.kernel import Kernel, LaunchGeometry, ResourceUsage
+
+#: Default launch: 1 Mi work-items in 256-wide workgroups (4096 WGs).
+DEFAULT_GLOBAL = 1 << 20
+DEFAULT_WG = 256
+
+
+
+def _merged(overrides: dict, **defaults) -> KernelCharacteristics:
+    """Build characteristics from archetype *defaults*, letting caller
+    *overrides* win on conflicts (so suites can retune any field)."""
+    params = dict(defaults)
+    params.update(overrides)
+    return KernelCharacteristics(**params)
+
+def _build(
+    program: str,
+    name: str,
+    characteristics: KernelCharacteristics,
+    global_size: int,
+    workgroup_size: int,
+    vgprs: int,
+    sgprs: int,
+    lds_bytes: int,
+    suite: str,
+) -> Kernel:
+    return Kernel(
+        program=program,
+        name=name,
+        suite=suite,
+        characteristics=characteristics,
+        geometry=LaunchGeometry(
+            global_size=global_size, workgroup_size=workgroup_size
+        ),
+        resources=ResourceUsage(
+            vgprs=vgprs, sgprs=sgprs, lds_bytes_per_workgroup=lds_bytes
+        ),
+    )
+
+
+def compute_kernel(
+    program: str,
+    name: str = "main",
+    suite: str = "",
+    valu_ops: float = 2400.0,
+    load_bytes: float = 16.0,
+    store_bytes: float = 4.0,
+    global_size: int = DEFAULT_GLOBAL,
+    workgroup_size: int = DEFAULT_WG,
+    vgprs: int = 40,
+    simd_efficiency: float = 1.0,
+    **overrides,
+) -> Kernel:
+    """Arithmetic-heavy kernel (dense math, crypto, n-body forces)."""
+    ch = _merged(
+        overrides,
+        valu_ops_per_item=valu_ops,
+        global_load_bytes_per_item=load_bytes,
+        global_store_bytes_per_item=store_bytes,
+        salu_ops_per_item=valu_ops * 0.04,
+        l1_reuse=0.3,
+        l2_reuse=0.5,
+        coalescing_efficiency=0.9,
+        simd_efficiency=simd_efficiency,
+        memory_parallelism=6.0,
+    )
+    return _build(
+        program, name, ch, global_size, workgroup_size, vgprs, 32, 0, suite
+    )
+
+
+def streaming_kernel(
+    program: str,
+    name: str = "main",
+    suite: str = "",
+    valu_ops: float = 80.0,
+    load_bytes: float = 24.0,
+    store_bytes: float = 8.0,
+    footprint_mib: float = 256.0,
+    coalescing: float = 0.9,
+    global_size: int = DEFAULT_GLOBAL * 4,
+    workgroup_size: int = DEFAULT_WG,
+    **overrides,
+) -> Kernel:
+    """Bandwidth-bound streaming kernel (SAXPY, copy, histogram read)."""
+    ch = _merged(
+        overrides,
+        valu_ops_per_item=valu_ops,
+        global_load_bytes_per_item=load_bytes,
+        global_store_bytes_per_item=store_bytes,
+        salu_ops_per_item=valu_ops * 0.05,
+        l1_reuse=0.1,
+        l2_reuse=0.15,
+        footprint_bytes=footprint_mib * 1024 * 1024,
+        coalescing_efficiency=coalescing,
+        memory_parallelism=8.0,
+    )
+    return _build(
+        program, name, ch, global_size, workgroup_size, 28, 24, 0, suite
+    )
+
+
+def balanced_kernel(
+    program: str,
+    name: str = "main",
+    suite: str = "",
+    valu_ops: float = 600.0,
+    load_bytes: float = 40.0,
+    store_bytes: float = 8.0,
+    global_size: int = DEFAULT_GLOBAL * 2,
+    workgroup_size: int = DEFAULT_WG,
+    **overrides,
+) -> Kernel:
+    """Kernel near the machine balance point: both knobs matter."""
+    ch = _merged(
+        overrides,
+        valu_ops_per_item=valu_ops,
+        global_load_bytes_per_item=load_bytes,
+        global_store_bytes_per_item=store_bytes,
+        salu_ops_per_item=valu_ops * 0.05,
+        l1_reuse=0.35,
+        l2_reuse=0.3,
+        footprint_bytes=128 * 1024 * 1024,
+        coalescing_efficiency=0.85,
+        memory_parallelism=6.0,
+    )
+    return _build(
+        program, name, ch, global_size, workgroup_size, 36, 32, 0, suite
+    )
+
+
+def cache_resident_kernel(
+    program: str,
+    name: str = "main",
+    suite: str = "",
+    valu_ops: float = 150.0,
+    load_bytes: float = 48.0,
+    footprint_kib: float = 640.0,
+    global_size: int = DEFAULT_GLOBAL,
+    workgroup_size: int = DEFAULT_WG,
+    **overrides,
+) -> Kernel:
+    """Small-footprint kernel served from the L2 (lookup tables, small
+    matrices): scales with engine clock, indifferent to memory clock."""
+    ch = _merged(
+        overrides,
+        valu_ops_per_item=valu_ops,
+        global_load_bytes_per_item=load_bytes,
+        global_store_bytes_per_item=4.0,
+        l1_reuse=0.4,
+        l2_reuse=0.95,
+        footprint_bytes=footprint_kib * 1024,
+        shared_footprint=1.0,
+        coalescing_efficiency=0.8,
+        memory_parallelism=6.0,
+    )
+    return _build(
+        program, name, ch, global_size, workgroup_size, 32, 24, 0, suite
+    )
+
+
+def latency_kernel(
+    program: str,
+    name: str = "main",
+    suite: str = "",
+    valu_ops: float = 60.0,
+    load_bytes: float = 48.0,
+    dependent_fraction: float = 0.85,
+    vgprs: int = 128,
+    global_size: int = DEFAULT_GLOBAL // 4,
+    workgroup_size: int = DEFAULT_WG,
+    **overrides,
+) -> Kernel:
+    """Pointer-chasing kernel (graph/tree walks): exposed-latency bound,
+    plateauing as both clocks rise (the fixed DRAM latency remains)."""
+    ch = _merged(
+        overrides,
+        valu_ops_per_item=valu_ops,
+        global_load_bytes_per_item=load_bytes,
+        global_store_bytes_per_item=4.0,
+        l1_reuse=0.05,
+        l2_reuse=0.2,
+        footprint_bytes=512 * 1024 * 1024,
+        coalescing_efficiency=0.25,
+        simd_efficiency=0.7,
+        memory_parallelism=1.5,
+        dependent_access_fraction=dependent_fraction,
+    )
+    return _build(
+        program, name, ch, global_size, workgroup_size, vgprs, 40, 0, suite
+    )
+
+
+def limited_parallelism_kernel(
+    program: str,
+    name: str = "main",
+    suite: str = "",
+    num_workgroups: int = 8,
+    workgroup_size: int = DEFAULT_WG,
+    valu_ops: float = 900.0,
+    load_bytes: float = 24.0,
+    **overrides,
+) -> Kernel:
+    """Launch too small to fill the device: flat past a few CUs.
+
+    This is the mechanism behind the paper's benchmark-suite critique —
+    inputs sized for older, smaller GPUs leave modern devices idle.
+    """
+    ch = _merged(
+        overrides,
+        valu_ops_per_item=valu_ops,
+        global_load_bytes_per_item=load_bytes,
+        global_store_bytes_per_item=8.0,
+        l1_reuse=0.3,
+        l2_reuse=0.5,
+        footprint_bytes=8 * 1024 * 1024,
+        coalescing_efficiency=0.8,
+        memory_parallelism=4.0,
+    )
+    return _build(
+        program,
+        name,
+        ch,
+        num_workgroups * workgroup_size,
+        workgroup_size,
+        40,
+        32,
+        0,
+        suite,
+    )
+
+
+def thrashing_kernel(
+    program: str,
+    name: str = "main",
+    suite: str = "",
+    valu_ops: float = 90.0,
+    load_bytes: float = 48.0,
+    footprint_mib: float = 24.0,
+    l2_reuse: float = 0.9,
+    row_sensitivity: float = 0.8,
+    global_size: int = DEFAULT_GLOBAL,
+    workgroup_size: int = DEFAULT_WG,
+    **overrides,
+) -> Kernel:
+    """Cache-fitting reuse per workgroup that collapses as concurrent
+    private footprints overflow the shared L2: the inverse-CU class."""
+    ch = _merged(
+        overrides,
+        valu_ops_per_item=valu_ops,
+        global_load_bytes_per_item=load_bytes,
+        global_store_bytes_per_item=8.0,
+        l1_reuse=0.1,
+        l2_reuse=l2_reuse,
+        footprint_bytes=footprint_mib * 1024 * 1024,
+        shared_footprint=0.0,
+        coalescing_efficiency=0.6,
+        row_locality_sensitivity=row_sensitivity,
+        memory_parallelism=6.0,
+    )
+    return _build(
+        program, name, ch, global_size, workgroup_size, 36, 32, 0, suite
+    )
+
+
+def atomic_kernel(
+    program: str,
+    name: str = "main",
+    suite: str = "",
+    valu_ops: float = 120.0,
+    load_bytes: float = 16.0,
+    atomic_ops: float = 1.0,
+    contention: float = 0.25,
+    global_size: int = DEFAULT_GLOBAL,
+    workgroup_size: int = DEFAULT_WG,
+    **overrides,
+) -> Kernel:
+    """Reduction/histogram-style kernel with contended global atomics."""
+    ch = _merged(
+        overrides,
+        valu_ops_per_item=valu_ops,
+        global_load_bytes_per_item=load_bytes,
+        global_store_bytes_per_item=4.0,
+        l1_reuse=0.2,
+        l2_reuse=0.4,
+        footprint_bytes=64 * 1024 * 1024,
+        coalescing_efficiency=0.75,
+        memory_parallelism=4.0,
+        atomic_ops_per_item=atomic_ops,
+        atomic_contention=contention,
+    )
+    return _build(
+        program, name, ch, global_size, workgroup_size, 32, 28, 0, suite
+    )
+
+
+def divergent_kernel(
+    program: str,
+    name: str = "main",
+    suite: str = "",
+    valu_ops: float = 1400.0,
+    load_bytes: float = 20.0,
+    simd_efficiency: float = 0.35,
+    global_size: int = DEFAULT_GLOBAL,
+    workgroup_size: int = DEFAULT_WG,
+    **overrides,
+) -> Kernel:
+    """Branch-divergent compute kernel (ray tracing, irregular physics):
+    compute-shaped scaling at a fraction of peak lane utilisation."""
+    return compute_kernel(
+        program,
+        name,
+        suite=suite,
+        valu_ops=valu_ops,
+        load_bytes=load_bytes,
+        simd_efficiency=simd_efficiency,
+        global_size=global_size,
+        workgroup_size=workgroup_size,
+        **overrides,
+    )
+
+
+def lds_kernel(
+    program: str,
+    name: str = "main",
+    suite: str = "",
+    valu_ops: float = 300.0,
+    lds_bytes: float = 96.0,
+    load_bytes: float = 12.0,
+    lds_per_workgroup: int = 16384,
+    barriers: float = 8.0,
+    global_size: int = DEFAULT_GLOBAL,
+    workgroup_size: int = DEFAULT_WG,
+    **overrides,
+) -> Kernel:
+    """Tiled stencil/matmul kernel: LDS-heavy with barriers; LDS sits in
+    the engine clock domain so scaling follows CUs x engine clock."""
+    ch = _merged(
+        overrides,
+        valu_ops_per_item=valu_ops,
+        global_load_bytes_per_item=load_bytes,
+        global_store_bytes_per_item=4.0,
+        lds_bytes_per_item=lds_bytes,
+        l1_reuse=0.5,
+        l2_reuse=0.6,
+        footprint_bytes=32 * 1024 * 1024,
+        coalescing_efficiency=0.9,
+        memory_parallelism=6.0,
+        barriers_per_workgroup=barriers,
+    )
+    return _build(
+        program,
+        name,
+        ch,
+        global_size,
+        workgroup_size,
+        48,
+        32,
+        lds_per_workgroup,
+        suite,
+    )
+
+
+def tiny_kernel(
+    program: str,
+    name: str = "main",
+    suite: str = "",
+    valu_ops: float = 200.0,
+    load_bytes: float = 16.0,
+    num_workgroups: int = 64,
+    workgroup_size: int = 64,
+    launch_overhead_us: float = 12.0,
+    **overrides,
+) -> Kernel:
+    """Microsecond-scale kernel dominated by launch overhead: nearly
+    flat on every axis (another face of the plateau class)."""
+    ch = _merged(
+        overrides,
+        valu_ops_per_item=valu_ops,
+        global_load_bytes_per_item=load_bytes,
+        global_store_bytes_per_item=4.0,
+        l1_reuse=0.3,
+        l2_reuse=0.6,
+        footprint_bytes=1024 * 1024,
+        coalescing_efficiency=0.8,
+        memory_parallelism=4.0,
+        launch_overhead_us=launch_overhead_us,
+    )
+    return _build(
+        program,
+        name,
+        ch,
+        num_workgroups * workgroup_size,
+        workgroup_size,
+        24,
+        24,
+        0,
+        suite,
+    )
+
+
+ARCHETYPE_BUILDERS = {
+    "compute": compute_kernel,
+    "streaming": streaming_kernel,
+    "balanced": balanced_kernel,
+    "cache_resident": cache_resident_kernel,
+    "latency": latency_kernel,
+    "limited_parallelism": limited_parallelism_kernel,
+    "thrashing": thrashing_kernel,
+    "atomic": atomic_kernel,
+    "divergent": divergent_kernel,
+    "lds": lds_kernel,
+    "tiny": tiny_kernel,
+}
+
+
+def build_archetype(kind: str, program: str, **kwargs) -> Kernel:
+    """Build an archetype kernel by *kind* name.
+
+    Raises ``KeyError`` listing valid kinds when *kind* is unknown.
+    """
+    if kind not in ARCHETYPE_BUILDERS:
+        raise KeyError(
+            f"unknown archetype {kind!r}; valid: {sorted(ARCHETYPE_BUILDERS)}"
+        )
+    return ARCHETYPE_BUILDERS[kind](program, **kwargs)

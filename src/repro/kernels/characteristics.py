@@ -1,0 +1,211 @@
+"""Per-kernel behavioural characteristics consumed by the GPU model.
+
+The IISWC'15 study measured real OpenCL kernels; this reproduction
+replaces the measurement oracle with a mechanistic performance model
+(see DESIGN.md). :class:`KernelCharacteristics` is the vector of
+workload properties that model needs: how much vector arithmetic the
+kernel executes per work-item, how much data it moves and with what
+locality, how much latent parallelism it exposes, and which
+serialisation effects (atomics, barriers, dependent loads) it suffers.
+
+The fields were chosen so that every scaling behaviour the paper's
+abstract calls out has a mechanistic cause here:
+
+* compute scaling           <- ``valu_ops_per_item`` dominating,
+* bandwidth scaling         <- ``global_*_bytes_per_item`` with poor reuse,
+* frequency+bandwidth
+  plateaus                  <- ``dependent_access_fraction`` (exposed
+                               fixed-time DRAM latency) and
+                               ``launch_overhead_us``,
+* CU-count plateaus         <- small grids (geometry, not here) and low
+                               occupancy,
+* performance LOSS with
+  more CUs                  <- ``shared_footprint`` cache thrash,
+  ``row_locality_sensitivity`` DRAM efficiency loss, and
+  ``atomic_contention`` growth with concurrency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+#: Fields that must be finite and >= 0.
+_NON_NEGATIVE_FIELDS = (
+    "valu_ops_per_item",
+    "salu_ops_per_item",
+    "lds_bytes_per_item",
+    "global_load_bytes_per_item",
+    "global_store_bytes_per_item",
+    "footprint_bytes",
+    "atomic_ops_per_item",
+    "barriers_per_workgroup",
+    "launch_overhead_us",
+)
+
+#: Fields constrained to the closed interval [0, 1].
+_UNIT_INTERVAL_FIELDS = (
+    "l1_reuse",
+    "l2_reuse",
+    "coalescing_efficiency",
+    "simd_efficiency",
+    "dependent_access_fraction",
+    "atomic_contention",
+    "shared_footprint",
+    "row_locality_sensitivity",
+)
+
+
+@dataclass(frozen=True)
+class KernelCharacteristics:
+    """Behavioural profile of one GPU kernel.
+
+    All ``*_per_item`` quantities are averages over the kernel's
+    work-items (threads); totals are obtained by multiplying with the
+    launch geometry's global size.
+
+    Parameters
+    ----------
+    valu_ops_per_item:
+        Vector-ALU lane operations per work-item (FLOP-equivalent).
+    salu_ops_per_item:
+        Scalar-ALU operations per work-item (address math, control).
+        These execute on the scalar pipe and rarely bottleneck, but
+        contribute to the compute interval.
+    lds_bytes_per_item:
+        Local-data-share (shared-memory) traffic per work-item.
+    global_load_bytes_per_item / global_store_bytes_per_item:
+        Global-memory traffic issued by the work-item *before* caching.
+    l1_reuse:
+        Fraction of global traffic served by the per-CU L1 (temporal +
+        intra-workgroup spatial reuse). ``0`` means every access leaves
+        the CU.
+    l2_reuse:
+        Fraction of L1 misses that hit in the shared L2 *when the
+        kernel's footprint fits*; the cache model degrades this with
+        footprint pressure and CU contention.
+    footprint_bytes:
+        Total distinct bytes the kernel touches (working set). Drives
+        the analytic L2 hit-rate model.
+    shared_footprint:
+        How much of the footprint is *shared across workgroups* (0 =
+        perfectly partitioned, 1 = all workgroups walk the same data).
+        Shared footprints thrash the L2 as concurrency grows — one of
+        the paper's "non-obvious" inverse-CU mechanisms.
+    coalescing_efficiency:
+        Fraction of peak DRAM efficiency this kernel's access pattern
+        achieves with a single active CU (1.0 = perfectly coalesced
+        streaming, ~0.1 = random single-word gathers).
+    row_locality_sensitivity:
+        How strongly DRAM efficiency degrades as more CUs interleave
+        their streams (0 = insensitive, 1 = maximal row-buffer
+        thrashing). The second inverse-CU mechanism.
+    simd_efficiency:
+        Average fraction of the 64 SIMD lanes doing useful work
+        (1 - branch-divergence waste).
+    memory_parallelism:
+        Outstanding memory requests a single wavefront sustains (MLP).
+        With occupancy, determines how much DRAM latency is hidden.
+    dependent_access_fraction:
+        Fraction of global accesses on a serial dependence chain
+        (pointer chasing). These expose full memory latency and create
+        the frequency/bandwidth plateau the paper highlights.
+    atomic_ops_per_item:
+        Global atomic operations per work-item.
+    atomic_contention:
+        Probability that an atomic conflicts with another in flight
+        (0 = disjoint addresses, 1 = single hot address).
+    barriers_per_workgroup:
+        ``barrier()`` count per workgroup execution.
+    launch_overhead_us:
+        Fixed host-side launch/driver overhead per kernel invocation in
+        microseconds. Dominates tiny kernels and caps their scaling.
+    """
+
+    valu_ops_per_item: float
+    global_load_bytes_per_item: float
+    global_store_bytes_per_item: float = 0.0
+    salu_ops_per_item: float = 0.0
+    lds_bytes_per_item: float = 0.0
+    l1_reuse: float = 0.0
+    l2_reuse: float = 0.5
+    footprint_bytes: float = 64 * 1024 * 1024
+    shared_footprint: float = 0.0
+    coalescing_efficiency: float = 0.85
+    row_locality_sensitivity: float = 0.0
+    simd_efficiency: float = 1.0
+    memory_parallelism: float = 4.0
+    dependent_access_fraction: float = 0.0
+    atomic_ops_per_item: float = 0.0
+    atomic_contention: float = 0.0
+    barriers_per_workgroup: float = 0.0
+    launch_overhead_us: float = 8.0
+
+    def __post_init__(self) -> None:
+        for field_name in _NON_NEGATIVE_FIELDS:
+            value = getattr(self, field_name)
+            if not _is_finite(value) or value < 0:
+                raise WorkloadError(
+                    f"{field_name} must be finite and >= 0, got {value!r}"
+                )
+        for field_name in _UNIT_INTERVAL_FIELDS:
+            value = getattr(self, field_name)
+            if not _is_finite(value) or not 0.0 <= value <= 1.0:
+                raise WorkloadError(
+                    f"{field_name} must lie in [0, 1], got {value!r}"
+                )
+        mlp = self.memory_parallelism
+        if not _is_finite(mlp) or mlp < 1.0:
+            raise WorkloadError(
+                "memory_parallelism must be >= 1 (a wavefront always "
+                f"has at least one request in flight), got {mlp!r}"
+            )
+        if self.simd_efficiency <= 0.0:
+            raise WorkloadError(
+                "simd_efficiency must be > 0: a kernel with no active lanes "
+                "performs no work"
+            )
+
+    @property
+    def global_bytes_per_item(self) -> float:
+        """Total global traffic (loads + stores) per work-item."""
+        return (
+            self.global_load_bytes_per_item
+            + self.global_store_bytes_per_item
+        )
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """VALU operations per byte of global traffic (roofline x-axis).
+
+        Kernels that touch no global memory get ``inf``; they can only
+        be compute- or latency-bound.
+        """
+        total_bytes = self.global_bytes_per_item
+        if total_bytes == 0.0:
+            return float("inf")
+        return self.valu_ops_per_item / total_bytes
+
+    def replace(self, **changes: float) -> "KernelCharacteristics":
+        """Return a copy with ``changes`` applied (validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """Serialise to a plain dict (JSON-compatible)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "KernelCharacteristics":
+        """Reconstruct from :meth:`to_dict` output, ignoring unknown keys."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def _is_finite(value: float) -> bool:
+    """True when *value* is a real, finite number."""
+    try:
+        return value == value and abs(value) != float("inf")
+    except TypeError:
+        return False

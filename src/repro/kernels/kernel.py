@@ -1,0 +1,141 @@
+"""Kernel and launch-geometry definitions.
+
+A :class:`Kernel` pairs a name (``program.kernel`` identifiers mirror
+the paper's "267 kernels from 97 programs" accounting), the behavioural
+profile (:class:`~repro.kernels.characteristics.KernelCharacteristics`),
+the launch geometry, and the per-wavefront resource usage that
+determines occupancy on a GCN compute unit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.kernels.characteristics import KernelCharacteristics
+
+#: GCN wavefront width (work-items per wavefront).
+WAVEFRONT_SIZE = 64
+
+
+@dataclass(frozen=True)
+class LaunchGeometry:
+    """NDRange launch shape, flattened to one dimension.
+
+    The scaling study cares about *how much* parallelism a launch
+    exposes, not its dimensionality, so grids are recorded as a flat
+    work-item count plus the workgroup size.
+    """
+
+    global_size: int
+    workgroup_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.global_size < 1:
+            raise WorkloadError(
+                f"global_size must be >= 1, got {self.global_size}"
+            )
+        if self.workgroup_size < 1:
+            raise WorkloadError(
+                f"workgroup_size must be >= 1, got {self.workgroup_size}"
+            )
+        if self.workgroup_size > 1024:
+            raise WorkloadError(
+                "workgroup_size exceeds the OpenCL/GCN limit of 1024 "
+                f"work-items, got {self.workgroup_size}"
+            )
+
+    @property
+    def num_workgroups(self) -> int:
+        """Workgroups launched (ceil of global over workgroup size)."""
+        return math.ceil(self.global_size / self.workgroup_size)
+
+    @property
+    def waves_per_workgroup(self) -> int:
+        """Wavefronts per workgroup (ceil of workgroup over 64 lanes)."""
+        return math.ceil(self.workgroup_size / WAVEFRONT_SIZE)
+
+    @property
+    def total_waves(self) -> int:
+        """Wavefronts in the whole launch."""
+        return self.num_workgroups * self.waves_per_workgroup
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Per-wavefront register and per-workgroup LDS consumption.
+
+    These are the three resources whose exhaustion limits GCN occupancy
+    (besides the architectural wave-slot cap): vector registers, scalar
+    registers, and local data share.
+    """
+
+    vgprs: int = 32
+    sgprs: int = 24
+    lds_bytes_per_workgroup: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.vgprs <= 256:
+            raise WorkloadError(f"vgprs must be in [1, 256], got {self.vgprs}")
+        if not 1 <= self.sgprs <= 102:
+            raise WorkloadError(f"sgprs must be in [1, 102], got {self.sgprs}")
+        if self.lds_bytes_per_workgroup < 0:
+            raise WorkloadError(
+                "lds_bytes_per_workgroup must be >= 0, got "
+                f"{self.lds_bytes_per_workgroup}"
+            )
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A single GPGPU kernel: identity, behaviour, geometry, resources."""
+
+    program: str
+    name: str
+    characteristics: KernelCharacteristics
+    geometry: LaunchGeometry
+    resources: ResourceUsage = field(default_factory=ResourceUsage)
+    suite: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.program:
+            raise WorkloadError("program name must be non-empty")
+        if not self.name:
+            raise WorkloadError("kernel name must be non-empty")
+
+    @property
+    def full_name(self) -> str:
+        """Stable ``suite/program.kernel`` identifier."""
+        prefix = f"{self.suite}/" if self.suite else ""
+        return f"{prefix}{self.program}.{self.name}"
+
+    def replace(self, **changes) -> "Kernel":
+        """Return a copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """Serialise to a plain JSON-compatible dict."""
+        return {
+            "program": self.program,
+            "name": self.name,
+            "suite": self.suite,
+            "characteristics": self.characteristics.to_dict(),
+            "geometry": dataclasses.asdict(self.geometry),
+            "resources": dataclasses.asdict(self.resources),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Kernel":
+        """Reconstruct a kernel from :meth:`to_dict` output."""
+        return cls(
+            program=payload["program"],
+            name=payload["name"],
+            suite=payload.get("suite", ""),
+            characteristics=KernelCharacteristics.from_dict(
+                payload["characteristics"]
+            ),
+            geometry=LaunchGeometry(**payload["geometry"]),
+            resources=ResourceUsage(**payload["resources"]),
+        )

@@ -1,0 +1,137 @@
+"""Program-level workload modelling.
+
+The study's unit of analysis is the kernel, but users run *programs* —
+sequences of kernel invocations with very different weights (an
+iterative solver may launch its inner kernel 10,000 times and its setup
+kernel once). :class:`ProgramProfile` composes per-kernel scaling into
+program-level scaling, which is where the benchmark-suite critique
+bites hardest: one serial-ish kernel on the critical path caps the
+whole program (Amdahl on heterogeneous launches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.kernels.kernel import Kernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids the
+    # kernels <-> gpu import cycle (gpu imports kernel definitions).
+    from repro.gpu.config import HardwareConfig
+    from repro.gpu.simulator import GpuSimulator
+
+
+@dataclass(frozen=True)
+class KernelInvocation:
+    """One kernel and how often the program launches it."""
+
+    kernel: Kernel
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise WorkloadError(
+                f"invocation count must be >= 1, got {self.count}"
+            )
+
+
+@dataclass(frozen=True)
+class ProgramProfile:
+    """A program as a weighted bag of kernel invocations."""
+
+    name: str
+    invocations: Tuple[KernelInvocation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("program profile needs a name")
+        if not self.invocations:
+            raise WorkloadError(
+                f"program {self.name!r} has no invocations"
+            )
+
+    @classmethod
+    def from_counts(
+        cls, name: str, counts: Sequence[Tuple[Kernel, int]]
+    ) -> "ProgramProfile":
+        """Build from (kernel, invocation count) pairs."""
+        return cls(
+            name=name,
+            invocations=tuple(
+                KernelInvocation(kernel=k, count=n) for k, n in counts
+            ),
+        )
+
+    def total_time_s(
+        self, config: "HardwareConfig", simulator: "GpuSimulator" = None
+    ) -> float:
+        """End-to-end GPU time of one program run at *config*."""
+        simulator = simulator or _default_simulator()
+        return sum(
+            invocation.count
+            * simulator.time_s(invocation.kernel, config)
+            for invocation in self.invocations
+        )
+
+    def time_attribution(
+        self, config: "HardwareConfig", simulator: "GpuSimulator" = None
+    ) -> Dict[str, float]:
+        """Fraction of program time spent in each kernel at *config*."""
+        simulator = simulator or _default_simulator()
+        times = {
+            invocation.kernel.full_name: invocation.count
+            * simulator.time_s(invocation.kernel, config)
+            for invocation in self.invocations
+        }
+        total = sum(times.values())
+        return {name: t / total for name, t in times.items()}
+
+    def speedup(
+        self,
+        config: "HardwareConfig",
+        base: "HardwareConfig",
+        simulator: "GpuSimulator" = None,
+    ) -> float:
+        """Program-level speedup of *config* over *base*."""
+        simulator = simulator or _default_simulator()
+        return self.total_time_s(base, simulator) / self.total_time_s(
+            config, simulator
+        )
+
+    def amdahl_cap(
+        self,
+        config: "HardwareConfig",
+        base: "HardwareConfig",
+        simulator: "GpuSimulator" = None,
+    ) -> Tuple[str, float]:
+        """The kernel that limits program scaling, and the program
+        speedup if every *other* kernel became infinitely fast.
+
+        The classic diagnosis: if the cap is close to the achieved
+        speedup, optimising anything else is wasted effort.
+        """
+        simulator = simulator or _default_simulator()
+        base_times = {
+            invocation.kernel.full_name: invocation.count
+            * simulator.time_s(invocation.kernel, base)
+            for invocation in self.invocations
+        }
+        config_times = {
+            invocation.kernel.full_name: invocation.count
+            * simulator.time_s(invocation.kernel, config)
+            for invocation in self.invocations
+        }
+        base_total = sum(base_times.values())
+        limiter = max(config_times, key=config_times.__getitem__)
+        cap = base_total / config_times[limiter]
+        return limiter, cap
+
+
+def _default_simulator():
+    """Late import: the gpu package imports kernel definitions, so a
+    module-level import here would create a cycle."""
+    from repro.gpu.simulator import GpuSimulator
+
+    return GpuSimulator()

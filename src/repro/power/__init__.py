@@ -1,0 +1,29 @@
+"""Extension: power/energy modelling and energy-aware DVFS analysis.
+
+Couples the timing model's activity factors with a CMOS-style board
+power model, then optimises over the 891-configuration space for
+min-energy / min-EDP / capped-power objectives. See DESIGN.md's
+extension notes; this mirrors the paper group's published follow-on
+direction (the dataset drove AMD Research's power-management work).
+"""
+
+from repro.power.dvfs_opt import DvfsOptimizer, Objective, OperatingPoint
+from repro.power.energy import EnergyModel, EnergyResult
+from repro.power.model import (
+    DEFAULT_POWER_MODEL,
+    PowerBreakdown,
+    PowerModel,
+    VoltageCurve,
+)
+
+__all__ = [
+    "DEFAULT_POWER_MODEL",
+    "DvfsOptimizer",
+    "EnergyModel",
+    "EnergyResult",
+    "Objective",
+    "OperatingPoint",
+    "PowerBreakdown",
+    "PowerModel",
+    "VoltageCurve",
+]

@@ -1,0 +1,116 @@
+"""Energy-aware DVFS optimisation over the configuration space.
+
+Answers the question the knobs exist for: given a kernel (or the
+taxonomy category it belongs to), which point of the 891-configuration
+space minimises energy, minimises energy-delay product, or maximises
+performance under a power cap? The taxonomy predicts the answers'
+*structure*: compute-bound kernels race-to-idle near the top states;
+plateau kernels should run at the bottom of every knob; bandwidth-bound
+kernels want memory clock but not engine clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.gpu.config import HardwareConfig
+from repro.kernels.kernel import Kernel
+from repro.power.energy import EnergyModel
+from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
+
+
+class Objective(Enum):
+    """Supported DVFS objectives."""
+
+    MIN_ENERGY = "min_energy"
+    MIN_EDP = "min_edp"
+    MAX_PERF = "max_perf"
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """An optimisation result: the chosen configuration and its cost."""
+
+    kernel_name: str
+    objective: Objective
+    config: HardwareConfig
+    time_s: float
+    energy_j: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product at the chosen point."""
+        return self.energy_j * self.time_s
+
+
+class DvfsOptimizer:
+    """Exhaustive DVFS-space optimisation (891 points is tiny)."""
+
+    def __init__(
+        self,
+        energy_model: Optional[EnergyModel] = None,
+        space: ConfigurationSpace = PAPER_SPACE,
+    ):
+        self._energy = energy_model or EnergyModel()
+        self._space = space
+
+    def optimise(
+        self,
+        kernel: Kernel,
+        objective: Objective = Objective.MIN_EDP,
+        power_cap_w: Optional[float] = None,
+    ) -> OperatingPoint:
+        """The best operating point for *kernel* under *objective*.
+
+        *power_cap_w*, when given, restricts the search to
+        configurations whose board power stays at or below the cap;
+        an unsatisfiable cap raises :class:`AnalysisError`.
+        """
+        best = None
+        best_cost = None
+        for config in self._space:
+            result = self._energy.evaluate(kernel, config)
+            if power_cap_w is not None and result.power_w > power_cap_w:
+                continue
+            if objective is Objective.MIN_ENERGY:
+                cost = result.energy_j
+            elif objective is Objective.MIN_EDP:
+                cost = result.edp
+            elif objective is Objective.MAX_PERF:
+                cost = result.time_s
+            else:  # pragma: no cover - exhaustive enum
+                raise AnalysisError(f"unknown objective {objective!r}")
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best = result
+        if best is None:
+            raise AnalysisError(
+                f"no configuration satisfies power cap {power_cap_w} W"
+            )
+        return OperatingPoint(
+            kernel_name=kernel.full_name,
+            objective=objective,
+            config=best.config,
+            time_s=best.time_s,
+            energy_j=best.energy_j,
+        )
+
+    def race_to_idle_wins(self, kernel: Kernel) -> bool:
+        """True when the flagship configuration is also (near-)energy
+        optimal — the race-to-idle regime typical of compute-bound
+        kernels with significant static power."""
+        optimum = self.optimise(kernel, Objective.MIN_ENERGY)
+        flagship = self._energy.evaluate(kernel, self._space.max_config)
+        return flagship.energy_j <= 1.1 * optimum.energy_j
+
+    def energy_saving_vs_flagship(self, kernel: Kernel) -> float:
+        """Fraction of energy the MIN_ENERGY point saves over running
+        the kernel at the flagship configuration."""
+        optimum = self.optimise(kernel, Objective.MIN_ENERGY)
+        flagship = self._energy.evaluate(kernel, self._space.max_config)
+        return 1.0 - optimum.energy_j / flagship.energy_j

@@ -1,0 +1,128 @@
+"""Energy accounting: coupling the timing and power models.
+
+For one kernel at one configuration, the interval model's breakdown
+supplies the *activity factors* (how busy the compute domain and the
+memory interface actually were), the power model converts those into
+board power, and power x time gives energy. Sweeping that over the
+891-point grid yields the energy surface the DVFS analyses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu.config import HardwareConfig
+from repro.gpu.interval_model import IntervalModel, KernelRunResult
+from repro.kernels.kernel import Kernel
+from repro.power.model import DEFAULT_POWER_MODEL, PowerModel
+from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
+
+
+@dataclass(frozen=True)
+class EnergyResult:
+    """Energy accounting of one kernel execution."""
+
+    kernel_name: str
+    config: HardwareConfig
+    time_s: float
+    power_w: float
+    compute_activity: float
+    memory_activity: float
+    global_size: int
+
+    @property
+    def energy_j(self) -> float:
+        """Energy consumed by the execution, in joules."""
+        return self.time_s * self.power_w
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J*s) — the classic DVFS objective."""
+        return self.energy_j * self.time_s
+
+    @property
+    def items_per_joule(self) -> float:
+        """Work-items completed per joule (energy efficiency)."""
+        return self.global_size / self.energy_j
+
+
+def _activities(result: KernelRunResult) -> tuple:
+    """Derive (compute, memory) activity factors from a timing result.
+
+    Each domain's activity is the fraction of the kernel's runtime its
+    bottleneck interval would occupy alone — a busy-time approximation
+    that is exact when the interval dominates and conservative when it
+    overlaps.
+    """
+    breakdown = result.breakdown
+    compute_busy = breakdown.compute_s + breakdown.salu_s + breakdown.lds_s
+    compute_activity = min(1.0, compute_busy / result.time_s)
+    memory_activity = min(1.0, breakdown.dram_s / result.time_s)
+    return compute_activity, memory_activity
+
+
+class EnergyModel:
+    """Energy evaluation of kernels across configurations."""
+
+    def __init__(
+        self,
+        power_model: Optional[PowerModel] = None,
+        timing_model: Optional[IntervalModel] = None,
+    ):
+        self._power = power_model or DEFAULT_POWER_MODEL
+        self._timing = timing_model or IntervalModel()
+
+    def evaluate(
+        self, kernel: Kernel, config: HardwareConfig
+    ) -> EnergyResult:
+        """Time, power and energy of *kernel* at *config*."""
+        result = self._timing.simulate(kernel, config)
+        compute_activity, memory_activity = _activities(result)
+        power = self._power.board_power_w(
+            config, compute_activity, memory_activity
+        )
+        return EnergyResult(
+            kernel_name=kernel.full_name,
+            config=config,
+            time_s=result.time_s,
+            power_w=power,
+            compute_activity=compute_activity,
+            memory_activity=memory_activity,
+            global_size=result.global_size,
+        )
+
+    def energy_cube(
+        self,
+        kernel: Kernel,
+        space: ConfigurationSpace = PAPER_SPACE,
+    ) -> np.ndarray:
+        """Energy (J) of *kernel* at every configuration of *space*."""
+        n_cu, n_eng, n_mem = space.shape
+        cube = np.empty(space.shape, dtype=np.float64)
+        for c in range(n_cu):
+            for e in range(n_eng):
+                for m in range(n_mem):
+                    cube[c, e, m] = self.evaluate(
+                        kernel, space.config(c, e, m)
+                    ).energy_j
+        return cube
+
+    def time_and_energy_cubes(
+        self,
+        kernel: Kernel,
+        space: ConfigurationSpace = PAPER_SPACE,
+    ) -> tuple:
+        """(time, energy) cubes in one pass over the space."""
+        n_cu, n_eng, n_mem = space.shape
+        time_cube = np.empty(space.shape, dtype=np.float64)
+        energy_cube = np.empty(space.shape, dtype=np.float64)
+        for c in range(n_cu):
+            for e in range(n_eng):
+                for m in range(n_mem):
+                    result = self.evaluate(kernel, space.config(c, e, m))
+                    time_cube[c, e, m] = result.time_s
+                    energy_cube[c, e, m] = result.energy_j
+        return time_cube, energy_cube

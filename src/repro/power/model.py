@@ -1,0 +1,193 @@
+"""GPU power model over the swept configuration space.
+
+The IISWC'15 scaling study came out of AMD Research's power-management
+group, and the same dataset fed their energy/DVFS follow-on work. This
+extension subsystem models the power side of every configuration so the
+scaling taxonomy can answer the question the knobs exist for: *where is
+the energy-optimal operating point for this kernel?*
+
+The model follows the standard CMOS decomposition per clock domain:
+
+* **dynamic power** ~ C * V^2 * f, with V given by the domain's
+  voltage-frequency curve (higher clocks need disproportionately more
+  voltage, so power grows superlinearly in frequency);
+* **static (leakage) power** ~ V * (active area), growing with the
+  number of powered CUs;
+* an **idle/base platform** term for the rest of the card.
+
+Activity factors couple power to the performance model: a
+bandwidth-bound kernel does not pay full compute power (its VALUs are
+mostly idle) and vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.gpu.config import HardwareConfig
+
+
+@dataclass(frozen=True)
+class VoltageCurve:
+    """Piecewise-linear voltage-frequency curve for one clock domain.
+
+    Voltage interpolates linearly between (min_mhz, min_volts) and
+    (max_mhz, max_volts); clocks outside the range are clamped. The
+    defaults are Hawaii-class: ~0.9 V at the low state rising to
+    ~1.2 V at the top engine state.
+    """
+
+    min_mhz: float
+    max_mhz: float
+    min_volts: float = 0.9
+    max_volts: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.min_mhz <= 0 or self.max_mhz <= self.min_mhz:
+            raise ConfigurationError(
+                f"invalid frequency range [{self.min_mhz}, {self.max_mhz}]"
+            )
+        if self.min_volts <= 0 or self.max_volts < self.min_volts:
+            raise ConfigurationError(
+                f"invalid voltage range [{self.min_volts}, "
+                f"{self.max_volts}]"
+            )
+
+    def volts(self, mhz: float) -> float:
+        """Supply voltage at *mhz* (clamped to the curve's range)."""
+        clamped = min(max(mhz, self.min_mhz), self.max_mhz)
+        span = self.max_mhz - self.min_mhz
+        fraction = (clamped - self.min_mhz) / span
+        return self.min_volts + fraction * (
+            self.max_volts - self.min_volts
+        )
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-component power of one configuration under one activity."""
+
+    compute_dynamic_w: float
+    memory_dynamic_w: float
+    compute_static_w: float
+    memory_static_w: float
+    base_w: float
+
+    @property
+    def total_w(self) -> float:
+        """Board power in watts."""
+        return (
+            self.compute_dynamic_w
+            + self.memory_dynamic_w
+            + self.compute_static_w
+            + self.memory_static_w
+            + self.base_w
+        )
+
+    @property
+    def dynamic_w(self) -> float:
+        """Activity-dependent portion."""
+        return self.compute_dynamic_w + self.memory_dynamic_w
+
+    @property
+    def static_w(self) -> float:
+        """Activity-independent portion (leakage + base)."""
+        return self.compute_static_w + self.memory_static_w + self.base_w
+
+
+class PowerModel:
+    """Board-power model over (CU count, engine clock, memory clock).
+
+    Calibrated so the flagship point (44 CUs, 1000 MHz, 1250 MHz) at
+    full activity lands near the W9100's ~275 W board power, and the
+    smallest sweep corner idles in the tens of watts — the "embedded
+    to discrete" span the paper frames.
+    """
+
+    def __init__(
+        self,
+        engine_curve: VoltageCurve = VoltageCurve(200.0, 1000.0),
+        memory_curve: VoltageCurve = VoltageCurve(
+            150.0, 1250.0, 1.35, 1.5
+        ),
+        cu_dynamic_coeff_w: float = 4.2,
+        memory_dynamic_coeff_w: float = 40.0,
+        cu_leakage_w_per_volt: float = 0.55,
+        memory_leakage_w_per_volt: float = 6.0,
+        base_w: float = 18.0,
+    ):
+        self._engine_curve = engine_curve
+        self._memory_curve = memory_curve
+        self._cu_dynamic_coeff_w = cu_dynamic_coeff_w
+        self._memory_dynamic_coeff_w = memory_dynamic_coeff_w
+        self._cu_leakage_w_per_volt = cu_leakage_w_per_volt
+        self._memory_leakage_w_per_volt = memory_leakage_w_per_volt
+        self._base_w = base_w
+
+    def breakdown(
+        self,
+        config: HardwareConfig,
+        compute_activity: float = 1.0,
+        memory_activity: float = 1.0,
+    ) -> PowerBreakdown:
+        """Board power at *config* under the given activity factors.
+
+        Activities are utilisations in [0, 1]: the fraction of peak
+        switching in the compute domain (VALU issue) and the memory
+        interface (bus occupancy).
+        """
+        for name, value in (
+            ("compute_activity", compute_activity),
+            ("memory_activity", memory_activity),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must lie in [0, 1], got {value}"
+                )
+
+        v_eng = self._engine_curve.volts(config.engine_mhz)
+        v_mem = self._memory_curve.volts(config.memory_mhz)
+        f_eng = config.engine_mhz / 1000.0  # normalise to GHz
+        f_mem = config.memory_mhz / 1250.0  # normalise to the top state
+
+        compute_dynamic = (
+            self._cu_dynamic_coeff_w
+            * config.cu_count
+            * (v_eng / 1.2) ** 2
+            * f_eng
+            * compute_activity
+        )
+        memory_dynamic = (
+            self._memory_dynamic_coeff_w
+            * (v_mem / 1.5) ** 2
+            * f_mem
+            * memory_activity
+        )
+        compute_static = (
+            self._cu_leakage_w_per_volt * config.cu_count * v_eng
+        )
+        memory_static = self._memory_leakage_w_per_volt * v_mem
+        return PowerBreakdown(
+            compute_dynamic_w=compute_dynamic,
+            memory_dynamic_w=memory_dynamic,
+            compute_static_w=compute_static,
+            memory_static_w=memory_static,
+            base_w=self._base_w,
+        )
+
+    def board_power_w(
+        self,
+        config: HardwareConfig,
+        compute_activity: float = 1.0,
+        memory_activity: float = 1.0,
+    ) -> float:
+        """Total board power in watts (convenience)."""
+        return self.breakdown(
+            config, compute_activity, memory_activity
+        ).total_w
+
+
+#: Default model instance used across the energy analyses.
+DEFAULT_POWER_MODEL = PowerModel()

@@ -1,0 +1,44 @@
+"""Extension: scaling prediction (the paper's follow-on direction).
+
+Two predictors over collected scaling data:
+
+* :class:`CubeInterpolator` — continuous queries on a *measured*
+  kernel (off-grid configurations);
+* :class:`ScalingPredictor` — full-surface prediction for an
+  *unmeasured* kernel from seven probe runs, by nearest neighbours in
+  scaling-shape space.
+"""
+
+from repro.predict.interpolate import CubeInterpolator, interpolator
+from repro.predict.predictor import PredictedCube, ScalingPredictor
+from repro.predict.what_if import (
+    STANDARD_SCENARIOS,
+    Scenario,
+    WhatIfResult,
+    best_advice,
+    what_if,
+)
+from repro.predict.sampling import (
+    ReconstructionReport,
+    SamplingPlan,
+    budget_sweep,
+    evaluate_plan,
+    plan_for_budget,
+)
+
+__all__ = [
+    "CubeInterpolator",
+    "PredictedCube",
+    "ReconstructionReport",
+    "SamplingPlan",
+    "STANDARD_SCENARIOS",
+    "ScalingPredictor",
+    "Scenario",
+    "WhatIfResult",
+    "best_advice",
+    "budget_sweep",
+    "evaluate_plan",
+    "interpolator",
+    "plan_for_budget",
+    "what_if",
+]

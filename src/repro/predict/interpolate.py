@@ -1,0 +1,91 @@
+"""Log-space trilinear interpolation over one kernel's scaling cube.
+
+The sweep measures a kernel on the discrete 11 x 9 x 9 grid; users ask
+about arbitrary configurations ("what would 30 CUs at 725 MHz do?").
+Performance responds multiplicatively to the three knobs, so
+interpolation runs in log space on every axis and on the value:
+a kernel scaling as ``cu^a * f_e^b * f_m^c`` is reproduced *exactly*
+between grid points, and the inverse/plateau shapes are followed
+piecewise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.gpu.config import HardwareConfig
+from repro.sweep.dataset import ScalingDataset
+
+
+def _bracket(axis: Sequence[float], value: float) -> Tuple[int, int, float]:
+    """Indices (lo, hi) bracketing *value* and the log-space weight.
+
+    Values outside the measured axis are clamped to its ends — the
+    model makes no claims beyond the studied hardware range.
+    """
+    if value <= axis[0]:
+        return 0, 0, 0.0
+    if value >= axis[-1]:
+        last = len(axis) - 1
+        return last, last, 0.0
+    hi = next(i for i, a in enumerate(axis) if a >= value)
+    lo = hi - 1
+    if axis[hi] == value:
+        return hi, hi, 0.0
+    weight = (math.log(value) - math.log(axis[lo])) / (
+        math.log(axis[hi]) - math.log(axis[lo])
+    )
+    return lo, hi, weight
+
+
+class CubeInterpolator:
+    """Continuous performance model of one measured kernel."""
+
+    def __init__(self, dataset: ScalingDataset, kernel_name: str):
+        self._space = dataset.space
+        self._log_cube = np.log(dataset.kernel_cube(kernel_name))
+        self._kernel_name = kernel_name
+
+    @property
+    def kernel_name(self) -> str:
+        """The kernel this interpolator models."""
+        return self._kernel_name
+
+    def predict(self, config: HardwareConfig) -> float:
+        """Items/second at *config* (clamped to the measured ranges)."""
+        space = self._space
+        c_lo, c_hi, wc = _bracket(
+            [float(c) for c in space.cu_counts], float(config.cu_count)
+        )
+        e_lo, e_hi, we = _bracket(space.engine_mhz, config.engine_mhz)
+        m_lo, m_hi, wm = _bracket(space.memory_mhz, config.memory_mhz)
+
+        total = 0.0
+        for ci, cw in ((c_lo, 1.0 - wc), (c_hi, wc)):
+            for ei, ew in ((e_lo, 1.0 - we), (e_hi, we)):
+                for mi, mw in ((m_lo, 1.0 - wm), (m_hi, wm)):
+                    weight = cw * ew * mw
+                    if weight > 0.0:
+                        total += weight * self._log_cube[ci, ei, mi]
+        return float(math.exp(total))
+
+    def speedup(
+        self, config: HardwareConfig, base: HardwareConfig
+    ) -> float:
+        """Predicted speedup of *config* over *base*."""
+        return self.predict(config) / self.predict(base)
+
+
+def interpolator(
+    dataset: ScalingDataset, kernel_name: str
+) -> CubeInterpolator:
+    """Build a :class:`CubeInterpolator` (convenience wrapper)."""
+    if kernel_name not in dataset.kernel_names:
+        raise AnalysisError(
+            f"dataset has no kernel {kernel_name!r} to interpolate"
+        )
+    return CubeInterpolator(dataset, kernel_name)

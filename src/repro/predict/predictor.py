@@ -1,0 +1,164 @@
+"""Cross-kernel scaling prediction from a handful of probe runs.
+
+The follow-on direction the authors took with this dataset (their HPCA
+2015 machine-learning work): once a corpus of scaling surfaces exists,
+a *new* kernel's full surface can be predicted from a few measurements
+— run the kernel at a small probe set of configurations, find the
+corpus kernels whose response at those probes matches, and transplant
+their (normalised) surfaces.
+
+:class:`ScalingPredictor` implements that k-nearest-neighbour scheme:
+
+1. fit on a :class:`~repro.sweep.dataset.ScalingDataset` (the corpus);
+2. measure the new kernel at ``probe_configs()`` — the grid's corners
+   plus the centre, seven runs;
+3. ``predict_cube`` returns the full 891-point surface, anchored to
+   the new kernel's measured base performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.gpu.config import HardwareConfig
+from repro.sweep.dataset import ScalingDataset
+
+#: Grid coordinates (cu, eng, mem indices, -1 = max) of the probe set.
+_PROBE_COORDS = (
+    (0, 0, 0),
+    (-1, 0, 0),
+    (0, -1, 0),
+    (0, 0, -1),
+    (-1, -1, 0),
+    (-1, 0, -1),
+    (-1, -1, -1),
+)
+
+
+@dataclass(frozen=True)
+class PredictedCube:
+    """Outcome of one cross-kernel prediction."""
+
+    cube: np.ndarray
+    neighbours: Tuple[str, ...]
+    neighbour_distances: Tuple[float, ...]
+
+    @property
+    def nearest(self) -> str:
+        """The closest corpus kernel."""
+        return self.neighbours[0]
+
+
+class ScalingPredictor:
+    """k-NN predictor over normalised scaling surfaces."""
+
+    def __init__(self, dataset: ScalingDataset, k: int = 3):
+        if k < 1 or k > dataset.num_kernels:
+            raise AnalysisError(
+                f"k={k} invalid for a {dataset.num_kernels}-kernel corpus"
+            )
+        self._dataset = dataset
+        self._k = k
+        base = dataset.perf[:, 0:1, 0:1, 0:1]
+        self._normalised = dataset.perf / base
+        self._signatures = np.stack(
+            [
+                self._signature_from_cube(self._normalised[i])
+                for i in range(dataset.num_kernels)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+
+    def probe_configs(self) -> List[HardwareConfig]:
+        """The seven configurations a new kernel must be measured at."""
+        space = self._dataset.space
+        n_cu, n_eng, n_mem = space.shape
+        configs = []
+        for c, e, m in _PROBE_COORDS:
+            configs.append(
+                space.config(
+                    c % n_cu if c >= 0 else n_cu - 1,
+                    e % n_eng if e >= 0 else n_eng - 1,
+                    m % n_mem if m >= 0 else n_mem - 1,
+                )
+            )
+        return configs
+
+    @staticmethod
+    def _signature_from_cube(normalised_cube: np.ndarray) -> np.ndarray:
+        values = [
+            normalised_cube[c, e, m] for c, e, m in _PROBE_COORDS
+        ]
+        return np.log2(np.asarray(values[1:]))  # base point is always 1
+
+    def _signature_from_probes(
+        self, probes: Sequence[float]
+    ) -> np.ndarray:
+        if len(probes) != len(_PROBE_COORDS):
+            raise AnalysisError(
+                f"expected {len(_PROBE_COORDS)} probe measurements "
+                f"(see probe_configs()), got {len(probes)}"
+            )
+        if any(p <= 0 for p in probes):
+            raise AnalysisError("probe measurements must be positive")
+        base = probes[0]
+        return np.log2(np.asarray(probes[1:]) / base)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def predict_cube(self, probes: Sequence[float]) -> PredictedCube:
+        """Predict the full surface of a kernel measured at the probes.
+
+        *probes* are items/second at :meth:`probe_configs`, in order.
+        The result's ``cube`` is denormalised to the kernel's measured
+        base performance, so absolute values are directly comparable
+        with the probe measurements.
+        """
+        signature = self._signature_from_probes(probes)
+        distances = np.linalg.norm(
+            self._signatures - signature, axis=1
+        )
+        order = np.argsort(distances)[: self._k]
+
+        # Inverse-distance weighting in log space.
+        weights = 1.0 / (distances[order] + 1e-9)
+        weights = weights / weights.sum()
+        log_blend = np.zeros_like(self._normalised[0])
+        for weight, row in zip(weights, order):
+            log_blend += weight * np.log(self._normalised[row])
+        blended = np.exp(log_blend) * probes[0]
+
+        names = [self._dataset.kernel_names[i] for i in order]
+        return PredictedCube(
+            cube=blended,
+            neighbours=tuple(names),
+            neighbour_distances=tuple(
+                float(distances[i]) for i in order
+            ),
+        )
+
+    def leave_one_out_error(self, kernel_name: str) -> float:
+        """Median absolute relative error predicting *kernel_name* from
+        its probes using a corpus that excludes it."""
+        others = [
+            n for n in self._dataset.kernel_names if n != kernel_name
+        ]
+        corpus = ScalingPredictor(
+            self._dataset.subset(others), k=self._k
+        )
+        cube = self._dataset.kernel_cube(kernel_name)
+        probes = [
+            float(cube[c, e, m]) for c, e, m in _PROBE_COORDS
+        ]
+        predicted = corpus.predict_cube(probes).cube
+        relative = np.abs(predicted - cube) / cube
+        return float(np.median(relative))

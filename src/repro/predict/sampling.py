@@ -1,0 +1,162 @@
+"""Adaptive sweep sampling: how few of the 891 runs do you need?
+
+The paper's measurement campaign is 891 reboots/re-clocks per kernel.
+Because performance responds smoothly (piecewise power-law) to each
+knob, a small axis-aligned subgrid plus log-space interpolation
+reconstructs the full surface with small error. This module quantifies
+that trade-off — the practical recipe a lab with limited testbed time
+would actually use — and backs the
+``benchmarks/test_extension_sampling.py`` experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.predict.interpolate import CubeInterpolator
+from repro.sweep.dataset import ScalingDataset
+from repro.sweep.space import ConfigurationSpace
+
+
+def _strided_axis(length: int, keep: int) -> Tuple[int, ...]:
+    """*keep* roughly evenly spaced indices including both endpoints."""
+    if keep < 2:
+        raise AnalysisError("each axis needs at least its two endpoints")
+    if keep >= length:
+        return tuple(range(length))
+    positions = np.linspace(0, length - 1, keep)
+    return tuple(sorted({int(round(p)) for p in positions}))
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """An axis-aligned subgrid of the full configuration space."""
+
+    cu_indices: Tuple[int, ...]
+    engine_indices: Tuple[int, ...]
+    memory_indices: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Configurations actually measured under this plan."""
+        return (
+            len(self.cu_indices)
+            * len(self.engine_indices)
+            * len(self.memory_indices)
+        )
+
+    def subspace(self, space: ConfigurationSpace) -> ConfigurationSpace:
+        """The reduced :class:`ConfigurationSpace` this plan measures."""
+        return ConfigurationSpace(
+            cu_counts=tuple(
+                space.cu_counts[i] for i in self.cu_indices
+            ),
+            engine_mhz=tuple(
+                space.engine_mhz[i] for i in self.engine_indices
+            ),
+            memory_mhz=tuple(
+                space.memory_mhz[i] for i in self.memory_indices
+            ),
+            uarch=space.uarch,
+        )
+
+
+def plan_for_budget(
+    space: ConfigurationSpace, per_axis: Tuple[int, int, int]
+) -> SamplingPlan:
+    """A plan keeping ``per_axis`` points on (CU, engine, memory)."""
+    n_cu, n_eng, n_mem = space.shape
+    return SamplingPlan(
+        cu_indices=_strided_axis(n_cu, per_axis[0]),
+        engine_indices=_strided_axis(n_eng, per_axis[1]),
+        memory_indices=_strided_axis(n_mem, per_axis[2]),
+    )
+
+
+@dataclass(frozen=True)
+class ReconstructionReport:
+    """Accuracy of reconstructing a full dataset from one plan."""
+
+    measured_configs: int
+    total_configs: int
+    median_abs_rel_error: float
+    p95_abs_rel_error: float
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction of the measurement campaign avoided."""
+        return 1.0 - self.measured_configs / self.total_configs
+
+
+def evaluate_plan(
+    dataset: ScalingDataset, plan: SamplingPlan
+) -> ReconstructionReport:
+    """Reconstruct *dataset* from *plan*'s subgrid; report the error.
+
+    The subgrid values are taken from the dataset itself (they would
+    be the measured runs); every other point is predicted with
+    log-space trilinear interpolation and compared against its true
+    value.
+    """
+    space = dataset.space
+    subspace = plan.subspace(space)
+    sub_perf = dataset.perf[
+        np.ix_(
+            range(dataset.num_kernels),
+            plan.cu_indices,
+            plan.engine_indices,
+            plan.memory_indices,
+        )
+    ]
+    sub_dataset = ScalingDataset(
+        subspace, dataset.kernel_records, sub_perf
+    )
+
+    errors: List[float] = []
+    n_cu, n_eng, n_mem = space.shape
+    measured = {
+        (c, e, m)
+        for c in plan.cu_indices
+        for e in plan.engine_indices
+        for m in plan.memory_indices
+    }
+    for name in sub_dataset.kernel_names:
+        model = CubeInterpolator(sub_dataset, name)
+        cube = dataset.kernel_cube(name)
+        for c in range(n_cu):
+            for e in range(n_eng):
+                for m in range(n_mem):
+                    if (c, e, m) in measured:
+                        continue
+                    predicted = model.predict(space.config(c, e, m))
+                    truth = float(cube[c, e, m])
+                    errors.append(abs(predicted - truth) / truth)
+
+    errors_arr = np.asarray(errors)
+    return ReconstructionReport(
+        measured_configs=plan.size,
+        total_configs=space.size,
+        median_abs_rel_error=float(np.median(errors_arr)),
+        p95_abs_rel_error=float(np.quantile(errors_arr, 0.95)),
+    )
+
+
+def budget_sweep(
+    dataset: ScalingDataset,
+    budgets: Sequence[Tuple[int, int, int]] = (
+        (2, 2, 2),
+        (3, 3, 3),
+        (4, 3, 3),
+        (6, 5, 5),
+    ),
+) -> List[Tuple[SamplingPlan, ReconstructionReport]]:
+    """Evaluate several sampling budgets against a full dataset."""
+    results = []
+    for per_axis in budgets:
+        plan = plan_for_budget(dataset.space, per_axis)
+        results.append((plan, evaluate_plan(dataset, plan)))
+    return results

@@ -1,0 +1,185 @@
+"""What-if analysis: model-based optimisation counterfactuals.
+
+The taxonomy tells you *why* a kernel stops scaling; this module tells
+you *what fixing it would buy*. Each scenario applies a standard GPU
+optimisation to the kernel's characteristics (coalesce the accesses,
+tile into LDS, privatise the atomics, break the pointer chains, shrink
+register pressure, grow the launch) and re-simulates, ranking the
+candidate optimisations by their flagship-configuration payoff.
+
+This is the advisory loop the paper's characterisation enables: the
+data says the kernel is latency-bound, the counterfactual says breaking
+half its dependence chains is worth 2.1x — go restructure that loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.input_scaling import scale_input
+from repro.gpu.config import HardwareConfig
+from repro.gpu.products import W9100_LIKE
+from repro.gpu.simulator import GpuSimulator
+from repro.kernels.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One candidate optimisation: a name, a transform, a rationale."""
+
+    name: str
+    description: str
+    transform: Callable[[Kernel], Kernel]
+
+    def apply(self, kernel: Kernel) -> Kernel:
+        """The transformed kernel."""
+        return self.transform(kernel)
+
+
+def _coalesce(kernel: Kernel) -> Kernel:
+    ch = kernel.characteristics
+    return kernel.replace(
+        characteristics=ch.replace(
+            coalescing_efficiency=max(ch.coalescing_efficiency, 0.9)
+        )
+    )
+
+
+def _tile_into_lds(kernel: Kernel) -> Kernel:
+    ch = kernel.characteristics
+    return kernel.replace(
+        characteristics=ch.replace(
+            l1_reuse=min(1.0, ch.l1_reuse + 0.3),
+            lds_bytes_per_item=ch.lds_bytes_per_item + 32.0,
+        )
+    )
+
+
+def _privatise_atomics(kernel: Kernel) -> Kernel:
+    ch = kernel.characteristics
+    return kernel.replace(
+        characteristics=ch.replace(
+            atomic_contention=ch.atomic_contention / 4.0
+        )
+    )
+
+
+def _break_chains(kernel: Kernel) -> Kernel:
+    ch = kernel.characteristics
+    return kernel.replace(
+        characteristics=ch.replace(
+            dependent_access_fraction=ch.dependent_access_fraction / 2.0,
+            memory_parallelism=ch.memory_parallelism * 2.0,
+        )
+    )
+
+
+def _shrink_registers(kernel: Kernel) -> Kernel:
+    resources = kernel.resources
+    return kernel.replace(
+        resources=resources.__class__(
+            vgprs=max(24, resources.vgprs // 2),
+            sgprs=resources.sgprs,
+            lds_bytes_per_workgroup=resources.lds_bytes_per_workgroup,
+        )
+    )
+
+
+def _grow_launch(kernel: Kernel) -> Kernel:
+    return scale_input(kernel, 16.0)
+
+
+#: The standard optimisation playbook, in playbook order.
+STANDARD_SCENARIOS = (
+    Scenario(
+        "coalesce",
+        "restructure accesses for >=90% coalescing efficiency",
+        _coalesce,
+    ),
+    Scenario(
+        "lds_tiling",
+        "tile reused data through LDS (raises L1-level reuse)",
+        _tile_into_lds,
+    ),
+    Scenario(
+        "privatise_atomics",
+        "privatise/replicate atomic targets (4x less contention)",
+        _privatise_atomics,
+    ),
+    Scenario(
+        "break_chains",
+        "restructure dependent loads (half the chain, double the MLP)",
+        _break_chains,
+    ),
+    Scenario(
+        "shrink_registers",
+        "halve VGPR usage to raise occupancy",
+        _shrink_registers,
+    ),
+    Scenario(
+        "grow_launch",
+        "expose 16x more work per launch",
+        _grow_launch,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Payoff of one scenario on one kernel."""
+
+    scenario: Scenario
+    baseline_throughput: float
+    optimised_throughput: float
+
+    @property
+    def speedup(self) -> float:
+        """Throughput gain (>1 = the optimisation pays).
+
+        Throughput (work-items/second) rather than raw time, because
+        some scenarios (growing the launch) change how much work one
+        invocation performs.
+        """
+        return self.optimised_throughput / self.baseline_throughput
+
+
+def what_if(
+    kernel: Kernel,
+    config: HardwareConfig = W9100_LIKE,
+    scenarios: Sequence[Scenario] = STANDARD_SCENARIOS,
+    simulator: Optional[GpuSimulator] = None,
+) -> List[WhatIfResult]:
+    """Evaluate every scenario on *kernel* at *config*.
+
+    Results are sorted by payoff, best first. Scenarios that do not
+    apply (e.g. privatising atomics a kernel does not have) naturally
+    report ~1.0x and sort to the bottom.
+    """
+    simulator = simulator or GpuSimulator()
+    baseline = simulator.performance(kernel, config)
+    results = [
+        WhatIfResult(
+            scenario=scenario,
+            baseline_throughput=baseline,
+            optimised_throughput=simulator.performance(
+                scenario.apply(kernel), config
+            ),
+        )
+        for scenario in scenarios
+    ]
+    results.sort(key=lambda r: -r.speedup)
+    return results
+
+
+def best_advice(
+    kernel: Kernel,
+    config: HardwareConfig = W9100_LIKE,
+    minimum_speedup: float = 1.1,
+) -> Optional[WhatIfResult]:
+    """The most profitable standard optimisation, or ``None`` when no
+    scenario clears *minimum_speedup* (the kernel is already near its
+    machine limits)."""
+    results = what_if(kernel, config)
+    best = results[0]
+    return best if best.speedup >= minimum_speedup else None

@@ -1,0 +1,39 @@
+"""Reporting: ASCII tables/figures and the experiment registry."""
+
+from repro.report.artifacts import write_artifacts
+from repro.report.experiments import (
+    EXPERIMENTS,
+    ExperimentContext,
+    ExperimentResult,
+    run_all,
+    run_experiment,
+)
+from repro.report.figures import (
+    Figure,
+    figure_to_csv,
+    FigureSeries,
+    render_figure,
+    render_heatmap,
+    sparkline,
+)
+from repro.report.summary import study_summary
+from repro.report.tables import format_cell, render_kv, render_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentContext",
+    "ExperimentResult",
+    "Figure",
+    "FigureSeries",
+    "figure_to_csv",
+    "format_cell",
+    "render_figure",
+    "render_heatmap",
+    "render_kv",
+    "render_table",
+    "run_all",
+    "run_experiment",
+    "sparkline",
+    "study_summary",
+    "write_artifacts",
+]

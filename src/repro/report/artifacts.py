@@ -1,0 +1,61 @@
+"""Artifact writer: persist regenerated experiments to disk.
+
+``write_artifacts`` renders every (or a chosen subset of) experiment to
+a Markdown file plus a machine-readable JSON sidecar, and an index file
+linking them — the layout a paper-reproduction CI job archives.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from repro.report.experiments import (
+    EXPERIMENTS,
+    ExperimentContext,
+    ExperimentResult,
+)
+
+
+def _artifact_markdown(result: ExperimentResult) -> str:
+    return (
+        f"# {result.experiment_id}: {result.title}\n\n"
+        "```\n"
+        f"{result.text}\n"
+        "```\n"
+    )
+
+
+def write_artifacts(
+    output_dir: Union[str, Path],
+    experiment_ids: Optional[Iterable[str]] = None,
+    ctx: Optional[ExperimentContext] = None,
+) -> Dict[str, Path]:
+    """Regenerate experiments and write them under *output_dir*.
+
+    Returns experiment id -> Markdown path. Each experiment also gets
+    a ``<id>.json`` with its structured data, and the directory gets an
+    ``INDEX.md``.
+    """
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    ctx = ctx or ExperimentContext()
+    ids = list(experiment_ids) if experiment_ids else sorted(EXPERIMENTS)
+
+    written: Dict[str, Path] = {}
+    index_lines = ["# Regenerated experiments", ""]
+    for experiment_id in ids:
+        result = EXPERIMENTS[experiment_id](ctx)
+        md_path = output_dir / f"{experiment_id}.md"
+        md_path.write_text(_artifact_markdown(result))
+        json_path = output_dir / f"{experiment_id}.json"
+        json_path.write_text(json.dumps(result.data, indent=2,
+                                        default=str))
+        written[experiment_id] = md_path
+        index_lines.append(
+            f"- [{experiment_id}]({md_path.name}) — {result.title} "
+            f"([data]({json_path.name}))"
+        )
+    (output_dir / "INDEX.md").write_text("\n".join(index_lines) + "\n")
+    return written

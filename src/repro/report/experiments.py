@@ -1,0 +1,560 @@
+"""Experiment registry: every table and figure, regenerable by ID.
+
+DESIGN.md defines the reconstructed evaluation artifacts T1-T4 and
+F1-F10 (see the per-experiment index there). Each producer returns an
+:class:`ExperimentResult` holding both structured data (for assertions
+in the benchmark harness) and rendered text (for humans). The
+:class:`ExperimentContext` memoises the expensive inputs — the full
+237,897-point sweep and the taxonomy over it — so regenerating all
+fourteen artifacts costs one sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.crossover import crossover_map
+from repro.analysis.regression import summarise_by_category
+from repro.analysis.speedup import (
+    cdf_by_category,
+    configuration_ceiling,
+    overall_cdf,
+)
+from repro.analysis.suite_scaling import (
+    analyse_all_suites,
+    useful_cu_histogram,
+)
+from repro.report.figures import (
+    Figure,
+    FigureSeries,
+    render_figure,
+    render_heatmap,
+)
+from repro.report.tables import render_kv, render_table
+from repro.suites import all_suites
+from repro.sweep.dataset import ScalingDataset
+from repro.sweep.runner import collect_paper_dataset
+from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
+from repro.sweep.views import Axis, axis_slice, clock_surface
+from repro.taxonomy.categories import TaxonomyCategory
+from repro.taxonomy.classifier import TaxonomyResult, classify
+from repro.taxonomy.clustering import evaluate_agreement
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of regenerating one table or figure."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: Dict
+
+
+class ExperimentContext:
+    """Shared, memoised inputs for all experiment producers."""
+
+    def __init__(self, space: ConfigurationSpace = PAPER_SPACE):
+        self._space = space
+        self._dataset: Optional[ScalingDataset] = None
+        self._taxonomy: Optional[TaxonomyResult] = None
+
+    @property
+    def dataset(self) -> ScalingDataset:
+        """The full sweep (collected on first access)."""
+        if self._dataset is None:
+            self._dataset = collect_paper_dataset(space=self._space)
+        return self._dataset
+
+    @property
+    def taxonomy(self) -> TaxonomyResult:
+        """Taxonomy labels over :attr:`dataset`."""
+        if self._taxonomy is None:
+            self._taxonomy = classify(self.dataset)
+        return self._taxonomy
+
+    def representatives(
+        self, category: TaxonomyCategory, count: int = 4
+    ) -> List[str]:
+        """Up to *count* kernels of *category*, largest end-to-end
+        gain first (ties broken by name for determinism)."""
+        members = self.taxonomy.kernels_in(category)
+        gains = {
+            label.kernel_name: label.features.end_to_end_gain
+            for label in self.taxonomy.labels
+        }
+        ranked = sorted(members, key=lambda n: (-gains[n], n))
+        return ranked[:count]
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+
+
+def t1_suite_inventory(ctx: ExperimentContext) -> ExperimentResult:
+    """T1: the 97-program / 267-kernel suite inventory."""
+    rows = [
+        [s.name, s.program_count, s.kernel_count] for s in all_suites()
+    ]
+    total_programs = sum(r[1] for r in rows)
+    total_kernels = sum(r[2] for r in rows)
+    rows.append(["total", total_programs, total_kernels])
+    text = render_table(
+        ["suite", "programs", "kernels"],
+        rows,
+        title="T1: Benchmark suites characterised",
+    )
+    return ExperimentResult(
+        "T1",
+        "Benchmark suites characterised",
+        text,
+        {
+            "per_suite": {r[0]: (r[1], r[2]) for r in rows[:-1]},
+            "total_programs": total_programs,
+            "total_kernels": total_kernels,
+        },
+    )
+
+
+def t2_config_space(ctx: ExperimentContext) -> ExperimentResult:
+    """T2: the 891-configuration hardware grid and its knob ranges."""
+    space = ctx.dataset.space
+    cu_ratio, eng_ratio, mem_ratio = space.axis_ranges
+    pairs = [
+        ["cu settings", len(space.cu_counts)],
+        ["cu range", f"{space.cu_counts[0]}..{space.cu_counts[-1]}"],
+        ["cu ratio", cu_ratio],
+        ["engine states", len(space.engine_mhz)],
+        ["engine range (MHz)",
+         f"{space.engine_mhz[0]:g}..{space.engine_mhz[-1]:g}"],
+        ["engine ratio", eng_ratio],
+        ["memory states", len(space.memory_mhz)],
+        ["memory range (MHz)",
+         f"{space.memory_mhz[0]:g}..{space.memory_mhz[-1]:g}"],
+        ["bandwidth ratio", mem_ratio],
+        ["total configurations", space.size],
+    ]
+    text = render_kv(pairs, title="T2: Hardware configuration space")
+    return ExperimentResult(
+        "T2",
+        "Hardware configuration space",
+        text,
+        {
+            "size": space.size,
+            "cu_ratio": cu_ratio,
+            "engine_ratio": eng_ratio,
+            "bandwidth_ratio": mem_ratio,
+        },
+    )
+
+
+def t3_taxonomy_counts(ctx: ExperimentContext) -> ExperimentResult:
+    """T3: kernels per taxonomy category."""
+    counts = ctx.taxonomy.category_counts()
+    total = sum(counts.values())
+    rows = [
+        [
+            cat.value,
+            "intuitive" if cat.is_intuitive else "non-obvious",
+            n,
+            100.0 * n / total,
+        ]
+        for cat, n in counts.items()
+    ]
+    text = render_table(
+        ["category", "family", "kernels", "percent"],
+        rows,
+        title="T3: Taxonomy of GPGPU performance scaling",
+        precision=1,
+    )
+    return ExperimentResult(
+        "T3",
+        "Taxonomy category counts",
+        text,
+        {
+            "counts": {cat.value: n for cat, n in counts.items()},
+            "total": total,
+            "intuitive_fraction": ctx.taxonomy.intuitive_fraction(),
+        },
+    )
+
+
+def t5_axis_behaviours(ctx: ExperimentContext) -> ExperimentResult:
+    """T5: per-axis behaviour histogram (how many kernels are linear /
+    saturating / flat / inverse along each knob)."""
+    histograms = ctx.taxonomy.axis_behaviour_counts()
+    from repro.taxonomy.axis import AxisBehaviour
+
+    behaviours = list(AxisBehaviour)
+    rows = [
+        [axis] + [histograms[axis][b] for b in behaviours]
+        for axis in ("cu", "engine", "memory")
+    ]
+    text = render_table(
+        ["axis"] + [b.value for b in behaviours],
+        rows,
+        title="T5: Per-axis scaling behaviours across all 267 kernels",
+    )
+    return ExperimentResult(
+        "T5",
+        "Per-axis behaviour histogram",
+        text,
+        {
+            axis: {b.value: n for b, n in counts.items()}
+            for axis, counts in histograms.items()
+        },
+    )
+
+
+def s1_study_summary(ctx: ExperimentContext) -> ExperimentResult:
+    """S1: the abstract-style study summary with measured numbers."""
+    from repro.report.summary import study_summary
+
+    text = study_summary(ctx)
+    return ExperimentResult(
+        "S1", "Study summary", text, {"summary": text}
+    )
+
+
+def t4_suite_breakdown(ctx: ExperimentContext) -> ExperimentResult:
+    """T4: taxonomy category counts per suite."""
+    by_suite = ctx.taxonomy.by_suite()
+    categories = list(TaxonomyCategory)
+    rows = [
+        [suite] + [counts[cat] for cat in categories]
+        for suite, counts in sorted(by_suite.items())
+    ]
+    text = render_table(
+        ["suite"] + [c.value for c in categories],
+        rows,
+        title="T4: Taxonomy breakdown per suite",
+    )
+    return ExperimentResult(
+        "T4",
+        "Taxonomy breakdown per suite",
+        text,
+        {
+            suite: {cat.value: n for cat, n in counts.items()}
+            for suite, counts in by_suite.items()
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures
+# ----------------------------------------------------------------------
+
+
+def _axis_figure(
+    ctx: ExperimentContext,
+    figure_id: str,
+    title: str,
+    axis: Axis,
+    category: TaxonomyCategory,
+    count: int = 4,
+) -> ExperimentResult:
+    kernels = ctx.representatives(category, count)
+    series = []
+    for name in kernels:
+        slice_ = axis_slice(ctx.dataset, name, axis)
+        series.append(
+            FigureSeries(
+                label=name, x=slice_.knob_values, y=slice_.speedup
+            )
+        )
+    figure = Figure(
+        figure_id=figure_id,
+        title=title,
+        x_label=axis.value,
+        y_label="speedup vs axis minimum",
+        series=tuple(series),
+    )
+    return ExperimentResult(
+        figure_id,
+        title,
+        render_figure(figure),
+        {
+            "kernels": kernels,
+            "series": {
+                s.label: {"x": list(s.x), "y": list(s.y)} for s in series
+            },
+        },
+    )
+
+
+def f1_cu_scaling(ctx: ExperimentContext) -> ExperimentResult:
+    """F1: compute-bound kernels scaling with CU count."""
+    return _axis_figure(
+        ctx,
+        "F1",
+        "Compute-bound kernels vs CU count (clocks at max)",
+        Axis.CU,
+        TaxonomyCategory.COMPUTE_BOUND,
+    )
+
+
+def f2_engine_scaling(ctx: ExperimentContext) -> ExperimentResult:
+    """F2: engine-frequency scaling of compute-bound kernels."""
+    return _axis_figure(
+        ctx,
+        "F2",
+        "Compute-bound kernels vs engine clock (44 CUs, memory at max)",
+        Axis.ENGINE,
+        TaxonomyCategory.COMPUTE_BOUND,
+    )
+
+
+def f3_bandwidth_scaling(ctx: ExperimentContext) -> ExperimentResult:
+    """F3: memory-bandwidth scaling of bandwidth-bound kernels."""
+    return _axis_figure(
+        ctx,
+        "F3",
+        "Bandwidth-bound kernels vs memory clock (44 CUs, engine at max)",
+        Axis.MEMORY,
+        TaxonomyCategory.BANDWIDTH_BOUND,
+    )
+
+
+def f4_plateau_surface(ctx: ExperimentContext) -> ExperimentResult:
+    """F4: the (engine, memory) plateau surface of a plateau kernel."""
+    kernels = ctx.representatives(TaxonomyCategory.PLATEAU, 1)
+    name = kernels[0]
+    surface = clock_surface(ctx.dataset, name)
+    space = ctx.dataset.space
+    text = render_heatmap(
+        surface,
+        space.engine_mhz,
+        space.memory_mhz,
+        title=(
+            f"F4: {name} speedup over (engine, memory) plane at 44 CUs "
+            f"(max {surface.max():.2f}x despite 5x/8.3x knob ranges)"
+        ),
+    )
+    return ExperimentResult(
+        "F4",
+        "Frequency/bandwidth plateau surface",
+        text,
+        {"kernel": name, "surface": surface.tolist(),
+         "max_gain": float(surface.max())},
+    )
+
+
+def f5_inverse_cu(ctx: ExperimentContext) -> ExperimentResult:
+    """F5: kernels that lose performance as CUs are added."""
+    result = _axis_figure(
+        ctx,
+        "F5",
+        "Inverse scaling: performance LOSS with added CUs",
+        Axis.CU,
+        TaxonomyCategory.CU_INVERSE,
+    )
+    drops = {}
+    for name in result.data["kernels"]:
+        label = ctx.taxonomy.label_for(name)
+        drops[name] = label.features.cu.drop_from_peak
+    data = dict(result.data)
+    data["drop_from_peak"] = drops
+    return ExperimentResult(result.experiment_id, result.title,
+                            result.text, data)
+
+
+def f6_category_histogram(ctx: ExperimentContext) -> ExperimentResult:
+    """F6: distribution of all 267 kernels across categories."""
+    counts = ctx.taxonomy.category_counts()
+    rows = [[cat.value, n] for cat, n in counts.items()]
+    text = render_table(
+        ["category", "kernels"],
+        rows,
+        title="F6: Kernel distribution across the taxonomy",
+    )
+    return ExperimentResult(
+        "F6",
+        "Taxonomy histogram",
+        text,
+        {"counts": {cat.value: n for cat, n in counts.items()}},
+    )
+
+
+def f7_suite_scalability(ctx: ExperimentContext) -> ExperimentResult:
+    """F7: do the suites scale to modern GPU sizes?"""
+    per_suite = analyse_all_suites(ctx.dataset, ctx.taxonomy)
+    rows = [
+        [
+            s.suite,
+            s.kernel_count,
+            s.median_useful_cus,
+            100.0 * s.fraction_scaling_to_full,
+            100.0 * (s.fraction_parallelism_starved or 0.0),
+            s.scales_to_modern_gpus,
+        ]
+        for s in per_suite.values()
+    ]
+    text = render_table(
+        [
+            "suite",
+            "kernels",
+            "median useful CUs",
+            "% scaling to 44",
+            "% starved of work",
+            "scales?",
+        ],
+        rows,
+        title="F7: Suite scalability to modern GPU sizes",
+        precision=1,
+    )
+    histogram = useful_cu_histogram(ctx.dataset)
+    return ExperimentResult(
+        "F7",
+        "Suite scalability",
+        text,
+        {
+            "per_suite": {
+                s.suite: {
+                    "median_useful_cus": s.median_useful_cus,
+                    "fraction_scaling_to_full": s.fraction_scaling_to_full,
+                    "fraction_parallelism_starved": (
+                        s.fraction_parallelism_starved
+                    ),
+                    "scales": s.scales_to_modern_gpus,
+                }
+                for s in per_suite.values()
+            },
+            "useful_cu_histogram": histogram,
+        },
+    )
+
+
+def f8_crossover(ctx: ExperimentContext) -> ExperimentResult:
+    """F8: compute<->bandwidth crossover maps for balanced kernels."""
+    kernels = ctx.representatives(TaxonomyCategory.BALANCED, 2)
+    space = ctx.dataset.space
+    blocks = []
+    data = {}
+    for name in kernels:
+        cmap = crossover_map(ctx.dataset, name)
+        blocks.append(
+            render_heatmap(
+                cmap.dominance.astype(np.float64),
+                space.engine_mhz,
+                space.memory_mhz,
+                title=(
+                    f"F8: {name} dominant knob over (engine, memory) "
+                    "(dark=engine, light=memory)"
+                ),
+            )
+        )
+        data[name] = {
+            "compute_fraction": cmap.compute_bound_fraction,
+            "bandwidth_fraction": cmap.bandwidth_bound_fraction,
+            "has_crossover": cmap.has_crossover,
+        }
+    return ExperimentResult(
+        "F8", "Bottleneck crossover maps", "\n\n".join(blocks), data
+    )
+
+
+def f9_speedup_cdf(ctx: ExperimentContext) -> ExperimentResult:
+    """F9: end-to-end speedup CDFs, overall and per category."""
+    cdfs = cdf_by_category(ctx.dataset, ctx.taxonomy)
+    overall = overall_cdf(ctx.dataset)
+    series = [
+        FigureSeries(
+            label="all",
+            x=tuple(overall.sorted_speedups),
+            y=tuple(overall.cdf_y),
+        )
+    ]
+    medians = {"all": overall.median}
+    for category, cdf in cdfs.items():
+        series.append(
+            FigureSeries(
+                label=category.value,
+                x=tuple(cdf.sorted_speedups),
+                y=tuple(cdf.cdf_y),
+            )
+        )
+        medians[category.value] = cdf.median
+    figure = Figure(
+        figure_id="F9",
+        title="End-to-end speedup CDFs (min config -> max config)",
+        x_label="speedup",
+        y_label="fraction of kernels",
+        series=tuple(series),
+    )
+    return ExperimentResult(
+        "F9",
+        "Speedup CDFs",
+        render_figure(figure),
+        {
+            "medians": medians,
+            "ceiling": configuration_ceiling(ctx.dataset),
+        },
+    )
+
+
+def f10_cluster_agreement(ctx: ExperimentContext) -> ExperimentResult:
+    """F10: unsupervised clusters vs the rule-based taxonomy."""
+    agreement = evaluate_agreement(ctx.dataset, ctx.taxonomy)
+    pairs = [
+        ["cluster purity", agreement.purity],
+        ["adjusted rand index", agreement.adjusted_rand_index],
+        ["agrees", agreement.agrees],
+    ]
+    text = render_kv(
+        pairs, title="F10: Cluster vs taxonomy agreement"
+    )
+    return ExperimentResult(
+        "F10",
+        "Cluster agreement",
+        text,
+        {
+            "purity": agreement.purity,
+            "ari": agreement.adjusted_rand_index,
+            "majorities": agreement.cluster_majorities,
+        },
+    )
+
+
+#: All experiment producers, keyed by experiment ID.
+EXPERIMENTS: Dict[str, Callable[[ExperimentContext], ExperimentResult]] = {
+    "S1": s1_study_summary,
+    "T1": t1_suite_inventory,
+    "T2": t2_config_space,
+    "T3": t3_taxonomy_counts,
+    "T4": t4_suite_breakdown,
+    "T5": t5_axis_behaviours,
+    "F1": f1_cu_scaling,
+    "F2": f2_engine_scaling,
+    "F3": f3_bandwidth_scaling,
+    "F4": f4_plateau_surface,
+    "F5": f5_inverse_cu,
+    "F6": f6_category_histogram,
+    "F7": f7_suite_scalability,
+    "F8": f8_crossover,
+    "F9": f9_speedup_cdf,
+    "F10": f10_cluster_agreement,
+}
+
+
+def run_experiment(
+    experiment_id: str, ctx: Optional[ExperimentContext] = None
+) -> ExperimentResult:
+    """Regenerate one experiment by ID."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id](ctx or ExperimentContext())
+
+
+def run_all(
+    ctx: Optional[ExperimentContext] = None,
+) -> Dict[str, ExperimentResult]:
+    """Regenerate every table and figure (one shared sweep)."""
+    ctx = ctx or ExperimentContext()
+    return {eid: fn(ctx) for eid, fn in EXPERIMENTS.items()}

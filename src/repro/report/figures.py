@@ -1,0 +1,125 @@
+"""Figure data series and text rendering (sparklines, heatmaps).
+
+Each figure in the benchmark harness is backed by a
+:class:`FigureSeries` (named x/y arrays) so the numbers are available
+programmatically, plus a text renderer for terminal inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+_HEAT_CHARS = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One named line of a figure."""
+
+    label: str
+    x: Tuple[float, ...]
+    y: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.x)} x-values vs "
+                f"{len(self.y)} y-values"
+            )
+
+
+@dataclass(frozen=True)
+class Figure:
+    """A figure: identity, axis labels, and its series."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Tuple[FigureSeries, ...]
+
+    def series_by_label(self, label: str) -> FigureSeries:
+        """Look up one series; raises ``KeyError``."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(
+            f"figure {self.figure_id} has no series {label!r}; "
+            f"available: {[s.label for s in self.series]}"
+        )
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render values as a unicode sparkline (min..max mapped to bars)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    low, high = float(arr.min()), float(arr.max())
+    if high == low:
+        return _SPARK_CHARS[0] * arr.size
+    scaled = (arr - low) / (high - low) * (len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[int(round(v))] for v in scaled)
+
+
+def render_figure(figure: Figure, precision: int = 2) -> str:
+    """Render a figure as labelled sparklines with endpoint values."""
+    lines = [f"{figure.figure_id}: {figure.title}"]
+    lines.append(f"  x: {figure.x_label}   y: {figure.y_label}")
+    width = max((len(s.label) for s in figure.series), default=0)
+    for s in figure.series:
+        spark = sparkline(s.y)
+        first = f"{s.y[0]:.{precision}f}"
+        last = f"{s.y[-1]:.{precision}f}"
+        lines.append(
+            f"  {s.label.ljust(width)}  {spark}  [{first} -> {last}]"
+        )
+    return "\n".join(lines)
+
+
+def figure_to_csv(figure: Figure) -> str:
+    """Long-format CSV of a figure's series (for external plotting).
+
+    Columns: series, x, y — one row per data point, so any plotting
+    stack (pandas/gnuplot/spreadsheet) can regenerate the figure from
+    the harness output.
+    """
+    lines = ["series,x,y"]
+    for series in figure.series:
+        for x, y in zip(series.x, series.y):
+            lines.append(f"{series.label},{x:g},{y:g}")
+    return "\n".join(lines) + "\n"
+
+
+def render_heatmap(
+    grid: np.ndarray,
+    row_labels: Sequence[float],
+    col_labels: Sequence[float],
+    title: str = "",
+) -> str:
+    """Render a 2-D array as a character-density heatmap.
+
+    Rows print top-to-bottom in *reverse* order so larger row values
+    sit visually "up", matching conventional axis orientation.
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    low, high = float(grid.min()), float(grid.max())
+    span = high - low if high > low else 1.0
+    lines = [title] if title else []
+    for i in reversed(range(grid.shape[0])):
+        cells = []
+        for j in range(grid.shape[1]):
+            level = (grid[i, j] - low) / span
+            cells.append(
+                _HEAT_CHARS[int(round(level * (len(_HEAT_CHARS) - 1)))]
+            )
+        lines.append(f"{row_labels[i]:>8g} |" + "".join(cells) + "|")
+    footer = "".join("-" for _ in range(grid.shape[1]))
+    lines.append(f"{'':>8s} +{footer}+")
+    lines.append(
+        f"{'':>10s}{col_labels[0]:g} .. {col_labels[-1]:g}"
+    )
+    return "\n".join(lines)

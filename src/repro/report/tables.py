@@ -1,0 +1,89 @@
+"""Plain-text table rendering.
+
+No plotting stack is available offline, so every table and figure the
+benchmark harness regenerates is rendered as monospace text. The
+formatter right-aligns numbers, left-aligns labels, and keeps column
+widths content-driven.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    """Render one cell: floats to *precision*, everything else via str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render an ASCII table with a header rule.
+
+    Numeric columns (all data cells int/float) are right-aligned.
+    """
+    text_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+
+    numeric = [
+        all(
+            isinstance(row[col], (int, float)) and not isinstance(
+                row[col], bool
+            )
+            for row in rows
+        )
+        if rows
+        else False
+        for col in range(len(headers))
+    ]
+    widths = [
+        max(
+            len(str(headers[col])),
+            max((len(r[col]) for r in text_rows), default=0),
+        )
+        for col in range(len(headers))
+    ]
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for col, cell in enumerate(cells):
+            if numeric[col]:
+                parts.append(cell.rjust(widths[col]))
+            else:
+                parts.append(cell.ljust(widths[col]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def render_kv(
+    pairs: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render key/value pairs as a two-column listing."""
+    return render_table(
+        ["metric", "value"], pairs, title=title, precision=precision
+    )

@@ -1,0 +1,45 @@
+"""The 97-program / 267-kernel synthetic benchmark catalog.
+
+One module per suite; :mod:`repro.suites.registry` aggregates them and
+enforces the paper's totals. Import the registry lazily-friendly
+helpers from here::
+
+    from repro.suites import all_kernels, all_suites, suite
+"""
+
+from repro.suites.catalog import (
+    Program,
+    ProgramBuilder,
+    Suite,
+    catalog_summary,
+)
+
+__all__ = [
+    "Program",
+    "ProgramBuilder",
+    "Suite",
+    "all_kernels",
+    "all_suites",
+    "catalog_summary",
+    "catalog_totals",
+    "kernel_by_name",
+    "suite",
+    "suite_names",
+]
+
+
+def __getattr__(name):
+    # registry imports the suite modules, which import this package;
+    # resolving its names lazily avoids the circular import.
+    if name in (
+        "all_suites",
+        "all_kernels",
+        "suite",
+        "suite_names",
+        "kernel_by_name",
+        "catalog_totals",
+    ):
+        from repro.suites import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

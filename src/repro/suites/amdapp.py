@@ -1,0 +1,226 @@
+"""AMD APP SDK-like suite: 16 programs, 28 kernels.
+
+The APP SDK samples are small, regular, well-tuned demonstration
+codes: dense math (matmul, DCT, NBody), classic parallel primitives
+(scan, reduction, radix sort) and a few financial/Monte-Carlo codes.
+Most are compute- or LDS-bound and scale cleanly; the primitives have
+multi-phase launches whose small upper-tree phases plateau.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.archetypes import (
+    atomic_kernel,
+    balanced_kernel,
+    cache_resident_kernel,
+    compute_kernel,
+    divergent_kernel,
+    latency_kernel,
+    lds_kernel,
+    limited_parallelism_kernel,
+    streaming_kernel,
+    tiny_kernel,
+)
+from repro.suites.catalog import ProgramBuilder, Suite
+
+SUITE = "amdapp"
+
+
+#: One-line description of the computation each program models.
+DESCRIPTIONS = {
+    'binarysearch': (
+        'Sorted-array binary search: a pure pointer-chase with one '
+        'dependent load per step. '
+    ),
+    'bitonicsort': (
+        'Bitonic sorting network: global strided exchange stages '
+        'and LDS-resident local stages. '
+    ),
+    'blackscholes': (
+        'Black-Scholes European option pricing: heavy '
+        'transcendental math per option. '
+    ),
+    'boxfilter': (
+        'Separable box blur: horizontal and vertical LDS-tiled '
+        'passes over an image. '
+    ),
+    'dct': (
+        '8x8 block discrete cosine transform and its inverse, '
+        'LDS-tiled. '
+    ),
+    'fastwalsh': (
+        'Fast Walsh-Hadamard transform: global butterfly stages '
+        'plus an LDS-resident tail. '
+    ),
+    'floydwarshall': (
+        'All-pairs shortest paths: full-matrix relaxation passes '
+        'and a cache-blocked variant. '
+    ),
+    'histogram': (
+        '256-bin histogram: atomic binning over the input plus a '
+        'small merge of partial histograms. '
+    ),
+    'mandelbrot': (
+        'Mandelbrot set escape-time iteration: divergent, '
+        'compute-dominated per-pixel loops. '
+    ),
+    'matrixmul': (
+        'Dense SGEMM: LDS-tiled implementation and a naive '
+        'global-memory-bound variant. '
+    ),
+    'matrixtranspose': (
+        'Out-of-place matrix transpose staged through LDS for '
+        'coalesced stores. '
+    ),
+    'montecarlo': (
+        'Monte-Carlo Asian option pricing: long independent random '
+        'walks plus a small reduction. '
+    ),
+    'nbody': (
+        'All-pairs N-body gravity: O(N^2) force accumulation, the '
+        'classic compute-bound showcase. '
+    ),
+    'radixsort': (
+        'Radix sort passes: digit histogram (atomics), bucket scan '
+        'and scatter permutation. '
+    ),
+    'reduction': (
+        'Tree reduction over a large array: one bandwidth-bound '
+        'pass per level. '
+    ),
+    'scan': (
+        'Blelloch prefix sum: per-block scans, a single-workgroup '
+        'top-level scan and offset addition. '
+    ),
+}
+
+
+def make_suite() -> Suite:
+    """Build the AMD APP SDK-like catalog (16 programs / 28 kernels)."""
+    b = ProgramBuilder(SUITE, DESCRIPTIONS)
+
+    b.program(
+        "binarysearch",
+        latency_kernel("binarysearch", "binary_search", suite=SUITE,
+                       dependent_fraction=0.85, load_bytes=28.0,
+                       memory_parallelism=1.0, global_size=1 << 18),
+    )
+    b.program(
+        "bitonicsort",
+        streaming_kernel("bitonicsort", "bitonic_global", suite=SUITE,
+                         valu_ops=26.0, load_bytes=8.0, store_bytes=8.0,
+                         coalescing=0.55),
+        lds_kernel("bitonicsort", "bitonic_local", suite=SUITE,
+                   valu_ops=130.0, lds_bytes=64.0, barriers=16.0),
+    )
+    b.program(
+        "blackscholes",
+        compute_kernel("blackscholes", "black_scholes", suite=SUITE,
+                       valu_ops=680.0, load_bytes=20.0, store_bytes=8.0,
+                       global_size=1 << 22),
+    )
+    b.program(
+        "boxfilter",
+        lds_kernel("boxfilter", "box_horizontal", suite=SUITE,
+                   valu_ops=150.0, lds_bytes=56.0, barriers=4.0),
+        lds_kernel("boxfilter", "box_vertical", suite=SUITE,
+                   valu_ops=150.0, lds_bytes=56.0, barriers=4.0,
+                   load_bytes=16.0),
+    )
+    b.program(
+        "dct",
+        lds_kernel("dct", "dct8x8", suite=SUITE, valu_ops=360.0,
+                   lds_bytes=64.0, barriers=3.0),
+        lds_kernel("dct", "idct8x8", suite=SUITE, valu_ops=360.0,
+                   lds_bytes=64.0, barriers=3.0),
+    )
+    b.program(
+        "fastwalsh",
+        streaming_kernel("fastwalsh", "fwt_global", suite=SUITE,
+                         valu_ops=20.0, load_bytes=16.0, store_bytes=16.0,
+                         coalescing=0.6),
+        lds_kernel("fastwalsh", "fwt_local", suite=SUITE, valu_ops=200.0,
+                   lds_bytes=72.0, barriers=11.0),
+    )
+    b.program(
+        "floydwarshall",
+        streaming_kernel("floydwarshall", "fw_pass", suite=SUITE,
+                         valu_ops=16.0, load_bytes=24.0, store_bytes=8.0,
+                         footprint_mib=16.0),
+        cache_resident_kernel("floydwarshall", "fw_blocked", suite=SUITE,
+                              valu_ops=220.0, load_bytes=40.0,
+                              footprint_kib=768.0),
+    )
+    b.program(
+        "histogram",
+        atomic_kernel("histogram", "histogram256", suite=SUITE,
+                      atomic_ops=1.0, contention=0.3, valu_ops=24.0,
+                      global_size=1 << 22),
+        limited_parallelism_kernel("histogram", "merge_bins", suite=SUITE,
+                                   num_workgroups=16, valu_ops=80.0),
+    )
+    b.program(
+        "mandelbrot",
+        divergent_kernel("mandelbrot", "mandelbrot", suite=SUITE,
+                         valu_ops=3200.0, simd_efficiency=0.55,
+                         load_bytes=4.0, global_size=1 << 21),
+    )
+    b.program(
+        "matrixmul",
+        lds_kernel("matrixmul", "mmul_tiled", suite=SUITE, valu_ops=1024.0,
+                   lds_bytes=128.0, barriers=16.0, load_bytes=32.0,
+                   lds_per_workgroup=32768, global_size=1 << 20),
+        streaming_kernel("matrixmul", "mmul_naive", suite=SUITE,
+                         valu_ops=512.0, load_bytes=2048.0,
+                         store_bytes=4.0, coalescing=0.7,
+                         global_size=1 << 18),
+    )
+    b.program(
+        "matrixtranspose",
+        streaming_kernel("matrixtranspose", "transpose_lds", suite=SUITE,
+                         valu_ops=8.0, load_bytes=4.0, store_bytes=4.0,
+                         coalescing=0.9),
+    )
+    b.program(
+        "montecarlo",
+        compute_kernel("montecarlo", "mc_simulation", suite=SUITE,
+                       valu_ops=4100.0, load_bytes=12.0,
+                       global_size=1 << 19),
+        limited_parallelism_kernel("montecarlo", "mc_reduce", suite=SUITE,
+                                   num_workgroups=32, valu_ops=120.0),
+    )
+    b.program(
+        "nbody",
+        compute_kernel("nbody", "nbody_sim", suite=SUITE, valu_ops=9800.0,
+                       load_bytes=32.0, store_bytes=16.0,
+                       global_size=1 << 16, vgprs=64),
+    )
+    b.program(
+        "radixsort",
+        atomic_kernel("radixsort", "histogram_pass", suite=SUITE,
+                      atomic_ops=1.0, contention=0.15, valu_ops=30.0),
+        limited_parallelism_kernel("radixsort", "scan_buckets", suite=SUITE,
+                                   num_workgroups=16, valu_ops=90.0),
+        streaming_kernel("radixsort", "permute", suite=SUITE,
+                         valu_ops=18.0, load_bytes=8.0, store_bytes=8.0,
+                         coalescing=0.3),
+    )
+    b.program(
+        "reduction",
+        streaming_kernel("reduction", "reduce_stage", suite=SUITE,
+                         valu_ops=12.0, load_bytes=16.0, store_bytes=0.1,
+                         coalescing=0.95),
+    )
+    b.program(
+        "scan",
+        streaming_kernel("scan", "scan_blocks", suite=SUITE, valu_ops=22.0,
+                         load_bytes=8.0, store_bytes=8.0),
+        tiny_kernel("scan", "scan_top", suite=SUITE, num_workgroups=1,
+                    workgroup_size=256),
+        streaming_kernel("scan", "add_offsets", suite=SUITE, valu_ops=6.0,
+                         load_bytes=8.0, store_bytes=4.0),
+    )
+    return b.finish(
+        description="Vendor SDK samples: regular, tuned demonstration "
+        "kernels, mostly compute/LDS bound."
+    )

@@ -1,0 +1,153 @@
+"""Catalog data structures: suites, programs, and their invariants.
+
+The study characterises **267 kernels from 97 programs** drawn from the
+popular GPGPU benchmark suites of the era. Our synthetic catalog keeps
+that exact accounting — suite modules declare programs and kernels, and
+:mod:`repro.suites.registry` enforces the totals — so every analysis
+downstream (taxonomy histograms, per-suite scalability critique) runs
+at the paper's scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import SuiteError
+from repro.kernels.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class Program:
+    """One benchmark program: a named collection of kernels."""
+
+    name: str
+    suite: str
+    kernels: Tuple[Kernel, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SuiteError("program name must be non-empty")
+        if not self.kernels:
+            raise SuiteError(f"program {self.name!r} declares no kernels")
+        names = [k.name for k in self.kernels]
+        if len(set(names)) != len(names):
+            raise SuiteError(
+                f"program {self.name!r} has duplicate kernel names: {names}"
+            )
+        for kernel in self.kernels:
+            if kernel.program != self.name:
+                raise SuiteError(
+                    f"kernel {kernel.full_name!r} declares program "
+                    f"{kernel.program!r} but lives in {self.name!r}"
+                )
+            if kernel.suite != self.suite:
+                raise SuiteError(
+                    f"kernel {kernel.full_name!r} declares suite "
+                    f"{kernel.suite!r} but lives in {self.suite!r}"
+                )
+
+    @property
+    def kernel_count(self) -> int:
+        """Number of kernels in this program."""
+        return len(self.kernels)
+
+
+@dataclass(frozen=True)
+class Suite:
+    """One benchmark suite: a named collection of programs."""
+
+    name: str
+    programs: Tuple[Program, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SuiteError("suite name must be non-empty")
+        if not self.programs:
+            raise SuiteError(f"suite {self.name!r} declares no programs")
+        names = [p.name for p in self.programs]
+        if len(set(names)) != len(names):
+            raise SuiteError(
+                f"suite {self.name!r} has duplicate program names"
+            )
+        for program in self.programs:
+            if program.suite != self.name:
+                raise SuiteError(
+                    f"program {program.name!r} declares suite "
+                    f"{program.suite!r} but lives in {self.name!r}"
+                )
+
+    @property
+    def program_count(self) -> int:
+        """Number of programs in this suite."""
+        return len(self.programs)
+
+    @property
+    def kernel_count(self) -> int:
+        """Number of kernels across all programs."""
+        return sum(p.kernel_count for p in self.programs)
+
+    def kernels(self) -> Iterator[Kernel]:
+        """Iterate all kernels in declaration order."""
+        for program in self.programs:
+            yield from program.kernels
+
+    def program(self, name: str) -> Program:
+        """Look up a program by name; raises :class:`SuiteError`."""
+        for candidate in self.programs:
+            if candidate.name == name:
+                return candidate
+        raise SuiteError(f"suite {self.name!r} has no program {name!r}")
+
+
+class ProgramBuilder:
+    """Incremental builder used by suite modules.
+
+    Keeps suite-module code declarative::
+
+        build = ProgramBuilder("rodinia")
+        build.program("bfs", latency_kernel("bfs", "kernel1", ...),
+                             latency_kernel("bfs", "kernel2", ...))
+        suite = build.finish(description="...")
+    """
+
+    def __init__(self, suite_name: str, descriptions: dict = None):
+        self._suite_name = suite_name
+        self._programs: List[Program] = []
+        self._descriptions = descriptions or {}
+
+    @property
+    def suite_name(self) -> str:
+        """The suite under construction."""
+        return self._suite_name
+
+    def program(self, name: str, *kernels: Kernel) -> None:
+        """Add a program with its kernels (validated immediately).
+
+        The program's description is looked up from the builder's
+        description table (suite modules keep a ``DESCRIPTIONS`` dict
+        so the catalog stays declarative).
+        """
+        self._programs.append(
+            Program(
+                name=name,
+                suite=self._suite_name,
+                kernels=tuple(kernels),
+                description=self._descriptions.get(name, ""),
+            )
+        )
+
+    def finish(self, description: str = "") -> Suite:
+        """Seal the builder into an immutable :class:`Suite`."""
+        return Suite(
+            name=self._suite_name,
+            programs=tuple(self._programs),
+            description=description,
+        )
+
+
+def catalog_summary(suites: List[Suite]) -> Dict[str, Tuple[int, int]]:
+    """Map suite name -> (program count, kernel count)."""
+    return {s.name: (s.program_count, s.kernel_count) for s in suites}

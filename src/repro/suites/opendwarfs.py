@@ -1,0 +1,192 @@
+"""OpenDwarfs-like suite: 12 programs, 30 kernels.
+
+OpenDwarfs implements Berkeley's "13 dwarfs" taxonomy in OpenCL:
+one representative per computational pattern, from dense/sparse linear
+algebra through dynamic programming, branch-and-bound and graphical
+models. Coverage is deliberately broad, so this suite contributes at
+least one kernel to nearly every scaling class.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.archetypes import (
+    atomic_kernel,
+    balanced_kernel,
+    compute_kernel,
+    divergent_kernel,
+    latency_kernel,
+    lds_kernel,
+    limited_parallelism_kernel,
+    streaming_kernel,
+    thrashing_kernel,
+    tiny_kernel,
+)
+from repro.suites.catalog import ProgramBuilder, Suite
+
+SUITE = "opendwarfs"
+
+
+#: One-line description of the computation each program models.
+DESCRIPTIONS = {
+    'astar': (
+        'A* path search (branch-and-bound dwarf): node expansion '
+        'chases and contended open-list updates. '
+    ),
+    'bwa_hmm': (
+        'Hidden-Markov-model forward/backward (graphical-models '
+        'dwarf) with per-step scaling. '
+    ),
+    'crc': (
+        'Cyclic redundancy check (combinational-logic dwarf): '
+        'table-driven streaming over messages. '
+    ),
+    'fft': (
+        'Radix-4 FFT (spectral dwarf): butterflies, bit-reversal '
+        'shuffle and twiddle application. '
+    ),
+    'gem': (
+        'Molecular electrostatics (N-body dwarf): dense pairwise '
+        'potential evaluation. '
+    ),
+    'kmeans': (
+        'K-means (dense-linear-algebra/MapReduce dwarf): assignment '
+        'streaming plus atomic mean updates. '
+    ),
+    'lud': (
+        'LU decomposition (dense dwarf): diagonal, perimeter and '
+        'interior phases. '
+    ),
+    'nqueens': (
+        'N-queens backtracking (branch-and-bound dwarf): deeply '
+        'divergent per-board searches. '
+    ),
+    'spmv': (
+        'Sparse matrix-vector product (sparse dwarf) with '
+        'cache-straining CSR rows. '
+    ),
+    'srad': (
+        'Speckle-reducing anisotropic diffusion (structured-grid '
+        'dwarf). '
+    ),
+    'swat': (
+        'Smith-Waterman alignment (dynamic-programming dwarf): '
+        'anti-diagonal waves with LDS staging. '
+    ),
+    'tdm': (
+        'Time-delay neural classification (unstructured-grid '
+        'dwarf): divergent classification plus distances. '
+    ),
+}
+
+
+def make_suite() -> Suite:
+    """Build the OpenDwarfs-like catalog (12 programs / 30 kernels)."""
+    b = ProgramBuilder(SUITE, DESCRIPTIONS)
+
+    b.program(
+        "astar",
+        latency_kernel("astar", "expand_nodes", suite=SUITE,
+                       dependent_fraction=0.8, load_bytes=56.0,
+                       simd_efficiency=0.4, global_size=1 << 18),
+        atomic_kernel("astar", "update_open_list", suite=SUITE,
+                      atomic_ops=1.0, contention=0.5, valu_ops=40.0,
+                      global_size=1 << 18),
+    )
+    b.program(
+        "bwa_hmm",
+        balanced_kernel("bwa_hmm", "forward_step", suite=SUITE,
+                        valu_ops=520.0, load_bytes=44.0),
+        balanced_kernel("bwa_hmm", "backward_step", suite=SUITE,
+                        valu_ops=500.0, load_bytes=44.0),
+        limited_parallelism_kernel("bwa_hmm", "scale_alpha", suite=SUITE,
+                                   num_workgroups=24, valu_ops=80.0),
+    )
+    b.program(
+        "crc",
+        streaming_kernel("crc", "crc_compute", suite=SUITE, valu_ops=48.0,
+                         load_bytes=16.0, store_bytes=0.5,
+                         coalescing=0.95, global_size=1 << 22),
+        tiny_kernel("crc", "crc_combine", suite=SUITE, num_workgroups=4),
+    )
+    b.program(
+        "fft",
+        lds_kernel("fft", "fft_radix4", suite=SUITE, valu_ops=380.0,
+                   lds_bytes=88.0, barriers=8.0, load_bytes=32.0),
+        streaming_kernel("fft", "bit_reverse", suite=SUITE, valu_ops=14.0,
+                         load_bytes=8.0, store_bytes=8.0, coalescing=0.4),
+        balanced_kernel("fft", "twiddle_apply", suite=SUITE,
+                        valu_ops=260.0, load_bytes=36.0),
+    )
+    b.program(
+        "gem",
+        compute_kernel("gem", "electrostatics", suite=SUITE,
+                       valu_ops=5400.0, load_bytes=40.0,
+                       global_size=1 << 17, vgprs=68),
+        tiny_kernel("gem", "setup_grid", suite=SUITE, num_workgroups=20),
+    )
+    b.program(
+        "kmeans",
+        streaming_kernel("kmeans", "assign_points", suite=SUITE,
+                         valu_ops=130.0, load_bytes=36.0, store_bytes=4.0,
+                         footprint_mib=96.0),
+        atomic_kernel("kmeans", "update_means", suite=SUITE,
+                      atomic_ops=2.0, contention=0.35, valu_ops=36.0),
+    )
+    b.program(
+        "lud",
+        tiny_kernel("lud", "diagonal_block", suite=SUITE, num_workgroups=1,
+                    workgroup_size=256, launch_overhead_us=9.0),
+        limited_parallelism_kernel("lud", "perimeter_blocks", suite=SUITE,
+                                   num_workgroups=14, valu_ops=380.0),
+        lds_kernel("lud", "interior_blocks", suite=SUITE, valu_ops=320.0,
+                   lds_bytes=64.0, barriers=4.0, global_size=1 << 18),
+    )
+    b.program(
+        "nqueens",
+        divergent_kernel("nqueens", "solve_boards", suite=SUITE,
+                         valu_ops=4400.0, simd_efficiency=0.25,
+                         load_bytes=8.0, global_size=1 << 18),
+    )
+    b.program(
+        "spmv",
+        thrashing_kernel("spmv", "csr_kernel", suite=SUITE, valu_ops=56.0,
+                         load_bytes=52.0, footprint_mib=26.0,
+                         l2_reuse=0.82, row_sensitivity=0.7),
+        tiny_kernel("spmv", "zero_y", suite=SUITE, num_workgroups=44,
+                    valu_ops=160.0),
+    )
+    b.program(
+        "srad",
+        streaming_kernel("srad", "srad_main", suite=SUITE, valu_ops=96.0,
+                         load_bytes=40.0, store_bytes=12.0),
+        streaming_kernel("srad", "srad_diffusion", suite=SUITE,
+                         valu_ops=84.0, load_bytes=36.0, store_bytes=8.0),
+        atomic_kernel("srad", "srad_reduce", suite=SUITE, atomic_ops=0.5,
+                      contention=0.25, valu_ops=26.0),
+    )
+    b.program(
+        "swat",
+        lds_kernel("swat", "sw_diag", suite=SUITE, valu_ops=240.0,
+                   lds_bytes=72.0, barriers=18.0, global_size=1 << 18),
+        limited_parallelism_kernel("swat", "sw_boundary", suite=SUITE,
+                                   num_workgroups=10, valu_ops=200.0,
+                                   workgroup_size=64),
+        streaming_kernel("swat", "trace_back_prep", suite=SUITE,
+                         valu_ops=18.0, load_bytes=16.0, store_bytes=8.0),
+        tiny_kernel("swat", "init_matrix", suite=SUITE, num_workgroups=32,
+                    valu_ops=170.0),
+    )
+    b.program(
+        "tdm",
+        divergent_kernel("tdm", "classify_points", suite=SUITE,
+                         valu_ops=900.0, simd_efficiency=0.5,
+                         load_bytes=28.0),
+        streaming_kernel("tdm", "distance_matrix", suite=SUITE,
+                         valu_ops=64.0, load_bytes=44.0, store_bytes=8.0),
+        tiny_kernel("tdm", "finalize_labels", suite=SUITE,
+                    num_workgroups=36, workgroup_size=128),
+    )
+    return b.finish(
+        description="Berkeley-dwarf coverage suite: one representative "
+        "pattern per dwarf, broad behavioural spread."
+    )

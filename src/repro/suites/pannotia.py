@@ -1,0 +1,168 @@
+"""Pannotia-like suite: 8 programs, 30 kernels.
+
+Pannotia collects irregular graph-analytics workloads (betweenness
+centrality, graph colouring, all-pairs paths, maximal independent set,
+PageRank, SSSP). Graph kernels are the paper's richest source of
+"non-obvious" scaling: pointer-chasing latency chains, contended
+atomics, heavy branch divergence, and frontier phases whose
+parallelism varies by orders of magnitude between launches.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.archetypes import (
+    atomic_kernel,
+    divergent_kernel,
+    latency_kernel,
+    limited_parallelism_kernel,
+    streaming_kernel,
+    thrashing_kernel,
+    tiny_kernel,
+)
+from repro.suites.catalog import ProgramBuilder, Suite
+
+SUITE = "pannotia"
+
+
+#: One-line description of the computation each program models.
+DESCRIPTIONS = {
+    'bc': (
+        'Betweenness centrality: forward BFS waves, dependency '
+        'back-sum and atomic delta accumulation. '
+    ),
+    'color_max': (
+        'Greedy graph colouring, max-independent-set variant with '
+        'divergent neighbour scans. '
+    ),
+    'color_maxmin': (
+        'Graph colouring claiming two colours per iteration via '
+        'simultaneous max/min hashes. '
+    ),
+    'fw': (
+        'Floyd-Warshall all-pairs shortest paths with a '
+        'cache-pressured blocked variant. '
+    ),
+    'mis': (
+        'Maximal independent set: randomised candidate selection '
+        'with neighbour-dependent rejection. '
+    ),
+    'pagerank': (
+        'PageRank via per-edge atomic rank scatter over a CSR '
+        'graph. '
+    ),
+    'pagerank_spmv': (
+        'PageRank formulated as SpMV iterations: rank vector times '
+        'transition matrix. '
+    ),
+    'sssp': (
+        'Single-source shortest paths: edge relaxation with atomic '
+        'distance updates. '
+    ),
+}
+
+
+def make_suite() -> Suite:
+    """Build the Pannotia-like catalog (8 programs / 30 kernels)."""
+    b = ProgramBuilder(SUITE, DESCRIPTIONS)
+
+    b.program(
+        "bc",
+        latency_kernel("bc", "bfs_forward", suite=SUITE,
+                       dependent_fraction=0.85, load_bytes=48.0,
+                       simd_efficiency=0.4, global_size=1 << 20),
+        latency_kernel("bc", "backsum", suite=SUITE,
+                       dependent_fraction=0.75, load_bytes=56.0,
+                       simd_efficiency=0.45, global_size=1 << 20),
+        atomic_kernel("bc", "accumulate_delta", suite=SUITE,
+                      atomic_ops=1.5, contention=0.35, valu_ops=30.0),
+        streaming_kernel("bc", "clean_1d", suite=SUITE, valu_ops=4.0,
+                         load_bytes=0.5, store_bytes=12.0),
+        streaming_kernel("bc", "clean_2d", suite=SUITE, valu_ops=4.0,
+                         load_bytes=0.5, store_bytes=8.0),
+        tiny_kernel("bc", "set_source", suite=SUITE, num_workgroups=1),
+    )
+    b.program(
+        "color_max",
+        divergent_kernel("color_max", "color_kernel1", suite=SUITE,
+                         valu_ops=420.0, simd_efficiency=0.35,
+                         load_bytes=44.0),
+        streaming_kernel("color_max", "color_kernel2", suite=SUITE,
+                         valu_ops=22.0, load_bytes=16.0, store_bytes=8.0,
+                         coalescing=0.4),
+        tiny_kernel("color_max", "init_colors", suite=SUITE,
+                    num_workgroups=52, valu_ops=190.0),
+    )
+    b.program(
+        "color_maxmin",
+        divergent_kernel("color_maxmin", "maxmin_kernel1", suite=SUITE,
+                         valu_ops=520.0, simd_efficiency=0.3,
+                         load_bytes=48.0),
+        streaming_kernel("color_maxmin", "maxmin_kernel2", suite=SUITE,
+                         valu_ops=26.0, load_bytes=16.0, store_bytes=8.0,
+                         coalescing=0.4),
+        streaming_kernel("color_maxmin", "maxmin_kernel3", suite=SUITE,
+                         valu_ops=20.0, load_bytes=12.0, store_bytes=8.0),
+        tiny_kernel("color_maxmin", "init_node_state", suite=SUITE,
+                    num_workgroups=52, valu_ops=210.0),
+    )
+    b.program(
+        "fw",
+        thrashing_kernel("fw", "floydwarshall_pass", suite=SUITE,
+                         valu_ops=40.0, load_bytes=32.0,
+                         footprint_mib=16.0, l2_reuse=0.88,
+                         row_sensitivity=0.6),
+        limited_parallelism_kernel("fw", "fw_block_diag", suite=SUITE,
+                                   num_workgroups=12, valu_ops=300.0),
+    )
+    b.program(
+        "mis",
+        divergent_kernel("mis", "mis_kernel1", suite=SUITE, valu_ops=380.0,
+                         simd_efficiency=0.35, load_bytes=40.0),
+        latency_kernel("mis", "mis_kernel2", suite=SUITE,
+                       dependent_fraction=0.7, load_bytes=44.0,
+                       simd_efficiency=0.4),
+        streaming_kernel("mis", "mis_kernel3", suite=SUITE, valu_ops=18.0,
+                         load_bytes=12.0, store_bytes=8.0),
+        tiny_kernel("mis", "reset_flags", suite=SUITE, num_workgroups=48,
+                    valu_ops=180.0),
+    )
+    b.program(
+        "pagerank",
+        latency_kernel("pagerank", "inicsr", suite=SUITE,
+                       dependent_fraction=0.55, load_bytes=40.0,
+                       simd_efficiency=0.55, global_size=1 << 21),
+        atomic_kernel("pagerank", "page_rank_atomic", suite=SUITE,
+                      atomic_ops=2.0, contention=0.3, valu_ops=36.0,
+                      global_size=1 << 21),
+        streaming_kernel("pagerank", "rank_update", suite=SUITE,
+                         valu_ops=16.0, load_bytes=12.0, store_bytes=4.0),
+        tiny_kernel("pagerank", "init_ranks", suite=SUITE,
+                    num_workgroups=56),
+    )
+    b.program(
+        "pagerank_spmv",
+        thrashing_kernel("pagerank_spmv", "spmv_csr_scalar", suite=SUITE,
+                         valu_ops=48.0, load_bytes=52.0,
+                         footprint_mib=22.0, l2_reuse=0.85,
+                         row_sensitivity=0.8),
+        streaming_kernel("pagerank_spmv", "rank_scale", suite=SUITE,
+                         valu_ops=12.0, load_bytes=8.0, store_bytes=4.0),
+        tiny_kernel("pagerank_spmv", "init_vector", suite=SUITE,
+                    num_workgroups=56, valu_ops=150.0),
+    )
+    b.program(
+        "sssp",
+        latency_kernel("sssp", "relax_edges", suite=SUITE,
+                       dependent_fraction=0.8, load_bytes=52.0,
+                       simd_efficiency=0.35, global_size=1 << 20),
+        atomic_kernel("sssp", "update_distance", suite=SUITE,
+                      atomic_ops=1.0, contention=0.4, valu_ops=24.0),
+        streaming_kernel("sssp", "copy_frontier", suite=SUITE,
+                         valu_ops=8.0, load_bytes=8.0, store_bytes=8.0),
+        tiny_kernel("sssp", "init_distances", suite=SUITE,
+                    num_workgroups=52, valu_ops=230.0),
+    )
+    return b.finish(
+        description="Irregular graph analytics: latency chains, contended "
+        "atomics and divergence dominate; the richest non-obvious scaling."
+    )

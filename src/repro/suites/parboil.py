@@ -1,0 +1,202 @@
+"""Parboil-like suite: 11 programs, 35 kernels.
+
+Parboil mixes throughput kernels (sgemm, stencil, lbm) with irregular
+scientific codes (mri-gridding, spmv, histo). Inputs are mid-2000s
+scale: several programs stop scaling well before 44 CUs.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.archetypes import (
+    atomic_kernel,
+    balanced_kernel,
+    cache_resident_kernel,
+    compute_kernel,
+    divergent_kernel,
+    latency_kernel,
+    lds_kernel,
+    limited_parallelism_kernel,
+    streaming_kernel,
+    thrashing_kernel,
+    tiny_kernel,
+)
+from repro.suites.catalog import ProgramBuilder, Suite
+
+SUITE = "parboil"
+
+
+#: One-line description of the computation each program models.
+DESCRIPTIONS = {
+    'bfs': (
+        'Queue-based breadth-first search with atomic frontier '
+        'compaction. '
+    ),
+    'cutcp': (
+        'Cutoff-pair Coulomb potential on a lattice: binning plus '
+        'dense per-cell force math. '
+    ),
+    'histo': (
+        'Large saturating histogram with a heavily contended hot '
+        'region. '
+    ),
+    'lbm': (
+        'Lattice-Boltzmann fluid stepping: 19-speed stream-collide '
+        'over a 3-D grid (huge state streams). '
+    ),
+    'mri_gridding': (
+        'MRI non-uniform sample gridding: divergent kernels, atomic '
+        'binning and reorder scatter. '
+    ),
+    'mri_q': (
+        'MRI Q-matrix computation: transcendental-heavy '
+        'accumulation over sample points. '
+    ),
+    'sad': (
+        'H.264 sum-of-absolute-differences motion estimation at '
+        'multiple block sizes. '
+    ),
+    'sgemm': (
+        'Dense single-precision matrix multiply, register/LDS '
+        'blocked. '
+    ),
+    'spmv': (
+        'Sparse matrix-vector product in JDS format (plus CSR '
+        'comparison kernel). '
+    ),
+    'stencil': (
+        '7-point 3-D Jacobi stencil, naive and LDS-tiled variants. '
+    ),
+    'tpacf': (
+        'Two-point angular correlation function: per-bin '
+        'histogramming of angular distances in LDS. '
+    ),
+}
+
+
+def make_suite() -> Suite:
+    """Build the Parboil-like catalog (11 programs / 35 kernels)."""
+    b = ProgramBuilder(SUITE, DESCRIPTIONS)
+
+    b.program(
+        "bfs",
+        latency_kernel("bfs", "bfs_kernel", suite=SUITE,
+                       dependent_fraction=0.85, load_bytes=36.0,
+                       simd_efficiency=0.4, global_size=1 << 20),
+        atomic_kernel("bfs", "frontier_update", suite=SUITE,
+                      atomic_ops=1.0, contention=0.2, valu_ops=18.0),
+        tiny_kernel("bfs", "init_levels", suite=SUITE, num_workgroups=64),
+    )
+    b.program(
+        "cutcp",
+        compute_kernel("cutcp", "lattice_kernel", suite=SUITE,
+                       valu_ops=2900.0, load_bytes=28.0,
+                       global_size=1 << 19, vgprs=56),
+        lds_kernel("cutcp", "bin_kernel", suite=SUITE, valu_ops=240.0,
+                   lds_bytes=64.0, barriers=6.0),
+        streaming_kernel("cutcp", "copy_atoms", suite=SUITE, valu_ops=8.0,
+                         load_bytes=16.0, store_bytes=16.0),
+        tiny_kernel("cutcp", "clear_lattice", suite=SUITE,
+                    num_workgroups=40),
+    )
+    b.program(
+        "histo",
+        atomic_kernel("histo", "histo_main", suite=SUITE, atomic_ops=1.0,
+                      contention=0.55, valu_ops=20.0,
+                      global_size=1 << 22),
+        streaming_kernel("histo", "histo_prescan", suite=SUITE,
+                         valu_ops=14.0, load_bytes=8.0),
+        limited_parallelism_kernel("histo", "histo_intermediate",
+                                   suite=SUITE, num_workgroups=42,
+                                   valu_ops=60.0),
+        streaming_kernel("histo", "histo_final", suite=SUITE, valu_ops=10.0,
+                         load_bytes=8.0, store_bytes=4.0),
+    )
+    b.program(
+        "lbm",
+        streaming_kernel("lbm", "stream_collide", suite=SUITE,
+                         valu_ops=260.0, load_bytes=152.0,
+                         store_bytes=152.0, footprint_mib=380.0,
+                         global_size=1 << 21),
+        streaming_kernel("lbm", "boundary_update", suite=SUITE,
+                         valu_ops=40.0, load_bytes=76.0, store_bytes=76.0,
+                         coalescing=0.5),
+        tiny_kernel("lbm", "init_grid", suite=SUITE, num_workgroups=56,
+                    workgroup_size=128),
+    )
+    b.program(
+        "mri_gridding",
+        divergent_kernel("mri_gridding", "gridding_gpu", suite=SUITE,
+                         valu_ops=900.0, simd_efficiency=0.45,
+                         load_bytes=36.0),
+        atomic_kernel("mri_gridding", "binning", suite=SUITE,
+                      atomic_ops=1.0, contention=0.25, valu_ops=26.0),
+        limited_parallelism_kernel("mri_gridding", "scan_large", suite=SUITE,
+                                   num_workgroups=36, valu_ops=70.0),
+        streaming_kernel("mri_gridding", "reorder", suite=SUITE,
+                         valu_ops=12.0, load_bytes=16.0, store_bytes=16.0,
+                         coalescing=0.35),
+        tiny_kernel("mri_gridding", "scan_top", suite=SUITE,
+                    num_workgroups=1, valu_ops=220.0),
+    )
+    b.program(
+        "mri_q",
+        compute_kernel("mri_q", "computeQ", suite=SUITE, valu_ops=3400.0,
+                       load_bytes=16.0, global_size=1 << 18),
+        compute_kernel("mri_q", "computePhiMag", suite=SUITE,
+                       valu_ops=160.0, load_bytes=8.0,
+                       global_size=1 << 16),
+        cache_resident_kernel("mri_q", "computeRhoPhi", suite=SUITE,
+                              valu_ops=90.0, load_bytes=24.0,
+                              footprint_kib=512.0),
+    )
+    b.program(
+        "sad",
+        balanced_kernel("sad", "mb_sad_calc", suite=SUITE, valu_ops=540.0,
+                        load_bytes=48.0, store_bytes=16.0),
+        streaming_kernel("sad", "larger_sad_calc_8", suite=SUITE,
+                         valu_ops=60.0, load_bytes=32.0, store_bytes=16.0),
+        streaming_kernel("sad", "larger_sad_calc_16", suite=SUITE,
+                         valu_ops=60.0, load_bytes=32.0, store_bytes=16.0),
+        tiny_kernel("sad", "setup_blocks", suite=SUITE, num_workgroups=24,
+                    valu_ops=190.0),
+    )
+    b.program(
+        "sgemm",
+        lds_kernel("sgemm", "sgemm_tiled", suite=SUITE, valu_ops=2048.0,
+                   lds_bytes=160.0, barriers=32.0, load_bytes=64.0,
+                   lds_per_workgroup=32768, global_size=1 << 19),
+    )
+    b.program(
+        "spmv",
+        thrashing_kernel("spmv", "spmv_jds", suite=SUITE, valu_ops=64.0,
+                         load_bytes=56.0, footprint_mib=20.0,
+                         l2_reuse=0.85, row_sensitivity=0.75),
+        streaming_kernel("spmv", "spmv_csr", suite=SUITE, valu_ops=48.0,
+                         load_bytes=52.0, store_bytes=4.0,
+                         coalescing=0.4),
+        tiny_kernel("spmv", "zero_output", suite=SUITE, num_workgroups=48,
+                    valu_ops=170.0),
+    )
+    b.program(
+        "stencil",
+        streaming_kernel("stencil", "stencil7pt", suite=SUITE,
+                         valu_ops=90.0, load_bytes=56.0, store_bytes=8.0,
+                         footprint_mib=256.0, global_size=1 << 22),
+        lds_kernel("stencil", "stencil_shared", suite=SUITE,
+                   valu_ops=140.0, lds_bytes=64.0, barriers=4.0,
+                   global_size=1 << 22),
+        tiny_kernel("stencil", "copy_halo", suite=SUITE, num_workgroups=52,
+                    workgroup_size=128),
+    )
+    b.program(
+        "tpacf",
+        lds_kernel("tpacf", "gen_hists", suite=SUITE, valu_ops=1700.0,
+                   lds_bytes=88.0, barriers=12.0, load_bytes=24.0,
+                   global_size=1 << 18),
+        limited_parallelism_kernel("tpacf", "merge_hists", suite=SUITE,
+                                   num_workgroups=20, valu_ops=100.0),
+    )
+    return b.finish(
+        description="Throughput-computing research suite; mixed regular "
+        "and irregular kernels with mid-2000s input scales."
+    )

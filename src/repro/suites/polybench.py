@@ -1,0 +1,192 @@
+"""PolyBench/GPU-like suite: 12 programs, 25 kernels.
+
+PolyBench/GPU ports the polyhedral linear-algebra collection to
+OpenCL. The kernels are dense and regular but the default problem
+sizes are small (matrices of a few thousand elements per side or
+less), so many kernels either fit in the L2 — scaling with engine
+clock and indifferent to memory clock — or launch too few workgroups
+to fill 44 CUs. PolyBench is the second pillar of the paper's
+"benchmarks do not scale" critique after Rodinia.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.archetypes import (
+    balanced_kernel,
+    cache_resident_kernel,
+    lds_kernel,
+    limited_parallelism_kernel,
+    streaming_kernel,
+    tiny_kernel,
+)
+from repro.suites.catalog import ProgramBuilder, Suite
+
+SUITE = "polybench"
+
+
+#: One-line description of the computation each program models.
+DESCRIPTIONS = {
+    '2mm': (
+        'Two chained matrix multiplies D = A.B, E = C.D on small '
+        'cache-resident matrices. '
+    ),
+    '3mm': (
+        'Three chained matrix multiplies on small cache-resident '
+        'matrices. '
+    ),
+    'atax': (
+        'Matrix transpose-vector then matrix-vector product '
+        'A^T.(A.x): row-parallel, tiny launch. '
+    ),
+    'bicg': (
+        'BiCG kernel pair: simultaneous A.p and A^T.r products with '
+        'tiny row-parallel launches. '
+    ),
+    'correlation': (
+        'Correlation matrix: per-column mean/stddev (tiny launches) '
+        'then the dense correlation kernel. '
+    ),
+    'covariance': (
+        'Covariance matrix: per-column mean then the dense '
+        'covariance kernel. '
+    ),
+    'gemm': (
+        'Single dense matrix multiply, LDS-tiled. '
+    ),
+    'gesummv': (
+        'Scalar-vector-matrix combination y = alpha.A.x + beta.B.x, '
+        'one row per thread. '
+    ),
+    'gramschmidt': (
+        'Gram-Schmidt QR: a serial column normalisation followed by '
+        'small projection updates. '
+    ),
+    'mvt': (
+        'Matrix-vector product and its transpose, each a tiny '
+        'row-parallel launch. '
+    ),
+    'syr2k': (
+        'Symmetric rank-2k update on a cache-resident matrix. '
+    ),
+    'syrk': (
+        'Symmetric rank-k update on a cache-resident matrix. '
+    ),
+}
+
+
+def make_suite() -> Suite:
+    """Build the PolyBench/GPU-like catalog (12 programs / 25 kernels)."""
+    b = ProgramBuilder(SUITE, DESCRIPTIONS)
+
+    b.program(
+        "2mm",
+        cache_resident_kernel("2mm", "mm2_kernel1", suite=SUITE,
+                              valu_ops=480.0, load_bytes=64.0,
+                              footprint_kib=896.0, global_size=1 << 18),
+        cache_resident_kernel("2mm", "mm2_kernel2", suite=SUITE,
+                              valu_ops=480.0, load_bytes=64.0,
+                              footprint_kib=896.0, global_size=1 << 18),
+    )
+    b.program(
+        "3mm",
+        cache_resident_kernel("3mm", "mm3_kernel1", suite=SUITE,
+                              valu_ops=440.0, load_bytes=60.0,
+                              footprint_kib=832.0, global_size=1 << 18),
+        cache_resident_kernel("3mm", "mm3_kernel2", suite=SUITE,
+                              valu_ops=440.0, load_bytes=60.0,
+                              footprint_kib=832.0, global_size=1 << 18),
+        cache_resident_kernel("3mm", "mm3_kernel3", suite=SUITE,
+                              valu_ops=440.0, load_bytes=60.0,
+                              footprint_kib=832.0, global_size=1 << 18),
+    )
+    b.program(
+        "atax",
+        limited_parallelism_kernel("atax", "atax_kernel1", suite=SUITE,
+                                   num_workgroups=16, valu_ops=220.0,
+                                   load_bytes=48.0),
+        limited_parallelism_kernel("atax", "atax_kernel2", suite=SUITE,
+                                   num_workgroups=16, valu_ops=220.0,
+                                   load_bytes=48.0),
+    )
+    b.program(
+        "bicg",
+        limited_parallelism_kernel("bicg", "bicg_kernel1", suite=SUITE,
+                                   num_workgroups=16, valu_ops=200.0,
+                                   load_bytes=44.0),
+        limited_parallelism_kernel("bicg", "bicg_kernel2", suite=SUITE,
+                                   num_workgroups=16, valu_ops=200.0,
+                                   load_bytes=44.0),
+    )
+    b.program(
+        "correlation",
+        limited_parallelism_kernel("correlation", "mean_kernel", suite=SUITE,
+                                   num_workgroups=8, valu_ops=160.0),
+        limited_parallelism_kernel("correlation", "std_kernel", suite=SUITE,
+                                   num_workgroups=8, valu_ops=200.0),
+        streaming_kernel("correlation", "reduce_kernel", suite=SUITE,
+                         valu_ops=30.0, load_bytes=16.0, store_bytes=8.0,
+                         global_size=1 << 19),
+        cache_resident_kernel("correlation", "corr_kernel", suite=SUITE,
+                              valu_ops=380.0, load_bytes=56.0,
+                              footprint_kib=640.0, global_size=1 << 18),
+    )
+    b.program(
+        "covariance",
+        limited_parallelism_kernel("covariance", "mean_kernel", suite=SUITE,
+                                   num_workgroups=8, valu_ops=150.0),
+        streaming_kernel("covariance", "reduce_kernel", suite=SUITE,
+                         valu_ops=26.0, load_bytes=16.0, store_bytes=8.0,
+                         global_size=1 << 19),
+        cache_resident_kernel("covariance", "covar_kernel", suite=SUITE,
+                              valu_ops=360.0, load_bytes=56.0,
+                              footprint_kib=640.0, global_size=1 << 18),
+    )
+    b.program(
+        "gemm",
+        lds_kernel("gemm", "gemm_kernel", suite=SUITE, valu_ops=1024.0,
+                   lds_bytes=128.0, barriers=16.0, load_bytes=48.0,
+                   global_size=1 << 19),
+    )
+    b.program(
+        "gesummv",
+        limited_parallelism_kernel("gesummv", "gesummv_kernel", suite=SUITE,
+                                   num_workgroups=16, valu_ops=260.0,
+                                   load_bytes=64.0),
+    )
+    b.program(
+        "gramschmidt",
+        tiny_kernel("gramschmidt", "gramschmidt_kernel1", suite=SUITE,
+                    num_workgroups=1, workgroup_size=256,
+                    valu_ops=260.0),
+        limited_parallelism_kernel("gramschmidt", "gramschmidt_kernel2",
+                                   suite=SUITE, num_workgroups=8,
+                                   valu_ops=180.0),
+        limited_parallelism_kernel("gramschmidt", "gramschmidt_kernel3",
+                                   suite=SUITE, num_workgroups=16,
+                                   valu_ops=200.0),
+    )
+    b.program(
+        "mvt",
+        limited_parallelism_kernel("mvt", "mvt_kernel1", suite=SUITE,
+                                   num_workgroups=16, valu_ops=240.0,
+                                   load_bytes=52.0),
+        limited_parallelism_kernel("mvt", "mvt_kernel2", suite=SUITE,
+                                   num_workgroups=16, valu_ops=240.0,
+                                   load_bytes=52.0),
+    )
+    b.program(
+        "syr2k",
+        cache_resident_kernel("syr2k", "syr2k_kernel", suite=SUITE,
+                              valu_ops=520.0, load_bytes=72.0,
+                              footprint_kib=960.0, global_size=1 << 18),
+    )
+    b.program(
+        "syrk",
+        cache_resident_kernel("syrk", "syrk_kernel", suite=SUITE,
+                              valu_ops=460.0, load_bytes=64.0,
+                              footprint_kib=960.0, global_size=1 << 18),
+    )
+    return b.finish(
+        description="Dense polyhedral linear algebra with small default "
+        "problem sizes: cache-resident or parallelism-starved on 44 CUs."
+    )

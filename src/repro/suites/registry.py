@@ -1,0 +1,112 @@
+"""Suite registry: aggregates the full catalog and enforces its totals.
+
+The paper's dataset covers **97 programs / 267 kernels**; the registry
+asserts those exact totals at load time so any catalog edit that breaks
+the accounting fails loudly rather than silently shrinking the study.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SuiteError
+from repro.kernels.kernel import Kernel
+from repro.suites import (
+    amdapp,
+    opendwarfs,
+    pannotia,
+    parboil,
+    polybench,
+    proxyapps,
+    rodinia,
+    shoc,
+)
+from repro.suites.catalog import Suite
+
+#: The paper's headline totals.
+EXPECTED_PROGRAMS = 97
+EXPECTED_KERNELS = 267
+
+#: Suite modules in canonical (report) order.
+_SUITE_MODULES = (
+    amdapp,
+    opendwarfs,
+    pannotia,
+    parboil,
+    polybench,
+    proxyapps,
+    rodinia,
+    shoc,
+)
+
+
+@lru_cache(maxsize=1)
+def all_suites() -> Tuple[Suite, ...]:
+    """Build every suite once and validate the catalog totals."""
+    suites = tuple(module.make_suite() for module in _SUITE_MODULES)
+    names = [s.name for s in suites]
+    if len(set(names)) != len(names):
+        raise SuiteError(f"duplicate suite names in registry: {names}")
+    programs = sum(s.program_count for s in suites)
+    kernels = sum(s.kernel_count for s in suites)
+    if programs != EXPECTED_PROGRAMS:
+        raise SuiteError(
+            f"catalog declares {programs} programs; the study requires "
+            f"{EXPECTED_PROGRAMS} (per-suite: "
+            f"{[(s.name, s.program_count) for s in suites]})"
+        )
+    if kernels != EXPECTED_KERNELS:
+        raise SuiteError(
+            f"catalog declares {kernels} kernels; the study requires "
+            f"{EXPECTED_KERNELS} (per-suite: "
+            f"{[(s.name, s.kernel_count) for s in suites]})"
+        )
+    return suites
+
+
+def suite(name: str) -> Suite:
+    """Look up one suite by name; raises :class:`SuiteError`."""
+    for candidate in all_suites():
+        if candidate.name == name:
+            return candidate
+    raise SuiteError(
+        f"unknown suite {name!r}; available: {[s.name for s in all_suites()]}"
+    )
+
+
+def suite_names() -> List[str]:
+    """Names of every suite in canonical order."""
+    return [s.name for s in all_suites()]
+
+
+def all_kernels(suite_name: Optional[str] = None) -> List[Kernel]:
+    """Every kernel in the catalog (optionally restricted to one suite),
+    in canonical order. This ordering defines the kernel axis of every
+    :class:`~repro.sweep.dataset.ScalingDataset`."""
+    if suite_name is not None:
+        return list(suite(suite_name).kernels())
+    kernels: List[Kernel] = []
+    for s in all_suites():
+        kernels.extend(s.kernels())
+    return kernels
+
+
+def kernel_by_name(full_name: str) -> Kernel:
+    """Look up one kernel by its ``suite/program.kernel`` identifier."""
+    for kernel in all_kernels():
+        if kernel.full_name == full_name:
+            return kernel
+    raise SuiteError(f"unknown kernel {full_name!r}")
+
+
+def catalog_totals() -> Dict[str, Tuple[int, int]]:
+    """Per-suite (programs, kernels) plus a ``total`` row."""
+    totals = {
+        s.name: (s.program_count, s.kernel_count) for s in all_suites()
+    }
+    totals["total"] = (
+        sum(p for p, _ in totals.values()),
+        sum(k for _, k in totals.values()),
+    )
+    return totals

@@ -1,0 +1,300 @@
+"""Rodinia-like suite: 18 programs, 55 kernels.
+
+Rodinia targets heterogeneous "dwarf" workloads. Its default inputs
+were sized for ~2009 GPUs, so several programs expose little
+parallelism on a 44-CU device — Rodinia is a major contributor to the
+paper's finding that existing suites "do not scale to modern GPU
+sizes". Archetype assignments mirror the published behaviour of each
+program (e.g. ``nw``'s anti-diagonal wavefronts launch tiny grids;
+``bfs`` is an irregular, latency-bound graph walk; ``lavaMD`` is dense
+short-range force computation).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.archetypes import (
+    atomic_kernel,
+    balanced_kernel,
+    cache_resident_kernel,
+    compute_kernel,
+    divergent_kernel,
+    latency_kernel,
+    lds_kernel,
+    limited_parallelism_kernel,
+    streaming_kernel,
+    thrashing_kernel,
+    tiny_kernel,
+)
+from repro.suites.catalog import ProgramBuilder, Suite
+
+SUITE = "rodinia"
+
+
+#: One-line description of the computation each program models.
+DESCRIPTIONS = {
+    'backprop': (
+        'Neural-network training: weight-layer forward pass and '
+        'back-propagated weight adjustment. '
+    ),
+    'bfs': (
+        'Level-synchronous breadth-first search over an '
+        'unstructured graph (frontier expansion + level update). '
+    ),
+    'b+tree': (
+        'Database index operations: point (findK) and range '
+        '(findRangeK) queries over a GPU-resident B+ tree. '
+    ),
+    'cfd': (
+        "Unstructured-grid Euler solver (Rodinia's CFD): flux "
+        'computation, step factors and explicit time stepping. '
+    ),
+    'dwt2d': (
+        '2-D discrete wavelet transform for image compression: '
+        'forward/inverse 5/3 lifting plus component shuffles. '
+    ),
+    'gaussian': (
+        'Gaussian elimination with per-row pivot kernels launched '
+        'once per elimination step. '
+    ),
+    'heartwall': (
+        'Ultrasound heart-wall tracking: template matching over '
+        'frames with data-dependent branching. '
+    ),
+    'hotspot': (
+        'Thermal simulation of a processor floorplan: iterative 2-D '
+        'stencil with LDS tiling. '
+    ),
+    'hybridsort': (
+        'Hybrid bucket/merge sort: bucket counting (atomics), '
+        'prefix offsets and LDS merge phases. '
+    ),
+    'kmeans': (
+        'K-means clustering: point-to-centroid distance streaming '
+        'plus atomic centroid accumulation. '
+    ),
+    'lavamd': (
+        'Molecular dynamics within a 3-D box neighbourhood: dense '
+        'short-range force computation. '
+    ),
+    'leukocyte': (
+        'White-blood-cell tracking in video: GICOV score (compute), '
+        'dilation (streaming) and MGVF solver (LDS). '
+    ),
+    'lud': (
+        'Blocked LU decomposition: tiny diagonal factorisation, '
+        'perimeter updates and tiled interior updates. '
+    ),
+    'myocyte': (
+        'Cardiac myocyte ODE system: one large serial integration '
+        'exposing almost no data parallelism. '
+    ),
+    'nw': (
+        'Needleman-Wunsch sequence alignment: anti-diagonal '
+        'wavefronts of at most a few workgroups. '
+    ),
+    'particlefilter': (
+        'Particle-filter object tracking: divergent likelihoods, '
+        'atomic weight normalisation, index search. '
+    ),
+    'pathfinder': (
+        'Dynamic-programming grid path search: row-by-row LDS '
+        'relaxation with per-row barriers. '
+    ),
+    'srad': (
+        'Speckle-reducing anisotropic diffusion on ultrasound '
+        'images: two stencil passes plus reductions. '
+    ),
+}
+
+
+def make_suite() -> Suite:
+    """Build the Rodinia-like catalog (18 programs / 55 kernels)."""
+    b = ProgramBuilder(SUITE, DESCRIPTIONS)
+
+    b.program(
+        "backprop",
+        lds_kernel("backprop", "layerforward", suite=SUITE,
+                   valu_ops=220.0, lds_bytes=64.0, global_size=1 << 20),
+        streaming_kernel("backprop", "adjust_weights", suite=SUITE,
+                         valu_ops=40.0, load_bytes=20.0, store_bytes=8.0),
+    )
+    b.program(
+        "bfs",
+        latency_kernel("bfs", "kernel1", suite=SUITE,
+                       dependent_fraction=0.9, load_bytes=40.0,
+                       global_size=1 << 20, simd_efficiency=0.45),
+        latency_kernel("bfs", "kernel2", suite=SUITE,
+                       dependent_fraction=0.5, load_bytes=12.0,
+                       valu_ops=20.0, global_size=1 << 20),
+    )
+    b.program(
+        "b+tree",
+        latency_kernel("b+tree", "findK", suite=SUITE,
+                       dependent_fraction=0.95, load_bytes=64.0,
+                       memory_parallelism=1.0, global_size=1 << 16),
+        latency_kernel("b+tree", "findRangeK", suite=SUITE,
+                       dependent_fraction=0.9, load_bytes=96.0,
+                       memory_parallelism=1.2, global_size=1 << 16),
+    )
+    b.program(
+        "cfd",
+        streaming_kernel("cfd", "compute_step_factor", suite=SUITE,
+                         valu_ops=60.0, load_bytes=36.0, store_bytes=4.0),
+        balanced_kernel("cfd", "compute_flux", suite=SUITE,
+                        valu_ops=760.0, load_bytes=56.0, store_bytes=20.0),
+        streaming_kernel("cfd", "time_step", suite=SUITE,
+                         valu_ops=24.0, load_bytes=28.0, store_bytes=12.0),
+        streaming_kernel("cfd", "initialize_variables", suite=SUITE,
+                         valu_ops=8.0, load_bytes=4.0, store_bytes=20.0),
+        streaming_kernel("cfd", "memset_kernel", suite=SUITE,
+                         valu_ops=2.0, load_bytes=0.1, store_bytes=16.0),
+        balanced_kernel("cfd", "compute_flux_contribution", suite=SUITE,
+                        valu_ops=420.0, load_bytes=48.0),
+    )
+    b.program(
+        "dwt2d",
+        lds_kernel("dwt2d", "fdwt53", suite=SUITE, valu_ops=180.0,
+                   lds_bytes=72.0, barriers=12.0),
+        lds_kernel("dwt2d", "rdwt53", suite=SUITE, valu_ops=170.0,
+                   lds_bytes=72.0, barriers=12.0),
+        streaming_kernel("dwt2d", "c_copy_src_to_component", suite=SUITE,
+                         valu_ops=6.0, load_bytes=4.0, store_bytes=12.0),
+        streaming_kernel("dwt2d", "copy_to_output", suite=SUITE,
+                         valu_ops=6.0, load_bytes=12.0, store_bytes=4.0),
+        tiny_kernel("dwt2d", "init_buffers", suite=SUITE,
+                    num_workgroups=28),
+    )
+    b.program(
+        "gaussian",
+        tiny_kernel("gaussian", "fan1", suite=SUITE, num_workgroups=4,
+                    workgroup_size=256, launch_overhead_us=10.0),
+        limited_parallelism_kernel("gaussian", "fan2", suite=SUITE,
+                                   num_workgroups=16, valu_ops=30.0,
+                                   load_bytes=24.0),
+    )
+    b.program(
+        "heartwall",
+        divergent_kernel("heartwall", "track", suite=SUITE,
+                         valu_ops=2600.0, simd_efficiency=0.4,
+                         global_size=1 << 18),
+        limited_parallelism_kernel("heartwall", "reduce_rows", suite=SUITE,
+                                   num_workgroups=51, valu_ops=180.0),
+        tiny_kernel("heartwall", "setup_frame", suite=SUITE,
+                    num_workgroups=16),
+    )
+    b.program(
+        "hotspot",
+        lds_kernel("hotspot", "calculate_temp", suite=SUITE,
+                   valu_ops=260.0, lds_bytes=80.0, load_bytes=16.0,
+                   barriers=6.0, global_size=1 << 20),
+    )
+    b.program(
+        "hybridsort",
+        atomic_kernel("hybridsort", "bucketcount", suite=SUITE,
+                      atomic_ops=1.0, contention=0.12),
+        limited_parallelism_kernel("hybridsort", "bucketprefixoffset",
+                                   suite=SUITE, num_workgroups=8,
+                                   valu_ops=60.0),
+        streaming_kernel("hybridsort", "bucketsort", suite=SUITE,
+                         valu_ops=30.0, load_bytes=8.0, store_bytes=8.0,
+                         coalescing=0.35),
+        lds_kernel("hybridsort", "mergesort_first", suite=SUITE,
+                   valu_ops=140.0, lds_bytes=48.0, barriers=9.0),
+        lds_kernel("hybridsort", "mergesort_pass", suite=SUITE,
+                   valu_ops=160.0, lds_bytes=56.0, barriers=10.0),
+        streaming_kernel("hybridsort", "mergepack", suite=SUITE,
+                         valu_ops=12.0, load_bytes=8.0, store_bytes=8.0),
+    )
+    b.program(
+        "kmeans",
+        streaming_kernel("kmeans", "kmeans_kernel_c", suite=SUITE,
+                         valu_ops=140.0, load_bytes=34.0, store_bytes=4.0,
+                         footprint_mib=64.0),
+        streaming_kernel("kmeans", "kmeans_swap", suite=SUITE,
+                         valu_ops=4.0, load_bytes=8.0, store_bytes=8.0),
+        atomic_kernel("kmeans", "update_centroids", suite=SUITE,
+                      atomic_ops=2.0, contention=0.3, valu_ops=40.0),
+    )
+    b.program(
+        "lavamd",
+        compute_kernel("lavamd", "kernel_gpu_opencl", suite=SUITE,
+                       valu_ops=5200.0, load_bytes=56.0,
+                       global_size=1 << 17, vgprs=84),
+    )
+    b.program(
+        "leukocyte",
+        compute_kernel("leukocyte", "gicov", suite=SUITE,
+                       valu_ops=1900.0, load_bytes=24.0,
+                       global_size=1 << 16),
+        streaming_kernel("leukocyte", "dilate", suite=SUITE,
+                         valu_ops=90.0, load_bytes=36.0,
+                         global_size=1 << 16),
+        lds_kernel("leukocyte", "mgvf", suite=SUITE, valu_ops=420.0,
+                   lds_bytes=72.0, barriers=14.0, global_size=1 << 16),
+        tiny_kernel("leukocyte", "init_matrices", suite=SUITE,
+                    num_workgroups=36),
+    )
+    b.program(
+        "lud",
+        tiny_kernel("lud", "lud_diagonal", suite=SUITE, num_workgroups=1,
+                    workgroup_size=256, launch_overhead_us=9.0),
+        limited_parallelism_kernel("lud", "lud_perimeter", suite=SUITE,
+                                   num_workgroups=15, valu_ops=420.0),
+        lds_kernel("lud", "lud_internal", suite=SUITE, valu_ops=300.0,
+                   lds_bytes=64.0, barriers=4.0, global_size=1 << 18),
+    )
+    b.program(
+        "myocyte",
+        limited_parallelism_kernel("myocyte", "solver_embedded",
+                                   suite=SUITE, num_workgroups=2,
+                                   valu_ops=5600.0, workgroup_size=128),
+        tiny_kernel("myocyte", "solver_setup", suite=SUITE,
+                    num_workgroups=2, workgroup_size=128),
+    )
+    b.program(
+        "nw",
+        limited_parallelism_kernel("nw", "needle_1", suite=SUITE,
+                                   num_workgroups=8, valu_ops=260.0,
+                                   workgroup_size=64),
+        limited_parallelism_kernel("nw", "needle_2", suite=SUITE,
+                                   num_workgroups=8, valu_ops=260.0,
+                                   workgroup_size=64),
+    )
+    b.program(
+        "particlefilter",
+        divergent_kernel("particlefilter", "likelihood", suite=SUITE,
+                         valu_ops=1700.0, simd_efficiency=0.5,
+                         global_size=1 << 17),
+        atomic_kernel("particlefilter", "normalize_weights", suite=SUITE,
+                      atomic_ops=1.0, contention=0.45, valu_ops=60.0,
+                      global_size=1 << 17),
+        streaming_kernel("particlefilter", "find_index", suite=SUITE,
+                         valu_ops=50.0, load_bytes=16.0,
+                         coalescing=0.3, global_size=1 << 17),
+        tiny_kernel("particlefilter", "sum_weights", suite=SUITE,
+                    num_workgroups=32, valu_ops=160.0),
+    )
+    b.program(
+        "pathfinder",
+        lds_kernel("pathfinder", "dynproc", suite=SUITE, valu_ops=110.0,
+                   lds_bytes=40.0, barriers=20.0, global_size=1 << 19),
+        tiny_kernel("pathfinder", "init_results", suite=SUITE,
+                    num_workgroups=48, valu_ops=210.0),
+    )
+    b.program(
+        "srad",
+        streaming_kernel("srad", "srad_cuda_1", suite=SUITE,
+                         valu_ops=90.0, load_bytes=40.0, store_bytes=16.0),
+        streaming_kernel("srad", "srad_cuda_2", suite=SUITE,
+                         valu_ops=70.0, load_bytes=36.0, store_bytes=8.0),
+        streaming_kernel("srad", "extract", suite=SUITE, valu_ops=10.0,
+                         load_bytes=4.0, store_bytes=4.0),
+        streaming_kernel("srad", "compress", suite=SUITE, valu_ops=10.0,
+                         load_bytes=4.0, store_bytes=4.0),
+        atomic_kernel("srad", "reduce", suite=SUITE, atomic_ops=0.5,
+                      contention=0.2, valu_ops=30.0),
+    )
+    return b.finish(
+        description="Heterogeneous-computing dwarfs with 2009-era inputs; "
+        "many kernels under-fill a 44-CU device."
+    )

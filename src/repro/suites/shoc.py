@@ -1,0 +1,236 @@
+"""SHOC-like suite: 12 programs, 45 kernels.
+
+The Scalable HeterOgeneous Computing suite stresses individual device
+capabilities (triad bandwidth, FFT, GEMM, sort/scan primitives). Its
+"level 0/1" microbenchmarks are deliberately bottleneck-pure, which
+makes SHOC the cleanest source of textbook compute-bound and
+bandwidth-bound scaling curves — and its multi-phase primitives
+(sort, scan, reduction trees) a rich source of small plateau kernels.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.archetypes import (
+    atomic_kernel,
+    balanced_kernel,
+    cache_resident_kernel,
+    compute_kernel,
+    divergent_kernel,
+    latency_kernel,
+    lds_kernel,
+    limited_parallelism_kernel,
+    streaming_kernel,
+    thrashing_kernel,
+    tiny_kernel,
+)
+from repro.suites.catalog import ProgramBuilder, Suite
+
+SUITE = "shoc"
+
+
+#: One-line description of the computation each program models.
+DESCRIPTIONS = {
+    'bfs': (
+        "SHOC's graph traversal capability test with frontier "
+        'marking. '
+    ),
+    'fft': (
+        '512-point batched FFT: forward/inverse butterfly stages, '
+        'transpose and twiddle passes. '
+    ),
+    'gemm': (
+        'Dense matrix multiply in NN and NT layouts, LDS-blocked. '
+    ),
+    'md': (
+        'Lennard-Jones molecular dynamics with neighbour-list '
+        'gathers. '
+    ),
+    'md5hash': (
+        'Brute-force MD5 key search: pure integer ALU saturation, '
+        'zero memory traffic. '
+    ),
+    'qtclustering': (
+        'Quality-threshold clustering: divergent distance '
+        'evaluation with a cache-straining candidate matrix. '
+    ),
+    'reduction': (
+        'Multi-pass sum reduction, coalesced and strided variants. '
+    ),
+    'scan': (
+        'Multi-level exclusive prefix sum with verification pass. '
+    ),
+    'sort': (
+        'Radix sort: count, block-local sort, digit scan, scatter '
+        'and top-level scan phases. '
+    ),
+    'spmv': (
+        'Sparse matrix-vector product: CSR scalar/vector, ELLPACK-R '
+        'and a texture-cached variant. '
+    ),
+    'stencil2d': (
+        '9-point 2-D stencil with halo exchange, naive and LDS '
+        'variants. '
+    ),
+    'triad': (
+        'STREAM triad a = b + s*c: the canonical peak-bandwidth '
+        'microbenchmark. '
+    ),
+}
+
+
+def make_suite() -> Suite:
+    """Build the SHOC-like catalog (12 programs / 45 kernels)."""
+    b = ProgramBuilder(SUITE, DESCRIPTIONS)
+
+    b.program(
+        "bfs",
+        latency_kernel("bfs", "bfs_frontier", suite=SUITE,
+                       dependent_fraction=0.8, load_bytes=44.0,
+                       simd_efficiency=0.5, global_size=1 << 21),
+        atomic_kernel("bfs", "visit_mark", suite=SUITE, atomic_ops=1.0,
+                      contention=0.18, valu_ops=16.0),
+    )
+    b.program(
+        "fft",
+        lds_kernel("fft", "fft512_fwd", suite=SUITE, valu_ops=430.0,
+                   lds_bytes=96.0, barriers=9.0, load_bytes=32.0),
+        lds_kernel("fft", "fft512_inv", suite=SUITE, valu_ops=430.0,
+                   lds_bytes=96.0, barriers=9.0, load_bytes=32.0),
+        streaming_kernel("fft", "transpose_pass", suite=SUITE,
+                         valu_ops=10.0, load_bytes=8.0, store_bytes=8.0,
+                         coalescing=0.65),
+        balanced_kernel("fft", "twiddle_mul", suite=SUITE, valu_ops=240.0,
+                        load_bytes=32.0, store_bytes=16.0),
+        streaming_kernel("fft", "check_kernel", suite=SUITE, valu_ops=18.0,
+                         load_bytes=16.0, store_bytes=0.2),
+        tiny_kernel("fft", "normalize", suite=SUITE, num_workgroups=60),
+    )
+    b.program(
+        "gemm",
+        lds_kernel("gemm", "sgemm_nn", suite=SUITE, valu_ops=2200.0,
+                   lds_bytes=176.0, barriers=32.0, load_bytes=64.0,
+                   lds_per_workgroup=32768, global_size=1 << 19),
+        lds_kernel("gemm", "sgemm_nt", suite=SUITE, valu_ops=2200.0,
+                   lds_bytes=176.0, barriers=32.0, load_bytes=72.0,
+                   lds_per_workgroup=32768, global_size=1 << 19),
+        streaming_kernel("gemm", "copy_matrix", suite=SUITE, valu_ops=4.0,
+                         load_bytes=16.0, store_bytes=16.0),
+    )
+    b.program(
+        "md",
+        compute_kernel("md", "lj_force", suite=SUITE, valu_ops=4600.0,
+                       load_bytes=48.0, global_size=1 << 17, vgprs=72),
+        latency_kernel("md", "neighbor_gather", suite=SUITE,
+                       dependent_fraction=0.6, load_bytes=64.0,
+                       memory_parallelism=2.0, global_size=1 << 17),
+        streaming_kernel("md", "update_positions", suite=SUITE,
+                         valu_ops=28.0, load_bytes=24.0, store_bytes=24.0),
+    )
+    b.program(
+        "md5hash",
+        compute_kernel("md5hash", "md5_search", suite=SUITE,
+                       valu_ops=7800.0, load_bytes=4.0,
+                       global_size=1 << 21, vgprs=48),
+    )
+    b.program(
+        "qtclustering",
+        divergent_kernel("qtclustering", "qtc_distances", suite=SUITE,
+                         valu_ops=1300.0, simd_efficiency=0.4,
+                         load_bytes=40.0, global_size=1 << 17),
+        thrashing_kernel("qtclustering", "qtc_cluster", suite=SUITE,
+                         valu_ops=110.0, load_bytes=52.0,
+                         footprint_mib=18.0, l2_reuse=0.85,
+                         row_sensitivity=0.7),
+        limited_parallelism_kernel("qtclustering", "reduce_card",
+                                   suite=SUITE, num_workgroups=26,
+                                   valu_ops=90.0),
+    )
+    b.program(
+        "reduction",
+        streaming_kernel("reduction", "reduce_pass1", suite=SUITE,
+                         valu_ops=12.0, load_bytes=16.0, store_bytes=0.1,
+                         coalescing=0.95, global_size=1 << 23),
+        limited_parallelism_kernel("reduction", "reduce_pass2", suite=SUITE,
+                                   num_workgroups=24, valu_ops=60.0),
+        tiny_kernel("reduction", "reduce_final", suite=SUITE,
+                    num_workgroups=1, valu_ops=180.0),
+        streaming_kernel("reduction", "reduce_strided", suite=SUITE,
+                         valu_ops=12.0, load_bytes=16.0, store_bytes=0.1,
+                         coalescing=0.25, global_size=1 << 23),
+    )
+    b.program(
+        "scan",
+        streaming_kernel("scan", "scan_local1", suite=SUITE, valu_ops=24.0,
+                         load_bytes=8.0, store_bytes=8.0),
+        lds_kernel("scan", "scan_local2", suite=SUITE, valu_ops=150.0,
+                   lds_bytes=56.0, barriers=10.0),
+        tiny_kernel("scan", "scan_block_sums", suite=SUITE,
+                    num_workgroups=1, workgroup_size=256,
+                    valu_ops=240.0),
+        streaming_kernel("scan", "uniform_add", suite=SUITE, valu_ops=7.0,
+                         load_bytes=8.0, store_bytes=4.0),
+        streaming_kernel("scan", "vector_addition", suite=SUITE,
+                         valu_ops=4.0, load_bytes=8.0, store_bytes=4.0),
+        tiny_kernel("scan", "verify_scan", suite=SUITE, num_workgroups=16,
+                    valu_ops=150.0),
+    )
+    b.program(
+        "sort",
+        atomic_kernel("sort", "radix_count", suite=SUITE, atomic_ops=1.0,
+                      contention=0.15, valu_ops=28.0),
+        lds_kernel("sort", "radix_sort_blocks", suite=SUITE, valu_ops=190.0,
+                   lds_bytes=80.0, barriers=14.0),
+        limited_parallelism_kernel("sort", "scan_digits", suite=SUITE,
+                                   num_workgroups=16, valu_ops=70.0),
+        streaming_kernel("sort", "scatter_keys", suite=SUITE, valu_ops=14.0,
+                         load_bytes=8.0, store_bytes=8.0, coalescing=0.3),
+        streaming_kernel("sort", "scatter_values", suite=SUITE,
+                         valu_ops=12.0, load_bytes=8.0, store_bytes=8.0,
+                         coalescing=0.3),
+        tiny_kernel("sort", "top_scan", suite=SUITE, num_workgroups=1,
+                    valu_ops=260.0),
+        streaming_kernel("sort", "find_offsets", suite=SUITE, valu_ops=16.0,
+                         load_bytes=8.0, store_bytes=4.0),
+    )
+    b.program(
+        "spmv",
+        streaming_kernel("spmv", "csr_scalar", suite=SUITE, valu_ops=40.0,
+                         load_bytes=52.0, store_bytes=4.0,
+                         coalescing=0.3),
+        streaming_kernel("spmv", "csr_vector", suite=SUITE, valu_ops=52.0,
+                         load_bytes=52.0, store_bytes=4.0,
+                         coalescing=0.75),
+        streaming_kernel("spmv", "ellpackr", suite=SUITE, valu_ops=44.0,
+                         load_bytes=48.0, store_bytes=4.0,
+                         coalescing=0.85),
+        thrashing_kernel("spmv", "csr_vector_tex", suite=SUITE,
+                         valu_ops=60.0, load_bytes=48.0,
+                         footprint_mib=14.0, l2_reuse=0.9,
+                         row_sensitivity=0.8),
+        tiny_kernel("spmv", "zero_vector", suite=SUITE, num_workgroups=40,
+                    valu_ops=180.0),
+        streaming_kernel("spmv", "pad_rows", suite=SUITE, valu_ops=6.0,
+                         load_bytes=8.0, store_bytes=8.0),
+    )
+    b.program(
+        "stencil2d",
+        streaming_kernel("stencil2d", "stencil9pt", suite=SUITE,
+                         valu_ops=70.0, load_bytes=44.0, store_bytes=8.0,
+                         footprint_mib=128.0, global_size=1 << 22),
+        lds_kernel("stencil2d", "stencil9pt_shared", suite=SUITE,
+                   valu_ops=120.0, lds_bytes=56.0, barriers=4.0,
+                   global_size=1 << 22),
+        tiny_kernel("stencil2d", "exchange_halo", suite=SUITE,
+                    num_workgroups=44, workgroup_size=128),
+    )
+    b.program(
+        "triad",
+        streaming_kernel("triad", "triad", suite=SUITE, valu_ops=6.0,
+                         load_bytes=16.0, store_bytes=8.0,
+                         coalescing=0.98, footprint_mib=512.0,
+                         global_size=1 << 23),
+    )
+    return b.finish(
+        description="Capability microbenchmarks plus level-1 primitives; "
+        "the purest compute- and bandwidth-bound scaling curves."
+    )

@@ -1,0 +1,37 @@
+"""Data-collection harness: configuration space, sweep runner, dataset,
+and axis views."""
+
+from repro.sweep.dataset import KernelRecord, ScalingDataset
+from repro.sweep.noise import NoiseModel, perturb
+from repro.sweep.parallel import ParallelSweepRunner
+from repro.sweep.runner import SweepRunner, collect_paper_dataset
+from repro.sweep.space import PAPER_SPACE, ConfigurationSpace, reduced_space
+from repro.sweep.views import (
+    Axis,
+    AxisSlice,
+    axis_slice,
+    axis_values,
+    clock_surface,
+    end_to_end_speedups,
+    normalised_cube,
+)
+
+__all__ = [
+    "Axis",
+    "AxisSlice",
+    "ConfigurationSpace",
+    "KernelRecord",
+    "NoiseModel",
+    "PAPER_SPACE",
+    "ParallelSweepRunner",
+    "ScalingDataset",
+    "SweepRunner",
+    "axis_slice",
+    "axis_values",
+    "clock_surface",
+    "collect_paper_dataset",
+    "end_to_end_speedups",
+    "normalised_cube",
+    "perturb",
+    "reduced_space",
+]

@@ -1,0 +1,207 @@
+"""The scaling dataset: a (kernels x CU x engine x memory) tensor.
+
+:class:`ScalingDataset` is the hand-off point between data collection
+(:mod:`repro.sweep.runner`) and everything downstream (taxonomy,
+analysis, reporting). Performance is stored as work-items/second — the
+study only ever interprets performance *relative* to other points of
+the same kernel, so any throughput unit works as long as it is
+consistent per kernel.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.sweep.space import ConfigurationSpace
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """Identity of one kernel row in the dataset."""
+
+    full_name: str
+    suite: str
+    program: str
+    kernel: str
+
+    @classmethod
+    def from_full_name(cls, full_name: str) -> "KernelRecord":
+        """Parse a ``suite/program.kernel`` identifier."""
+        suite, _, rest = full_name.partition("/")
+        if not rest:
+            suite, rest = "", full_name
+        program, _, kernel = rest.partition(".")
+        if not kernel:
+            raise DatasetError(
+                f"cannot parse kernel identifier {full_name!r}"
+            )
+        return cls(
+            full_name=full_name, suite=suite, program=program, kernel=kernel
+        )
+
+
+class ScalingDataset:
+    """Performance of every kernel at every configuration.
+
+    ``perf`` has shape ``(n_kernels, n_cu, n_eng, n_mem)`` and holds
+    work-items/second. Rows follow the catalog's canonical kernel
+    order; configuration axes follow the space's axis order.
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        kernel_records: Sequence[KernelRecord],
+        perf: np.ndarray,
+    ):
+        expected_shape = (len(kernel_records),) + space.shape
+        if perf.shape != expected_shape:
+            raise DatasetError(
+                f"perf shape {perf.shape} does not match "
+                f"{len(kernel_records)} kernels x space {space.shape}"
+            )
+        if not np.all(np.isfinite(perf)):
+            raise DatasetError("perf contains non-finite values")
+        if np.any(perf <= 0):
+            raise DatasetError("perf must be strictly positive")
+        self._space = space
+        self._records = tuple(kernel_records)
+        self._perf = perf.astype(np.float64, copy=False)
+        self._index = {r.full_name: i for i, r in enumerate(self._records)}
+        if len(self._index) != len(self._records):
+            raise DatasetError("duplicate kernel names in dataset")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def space(self) -> ConfigurationSpace:
+        """The configuration grid this dataset was collected on."""
+        return self._space
+
+    @property
+    def kernel_records(self) -> Tuple[KernelRecord, ...]:
+        """Per-row kernel identities."""
+        return self._records
+
+    @property
+    def kernel_names(self) -> List[str]:
+        """Full names in row order."""
+        return [r.full_name for r in self._records]
+
+    @property
+    def num_kernels(self) -> int:
+        """Number of kernel rows."""
+        return len(self._records)
+
+    @property
+    def perf(self) -> np.ndarray:
+        """The full tensor, shape (kernels, cu, engine, memory)."""
+        return self._perf
+
+    def row_index(self, kernel_name: str) -> int:
+        """Row of *kernel_name*; raises :class:`DatasetError`."""
+        try:
+            return self._index[kernel_name]
+        except KeyError:
+            raise DatasetError(
+                f"dataset has no kernel {kernel_name!r}"
+            ) from None
+
+    def kernel_cube(self, kernel_name: str) -> np.ndarray:
+        """One kernel's (cu, engine, memory) performance cube."""
+        return self._perf[self.row_index(kernel_name)]
+
+    def suites(self) -> List[str]:
+        """Distinct suite names in row order of first appearance."""
+        seen: Dict[str, None] = {}
+        for record in self._records:
+            seen.setdefault(record.suite, None)
+        return list(seen)
+
+    def rows_for_suite(self, suite: str) -> List[int]:
+        """Row indices belonging to *suite*."""
+        return [
+            i for i, r in enumerate(self._records) if r.suite == suite
+        ]
+
+    def subset(self, kernel_names: Sequence[str]) -> "ScalingDataset":
+        """A new dataset restricted to *kernel_names* (order preserved)."""
+        rows = [self.row_index(name) for name in kernel_names]
+        return ScalingDataset(
+            self._space,
+            [self._records[i] for i in rows],
+            self._perf[rows],
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the dataset as ``.npz`` (tensor + JSON metadata)."""
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(".npz")
+        metadata = {
+            "space": self._space.to_dict(),
+            "kernels": [r.full_name for r in self._records],
+        }
+        np.savez_compressed(
+            path,
+            perf=self._perf,
+            metadata=np.array(json.dumps(metadata)),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ScalingDataset":
+        """Read a dataset written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise DatasetError(f"no dataset at {path}")
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                perf = archive["perf"]
+                metadata = json.loads(str(archive["metadata"]))
+        except (KeyError, ValueError, json.JSONDecodeError) as exc:
+            raise DatasetError(f"malformed dataset at {path}: {exc}") from exc
+        space = ConfigurationSpace.from_dict(metadata["space"])
+        records = [
+            KernelRecord.from_full_name(name) for name in metadata["kernels"]
+        ]
+        return cls(space, records, perf)
+
+    def export_csv(self, path: Union[str, Path]) -> Path:
+        """Write one row per (kernel, configuration) in long format.
+
+        Columns: suite, program, kernel, cu_count, engine_mhz,
+        memory_mhz, items_per_second.
+        """
+        path = Path(path)
+        n_cu, n_eng, n_mem = self._space.shape
+        with open(path, "w") as handle:
+            handle.write(
+                "suite,program,kernel,cu_count,engine_mhz,memory_mhz,"
+                "items_per_second\n"
+            )
+            for row, record in enumerate(self._records):
+                for c in range(n_cu):
+                    for e in range(n_eng):
+                        for m in range(n_mem):
+                            handle.write(
+                                f"{record.suite},{record.program},"
+                                f"{record.kernel},"
+                                f"{self._space.cu_counts[c]},"
+                                f"{self._space.engine_mhz[e]:g},"
+                                f"{self._space.memory_mhz[m]:g},"
+                                f"{self._perf[row, c, e, m]:.6g}\n"
+                            )
+        return path

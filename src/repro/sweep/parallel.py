@@ -1,0 +1,98 @@
+"""Multiprocess sweep collection.
+
+The analytical engine completes the full 237,897-point study in a few
+seconds on one core, but iteration workflows (ablation sweeps, noise
+studies, alternative hardware families) re-run it many times.
+:class:`ParallelSweepRunner` partitions the kernel list across worker
+processes — simulation is embarrassingly parallel per kernel row — and
+reassembles an identical-to-serial dataset (bit-exact: the model is
+deterministic and rows are independent).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.gpu.simulator import Engine
+from repro.kernels.kernel import Kernel
+from repro.sweep.dataset import KernelRecord, ScalingDataset
+from repro.sweep.runner import SweepRunner
+from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
+
+
+def _sweep_chunk(
+    payload: Tuple[List[dict], dict, str]
+) -> np.ndarray:
+    """Worker: sweep a chunk of kernels (serialised as dicts).
+
+    Kernels and the space travel as plain dicts so the worker start
+    method (fork or spawn) does not matter.
+    """
+    kernel_payloads, space_payload, engine_value = payload
+    kernels = [Kernel.from_dict(p) for p in kernel_payloads]
+    space = ConfigurationSpace.from_dict(space_payload)
+    runner = SweepRunner(Engine(engine_value))
+    return runner.run(kernels, space).perf
+
+
+class ParallelSweepRunner:
+    """Sweep kernels across a pool of worker processes."""
+
+    def __init__(
+        self,
+        engine: Engine = Engine.INTERVAL,
+        workers: Optional[int] = None,
+    ):
+        self._engine = engine
+        self._workers = workers or max(
+            1, multiprocessing.cpu_count() - 1
+        )
+
+    @property
+    def workers(self) -> int:
+        """Worker-process count."""
+        return self._workers
+
+    def run(
+        self,
+        kernels: Sequence[Kernel],
+        space: ConfigurationSpace = PAPER_SPACE,
+    ) -> ScalingDataset:
+        """Collect the dataset; identical to the serial runner's."""
+        if not kernels:
+            raise DatasetError("cannot sweep an empty kernel list")
+        names = [k.full_name for k in kernels]
+        if len(set(names)) != len(names):
+            raise DatasetError("kernel list contains duplicate full names")
+
+        if self._workers == 1 or len(kernels) < 2 * self._workers:
+            return SweepRunner(self._engine).run(kernels, space)
+
+        # NOTE: the reduced space loses the uarch on serialisation;
+        # restrict parallel runs to the default microarchitecture.
+        if space.uarch is not PAPER_SPACE.uarch:
+            return SweepRunner(self._engine).run(kernels, space)
+
+        chunk_size = -(-len(kernels) // self._workers)
+        chunks = [
+            list(kernels[i:i + chunk_size])
+            for i in range(0, len(kernels), chunk_size)
+        ]
+        payloads = [
+            (
+                [k.to_dict() for k in chunk],
+                space.to_dict(),
+                self._engine.value,
+            )
+            for chunk in chunks
+        ]
+        with multiprocessing.Pool(self._workers) as pool:
+            parts = pool.map(_sweep_chunk, payloads)
+
+        perf = np.concatenate(parts, axis=0)
+        records = [KernelRecord.from_full_name(name) for name in names]
+        return ScalingDataset(space, records, perf)

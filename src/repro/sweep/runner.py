@@ -1,0 +1,89 @@
+"""Sweep runner: kernels x configurations -> :class:`ScalingDataset`.
+
+Replaces the paper's measurement campaign (wall-clock timing of real
+kernels under firmware CU-fusing/DVFS control) with the performance
+model. The full paper-scale sweep is 267 x 891 = 237,897 simulations;
+the analytical engine completes it in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.gpu.simulator import Engine, GpuSimulator
+from repro.kernels.kernel import Kernel
+from repro.sweep.dataset import KernelRecord, ScalingDataset
+from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
+
+ProgressCallback = Callable[[int, int], None]
+
+
+class SweepRunner:
+    """Collect the scaling dataset for a set of kernels."""
+
+    def __init__(self, engine: Engine = Engine.INTERVAL):
+        self._simulator = GpuSimulator(engine)
+
+    @property
+    def simulator(self) -> GpuSimulator:
+        """The simulator used for every point."""
+        return self._simulator
+
+    def run(
+        self,
+        kernels: Sequence[Kernel],
+        space: ConfigurationSpace = PAPER_SPACE,
+        progress: Optional[ProgressCallback] = None,
+    ) -> ScalingDataset:
+        """Simulate every kernel at every configuration.
+
+        *progress*, when given, is called after each kernel row with
+        ``(rows_done, rows_total)``.
+        """
+        if not kernels:
+            raise DatasetError("cannot sweep an empty kernel list")
+        names = [k.full_name for k in kernels]
+        if len(set(names)) != len(names):
+            raise DatasetError("kernel list contains duplicate full names")
+
+        n_cu, n_eng, n_mem = space.shape
+        perf = np.empty((len(kernels), n_cu, n_eng, n_mem), dtype=np.float64)
+
+        # Configs vary along the innermost loops so per-kernel state
+        # (occupancy, geometry) is computed once per row by the engine's
+        # own caching; the grid itself is materialised once.
+        configs = [
+            [
+                [space.config(c, e, m) for m in range(n_mem)]
+                for e in range(n_eng)
+            ]
+            for c in range(n_cu)
+        ]
+
+        simulate = self._simulator.simulate
+        for row, kernel in enumerate(kernels):
+            for c in range(n_cu):
+                for e in range(n_eng):
+                    row_configs = configs[c][e]
+                    for m in range(n_mem):
+                        result = simulate(kernel, row_configs[m])
+                        perf[row, c, e, m] = result.items_per_second
+            if progress is not None:
+                progress(row + 1, len(kernels))
+
+        records = [KernelRecord.from_full_name(name) for name in names]
+        return ScalingDataset(space, records, perf)
+
+
+def collect_paper_dataset(
+    engine: Engine = Engine.INTERVAL,
+    space: ConfigurationSpace = PAPER_SPACE,
+    progress: Optional[ProgressCallback] = None,
+) -> ScalingDataset:
+    """Run the full study: all 267 catalog kernels over the 891 configs."""
+    from repro.suites import all_kernels
+
+    return SweepRunner(engine).run(all_kernels(), space, progress)

@@ -1,0 +1,169 @@
+"""The swept configuration space: 11 x 9 x 9 = 891 hardware points.
+
+Mirrors the paper's experimental design: 11 compute-unit settings
+(4..44 in steps of 4, an 11x range), 9 engine-clock states (200..1000
+MHz, 5x), and 9 memory-clock states (150..1250 MHz, 8.33x bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.gpu.config import HAWAII_UARCH, HardwareConfig, Microarchitecture
+from repro.gpu.dvfs import CU_SETTINGS, ENGINE_DOMAIN, MEMORY_DOMAIN
+
+
+@dataclass(frozen=True)
+class ConfigurationSpace:
+    """A full-factorial grid over (CU count, engine MHz, memory MHz)."""
+
+    cu_counts: Tuple[int, ...] = CU_SETTINGS
+    engine_mhz: Tuple[float, ...] = ENGINE_DOMAIN.states_mhz
+    memory_mhz: Tuple[float, ...] = MEMORY_DOMAIN.states_mhz
+    uarch: Microarchitecture = HAWAII_UARCH
+
+    def __post_init__(self) -> None:
+        for axis_name, axis in (
+            ("cu_counts", self.cu_counts),
+            ("engine_mhz", self.engine_mhz),
+            ("memory_mhz", self.memory_mhz),
+        ):
+            if not axis:
+                raise ConfigurationError(f"axis {axis_name} is empty")
+            if tuple(sorted(axis)) != tuple(axis):
+                raise ConfigurationError(
+                    f"axis {axis_name} must be sorted ascending"
+                )
+            if len(set(axis)) != len(axis):
+                raise ConfigurationError(
+                    f"axis {axis_name} has duplicate values"
+                )
+
+    # ------------------------------------------------------------------
+    # Shape and indexing
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """(num CU settings, num engine states, num memory states)."""
+        return (
+            len(self.cu_counts),
+            len(self.engine_mhz),
+            len(self.memory_mhz),
+        )
+
+    @property
+    def size(self) -> int:
+        """Total number of configurations (891 for the paper's grid)."""
+        n_cu, n_eng, n_mem = self.shape
+        return n_cu * n_eng * n_mem
+
+    def config(
+        self, cu_idx: int, eng_idx: int, mem_idx: int
+    ) -> HardwareConfig:
+        """The configuration at one grid coordinate."""
+        return HardwareConfig(
+            cu_count=self.cu_counts[cu_idx],
+            engine_mhz=self.engine_mhz[eng_idx],
+            memory_mhz=self.memory_mhz[mem_idx],
+            uarch=self.uarch,
+        )
+
+    def flat_index(self, cu_idx: int, eng_idx: int, mem_idx: int) -> int:
+        """Row-major flat index of a grid coordinate."""
+        n_cu, n_eng, n_mem = self.shape
+        if not (0 <= cu_idx < n_cu and 0 <= eng_idx < n_eng
+                and 0 <= mem_idx < n_mem):
+            raise ConfigurationError(
+                f"index ({cu_idx}, {eng_idx}, {mem_idx}) outside {self.shape}"
+            )
+        return (cu_idx * n_eng + eng_idx) * n_mem + mem_idx
+
+    def unflatten(self, flat: int) -> Tuple[int, int, int]:
+        """Grid coordinate of a row-major flat index."""
+        if not 0 <= flat < self.size:
+            raise ConfigurationError(
+                f"flat index {flat} outside [0, {self.size})"
+            )
+        n_cu, n_eng, n_mem = self.shape
+        cu_idx, rest = divmod(flat, n_eng * n_mem)
+        eng_idx, mem_idx = divmod(rest, n_mem)
+        return cu_idx, eng_idx, mem_idx
+
+    def __iter__(self) -> Iterator[HardwareConfig]:
+        """Iterate configurations in row-major (flat) order."""
+        for cu_idx in range(len(self.cu_counts)):
+            for eng_idx in range(len(self.engine_mhz)):
+                for mem_idx in range(len(self.memory_mhz)):
+                    yield self.config(cu_idx, eng_idx, mem_idx)
+
+    def __len__(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------------
+    # Named corners
+    # ------------------------------------------------------------------
+
+    @property
+    def min_config(self) -> HardwareConfig:
+        """The smallest corner (embedded-class)."""
+        return self.config(0, 0, 0)
+
+    @property
+    def max_config(self) -> HardwareConfig:
+        """The largest corner (flagship discrete card)."""
+        n_cu, n_eng, n_mem = self.shape
+        return self.config(n_cu - 1, n_eng - 1, n_mem - 1)
+
+    @property
+    def axis_ranges(self) -> Tuple[float, float, float]:
+        """Dynamic range of each knob (11x, 5x, 8.33x on the paper grid)."""
+        return (
+            self.cu_counts[-1] / self.cu_counts[0],
+            self.engine_mhz[-1] / self.engine_mhz[0],
+            self.memory_mhz[-1] / self.memory_mhz[0],
+        )
+
+    def to_dict(self) -> dict:
+        """Serialise axis values (JSON-compatible)."""
+        return {
+            "cu_counts": list(self.cu_counts),
+            "engine_mhz": list(self.engine_mhz),
+            "memory_mhz": list(self.memory_mhz),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ConfigurationSpace":
+        """Reconstruct from :meth:`to_dict` output."""
+        return cls(
+            cu_counts=tuple(int(c) for c in payload["cu_counts"]),
+            engine_mhz=tuple(float(f) for f in payload["engine_mhz"]),
+            memory_mhz=tuple(float(f) for f in payload["memory_mhz"]),
+        )
+
+
+#: The paper's 891-configuration grid.
+PAPER_SPACE = ConfigurationSpace()
+
+
+def reduced_space(
+    cu_step: int = 2, eng_step: int = 2, mem_step: int = 2
+) -> ConfigurationSpace:
+    """A strided subgrid for fast tests (keeps both endpoints per axis).
+
+    ``reduced_space(2, 2, 2)`` yields a 6 x 5 x 5 grid — the same axis
+    extremes, one eighth the points.
+    """
+    def stride(axis, step):
+        picked = list(axis[::step])
+        if picked[-1] != axis[-1]:
+            picked.append(axis[-1])
+        return tuple(picked)
+
+    return ConfigurationSpace(
+        cu_counts=stride(CU_SETTINGS, cu_step),
+        engine_mhz=stride(ENGINE_DOMAIN.states_mhz, eng_step),
+        memory_mhz=stride(MEMORY_DOMAIN.states_mhz, mem_step),
+    )

@@ -1,0 +1,65 @@
+"""The paper's primary contribution, codified: per-axis scaling
+behaviour classes, combined taxonomy categories, the rule-based
+classifier, and the unsupervised cross-check."""
+
+from repro.taxonomy.axis import (
+    AxisBehaviour,
+    classify_axis,
+    is_responsive,
+    is_strongly_responsive,
+)
+from repro.taxonomy.categories import (
+    TaxonomyCategory,
+    TaxonomyLabel,
+    categorise,
+)
+from repro.taxonomy.explain import REMEDIES, explain_all, explain_label
+from repro.taxonomy.classifier import (
+    TaxonomyClassifier,
+    TaxonomyResult,
+    classify,
+)
+from repro.taxonomy.clustering import (
+    ClusterAgreement,
+    adjusted_rand_index,
+    cluster_dataset,
+    evaluate_agreement,
+    kmeans,
+    shape_matrix,
+    shape_vector,
+)
+from repro.taxonomy.features import (
+    AxisFeatures,
+    ScalingFeatures,
+    axis_features_from_slice,
+    extract_all_features,
+    extract_features,
+)
+
+__all__ = [
+    "AxisBehaviour",
+    "AxisFeatures",
+    "ClusterAgreement",
+    "ScalingFeatures",
+    "TaxonomyCategory",
+    "TaxonomyClassifier",
+    "TaxonomyLabel",
+    "TaxonomyResult",
+    "REMEDIES",
+    "adjusted_rand_index",
+    "axis_features_from_slice",
+    "categorise",
+    "classify",
+    "classify_axis",
+    "cluster_dataset",
+    "evaluate_agreement",
+    "explain_all",
+    "explain_label",
+    "extract_all_features",
+    "extract_features",
+    "is_responsive",
+    "is_strongly_responsive",
+    "kmeans",
+    "shape_matrix",
+    "shape_vector",
+]

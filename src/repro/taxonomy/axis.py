@@ -1,0 +1,91 @@
+"""Per-axis behaviour classification.
+
+Each knob's scaling curve is assigned one of five behaviour classes.
+The classes mirror the shapes the paper's abstract enumerates —
+proportional scaling, saturation/plateau, insensitivity, and outright
+performance loss:
+
+* ``LINEAR`` — speedup tracks the knob (elasticity >= 0.75) and is
+  still rising at the axis maximum,
+* ``SUBLINEAR`` — clearly responsive (elasticity >= 0.25) and still
+  rising, but below proportionality,
+* ``SATURATING`` — gained meaningfully over the axis but flat at the
+  end: the knob has stopped helping,
+* ``FLAT`` — less than 15% total gain across the whole knob range,
+* ``INVERSE`` — the curve's end point sits >= 5% below its peak:
+  turning the knob up *loses* performance.
+
+Thresholds are module constants so calibration studies (see
+``benchmarks/test_ablation_thresholds.py``) can explore them.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.taxonomy.features import AxisFeatures
+
+#: Minimum mean elasticity to call an axis LINEAR.
+LINEAR_ELASTICITY = 0.75
+
+#: Minimum mean elasticity to call an axis SUBLINEAR (vs SATURATING/FLAT).
+SUBLINEAR_ELASTICITY = 0.25
+
+#: Total gain below which an axis is FLAT (1.15 = <15% over the range).
+FLAT_GAIN = 1.15
+
+#: End-of-axis local elasticity below which a curve counts as stalled.
+STALLED_END_ELASTICITY = 0.10
+
+#: Relative drop from the curve's peak that flags INVERSE scaling.
+#: 10% keeps quantisation ripple and mild cache-pressure drift out of
+#: the class while catching every mechanistic inversion (thrash,
+#: row-locality loss, atomic contention growth).
+INVERSE_DROP = 0.10
+
+
+class AxisBehaviour(Enum):
+    """The five per-knob scaling shapes."""
+
+    LINEAR = "linear"
+    SUBLINEAR = "sublinear"
+    SATURATING = "saturating"
+    FLAT = "flat"
+    INVERSE = "inverse"
+
+
+def classify_axis(features: AxisFeatures) -> AxisBehaviour:
+    """Assign one behaviour class to one axis's features.
+
+    Precedence: INVERSE is checked first (a drop is meaningful whatever
+    the earlier part of the curve did), then FLAT, then the rising
+    shapes by elasticity, with stalled-at-the-end curves demoted to
+    SATURATING.
+    """
+    if features.drop_from_peak >= INVERSE_DROP:
+        return AxisBehaviour.INVERSE
+    if features.gain < FLAT_GAIN:
+        return AxisBehaviour.FLAT
+
+    stalled = features.end_elasticity < STALLED_END_ELASTICITY
+    if stalled:
+        return AxisBehaviour.SATURATING
+    if features.elasticity >= LINEAR_ELASTICITY:
+        return AxisBehaviour.LINEAR
+    if features.elasticity >= SUBLINEAR_ELASTICITY:
+        return AxisBehaviour.SUBLINEAR
+    return AxisBehaviour.SATURATING
+
+
+def is_responsive(behaviour: AxisBehaviour) -> bool:
+    """True when the knob delivers meaningful gains (rising shapes)."""
+    return behaviour in (
+        AxisBehaviour.LINEAR,
+        AxisBehaviour.SUBLINEAR,
+        AxisBehaviour.SATURATING,
+    )
+
+
+def is_strongly_responsive(behaviour: AxisBehaviour) -> bool:
+    """True when the knob keeps paying off to the end of its range."""
+    return behaviour in (AxisBehaviour.LINEAR, AxisBehaviour.SUBLINEAR)

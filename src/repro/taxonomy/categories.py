@@ -1,0 +1,156 @@
+"""The taxonomy: combined kernel-level scaling categories.
+
+The paper groups kernels by how the three per-axis behaviours compose.
+The abstract calls out two "intuitive" families (scaling with compute
+capability; scaling with memory bandwidth) and two "non-obvious" ones
+(losing performance with more CUs; plateauing as frequency and
+bandwidth rise). We codify those plus the limited-parallelism class
+that drives the benchmark-scalability critique:
+
+==================  =================================================
+Category            Signature
+==================  =================================================
+COMPUTE_BOUND       CU and engine responsive, memory flat: more or
+                    faster ALUs translate directly to performance.
+BANDWIDTH_BOUND     Memory strongly responsive and the dominant clock
+                    knob; CU gains stop once bandwidth saturates.
+BALANCED            Both clock knobs deliver real gains: the kernel
+                    sits near the machine-balance ridge and the
+                    bottleneck migrates across the sweep.
+CU_INVERSE          Adding CUs past the peak LOSES performance (cache
+                    thrash, row-locality loss, atomic contention).
+PARALLELISM_LIMITED CU axis flat/stalled because the launch cannot
+                    fill the device, while at least one clock knob
+                    still helps — the "benchmarks don't scale" class.
+PLATEAU             Every knob saturates or is flat and the total
+                    cube-wide gain is small: nothing the hardware
+                    offers helps (fixed latencies, launch overhead).
+MIXED               Everything else (rare boundary shapes).
+==================  =================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+from repro.taxonomy.axis import (
+    AxisBehaviour,
+    is_responsive,
+    is_strongly_responsive,
+)
+from repro.taxonomy.features import ScalingFeatures
+
+#: CU-axis knee position below which CU scaling counts as stopping
+#: "early" for the parallelism-limited check.
+EARLY_CU_KNEE = 0.25
+
+#: A SATURATING axis still "matters" for category purposes when its
+#: cumulative gain reached this factor before flattening: the knob
+#: bought real performance over the sweep even though it has stopped
+#: paying at the flagship end (the balanced class's typical clock
+#: signature — the bottleneck migrates mid-sweep).
+SATURATING_MATTERS_GAIN = 3.0
+
+
+class TaxonomyCategory(Enum):
+    """Kernel-level scaling categories."""
+
+    COMPUTE_BOUND = "compute_bound"
+    BANDWIDTH_BOUND = "bandwidth_bound"
+    BALANCED = "balanced"
+    CU_INVERSE = "cu_inverse"
+    PARALLELISM_LIMITED = "parallelism_limited"
+    PLATEAU = "plateau"
+    MIXED = "mixed"
+
+    @property
+    def is_intuitive(self) -> bool:
+        """The paper's "intuitive" vs "non-obvious" split."""
+        return self in (
+            TaxonomyCategory.COMPUTE_BOUND,
+            TaxonomyCategory.BANDWIDTH_BOUND,
+            TaxonomyCategory.BALANCED,
+        )
+
+
+@dataclass(frozen=True)
+class TaxonomyLabel:
+    """Full classification of one kernel."""
+
+    kernel_name: str
+    category: TaxonomyCategory
+    cu_behaviour: AxisBehaviour
+    engine_behaviour: AxisBehaviour
+    memory_behaviour: AxisBehaviour
+    features: ScalingFeatures
+
+    @property
+    def behaviours(self) -> Tuple[AxisBehaviour, ...]:
+        """(CU, engine, memory) behaviours."""
+        return (
+            self.cu_behaviour,
+            self.engine_behaviour,
+            self.memory_behaviour,
+        )
+
+
+def categorise(
+    features: ScalingFeatures,
+    cu: AxisBehaviour,
+    engine: AxisBehaviour,
+    memory: AxisBehaviour,
+) -> TaxonomyCategory:
+    """Combine per-axis behaviours into a taxonomy category.
+
+    Precedence encodes the paper's narrative: the non-obvious classes
+    (inverse, plateau, parallelism-limited) are identified first —
+    they are the interesting findings — and the intuitive classes
+    partition the remainder.
+    """
+    if cu is AxisBehaviour.INVERSE:
+        return TaxonomyCategory.CU_INVERSE
+
+    def axis_matters(axis_features, behaviour) -> bool:
+        if is_strongly_responsive(behaviour):
+            return True
+        return (
+            behaviour is AxisBehaviour.SATURATING
+            and axis_features.gain >= SATURATING_MATTERS_GAIN
+        )
+
+    memory_matters = axis_matters(features.memory, memory)
+    engine_matters = axis_matters(features.engine, engine)
+
+    # Plateau: no knob delivered meaningful scaling — neither rising at
+    # the flagship end of its axis nor having accumulated a large gain
+    # before saturating. This is "plateauing as frequency and bandwidth
+    # are increased" plus the launch-overhead-bound microkernels.
+    cu_matters = axis_matters(features.cu, cu)
+    if not memory_matters and not engine_matters and not cu_matters:
+        return TaxonomyCategory.PLATEAU
+
+    # Parallelism-limited: the CU axis is dead from the start — the
+    # launch cannot fill the device — while the engine clock still
+    # helps. A dead-or-early-stalled CU axis *with memory responsive*
+    # is NOT this class: that kernel saturates DRAM from the smallest
+    # device upward, which is bandwidth-bound behaviour (CU gains stop
+    # because of the memory wall, not because work ran out).
+    cu_dead = not memory_matters and (
+        cu is AxisBehaviour.FLAT
+        or (
+            cu is AxisBehaviour.SATURATING
+            and features.cu.knee_position <= EARLY_CU_KNEE
+        )
+    )
+    if cu_dead and engine_matters:
+        return TaxonomyCategory.PARALLELISM_LIMITED
+
+    if memory_matters and engine_matters:
+        return TaxonomyCategory.BALANCED
+    if memory_matters:
+        return TaxonomyCategory.BANDWIDTH_BOUND
+    if engine_matters:
+        return TaxonomyCategory.COMPUTE_BOUND
+    return TaxonomyCategory.MIXED

@@ -1,0 +1,99 @@
+"""Human-readable explanations of taxonomy labels.
+
+A classification is only actionable when its *reason* is visible.
+:func:`explain_label` turns a :class:`TaxonomyLabel` into a short
+evidence-backed narrative — which axis behaviours fired, the numbers
+behind them, and the standard remedy for the class — used by the
+``gpuscale kernel`` command and the audit example.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.taxonomy.categories import TaxonomyCategory, TaxonomyLabel
+
+#: One-line remedies per category (the "what do I do about it" column).
+REMEDIES = {
+    TaxonomyCategory.COMPUTE_BOUND: (
+        "buy compute: more CUs or engine clock convert directly"
+    ),
+    TaxonomyCategory.BANDWIDTH_BOUND: (
+        "buy bandwidth; improve locality/coalescing to climb the roof"
+    ),
+    TaxonomyCategory.BALANCED: (
+        "keep clocks balanced; either knob helps until the ridge"
+    ),
+    TaxonomyCategory.CU_INVERSE: (
+        "cap active CUs at the curve's peak; reduce shared-resource "
+        "contention (cache blocking, atomic privatisation)"
+    ),
+    TaxonomyCategory.PARALLELISM_LIMITED: (
+        "expose more work per launch (bigger inputs, kernel fusion, "
+        "finer decomposition)"
+    ),
+    TaxonomyCategory.PLATEAU: (
+        "hardware knobs cannot help; restructure (batch tiny launches, "
+        "break dependence chains, raise occupancy)"
+    ),
+    TaxonomyCategory.MIXED: "profile further; no single knob dominates",
+}
+
+
+def _axis_sentence(name: str, behaviour, features) -> str:
+    detail = {
+        "linear": (
+            f"tracks the knob ({features.gain:.1f}x over a "
+            f"{features.knob_ratio:.1f}x range)"
+        ),
+        "sublinear": (
+            f"keeps rising but below proportionality "
+            f"({features.gain:.1f}x over {features.knob_ratio:.1f}x)"
+        ),
+        "saturating": (
+            f"gains {features.gain:.1f}x then stops at "
+            f"{features.knee_position:.0%} of the axis"
+        ),
+        "flat": f"moves performance by under 15% ({features.gain:.2f}x)",
+        "inverse": (
+            f"peaks mid-axis and LOSES {features.drop_from_peak:.0%} "
+            "by the top setting"
+        ),
+    }[behaviour.value]
+    return f"{name}: {detail}"
+
+
+def explain_label(label: TaxonomyLabel) -> str:
+    """Multi-line, evidence-backed explanation of one kernel's label."""
+    lines: List[str] = [
+        f"{label.kernel_name} -> {label.category.value} "
+        f"({'intuitive' if label.category.is_intuitive else 'non-obvious'})",
+    ]
+    features = label.features
+    lines.append(
+        "  "
+        + _axis_sentence("CU count", label.cu_behaviour, features.cu)
+    )
+    lines.append(
+        "  "
+        + _axis_sentence(
+            "engine clock", label.engine_behaviour, features.engine
+        )
+    )
+    lines.append(
+        "  "
+        + _axis_sentence(
+            "memory clock", label.memory_behaviour, features.memory
+        )
+    )
+    lines.append(
+        f"  full-range speedup: {features.end_to_end_gain:.1f}x of the "
+        "~55x compute / 8.3x bandwidth headroom"
+    )
+    lines.append(f"  remedy: {REMEDIES[label.category]}")
+    return "\n".join(lines)
+
+
+def explain_all(labels) -> str:
+    """Concatenated explanations (one blank line between kernels)."""
+    return "\n\n".join(explain_label(label) for label in labels)

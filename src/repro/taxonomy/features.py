@@ -1,0 +1,202 @@
+"""Scaling-feature extraction.
+
+The taxonomy reduces each kernel's 891-point cube to a handful of
+interpretable per-axis features computed on the *normalised speedup
+curve* of each knob (other knobs pinned at maximum):
+
+* **gain** — end-to-end speedup over the slice,
+* **peak gain / drop from peak** — detects inverse scaling,
+* **elasticity** — mean log-log slope ``ln(gain)/ln(knob ratio)``:
+  1.0 means perfectly proportional scaling, 0.0 means insensitive,
+* **end elasticity** — local log-log slope over the last segment:
+  distinguishes "still rising" from "already saturated",
+* **knee** — earliest position (fraction of the axis) where the curve
+  reaches 95% of its maximum: small knees mean early saturation,
+* **monotonicity violation** — largest relative drop between adjacent
+  points.
+
+These are the quantities the per-axis behaviour rules in
+:mod:`repro.taxonomy.axis` threshold on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ClassificationError
+from repro.sweep.dataset import ScalingDataset
+from repro.sweep.views import Axis, AxisSlice, axis_slice
+
+#: A curve is "at its maximum" once it reaches this fraction of it.
+KNEE_THRESHOLD = 0.95
+
+
+def _median3(curve: Tuple[float, ...]) -> Tuple[float, ...]:
+    """3-point median filter, endpoints preserved.
+
+    Identity on monotone curves (the common case), but removes
+    single-point measurement noise and quantisation ripple that would
+    otherwise flip threshold features (drop-from-peak, end slope) —
+    see the ``benchmarks/test_ablation_noise.py`` robustness study.
+    """
+    if len(curve) < 3:
+        return curve
+    smoothed = [curve[0]]
+    for i in range(1, len(curve) - 1):
+        smoothed.append(
+            sorted((curve[i - 1], curve[i], curve[i + 1]))[1]
+        )
+    smoothed.append(curve[-1])
+    return tuple(smoothed)
+
+
+@dataclass(frozen=True)
+class AxisFeatures:
+    """Scaling features of one kernel along one knob."""
+
+    axis: Axis
+    gain: float
+    peak_gain: float
+    knob_ratio: float
+    elasticity: float
+    end_elasticity: float
+    knee_position: float
+    drop_from_peak: float
+    max_adjacent_drop: float
+
+    @property
+    def is_rising_at_end(self) -> bool:
+        """True when the curve is still gaining at the axis maximum."""
+        return self.end_elasticity > 0.0
+
+
+@dataclass(frozen=True)
+class ScalingFeatures:
+    """All per-axis features of one kernel, plus cube-level summaries."""
+
+    kernel_name: str
+    cu: AxisFeatures
+    engine: AxisFeatures
+    memory: AxisFeatures
+    end_to_end_gain: float
+
+    def axis_features(self, axis: Axis) -> AxisFeatures:
+        """Features for one axis."""
+        return {
+            Axis.CU: self.cu,
+            Axis.ENGINE: self.engine,
+            Axis.MEMORY: self.memory,
+        }[axis]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to a feature dict (used by clustering and reports)."""
+        flat: Dict[str, float] = {"end_to_end_gain": self.end_to_end_gain}
+        for features in (self.cu, self.engine, self.memory):
+            prefix = features.axis.value
+            flat[f"{prefix}_gain"] = features.gain
+            flat[f"{prefix}_elasticity"] = features.elasticity
+            flat[f"{prefix}_end_elasticity"] = features.end_elasticity
+            flat[f"{prefix}_knee"] = features.knee_position
+            flat[f"{prefix}_drop_from_peak"] = features.drop_from_peak
+        return flat
+
+
+def _tail_slope(
+    knobs: Tuple[float, ...], speedup: Tuple[float, ...]
+) -> float:
+    """Log-log slope over the last half of the curve (OLS).
+
+    The "is the knob still paying off at the top?" question is asked
+    of noisy data in the original study's setting; a two-point end
+    slope flips across thresholds under ~2% measurement noise. An
+    ordinary-least-squares fit over the last ``ceil(n/2)`` points (at
+    least two) averages that noise down while still localising the
+    question to the top of the axis.
+    """
+    count = max(2, math.ceil(len(speedup) / 2))
+    xs = [math.log(k) for k in knobs[-count:]]
+    ys = [math.log(max(s, 1e-12)) for s in speedup[-count:]]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    cov = sum(
+        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    )
+    return cov / var_x
+
+
+def axis_features_from_slice(slice_: AxisSlice) -> AxisFeatures:
+    """Compute :class:`AxisFeatures` from one normalised slice."""
+    knobs = slice_.knob_values
+    if len(slice_.speedup) < 2:
+        raise ClassificationError(
+            f"axis {slice_.axis.value} has {len(slice_.speedup)} "
+            "point(s); feature extraction needs at least 2"
+        )
+    speedup = _median3(slice_.speedup)
+
+    gain = slice_.gain
+    peak = max(speedup)
+    peak_gain = slice_.peak_gain
+    knob_ratio = slice_.knob_ratio
+
+    elasticity = math.log(gain) / math.log(knob_ratio)
+    end_elasticity = _tail_slope(knobs, speedup)
+
+    knee_index = next(
+        i for i, s in enumerate(speedup) if s >= KNEE_THRESHOLD * peak
+    )
+    knee_position = knee_index / (len(speedup) - 1)
+
+    drop_from_peak = 1.0 - speedup[-1] / peak
+    adjacent_drops = [
+        1.0 - b / a for a, b in zip(speedup, speedup[1:]) if b < a
+    ]
+    max_adjacent_drop = max(adjacent_drops, default=0.0)
+
+    return AxisFeatures(
+        axis=slice_.axis,
+        gain=gain,
+        peak_gain=peak_gain,
+        knob_ratio=knob_ratio,
+        elasticity=elasticity,
+        end_elasticity=end_elasticity,
+        knee_position=knee_position,
+        drop_from_peak=drop_from_peak,
+        max_adjacent_drop=max_adjacent_drop,
+    )
+
+
+def extract_features(
+    dataset: ScalingDataset, kernel_name: str
+) -> ScalingFeatures:
+    """Extract all scaling features for one kernel.
+
+    Each axis slice pins the other two knobs at their maxima, matching
+    the paper's presentation (and making the axes' effects comparable:
+    every slice ends at the same flagship configuration).
+    """
+    per_axis = {
+        axis: axis_features_from_slice(axis_slice(dataset, kernel_name, axis))
+        for axis in Axis
+    }
+    cube = dataset.kernel_cube(kernel_name)
+    end_to_end = float(cube[-1, -1, -1] / cube[0, 0, 0])
+    return ScalingFeatures(
+        kernel_name=kernel_name,
+        cu=per_axis[Axis.CU],
+        engine=per_axis[Axis.ENGINE],
+        memory=per_axis[Axis.MEMORY],
+        end_to_end_gain=end_to_end,
+    )
+
+
+def extract_all_features(
+    dataset: ScalingDataset,
+) -> Tuple[ScalingFeatures, ...]:
+    """Features for every kernel row, in dataset order."""
+    return tuple(
+        extract_features(dataset, name) for name in dataset.kernel_names
+    )

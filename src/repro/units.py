@@ -1,0 +1,76 @@
+"""Unit conversion helpers used throughout the performance model.
+
+The hardware model works internally in a small set of canonical units:
+
+* time in **seconds**,
+* clock rates in **MHz** at the API surface, converted to Hz here,
+* data sizes in **bytes**, with binary prefixes for cache/LDS capacities,
+* bandwidth in **bytes/second** internally, **GB/s** (decimal) at the
+  API surface, matching vendor datasheets.
+
+Keeping the conversions in one module avoids the classic off-by-1e3
+errors between binary capacities and decimal rates.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+US_PER_S = 1e6
+NS_PER_S = 1e9
+
+
+def mhz_to_hz(mhz: float) -> float:
+    """Convert a clock rate in MHz to Hz."""
+    return mhz * 1e6
+
+
+def hz_to_mhz(hz: float) -> float:
+    """Convert a clock rate in Hz to MHz."""
+    return hz / 1e6
+
+
+def seconds_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * US_PER_S
+
+
+def us_to_seconds(us: float) -> float:
+    """Convert microseconds to seconds."""
+    return us / US_PER_S
+
+
+def seconds_to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds * NS_PER_S
+
+
+def ns_to_seconds(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / NS_PER_S
+
+
+def bytes_to_gb(num_bytes: float) -> float:
+    """Convert bytes to decimal gigabytes (vendor-datasheet GB)."""
+    return num_bytes / GB
+
+
+def gb_to_bytes(gigabytes: float) -> float:
+    """Convert decimal gigabytes to bytes."""
+    return gigabytes * GB
+
+
+def bytes_per_sec_to_gb_per_sec(rate: float) -> float:
+    """Convert a bandwidth in bytes/second to GB/s (decimal)."""
+    return rate / GB
+
+
+def gb_per_sec_to_bytes_per_sec(rate: float) -> float:
+    """Convert a bandwidth in GB/s (decimal) to bytes/second."""
+    return rate * GB

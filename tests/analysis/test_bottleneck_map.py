@@ -1,0 +1,52 @@
+"""Bottleneck-migration maps."""
+
+import pytest
+
+from repro.analysis.bottleneck_map import bottleneck_map, migration_summary
+from repro.kernels import (
+    balanced_kernel,
+    compute_kernel,
+    latency_kernel,
+    streaming_kernel,
+)
+from repro.sweep import reduced_space
+
+SPACE = reduced_space(3, 3, 3)
+
+
+class TestMaps:
+    def test_compute_kernel_compute_bound_everywhere(self):
+        cmap = bottleneck_map(compute_kernel("c"), SPACE)
+        histogram = cmap.histogram()
+        assert cmap.dominant == "compute"
+        assert histogram["compute"] >= 0.9 * SPACE.size
+
+    def test_balanced_kernel_migrates(self):
+        cmap = bottleneck_map(balanced_kernel("b"), SPACE)
+        assert cmap.migrates()
+        histogram = cmap.histogram()
+        assert "compute" in histogram and "dram" in histogram
+
+    def test_latency_kernel_latency_dominant(self):
+        cmap = bottleneck_map(latency_kernel("l"), SPACE)
+        assert cmap.dominant == "latency"
+
+    def test_histogram_covers_whole_space(self):
+        cmap = bottleneck_map(streaming_kernel("s"), SPACE)
+        assert sum(cmap.histogram().values()) == SPACE.size
+
+    def test_at_matches_corner(self):
+        cmap = bottleneck_map(streaming_kernel("s"), SPACE)
+        n_cu, n_eng, n_mem = SPACE.shape
+        corner = cmap.at(n_cu - 1, n_eng - 1, n_mem - 1)
+        assert corner == "dram"
+
+
+class TestSummary:
+    def test_migration_summary_counts_kernels(self):
+        kernels = [compute_kernel("c"), balanced_kernel("b"),
+                   streaming_kernel("s")]
+        summary = migration_summary(kernels, SPACE)
+        assert sum(summary.values()) == 3
+        # The balanced kernel guarantees at least one migrating entry.
+        assert any(count > 1 for count in summary)

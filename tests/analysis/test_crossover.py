@@ -1,0 +1,68 @@
+"""Bottleneck-crossover mapping over the clock plane."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import balance_point, crossover_map
+from repro.errors import AnalysisError
+from repro.sweep import ConfigurationSpace, SweepRunner
+from repro.kernels import balanced_kernel, compute_kernel, streaming_kernel
+
+
+class TestDominanceMaps:
+    def test_compute_kernel_engine_dominated(self, archetype_dataset):
+        cmap = crossover_map(
+            archetype_dataset, "probe/compute_probe.main"
+        )
+        assert cmap.compute_bound_fraction > 0.8
+
+    def test_streaming_kernel_memory_dominated(self, archetype_dataset):
+        cmap = crossover_map(
+            archetype_dataset, "probe/streaming_probe.main"
+        )
+        assert cmap.bandwidth_bound_fraction > 0.5
+
+    def test_balanced_kernel_has_crossover(self, archetype_dataset):
+        cmap = crossover_map(
+            archetype_dataset, "probe/balanced_probe.main"
+        )
+        assert cmap.has_crossover
+        frontier = cmap.frontier()
+        assert frontier is not None and len(frontier) > 0
+
+    def test_dominance_values_in_range(self, archetype_dataset):
+        cmap = crossover_map(
+            archetype_dataset, "probe/balanced_probe.main"
+        )
+        assert set(np.unique(cmap.dominance)).issubset({-1, 0, 1})
+
+    def test_frontier_none_without_crossover(self, archetype_dataset):
+        cmap = crossover_map(archetype_dataset, "probe/tiny_probe.main")
+        if not cmap.has_crossover:
+            assert cmap.frontier() is None
+
+
+class TestBalancePoint:
+    def test_balanced_kernel_balance_point_interior(
+        self, archetype_dataset
+    ):
+        point = balance_point(
+            archetype_dataset, "probe/balanced_probe.main"
+        )
+        assert point is not None
+        eng, mem = point
+        space = archetype_dataset.space
+        assert space.engine_mhz[0] <= eng <= space.engine_mhz[-1]
+        assert space.memory_mhz[0] <= mem <= space.memory_mhz[-1]
+
+    def test_degenerate_axis_rejected(self):
+        space = ConfigurationSpace(
+            cu_counts=(4, 44),
+            engine_mhz=(1000.0,),
+            memory_mhz=(150.0, 1250.0),
+        )
+        dataset = SweepRunner().run(
+            [balanced_kernel("b", suite="t")], space
+        )
+        with pytest.raises(AnalysisError):
+            crossover_map(dataset, "t/b.main")

@@ -1,0 +1,88 @@
+"""Input-scaling study: the paper's "new inputs" recommendation."""
+
+import pytest
+
+from repro.analysis import scale_input, study_input_scaling
+from repro.errors import AnalysisError
+from repro.kernels import (
+    compute_kernel,
+    limited_parallelism_kernel,
+    tiny_kernel,
+)
+from repro.sweep import reduced_space
+
+
+class TestScaleInput:
+    def test_scales_launch_and_footprint(self):
+        kernel = compute_kernel("c", global_size=1 << 16)
+        scaled = scale_input(kernel, 8.0)
+        assert scaled.geometry.global_size == 1 << 19
+        assert scaled.characteristics.footprint_bytes == pytest.approx(
+            8.0 * kernel.characteristics.footprint_bytes
+        )
+
+    def test_preserves_per_item_behaviour(self):
+        kernel = compute_kernel("c")
+        scaled = scale_input(kernel, 16.0)
+        assert (
+            scaled.characteristics.valu_ops_per_item
+            == kernel.characteristics.valu_ops_per_item
+        )
+        assert scaled.geometry.workgroup_size == (
+            kernel.geometry.workgroup_size
+        )
+
+    def test_caps_at_memory_capacity(self):
+        kernel = compute_kernel("c", global_size=1 << 24)
+        scaled = scale_input(kernel, 1024.0)
+        assert scaled.geometry.global_size == 1 << 26
+
+    def test_shrinking_inputs_allowed(self):
+        kernel = compute_kernel("c", global_size=1 << 16)
+        scaled = scale_input(kernel, 0.25)
+        assert scaled.geometry.global_size == 1 << 14
+
+    def test_rejects_non_positive_factor(self):
+        with pytest.raises(AnalysisError):
+            scale_input(compute_kernel("c"), 0.0)
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def starved_suite(self):
+        return [
+            limited_parallelism_kernel("lp1", suite="olde",
+                                       num_workgroups=8),
+            limited_parallelism_kernel("lp2", suite="olde",
+                                       num_workgroups=12,
+                                       valu_ops=600.0),
+            tiny_kernel("tk", suite="olde", num_workgroups=16),
+            compute_kernel("ck", suite="olde", global_size=1 << 18),
+        ]
+
+    def test_scalability_recovers_with_larger_inputs(self, starved_suite):
+        study = study_input_scaling(
+            starved_suite,
+            factors=(1.0, 64.0, 1024.0),
+            space=reduced_space(2, 2, 2),
+        )
+        first, *_, last = study.points
+        assert first.starved_fraction > last.starved_fraction
+        assert last.median_end_to_end_gain >= (
+            first.median_end_to_end_gain
+        )
+
+    def test_recovery_factor_found(self, starved_suite):
+        study = study_input_scaling(
+            starved_suite,
+            factors=(1.0, 64.0, 1024.0),
+            space=reduced_space(2, 2, 2),
+        )
+        assert study.recovers
+        assert study.recovery_factor() > 1.0
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            study_input_scaling([], factors=(1.0,))
+        with pytest.raises(AnalysisError):
+            study_input_scaling([compute_kernel("c")], factors=())

@@ -1,0 +1,95 @@
+"""Pareto-frontier extraction."""
+
+import pytest
+
+from repro.analysis.pareto import (
+    ParetoPoint,
+    knee_point,
+    pareto_front,
+    performance_power_front,
+)
+from repro.errors import AnalysisError
+from repro.gpu import HardwareConfig
+
+
+def cfg(cu=4):
+    return HardwareConfig(cu, 1000.0, 1250.0)
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        points = [
+            (cfg(4), 10.0, 50.0),
+            (cfg(8), 20.0, 100.0),
+            (cfg(12), 15.0, 120.0),  # dominated by the 20 @ 100 point
+        ]
+        front = pareto_front(points)
+        assert [p.performance for p in front] == [10.0, 20.0]
+
+    def test_front_sorted_by_cost(self):
+        points = [
+            (cfg(8), 20.0, 100.0),
+            (cfg(4), 10.0, 50.0),
+            (cfg(16), 30.0, 200.0),
+        ]
+        front = pareto_front(points)
+        costs = [p.cost for p in front]
+        assert costs == sorted(costs)
+
+    def test_equal_cost_keeps_best_performance(self):
+        points = [(cfg(4), 10.0, 50.0), (cfg(8), 12.0, 50.0)]
+        front = pareto_front(points)
+        assert len(front) == 1
+        assert front[0].performance == 12.0
+
+    def test_single_point(self):
+        front = pareto_front([(cfg(), 5.0, 10.0)])
+        assert len(front) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            pareto_front([])
+
+    def test_value_property(self):
+        point = ParetoPoint(cfg(), performance=30.0, cost=10.0)
+        assert point.value == pytest.approx(3.0)
+
+
+class TestKneePoint:
+    def test_knee_on_elbow_curve(self):
+        # Strong diminishing returns: the knee is the bend.
+        front = [
+            ParetoPoint(cfg(), 0.0, 0.0),
+            ParetoPoint(cfg(), 80.0, 10.0),
+            ParetoPoint(cfg(), 95.0, 50.0),
+            ParetoPoint(cfg(), 100.0, 100.0),
+        ]
+        knee = knee_point(front)
+        assert knee.performance == 80.0
+
+    def test_small_front(self):
+        front = [ParetoPoint(cfg(), 1.0, 1.0)]
+        assert knee_point(front) is front[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            knee_point([])
+
+
+class TestKernelFront:
+    def test_frontier_from_dataset(self, paper_dataset):
+        front = performance_power_front(
+            paper_dataset, "shoc/triad.triad"
+        )
+        assert len(front) >= 3
+        perfs = [p.performance for p in front]
+        costs = [p.cost for p in front]
+        assert perfs == sorted(perfs)
+        assert costs == sorted(costs)
+
+    def test_knee_below_max_power(self, paper_dataset):
+        front = performance_power_front(
+            paper_dataset, "shoc/triad.triad"
+        )
+        knee = knee_point(front)
+        assert knee.cost < front[-1].cost

@@ -1,0 +1,62 @@
+"""Power-law regression over scaling cubes."""
+
+import pytest
+
+from repro.analysis import fit_all, fit_kernel, summarise_by_category
+from repro.taxonomy import classify
+
+
+class TestKernelFits:
+    def test_compute_archetype_exponents(self, archetype_dataset):
+        fit = fit_kernel(archetype_dataset, "probe/compute_probe.main")
+        assert fit.cu_exponent > 0.7
+        assert fit.engine_exponent > 0.7
+        assert abs(fit.memory_exponent) < 0.15
+        assert fit.r_squared > 0.9
+
+    def test_streaming_archetype_exponents(self, archetype_dataset):
+        fit = fit_kernel(archetype_dataset, "probe/streaming_probe.main")
+        assert fit.memory_exponent > 0.5
+        assert fit.memory_exponent > fit.engine_exponent
+
+    def test_tiny_archetype_near_zero_exponents(self, archetype_dataset):
+        fit = fit_kernel(archetype_dataset, "probe/tiny_probe.main")
+        assert abs(fit.cu_exponent) < 0.2
+        assert abs(fit.memory_exponent) < 0.2
+
+    def test_prediction_at_fitted_point(self, archetype_dataset):
+        name = "probe/compute_probe.main"
+        fit = fit_kernel(archetype_dataset, name)
+        space = archetype_dataset.space
+        config = space.max_config
+        predicted = fit.predict(
+            config.cu_count, config.engine_mhz, config.memory_mhz
+        )
+        actual = archetype_dataset.kernel_cube(name)[-1, -1, -1]
+        assert predicted == pytest.approx(actual, rel=0.5)
+
+    def test_fit_all_covers_every_kernel(self, archetype_dataset):
+        fits = fit_all(archetype_dataset)
+        assert set(fits) == set(archetype_dataset.kernel_names)
+
+
+class TestCategorySummaries:
+    def test_categories_occupy_distinct_exponent_regions(
+        self, paper_dataset, paper_taxonomy
+    ):
+        summaries = summarise_by_category(paper_dataset, paper_taxonomy)
+        compute = summaries["compute_bound"]
+        bandwidth = summaries["bandwidth_bound"]
+        plateau = summaries["plateau"]
+        assert compute.mean_cu_exponent > bandwidth.mean_cu_exponent
+        assert bandwidth.mean_memory_exponent > (
+            compute.mean_memory_exponent
+        )
+        assert plateau.mean_cu_exponent < 0.3
+        assert plateau.mean_engine_exponent < compute.mean_engine_exponent
+
+    def test_summary_counts_sum_to_total(
+        self, paper_dataset, paper_taxonomy
+    ):
+        summaries = summarise_by_category(paper_dataset, paper_taxonomy)
+        assert sum(s.kernel_count for s in summaries.values()) == 267

@@ -1,0 +1,82 @@
+"""Roofline utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    attainable_gflops,
+    place_kernel,
+    ridge_point,
+    ridge_trajectory,
+    roofline_series,
+)
+from repro.gpu import HardwareConfig, W9100_LIKE
+from repro.kernels import compute_kernel, streaming_kernel
+
+
+class TestRoofShape:
+    def test_low_intensity_on_bandwidth_slope(self):
+        gflops = attainable_gflops(W9100_LIKE, 1.0)
+        assert gflops == pytest.approx(
+            W9100_LIKE.peak_dram_bytes_per_sec / 1e9
+        )
+
+    def test_high_intensity_hits_compute_roof(self):
+        assert attainable_gflops(W9100_LIKE, 1e6) == pytest.approx(
+            W9100_LIKE.peak_gflops
+        )
+
+    def test_ridge_point_joins_the_roofs(self):
+        ridge = ridge_point(W9100_LIKE)
+        assert attainable_gflops(W9100_LIKE, ridge) == pytest.approx(
+            W9100_LIKE.peak_gflops
+        )
+        just_below = attainable_gflops(W9100_LIKE, ridge * 0.99)
+        assert just_below < W9100_LIKE.peak_gflops
+
+    def test_series_is_nondecreasing(self):
+        xs, ys = roofline_series(W9100_LIKE)
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+        assert len(xs) == len(ys)
+
+
+class TestKernelPlacement:
+    def test_achieved_below_attainable(self):
+        for builder in (compute_kernel, streaming_kernel):
+            point = place_kernel(builder("k"), W9100_LIKE)
+            assert point.achieved_gflops <= point.attainable_gflops * 1.05
+            assert 0.0 < point.efficiency <= 1.05
+
+    def test_compute_kernel_on_compute_side(self):
+        point = place_kernel(compute_kernel("c"), W9100_LIKE)
+        assert not point.is_memory_side
+        assert point.arithmetic_intensity > ridge_point(W9100_LIKE)
+
+    def test_streaming_kernel_on_memory_side(self):
+        point = place_kernel(streaming_kernel("s"), W9100_LIKE)
+        assert point.is_memory_side
+
+    def test_streaming_kernel_near_its_roof(self):
+        """A well-coalesced streamer achieves most of the bandwidth
+        slope — the roofline sanity check for the DRAM model."""
+        point = place_kernel(streaming_kernel("s"), W9100_LIKE)
+        assert point.efficiency > 0.5
+
+
+class TestRidgeTrajectory:
+    def test_grid_shape(self):
+        grid = ridge_trajectory(44, (200.0, 1000.0), (150.0, 700.0,
+                                                      1250.0))
+        assert grid.shape == (2, 3)
+
+    def test_ridge_moves_with_clock_ratio(self):
+        grid = ridge_trajectory(44, (200.0, 1000.0), (150.0, 1250.0))
+        # High engine / low memory pushes the ridge far right;
+        # low engine / high memory pulls it far left.
+        assert grid[1, 0] > grid[0, 1]
+
+    def test_trajectory_spread_explains_balanced_class(self):
+        grid = ridge_trajectory(44, (200.0, 1000.0), (150.0, 1250.0))
+        assert grid.max() / grid.min() == pytest.approx(
+            5.0 * (1250.0 / 150.0), rel=0.01
+        )

@@ -1,0 +1,45 @@
+"""Per-knob sensitivity indices."""
+
+import pytest
+
+from repro.analysis import (
+    all_sensitivities,
+    dominant_knob_histogram,
+    kernel_sensitivity,
+)
+
+
+class TestIndexProperties:
+    def test_shares_sum_to_one_or_zero(self, archetype_dataset):
+        for index in all_sensitivities(archetype_dataset).values():
+            total = index.cu + index.engine + index.memory
+            assert total == pytest.approx(1.0) or total == 0.0
+
+    def test_shares_non_negative(self, archetype_dataset):
+        for index in all_sensitivities(archetype_dataset).values():
+            assert index.cu >= 0 and index.engine >= 0
+            assert index.memory >= 0
+
+
+class TestDominance:
+    def test_compute_archetype_dominated_by_cu_or_engine(
+        self, archetype_dataset
+    ):
+        index = kernel_sensitivity(
+            archetype_dataset, "probe/compute_probe.main"
+        )
+        assert index.dominant_knob in ("cu", "engine")
+        assert index.memory < 0.1
+
+    def test_streaming_archetype_dominated_by_memory(
+        self, archetype_dataset
+    ):
+        index = kernel_sensitivity(
+            archetype_dataset, "probe/streaming_probe.main"
+        )
+        assert index.dominant_knob == "memory"
+
+    def test_histogram_covers_all_kernels(self, archetype_dataset):
+        histogram = dominant_knob_histogram(archetype_dataset)
+        assert sum(histogram.values()) == archetype_dataset.num_kernels
+        assert set(histogram) == {"cu", "engine", "memory", "none"}

@@ -1,0 +1,67 @@
+"""Speedup CDFs and headline summaries."""
+
+import pytest
+
+from repro.analysis import (
+    cdf_by_category,
+    configuration_ceiling,
+    overall_cdf,
+    speedup_summary,
+)
+from repro.errors import AnalysisError
+from repro.taxonomy import TaxonomyCategory, classify
+
+
+class TestCdf:
+    def test_cdf_monotone(self, archetype_dataset):
+        cdf = overall_cdf(archetype_dataset)
+        xs = cdf.sorted_speedups
+        ys = cdf.cdf_y
+        assert all(b >= a for a, b in zip(xs, xs[1:]))
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_quantiles_ordered(self, archetype_dataset):
+        cdf = overall_cdf(archetype_dataset)
+        assert cdf.quantile(0.1) <= cdf.median <= cdf.quantile(0.9)
+
+    def test_quantile_bounds_validated(self, archetype_dataset):
+        with pytest.raises(AnalysisError):
+            overall_cdf(archetype_dataset).quantile(1.5)
+
+    def test_fraction_below(self, archetype_dataset):
+        cdf = overall_cdf(archetype_dataset)
+        assert cdf.fraction_below(1e9) == 1.0
+        assert cdf.fraction_below(0.0) == 0.0
+
+
+class TestByCategory:
+    def test_only_populated_categories_returned(self, archetype_dataset):
+        taxonomy = classify(archetype_dataset)
+        cdfs = cdf_by_category(archetype_dataset, taxonomy)
+        counts = taxonomy.category_counts()
+        for category, cdf in cdfs.items():
+            assert counts[category] == len(cdf.speedups)
+
+    def test_compute_bound_outgains_plateau(
+        self, paper_dataset, paper_taxonomy
+    ):
+        cdfs = cdf_by_category(paper_dataset, paper_taxonomy)
+        compute = cdfs[TaxonomyCategory.COMPUTE_BOUND].median
+        plateau = cdfs[TaxonomyCategory.PLATEAU].median
+        assert compute > 3 * plateau
+
+
+class TestSummary:
+    def test_ceiling_is_55x_on_paper_grid(self, paper_dataset):
+        assert configuration_ceiling(paper_dataset) == pytest.approx(55.0)
+
+    def test_no_kernel_beats_ceiling_meaningfully(self, paper_dataset):
+        cdf = overall_cdf(paper_dataset)
+        assert cdf.quantile(1.0) < 60.0
+
+    def test_summary_keys(self, paper_dataset, paper_taxonomy):
+        summary = speedup_summary(paper_dataset, paper_taxonomy)
+        assert "ceiling" in summary
+        assert "overall_median" in summary
+        assert "median_compute_bound" in summary
+        assert 1.0 < summary["overall_median"] < 55.0

@@ -1,0 +1,92 @@
+"""Suite scalability critique."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis import (
+    analyse_all_suites,
+    analyse_suite,
+    kernel_scalability,
+    non_scaling_suites,
+    useful_cu_histogram,
+)
+
+
+class TestKernelScalability:
+    def test_compute_archetype_scales_to_full_device(
+        self, archetype_dataset
+    ):
+        result = kernel_scalability(
+            archetype_dataset, "probe/compute_probe.main"
+        )
+        assert result.scales_to_full_device
+        assert result.useful_cus == 44
+
+    def test_limited_parallelism_stalls_early(self, archetype_dataset):
+        result = kernel_scalability(
+            archetype_dataset, "probe/limited_parallelism_probe.main"
+        )
+        assert result.useful_cus <= 12
+        assert not result.scales_to_full_device
+
+    def test_utilised_fraction_bounds(self, archetype_dataset):
+        for name in archetype_dataset.kernel_names:
+            result = kernel_scalability(archetype_dataset, name)
+            assert 0.0 < result.utilised_fraction <= 1.0
+
+
+class TestSuiteAggregation:
+    def test_unknown_suite_rejected(self, archetype_dataset):
+        with pytest.raises(AnalysisError):
+            analyse_suite(archetype_dataset, "spec2006")
+
+    def test_all_suites_analysed(self, paper_dataset):
+        results = analyse_all_suites(paper_dataset)
+        assert len(results) == 8
+        for result in results.values():
+            assert result.kernel_count > 0
+            assert 4 <= result.median_useful_cus <= 44
+
+    def test_histogram_covers_all_kernels(self, paper_dataset):
+        histogram = useful_cu_histogram(paper_dataset)
+        assert sum(histogram.values()) == 267
+        assert set(histogram) == set(
+            int(c) for c in paper_dataset.space.cu_counts
+        )
+
+
+class TestPaperFinding:
+    def test_some_suites_do_not_scale(self, paper_dataset,
+                                      paper_taxonomy):
+        """The headline critique: at least one (in practice several)
+        mainstream suite fails to scale to modern GPU sizes — while
+        the modern proxy apps pass the bar."""
+        failing = non_scaling_suites(paper_dataset, paper_taxonomy)
+        assert len(failing) >= 2
+        assert "proxyapps" not in failing
+
+    def test_starved_fraction_requires_taxonomy(self, paper_dataset,
+                                                paper_taxonomy):
+        with_tax = analyse_suite(paper_dataset, "rodinia",
+                                 paper_taxonomy)
+        without = analyse_suite(paper_dataset, "rodinia")
+        assert with_tax.fraction_parallelism_starved is not None
+        assert without.fraction_parallelism_starved is None
+
+    def test_proxyapps_scale_best(self, paper_dataset):
+        results = analyse_all_suites(paper_dataset)
+        proxy = results["proxyapps"].fraction_scaling_to_full
+        worst = min(
+            r.fraction_scaling_to_full for r in results.values()
+        )
+        assert proxy > worst
+
+    def test_substantial_fraction_stalls_by_half_device(
+        self, paper_dataset
+    ):
+        results = analyse_all_suites(paper_dataset)
+        overall = sum(
+            r.fraction_stalled_by_half * r.kernel_count
+            for r in results.values()
+        ) / 267
+        assert overall > 0.2

@@ -1,0 +1,91 @@
+"""Cache model: residency-based L2 hits and the thrash mechanism."""
+
+import pytest
+
+from repro.gpu import HAWAII_UARCH, CacheModel
+from repro.kernels import cache_resident_kernel, streaming_kernel, thrashing_kernel
+
+
+@pytest.fixture
+def model():
+    return CacheModel(HAWAII_UARCH)
+
+
+class TestL1:
+    def test_l1_hit_rate_is_kernel_property(self, model):
+        kernel = streaming_kernel("s", l1_reuse=0.25)
+        assert model.l1_hit_rate(kernel) == 0.25
+
+    def test_l1_independent_of_concurrency(self, model):
+        kernel = streaming_kernel("s", l1_reuse=0.25)
+        low = model.behaviour(kernel, 4, 4).l1_hit_rate
+        high = model.behaviour(kernel, 44, 4).l1_hit_rate
+        assert low == high
+
+
+class TestConcurrentFootprint:
+    def test_private_footprint_grows_with_cus(self, model):
+        kernel = thrashing_kernel("t")
+        low = model.concurrent_footprint_bytes(kernel, 4, 8)
+        high = model.concurrent_footprint_bytes(kernel, 44, 8)
+        assert high > low
+
+    def test_shared_footprint_constant_in_cus(self, model):
+        kernel = cache_resident_kernel("c")  # shared_footprint = 1.0
+        low = model.concurrent_footprint_bytes(kernel, 4, 8)
+        high = model.concurrent_footprint_bytes(kernel, 44, 8)
+        assert high == pytest.approx(low)
+
+    def test_footprint_caps_at_whole_grid(self, model):
+        kernel = thrashing_kernel("t")
+        total = kernel.characteristics.footprint_bytes
+        huge = model.concurrent_footprint_bytes(kernel, 10_000, 100)
+        assert huge <= total * 1.0001
+
+
+class TestL2HitRate:
+    def test_fitting_footprint_keeps_intrinsic_reuse(self, model):
+        kernel = cache_resident_kernel("c", footprint_kib=512.0)
+        behaviour = model.behaviour(kernel, 44, 8)
+        assert behaviour.l2_hit_rate == pytest.approx(
+            kernel.characteristics.l2_reuse
+        )
+
+    def test_hit_rate_falls_with_concurrency_for_private_sets(self, model):
+        kernel = thrashing_kernel("t")
+        low = model.l2_hit_rate(kernel, 4, 8)
+        high = model.l2_hit_rate(kernel, 44, 8)
+        assert high < low
+
+    def test_hit_rate_never_exceeds_intrinsic_reuse(self, model):
+        kernel = thrashing_kernel("t")
+        for cus in (1, 4, 16, 44):
+            assert model.l2_hit_rate(kernel, cus, 8) <= (
+                kernel.characteristics.l2_reuse
+            )
+
+    def test_dram_fraction_complements_hits(self, model):
+        kernel = streaming_kernel("s", l1_reuse=0.2)
+        behaviour = model.behaviour(kernel, 16, 8)
+        expected = (1 - behaviour.l1_hit_rate) * (1 - behaviour.l2_hit_rate)
+        assert behaviour.dram_fraction == pytest.approx(expected)
+
+    def test_fractions_partition_traffic(self, model):
+        kernel = streaming_kernel("s", l1_reuse=0.2)
+        behaviour = model.behaviour(kernel, 16, 8)
+        total = (
+            behaviour.l1_hit_rate
+            + behaviour.l2_fraction
+            + behaviour.dram_fraction
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_rejects_zero_cus(self, model):
+        with pytest.raises(ValueError):
+            model.behaviour(streaming_kernel("s"), 0, 8)
+
+    def test_rejects_zero_workgroups(self, model):
+        with pytest.raises(ValueError):
+            model.behaviour(streaming_kernel("s"), 4, 0)

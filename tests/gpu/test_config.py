@@ -1,0 +1,102 @@
+"""HardwareConfig: validation, derived peaks, serialisation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import HAWAII_UARCH, HardwareConfig, Microarchitecture
+
+
+class TestValidation:
+    def test_rejects_zero_cus(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(cu_count=0, engine_mhz=1000, memory_mhz=1250)
+
+    def test_rejects_negative_engine_clock(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(cu_count=44, engine_mhz=-1, memory_mhz=1250)
+
+    def test_rejects_zero_memory_clock(self):
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(cu_count=44, engine_mhz=1000, memory_mhz=0)
+
+    def test_uarch_rejects_zero_simds(self):
+        with pytest.raises(ConfigurationError):
+            Microarchitecture(simds_per_cu=0)
+
+    def test_uarch_rejects_negative_fixed_latency(self):
+        with pytest.raises(ConfigurationError):
+            Microarchitecture(dram_fixed_latency_ns=-1.0)
+
+
+class TestDerivedPeaks:
+    def test_w9100_datasheet_bandwidth(self):
+        """512-bit GDDR5 at 1250 MHz is the W9100's 320 GB/s."""
+        config = HardwareConfig(44, 1000.0, 1250.0)
+        assert config.peak_dram_gb_per_sec == pytest.approx(320.0)
+
+    def test_w9100_datasheet_gflops(self):
+        """44 CUs x 64 lanes x 2 FLOP x 1 GHz = 5.632 TFLOP/s."""
+        config = HardwareConfig(44, 1000.0, 1250.0)
+        assert config.peak_gflops == pytest.approx(5632.0)
+
+    def test_peak_compute_scales_with_cus(self):
+        small = HardwareConfig(4, 1000.0, 1250.0)
+        large = HardwareConfig(44, 1000.0, 1250.0)
+        assert large.peak_gflops / small.peak_gflops == pytest.approx(11.0)
+
+    def test_peak_compute_scales_with_engine_clock(self):
+        slow = HardwareConfig(44, 200.0, 1250.0)
+        fast = HardwareConfig(44, 1000.0, 1250.0)
+        assert fast.peak_gflops / slow.peak_gflops == pytest.approx(5.0)
+
+    def test_peak_bandwidth_scales_with_memory_clock(self):
+        slow = HardwareConfig(44, 1000.0, 150.0)
+        fast = HardwareConfig(44, 1000.0, 1250.0)
+        ratio = fast.peak_dram_bytes_per_sec / slow.peak_dram_bytes_per_sec
+        assert ratio == pytest.approx(1250.0 / 150.0)
+
+    def test_bandwidth_independent_of_cus(self):
+        small = HardwareConfig(4, 1000.0, 1250.0)
+        large = HardwareConfig(44, 1000.0, 1250.0)
+        assert small.peak_dram_bytes_per_sec == pytest.approx(
+            large.peak_dram_bytes_per_sec
+        )
+
+    def test_l2_bandwidth_in_engine_domain(self):
+        slow = HardwareConfig(44, 500.0, 1250.0)
+        fast = HardwareConfig(44, 1000.0, 1250.0)
+        assert fast.peak_l2_bytes_per_sec == pytest.approx(
+            2.0 * slow.peak_l2_bytes_per_sec
+        )
+
+    def test_machine_balance_positive(self):
+        config = HardwareConfig(44, 1000.0, 1250.0)
+        assert config.machine_balance_flops_per_byte > 1.0
+
+    def test_lanes_per_cu_is_64(self):
+        assert HAWAII_UARCH.lanes_per_cu == 64
+
+    def test_max_waves_per_cu_is_40(self):
+        assert HAWAII_UARCH.max_waves_per_cu == 40
+
+
+class TestConvenience:
+    def test_label_format(self):
+        config = HardwareConfig(8, 600.0, 425.0)
+        assert config.label() == "8cu_600e_425m"
+
+    def test_replace_changes_one_knob(self):
+        config = HardwareConfig(8, 600.0, 425.0)
+        bigger = config.replace(cu_count=44)
+        assert bigger.cu_count == 44
+        assert bigger.engine_mhz == 600.0
+
+    def test_replace_validates(self):
+        config = HardwareConfig(8, 600.0, 425.0)
+        with pytest.raises(ConfigurationError):
+            config.replace(cu_count=0)
+
+    def test_round_trip_dict(self):
+        config = HardwareConfig(8, 600.0, 425.0)
+        restored = HardwareConfig.from_dict(config.to_dict())
+        assert restored == config

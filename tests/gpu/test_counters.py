@@ -1,0 +1,44 @@
+"""Profiler-style counter derivation."""
+
+import pytest
+
+from repro.gpu import HardwareConfig, W9100_LIKE
+from repro.gpu.counters import collect_counters
+from repro.kernels import compute_kernel, streaming_kernel, tiny_kernel
+
+
+class TestCounterValues:
+    def test_compute_kernel_counters(self):
+        report = collect_counters(compute_kernel("c"), W9100_LIKE)
+        assert report.bottleneck == "compute"
+        assert report.valu_busy_fraction > 0.5
+        assert report.achieved_gflops > 1000.0
+        assert report.achieved_gflops <= W9100_LIKE.peak_gflops * 1.01
+
+    def test_streaming_kernel_counters(self):
+        report = collect_counters(streaming_kernel("s"), W9100_LIKE)
+        assert report.bottleneck == "dram"
+        assert report.dram_utilisation > 0.5
+        assert report.achieved_dram_gbps <= (
+            W9100_LIKE.peak_dram_gb_per_sec * 1.01
+        )
+
+    def test_fractions_bounded(self):
+        for builder in (compute_kernel, streaming_kernel, tiny_kernel):
+            report = collect_counters(builder("k"), W9100_LIKE)
+            assert 0.0 <= report.valu_busy_fraction <= 1.0
+            assert 0.0 <= report.dram_utilisation <= 1.0
+            assert 0.0 <= report.l2_hit_rate <= 1.0
+            assert 0.0 < report.occupancy_fraction <= 1.0
+
+    def test_config_identity_recorded(self):
+        config = HardwareConfig(8, 600.0, 425.0)
+        report = collect_counters(compute_kernel("c"), config)
+        assert report.config_label == "8cu_600e_425m"
+        assert report.active_cus <= 8
+
+    def test_as_dict_complete(self):
+        report = collect_counters(compute_kernel("c"), W9100_LIKE)
+        payload = report.as_dict()
+        assert payload["bottleneck"] == "compute"
+        assert len(payload) == 14

@@ -1,0 +1,63 @@
+"""Dispatch planning: limited parallelism and tail quantisation."""
+
+import pytest
+
+from repro.gpu import HAWAII_UARCH, compute_occupancy, plan_dispatch
+from repro.kernels import LaunchGeometry, ResourceUsage
+
+
+def make_plan(num_workgroups, cu_count, workgroup_size=256, vgprs=24):
+    geometry = LaunchGeometry(num_workgroups * workgroup_size,
+                              workgroup_size)
+    occupancy = compute_occupancy(
+        geometry, ResourceUsage(vgprs=vgprs), HAWAII_UARCH
+    )
+    return plan_dispatch(geometry, occupancy, cu_count)
+
+
+class TestActiveCus:
+    def test_small_launch_leaves_cus_idle(self):
+        plan = make_plan(num_workgroups=8, cu_count=44)
+        assert plan.active_cus == 8
+
+    def test_large_launch_uses_every_cu(self):
+        plan = make_plan(num_workgroups=4096, cu_count=44)
+        assert plan.active_cus == 44
+
+    def test_rejects_zero_cus(self):
+        geometry = LaunchGeometry(1024, 256)
+        occupancy = compute_occupancy(
+            geometry, ResourceUsage(), HAWAII_UARCH
+        )
+        with pytest.raises(ValueError):
+            plan_dispatch(geometry, occupancy, 0)
+
+
+class TestQuantisation:
+    def test_exact_fit_has_no_overhead(self):
+        # 44 CUs x 10 resident workgroups = 440; 880 workgroups = 2 batches.
+        plan = make_plan(num_workgroups=880, cu_count=44)
+        resident = plan.resident_workgroups_total
+        if 880 % resident == 0:
+            assert plan.quantisation_factor == pytest.approx(1.0)
+
+    def test_partial_batch_inflates(self):
+        plan = make_plan(num_workgroups=45, cu_count=44, vgprs=256)
+        # One workgroup per CU resident: 45 workgroups -> 2 batches on
+        # 44 CUs, nearly half the second batch idle.
+        assert plan.quantisation_factor > 1.5
+
+    def test_underfilled_device_never_penalised(self):
+        """A launch smaller than the device's residency must not be
+        charged quantisation overhead (regression: q blew up to 2x)."""
+        plan = make_plan(num_workgroups=32, cu_count=44)
+        assert plan.quantisation_factor == pytest.approx(1.0)
+
+    def test_factor_at_least_one(self):
+        for wgs in (1, 7, 100, 1000, 4096):
+            plan = make_plan(num_workgroups=wgs, cu_count=44)
+            assert plan.quantisation_factor >= 1.0 - 1e-12
+
+    def test_batches_cover_all_workgroups(self):
+        plan = make_plan(num_workgroups=1000, cu_count=44)
+        assert plan.batches * plan.resident_workgroups_total >= 1000

@@ -1,0 +1,94 @@
+"""DVFS domains: the paper's knob ranges and snapping helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import (
+    CU_SETTINGS,
+    ENGINE_DOMAIN,
+    MEMORY_DOMAIN,
+    FrequencyDomain,
+    legal_cu_counts,
+    snap_cu_count,
+)
+
+
+class TestPaperRanges:
+    def test_engine_dynamic_range_is_5x(self):
+        assert ENGINE_DOMAIN.dynamic_range == pytest.approx(5.0)
+
+    def test_memory_dynamic_range_is_8_33x(self):
+        assert MEMORY_DOMAIN.dynamic_range == pytest.approx(1250 / 150)
+
+    def test_cu_range_is_11x(self):
+        assert CU_SETTINGS[-1] / CU_SETTINGS[0] == pytest.approx(11.0)
+
+    def test_grid_sizes_multiply_to_891(self):
+        total = (
+            len(CU_SETTINGS)
+            * len(ENGINE_DOMAIN.states_mhz)
+            * len(MEMORY_DOMAIN.states_mhz)
+        )
+        assert total == 891
+
+    def test_cu_settings_step_4(self):
+        assert list(CU_SETTINGS) == list(range(4, 45, 4))
+
+
+class TestFrequencyDomain:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyDomain("x", ())
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyDomain("x", (300.0, 200.0))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyDomain("x", (200.0, 200.0))
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyDomain("x", (0.0, 200.0))
+
+    def test_is_legal_exact_state(self):
+        assert ENGINE_DOMAIN.is_legal(ENGINE_DOMAIN.states_mhz[3])
+        assert not ENGINE_DOMAIN.is_legal(333.0)
+
+    def test_snap_picks_nearest(self):
+        domain = FrequencyDomain("x", (200.0, 400.0, 600.0))
+        assert domain.snap(290.0) == 200.0
+        assert domain.snap(310.0) == 400.0
+
+    def test_snap_tie_resolves_downward(self):
+        domain = FrequencyDomain("x", (200.0, 400.0))
+        assert domain.snap(300.0) == 200.0
+
+    def test_snap_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            ENGINE_DOMAIN.snap(0.0)
+
+    def test_floor_below_minimum_returns_minimum(self):
+        assert ENGINE_DOMAIN.floor(10.0) == ENGINE_DOMAIN.min_mhz
+
+    def test_floor_returns_highest_not_above(self):
+        domain = FrequencyDomain("x", (200.0, 400.0, 600.0))
+        assert domain.floor(599.0) == 400.0
+        assert domain.floor(600.0) == 600.0
+
+
+class TestCuSnapping:
+    def test_legal_counts_exposed(self):
+        assert tuple(legal_cu_counts()) == CU_SETTINGS
+
+    def test_snap_nearest(self):
+        assert snap_cu_count(13) == 12
+        assert snap_cu_count(15) == 16
+
+    def test_snap_tie_resolves_downward(self):
+        assert snap_cu_count(6) == 4
+
+    def test_snap_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            snap_cu_count(0)

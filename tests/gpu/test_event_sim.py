@@ -1,0 +1,84 @@
+"""Event-driven engine: determinism, warmup, imbalance behaviour."""
+
+import pytest
+
+from repro.gpu import EventSimulator, HardwareConfig
+from repro.gpu.event_sim import _imbalance
+from repro.kernels import compute_kernel, streaming_kernel
+
+SIM = EventSimulator()
+MAX = HardwareConfig(44, 1000.0, 1250.0)
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self):
+        kernel = compute_kernel("c", global_size=1 << 16)
+        a = SIM.simulate(kernel, MAX)
+        b = SIM.simulate(kernel, MAX)
+        assert a.time_s == b.time_s
+
+    def test_imbalance_bounded(self):
+        values = [_imbalance(i) for i in range(1000)]
+        assert all(0.9 < v < 1.1 for v in values)
+
+    def test_imbalance_varies(self):
+        values = {_imbalance(i) for i in range(100)}
+        assert len(values) > 50
+
+
+class TestExecution:
+    def test_all_workgroups_executed(self):
+        kernel = compute_kernel("c", global_size=1 << 16)
+        result = SIM.simulate(kernel, MAX)
+        assert result.workgroups_executed == kernel.geometry.num_workgroups
+
+    def test_time_positive_and_finite(self):
+        result = SIM.simulate(streaming_kernel("s", global_size=1 << 16), MAX)
+        assert 0 < result.time_s < 1.0
+
+    def test_more_cus_not_slower_for_compute(self):
+        kernel = compute_kernel("c", global_size=1 << 18)
+        small = SIM.simulate(kernel, HardwareConfig(4, 1000, 1250))
+        large = SIM.simulate(kernel, MAX)
+        assert large.time_s < small.time_s
+
+    def test_single_workgroup_launch(self):
+        kernel = compute_kernel("c", global_size=256)
+        result = SIM.simulate(kernel, MAX)
+        assert result.workgroups_executed == 1
+        assert result.time_s > 0
+
+
+class TestTimeline:
+    def test_timeline_off_by_default(self):
+        result = SIM.simulate(compute_kernel("c", global_size=1 << 14),
+                              MAX)
+        assert result.timeline == ()
+        assert result.cu_mean_residency() == []
+        assert result.load_imbalance() == 1.0
+
+    def test_timeline_covers_every_workgroup(self):
+        kernel = compute_kernel("c", global_size=1 << 14)
+        result = SIM.simulate(kernel, MAX, record_timeline=True)
+        assert len(result.timeline) == kernel.geometry.num_workgroups
+        workgroups = {entry.workgroup for entry in result.timeline}
+        assert workgroups == set(range(len(result.timeline)))
+
+    def test_timeline_entries_well_formed(self):
+        kernel = compute_kernel("c", global_size=1 << 14)
+        result = SIM.simulate(kernel, MAX, record_timeline=True)
+        for entry in result.timeline:
+            assert entry.finish_s > entry.start_s >= 0.0
+            assert 0 <= entry.cu < 44
+            assert entry.duration_s > 0
+
+    def test_load_reasonably_balanced(self):
+        kernel = compute_kernel("c", global_size=1 << 18)
+        result = SIM.simulate(kernel, MAX, record_timeline=True)
+        assert 1.0 <= result.load_imbalance() < 1.2
+
+    def test_small_launch_uses_few_cus(self):
+        kernel = compute_kernel("c", global_size=8 * 256)
+        result = SIM.simulate(kernel, MAX, record_timeline=True)
+        used_cus = {entry.cu for entry in result.timeline}
+        assert len(used_cus) <= 8

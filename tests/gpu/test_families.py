@@ -1,0 +1,59 @@
+"""APU hardware family."""
+
+import pytest
+
+from repro.gpu import GpuSimulator
+from repro.gpu.families import (
+    APU_SPACE,
+    KAVERI_FLAGSHIP,
+    KAVERI_UARCH,
+    apu_balance_vs_discrete,
+)
+from repro.gpu.products import W9100_LIKE
+from repro.kernels import compute_kernel, streaming_kernel
+
+
+class TestKaveriFamily:
+    def test_flagship_capabilities_realistic(self):
+        """A10-7850K-class: ~0.7 TFLOPS and ~34 GB/s."""
+        assert 500.0 < KAVERI_FLAGSHIP.peak_gflops < 1000.0
+        assert 25.0 < KAVERI_FLAGSHIP.peak_dram_gb_per_sec < 45.0
+
+    def test_apu_is_bandwidth_starved_relative_to_discrete(self):
+        assert apu_balance_vs_discrete() > 1.0
+
+    def test_smaller_l2(self):
+        assert KAVERI_UARCH.l2_bytes_total < 1 << 20
+
+    def test_space_dimensions(self):
+        assert APU_SPACE.size == 196
+        cu_ratio, eng_ratio, mem_ratio = APU_SPACE.axis_ranges
+        assert cu_ratio == pytest.approx(4.0)
+        assert eng_ratio == pytest.approx(3.6)
+        assert mem_ratio == pytest.approx(5.33)
+
+    def test_space_uses_kaveri_uarch(self):
+        for config in list(APU_SPACE)[:3]:
+            assert config.uarch is KAVERI_UARCH
+
+
+class TestCrossFamilyBehaviour:
+    def test_discrete_beats_apu_everywhere(self):
+        simulator = GpuSimulator()
+        for builder in (compute_kernel, streaming_kernel):
+            kernel = builder("k")
+            apu_time = simulator.time_s(kernel, KAVERI_FLAGSHIP)
+            discrete_time = simulator.time_s(kernel, W9100_LIKE)
+            assert discrete_time < apu_time
+
+    def test_streaming_gap_larger_than_compute_gap(self):
+        """The APU's bandwidth deficit exceeds its compute deficit, so
+        streaming kernels fall further behind on it."""
+        simulator = GpuSimulator()
+        compute_gap = simulator.time_s(
+            compute_kernel("c"), KAVERI_FLAGSHIP
+        ) / simulator.time_s(compute_kernel("c"), W9100_LIKE)
+        streaming_gap = simulator.time_s(
+            streaming_kernel("s"), KAVERI_FLAGSHIP
+        ) / simulator.time_s(streaming_kernel("s"), W9100_LIKE)
+        assert streaming_gap > compute_gap

@@ -1,0 +1,142 @@
+"""Interval model: bottleneck identification and scaling physics."""
+
+import pytest
+
+from repro.gpu import HardwareConfig, IntervalModel
+from repro.kernels import (
+    atomic_kernel,
+    compute_kernel,
+    latency_kernel,
+    limited_parallelism_kernel,
+    streaming_kernel,
+    thrashing_kernel,
+    tiny_kernel,
+)
+
+MODEL = IntervalModel()
+MAX = HardwareConfig(44, 1000.0, 1250.0)
+MIN = HardwareConfig(4, 200.0, 150.0)
+
+
+def perf(kernel, config):
+    return MODEL.simulate(kernel, config).items_per_second
+
+
+class TestBasicSanity:
+    def test_time_positive(self):
+        result = MODEL.simulate(compute_kernel("c"), MAX)
+        assert result.time_s > 0
+
+    def test_breakdown_components_non_negative(self):
+        result = MODEL.simulate(streaming_kernel("s"), MAX)
+        for name, value in result.breakdown.as_dict().items():
+            assert value >= 0, name
+
+    def test_total_time_at_least_launch_overhead(self):
+        kernel = compute_kernel("c")
+        result = MODEL.simulate(kernel, MAX)
+        assert result.time_s >= (
+            kernel.characteristics.launch_overhead_us * 1e-6
+        )
+
+    def test_max_config_faster_than_min(self):
+        for builder in (compute_kernel, streaming_kernel):
+            kernel = builder("k")
+            assert perf(kernel, MAX) > perf(kernel, MIN)
+
+
+class TestBottlenecks:
+    def test_compute_kernel_is_compute_bound(self):
+        result = MODEL.simulate(compute_kernel("c"), MAX)
+        assert result.breakdown.bottleneck == "compute"
+
+    def test_streaming_kernel_is_dram_bound_at_max(self):
+        result = MODEL.simulate(streaming_kernel("s"), MAX)
+        assert result.breakdown.bottleneck == "dram"
+
+    def test_latency_kernel_is_latency_bound(self):
+        result = MODEL.simulate(latency_kernel("l"), MAX)
+        assert result.breakdown.bottleneck == "latency"
+
+
+class TestScalingDirections:
+    def test_compute_kernel_scales_with_cus(self):
+        kernel = compute_kernel("c")
+        p4 = perf(kernel, HardwareConfig(4, 1000, 1250))
+        p44 = perf(kernel, MAX)
+        assert p44 / p4 > 8.0
+
+    def test_compute_kernel_flat_in_memory_clock(self):
+        kernel = compute_kernel("c")
+        slow = perf(kernel, HardwareConfig(44, 1000, 150))
+        fast = perf(kernel, MAX)
+        assert fast / slow < 1.2
+
+    def test_streaming_kernel_scales_with_memory_clock(self):
+        kernel = streaming_kernel("s")
+        slow = perf(kernel, HardwareConfig(44, 1000, 150))
+        fast = perf(kernel, MAX)
+        assert fast / slow > 5.0
+
+    def test_limited_parallelism_flat_beyond_launch_size(self):
+        kernel = limited_parallelism_kernel("p", num_workgroups=8)
+        p8 = perf(kernel, HardwareConfig(8, 1000, 1250))
+        p44 = perf(kernel, MAX)
+        assert p44 / p8 < 1.05
+
+    def test_thrashing_kernel_loses_performance_at_scale(self):
+        kernel = thrashing_kernel("t")
+        best = max(
+            perf(kernel, HardwareConfig(c, 1000, 1250))
+            for c in range(4, 45, 4)
+        )
+        at_44 = perf(kernel, MAX)
+        assert at_44 < 0.9 * best
+
+    def test_atomic_kernel_slows_with_concurrency_growth(self):
+        kernel = atomic_kernel("a", contention=0.5)
+        low = MODEL.simulate(kernel, HardwareConfig(4, 1000, 1250))
+        high = MODEL.simulate(kernel, MAX)
+        assert high.breakdown.atomic_s > low.breakdown.atomic_s
+
+    def test_tiny_kernel_dominated_by_launch_overhead(self):
+        kernel = tiny_kernel("t")
+        result = MODEL.simulate(kernel, MAX)
+        assert result.breakdown.launch_s > 0.5 * result.time_s
+
+    def test_latency_kernel_plateaus_at_high_clocks(self):
+        kernel = latency_kernel("l")
+        mid = perf(kernel, HardwareConfig(44, 800, 975))
+        top = perf(kernel, MAX)
+        assert top / mid < 1.3
+
+
+class TestCacheClockDomain:
+    def test_cache_resident_traffic_scales_with_engine_not_memory(self):
+        from repro.kernels import cache_resident_kernel
+
+        kernel = cache_resident_kernel("cr")
+        mem_gain = perf(kernel, MAX) / perf(
+            kernel, HardwareConfig(44, 1000, 150)
+        )
+        eng_gain = perf(kernel, MAX) / perf(
+            kernel, HardwareConfig(44, 200, 1250)
+        )
+        assert eng_gain > 3.0
+        assert mem_gain < 1.3
+
+
+class TestResultMetadata:
+    def test_result_records_dispatch_and_occupancy(self):
+        kernel = compute_kernel("c")
+        result = MODEL.simulate(kernel, MAX)
+        assert result.dispatch.active_cus == 44
+        assert result.occupancy.waves_per_cu > 0
+        assert result.global_size == kernel.geometry.global_size
+
+    def test_items_per_second_consistent(self):
+        kernel = compute_kernel("c")
+        result = MODEL.simulate(kernel, MAX)
+        assert result.items_per_second == pytest.approx(
+            result.global_size / result.time_s
+        )

@@ -1,0 +1,109 @@
+"""Interval-model edge cases: degenerate but legal kernels."""
+
+import math
+
+import pytest
+
+from repro.gpu import HardwareConfig, IntervalModel
+from repro.kernels import Kernel, KernelCharacteristics, LaunchGeometry
+
+MODEL = IntervalModel()
+MAX = HardwareConfig(44, 1000.0, 1250.0)
+
+
+def kernel_with(geometry=None, **characteristics):
+    defaults = {
+        "valu_ops_per_item": 10.0,
+        "global_load_bytes_per_item": 8.0,
+    }
+    defaults.update(characteristics)
+    return Kernel(
+        program="edge",
+        name="k",
+        suite="t",
+        characteristics=KernelCharacteristics(**defaults),
+        geometry=geometry or LaunchGeometry(1 << 16, 256),
+    )
+
+
+class TestZeroTraffic:
+    def test_pure_compute_kernel_no_memory_intervals(self):
+        kernel = kernel_with(global_load_bytes_per_item=0.0)
+        result = MODEL.simulate(kernel, MAX)
+        assert result.breakdown.dram_s == 0.0
+        assert result.breakdown.l2_s == 0.0
+        assert result.dram_bytes == 0.0
+        assert result.breakdown.bottleneck == "compute"
+
+    def test_store_only_kernel(self):
+        kernel = kernel_with(
+            global_load_bytes_per_item=0.0,
+            global_store_bytes_per_item=32.0,
+            l1_reuse=0.0,
+            l2_reuse=0.0,
+        )
+        result = MODEL.simulate(kernel, MAX)
+        assert result.dram_bytes > 0
+
+
+class TestExtremeGeometry:
+    def test_single_item_launch(self):
+        kernel = kernel_with(geometry=LaunchGeometry(1, 1))
+        result = MODEL.simulate(kernel, MAX)
+        assert math.isfinite(result.time_s) and result.time_s > 0
+        assert result.dispatch.active_cus == 1
+
+    def test_single_cu_device(self):
+        kernel = kernel_with()
+        result = MODEL.simulate(kernel, HardwareConfig(1, 200.0, 150.0))
+        assert result.dispatch.active_cus == 1
+        assert result.time_s > 0
+
+    def test_one_item_workgroups(self):
+        kernel = kernel_with(geometry=LaunchGeometry(4096, 1))
+        result = MODEL.simulate(kernel, MAX)
+        assert result.time_s > 0
+
+    def test_max_width_workgroups(self):
+        kernel = kernel_with(geometry=LaunchGeometry(1 << 16, 1024))
+        result = MODEL.simulate(kernel, MAX)
+        assert result.occupancy.waves_per_cu >= 16
+
+
+class TestExtremeBehaviours:
+    def test_fully_dependent_single_wave_kernel(self):
+        kernel = kernel_with(
+            dependent_access_fraction=1.0,
+            memory_parallelism=1.0,
+            geometry=LaunchGeometry(64, 64),
+        )
+        result = MODEL.simulate(kernel, MAX)
+        assert result.breakdown.latency_s > 0
+
+    def test_zero_launch_overhead_allowed(self):
+        kernel = kernel_with(launch_overhead_us=0.0)
+        result = MODEL.simulate(kernel, MAX)
+        assert result.breakdown.launch_s == 0.0
+
+    def test_full_contention_single_address_atomics(self):
+        kernel = kernel_with(
+            atomic_ops_per_item=1.0, atomic_contention=1.0
+        )
+        result = MODEL.simulate(kernel, MAX)
+        # Every atomic serialises: the serial term dominates runtime.
+        assert result.breakdown.atomic_s > 0.5 * result.time_s
+
+    def test_extreme_divergence_costs_lanes(self):
+        # A compute-dominated kernel so the divergence penalty is not
+        # hidden behind memory or launch-overhead intervals.
+        efficient = kernel_with(
+            valu_ops_per_item=2000.0, simd_efficiency=1.0,
+            geometry=LaunchGeometry(1 << 20, 256),
+        )
+        divergent = kernel_with(
+            valu_ops_per_item=2000.0, simd_efficiency=1.0 / 64.0,
+            geometry=LaunchGeometry(1 << 20, 256),
+        )
+        t_eff = MODEL.simulate(efficient, MAX).time_s
+        t_div = MODEL.simulate(divergent, MAX).time_s
+        assert t_div > 10.0 * t_eff

@@ -1,0 +1,110 @@
+"""GCN occupancy calculator: resource limits and granularity rules."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.gpu import HAWAII_UARCH, compute_occupancy
+from repro.gpu.occupancy import (
+    waves_limited_by_sgprs,
+    waves_limited_by_vgprs,
+    workgroups_limited_by_lds,
+)
+from repro.kernels import LaunchGeometry, ResourceUsage
+
+
+class TestVgprLimit:
+    def test_light_usage_hits_architectural_cap(self):
+        assert waves_limited_by_vgprs(24, HAWAII_UARCH) == 10
+
+    def test_vgpr_limit_kicks_in(self):
+        # 256 / 64 = 4 waves per SIMD.
+        assert waves_limited_by_vgprs(64, HAWAII_UARCH) == 4
+
+    def test_maximum_vgprs_allow_one_wave(self):
+        assert waves_limited_by_vgprs(256, HAWAII_UARCH) == 1
+
+    def test_allocation_granularity_rounds_up(self):
+        # 65 VGPRs allocate as 68 -> 256//68 = 3 waves.
+        assert waves_limited_by_vgprs(65, HAWAII_UARCH) == 3
+
+
+class TestSgprLimit:
+    def test_light_usage_hits_cap(self):
+        assert waves_limited_by_sgprs(16, HAWAII_UARCH) == 10
+
+    def test_heavy_usage_limits(self):
+        # 96 SGPRs -> 512 // 96 (rounded to 96) = 5 waves.
+        assert waves_limited_by_sgprs(96, HAWAII_UARCH) == 5
+
+
+class TestLdsLimit:
+    def test_zero_lds_gives_workgroup_cap(self):
+        assert workgroups_limited_by_lds(0, HAWAII_UARCH) == 16
+
+    def test_half_lds_allows_two_workgroups(self):
+        assert workgroups_limited_by_lds(32 * 1024, HAWAII_UARCH) == 2
+
+    def test_oversized_lds_rejected(self):
+        with pytest.raises(WorkloadError):
+            workgroups_limited_by_lds(65 * 1024, HAWAII_UARCH)
+
+
+class TestCombined:
+    def test_unconstrained_kernel_reaches_40_waves(self):
+        result = compute_occupancy(
+            LaunchGeometry(1 << 20, 256),
+            ResourceUsage(vgprs=24, sgprs=16),
+            HAWAII_UARCH,
+        )
+        assert result.waves_per_cu == 40
+        assert result.occupancy_fraction == pytest.approx(1.0)
+
+    def test_vgpr_bound_kernel(self):
+        result = compute_occupancy(
+            LaunchGeometry(1 << 20, 256),
+            ResourceUsage(vgprs=128, sgprs=16),
+            HAWAII_UARCH,
+        )
+        # 2 waves/SIMD -> 8 waves -> 2 workgroups of 4 waves each.
+        assert result.limiter == "vgpr"
+        assert result.waves_per_cu == 8
+        assert result.workgroups_per_cu == 2
+
+    def test_lds_bound_kernel(self):
+        result = compute_occupancy(
+            LaunchGeometry(1 << 20, 256),
+            ResourceUsage(vgprs=24, lds_bytes_per_workgroup=32 * 1024),
+            HAWAII_UARCH,
+        )
+        assert result.limiter == "lds"
+        assert result.workgroups_per_cu == 2
+        assert result.waves_per_cu == 8
+
+    def test_workgroup_granularity_rounds_down(self):
+        # 3-wave workgroups against the 40-slot cap: 13 waves of slack
+        # do not fit a 14th workgroup-wave, so 13 workgroups resident.
+        result = compute_occupancy(
+            LaunchGeometry(1 << 20, 192),
+            ResourceUsage(vgprs=24, sgprs=16),
+            HAWAII_UARCH,
+        )
+        assert result.waves_per_cu == 39
+        assert result.workgroups_per_cu == 13
+
+    def test_small_workgroups_hit_workgroup_slot_cap(self):
+        result = compute_occupancy(
+            LaunchGeometry(1 << 20, 64),
+            ResourceUsage(vgprs=24, sgprs=16),
+            HAWAII_UARCH,
+        )
+        assert result.limiter == "workgroup_slots"
+        assert result.workgroups_per_cu == 16
+        assert result.waves_per_cu == 16
+
+    def test_at_least_one_workgroup_always_resident(self):
+        result = compute_occupancy(
+            LaunchGeometry(1024, 1024),
+            ResourceUsage(vgprs=256, sgprs=96),
+            HAWAII_UARCH,
+        )
+        assert result.workgroups_per_cu == 1

@@ -1,0 +1,69 @@
+"""Archetype builders: intent of each behaviour class, overridability."""
+
+import pytest
+
+from repro.gpu import HardwareConfig, GpuSimulator
+from repro.kernels import (
+    ARCHETYPE_BUILDERS,
+    build_archetype,
+    compute_kernel,
+    latency_kernel,
+    limited_parallelism_kernel,
+    streaming_kernel,
+    thrashing_kernel,
+)
+
+SIM = GpuSimulator()
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("kind", sorted(ARCHETYPE_BUILDERS))
+    def test_every_archetype_builds_and_simulates(self, kind):
+        kernel = build_archetype(kind, "probe", suite="t")
+        result = SIM.simulate(kernel, HardwareConfig(44, 1000, 1250))
+        assert result.time_s > 0
+
+    def test_unknown_archetype_lists_valid_kinds(self):
+        with pytest.raises(KeyError, match="compute"):
+            build_archetype("warpspeed", "x")
+
+    def test_overrides_win_over_defaults(self):
+        kernel = streaming_kernel("s", memory_parallelism=2.0)
+        assert kernel.characteristics.memory_parallelism == 2.0
+
+    def test_parameters_change_characteristics(self):
+        light = compute_kernel("c", valu_ops=100.0)
+        heavy = compute_kernel("c", valu_ops=5000.0)
+        assert (
+            heavy.characteristics.valu_ops_per_item
+            > light.characteristics.valu_ops_per_item
+        )
+
+    def test_limited_parallelism_launch_size(self):
+        kernel = limited_parallelism_kernel("p", num_workgroups=8,
+                                            workgroup_size=128)
+        assert kernel.geometry.num_workgroups == 8
+        assert kernel.geometry.workgroup_size == 128
+
+
+class TestArchetypeIntent:
+    """Each archetype must exhibit its designed dominant trait."""
+
+    def test_compute_archetype_high_intensity(self):
+        kernel = compute_kernel("c")
+        assert kernel.characteristics.arithmetic_intensity > 50
+
+    def test_streaming_archetype_low_intensity(self):
+        kernel = streaming_kernel("s")
+        assert kernel.characteristics.arithmetic_intensity < 5
+
+    def test_latency_archetype_has_dependence_chain(self):
+        kernel = latency_kernel("l")
+        assert kernel.characteristics.dependent_access_fraction > 0.5
+
+    def test_thrashing_archetype_private_footprint_exceeds_l2(self):
+        kernel = thrashing_kernel("t")
+        ch = kernel.characteristics
+        assert ch.shared_footprint == 0.0
+        assert ch.footprint_bytes > 1 << 20  # exceeds the 1 MiB L2
+        assert ch.l2_reuse > 0.5

@@ -1,0 +1,96 @@
+"""KernelCharacteristics validation and derived quantities."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.kernels import KernelCharacteristics
+
+
+def make(**kwargs):
+    defaults = {
+        "valu_ops_per_item": 100.0,
+        "global_load_bytes_per_item": 16.0,
+    }
+    defaults.update(kwargs)
+    return KernelCharacteristics(**defaults)
+
+
+class TestValidation:
+    def test_accepts_minimal_definition(self):
+        ch = make()
+        assert ch.valu_ops_per_item == 100.0
+
+    def test_rejects_negative_ops(self):
+        with pytest.raises(WorkloadError):
+            make(valu_ops_per_item=-1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(WorkloadError):
+            make(footprint_bytes=float("nan"))
+
+    def test_rejects_infinite(self):
+        with pytest.raises(WorkloadError):
+            make(launch_overhead_us=float("inf"))
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "l1_reuse",
+            "l2_reuse",
+            "coalescing_efficiency",
+            "dependent_access_fraction",
+            "atomic_contention",
+            "shared_footprint",
+            "row_locality_sensitivity",
+        ],
+    )
+    def test_unit_interval_fields_bounded(self, field):
+        with pytest.raises(WorkloadError):
+            make(**{field: 1.5})
+        with pytest.raises(WorkloadError):
+            make(**{field: -0.1})
+
+    def test_rejects_sub_one_memory_parallelism(self):
+        with pytest.raises(WorkloadError):
+            make(memory_parallelism=0.5)
+
+    def test_rejects_zero_simd_efficiency(self):
+        with pytest.raises(WorkloadError):
+            make(simd_efficiency=0.0)
+
+
+class TestDerived:
+    def test_total_bytes_sums_loads_and_stores(self):
+        ch = make(global_load_bytes_per_item=24.0,
+                  global_store_bytes_per_item=8.0)
+        assert ch.global_bytes_per_item == 32.0
+
+    def test_arithmetic_intensity(self):
+        ch = make(valu_ops_per_item=64.0, global_load_bytes_per_item=16.0)
+        assert ch.arithmetic_intensity == pytest.approx(4.0)
+
+    def test_intensity_infinite_without_traffic(self):
+        ch = make(global_load_bytes_per_item=0.0)
+        assert ch.arithmetic_intensity == float("inf")
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        ch = make(l2_reuse=0.7, atomic_ops_per_item=2.0)
+        assert KernelCharacteristics.from_dict(ch.to_dict()) == ch
+
+    def test_from_dict_ignores_unknown_keys(self):
+        payload = make().to_dict()
+        payload["future_field"] = 42
+        restored = KernelCharacteristics.from_dict(payload)
+        assert restored.valu_ops_per_item == 100.0
+
+    def test_replace_validates(self):
+        with pytest.raises(WorkloadError):
+            make().replace(l2_reuse=2.0)
+
+    def test_replace_preserves_other_fields(self):
+        ch = make(l1_reuse=0.3)
+        changed = ch.replace(valu_ops_per_item=50.0)
+        assert changed.l1_reuse == 0.3
+        assert changed.valu_ops_per_item == 50.0

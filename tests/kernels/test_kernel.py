@@ -1,0 +1,95 @@
+"""Kernel, LaunchGeometry, ResourceUsage."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.kernels import (
+    Kernel,
+    KernelCharacteristics,
+    LaunchGeometry,
+    ResourceUsage,
+)
+
+
+def make_kernel(**kwargs):
+    defaults = {
+        "program": "prog",
+        "name": "k1",
+        "suite": "suite",
+        "characteristics": KernelCharacteristics(
+            valu_ops_per_item=10.0, global_load_bytes_per_item=4.0
+        ),
+        "geometry": LaunchGeometry(1024, 256),
+    }
+    defaults.update(kwargs)
+    return Kernel(**defaults)
+
+
+class TestLaunchGeometry:
+    def test_workgroup_count_rounds_up(self):
+        assert LaunchGeometry(1000, 256).num_workgroups == 4
+
+    def test_waves_per_workgroup_rounds_up(self):
+        assert LaunchGeometry(1024, 100).waves_per_workgroup == 2
+
+    def test_total_waves(self):
+        geometry = LaunchGeometry(1024, 256)
+        assert geometry.total_waves == 4 * 4
+
+    def test_rejects_zero_global_size(self):
+        with pytest.raises(WorkloadError):
+            LaunchGeometry(0, 256)
+
+    def test_rejects_zero_workgroup(self):
+        with pytest.raises(WorkloadError):
+            LaunchGeometry(1024, 0)
+
+    def test_rejects_oversized_workgroup(self):
+        with pytest.raises(WorkloadError):
+            LaunchGeometry(4096, 2048)
+
+
+class TestResourceUsage:
+    def test_defaults_valid(self):
+        usage = ResourceUsage()
+        assert usage.vgprs == 32
+
+    @pytest.mark.parametrize("vgprs", [0, 257])
+    def test_vgpr_bounds(self, vgprs):
+        with pytest.raises(WorkloadError):
+            ResourceUsage(vgprs=vgprs)
+
+    @pytest.mark.parametrize("sgprs", [0, 103])
+    def test_sgpr_bounds(self, sgprs):
+        with pytest.raises(WorkloadError):
+            ResourceUsage(sgprs=sgprs)
+
+    def test_rejects_negative_lds(self):
+        with pytest.raises(WorkloadError):
+            ResourceUsage(lds_bytes_per_workgroup=-1)
+
+
+class TestKernel:
+    def test_full_name_with_suite(self):
+        assert make_kernel().full_name == "suite/prog.k1"
+
+    def test_full_name_without_suite(self):
+        assert make_kernel(suite="").full_name == "prog.k1"
+
+    def test_rejects_empty_program(self):
+        with pytest.raises(WorkloadError):
+            make_kernel(program="")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(WorkloadError):
+            make_kernel(name="")
+
+    def test_round_trip_dict(self):
+        kernel = make_kernel()
+        assert Kernel.from_dict(kernel.to_dict()) == kernel
+
+    def test_replace(self):
+        kernel = make_kernel()
+        renamed = kernel.replace(name="k2")
+        assert renamed.name == "k2"
+        assert renamed.program == "prog"

@@ -1,0 +1,78 @@
+"""Program-level workload composition."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.gpu import HardwareConfig
+from repro.kernels import compute_kernel, tiny_kernel
+from repro.kernels.workload import KernelInvocation, ProgramProfile
+
+MAX = HardwareConfig(44, 1000.0, 1250.0)
+MIN = HardwareConfig(4, 200.0, 150.0)
+
+
+@pytest.fixture
+def mixed_program():
+    """A solver: one setup launch + many iterations of a hot kernel."""
+    return ProgramProfile.from_counts(
+        "solver",
+        [
+            (tiny_kernel("solver", "setup", suite="app"), 1),
+            (compute_kernel("solver", "iterate", suite="app",
+                            global_size=1 << 18), 200),
+        ],
+    )
+
+
+class TestValidation:
+    def test_rejects_zero_count(self):
+        with pytest.raises(WorkloadError):
+            KernelInvocation(compute_kernel("c"), count=0)
+
+    def test_rejects_empty_program(self):
+        with pytest.raises(WorkloadError):
+            ProgramProfile(name="p", invocations=())
+
+    def test_rejects_unnamed_program(self):
+        with pytest.raises(WorkloadError):
+            ProgramProfile.from_counts("", [(compute_kernel("c"), 1)])
+
+
+class TestComposition:
+    def test_total_time_sums_weighted_kernels(self, mixed_program):
+        from repro.gpu import GpuSimulator
+
+        simulator = GpuSimulator()
+        expected = sum(
+            inv.count * simulator.time_s(inv.kernel, MAX)
+            for inv in mixed_program.invocations
+        )
+        assert mixed_program.total_time_s(MAX) == pytest.approx(expected)
+
+    def test_attribution_sums_to_one(self, mixed_program):
+        attribution = mixed_program.time_attribution(MAX)
+        assert sum(attribution.values()) == pytest.approx(1.0)
+
+    def test_hot_kernel_dominates(self, mixed_program):
+        attribution = mixed_program.time_attribution(MIN)
+        assert attribution["app/solver.iterate"] > 0.9
+
+    def test_program_speedup_below_hot_kernel_speedup(self,
+                                                      mixed_program):
+        """Amdahl: the setup kernel's overhead caps program speedup
+        below the hot kernel's own speedup."""
+        from repro.gpu import GpuSimulator
+
+        simulator = GpuSimulator()
+        hot = mixed_program.invocations[1].kernel
+        hot_speedup = simulator.time_s(hot, MIN) / simulator.time_s(
+            hot, MAX
+        )
+        program_speedup = mixed_program.speedup(MAX, MIN)
+        assert 1.0 < program_speedup < hot_speedup
+
+    def test_amdahl_cap_names_the_limiter(self, mixed_program):
+        limiter, cap = mixed_program.amdahl_cap(MAX, MIN)
+        achieved = mixed_program.speedup(MAX, MIN)
+        assert cap >= achieved
+        assert limiter in ("app/solver.setup", "app/solver.iterate")

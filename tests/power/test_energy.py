@@ -1,0 +1,115 @@
+"""Energy accounting and DVFS optimisation."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.gpu import W9100_LIKE
+from repro.kernels import (
+    compute_kernel,
+    latency_kernel,
+    streaming_kernel,
+    tiny_kernel,
+)
+from repro.power import DvfsOptimizer, EnergyModel, Objective
+from repro.sweep import reduced_space
+
+
+@pytest.fixture(scope="module")
+def energy_model():
+    return EnergyModel()
+
+
+@pytest.fixture(scope="module")
+def optimizer():
+    return DvfsOptimizer(space=reduced_space(2, 2, 2))
+
+
+class TestEnergyResult:
+    def test_energy_is_power_times_time(self, energy_model):
+        result = energy_model.evaluate(compute_kernel("c"), W9100_LIKE)
+        assert result.energy_j == pytest.approx(
+            result.time_s * result.power_w
+        )
+        assert result.edp == pytest.approx(
+            result.energy_j * result.time_s
+        )
+
+    def test_activities_are_fractions(self, energy_model):
+        for builder in (compute_kernel, streaming_kernel, tiny_kernel):
+            result = energy_model.evaluate(builder("k"), W9100_LIKE)
+            assert 0.0 <= result.compute_activity <= 1.0
+            assert 0.0 <= result.memory_activity <= 1.0
+
+    def test_compute_kernel_busy_compute_domain(self, energy_model):
+        result = energy_model.evaluate(compute_kernel("c"), W9100_LIKE)
+        assert result.compute_activity > 0.5
+        assert result.compute_activity > result.memory_activity
+
+    def test_streaming_kernel_busy_memory_domain(self, energy_model):
+        result = energy_model.evaluate(streaming_kernel("s"), W9100_LIKE)
+        assert result.memory_activity > 0.5
+
+    def test_items_per_joule_positive(self, energy_model):
+        result = energy_model.evaluate(streaming_kernel("s"), W9100_LIKE)
+        assert result.items_per_joule > 0
+
+    def test_energy_cube_shape(self, energy_model):
+        space = reduced_space(4, 4, 4)
+        cube = energy_model.energy_cube(compute_kernel("c"), space)
+        assert cube.shape == space.shape
+        assert (cube > 0).all()
+
+    def test_time_and_energy_cubes_consistent(self, energy_model):
+        space = reduced_space(4, 4, 4)
+        kernel = streaming_kernel("s")
+        time_cube, energy_cube = energy_model.time_and_energy_cubes(
+            kernel, space
+        )
+        assert time_cube.shape == energy_cube.shape == space.shape
+        # Energy >= idle-power x time everywhere.
+        assert (energy_cube > 10.0 * time_cube).all()
+
+
+class TestOptimizer:
+    def test_max_perf_objective_matches_fastest_point(self, optimizer):
+        kernel = compute_kernel("c")
+        point = optimizer.optimise(kernel, Objective.MAX_PERF)
+        assert point.config.cu_count == 44
+        assert point.config.engine_mhz == 1000.0
+
+    def test_min_energy_never_worse_than_flagship(self, optimizer):
+        for builder in (compute_kernel, streaming_kernel, latency_kernel,
+                        tiny_kernel):
+            kernel = builder("k")
+            saving = optimizer.energy_saving_vs_flagship(kernel)
+            assert saving >= -1e-9
+
+    def test_plateau_kernel_saves_substantially(self, optimizer):
+        """A launch-overhead kernel gains nothing from high states, so
+        downclocking saves a large energy fraction."""
+        saving = optimizer.energy_saving_vs_flagship(tiny_kernel("t"))
+        assert saving > 0.2
+
+    def test_streaming_kernel_keeps_memory_clock(self, optimizer):
+        point = optimizer.optimise(
+            streaming_kernel("s"), Objective.MIN_ENERGY
+        )
+        # The memory knob pays for itself; the optimum keeps it high.
+        assert point.config.memory_mhz >= 975.0
+
+    def test_power_cap_restricts_choice(self, optimizer):
+        kernel = compute_kernel("c")
+        unlimited = optimizer.optimise(kernel, Objective.MAX_PERF)
+        capped = optimizer.optimise(
+            kernel, Objective.MAX_PERF, power_cap_w=120.0
+        )
+        assert capped.time_s >= unlimited.time_s
+        energy_model = EnergyModel()
+        result = energy_model.evaluate(kernel, capped.config)
+        assert result.power_w <= 120.0
+
+    def test_unsatisfiable_cap_raises(self, optimizer):
+        with pytest.raises(AnalysisError):
+            optimizer.optimise(
+                compute_kernel("c"), Objective.MAX_PERF, power_cap_w=1.0
+            )

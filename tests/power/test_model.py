@@ -1,0 +1,82 @@
+"""Power model: voltage curves, breakdown, calibration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import EMBEDDED, W9100_LIKE, HardwareConfig
+from repro.power import PowerModel, VoltageCurve
+
+
+@pytest.fixture
+def model():
+    return PowerModel()
+
+
+class TestVoltageCurve:
+    def test_endpoints(self):
+        curve = VoltageCurve(200.0, 1000.0, 0.9, 1.2)
+        assert curve.volts(200.0) == pytest.approx(0.9)
+        assert curve.volts(1000.0) == pytest.approx(1.2)
+
+    def test_interpolates_linearly(self):
+        curve = VoltageCurve(200.0, 1000.0, 0.9, 1.2)
+        assert curve.volts(600.0) == pytest.approx(1.05)
+
+    def test_clamps_outside_range(self):
+        curve = VoltageCurve(200.0, 1000.0, 0.9, 1.2)
+        assert curve.volts(100.0) == pytest.approx(0.9)
+        assert curve.volts(2000.0) == pytest.approx(1.2)
+
+    def test_rejects_invalid_ranges(self):
+        with pytest.raises(ConfigurationError):
+            VoltageCurve(1000.0, 200.0)
+        with pytest.raises(ConfigurationError):
+            VoltageCurve(200.0, 1000.0, 1.2, 0.9)
+
+
+class TestCalibration:
+    def test_flagship_near_board_tdp(self, model):
+        """Full activity at the flagship lands near the W9100's ~275 W."""
+        power = model.board_power_w(W9100_LIKE)
+        assert 230.0 < power < 330.0
+
+    def test_embedded_idle_is_tens_of_watts(self, model):
+        power = model.board_power_w(EMBEDDED, 0.0, 0.0)
+        assert 10.0 < power < 60.0
+
+    def test_span_covers_an_order_of_magnitude(self, model):
+        idle = model.board_power_w(EMBEDDED, 0.0, 0.0)
+        peak = model.board_power_w(W9100_LIKE)
+        assert peak / idle > 5.0
+
+
+class TestScalingStructure:
+    def test_power_superlinear_in_engine_clock(self, model):
+        """V rises with f, so dynamic power grows faster than f."""
+        low = model.breakdown(HardwareConfig(44, 500.0, 1250.0))
+        high = model.breakdown(HardwareConfig(44, 1000.0, 1250.0))
+        assert (
+            high.compute_dynamic_w / low.compute_dynamic_w > 2.0
+        )
+
+    def test_power_grows_with_cus(self, model):
+        small = model.board_power_w(HardwareConfig(4, 1000.0, 1250.0))
+        large = model.board_power_w(HardwareConfig(44, 1000.0, 1250.0))
+        assert large > 2.0 * small
+
+    def test_idle_kernel_pays_only_static(self, model):
+        breakdown = model.breakdown(W9100_LIKE, 0.0, 0.0)
+        assert breakdown.dynamic_w == 0.0
+        assert breakdown.static_w > 0.0
+        assert breakdown.total_w == pytest.approx(breakdown.static_w)
+
+    def test_memory_activity_only_charges_memory_domain(self, model):
+        mem_only = model.breakdown(W9100_LIKE, 0.0, 1.0)
+        assert mem_only.compute_dynamic_w == 0.0
+        assert mem_only.memory_dynamic_w > 0.0
+
+    def test_activity_bounds_validated(self, model):
+        with pytest.raises(ConfigurationError):
+            model.breakdown(W9100_LIKE, compute_activity=1.5)
+        with pytest.raises(ConfigurationError):
+            model.breakdown(W9100_LIKE, memory_activity=-0.1)

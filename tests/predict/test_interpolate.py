@@ -1,0 +1,76 @@
+"""Log-space trilinear interpolation."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.gpu import HardwareConfig
+from repro.predict import CubeInterpolator, interpolator
+
+
+class TestExactness:
+    def test_exact_at_grid_points(self, archetype_dataset):
+        name = archetype_dataset.kernel_names[0]
+        model = CubeInterpolator(archetype_dataset, name)
+        space = archetype_dataset.space
+        cube = archetype_dataset.kernel_cube(name)
+        for c, e, m in [(0, 0, 0), (3, 4, 2), (-1, -1, -1)]:
+            config = space.config(
+                c % len(space.cu_counts),
+                e % len(space.engine_mhz),
+                m % len(space.memory_mhz),
+            )
+            assert model.predict(config) == pytest.approx(
+                float(cube[c, e, m])
+            )
+
+    def test_power_law_reproduced_between_points(self, archetype_dataset):
+        """A compute kernel ~ cu x f_eng: the midpoint prediction must
+        sit near the geometric mean of the bracketing grid points."""
+        name = "probe/compute_probe.main"
+        model = CubeInterpolator(archetype_dataset, name)
+        space = archetype_dataset.space
+        lo = model.predict(space.config(0, 0, 0))
+        hi = model.predict(space.config(1, 0, 0))
+        mid_cu = (space.cu_counts[0] * space.cu_counts[1]) ** 0.5
+        mid = model.predict(
+            HardwareConfig(round(mid_cu), space.engine_mhz[0],
+                           space.memory_mhz[0])
+        )
+        assert lo < mid < hi
+
+
+class TestClamping:
+    def test_clamps_below_range(self, archetype_dataset):
+        name = archetype_dataset.kernel_names[0]
+        model = CubeInterpolator(archetype_dataset, name)
+        space = archetype_dataset.space
+        tiny = HardwareConfig(1, 50.0, 50.0)
+        assert model.predict(tiny) == pytest.approx(
+            model.predict(space.min_config)
+        )
+
+    def test_clamps_above_range(self, archetype_dataset):
+        name = archetype_dataset.kernel_names[0]
+        model = CubeInterpolator(archetype_dataset, name)
+        space = archetype_dataset.space
+        huge = HardwareConfig(128, 3000.0, 3000.0)
+        assert model.predict(huge) == pytest.approx(
+            model.predict(space.max_config)
+        )
+
+
+class TestApi:
+    def test_speedup_relative(self, archetype_dataset):
+        name = archetype_dataset.kernel_names[0]
+        model = CubeInterpolator(archetype_dataset, name)
+        space = archetype_dataset.space
+        assert model.speedup(
+            space.max_config, space.min_config
+        ) == pytest.approx(
+            model.predict(space.max_config)
+            / model.predict(space.min_config)
+        )
+
+    def test_unknown_kernel_rejected(self, archetype_dataset):
+        with pytest.raises(AnalysisError):
+            interpolator(archetype_dataset, "nope/x.y")

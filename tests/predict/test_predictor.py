@@ -1,0 +1,92 @@
+"""Cross-kernel scaling prediction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.predict import ScalingPredictor
+
+
+@pytest.fixture(scope="module")
+def corpus(request):
+    dataset = request.getfixturevalue("paper_dataset")
+    return ScalingPredictor(dataset, k=3)
+
+
+class TestProbing:
+    def test_seven_probe_configs(self, corpus):
+        probes = corpus.probe_configs()
+        assert len(probes) == 7
+        labels = {p.label() for p in probes}
+        assert len(labels) == 7  # all distinct
+
+    def test_probe_set_spans_the_corners(self, corpus, paper_dataset):
+        space = paper_dataset.space
+        labels = {p.label() for p in corpus.probe_configs()}
+        assert space.min_config.label() in labels
+        assert space.max_config.label() in labels
+
+
+class TestValidation:
+    def test_wrong_probe_count_rejected(self, corpus):
+        with pytest.raises(AnalysisError):
+            corpus.predict_cube([1.0, 2.0])
+
+    def test_non_positive_probe_rejected(self, corpus):
+        with pytest.raises(AnalysisError):
+            corpus.predict_cube([1.0, 2.0, 3.0, 4.0, 5.0, 0.0, 7.0])
+
+    def test_invalid_k_rejected(self, paper_dataset):
+        with pytest.raises(AnalysisError):
+            ScalingPredictor(paper_dataset, k=0)
+        with pytest.raises(AnalysisError):
+            ScalingPredictor(paper_dataset, k=10_000)
+
+
+class TestAccuracy:
+    def test_self_prediction_recovers_member(self, corpus, paper_dataset):
+        """Probing a corpus member must find itself as the nearest
+        neighbour and reproduce its surface closely."""
+        name = paper_dataset.kernel_names[0]
+        cube = paper_dataset.kernel_cube(name)
+        space = paper_dataset.space
+        probes = [
+            float(
+                cube[
+                    0 if c == 0 else -1,
+                    0 if e == 0 else -1,
+                    0 if m == 0 else -1,
+                ]
+            )
+            for c, e, m in [
+                (0, 0, 0), (-1, 0, 0), (0, -1, 0), (0, 0, -1),
+                (-1, -1, 0), (-1, 0, -1), (-1, -1, -1),
+            ]
+        ]
+        result = corpus.predict_cube(probes)
+        assert result.nearest == name
+        relative = np.abs(result.cube - cube) / cube
+        assert float(np.median(relative)) < 0.05
+
+    def test_leave_one_out_median_error_reasonable(self, paper_dataset):
+        """Hold out a sample of catalog kernels; the corpus must
+        predict each held-out surface within ~35% median error from
+        seven probe runs (the HPCA'15-style result)."""
+        predictor = ScalingPredictor(paper_dataset, k=3)
+        sample = paper_dataset.kernel_names[::40]
+        errors = [
+            predictor.leave_one_out_error(name) for name in sample
+        ]
+        assert float(np.median(errors)) < 0.35
+
+    def test_predicted_cube_anchored_to_base_probe(self, corpus,
+                                                   paper_dataset):
+        name = paper_dataset.kernel_names[5]
+        cube = paper_dataset.kernel_cube(name)
+        probes = [float(cube[0, 0, 0])] + [
+            float(cube[c, e, m])
+            for c, e, m in [(-1, 0, 0), (0, -1, 0), (0, 0, -1),
+                            (-1, -1, 0), (-1, 0, -1), (-1, -1, -1)]
+        ]
+        result = corpus.predict_cube(probes)
+        assert result.cube[0, 0, 0] == pytest.approx(probes[0])

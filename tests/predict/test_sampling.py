@@ -1,0 +1,64 @@
+"""Adaptive sweep sampling."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.predict.sampling import (
+    SamplingPlan,
+    budget_sweep,
+    evaluate_plan,
+    plan_for_budget,
+)
+
+
+class TestPlans:
+    def test_plan_keeps_endpoints(self, paper_dataset):
+        plan = plan_for_budget(paper_dataset.space, (3, 3, 3))
+        n_cu, n_eng, n_mem = paper_dataset.space.shape
+        assert plan.cu_indices[0] == 0
+        assert plan.cu_indices[-1] == n_cu - 1
+        assert plan.memory_indices[-1] == n_mem - 1
+
+    def test_budget_larger_than_axis_keeps_all(self, paper_dataset):
+        plan = plan_for_budget(paper_dataset.space, (99, 99, 99))
+        assert plan.size == paper_dataset.space.size
+
+    def test_minimum_two_per_axis(self, paper_dataset):
+        with pytest.raises(AnalysisError):
+            plan_for_budget(paper_dataset.space, (1, 3, 3))
+
+    def test_subspace_preserves_uarch(self, paper_dataset):
+        plan = plan_for_budget(paper_dataset.space, (2, 2, 2))
+        subspace = plan.subspace(paper_dataset.space)
+        assert subspace.uarch is paper_dataset.space.uarch
+        assert subspace.size == 8
+
+
+class TestReconstruction:
+    @pytest.fixture(scope="class")
+    def small_sample(self, request):
+        dataset = request.getfixturevalue("paper_dataset")
+        return dataset.subset(dataset.kernel_names[::30])
+
+    def test_error_falls_with_budget(self, small_sample):
+        results = budget_sweep(
+            small_sample, budgets=((2, 2, 2), (4, 4, 4))
+        )
+        coarse = results[0][1].median_abs_rel_error
+        fine = results[1][1].median_abs_rel_error
+        assert fine <= coarse
+
+    def test_savings_accounting(self, small_sample):
+        plan = plan_for_budget(small_sample.space, (3, 3, 3))
+        report = evaluate_plan(small_sample, plan)
+        assert report.measured_configs == 27
+        assert report.total_configs == 891
+        assert report.savings_fraction == pytest.approx(1 - 27 / 891)
+
+    def test_errors_are_nonnegative_and_bounded(self, small_sample):
+        plan = plan_for_budget(small_sample.space, (3, 3, 3))
+        report = evaluate_plan(small_sample, plan)
+        assert 0.0 <= report.median_abs_rel_error <= (
+            report.p95_abs_rel_error
+        )
+        assert report.p95_abs_rel_error < 1.0

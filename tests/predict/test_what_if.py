@@ -1,0 +1,70 @@
+"""What-if optimisation counterfactuals."""
+
+import pytest
+
+from repro.kernels import (
+    atomic_kernel,
+    compute_kernel,
+    latency_kernel,
+    limited_parallelism_kernel,
+    streaming_kernel,
+)
+from repro.predict.what_if import (
+    STANDARD_SCENARIOS,
+    best_advice,
+    what_if,
+)
+
+
+class TestScenarios:
+    def test_every_scenario_produces_valid_kernel(self):
+        kernel = latency_kernel("l")
+        for scenario in STANDARD_SCENARIOS:
+            optimised = scenario.apply(kernel)
+            assert optimised.characteristics is not None
+            assert optimised.full_name == kernel.full_name
+
+    def test_transforms_do_not_mutate_original(self):
+        kernel = atomic_kernel("a", contention=0.4)
+        what_if(kernel)
+        assert kernel.characteristics.atomic_contention == 0.4
+
+
+class TestAdvice:
+    def test_results_sorted_best_first(self):
+        results = what_if(latency_kernel("l"))
+        speedups = [r.speedup for r in results]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_latency_kernel_wants_chains_broken(self):
+        results = what_if(latency_kernel("l"))
+        assert results[0].scenario.name in ("break_chains",
+                                            "shrink_registers")
+        assert results[0].speedup > 1.3
+
+    def test_contended_atomic_kernel_wants_privatisation(self):
+        results = what_if(atomic_kernel("a", contention=0.6))
+        assert results[0].scenario.name == "privatise_atomics"
+        assert results[0].speedup > 1.5
+
+    def test_starved_kernel_wants_bigger_launch(self):
+        results = what_if(
+            limited_parallelism_kernel("p", num_workgroups=8)
+        )
+        assert results[0].scenario.name == "grow_launch"
+
+    def test_uncoalesced_streamer_wants_coalescing(self):
+        results = what_if(streaming_kernel("s", coalescing=0.2))
+        assert results[0].scenario.name == "coalesce"
+
+    def test_tuned_compute_kernel_has_no_advice(self):
+        """A clean compute-bound kernel is already at the machine
+        limit: nothing in the playbook clears the 10% bar."""
+        advice = best_advice(compute_kernel("c"))
+        assert advice is None
+
+    def test_best_advice_returns_top_result(self):
+        kernel = atomic_kernel("a", contention=0.6)
+        advice = best_advice(kernel)
+        assert advice is not None
+        assert advice.scenario.name == "privatise_atomics"

@@ -1,0 +1,53 @@
+"""Artifact writer."""
+
+import json
+
+from repro.report import ExperimentContext, write_artifacts
+
+
+class TestWriteArtifacts:
+    def test_writes_markdown_json_and_index(self, tmp_path,
+                                            paper_dataset):
+        ctx = ExperimentContext()
+        ctx._dataset = paper_dataset
+        written = write_artifacts(tmp_path, ["T1", "T2"], ctx)
+
+        assert set(written) == {"T1", "T2"}
+        for experiment_id, path in written.items():
+            assert path.exists()
+            content = path.read_text()
+            assert content.startswith(f"# {experiment_id}:")
+            data = json.loads(
+                (tmp_path / f"{experiment_id}.json").read_text()
+            )
+            assert data
+
+        index = (tmp_path / "INDEX.md").read_text()
+        assert "T1.md" in index and "T2.md" in index
+
+    def test_creates_missing_directory(self, tmp_path, paper_dataset):
+        ctx = ExperimentContext()
+        ctx._dataset = paper_dataset
+        target = tmp_path / "deep" / "dir"
+        write_artifacts(target, ["T1"], ctx)
+        assert (target / "T1.md").exists()
+
+    def test_t1_json_round_trips_totals(self, tmp_path, paper_dataset):
+        ctx = ExperimentContext()
+        ctx._dataset = paper_dataset
+        write_artifacts(tmp_path, ["T1"], ctx)
+        data = json.loads((tmp_path / "T1.json").read_text())
+        assert data["total_kernels"] == 267
+
+
+class TestStudySummary:
+    def test_summary_carries_headline_numbers(self, paper_dataset):
+        from repro.report import ExperimentContext, study_summary
+
+        ctx = ExperimentContext()
+        ctx._dataset = paper_dataset
+        text = study_summary(ctx)
+        assert "267 GPGPU kernels from 97 programs" in text
+        assert "891 hardware configurations" in text
+        assert "lose performance when more processing units" in text
+        assert "new benchmarks or new inputs are warranted" in text

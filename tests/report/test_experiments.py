@@ -1,0 +1,72 @@
+"""Experiment registry: every artifact regenerates with sane content.
+
+The benchmarks/ harness asserts the *shape claims* per experiment;
+these tests cover registry mechanics and structural integrity.
+"""
+
+import pytest
+
+from repro.report import (
+    EXPERIMENTS,
+    ExperimentContext,
+    run_all,
+    run_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="module")
+def results(ctx):
+    return run_all(ctx)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "S1",
+            "T1", "T2", "T3", "T4", "T5",
+            "F1", "F2", "F3", "F4", "F5",
+            "F6", "F7", "F8", "F9", "F10",
+        }
+
+    def test_unknown_id_rejected(self, ctx):
+        with pytest.raises(KeyError):
+            run_experiment("F99", ctx)
+
+    def test_context_memoises_dataset(self, ctx):
+        assert ctx.dataset is ctx.dataset
+        assert ctx.taxonomy is ctx.taxonomy
+
+
+class TestArtifacts:
+    def test_every_result_has_text_and_data(self, results):
+        for eid, result in results.items():
+            assert result.experiment_id == eid
+            assert result.text.strip()
+            assert isinstance(result.data, dict) and result.data
+
+    def test_t1_totals(self, results):
+        data = results["T1"].data
+        assert data["total_programs"] == 97
+        assert data["total_kernels"] == 267
+
+    def test_t2_grid(self, results):
+        assert results["T2"].data["size"] == 891
+
+    def test_t3_counts_sum(self, results):
+        data = results["T3"].data
+        assert sum(data["counts"].values()) == data["total"] == 267
+
+    def test_t4_suites_complete(self, results):
+        assert len(results["T4"].data) == 8
+
+    def test_figure_series_non_empty(self, results):
+        for fid in ("F1", "F2", "F3", "F5"):
+            assert results[fid].data["kernels"]
+
+    def test_f9_contains_overall_median(self, results):
+        assert "all" in results["F9"].data["medians"]

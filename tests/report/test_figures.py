@@ -1,0 +1,90 @@
+"""Figure structures and text rendering."""
+
+import numpy as np
+import pytest
+
+from repro.report import (
+    Figure,
+    FigureSeries,
+    render_figure,
+    render_heatmap,
+    sparkline,
+)
+
+
+class TestFigureSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FigureSeries("x", (1.0, 2.0), (1.0,))
+
+    def test_series_lookup(self):
+        figure = Figure(
+            "F0", "t", "x", "y",
+            (FigureSeries("a", (1.0,), (1.0,)),),
+        )
+        assert figure.series_by_label("a").label == "a"
+        with pytest.raises(KeyError):
+            figure.series_by_label("b")
+
+
+class TestSparkline:
+    def test_length_preserved(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_constant_series_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_ends_high(self):
+        line = sparkline([0, 1, 2, 3, 10])
+        assert line[-1] == "█"
+        assert line[0] == "▁"
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+
+class TestRenderers:
+    def test_render_figure_contains_series_labels(self):
+        figure = Figure(
+            "F1", "title", "x", "y",
+            (
+                FigureSeries("alpha", (1.0, 2.0), (1.0, 2.0)),
+                FigureSeries("beta", (1.0, 2.0), (1.0, 0.5)),
+            ),
+        )
+        text = render_figure(figure)
+        assert "alpha" in text and "beta" in text
+        assert "F1" in text
+
+    def test_render_heatmap_shape(self):
+        grid = np.arange(12, dtype=float).reshape(3, 4)
+        text = render_heatmap(grid, [1, 2, 3], [10, 20, 30, 40],
+                              title="H")
+        lines = text.splitlines()
+        assert lines[0] == "H"
+        # 3 data rows + separator + axis footer.
+        assert len(lines) == 6
+
+    def test_render_heatmap_constant_grid(self):
+        grid = np.ones((2, 2))
+        text = render_heatmap(grid, [1, 2], [1, 2])
+        assert text  # no division-by-zero on a flat surface
+
+
+class TestCsvExport:
+    def test_long_format(self):
+        from repro.report import figure_to_csv
+
+        figure = Figure(
+            "F1", "t", "x", "y",
+            (
+                FigureSeries("a", (1.0, 2.0), (10.0, 20.0)),
+                FigureSeries("b", (1.0,), (5.0,)),
+            ),
+        )
+        csv = figure_to_csv(figure)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "series,x,y"
+        assert "a,1,10" in lines
+        assert "b,1,5" in lines
+        assert len(lines) == 4

@@ -1,0 +1,49 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.report import render_kv, render_table
+from repro.report.tables import format_cell
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(3.14159, precision=3) == "3.142"
+
+    def test_bool_rendering(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_int_and_str(self):
+        assert format_cell(42) == "42"
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(
+            ["name", "value"], [["a", 1], ["bb", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_numeric_columns_right_aligned(self):
+        text = render_table(["k", "v"], [["a", 5], ["b", 500]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("  5")
+        assert rows[1].endswith("500")
+
+    def test_mismatched_row_length_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_allowed(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_render_kv(self):
+        text = render_kv([["total", 891]], title="Summary")
+        assert "total" in text and "891" in text

@@ -1,0 +1,96 @@
+"""Catalog structures: Program/Suite invariants and the builder."""
+
+import pytest
+
+from repro.errors import SuiteError
+from repro.kernels import compute_kernel
+from repro.suites import Program, ProgramBuilder, Suite
+
+
+def kernels(program, suite, names):
+    return tuple(
+        compute_kernel(program, name, suite=suite) for name in names
+    )
+
+
+class TestProgram:
+    def test_valid_program(self):
+        program = Program("p", "s", kernels("p", "s", ["a", "b"]))
+        assert program.kernel_count == 2
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SuiteError):
+            Program("", "s", kernels("p", "s", ["a"]))
+
+    def test_rejects_no_kernels(self):
+        with pytest.raises(SuiteError):
+            Program("p", "s", ())
+
+    def test_rejects_duplicate_kernel_names(self):
+        with pytest.raises(SuiteError):
+            Program("p", "s", kernels("p", "s", ["a", "a"]))
+
+    def test_rejects_mismatched_program_field(self):
+        with pytest.raises(SuiteError):
+            Program("p", "s", kernels("other", "s", ["a"]))
+
+    def test_rejects_mismatched_suite_field(self):
+        with pytest.raises(SuiteError):
+            Program("p", "s", kernels("p", "other", ["a"]))
+
+
+class TestSuite:
+    def make_suite(self):
+        b = ProgramBuilder("s")
+        b.program("p1", *kernels("p1", "s", ["a", "b"]))
+        b.program("p2", *kernels("p2", "s", ["c"]))
+        return b.finish(description="test")
+
+    def test_counts(self):
+        suite = self.make_suite()
+        assert suite.program_count == 2
+        assert suite.kernel_count == 3
+
+    def test_kernels_iterate_in_order(self):
+        names = [k.name for k in self.make_suite().kernels()]
+        assert names == ["a", "b", "c"]
+
+    def test_program_lookup(self):
+        suite = self.make_suite()
+        assert suite.program("p2").kernel_count == 1
+
+    def test_program_lookup_missing(self):
+        with pytest.raises(SuiteError):
+            self.make_suite().program("nope")
+
+    def test_rejects_duplicate_programs(self):
+        b = ProgramBuilder("s")
+        b.program("p", *kernels("p", "s", ["a"]))
+        b.program("p", *kernels("p", "s", ["b"]))
+        with pytest.raises(SuiteError):
+            b.finish()
+
+    def test_rejects_empty_suite(self):
+        with pytest.raises(SuiteError):
+            ProgramBuilder("s").finish()
+
+
+class TestDescriptions:
+    def test_every_program_documented(self):
+        from repro.suites import all_suites
+
+        for s in all_suites():
+            for program in s.programs:
+                assert program.description.strip(), (
+                    f"{s.name}/{program.name} lacks a description"
+                )
+
+    def test_descriptions_are_specific(self):
+        """Descriptions must describe the computation, not boilerplate:
+        they are distinct across the catalog."""
+        from repro.suites import all_suites
+
+        texts = [
+            p.description for s in all_suites() for p in s.programs
+        ]
+        assert len(set(texts)) == len(texts)

@@ -1,0 +1,81 @@
+"""Registry: the paper's 97/267 accounting and lookup helpers."""
+
+import pytest
+
+from repro.errors import SuiteError
+from repro.suites import all_kernels, all_suites, catalog_totals, suite
+from repro.suites.registry import (
+    EXPECTED_KERNELS,
+    EXPECTED_PROGRAMS,
+    kernel_by_name,
+    suite_names,
+)
+
+
+class TestPaperTotals:
+    def test_exactly_97_programs(self):
+        assert catalog_totals()["total"][0] == EXPECTED_PROGRAMS == 97
+
+    def test_exactly_267_kernels(self):
+        assert catalog_totals()["total"][1] == EXPECTED_KERNELS == 267
+
+    def test_eight_suites(self):
+        assert len(all_suites()) == 8
+
+    def test_kernel_names_globally_unique(self):
+        names = [k.full_name for k in all_kernels()]
+        assert len(set(names)) == len(names)
+
+    def test_every_kernel_has_suite_and_program(self):
+        for kernel in all_kernels():
+            assert kernel.suite
+            assert kernel.program
+            assert kernel.full_name.startswith(kernel.suite + "/")
+
+
+class TestLookups:
+    def test_suite_lookup(self):
+        rodinia = suite("rodinia")
+        assert rodinia.program_count == 18
+        assert rodinia.kernel_count == 55
+
+    def test_suite_lookup_missing(self):
+        with pytest.raises(SuiteError):
+            suite("spec2006")
+
+    def test_suite_names_order_stable(self):
+        assert suite_names() == [s.name for s in all_suites()]
+
+    def test_all_kernels_filtered_by_suite(self):
+        pannotia_kernels = all_kernels("pannotia")
+        assert len(pannotia_kernels) == 30
+        assert all(k.suite == "pannotia" for k in pannotia_kernels)
+
+    def test_kernel_by_name(self):
+        kernel = kernel_by_name("rodinia/bfs.kernel1")
+        assert kernel.program == "bfs"
+
+    def test_kernel_by_name_missing(self):
+        with pytest.raises(SuiteError):
+            kernel_by_name("rodinia/bfs.kernel99")
+
+    def test_all_suites_cached(self):
+        assert all_suites() is all_suites()
+
+
+class TestPerSuiteCounts:
+    EXPECTED = {
+        "amdapp": (16, 28),
+        "opendwarfs": (12, 30),
+        "pannotia": (8, 30),
+        "parboil": (11, 35),
+        "polybench": (12, 25),
+        "proxyapps": (8, 19),
+        "rodinia": (18, 55),
+        "shoc": (12, 45),
+    }
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_suite_counts(self, name):
+        s = suite(name)
+        assert (s.program_count, s.kernel_count) == self.EXPECTED[name]

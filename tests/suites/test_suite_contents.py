@@ -1,0 +1,96 @@
+"""Behavioural sanity of the authored catalog.
+
+These tests pin the catalog's *intent*: the populations of behaviours
+each suite was authored to contribute (graph suites bring latency
+chains, SDK samples bring regular compute, 2009-era suites bring tiny
+launches). They guard against edits that would silently hollow out the
+study's behavioural coverage.
+"""
+
+import pytest
+
+from repro.suites import all_kernels, suite
+
+
+def characteristics(suite_name):
+    return [k.characteristics for k in all_kernels(suite_name)]
+
+
+class TestBehaviouralCoverage:
+    def test_catalog_contains_dependence_chain_kernels(self):
+        chains = [
+            k for k in all_kernels()
+            if k.characteristics.dependent_access_fraction > 0.5
+        ]
+        assert len(chains) >= 10
+
+    def test_catalog_contains_contended_atomics(self):
+        atomics = [
+            k for k in all_kernels()
+            if k.characteristics.atomic_contention > 0.1
+        ]
+        assert len(atomics) >= 10
+
+    def test_catalog_contains_small_launches(self):
+        """The paper's benchmark critique requires under-filling
+        launches: kernels with fewer workgroups than the 44 CUs."""
+        small = [
+            k for k in all_kernels() if k.geometry.num_workgroups < 44
+        ]
+        assert len(small) >= 20
+
+    def test_catalog_contains_large_launches(self):
+        large = [
+            k for k in all_kernels() if k.geometry.num_workgroups >= 4096
+        ]
+        assert len(large) >= 50
+
+    def test_pannotia_is_irregular(self):
+        """Graph suite: majority of kernels divergent or chain-bound."""
+        irregular = [
+            ch for ch in characteristics("pannotia")
+            if ch.dependent_access_fraction > 0.3
+            or ch.simd_efficiency < 0.6
+            or ch.atomic_contention > 0.2
+        ]
+        assert len(irregular) >= 10
+
+    def test_amdapp_is_mostly_regular(self):
+        regular = [
+            ch for ch in characteristics("amdapp")
+            if ch.simd_efficiency >= 0.9
+        ]
+        assert len(regular) >= 20
+
+    def test_proxyapps_launch_at_modern_scale(self):
+        sizes = [k.geometry.global_size for k in all_kernels("proxyapps")]
+        assert sorted(sizes)[len(sizes) // 2] >= 1 << 19
+
+    def test_polybench_problems_are_small(self):
+        """PolyBench's default inputs: cache-size footprints or tiny
+        grids for at least half the kernels."""
+        small = [
+            k for k in all_kernels("polybench")
+            if k.characteristics.footprint_bytes <= 1 << 20
+            or k.geometry.num_workgroups < 44
+        ]
+        assert len(small) >= 13
+
+    def test_rodinia_has_wavefront_parallel_kernels(self):
+        nw = suite("rodinia").program("nw")
+        for kernel in nw.kernels:
+            assert kernel.geometry.num_workgroups <= 16
+
+
+class TestNamingRealism:
+    def test_programs_named_after_real_benchmarks(self):
+        rodinia_programs = {p.name for p in suite("rodinia").programs}
+        for expected in ("bfs", "hotspot", "kmeans", "nw", "srad"):
+            assert expected in rodinia_programs
+
+    def test_parboil_roster_matches_real_suite(self):
+        names = {p.name for p in suite("parboil").programs}
+        assert names == {
+            "bfs", "cutcp", "histo", "lbm", "mri_gridding", "mri_q",
+            "sad", "sgemm", "spmv", "stencil", "tpacf",
+        }

@@ -1,0 +1,121 @@
+"""ScalingDataset: construction, access, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.sweep import ScalingDataset, reduced_space
+from repro.sweep.dataset import KernelRecord
+
+
+@pytest.fixture
+def space():
+    return reduced_space(4, 4, 4)
+
+
+@pytest.fixture
+def records():
+    return [
+        KernelRecord.from_full_name("s1/p1.k1"),
+        KernelRecord.from_full_name("s1/p1.k2"),
+        KernelRecord.from_full_name("s2/p2.k1"),
+    ]
+
+
+@pytest.fixture
+def dataset(space, records):
+    rng = np.random.default_rng(7)
+    perf = rng.uniform(1.0, 100.0, (3,) + space.shape)
+    return ScalingDataset(space, records, perf)
+
+
+class TestKernelRecord:
+    def test_parses_full_identifier(self):
+        record = KernelRecord.from_full_name("rodinia/bfs.kernel1")
+        assert record.suite == "rodinia"
+        assert record.program == "bfs"
+        assert record.kernel == "kernel1"
+
+    def test_parses_without_suite(self):
+        record = KernelRecord.from_full_name("bfs.kernel1")
+        assert record.suite == ""
+        assert record.program == "bfs"
+
+    def test_rejects_malformed(self):
+        with pytest.raises(DatasetError):
+            KernelRecord.from_full_name("no-dot-here")
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self, space, records):
+        with pytest.raises(DatasetError):
+            ScalingDataset(space, records, np.ones((2,) + space.shape))
+
+    def test_non_finite_rejected(self, space, records):
+        perf = np.ones((3,) + space.shape)
+        perf[0, 0, 0, 0] = np.nan
+        with pytest.raises(DatasetError):
+            ScalingDataset(space, records, perf)
+
+    def test_non_positive_rejected(self, space, records):
+        perf = np.ones((3,) + space.shape)
+        perf[1, 0, 0, 0] = 0.0
+        with pytest.raises(DatasetError):
+            ScalingDataset(space, records, perf)
+
+    def test_duplicate_names_rejected(self, space, records):
+        duplicated = [records[0], records[0], records[2]]
+        with pytest.raises(DatasetError):
+            ScalingDataset(space, duplicated, np.ones((3,) + space.shape))
+
+
+class TestAccess:
+    def test_kernel_cube_shape(self, dataset, space):
+        cube = dataset.kernel_cube("s1/p1.k2")
+        assert cube.shape == space.shape
+
+    def test_row_index_missing(self, dataset):
+        with pytest.raises(DatasetError):
+            dataset.row_index("nope/x.y")
+
+    def test_suites_in_first_appearance_order(self, dataset):
+        assert dataset.suites() == ["s1", "s2"]
+
+    def test_rows_for_suite(self, dataset):
+        assert dataset.rows_for_suite("s1") == [0, 1]
+
+    def test_subset_preserves_data(self, dataset):
+        sub = dataset.subset(["s2/p2.k1", "s1/p1.k1"])
+        assert sub.kernel_names == ["s2/p2.k1", "s1/p1.k1"]
+        np.testing.assert_array_equal(
+            sub.kernel_cube("s2/p2.k1"), dataset.kernel_cube("s2/p2.k1")
+        )
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, dataset, tmp_path):
+        path = dataset.save(tmp_path / "data.npz")
+        restored = ScalingDataset.load(path)
+        assert restored.kernel_names == dataset.kernel_names
+        np.testing.assert_allclose(restored.perf, dataset.perf)
+        assert restored.space == dataset.space
+
+    def test_save_appends_npz_suffix(self, dataset, tmp_path):
+        path = dataset.save(tmp_path / "data")
+        assert path.suffix == ".npz"
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            ScalingDataset.load(tmp_path / "nothing.npz")
+
+    def test_load_malformed_file(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, wrong_key=np.ones(3))
+        with pytest.raises(DatasetError):
+            ScalingDataset.load(bad)
+
+    def test_csv_export(self, dataset, tmp_path):
+        path = dataset.export_csv(tmp_path / "data.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("suite,program,kernel")
+        assert len(lines) == 1 + 3 * dataset.space.size

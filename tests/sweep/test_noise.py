@@ -1,0 +1,42 @@
+"""Measurement-noise model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.sweep.noise import NoiseModel, perturb
+
+
+class TestNoiseModel:
+    def test_zero_sigma_is_identity(self, archetype_dataset):
+        noisy = NoiseModel(sigma=0.0).apply(archetype_dataset)
+        assert noisy is archetype_dataset
+
+    def test_deterministic_for_seed(self, archetype_dataset):
+        a = perturb(archetype_dataset, sigma=0.02, seed=3)
+        b = perturb(archetype_dataset, sigma=0.02, seed=3)
+        np.testing.assert_array_equal(a.perf, b.perf)
+
+    def test_different_seeds_differ(self, archetype_dataset):
+        a = perturb(archetype_dataset, sigma=0.02, seed=3)
+        b = perturb(archetype_dataset, sigma=0.02, seed=4)
+        assert not np.array_equal(a.perf, b.perf)
+
+    def test_noise_magnitude_matches_sigma(self, archetype_dataset):
+        noisy = perturb(archetype_dataset, sigma=0.02, seed=1)
+        ratio = np.log(noisy.perf / archetype_dataset.perf)
+        assert abs(float(ratio.std()) - 0.02) < 0.005
+        assert abs(float(ratio.mean())) < 0.005
+
+    def test_preserves_metadata(self, archetype_dataset):
+        noisy = perturb(archetype_dataset, sigma=0.05)
+        assert noisy.kernel_names == archetype_dataset.kernel_names
+        assert noisy.space == archetype_dataset.space
+
+    def test_values_stay_positive(self, archetype_dataset):
+        noisy = perturb(archetype_dataset, sigma=0.5, seed=2)
+        assert (noisy.perf > 0).all()
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(DatasetError):
+            NoiseModel(sigma=-0.1)

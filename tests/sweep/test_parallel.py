@@ -1,0 +1,38 @@
+"""Parallel sweep runner: equivalence with the serial runner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.suites import all_kernels
+from repro.sweep import SweepRunner, reduced_space
+from repro.sweep.parallel import ParallelSweepRunner
+
+
+class TestParallelRunner:
+    def test_matches_serial_bit_exact(self):
+        kernels = all_kernels("proxyapps")
+        space = reduced_space(4, 4, 4)
+        serial = SweepRunner().run(kernels, space)
+        parallel = ParallelSweepRunner(workers=3).run(kernels, space)
+        np.testing.assert_array_equal(serial.perf, parallel.perf)
+        assert serial.kernel_names == parallel.kernel_names
+
+    def test_single_worker_falls_back_to_serial(self):
+        kernels = all_kernels("proxyapps")[:4]
+        space = reduced_space(4, 4, 4)
+        dataset = ParallelSweepRunner(workers=1).run(kernels, space)
+        assert dataset.num_kernels == 4
+
+    def test_small_kernel_list_avoids_pool_overhead(self):
+        kernels = all_kernels("proxyapps")[:2]
+        space = reduced_space(4, 4, 4)
+        dataset = ParallelSweepRunner(workers=8).run(kernels, space)
+        assert dataset.num_kernels == 2
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(DatasetError):
+            ParallelSweepRunner().run([], reduced_space(4, 4, 4))
+
+    def test_worker_count_defaults_positive(self):
+        assert ParallelSweepRunner().workers >= 1

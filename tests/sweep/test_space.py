@@ -1,0 +1,79 @@
+"""ConfigurationSpace: the 891-point grid and its indexing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sweep import PAPER_SPACE, ConfigurationSpace, reduced_space
+
+
+class TestPaperSpace:
+    def test_size_is_891(self):
+        assert PAPER_SPACE.size == 891
+        assert len(PAPER_SPACE) == 891
+
+    def test_shape(self):
+        assert PAPER_SPACE.shape == (11, 9, 9)
+
+    def test_axis_ranges_match_abstract(self):
+        cu, eng, mem = PAPER_SPACE.axis_ranges
+        assert cu == pytest.approx(11.0)
+        assert eng == pytest.approx(5.0)
+        assert mem == pytest.approx(8.333, abs=0.01)
+
+    def test_min_and_max_corners(self):
+        assert PAPER_SPACE.min_config.cu_count == 4
+        assert PAPER_SPACE.max_config.cu_count == 44
+        assert PAPER_SPACE.max_config.engine_mhz == 1000.0
+
+    def test_iteration_covers_every_point_once(self):
+        labels = {c.label() for c in PAPER_SPACE}
+        assert len(labels) == 891
+
+
+class TestIndexing:
+    def test_flat_round_trip(self):
+        for flat in (0, 1, 95, 890):
+            coords = PAPER_SPACE.unflatten(flat)
+            assert PAPER_SPACE.flat_index(*coords) == flat
+
+    def test_flat_order_matches_iteration(self):
+        seventh = list(PAPER_SPACE)[7]
+        coords = PAPER_SPACE.unflatten(7)
+        assert PAPER_SPACE.config(*coords) == seventh
+
+    def test_out_of_range_flat(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_SPACE.unflatten(891)
+
+    def test_out_of_range_coords(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_SPACE.flat_index(11, 0, 0)
+
+
+class TestValidation:
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ConfigurationError):
+            ConfigurationSpace(cu_counts=())
+
+    def test_rejects_unsorted_axis(self):
+        with pytest.raises(ConfigurationError):
+            ConfigurationSpace(cu_counts=(8, 4))
+
+    def test_rejects_duplicate_axis_values(self):
+        with pytest.raises(ConfigurationError):
+            ConfigurationSpace(engine_mhz=(200.0, 200.0))
+
+
+class TestReducedSpace:
+    def test_keeps_axis_extremes(self):
+        space = reduced_space(2, 2, 2)
+        assert space.cu_counts[0] == 4 and space.cu_counts[-1] == 44
+        assert space.engine_mhz[-1] == 1000.0
+        assert space.memory_mhz[-1] == 1250.0
+
+    def test_smaller_than_paper_grid(self):
+        assert reduced_space(2, 2, 2).size < 891
+
+    def test_round_trip_dict(self):
+        space = reduced_space(3, 2, 4)
+        assert ConfigurationSpace.from_dict(space.to_dict()) == space

@@ -1,0 +1,70 @@
+"""Per-axis behaviour classification rules."""
+
+import pytest
+
+from repro.sweep.views import Axis, AxisSlice
+from repro.taxonomy import AxisBehaviour, classify_axis
+from repro.taxonomy.axis import is_responsive, is_strongly_responsive
+from repro.taxonomy.features import axis_features_from_slice
+
+
+def behaviour_of(perf, knobs=None):
+    knobs = knobs or tuple(
+        200.0 * (i + 1) for i in range(len(perf))
+    )
+    slice_ = AxisSlice("t/x.y", Axis.ENGINE, tuple(knobs), tuple(perf))
+    return classify_axis(axis_features_from_slice(slice_))
+
+
+class TestShapes:
+    def test_proportional_is_linear(self):
+        knobs = (200.0, 400.0, 600.0, 800.0, 1000.0)
+        assert behaviour_of(knobs, knobs) is AxisBehaviour.LINEAR
+
+    def test_weak_rise_is_sublinear(self):
+        # 5x knob, 1.9x gain, still rising: elasticity ~0.4.
+        assert behaviour_of(
+            (1.0, 1.3, 1.55, 1.75, 1.9),
+            (200.0, 400.0, 600.0, 800.0, 1000.0),
+        ) is AxisBehaviour.SUBLINEAR
+
+    def test_early_flattening_is_saturating(self):
+        assert behaviour_of(
+            (1.0, 1.8, 2.0, 2.01, 2.01),
+        ) is AxisBehaviour.SATURATING
+
+    def test_no_gain_is_flat(self):
+        assert behaviour_of((1.0, 1.02, 1.05, 1.08, 1.1)) is (
+            AxisBehaviour.FLAT
+        )
+
+    def test_large_drop_is_inverse(self):
+        assert behaviour_of((1.0, 2.0, 1.9, 1.7, 1.5)) is (
+            AxisBehaviour.INVERSE
+        )
+
+    def test_small_ripple_not_inverse(self):
+        """Sub-threshold dips (quantisation ripple) stay non-inverse."""
+        assert behaviour_of((1.0, 2.0, 2.5, 2.45, 2.4)) is not (
+            AxisBehaviour.INVERSE
+        )
+
+    def test_inverse_takes_precedence_over_gain(self):
+        # Strong early gain followed by a >=10% collapse.
+        assert behaviour_of((1.0, 3.0, 4.0, 3.4, 3.0)) is (
+            AxisBehaviour.INVERSE
+        )
+
+
+class TestPredicates:
+    def test_responsive_set(self):
+        assert is_responsive(AxisBehaviour.LINEAR)
+        assert is_responsive(AxisBehaviour.SUBLINEAR)
+        assert is_responsive(AxisBehaviour.SATURATING)
+        assert not is_responsive(AxisBehaviour.FLAT)
+        assert not is_responsive(AxisBehaviour.INVERSE)
+
+    def test_strongly_responsive_set(self):
+        assert is_strongly_responsive(AxisBehaviour.LINEAR)
+        assert is_strongly_responsive(AxisBehaviour.SUBLINEAR)
+        assert not is_strongly_responsive(AxisBehaviour.SATURATING)

@@ -1,0 +1,106 @@
+"""Category combination rules (unit-level, synthetic features)."""
+
+import pytest
+
+from repro.sweep.views import Axis
+from repro.taxonomy import AxisBehaviour, TaxonomyCategory, categorise
+from repro.taxonomy.features import AxisFeatures, ScalingFeatures
+
+
+def features(cu_knee=1.0, end_to_end=10.0):
+    def axis(a, knee=1.0):
+        return AxisFeatures(
+            axis=a, gain=2.0, peak_gain=2.0, knob_ratio=5.0,
+            elasticity=0.5, end_elasticity=0.5, knee_position=knee,
+            drop_from_peak=0.0, max_adjacent_drop=0.0,
+        )
+
+    return ScalingFeatures(
+        kernel_name="t/x.y",
+        cu=axis(Axis.CU, cu_knee),
+        engine=axis(Axis.ENGINE),
+        memory=axis(Axis.MEMORY),
+        end_to_end_gain=end_to_end,
+    )
+
+
+L = AxisBehaviour.LINEAR
+S = AxisBehaviour.SUBLINEAR
+SAT = AxisBehaviour.SATURATING
+F = AxisBehaviour.FLAT
+INV = AxisBehaviour.INVERSE
+
+
+class TestPrecedence:
+    def test_inverse_cu_wins_over_everything(self):
+        assert categorise(features(), INV, L, L) is (
+            TaxonomyCategory.CU_INVERSE
+        )
+
+    def test_all_flat_is_plateau(self):
+        assert categorise(features(), F, F, F) is TaxonomyCategory.PLATEAU
+
+    def test_all_saturating_is_plateau(self):
+        assert categorise(features(), SAT, SAT, SAT) is (
+            TaxonomyCategory.PLATEAU
+        )
+
+    def test_cu_flat_with_engine_scaling_is_parallelism_limited(self):
+        assert categorise(features(), F, L, F) is (
+            TaxonomyCategory.PARALLELISM_LIMITED
+        )
+
+    def test_cu_flat_with_memory_scaling_is_bandwidth_bound(self):
+        """A CU-flat kernel that still converts memory clock into
+        performance is saturating DRAM from the smallest device — the
+        memory wall, not a too-small launch."""
+        assert categorise(features(), F, F, L) is (
+            TaxonomyCategory.BANDWIDTH_BOUND
+        )
+
+    def test_early_cu_saturation_with_memory_is_bandwidth_bound(self):
+        """A mid-sweep CU knee with memory responsive is bandwidth
+        exhaustion, not a too-small launch."""
+        assert categorise(features(cu_knee=0.2), SAT, F, L) is (
+            TaxonomyCategory.BANDWIDTH_BOUND
+        )
+
+    def test_early_cu_saturation_without_memory_is_parallelism(self):
+        assert categorise(features(cu_knee=0.1), SAT, L, F) is (
+            TaxonomyCategory.PARALLELISM_LIMITED
+        )
+
+
+class TestIntuitiveFamilies:
+    def test_compute_bound_signature(self):
+        assert categorise(features(), L, L, F) is (
+            TaxonomyCategory.COMPUTE_BOUND
+        )
+
+    def test_bandwidth_bound_signature(self):
+        assert categorise(features(cu_knee=0.6), SAT, SAT, L) is (
+            TaxonomyCategory.BANDWIDTH_BOUND
+        )
+
+    def test_balanced_signature(self):
+        assert categorise(features(), L, S, S) is (
+            TaxonomyCategory.BALANCED
+        )
+
+    def test_intuitive_flag(self):
+        assert TaxonomyCategory.COMPUTE_BOUND.is_intuitive
+        assert TaxonomyCategory.BANDWIDTH_BOUND.is_intuitive
+        assert TaxonomyCategory.BALANCED.is_intuitive
+        assert not TaxonomyCategory.CU_INVERSE.is_intuitive
+        assert not TaxonomyCategory.PLATEAU.is_intuitive
+        assert not TaxonomyCategory.PARALLELISM_LIMITED.is_intuitive
+        assert not TaxonomyCategory.MIXED.is_intuitive
+
+
+class TestTotality:
+    @pytest.mark.parametrize("cu", list(AxisBehaviour))
+    @pytest.mark.parametrize("engine", list(AxisBehaviour))
+    @pytest.mark.parametrize("memory", list(AxisBehaviour))
+    def test_every_combination_gets_a_category(self, cu, engine, memory):
+        category = categorise(features(), cu, engine, memory)
+        assert isinstance(category, TaxonomyCategory)

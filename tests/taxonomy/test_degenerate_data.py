@@ -1,0 +1,71 @@
+"""Classification on degenerate datasets (failure-injection tests).
+
+The pipeline must behave sensibly on pathological-but-legal inputs:
+constant performance everywhere, two-point axes, wildly different
+magnitudes across kernels, and single-kernel datasets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sweep import ConfigurationSpace
+from repro.sweep.dataset import KernelRecord, ScalingDataset
+from repro.taxonomy import TaxonomyCategory, classify
+
+
+def make_dataset(perf, space=None, names=("d/p.k",)):
+    space = space or ConfigurationSpace(
+        cu_counts=(4, 24, 44),
+        engine_mhz=(200.0, 600.0, 1000.0),
+        memory_mhz=(150.0, 700.0, 1250.0),
+    )
+    records = [KernelRecord.from_full_name(n) for n in names]
+    return ScalingDataset(space, records, perf)
+
+
+class TestConstantPerformance:
+    def test_constant_kernel_is_plateau(self):
+        perf = np.full((1, 3, 3, 3), 42.0)
+        result = classify(make_dataset(perf))
+        assert result.labels[0].category is TaxonomyCategory.PLATEAU
+
+    def test_constant_kernel_features_clean(self):
+        perf = np.full((1, 3, 3, 3), 42.0)
+        label = classify(make_dataset(perf)).labels[0]
+        assert label.features.end_to_end_gain == pytest.approx(1.0)
+        assert label.features.cu.drop_from_peak == 0.0
+
+
+class TestTwoPointAxes:
+    def test_minimal_grid_classifiable(self):
+        space = ConfigurationSpace(
+            cu_counts=(4, 44),
+            engine_mhz=(200.0, 1000.0),
+            memory_mhz=(150.0, 1250.0),
+        )
+        rng = np.random.default_rng(5)
+        perf = rng.uniform(1.0, 10.0, (2, 2, 2, 2))
+        result = classify(make_dataset(perf, space,
+                                       ("d/p.k1", "d/p.k2")))
+        assert len(result.labels) == 2
+
+
+class TestScaleInvariance:
+    def test_classification_invariant_to_absolute_magnitude(self):
+        """Labels depend on shapes, not units: scaling one kernel's
+        performance by 1e9 must not change its label."""
+        rng = np.random.default_rng(9)
+        base = rng.uniform(1.0, 5.0, (1, 3, 3, 3)).cumsum(axis=1)
+        small = classify(make_dataset(base.copy()))
+        large = classify(make_dataset(base * 1e9))
+        assert small.labels[0].category is large.labels[0].category
+
+    def test_mixed_magnitudes_coexist(self):
+        rng = np.random.default_rng(11)
+        a = rng.uniform(1.0, 2.0, (1, 3, 3, 3))
+        b = a * 1e12
+        perf = np.concatenate([a, b])
+        result = classify(make_dataset(perf, names=("d/p.k1", "d/p.k2")))
+        assert (
+            result.labels[0].category is result.labels[1].category
+        )

@@ -1,0 +1,45 @@
+"""Label explanations."""
+
+import pytest
+
+from repro.taxonomy import TaxonomyCategory, classify
+from repro.taxonomy.explain import REMEDIES, explain_all, explain_label
+
+
+@pytest.fixture(scope="module")
+def labels(request):
+    dataset = request.getfixturevalue("archetype_dataset")
+    return classify(dataset).labels
+
+
+class TestExplanations:
+    def test_every_label_explainable(self, labels):
+        for label in labels:
+            text = explain_label(label)
+            assert label.kernel_name in text
+            assert label.category.value in text
+            assert "remedy:" in text
+
+    def test_explanation_carries_evidence(self, labels):
+        for label in labels:
+            text = explain_label(label)
+            assert "CU count:" in text
+            assert "engine clock:" in text
+            assert "memory clock:" in text
+            assert "full-range speedup:" in text
+
+    def test_inverse_explanation_mentions_loss(self, labels):
+        inverse = [
+            l for l in labels
+            if l.category is TaxonomyCategory.CU_INVERSE
+        ]
+        assert inverse, "archetype set must contain an inverse kernel"
+        text = explain_label(inverse[0])
+        assert "LOSES" in text
+
+    def test_remedies_cover_every_category(self):
+        assert set(REMEDIES) == set(TaxonomyCategory)
+
+    def test_explain_all_joins(self, labels):
+        text = explain_all(labels[:3])
+        assert text.count("remedy:") == 3

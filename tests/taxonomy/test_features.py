@@ -1,0 +1,108 @@
+"""Feature extraction from scaling curves."""
+
+import math
+
+import pytest
+
+from repro.errors import ClassificationError
+from repro.sweep.views import Axis, AxisSlice
+from repro.taxonomy import axis_features_from_slice, extract_features
+
+
+def make_slice(perf, knobs=None, axis=Axis.CU):
+    knobs = knobs or tuple(float(4 * (i + 1)) for i in range(len(perf)))
+    return AxisSlice(
+        kernel_name="t/x.y", axis=axis,
+        knob_values=tuple(knobs), perf=tuple(perf),
+    )
+
+
+class TestAxisFeatures:
+    def test_perfectly_linear_curve(self):
+        knobs = (4.0, 8.0, 16.0, 44.0)
+        perf = knobs  # speedup == knob ratio
+        features = axis_features_from_slice(make_slice(perf, knobs))
+        assert features.elasticity == pytest.approx(1.0)
+        assert features.end_elasticity == pytest.approx(1.0)
+        assert features.drop_from_peak == 0.0
+        assert features.gain == pytest.approx(11.0)
+
+    def test_flat_curve(self):
+        features = axis_features_from_slice(
+            make_slice((10.0, 10.0, 10.0, 10.0))
+        )
+        assert features.gain == pytest.approx(1.0)
+        assert features.elasticity == pytest.approx(0.0)
+        assert features.knee_position == 0.0
+
+    def test_saturating_curve_has_early_knee(self):
+        features = axis_features_from_slice(
+            make_slice((1.0, 2.0, 2.05, 2.05, 2.05))
+        )
+        assert features.knee_position <= 0.5
+        assert features.end_elasticity == pytest.approx(0.0, abs=0.01)
+
+    def test_inverse_curve_drop_from_peak(self):
+        # The 3-point median filter turns (1, 2, 1.5, 1) into
+        # (1, 1.5, 1.5, 1): sustained peak 1.5, end 1.0.
+        features = axis_features_from_slice(
+            make_slice((1.0, 2.0, 1.5, 1.0))
+        )
+        assert features.drop_from_peak == pytest.approx(1.0 / 3.0)
+        assert features.max_adjacent_drop > 0.2
+
+    def test_single_point_spike_ignored(self):
+        """Median filtering: an isolated spike is measurement noise,
+        not an inverse-scaling signal."""
+        features = axis_features_from_slice(
+            make_slice((1.0, 1.5, 3.0, 1.6, 1.7))
+        )
+        assert features.drop_from_peak == 0.0
+
+    def test_single_point_dip_ignored(self):
+        features = axis_features_from_slice(
+            make_slice((1.0, 1.5, 1.1, 1.6, 1.7))
+        )
+        assert features.max_adjacent_drop == 0.0
+
+    def test_monotone_curve_has_zero_adjacent_drop(self):
+        features = axis_features_from_slice(
+            make_slice((1.0, 1.5, 2.0, 2.5))
+        )
+        assert features.max_adjacent_drop == 0.0
+
+    def test_single_point_slice_rejected(self):
+        with pytest.raises(ClassificationError):
+            axis_features_from_slice(make_slice((1.0,), (4.0,)))
+
+    def test_elasticity_uses_knob_ratio(self):
+        # Doubling over an 11x knob is weak scaling.
+        features = axis_features_from_slice(
+            make_slice((1.0, 1.3, 1.7, 2.0), (4.0, 12.0, 28.0, 44.0))
+        )
+        expected = math.log(2.0) / math.log(11.0)
+        assert features.elasticity == pytest.approx(expected)
+
+
+class TestExtractFeatures:
+    def test_features_cover_three_axes(self, archetype_dataset):
+        name = archetype_dataset.kernel_names[0]
+        features = extract_features(archetype_dataset, name)
+        assert features.cu.axis is Axis.CU
+        assert features.engine.axis is Axis.ENGINE
+        assert features.memory.axis is Axis.MEMORY
+
+    def test_end_to_end_gain_matches_cube(self, archetype_dataset):
+        name = archetype_dataset.kernel_names[0]
+        features = extract_features(archetype_dataset, name)
+        cube = archetype_dataset.kernel_cube(name)
+        assert features.end_to_end_gain == pytest.approx(
+            float(cube[-1, -1, -1] / cube[0, 0, 0])
+        )
+
+    def test_as_dict_flattens_all_axes(self, archetype_dataset):
+        name = archetype_dataset.kernel_names[0]
+        flat = extract_features(archetype_dataset, name).as_dict()
+        for prefix in ("cu", "engine", "memory"):
+            assert f"{prefix}_gain" in flat
+            assert f"{prefix}_elasticity" in flat

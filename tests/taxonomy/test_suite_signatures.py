@@ -1,0 +1,72 @@
+"""Per-suite taxonomy signatures on the paper-scale dataset.
+
+These tests pin the qualitative story T4 tells — each suite's
+behavioural profile matches its real-world reputation. They guard both
+the catalog authoring and the classifier against changes that would
+silently retell a different story.
+"""
+
+import pytest
+
+from repro.taxonomy import TaxonomyCategory
+
+
+def suite_counts(paper_taxonomy, suite):
+    return paper_taxonomy.by_suite()[suite]
+
+
+class TestSuiteSignatures:
+    def test_polybench_is_plateau_heavy(self, paper_taxonomy):
+        """Tiny default problem sizes: half the suite can't use the
+        hardware at all."""
+        counts = suite_counts(paper_taxonomy, "polybench")
+        assert counts[TaxonomyCategory.PLATEAU] >= 10
+
+    def test_proxyapps_have_no_starved_majority(self, paper_taxonomy):
+        counts = suite_counts(paper_taxonomy, "proxyapps")
+        starved = (
+            counts[TaxonomyCategory.PLATEAU]
+            + counts[TaxonomyCategory.PARALLELISM_LIMITED]
+        )
+        assert starved <= 3
+
+    def test_shoc_contains_pure_capability_classes(self, paper_taxonomy):
+        """SHOC's level-0 microbenchmarks are bottleneck-pure: both
+        clean classes well represented."""
+        counts = suite_counts(paper_taxonomy, "shoc")
+        assert counts[TaxonomyCategory.COMPUTE_BOUND] >= 5
+        assert counts[TaxonomyCategory.BANDWIDTH_BOUND] >= 10
+
+    def test_pannotia_majority_non_intuitive_or_memory(
+        self, paper_taxonomy
+    ):
+        """Graph analytics: almost nothing scales with pure compute."""
+        counts = suite_counts(paper_taxonomy, "pannotia")
+        assert counts[TaxonomyCategory.COMPUTE_BOUND] <= 5
+
+    def test_amdapp_majority_intuitive(self, paper_taxonomy):
+        counts = suite_counts(paper_taxonomy, "amdapp")
+        intuitive = sum(
+            n for c, n in counts.items() if c.is_intuitive
+        )
+        assert intuitive >= 28 * 0.6
+
+    def test_rodinia_is_behaviourally_diverse(self, paper_taxonomy):
+        """Rodinia's dwarf coverage: at least five categories present."""
+        counts = suite_counts(paper_taxonomy, "rodinia")
+        populated = [c for c, n in counts.items() if n > 0]
+        assert len(populated) >= 5
+
+    def test_inverse_kernels_concentrated_in_irregular_suites(
+        self, paper_taxonomy
+    ):
+        by_suite = paper_taxonomy.by_suite()
+        irregular = sum(
+            by_suite[s][TaxonomyCategory.CU_INVERSE]
+            for s in ("pannotia", "parboil", "shoc", "opendwarfs")
+        )
+        total = sum(
+            counts[TaxonomyCategory.CU_INVERSE]
+            for counts in by_suite.values()
+        )
+        assert irregular >= total * 0.6

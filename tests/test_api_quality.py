@@ -1,0 +1,84 @@
+"""Public-API quality gates.
+
+Documentation is a deliverable: every public module, class and function
+in the package must carry a docstring, and the top-level ``__all__``
+surfaces must resolve. These tests keep that true as the library grows.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.gpu",
+    "repro.kernels",
+    "repro.power",
+    "repro.predict",
+    "repro.report",
+    "repro.suites",
+    "repro.sweep",
+    "repro.taxonomy",
+]
+
+
+def all_modules():
+    names = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        names.append(package_name)
+        for info in pkgutil.iter_modules(package.__path__):
+            names.append(f"{package_name}.{info.name}")
+    return sorted(set(names))
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_public_members_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module_name:
+            continue  # re-export; documented at its definition site
+        if not (member.__doc__ and member.__doc__.strip()):
+            undocumented.append(name)
+        if inspect.isclass(member):
+            for attr_name, attr in vars(member).items():
+                if attr_name.startswith("_"):
+                    continue
+                if inspect.isfunction(attr) and not (
+                    attr.__doc__ and attr.__doc__.strip()
+                ):
+                    undocumented.append(f"{name}.{attr_name}")
+    assert not undocumented, (
+        f"{module_name}: missing docstrings on {undocumented}"
+    )
+
+
+class TestPublicSurface:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("package_name", PACKAGES[1:])
+    def test_package_all_resolves(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package_name}.{name}"
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2

@@ -1,0 +1,132 @@
+"""CLI: argument parsing and command behaviour."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_catalog_parses(self):
+        args = build_parser().parse_args(["catalog"])
+        assert args.command == "catalog"
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.out == "scaling_dataset.npz"
+        assert args.csv is None
+
+    def test_report_accepts_ids(self):
+        args = build_parser().parse_args(["report", "T1", "F7"])
+        assert args.experiments == ["T1", "F7"]
+
+
+class TestCommands:
+    def test_catalog_prints_totals(self, capsys):
+        assert main(["catalog"]) == 0
+        output = capsys.readouterr().out
+        assert "97" in output and "267" in output
+
+    def test_report_single_table(self, capsys):
+        assert main(["report", "T1"]) == 0
+        output = capsys.readouterr().out
+        assert "Benchmark suites" in output
+
+    def test_sweep_writes_dataset(self, tmp_path, capsys, monkeypatch):
+        # Shrink the sweep via a reduced kernel list for speed.
+        import repro.cli as cli_module
+        from repro.suites import all_kernels
+        from repro.sweep import SweepRunner, reduced_space
+
+        kernels = all_kernels()[:3]
+
+        def fake_collect(progress=None):
+            return SweepRunner().run(kernels, reduced_space(4, 4, 4))
+
+        monkeypatch.setattr(cli_module, "collect_paper_dataset",
+                            fake_collect)
+        out = tmp_path / "data.npz"
+        csv = tmp_path / "data.csv"
+        assert main(["sweep", "--out", str(out), "--csv", str(csv)]) == 0
+        assert out.exists() and csv.exists()
+
+    def test_classify_from_saved_dataset(self, tmp_path, capsys):
+        from repro.suites import all_kernels
+        from repro.sweep import SweepRunner, reduced_space
+
+        dataset = SweepRunner().run(
+            all_kernels()[:4], reduced_space(4, 4, 4)
+        )
+        path = dataset.save(tmp_path / "d.npz")
+        assert main(["classify", "--data", str(path)]) == 0
+        assert "Taxonomy classification" in capsys.readouterr().out
+
+    def test_kernel_inspection(self, tmp_path, capsys):
+        from repro.suites import all_kernels
+        from repro.sweep import SweepRunner, reduced_space
+
+        kernels = all_kernels()[:2]
+        dataset = SweepRunner().run(kernels, reduced_space(4, 4, 4))
+        path = dataset.save(tmp_path / "d.npz")
+        name = kernels[0].full_name
+        assert main(["kernel", name, "--data", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert name in output
+        assert "category:" in output
+
+
+class TestEnergyCommand:
+    def test_energy_default_objective(self, capsys):
+        assert main(["energy", "shoc/triad.triad"]) == 0
+        output = capsys.readouterr().out
+        assert "operating point:" in output
+        assert "min_edp" in output
+
+    def test_energy_with_cap(self, capsys):
+        assert main(
+            ["energy", "shoc/triad.triad", "--objective", "max_perf",
+             "--power-cap", "120"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "cap 120.0 W" in output
+
+    def test_energy_rejects_bad_objective(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["energy", "shoc/triad.triad", "--objective", "warp9"]
+            )
+
+
+class TestReportArtifacts:
+    def test_report_out_writes_files(self, tmp_path, capsys):
+        assert main(["report", "T1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "T1.md").exists()
+        assert (tmp_path / "INDEX.md").exists()
+
+
+class TestSummaryCommand:
+    def test_summary_prints_abstract(self, capsys):
+        assert main(["summary"]) == 0
+        output = capsys.readouterr().out
+        assert "267 GPGPU kernels" in output
+
+
+class TestWhatIfCommand:
+    def test_whatif_ranks_playbook(self, capsys):
+        assert main(["whatif", "pannotia/sssp.relax_edges"]) == 0
+        output = capsys.readouterr().out
+        assert "What-if playbook" in output
+        assert "break_chains" in output
+
+
+class TestCatalogPrograms:
+    def test_programs_listing(self, capsys):
+        assert main(["catalog", "--programs", "pannotia"]) == 0
+        output = capsys.readouterr().out
+        assert "pagerank" in output
+        assert "Betweenness centrality" in output

@@ -1,0 +1,62 @@
+"""Example scripts stay runnable.
+
+Every example is a deliverable; these tests execute the fast ones end
+to end in a subprocess (fresh interpreter, like a user would) and
+assert they print their headline tables.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "Pannotia scaling taxonomy" in output
+        assert "Summary" in output
+
+    def test_characterize_my_kernel(self):
+        output = run_example("characterize_my_kernel.py")
+        assert "Your kernels, characterised" in output
+        assert "csr_blocked" in output
+
+    def test_app_speedup_analysis(self):
+        output = run_example("app_speedup_analysis.py")
+        assert "Program-level scaling" in output
+        assert "rodinia/lud" in output
+
+    @pytest.mark.slow
+    def test_benchmark_suite_audit(self):
+        output = run_example("benchmark_suite_audit.py")
+        assert "Suite scalability audit" in output
+
+    @pytest.mark.slow
+    def test_design_space_exploration(self):
+        output = run_example("design_space_exploration.py")
+        assert "Provisioning guidance" in output
+
+    @pytest.mark.slow
+    def test_energy_aware_dvfs(self):
+        output = run_example("energy_aware_dvfs.py")
+        assert "Energy-aware operating points" in output
+
+    @pytest.mark.slow
+    def test_predict_new_kernel(self):
+        output = run_example("predict_new_kernel.py")
+        assert "Seven-probe surface prediction" in output

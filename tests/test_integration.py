@@ -1,0 +1,92 @@
+"""Whole-pipeline integration tests.
+
+Exercises the complete path a user takes: catalog -> sweep -> dataset
+persistence -> taxonomy -> analyses -> reports, and the stability
+properties the study depends on (determinism, suite decomposability).
+"""
+
+import numpy as np
+import pytest
+
+from repro import classify, collect_paper_dataset
+from repro.analysis import analyse_all_suites, speedup_summary
+from repro.report import ExperimentContext, run_experiment
+from repro.suites import all_kernels
+from repro.sweep import ScalingDataset, SweepRunner, reduced_space
+from repro.taxonomy import TaxonomyCategory, evaluate_agreement
+
+
+class TestEndToEnd:
+    def test_full_pipeline_on_reduced_grid(self, tmp_path):
+        kernels = all_kernels("pannotia")
+        space = reduced_space(2, 2, 2)
+        dataset = SweepRunner().run(kernels, space)
+
+        path = dataset.save(tmp_path / "pannotia.npz")
+        restored = ScalingDataset.load(path)
+        taxonomy = classify(restored)
+
+        assert len(taxonomy.labels) == 30
+        counts = taxonomy.category_counts()
+        assert sum(counts.values()) == 30
+
+        suites = analyse_all_suites(restored)
+        assert "pannotia" in suites
+
+        summary = speedup_summary(restored, taxonomy)
+        assert summary["overall_median"] > 1.0
+
+    def test_sweep_is_deterministic(self):
+        kernels = all_kernels("proxyapps")[:5]
+        space = reduced_space(4, 4, 4)
+        a = SweepRunner().run(kernels, space)
+        b = SweepRunner().run(kernels, space)
+        np.testing.assert_array_equal(a.perf, b.perf)
+
+    def test_subset_classification_matches_full(
+        self, paper_dataset, paper_taxonomy
+    ):
+        """Labels are per-kernel: classifying a suite's subset must
+        reproduce the full-dataset labels exactly."""
+        subset_names = [
+            r.full_name
+            for r in paper_dataset.kernel_records
+            if r.suite == "shoc"
+        ]
+        subset = paper_dataset.subset(subset_names)
+        subset_taxonomy = classify(subset)
+        for label in subset_taxonomy.labels:
+            full_label = paper_taxonomy.label_for(label.kernel_name)
+            assert label.category is full_label.category
+
+    def test_experiment_pipeline_shares_context(self, paper_dataset):
+        ctx = ExperimentContext()
+        ctx._dataset = paper_dataset  # reuse the session sweep
+        t3 = run_experiment("T3", ctx)
+        f6 = run_experiment("F6", ctx)
+        assert t3.data["counts"] == f6.data["counts"]
+
+
+class TestPaperHeadlines:
+    """The abstract's qualitative claims, asserted end-to-end."""
+
+    def test_kernels_scale_with_compute_capability(self, paper_taxonomy):
+        counts = paper_taxonomy.category_counts()
+        assert counts[TaxonomyCategory.COMPUTE_BOUND] >= 30
+
+    def test_kernels_scale_with_memory_bandwidth(self, paper_taxonomy):
+        counts = paper_taxonomy.category_counts()
+        assert counts[TaxonomyCategory.BANDWIDTH_BOUND] >= 20
+
+    def test_kernels_lose_performance_with_more_cus(self, paper_taxonomy):
+        counts = paper_taxonomy.category_counts()
+        assert counts[TaxonomyCategory.CU_INVERSE] >= 5
+
+    def test_kernels_plateau_despite_clock_headroom(self, paper_taxonomy):
+        counts = paper_taxonomy.category_counts()
+        assert counts[TaxonomyCategory.PLATEAU] >= 10
+
+    def test_taxonomy_is_data_supported(self, paper_dataset,
+                                         paper_taxonomy):
+        agreement = evaluate_agreement(paper_dataset, paper_taxonomy)
+        assert agreement.agrees

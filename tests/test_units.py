@@ -1,0 +1,50 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+class TestClockConversions:
+    def test_mhz_round_trip(self):
+        assert units.hz_to_mhz(units.mhz_to_hz(937.5)) == pytest.approx(
+            937.5
+        )
+
+    def test_mhz_to_hz(self):
+        assert units.mhz_to_hz(1000.0) == 1e9
+
+
+class TestTimeConversions:
+    def test_us_round_trip(self):
+        assert units.us_to_seconds(units.seconds_to_us(0.125)) == (
+            pytest.approx(0.125)
+        )
+
+    def test_ns_round_trip(self):
+        assert units.ns_to_seconds(units.seconds_to_ns(3e-7)) == (
+            pytest.approx(3e-7)
+        )
+
+    def test_known_values(self):
+        assert units.us_to_seconds(1.0) == 1e-6
+        assert units.ns_to_seconds(150.0) == 1.5e-7
+
+
+class TestSizeAndBandwidth:
+    def test_binary_prefixes(self):
+        assert units.KIB == 1024
+        assert units.MIB == 1024 ** 2
+        assert units.GIB == 1024 ** 3
+
+    def test_decimal_prefixes(self):
+        assert units.GB == 1_000_000_000
+
+    def test_bandwidth_round_trip(self):
+        rate = 320.0
+        assert units.bytes_per_sec_to_gb_per_sec(
+            units.gb_per_sec_to_bytes_per_sec(rate)
+        ) == pytest.approx(rate)
+
+    def test_bytes_to_gb_is_decimal(self):
+        assert units.bytes_to_gb(320e9) == pytest.approx(320.0)
