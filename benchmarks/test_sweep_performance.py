@@ -1,25 +1,83 @@
 """Harness throughput: the data-collection sweep itself.
 
-Not a paper artifact — this benchmark guards the property that makes
+Not a paper artifact — these benchmarks guard the property that makes
 the reproduction practical: the analytical engine must sweep hundreds
 of configurations per kernel in milliseconds, so the full 237,897-point
-study stays interactive.
+study stays interactive and what-if campaigns (ablations, noise
+studies, sampling estimators) can re-run it thousands of times.
+
+Two paths are timed: the vectorized batch grid engine (the default,
+one NumPy broadcast per kernel) and the per-point scalar oracle it is
+validated against. The assertion floors are loose enough for shared CI
+machines but tight enough to catch a 5x regression on either path.
 """
 
+import time
+
+from repro.gpu import GridMode
 from repro.suites import all_kernels
 from repro.sweep import SweepRunner, reduced_space
 
 
+def _throughput(dataset, seconds):
+    points = dataset.num_kernels * dataset.space.size
+    return points / seconds, points
+
+
 def test_sweep_throughput(benchmark):
+    """Batch grid path: the default sweep engine."""
     kernels = all_kernels("shoc")
     space = reduced_space(2, 2, 2)
 
     dataset = benchmark(lambda: SweepRunner().run(kernels, space))
 
-    points = dataset.num_kernels * dataset.space.size
-    seconds = benchmark.stats.stats.mean
-    points_per_second = points / seconds
-    print(f"\nsweep throughput: {points_per_second:,.0f} points/s "
-          f"({points} points in {seconds * 1e3:.1f} ms)")
-    # The full study must complete in well under a minute.
+    points_per_second, points = _throughput(
+        dataset, benchmark.stats.stats.mean
+    )
+    print(f"\nbatch sweep throughput: {points_per_second:,.0f} points/s "
+          f"({points} points in "
+          f"{benchmark.stats.stats.mean * 1e3:.1f} ms)")
+    # The full study must complete in well under a second.
+    assert points_per_second > 50_000
+
+
+def test_sweep_throughput_scalar(benchmark):
+    """Scalar oracle path: one simulate call per grid point."""
+    kernels = all_kernels("shoc")
+    space = reduced_space(2, 2, 2)
+
+    dataset = benchmark(
+        lambda: SweepRunner(grid_mode=GridMode.SCALAR).run(kernels, space)
+    )
+
+    points_per_second, points = _throughput(
+        dataset, benchmark.stats.stats.mean
+    )
+    print(f"\nscalar sweep throughput: {points_per_second:,.0f} points/s "
+          f"({points} points in "
+          f"{benchmark.stats.stats.mean * 1e3:.1f} ms)")
     assert points_per_second > 5_000
+
+
+def test_batch_speedup_over_scalar():
+    """The batch engine must stay an order of magnitude ahead."""
+    kernels = all_kernels("rodinia")
+    space = reduced_space(2, 2, 2)
+
+    start = time.perf_counter()
+    scalar = SweepRunner(grid_mode=GridMode.SCALAR).run(kernels, space)
+    scalar_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = SweepRunner().run(kernels, space)
+    batch_s = time.perf_counter() - start
+
+    assert scalar.perf.shape == batch.perf.shape
+    speedup = scalar_s / batch_s
+    points = batch.num_kernels * batch.space.size
+    print(f"\nscalar-vs-batch speedup: {speedup:.1f}x "
+          f"({points} points: scalar {scalar_s * 1e3:.1f} ms, "
+          f"batch {batch_s * 1e3:.1f} ms)")
+    # Expected ~50-100x; a drop below 5x means the broadcast path has
+    # regressed to per-point work.
+    assert speedup > 5.0

@@ -75,7 +75,11 @@ def _progress(done: int, total: int) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    dataset = collect_paper_dataset(progress=_progress)
+    from repro.gpu.simulator import GridMode
+
+    dataset = collect_paper_dataset(
+        progress=_progress, grid_mode=GridMode(args.engine_mode)
+    )
     path = dataset.save(args.out)
     print(f"dataset written to {path}")
     if args.csv:
@@ -221,6 +225,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output .npz path")
     sweep.add_argument("--csv", default=None,
                        help="also export long-format CSV here")
+    sweep.add_argument("--engine-mode", default="batch",
+                       choices=["batch", "scalar"],
+                       help="grid evaluation path: the vectorized batch "
+                       "engine (default) or the per-point scalar oracle "
+                       "for debugging batch regressions")
 
     classify_p = sub.add_parser("classify", help="run the taxonomy")
     classify_p.add_argument("--data", default=None,

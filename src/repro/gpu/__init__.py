@@ -24,6 +24,11 @@ from repro.gpu.dvfs import (
     snap_cu_count,
 )
 from repro.gpu.event_sim import EventSimResult, EventSimulator
+from repro.gpu.interval_batch import (
+    BatchIntervalModel,
+    GridBreakdown,
+    KernelGridResult,
+)
 from repro.gpu.interval_model import (
     IntervalBreakdown,
     IntervalModel,
@@ -44,11 +49,12 @@ from repro.gpu.products import (
     W9100_LIKE,
     product,
 )
-from repro.gpu.simulator import Engine, GpuSimulator, simulate
+from repro.gpu.simulator import Engine, GpuSimulator, GridMode, simulate
 
 __all__ = [
     "APU_LIKE",
     "BASE_CONFIG",
+    "BatchIntervalModel",
     "CU_SETTINGS",
     "CacheBehaviour",
     "CacheModel",
@@ -61,10 +67,13 @@ __all__ = [
     "EventSimulator",
     "FrequencyDomain",
     "GpuSimulator",
+    "GridBreakdown",
+    "GridMode",
     "HAWAII_UARCH",
     "HardwareConfig",
     "IntervalBreakdown",
     "IntervalModel",
+    "KernelGridResult",
     "KernelRunResult",
     "MEMORY_DOMAIN",
     "MIDRANGE",

@@ -82,6 +82,29 @@ class Microarchitecture:
         """Architectural wavefront-slot cap per CU (40 on GCN)."""
         return self.simds_per_cu * self.max_waves_per_simd
 
+    def to_dict(self) -> dict:
+        """Serialise every parameter (JSON-compatible)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Microarchitecture":
+        """Reconstruct from :meth:`to_dict` output (validated)."""
+        fields = {f.name: f.type for f in dataclasses.fields(cls)}
+        unknown = set(payload) - set(fields)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown microarchitecture fields: {sorted(unknown)}"
+            )
+        converted = {
+            name: (
+                float(value)
+                if name == "dram_fixed_latency_ns"
+                else int(value)
+            )
+            for name, value in payload.items()
+        }
+        return cls(**converted)
+
 
 #: The reference microarchitecture used across the study.
 HAWAII_UARCH = Microarchitecture()

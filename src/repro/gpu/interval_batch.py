@@ -1,0 +1,378 @@
+"""Batch interval engine: one kernel's full configuration grid at once.
+
+The scalar :class:`~repro.gpu.interval_model.IntervalModel` evaluates
+one ``(kernel, config)`` pair per call; sweeping the paper grid that
+way costs 891 Python round trips per kernel, ~99% of which is
+interpreter overhead re-deriving quantities that do not change between
+configurations. This module exploits the structure of the model:
+
+* **CU-axis hoisting.** Occupancy depends only on the kernel and the
+  microarchitecture — one value per kernel. Dispatch, cache behaviour,
+  and DRAM bandwidth efficiency depend only on the CU count — one value
+  per CU setting (11 on the paper grid) instead of one per
+  configuration (891). See DESIGN.md ("Engine architecture") for the
+  full axis-dependence table; the scalar/batch equivalence tests pin it.
+* **Clock-axis broadcasting.** Every remaining quantity is an
+  elementwise arithmetic expression in ``engine_hz`` and ``memory_hz``,
+  so the nine interval terms — including the two-pass loaded-latency
+  refinement and the quantisation/non-overlap combination rule —
+  broadcast over the ``(n_cu, n_eng, n_mem)`` grid as a handful of
+  NumPy array operations.
+
+The arithmetic deliberately mirrors the scalar model operation by
+operation (same association order, same guards) so that the two paths
+agree to within ``rtol=1e-12`` on every grid point; the scalar path
+remains the reference oracle (``tests/gpu/test_interval_batch.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+import numpy as np
+
+from repro.gpu.caches import CacheModel
+from repro.gpu.config import HardwareConfig, Microarchitecture
+from repro.gpu.dispatch import plan_dispatch
+from repro.gpu.interval_model import (
+    ATOMIC_CONCURRENCY_SLOPE,
+    ATOMIC_SERIAL_CYCLES,
+    BARRIER_CYCLES,
+    FULL_ISSUE_WAVES,
+    NON_OVERLAP_FRACTION,
+    REQUEST_BYTES,
+)
+from repro.gpu.memory import MAX_QUEUE_STRETCH, MemoryModel
+from repro.gpu.occupancy import OccupancyResult, compute_occupancy
+from repro.kernels.kernel import Kernel
+from repro.units import ns_to_seconds, us_to_seconds
+
+if TYPE_CHECKING:  # avoid a gpu -> sweep import cycle at runtime
+    from repro.sweep.space import ConfigurationSpace
+
+#: Names of the overlappable intervals, in the scalar model's
+#: tie-breaking order (``IntervalBreakdown.bottleneck`` keeps the first
+#: of equal maxima).
+OVERLAPPABLE_INTERVALS = (
+    "compute", "salu", "lds", "l2", "dram", "latency",
+)
+
+
+@dataclass(frozen=True)
+class GridBreakdown:
+    """Per-resource isolated times over the whole grid (seconds).
+
+    Each array has the full ``(n_cu, n_eng, n_mem)`` shape, matching
+    :meth:`ConfigurationSpace.shape`.
+    """
+
+    compute_s: np.ndarray
+    salu_s: np.ndarray
+    lds_s: np.ndarray
+    l2_s: np.ndarray
+    dram_s: np.ndarray
+    latency_s: np.ndarray
+    atomic_s: np.ndarray
+    barrier_s: np.ndarray
+    launch_s: np.ndarray
+
+    def as_dict(self) -> Dict[str, np.ndarray]:
+        """All interval grids keyed by name."""
+        return {
+            "compute": self.compute_s,
+            "salu": self.salu_s,
+            "lds": self.lds_s,
+            "l2": self.l2_s,
+            "dram": self.dram_s,
+            "latency": self.latency_s,
+            "atomic": self.atomic_s,
+            "barrier": self.barrier_s,
+            "launch": self.launch_s,
+        }
+
+    @property
+    def bottleneck(self) -> np.ndarray:
+        """Largest overlappable interval's name at every grid point."""
+        stacked = np.stack(
+            [getattr(self, f"{name}_s") for name in OVERLAPPABLE_INTERVALS]
+        )
+        winners = np.argmax(stacked, axis=0)
+        return np.asarray(OVERLAPPABLE_INTERVALS, dtype=object)[winners]
+
+
+@dataclass(frozen=True)
+class KernelGridResult:
+    """Outcome of simulating one kernel over a full configuration grid.
+
+    The grid analogue of
+    :class:`~repro.gpu.interval_model.KernelRunResult`: ``time_s`` and
+    ``items_per_second`` are ``(n_cu, n_eng, n_mem)`` tensors indexed
+    exactly like :meth:`ConfigurationSpace.config`. Quantities that the
+    model hoists onto the CU axis (cache behaviour, DRAM traffic) are
+    reported as ``(n_cu,)`` vectors — they provably cannot vary along
+    the clock axes.
+    """
+
+    kernel_name: str
+    time_s: np.ndarray
+    items_per_second: np.ndarray
+    breakdown: GridBreakdown
+    occupancy: OccupancyResult
+    l2_hit_rate: np.ndarray
+    dram_bytes: np.ndarray
+    global_size: int
+
+
+class BatchIntervalModel:
+    """Vectorized analytical timing model over one microarchitecture.
+
+    Produces the same numbers as
+    :class:`~repro.gpu.interval_model.IntervalModel` (to ``rtol=1e-12``)
+    at >10x the sweep throughput.
+    """
+
+    def __init__(self) -> None:
+        self._cache_models: Dict[int, CacheModel] = {}
+
+    def simulate_grid(
+        self, kernel: Kernel, space: "ConfigurationSpace"
+    ) -> KernelGridResult:
+        """Predict *kernel*'s execution time at every point of *space*."""
+        uarch = space.uarch
+        ch = kernel.characteristics
+        geometry = kernel.geometry
+        n_cu, n_eng, n_mem = space.shape
+        shape = (n_cu, n_eng, n_mem)
+
+        # Grid axes, shaped for broadcasting: CU quantities vary along
+        # axis 0, engine-clock quantities along axis 1, memory-clock
+        # quantities along axis 2.
+        cu_counts = np.asarray(space.cu_counts, dtype=np.int64)
+        cu_counts = cu_counts.reshape(n_cu, 1, 1)
+        engine_hz = np.asarray(space.engine_mhz, dtype=np.float64) * 1e6
+        engine_hz = engine_hz.reshape(1, n_eng, 1)
+        memory_hz = np.asarray(space.memory_mhz, dtype=np.float64) * 1e6
+        memory_hz = memory_hz.reshape(1, 1, n_mem)
+
+        # --- CU-axis hoist: 1 occupancy + n_cu dispatch/cache/DRAM
+        # evaluations instead of one per configuration ----------------
+        occupancy = compute_occupancy(geometry, kernel.resources, uarch)
+        plans = [
+            plan_dispatch(geometry, occupancy, cu) for cu in space.cu_counts
+        ]
+        active_cus = np.asarray(
+            [p.active_cus for p in plans], dtype=np.int64
+        ).reshape(n_cu, 1, 1)
+        quantisation = np.asarray(
+            [p.quantisation_factor for p in plans]
+        ).reshape(n_cu, 1, 1)
+        resident_total = np.asarray(
+            [p.resident_workgroups_total for p in plans], dtype=np.int64
+        ).reshape(n_cu, 1, 1)
+
+        cache_model = self._cache_model(uarch)
+        behaviours = [
+            cache_model.behaviour(
+                kernel, p.active_cus, occupancy.workgroups_per_cu
+            )
+            for p in plans
+        ]
+        l1_hit_rate = behaviours[0].l1_hit_rate  # kernel-only property
+        l2_hit_rate = np.asarray([b.l2_hit_rate for b in behaviours])
+        dram_fraction = np.asarray(
+            [b.dram_fraction for b in behaviours]
+        ).reshape(n_cu, 1, 1)
+
+        # bandwidth_efficiency only reads the kernel's access pattern
+        # and the active-CU count; any config of this uarch will do.
+        memory = MemoryModel(
+            HardwareConfig(
+                cu_count=space.cu_counts[0],
+                engine_mhz=space.engine_mhz[0],
+                memory_mhz=space.memory_mhz[0],
+                uarch=uarch,
+            )
+        )
+        efficiency = np.asarray(
+            [
+                memory.bandwidth_efficiency(
+                    ch.coalescing_efficiency,
+                    ch.row_locality_sensitivity,
+                    p.active_cus,
+                )
+                for p in plans
+            ]
+        ).reshape(n_cu, 1, 1)
+
+        items = float(geometry.global_size)
+        total_waves = float(geometry.total_waves)
+
+        # --- Throughput intervals -------------------------------------
+        lane_ops = items * ch.valu_ops_per_item / ch.simd_efficiency
+        issue_factor = min(1.0, occupancy.waves_per_cu / FULL_ISSUE_WAVES)
+        throughput = (
+            active_cus * uarch.lanes_per_cu * engine_hz * issue_factor
+        )
+        compute_s = lane_ops / throughput
+
+        salu_s = (
+            total_waves * ch.salu_ops_per_item / (active_cus * engine_hz)
+        )
+
+        lds_bytes = items * ch.lds_bytes_per_item
+        if lds_bytes == 0.0:
+            lds_s = np.float64(0.0)
+        else:
+            per_device = cu_counts * 128 * engine_hz
+            active_share = per_device * active_cus / cu_counts
+            lds_s = lds_bytes / active_share
+
+        issued_bytes = items * ch.global_bytes_per_item
+        l2_bytes = issued_bytes * (1.0 - l1_hit_rate)
+        dram_bytes = issued_bytes * dram_fraction
+        peak_l2 = uarch.l2_banks * 64 * engine_hz
+        l2_s = l2_bytes / peak_l2
+
+        # --- DRAM bandwidth, bounded by Little's law -------------------
+        bytes_per_cycle = (
+            uarch.memory_bus_bits / 8 * uarch.memory_data_rate
+        )
+        peak_dram = bytes_per_cycle * memory_hz
+        achieved_bw = peak_dram * efficiency
+        concurrency = (
+            active_cus * occupancy.waves_per_cu * ch.memory_parallelism
+        )
+        l2_time = uarch.l2_latency_cycles / engine_hz
+        dram_time = uarch.dram_latency_cycles / memory_hz
+        fixed_time = ns_to_seconds(uarch.dram_fixed_latency_ns)
+        unloaded_latency = l2_time + dram_time + fixed_time
+        little_bw = concurrency * REQUEST_BYTES / unloaded_latency
+        effective_bw = np.minimum(achieved_bw, little_bw)
+        dram_positive = dram_bytes > 0.0
+        dram_s = np.where(dram_positive, dram_bytes / effective_bw, 0.0)
+
+        # --- Exposed dependence-chain latency (two-pass for loading) ---
+        # Queueing applies only to the memory-side latency terms; the
+        # engine-domain L2 pipeline is unaffected (see MemoryModel).
+        memory_side = dram_time + fixed_time
+        if ch.dependent_access_fraction == 0.0:
+            latency_s = np.float64(0.0)
+        else:
+            requests = (l2_bytes + 0.0) / REQUEST_BYTES
+            dependent = requests * ch.dependent_access_fraction
+            if l2_bytes == 0:
+                miss_fraction = np.float64(0.0)
+            else:
+                miss_fraction = dram_bytes / l2_bytes
+            chain_concurrency = np.maximum(
+                1.0, active_cus * occupancy.waves_per_cu
+            )
+            l2_latency = uarch.l2_latency_cycles / engine_hz
+
+            def exposed(dram_latency):
+                mean_latency = (
+                    miss_fraction * dram_latency
+                    + (1.0 - miss_fraction) * l2_latency
+                )
+                return dependent * mean_latency / chain_concurrency
+
+            # Pass 1: unloaded queues (utilisation 0 -> no stretch).
+            latency_s = exposed(l2_time + memory_side / (1.0 - 0.0))
+
+            first_pass_max = _chain_max(
+                compute_s, salu_s, lds_s, l2_s, dram_s, latency_s
+            )
+            refine = (first_pass_max > 0.0) & dram_positive
+            if np.any(refine):
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    utilisation = np.minimum(
+                        1.0, (dram_bytes / achieved_bw) / first_pass_max
+                    )
+                utilisation = np.where(refine, utilisation, 0.0)
+                bounded = np.minimum(
+                    utilisation, 1.0 - 1.0 / MAX_QUEUE_STRETCH
+                )
+                loaded = l2_time + memory_side / (1.0 - bounded)
+                latency_s = np.where(refine, exposed(loaded), latency_s)
+
+        # --- Serial additions ------------------------------------------
+        if ch.atomic_ops_per_item == 0.0 or ch.atomic_contention == 0.0:
+            atomic_s = np.float64(0.0)
+        else:
+            serialised = (
+                items * ch.atomic_ops_per_item * ch.atomic_contention
+            )
+            concurrency_growth = 1.0 + ATOMIC_CONCURRENCY_SLOPE * (
+                ch.atomic_contention * (active_cus - 1) / 43.0
+            )
+            cycles = serialised * ATOMIC_SERIAL_CYCLES * concurrency_growth
+            atomic_s = cycles / engine_hz
+
+        barrier_s = (
+            geometry.num_workgroups
+            * ch.barriers_per_workgroup
+            * BARRIER_CYCLES
+            / engine_hz
+            / resident_total
+        )
+        launch_s = us_to_seconds(ch.launch_overhead_us)
+
+        # --- Combination (quantised local peak vs shared peak) ---------
+        local_peak = _chain_max(compute_s, salu_s, lds_s, latency_s)
+        shared_peak = np.maximum(l2_s, dram_s)
+        dominant = np.maximum(local_peak * quantisation, shared_peak)
+        overlap_sum = (
+            ((((compute_s + salu_s) + lds_s) + l2_s) + dram_s) + latency_s
+        )
+        overlap_max = np.maximum(local_peak, shared_peak)
+        spill = NON_OVERLAP_FRACTION * (overlap_sum - overlap_max)
+        parallel_s = dominant + spill
+        time_s = parallel_s + atomic_s + barrier_s + launch_s
+
+        time_s = _materialise(time_s, shape)
+        items_per_second = geometry.global_size / time_s
+
+        breakdown = GridBreakdown(
+            compute_s=_materialise(compute_s, shape),
+            salu_s=_materialise(salu_s, shape),
+            lds_s=_materialise(lds_s, shape),
+            l2_s=_materialise(l2_s, shape),
+            dram_s=_materialise(dram_s, shape),
+            latency_s=_materialise(latency_s, shape),
+            atomic_s=_materialise(atomic_s, shape),
+            barrier_s=_materialise(barrier_s, shape),
+            launch_s=_materialise(launch_s, shape),
+        )
+
+        return KernelGridResult(
+            kernel_name=kernel.full_name,
+            time_s=time_s,
+            items_per_second=items_per_second,
+            breakdown=breakdown,
+            occupancy=occupancy,
+            l2_hit_rate=l2_hit_rate,
+            dram_bytes=dram_bytes.reshape(n_cu),
+            global_size=geometry.global_size,
+        )
+
+    def _cache_model(self, uarch: Microarchitecture) -> CacheModel:
+        key = id(uarch)
+        if key not in self._cache_models:
+            self._cache_models[key] = CacheModel(uarch)
+        return self._cache_models[key]
+
+
+def _chain_max(first, *rest):
+    """Elementwise maximum of several broadcastable arrays."""
+    result = first
+    for term in rest:
+        result = np.maximum(result, term)
+    return result
+
+
+def _materialise(value, shape) -> np.ndarray:
+    """Broadcast *value* to *shape* as a fresh contiguous array."""
+    return np.ascontiguousarray(
+        np.broadcast_to(np.asarray(value, dtype=np.float64), shape)
+    )

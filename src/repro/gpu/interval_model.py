@@ -27,6 +27,13 @@ Launch overhead        constant — caps tiny kernels everywhere
 A small non-overlap charge keeps mixed kernels ("balanced" in the
 taxonomy) sensitive to both clocks rather than snapping to a single
 pure bottleneck.
+
+This scalar form is the *reference oracle*: full sweeps go through the
+vectorized twin in ``interval_batch.py``, which mirrors this file's
+arithmetic operation by operation. When changing any expression here,
+make the matching change there (the equivalence tests in
+``tests/gpu/test_interval_batch.py`` and the axis-dependence table in
+DESIGN.md's "Engine architecture" section will catch drift).
 """
 
 from __future__ import annotations

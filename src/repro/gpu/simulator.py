@@ -5,18 +5,35 @@
 enough for the full 267-kernel x 891-configuration sweep); the
 discrete-event engine provides an independent cross-check of scaling
 shapes.
+
+For whole-grid workloads, :meth:`GpuSimulator.simulate_grid` evaluates
+one kernel over an entire :class:`~repro.sweep.space.ConfigurationSpace`
+at once. With the interval engine this dispatches to the vectorized
+:class:`~repro.gpu.interval_batch.BatchIntervalModel` (the default);
+:class:`GridMode.SCALAR` forces the point-by-point path, which is the
+reference oracle for debugging batch-engine regressions.
 """
 
 from __future__ import annotations
 
 from enum import Enum
-from typing import Union
+from typing import TYPE_CHECKING, Union
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.gpu.config import HardwareConfig
 from repro.gpu.event_sim import EventSimResult, EventSimulator
+from repro.gpu.interval_batch import (
+    BatchIntervalModel,
+    GridBreakdown,
+    KernelGridResult,
+)
 from repro.gpu.interval_model import IntervalModel, KernelRunResult
 from repro.kernels.kernel import Kernel
+
+if TYPE_CHECKING:  # avoid a gpu -> sweep import cycle at runtime
+    from repro.sweep.space import ConfigurationSpace
 
 SimulationResult = Union[KernelRunResult, EventSimResult]
 
@@ -28,12 +45,22 @@ class Engine(Enum):
     EVENT = "event"
 
 
+class GridMode(Enum):
+    """How :meth:`GpuSimulator.simulate_grid` evaluates a grid."""
+
+    #: Vectorized batch engine (NumPy broadcast over the whole grid).
+    BATCH = "batch"
+    #: One scalar ``simulate`` call per configuration (reference oracle).
+    SCALAR = "scalar"
+
+
 class GpuSimulator:
     """Simulate kernels on configurable GCN-class hardware."""
 
     def __init__(self, engine: Engine = Engine.INTERVAL):
         self._engine = engine
         self._interval = IntervalModel()
+        self._interval_batch = BatchIntervalModel()
         self._event = EventSimulator()
 
     @property
@@ -51,6 +78,66 @@ class GpuSimulator:
         if self._engine is Engine.EVENT:
             return self._event.simulate(kernel, config)
         raise ConfigurationError(f"unknown engine {self._engine!r}")
+
+    def simulate_grid(
+        self,
+        kernel: Kernel,
+        space: "ConfigurationSpace",
+        mode: GridMode = GridMode.BATCH,
+    ) -> KernelGridResult:
+        """Run *kernel* at every configuration of *space* at once.
+
+        Returns ``(n_cu, n_eng, n_mem)`` time/throughput tensors indexed
+        like :meth:`ConfigurationSpace.config`. The interval engine uses
+        the vectorized batch path unless *mode* forces the scalar
+        oracle; the event engine always simulates point by point.
+        """
+        if self._engine is Engine.INTERVAL and mode is GridMode.BATCH:
+            return self._interval_batch.simulate_grid(kernel, space)
+        return self._scalar_grid(kernel, space)
+
+    def _scalar_grid(
+        self, kernel: Kernel, space: "ConfigurationSpace"
+    ) -> KernelGridResult:
+        """Point-by-point grid evaluation through :meth:`simulate`."""
+        shape = space.shape
+        n_cu, n_eng, n_mem = shape
+        time_s = np.empty(shape, dtype=np.float64)
+        intervals = {
+            name: np.zeros(shape, dtype=np.float64)
+            for name in (
+                "compute", "salu", "lds", "l2", "dram", "latency",
+                "atomic", "barrier", "launch",
+            )
+        }
+        l2_hit_rate = np.zeros(n_cu, dtype=np.float64)
+        dram_bytes = np.zeros(n_cu, dtype=np.float64)
+        occupancy = None
+        for c in range(n_cu):
+            for e in range(n_eng):
+                for m in range(n_mem):
+                    result = self.simulate(kernel, space.config(c, e, m))
+                    time_s[c, e, m] = result.time_s
+                    breakdown = getattr(result, "breakdown", None)
+                    if breakdown is not None:
+                        for name, value in breakdown.as_dict().items():
+                            intervals[name][c, e, m] = value
+                    if isinstance(result, KernelRunResult):
+                        occupancy = result.occupancy
+                        l2_hit_rate[c] = result.l2_hit_rate
+                        dram_bytes[c] = result.dram_bytes
+        return KernelGridResult(
+            kernel_name=kernel.full_name,
+            time_s=time_s,
+            items_per_second=kernel.geometry.global_size / time_s,
+            breakdown=GridBreakdown(
+                **{f"{k}_s": v for k, v in intervals.items()}
+            ),
+            occupancy=occupancy,
+            l2_hit_rate=l2_hit_rate,
+            dram_bytes=dram_bytes,
+            global_size=kernel.geometry.global_size,
+        )
 
     def time_s(self, kernel: Kernel, config: HardwareConfig) -> float:
         """Execution time in seconds (convenience)."""

@@ -22,6 +22,7 @@ from repro.predict.sampling import (
     ReconstructionReport,
     SamplingPlan,
     budget_sweep,
+    collect_plan_dataset,
     evaluate_plan,
     plan_for_budget,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "WhatIfResult",
     "best_advice",
     "budget_sweep",
+    "collect_plan_dataset",
     "evaluate_plan",
     "interpolator",
     "plan_for_budget",

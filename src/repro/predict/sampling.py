@@ -145,6 +145,31 @@ def evaluate_plan(
     )
 
 
+def collect_plan_dataset(
+    kernels: Sequence,
+    plan: SamplingPlan,
+    space: ConfigurationSpace = None,
+    runner=None,
+) -> ScalingDataset:
+    """Sweep only *plan*'s subgrid — the campaign a lab would run.
+
+    :func:`evaluate_plan` quantifies reconstruction error when the
+    subgrid values are sliced out of an existing full dataset; this
+    helper performs the corresponding *measurement* step for fresh
+    kernels, sweeping just the planned configurations (batch engine by
+    default). Repeated sampling campaigns re-run sweeps thousands of
+    times, so they ride the vectorized grid path.
+    """
+    from repro.sweep.runner import SweepRunner
+    from repro.sweep.space import PAPER_SPACE
+
+    if space is None:
+        space = PAPER_SPACE
+    if runner is None:
+        runner = SweepRunner()
+    return runner.run(kernels, plan.subspace(space))
+
+
 def budget_sweep(
     dataset: ScalingDataset,
     budgets: Sequence[Tuple[int, int, int]] = (

@@ -1,12 +1,18 @@
 """Multiprocess sweep collection.
 
-The analytical engine completes the full 237,897-point study in a few
-seconds on one core, but iteration workflows (ablation sweeps, noise
-studies, alternative hardware families) re-run it many times.
-:class:`ParallelSweepRunner` partitions the kernel list across worker
-processes — simulation is embarrassingly parallel per kernel row — and
-reassembles an identical-to-serial dataset (bit-exact: the model is
-deterministic and rows are independent).
+The batch interval engine completes the full 237,897-point study in a
+fraction of a second on one core, but iteration workflows (ablation
+sweeps, noise studies, alternative hardware families, ML-style sampling
+campaigns) re-run it many times. :class:`ParallelSweepRunner`
+partitions the kernel list across worker processes — simulation is
+embarrassingly parallel per kernel row — and reassembles an
+identical-to-serial dataset (bit-exact: the model is deterministic and
+rows are independent).
+
+Kernels and the configuration space travel to workers as plain dicts,
+including the microarchitecture, so non-default hardware families
+(e.g. :data:`repro.gpu.families.APU_SPACE`) parallelise the same way
+the paper grid does.
 """
 
 from __future__ import annotations
@@ -17,25 +23,29 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import DatasetError
-from repro.gpu.simulator import Engine
+from repro.gpu.simulator import Engine, GridMode
 from repro.kernels.kernel import Kernel
 from repro.sweep.dataset import KernelRecord, ScalingDataset
-from repro.sweep.runner import SweepRunner
+from repro.sweep.runner import ProgressCallback, SweepRunner
 from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
+
+#: Target chunks per worker: small enough that ``imap`` completions
+#: give useful progress ticks, large enough to amortise pickling.
+_CHUNKS_PER_WORKER = 4
 
 
 def _sweep_chunk(
-    payload: Tuple[List[dict], dict, str]
+    payload: Tuple[List[dict], dict, str, str]
 ) -> np.ndarray:
     """Worker: sweep a chunk of kernels (serialised as dicts).
 
     Kernels and the space travel as plain dicts so the worker start
     method (fork or spawn) does not matter.
     """
-    kernel_payloads, space_payload, engine_value = payload
+    kernel_payloads, space_payload, engine_value, mode_value = payload
     kernels = [Kernel.from_dict(p) for p in kernel_payloads]
     space = ConfigurationSpace.from_dict(space_payload)
-    runner = SweepRunner(Engine(engine_value))
+    runner = SweepRunner(Engine(engine_value), GridMode(mode_value))
     return runner.run(kernels, space).perf
 
 
@@ -46,23 +56,36 @@ class ParallelSweepRunner:
         self,
         engine: Engine = Engine.INTERVAL,
         workers: Optional[int] = None,
+        grid_mode: GridMode = GridMode.BATCH,
     ):
         self._engine = engine
         self._workers = workers or max(
             1, multiprocessing.cpu_count() - 1
         )
+        self._grid_mode = grid_mode
 
     @property
     def workers(self) -> int:
         """Worker-process count."""
         return self._workers
 
+    @property
+    def grid_mode(self) -> GridMode:
+        """How each worker evaluates a kernel's configuration grid."""
+        return self._grid_mode
+
     def run(
         self,
         kernels: Sequence[Kernel],
         space: ConfigurationSpace = PAPER_SPACE,
+        progress: Optional[ProgressCallback] = None,
     ) -> ScalingDataset:
-        """Collect the dataset; identical to the serial runner's."""
+        """Collect the dataset; identical to the serial runner's.
+
+        *progress*, when given, is called as chunks of kernel rows
+        complete with ``(rows_done, rows_total)`` — the same signature
+        as the serial runner's callback.
+        """
         if not kernels:
             raise DatasetError("cannot sweep an empty kernel list")
         names = [k.full_name for k in kernels]
@@ -70,28 +93,35 @@ class ParallelSweepRunner:
             raise DatasetError("kernel list contains duplicate full names")
 
         if self._workers == 1 or len(kernels) < 2 * self._workers:
-            return SweepRunner(self._engine).run(kernels, space)
+            return SweepRunner(self._engine, self._grid_mode).run(
+                kernels, space, progress
+            )
 
-        # NOTE: the reduced space loses the uarch on serialisation;
-        # restrict parallel runs to the default microarchitecture.
-        if space.uarch is not PAPER_SPACE.uarch:
-            return SweepRunner(self._engine).run(kernels, space)
-
-        chunk_size = -(-len(kernels) // self._workers)
+        chunk_size = -(-len(kernels) // (self._workers * _CHUNKS_PER_WORKER))
         chunks = [
             list(kernels[i:i + chunk_size])
             for i in range(0, len(kernels), chunk_size)
         ]
+        space_payload = space.to_dict()
         payloads = [
             (
                 [k.to_dict() for k in chunk],
-                space.to_dict(),
+                space_payload,
                 self._engine.value,
+                self._grid_mode.value,
             )
             for chunk in chunks
         ]
+        parts: List[np.ndarray] = []
+        done = 0
         with multiprocessing.Pool(self._workers) as pool:
-            parts = pool.map(_sweep_chunk, payloads)
+            # imap preserves chunk order, so the concatenated rows line
+            # up with *names*, while letting progress tick per chunk.
+            for chunk, part in zip(chunks, pool.imap(_sweep_chunk, payloads)):
+                parts.append(part)
+                done += len(chunk)
+                if progress is not None:
+                    progress(done, len(kernels))
 
         perf = np.concatenate(parts, axis=0)
         records = [KernelRecord.from_full_name(name) for name in names]

@@ -3,7 +3,10 @@
 Replaces the paper's measurement campaign (wall-clock timing of real
 kernels under firmware CU-fusing/DVFS control) with the performance
 model. The full paper-scale sweep is 267 x 891 = 237,897 simulations;
-the analytical engine completes it in seconds.
+the batch interval engine evaluates each kernel's whole 891-point grid
+as one set of NumPy broadcasts (see ``repro/gpu/interval_batch.py``),
+completing the study in well under a second. ``GridMode.SCALAR``
+retains the original one-call-per-point path as a reference oracle.
 """
 
 from __future__ import annotations
@@ -13,7 +16,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.errors import DatasetError
-from repro.gpu.simulator import Engine, GpuSimulator
+from repro.gpu.simulator import Engine, GpuSimulator, GridMode
 from repro.kernels.kernel import Kernel
 from repro.sweep.dataset import KernelRecord, ScalingDataset
 from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
@@ -24,13 +27,23 @@ ProgressCallback = Callable[[int, int], None]
 class SweepRunner:
     """Collect the scaling dataset for a set of kernels."""
 
-    def __init__(self, engine: Engine = Engine.INTERVAL):
+    def __init__(
+        self,
+        engine: Engine = Engine.INTERVAL,
+        grid_mode: GridMode = GridMode.BATCH,
+    ):
         self._simulator = GpuSimulator(engine)
+        self._grid_mode = grid_mode
 
     @property
     def simulator(self) -> GpuSimulator:
         """The simulator used for every point."""
         return self._simulator
+
+    @property
+    def grid_mode(self) -> GridMode:
+        """How each kernel's configuration grid is evaluated."""
+        return self._grid_mode
 
     def run(
         self,
@@ -52,25 +65,11 @@ class SweepRunner:
         n_cu, n_eng, n_mem = space.shape
         perf = np.empty((len(kernels), n_cu, n_eng, n_mem), dtype=np.float64)
 
-        # Configs vary along the innermost loops so per-kernel state
-        # (occupancy, geometry) is computed once per row by the engine's
-        # own caching; the grid itself is materialised once.
-        configs = [
-            [
-                [space.config(c, e, m) for m in range(n_mem)]
-                for e in range(n_eng)
-            ]
-            for c in range(n_cu)
-        ]
-
-        simulate = self._simulator.simulate
         for row, kernel in enumerate(kernels):
-            for c in range(n_cu):
-                for e in range(n_eng):
-                    row_configs = configs[c][e]
-                    for m in range(n_mem):
-                        result = simulate(kernel, row_configs[m])
-                        perf[row, c, e, m] = result.items_per_second
+            grid = self._simulator.simulate_grid(
+                kernel, space, mode=self._grid_mode
+            )
+            perf[row] = grid.items_per_second
             if progress is not None:
                 progress(row + 1, len(kernels))
 
@@ -82,8 +81,9 @@ def collect_paper_dataset(
     engine: Engine = Engine.INTERVAL,
     space: ConfigurationSpace = PAPER_SPACE,
     progress: Optional[ProgressCallback] = None,
+    grid_mode: GridMode = GridMode.BATCH,
 ) -> ScalingDataset:
     """Run the full study: all 267 catalog kernels over the 891 configs."""
     from repro.suites import all_kernels
 
-    return SweepRunner(engine).run(all_kernels(), space, progress)
+    return SweepRunner(engine, grid_mode).run(all_kernels(), space, progress)

@@ -127,20 +127,36 @@ class ConfigurationSpace:
         )
 
     def to_dict(self) -> dict:
-        """Serialise axis values (JSON-compatible)."""
+        """Serialise axis values and the microarchitecture.
+
+        Round-trips through :meth:`from_dict`, including non-default
+        microarchitectures, so alternative-hardware-family sweeps can
+        cross process boundaries (JSON-compatible).
+        """
         return {
             "cu_counts": list(self.cu_counts),
             "engine_mhz": list(self.engine_mhz),
             "memory_mhz": list(self.memory_mhz),
+            "uarch": self.uarch.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ConfigurationSpace":
-        """Reconstruct from :meth:`to_dict` output."""
+        """Reconstruct from :meth:`to_dict` output.
+
+        Payloads written before the microarchitecture was serialised
+        (no ``uarch`` key) load with the default Hawaii-class uarch.
+        """
+        uarch = (
+            Microarchitecture.from_dict(payload["uarch"])
+            if "uarch" in payload
+            else HAWAII_UARCH
+        )
         return cls(
             cu_counts=tuple(int(c) for c in payload["cu_counts"]),
             engine_mhz=tuple(float(f) for f in payload["engine_mhz"]),
             memory_mhz=tuple(float(f) for f in payload["memory_mhz"]),
+            uarch=uarch,
         )
 
 

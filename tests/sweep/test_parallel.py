@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import DatasetError
+from repro.gpu.families import APU_SPACE
 from repro.suites import all_kernels
 from repro.sweep import SweepRunner, reduced_space
 from repro.sweep.parallel import ParallelSweepRunner
@@ -17,6 +18,38 @@ class TestParallelRunner:
         parallel = ParallelSweepRunner(workers=3).run(kernels, space)
         np.testing.assert_array_equal(serial.perf, parallel.perf)
         assert serial.kernel_names == parallel.kernel_names
+
+    def test_nondefault_uarch_matches_serial(self):
+        """Alternative hardware families cross the process boundary:
+        the uarch round-trips through the worker payloads instead of
+        silently falling back to a serial sweep of the wrong device."""
+        kernels = all_kernels("proxyapps")
+        assert APU_SPACE.uarch is not reduced_space(4, 4, 4).uarch
+        serial = SweepRunner().run(kernels, APU_SPACE)
+        parallel = ParallelSweepRunner(workers=3).run(kernels, APU_SPACE)
+        np.testing.assert_array_equal(serial.perf, parallel.perf)
+
+    def test_progress_callback_monotone_and_complete(self):
+        kernels = all_kernels("proxyapps")
+        space = reduced_space(4, 4, 4)
+        calls = []
+        ParallelSweepRunner(workers=3).run(
+            kernels, space, progress=lambda d, t: calls.append((d, t))
+        )
+        assert calls, "progress callback never fired"
+        assert calls[-1] == (len(kernels), len(kernels))
+        done = [d for d, _ in calls]
+        assert done == sorted(done)
+        assert all(t == len(kernels) for _, t in calls)
+
+    def test_progress_callback_on_serial_fallback(self):
+        kernels = all_kernels("proxyapps")[:2]
+        space = reduced_space(4, 4, 4)
+        calls = []
+        ParallelSweepRunner(workers=8).run(
+            kernels, space, progress=lambda d, t: calls.append((d, t))
+        )
+        assert calls == [(1, 2), (2, 2)]
 
     def test_single_worker_falls_back_to_serial(self):
         kernels = all_kernels("proxyapps")[:4]

@@ -2,8 +2,10 @@
 
 import pytest
 
+import numpy as np
+
 from repro.errors import DatasetError
-from repro.gpu import GpuSimulator, HardwareConfig
+from repro.gpu import GpuSimulator, GridMode, HardwareConfig
 from repro.kernels import compute_kernel, streaming_kernel
 from repro.sweep import SweepRunner, reduced_space
 
@@ -37,6 +39,19 @@ class TestRun:
         kernel = compute_kernel("a", suite="t")
         with pytest.raises(DatasetError):
             SweepRunner().run([kernel, kernel], space)
+
+    def test_scalar_mode_matches_batch(self, space):
+        """The per-point oracle and the batch grid path agree."""
+        kernels = [compute_kernel("a", suite="t"),
+                   streaming_kernel("b", suite="t")]
+        batch = SweepRunner().run(kernels, space)
+        scalar = SweepRunner(grid_mode=GridMode.SCALAR).run(kernels, space)
+        np.testing.assert_allclose(
+            batch.perf, scalar.perf, rtol=1e-12
+        )
+
+    def test_default_grid_mode_is_batch(self):
+        assert SweepRunner().grid_mode is GridMode.BATCH
 
     def test_progress_callback_called_per_kernel(self, space):
         calls = []

@@ -77,3 +77,35 @@ class TestReducedSpace:
     def test_round_trip_dict(self):
         space = reduced_space(3, 2, 4)
         assert ConfigurationSpace.from_dict(space.to_dict()) == space
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_uarch(self):
+        from repro.gpu.families import APU_SPACE
+
+        restored = ConfigurationSpace.from_dict(APU_SPACE.to_dict())
+        assert restored == APU_SPACE
+        assert restored.uarch == APU_SPACE.uarch
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        from repro.gpu.families import APU_SPACE
+
+        payload = json.loads(json.dumps(APU_SPACE.to_dict()))
+        assert ConfigurationSpace.from_dict(payload) == APU_SPACE
+
+    def test_legacy_payload_defaults_to_hawaii(self):
+        from repro.gpu import HAWAII_UARCH
+
+        payload = PAPER_SPACE.to_dict()
+        del payload["uarch"]
+        restored = ConfigurationSpace.from_dict(payload)
+        assert restored.uarch is HAWAII_UARCH
+        assert restored == PAPER_SPACE
+
+    def test_uarch_rejects_unknown_fields(self):
+        from repro.gpu import Microarchitecture
+
+        with pytest.raises(ConfigurationError):
+            Microarchitecture.from_dict({"warp_size": 32})

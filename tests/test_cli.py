@@ -43,7 +43,7 @@ class TestCommands:
 
         kernels = all_kernels()[:3]
 
-        def fake_collect(progress=None):
+        def fake_collect(progress=None, **kwargs):
             return SweepRunner().run(kernels, reduced_space(4, 4, 4))
 
         monkeypatch.setattr(cli_module, "collect_paper_dataset",
@@ -52,6 +52,31 @@ class TestCommands:
         csv = tmp_path / "data.csv"
         assert main(["sweep", "--out", str(out), "--csv", str(csv)]) == 0
         assert out.exists() and csv.exists()
+
+    def test_sweep_engine_mode_flag(self, tmp_path, monkeypatch):
+        # The escape hatch forwards the chosen grid path to the runner.
+        import repro.cli as cli_module
+        from repro.gpu import GridMode
+        from repro.suites import all_kernels
+        from repro.sweep import SweepRunner, reduced_space
+
+        kernels = all_kernels()[:2]
+        seen = {}
+
+        def fake_collect(progress=None, grid_mode=GridMode.BATCH):
+            seen["grid_mode"] = grid_mode
+            return SweepRunner(grid_mode=grid_mode).run(
+                kernels, reduced_space(4, 4, 4)
+            )
+
+        monkeypatch.setattr(cli_module, "collect_paper_dataset",
+                            fake_collect)
+        out = tmp_path / "data.npz"
+        assert main(["sweep", "--out", str(out),
+                     "--engine-mode", "scalar"]) == 0
+        assert seen["grid_mode"] is GridMode.SCALAR
+        assert main(["sweep", "--out", str(out)]) == 0
+        assert seen["grid_mode"] is GridMode.BATCH
 
     def test_classify_from_saved_dataset(self, tmp_path, capsys):
         from repro.suites import all_kernels
