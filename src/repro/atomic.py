@@ -1,0 +1,42 @@
+"""Atomic file persistence.
+
+Every artifact the package writes (datasets, CSV exports, report
+files, campaign journal shards and manifests) goes through
+write-to-temp-then-:func:`os.replace`, so an interrupted write — a
+killed campaign, a full disk, a crashing worker — never leaves a
+truncated file at the final path. The final path either holds the
+previous complete contents or the new complete contents, never a
+half-written hybrid.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Union
+
+
+@contextmanager
+def atomic_path(path: Union[str, Path]) -> Iterator[Path]:
+    """Yield a temporary sibling path; publish it on clean exit.
+
+    The body writes to the yielded temp path. If it completes without
+    raising, the temp file is renamed over *path* atomically; if it
+    raises, the temp file is removed and *path* is left untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        yield tmp
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Atomically write *text* to *path*; returns the final path."""
+    path = Path(path)
+    with atomic_path(path) as tmp:
+        tmp.write_text(text)
+    return path

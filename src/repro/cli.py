@@ -4,9 +4,16 @@ Usage (installed as ``gpuscale`` or via ``python -m repro.cli``)::
 
     gpuscale catalog                    # suite/program/kernel inventory
     gpuscale sweep --out data.npz       # collect the full dataset
+    gpuscale sweep --resume             # resume an interrupted campaign
     gpuscale classify [--data data.npz] # taxonomy labels + histogram
     gpuscale report [T3 F7 ...]         # regenerate tables/figures
     gpuscale kernel rodinia/bfs.kernel1 # one kernel's scaling detail
+
+``sweep`` runs as a fault-tolerant campaign: progress is journaled to
+``<out>.journal`` chunk by chunk, a failing kernel is quarantined
+(reported, NaN row) instead of aborting — ``--strict`` restores
+fail-fast — and ``--resume`` continues an interrupted run from the last
+completed chunk instead of restarting all 237,897 points.
 """
 
 from __future__ import annotations
@@ -21,9 +28,10 @@ from repro.report.experiments import (
     run_experiment,
 )
 from repro.report.tables import render_table
-from repro.suites import all_suites
+from repro.suites import all_kernels, all_suites
 from repro.sweep.dataset import ScalingDataset
 from repro.sweep.runner import collect_paper_dataset
+from repro.sweep.space import PAPER_SPACE
 from repro.sweep.views import Axis, axis_slice
 from repro.taxonomy.classifier import classify
 
@@ -76,10 +84,30 @@ def _progress(done: int, total: int) -> None:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.gpu.simulator import GridMode
+    from repro.sweep.campaign import CampaignRunner
+    from repro.sweep.parallel import ParallelSweepRunner
+    from repro.sweep.runner import SweepRunner
 
-    dataset = collect_paper_dataset(
-        progress=_progress, grid_mode=GridMode(args.engine_mode)
+    grid_mode = GridMode(args.engine_mode)
+    if args.workers and args.workers > 1:
+        inner = ParallelSweepRunner(
+            workers=args.workers, grid_mode=grid_mode
+        )
+    else:
+        inner = SweepRunner(grid_mode=grid_mode)
+    journal = args.journal or f"{args.out}.journal"
+    runner = CampaignRunner(
+        journal,
+        runner=inner,
+        chunk_size=args.chunk_size,
+        strict=args.strict,
     )
+    dataset, report = runner.run(
+        all_kernels(), PAPER_SPACE, progress=_progress,
+        resume=args.resume,
+    )
+    for line in report.summary_lines():
+        print(line)
     path = dataset.save(args.out)
     print(f"dataset written to {path}")
     if args.csv:
@@ -90,8 +118,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _load_or_collect(data: Optional[str]) -> ScalingDataset:
     if data:
-        return ScalingDataset.load(data)
-    return collect_paper_dataset(progress=_progress)
+        dataset = ScalingDataset.load(data).validate()
+        if dataset.quarantined:
+            names = ", ".join(sorted(dataset.quarantined))
+            sys.stderr.write(
+                f"warning: dropping {len(dataset.quarantined)} "
+                f"quarantined kernel rows: {names}\n"
+            )
+            dataset = dataset.healthy()
+        return dataset
+    return collect_paper_dataset(progress=_progress).validate()
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -230,6 +266,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="grid evaluation path: the vectorized batch "
                        "engine (default) or the per-point scalar oracle "
                        "for debugging batch regressions")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume from the campaign journal instead "
+                       "of restarting from scratch")
+    sweep.add_argument("--journal", default=None, metavar="DIR",
+                       help="campaign journal directory "
+                       "(default: <out>.journal)")
+    sweep.add_argument("--strict", action="store_true",
+                       help="abort on the first failing kernel instead "
+                       "of quarantining it")
+    sweep.add_argument("--chunk-size", type=int, default=16,
+                       metavar="N",
+                       help="kernels per checkpointed chunk "
+                       "(default: 16)")
+    sweep.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes for the sweep "
+                       "(default: 1, serial)")
 
     classify_p = sub.add_parser("classify", help="run the taxonomy")
     classify_p.add_argument("--data", default=None,

@@ -49,6 +49,32 @@ class DatasetError(ReproError):
     """
 
 
+class SimulationError(ReproError):
+    """One kernel's simulation failed or produced corrupt output.
+
+    Structured so a sweep campaign can attribute the failure: carries
+    the offending kernel's full name and a short reason. Non-strict
+    sweeps quarantine the kernel row (NaN-filled, recorded on the
+    dataset) instead of aborting; strict sweeps re-raise this error.
+    """
+
+    def __init__(self, kernel_name: str, reason: str):
+        super().__init__(
+            f"simulation of {kernel_name!r} failed: {reason}"
+        )
+        self.kernel_name = kernel_name
+        self.reason = reason
+
+
+class CampaignError(ReproError):
+    """A sweep-campaign journal problem.
+
+    Raised when a resume is attempted against a journal written by a
+    different campaign (fingerprint mismatch) or when a journal shard
+    is missing or inconsistent with its manifest.
+    """
+
+
 class ClassificationError(ReproError):
     """A taxonomy-classification failure.
 

@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError, SimulationError
 from repro.gpu.config import HardwareConfig
 from repro.gpu.event_sim import EventSimResult, EventSimulator
 from repro.gpu.interval_batch import (
@@ -91,10 +91,22 @@ class GpuSimulator:
         like :meth:`ConfigurationSpace.config`. The interval engine uses
         the vectorized batch path unless *mode* forces the scalar
         oracle; the event engine always simulates point by point.
+
+        Unexpected engine failures (anything outside the package's own
+        error hierarchy) are wrapped in a structured
+        :class:`~repro.errors.SimulationError` naming the kernel, so
+        fault-tolerant sweeps can attribute and quarantine them.
         """
-        if self._engine is Engine.INTERVAL and mode is GridMode.BATCH:
-            return self._interval_batch.simulate_grid(kernel, space)
-        return self._scalar_grid(kernel, space)
+        try:
+            if self._engine is Engine.INTERVAL and mode is GridMode.BATCH:
+                return self._interval_batch.simulate_grid(kernel, space)
+            return self._scalar_grid(kernel, space)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise SimulationError(
+                kernel.full_name, f"{type(exc).__name__}: {exc}"
+            ) from exc
 
     def _scalar_grid(
         self, kernel: Kernel, space: "ConfigurationSpace"

@@ -11,6 +11,7 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Union
 
+from repro.atomic import atomic_write_text
 from repro.report.experiments import (
     EXPERIMENTS,
     ExperimentContext,
@@ -36,7 +37,9 @@ def write_artifacts(
 
     Returns experiment id -> Markdown path. Each experiment also gets
     a ``<id>.json`` with its structured data, and the directory gets an
-    ``INDEX.md``.
+    ``INDEX.md``. Every file is written atomically (temp file +
+    rename), so an interrupted regeneration never leaves a truncated
+    artifact behind.
     """
     output_dir = Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
@@ -48,14 +51,15 @@ def write_artifacts(
     for experiment_id in ids:
         result = EXPERIMENTS[experiment_id](ctx)
         md_path = output_dir / f"{experiment_id}.md"
-        md_path.write_text(_artifact_markdown(result))
+        atomic_write_text(md_path, _artifact_markdown(result))
         json_path = output_dir / f"{experiment_id}.json"
-        json_path.write_text(json.dumps(result.data, indent=2,
-                                        default=str))
+        atomic_write_text(json_path, json.dumps(result.data, indent=2,
+                                                default=str))
         written[experiment_id] = md_path
         index_lines.append(
             f"- [{experiment_id}]({md_path.name}) — {result.title} "
             f"([data]({json_path.name}))"
         )
-    (output_dir / "INDEX.md").write_text("\n".join(index_lines) + "\n")
+    atomic_write_text(output_dir / "INDEX.md",
+                      "\n".join(index_lines) + "\n")
     return written

@@ -64,9 +64,11 @@ class ExperimentContext:
 
     @property
     def dataset(self) -> ScalingDataset:
-        """The full sweep (collected on first access)."""
+        """The full sweep (collected and validated on first access)."""
         if self._dataset is None:
-            self._dataset = collect_paper_dataset(space=self._space)
+            self._dataset = collect_paper_dataset(
+                space=self._space
+            ).validate()
         return self._dataset
 
     @property

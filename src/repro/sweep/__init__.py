@@ -1,9 +1,11 @@
 """Data-collection harness: configuration space, sweep runner, dataset,
-and axis views."""
+axis views, fault-tolerant campaigns, and fault injection."""
 
+from repro.sweep.campaign import CampaignReport, CampaignRunner
 from repro.sweep.dataset import KernelRecord, ScalingDataset
+from repro.sweep.faults import FaultKind, FaultSpec, FaultyEngine
 from repro.sweep.noise import NoiseModel, perturb
-from repro.sweep.parallel import ParallelSweepRunner
+from repro.sweep.parallel import ParallelSweepRunner, SupervisionStats
 from repro.sweep.runner import SweepRunner, collect_paper_dataset
 from repro.sweep.space import PAPER_SPACE, ConfigurationSpace, reduced_space
 from repro.sweep.views import (
@@ -19,12 +21,18 @@ from repro.sweep.views import (
 __all__ = [
     "Axis",
     "AxisSlice",
+    "CampaignReport",
+    "CampaignRunner",
     "ConfigurationSpace",
+    "FaultKind",
+    "FaultSpec",
+    "FaultyEngine",
     "KernelRecord",
     "NoiseModel",
     "PAPER_SPACE",
     "ParallelSweepRunner",
     "ScalingDataset",
+    "SupervisionStats",
     "SweepRunner",
     "axis_slice",
     "axis_values",

@@ -51,6 +51,7 @@ class NoiseModel:
             dataset.space,
             dataset.kernel_records,
             dataset.perf * factors,
+            quarantined=dataset.quarantined,
         )
 
 

@@ -1,4 +1,4 @@
-"""Multiprocess sweep collection.
+"""Multiprocess sweep collection with worker supervision.
 
 The batch interval engine completes the full 237,897-point study in a
 fraction of a second on one core, but iteration workflows (ablation
@@ -9,6 +9,15 @@ embarrassingly parallel per kernel row — and reassembles an
 identical-to-serial dataset (bit-exact: the model is deterministic and
 rows are independent).
 
+The pool is *supervised* rather than trusted: every chunk result is
+awaited with a timeout, so a hung or crashed worker fails the chunk
+visibly instead of blocking the campaign forever. A failed chunk is
+retried (bounded, with backoff) on a fresh pool; a chunk that keeps
+failing degrades to in-process serial execution, which also covers
+sandboxed environments where a process pool cannot be created at all.
+Worker-side failures come back as structured records naming the
+originating kernel, not as bare pickled tracebacks.
+
 Kernels and the configuration space travel to workers as plain dicts,
 including the microarchitecture, so non-default hardware families
 (e.g. :data:`repro.gpu.families.APU_SPACE`) parallelise the same way
@@ -18,51 +27,108 @@ the paper grid does.
 from __future__ import annotations
 
 import multiprocessing
-from typing import List, Optional, Sequence, Tuple
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import DatasetError
-from repro.gpu.simulator import Engine, GridMode
+from repro.errors import SimulationError
+from repro.gpu.simulator import Engine, GpuSimulator, GridMode
 from repro.kernels.kernel import Kernel
 from repro.sweep.dataset import KernelRecord, ScalingDataset
-from repro.sweep.runner import ProgressCallback, SweepRunner
+from repro.sweep.faults import FaultSpec, FaultyEngine
+from repro.sweep.runner import (
+    ProgressCallback,
+    SweepRunner,
+    check_kernel_list,
+)
 from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
 
-#: Target chunks per worker: small enough that ``imap`` completions
-#: give useful progress ticks, large enough to amortise pickling.
+#: Target chunks per worker: small enough that chunk completions give
+#: useful progress ticks, large enough to amortise pickling.
 _CHUNKS_PER_WORKER = 4
 
+#: How long to wait for one chunk before declaring its worker wedged.
+DEFAULT_CHUNK_TIMEOUT_S = 300.0
 
-def _sweep_chunk(
-    payload: Tuple[List[dict], dict, str, str]
-) -> np.ndarray:
+#: Retries per chunk (on a fresh pool) before degrading to serial.
+DEFAULT_MAX_RETRIES = 2
+
+#: Base backoff between retries; multiplied by the attempt number.
+DEFAULT_RETRY_BACKOFF_S = 0.25
+
+
+def _sweep_chunk(payload: dict) -> dict:
     """Worker: sweep a chunk of kernels (serialised as dicts).
 
-    Kernels and the space travel as plain dicts so the worker start
-    method (fork or spawn) does not matter.
+    Returns a structured result instead of raising, so the parent can
+    surface a failure with the originating kernel's name rather than a
+    bare pickled traceback. Kernels and the space travel as plain
+    dicts so the worker start method (fork or spawn) does not matter.
     """
-    kernel_payloads, space_payload, engine_value, mode_value = payload
-    kernels = [Kernel.from_dict(p) for p in kernel_payloads]
-    space = ConfigurationSpace.from_dict(space_payload)
-    runner = SweepRunner(Engine(engine_value), GridMode(mode_value))
-    return runner.run(kernels, space).perf
+    try:
+        kernels = [Kernel.from_dict(p) for p in payload["kernels"]]
+        space = ConfigurationSpace.from_dict(payload["space"])
+        engine = Engine(payload["engine"])
+        simulator = GpuSimulator(engine)
+        specs = [FaultSpec.from_dict(s) for s in payload.get("faults", [])]
+        if specs:
+            simulator = FaultyEngine(simulator, specs)
+        runner = SweepRunner(
+            engine, GridMode(payload["mode"]), simulator=simulator
+        )
+        dataset = runner.run(kernels, space, strict=payload["strict"])
+        return {
+            "ok": True,
+            "perf": dataset.perf,
+            "quarantined": dataset.quarantined,
+        }
+    except Exception as exc:
+        return {
+            "ok": False,
+            "kernel": getattr(exc, "kernel_name", None),
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+
+
+@dataclass
+class SupervisionStats:
+    """Counters describing one supervised parallel run."""
+
+    retries: int = 0
+    timeouts: int = 0
+    degraded_chunks: int = 0
+    pool_unavailable: bool = False
+    worker_errors: List[str] = field(default_factory=list)
 
 
 class ParallelSweepRunner:
-    """Sweep kernels across a pool of worker processes."""
+    """Sweep kernels across a supervised pool of worker processes."""
 
     def __init__(
         self,
         engine: Engine = Engine.INTERVAL,
         workers: Optional[int] = None,
         grid_mode: GridMode = GridMode.BATCH,
+        *,
+        chunk_timeout_s: float = DEFAULT_CHUNK_TIMEOUT_S,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+        faults: Sequence[FaultSpec] = (),
     ):
         self._engine = engine
         self._workers = workers or max(
             1, multiprocessing.cpu_count() - 1
         )
         self._grid_mode = grid_mode
+        self._chunk_timeout_s = chunk_timeout_s
+        self._max_retries = max_retries
+        self._retry_backoff_s = retry_backoff_s
+        self._faults = list(faults)
+        self._stats = SupervisionStats()
 
     @property
     def workers(self) -> int:
@@ -70,31 +136,41 @@ class ParallelSweepRunner:
         return self._workers
 
     @property
+    def engine(self) -> Engine:
+        """The timing engine selection."""
+        return self._engine
+
+    @property
     def grid_mode(self) -> GridMode:
         """How each worker evaluates a kernel's configuration grid."""
         return self._grid_mode
+
+    @property
+    def last_stats(self) -> SupervisionStats:
+        """Supervision counters from the most recent :meth:`run`."""
+        return self._stats
 
     def run(
         self,
         kernels: Sequence[Kernel],
         space: ConfigurationSpace = PAPER_SPACE,
         progress: Optional[ProgressCallback] = None,
+        strict: bool = True,
     ) -> ScalingDataset:
         """Collect the dataset; identical to the serial runner's.
 
         *progress*, when given, is called as chunks of kernel rows
         complete with ``(rows_done, rows_total)`` — the same signature
-        as the serial runner's callback.
+        as the serial runner's callback. Each chunk is counted exactly
+        once, even when it is retried or degraded to serial execution.
         """
-        if not kernels:
-            raise DatasetError("cannot sweep an empty kernel list")
+        check_kernel_list(kernels)
         names = [k.full_name for k in kernels]
-        if len(set(names)) != len(names):
-            raise DatasetError("kernel list contains duplicate full names")
+        self._stats = SupervisionStats()
 
         if self._workers == 1 or len(kernels) < 2 * self._workers:
-            return SweepRunner(self._engine, self._grid_mode).run(
-                kernels, space, progress
+            return self._serial_runner().run(
+                kernels, space, progress, strict=strict
             )
 
         chunk_size = -(-len(kernels) // (self._workers * _CHUNKS_PER_WORKER))
@@ -103,26 +179,171 @@ class ParallelSweepRunner:
             for i in range(0, len(kernels), chunk_size)
         ]
         space_payload = space.to_dict()
+        fault_payloads = [s.to_dict() for s in self._faults]
         payloads = [
-            (
-                [k.to_dict() for k in chunk],
-                space_payload,
-                self._engine.value,
-                self._grid_mode.value,
-            )
+            {
+                "kernels": [k.to_dict() for k in chunk],
+                "space": space_payload,
+                "engine": self._engine.value,
+                "mode": self._grid_mode.value,
+                "strict": strict,
+                "faults": fault_payloads,
+            }
             for chunk in chunks
         ]
-        parts: List[np.ndarray] = []
-        done = 0
-        with multiprocessing.Pool(self._workers) as pool:
-            # imap preserves chunk order, so the concatenated rows line
-            # up with *names*, while letting progress tick per chunk.
-            for chunk, part in zip(chunks, pool.imap(_sweep_chunk, payloads)):
-                parts.append(part)
-                done += len(chunk)
-                if progress is not None:
-                    progress(done, len(kernels))
 
-        perf = np.concatenate(parts, axis=0)
+        results = self._supervise(
+            chunks, payloads, space, progress, strict, total=len(kernels)
+        )
+
+        perf = np.concatenate(
+            [results[i]["perf"] for i in range(len(chunks))], axis=0
+        )
+        quarantined: Dict[str, str] = {}
+        for i in range(len(chunks)):
+            quarantined.update(results[i]["quarantined"])
         records = [KernelRecord.from_full_name(name) for name in names]
-        return ScalingDataset(space, records, perf)
+        return ScalingDataset(space, records, perf, quarantined=quarantined)
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+
+    def _serial_runner(self) -> SweepRunner:
+        """An in-process runner with the same engine (and faults)."""
+        simulator = GpuSimulator(self._engine)
+        if self._faults:
+            simulator = FaultyEngine(simulator, self._faults)
+        return SweepRunner(
+            self._engine, self._grid_mode, simulator=simulator
+        )
+
+    def _make_pool(self):
+        """A worker pool, or ``None`` where pools cannot be created
+        (e.g. sandboxes that forbid spawning processes)."""
+        try:
+            return multiprocessing.Pool(self._workers)
+        except (OSError, PermissionError, RuntimeError, ValueError):
+            return None
+
+    def _supervise(
+        self,
+        chunks: List[List[Kernel]],
+        payloads: List[dict],
+        space: ConfigurationSpace,
+        progress: Optional[ProgressCallback],
+        strict: bool,
+        total: int,
+    ) -> Dict[int, dict]:
+        """Run every chunk to completion, whatever the workers do.
+
+        Chunks are submitted to the pool and collected in order with a
+        per-chunk timeout. On a timeout, a crashed worker, or a
+        structured worker failure, the pool is torn down and the
+        incomplete chunks are resubmitted to a fresh one (completed
+        results are kept); a chunk that exhausts its retries runs
+        serially in-process. If no pool can be created, everything
+        runs serially.
+        """
+        n_chunks = len(chunks)
+        results: Dict[int, dict] = {}
+        attempts = [0] * n_chunks
+        stats = self._stats
+
+        def tick() -> None:
+            if progress is not None:
+                done = sum(len(chunks[i]) for i in results)
+                progress(done, total)
+
+        def run_serial(index: int) -> None:
+            dataset = self._serial_runner().run(
+                chunks[index], space, strict=strict
+            )
+            results[index] = {
+                "ok": True,
+                "perf": dataset.perf,
+                "quarantined": dataset.quarantined,
+            }
+            tick()
+
+        pool = self._make_pool()
+        if pool is None:
+            stats.pool_unavailable = True
+        try:
+            while len(results) < n_chunks:
+                remaining = [i for i in range(n_chunks) if i not in results]
+                if pool is None:
+                    for index in remaining:
+                        run_serial(index)
+                    break
+
+                pending = {
+                    i: pool.apply_async(_sweep_chunk, (payloads[i],))
+                    for i in remaining
+                }
+                failed = None
+                for i in sorted(pending):
+                    try:
+                        outcome = pending[i].get(self._chunk_timeout_s)
+                    except multiprocessing.TimeoutError:
+                        stats.timeouts += 1
+                        stats.worker_errors.append(
+                            f"chunk {i} ({chunks[i][0].full_name}, ...): "
+                            f"no result within {self._chunk_timeout_s:g}s "
+                            "(worker hung or crashed)"
+                        )
+                        failed = i
+                        break
+                    except Exception as exc:
+                        stats.worker_errors.append(
+                            f"chunk {i}: pool failure "
+                            f"{type(exc).__name__}: {exc}"
+                        )
+                        failed = i
+                        break
+                    if outcome["ok"]:
+                        results[i] = outcome
+                        tick()
+                        continue
+                    stats.worker_errors.append(
+                        f"chunk {i}: {outcome['error']}"
+                        + (f" (kernel {outcome['kernel']})"
+                           if outcome.get("kernel") else "")
+                    )
+                    if strict and outcome.get("kernel"):
+                        # A deterministic per-kernel simulation failure:
+                        # retrying cannot help, surface it immediately
+                        # with the kernel's name.
+                        raise SimulationError(
+                            outcome["kernel"], outcome["error"]
+                        )
+                    failed = i
+                    break
+
+                if failed is None:
+                    continue
+                attempts[failed] += 1
+                _shutdown(pool)
+                pool = None
+                if attempts[failed] > self._max_retries:
+                    stats.degraded_chunks += 1
+                    run_serial(failed)
+                else:
+                    stats.retries += 1
+                    if self._retry_backoff_s > 0:
+                        time.sleep(
+                            self._retry_backoff_s * attempts[failed]
+                        )
+                pool = self._make_pool()
+                if pool is None:
+                    stats.pool_unavailable = True
+        finally:
+            if pool is not None:
+                _shutdown(pool)
+        return results
+
+
+def _shutdown(pool) -> None:
+    """Terminate a pool, reaping hung or runaway workers."""
+    pool.terminate()
+    pool.join()

@@ -7,15 +7,23 @@ the batch interval engine evaluates each kernel's whole 891-point grid
 as one set of NumPy broadcasts (see ``repro/gpu/interval_batch.py``),
 completing the study in well under a second. ``GridMode.SCALAR``
 retains the original one-call-per-point path as a reference oracle.
+
+Fault isolation is per kernel row: with ``strict=False`` a kernel whose
+simulation raises — or silently produces non-finite or non-positive
+throughput — is *quarantined* (its row NaN-filled and the cause
+recorded on the dataset) instead of aborting the whole sweep. The
+default ``strict=True`` keeps fail-fast semantics, surfacing a
+structured :class:`~repro.errors.SimulationError` that names the
+offending kernel.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import DatasetError
+from repro.errors import DatasetError, SimulationError
 from repro.gpu.simulator import Engine, GpuSimulator, GridMode
 from repro.kernels.kernel import Kernel
 from repro.sweep.dataset import KernelRecord, ScalingDataset
@@ -24,21 +32,45 @@ from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
 ProgressCallback = Callable[[int, int], None]
 
 
+def check_kernel_list(kernels: Sequence[Kernel]) -> None:
+    """Reject empty or duplicate-name kernel lists (shared precondition)."""
+    if not kernels:
+        raise DatasetError("cannot sweep an empty kernel list")
+    names = [k.full_name for k in kernels]
+    if len(set(names)) != len(names):
+        raise DatasetError("kernel list contains duplicate full names")
+
+
 class SweepRunner:
-    """Collect the scaling dataset for a set of kernels."""
+    """Collect the scaling dataset for a set of kernels.
+
+    *simulator*, when given, replaces the internally constructed
+    :class:`GpuSimulator` — any object with the same ``simulate_grid``
+    signature works, which is how the fault-injection test engine
+    (:class:`~repro.sweep.faults.FaultyEngine`) slots in.
+    """
 
     def __init__(
         self,
         engine: Engine = Engine.INTERVAL,
         grid_mode: GridMode = GridMode.BATCH,
+        simulator=None,
     ):
-        self._simulator = GpuSimulator(engine)
+        self._engine = engine
+        self._simulator = (
+            simulator if simulator is not None else GpuSimulator(engine)
+        )
         self._grid_mode = grid_mode
 
     @property
-    def simulator(self) -> GpuSimulator:
+    def simulator(self):
         """The simulator used for every point."""
         return self._simulator
+
+    @property
+    def engine(self) -> Engine:
+        """The timing engine selection."""
+        return self._engine
 
     @property
     def grid_mode(self) -> GridMode:
@@ -50,31 +82,72 @@ class SweepRunner:
         kernels: Sequence[Kernel],
         space: ConfigurationSpace = PAPER_SPACE,
         progress: Optional[ProgressCallback] = None,
+        strict: bool = True,
     ) -> ScalingDataset:
         """Simulate every kernel at every configuration.
 
         *progress*, when given, is called after each kernel row with
-        ``(rows_done, rows_total)``.
+        ``(rows_done, rows_total)``. With ``strict=False``, failing
+        kernels are quarantined on the returned dataset instead of
+        aborting the sweep.
         """
-        if not kernels:
-            raise DatasetError("cannot sweep an empty kernel list")
+        check_kernel_list(kernels)
         names = [k.full_name for k in kernels]
-        if len(set(names)) != len(names):
-            raise DatasetError("kernel list contains duplicate full names")
 
         n_cu, n_eng, n_mem = space.shape
         perf = np.empty((len(kernels), n_cu, n_eng, n_mem), dtype=np.float64)
+        quarantined: Dict[str, str] = {}
 
         for row, kernel in enumerate(kernels):
-            grid = self._simulator.simulate_grid(
-                kernel, space, mode=self._grid_mode
-            )
-            perf[row] = grid.items_per_second
+            try:
+                perf[row] = self._simulate_row(kernel, space)
+            except Exception as exc:
+                error = self._as_simulation_error(kernel, exc)
+                if strict:
+                    raise error
+                perf[row] = np.nan
+                quarantined[kernel.full_name] = error.reason
             if progress is not None:
                 progress(row + 1, len(kernels))
 
         records = [KernelRecord.from_full_name(name) for name in names]
-        return ScalingDataset(space, records, perf)
+        return ScalingDataset(space, records, perf, quarantined=quarantined)
+
+    def _simulate_row(
+        self, kernel: Kernel, space: ConfigurationSpace
+    ) -> np.ndarray:
+        """One kernel's grid, checked for silent data corruption."""
+        grid = self._simulator.simulate_grid(
+            kernel, space, mode=self._grid_mode
+        )
+        values = np.asarray(grid.items_per_second, dtype=np.float64)
+        if values.shape != space.shape:
+            raise SimulationError(
+                kernel.full_name,
+                f"engine returned shape {values.shape}, "
+                f"expected {space.shape}",
+            )
+        if not np.all(np.isfinite(values)):
+            raise SimulationError(
+                kernel.full_name, "engine produced non-finite throughput"
+            )
+        if np.any(values <= 0):
+            raise SimulationError(
+                kernel.full_name, "engine produced non-positive throughput"
+            )
+        return values
+
+    @staticmethod
+    def _as_simulation_error(
+        kernel: Kernel, exc: Exception
+    ) -> SimulationError:
+        if isinstance(exc, SimulationError):
+            return exc
+        error = SimulationError(
+            kernel.full_name, f"{type(exc).__name__}: {exc}"
+        )
+        error.__cause__ = exc
+        return error
 
 
 def collect_paper_dataset(
@@ -82,8 +155,11 @@ def collect_paper_dataset(
     space: ConfigurationSpace = PAPER_SPACE,
     progress: Optional[ProgressCallback] = None,
     grid_mode: GridMode = GridMode.BATCH,
+    strict: bool = True,
 ) -> ScalingDataset:
     """Run the full study: all 267 catalog kernels over the 891 configs."""
     from repro.suites import all_kernels
 
-    return SweepRunner(engine, grid_mode).run(all_kernels(), space, progress)
+    return SweepRunner(engine, grid_mode).run(
+        all_kernels(), space, progress, strict=strict
+    )

@@ -1,0 +1,252 @@
+"""Campaign journaling: checkpoint, kill, resume, quarantine report."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CampaignError, SimulationError
+from repro.gpu.simulator import GpuSimulator
+from repro.suites import all_kernels
+from repro.sweep import (
+    CampaignRunner,
+    FaultKind,
+    FaultSpec,
+    FaultyEngine,
+    SweepRunner,
+    reduced_space,
+)
+from repro.sweep.campaign import MANIFEST_NAME
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return all_kernels("proxyapps")[:8]
+
+
+@pytest.fixture(scope="module")
+def space():
+    return reduced_space(4, 4, 4)
+
+
+@pytest.fixture(scope="module")
+def clean_dataset(kernels, space):
+    return SweepRunner().run(kernels, space)
+
+
+def faulty_runner(specs):
+    return SweepRunner(simulator=FaultyEngine(GpuSimulator(), specs))
+
+
+class TestFreshCampaign:
+    def test_matches_plain_runner_bit_exact(
+        self, kernels, space, clean_dataset, tmp_path
+    ):
+        dataset, report = CampaignRunner(
+            tmp_path / "journal", chunk_size=3
+        ).run(kernels, space)
+        np.testing.assert_array_equal(dataset.perf, clean_dataset.perf)
+        assert dataset.kernel_names == clean_dataset.kernel_names
+        assert report.total_chunks == 3
+        assert report.executed_chunks == 3
+        assert report.resumed_chunks == 0
+        assert report.quarantined_count == 0
+
+    def test_journal_has_manifest_and_shards(
+        self, kernels, space, tmp_path
+    ):
+        journal = tmp_path / "journal"
+        CampaignRunner(journal, chunk_size=3).run(kernels, space)
+        assert (journal / MANIFEST_NAME).exists()
+        assert sorted(p.name for p in journal.glob("chunk_*.npz")) == [
+            "chunk_0000.npz", "chunk_0001.npz", "chunk_0002.npz"
+        ]
+
+    def test_no_temp_files_left_behind(self, kernels, space, tmp_path):
+        journal = tmp_path / "journal"
+        CampaignRunner(journal, chunk_size=3).run(kernels, space)
+        assert not list(journal.glob("*.tmp*"))
+
+    def test_progress_counts_cumulative_rows(
+        self, kernels, space, tmp_path
+    ):
+        calls = []
+        CampaignRunner(tmp_path / "journal", chunk_size=3).run(
+            kernels, space, progress=lambda d, t: calls.append((d, t))
+        )
+        assert calls == [(3, 8), (6, 8), (8, 8)]
+
+    def test_rejects_bad_chunk_size(self, tmp_path):
+        with pytest.raises(CampaignError):
+            CampaignRunner(tmp_path / "journal", chunk_size=0)
+
+
+class TestKillAndResume:
+    def test_resume_after_mid_campaign_kill_is_bit_exact(
+        self, kernels, space, clean_dataset, tmp_path
+    ):
+        """The acceptance property: kill after any chunk, resume, and
+        the final dataset is bit-exact with an uninterrupted run."""
+        journal = tmp_path / "journal"
+        killer = faulty_runner(
+            [FaultSpec(kind=FaultKind.RAISE,
+                       kernel_name=kernels[5].full_name,
+                       message="killed mid-campaign")]
+        )
+        # Strict campaign: the injected fault aborts the run after the
+        # first chunks have been journaled.
+        with pytest.raises(SimulationError):
+            CampaignRunner(journal, runner=killer, chunk_size=2,
+                           strict=True).run(kernels, space)
+        manifest_chunks = (journal / MANIFEST_NAME).read_text()
+        assert "chunk_0000.npz" in manifest_chunks
+
+        dataset, report = CampaignRunner(
+            journal, chunk_size=2
+        ).run(kernels, space, resume=True)
+        np.testing.assert_array_equal(dataset.perf, clean_dataset.perf)
+        assert report.resumed_chunks == 2  # kernels 0..3 were journaled
+        assert report.executed_chunks == 2
+        assert report.quarantined_count == 0
+
+    def test_resume_at_every_kill_point(
+        self, kernels, space, clean_dataset, tmp_path
+    ):
+        """Interrupting at each successive chunk boundary always
+        resumes to the same bit-exact dataset."""
+        for kill_at in range(1, 4):
+            journal = tmp_path / f"journal_{kill_at}"
+            killer = faulty_runner(
+                [FaultSpec(kind=FaultKind.RAISE,
+                           kernel_name=kernels[2 * kill_at].full_name)]
+            )
+            with pytest.raises(SimulationError):
+                CampaignRunner(journal, runner=killer, chunk_size=2,
+                               strict=True).run(kernels, space)
+            dataset, report = CampaignRunner(
+                journal, chunk_size=2
+            ).run(kernels, space, resume=True)
+            np.testing.assert_array_equal(
+                dataset.perf, clean_dataset.perf
+            )
+            assert report.resumed_chunks == kill_at
+
+    def test_resume_of_complete_journal_executes_nothing(
+        self, kernels, space, clean_dataset, tmp_path
+    ):
+        journal = tmp_path / "journal"
+        CampaignRunner(journal, chunk_size=3).run(kernels, space)
+        dataset, report = CampaignRunner(journal, chunk_size=3).run(
+            kernels, space, resume=True
+        )
+        assert report.executed_chunks == 0
+        assert report.resumed_chunks == 3
+        np.testing.assert_array_equal(dataset.perf, clean_dataset.perf)
+
+    def test_resume_without_journal_starts_fresh(
+        self, kernels, space, tmp_path
+    ):
+        dataset, report = CampaignRunner(
+            tmp_path / "journal", chunk_size=3
+        ).run(kernels, space, resume=True)
+        assert report.resumed_chunks == 0
+        assert report.executed_chunks == 3
+
+    def test_progress_includes_resumed_rows(
+        self, kernels, space, tmp_path
+    ):
+        journal = tmp_path / "journal"
+        CampaignRunner(journal, chunk_size=3).run(kernels, space)
+        calls = []
+        CampaignRunner(journal, chunk_size=3).run(
+            kernels, space, resume=True,
+            progress=lambda d, t: calls.append((d, t)),
+        )
+        assert calls == [(3, 8), (6, 8), (8, 8)]
+
+
+class TestJournalSafety:
+    def test_fingerprint_mismatch_rejected(
+        self, kernels, space, tmp_path
+    ):
+        journal = tmp_path / "journal"
+        CampaignRunner(journal, chunk_size=3).run(kernels, space)
+        other_space = reduced_space(2, 2, 2)
+        with pytest.raises(CampaignError, match="fingerprint"):
+            CampaignRunner(journal, chunk_size=3).run(
+                kernels, other_space, resume=True
+            )
+
+    def test_different_chunking_rejected(self, kernels, space, tmp_path):
+        journal = tmp_path / "journal"
+        CampaignRunner(journal, chunk_size=3).run(kernels, space)
+        with pytest.raises(CampaignError, match="fingerprint"):
+            CampaignRunner(journal, chunk_size=2).run(
+                kernels, space, resume=True
+            )
+
+    def test_missing_shard_detected(self, kernels, space, tmp_path):
+        journal = tmp_path / "journal"
+        CampaignRunner(journal, chunk_size=3).run(kernels, space)
+        (journal / "chunk_0001.npz").unlink()
+        with pytest.raises(CampaignError, match="missing"):
+            CampaignRunner(journal, chunk_size=3).run(
+                kernels, space, resume=True
+            )
+
+    def test_corrupt_manifest_detected(self, kernels, space, tmp_path):
+        journal = tmp_path / "journal"
+        CampaignRunner(journal, chunk_size=3).run(kernels, space)
+        (journal / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(CampaignError, match="corrupt"):
+            CampaignRunner(journal, chunk_size=3).run(
+                kernels, space, resume=True
+            )
+
+
+class TestQuarantine:
+    def test_failing_kernel_quarantined_not_fatal(
+        self, kernels, space, clean_dataset, tmp_path
+    ):
+        target = kernels[3].full_name
+        runner = faulty_runner(
+            [FaultSpec(kind=FaultKind.RAISE, kernel_name=target,
+                       message="flaky model")]
+        )
+        dataset, report = CampaignRunner(
+            tmp_path / "journal", runner=runner, chunk_size=2
+        ).run(kernels, space)
+        assert report.quarantined == {target: "flaky model"}
+        assert any(
+            target in line and "flaky model" in line
+            for line in report.summary_lines()
+        )
+        assert np.isnan(dataset.kernel_cube(target)).all()
+        healthy = dataset.healthy()
+        np.testing.assert_array_equal(
+            healthy.perf,
+            clean_dataset.subset(healthy.kernel_names).perf,
+        )
+
+    def test_quarantine_survives_resume(self, kernels, space, tmp_path):
+        journal = tmp_path / "journal"
+        target = kernels[0].full_name
+        runner = faulty_runner(
+            [FaultSpec(kind=FaultKind.RAISE, kernel_name=target,
+                       message="flaky model")]
+        )
+        CampaignRunner(journal, runner=runner, chunk_size=2).run(
+            kernels, space
+        )
+        dataset, report = CampaignRunner(journal, chunk_size=2).run(
+            kernels, space, resume=True
+        )
+        assert report.resumed_chunks == 4
+        assert dataset.quarantined == {target: "flaky model"}
+
+    def test_strict_campaign_fails_fast(self, kernels, space, tmp_path):
+        runner = faulty_runner(
+            [FaultSpec(kind=FaultKind.RAISE,
+                       kernel_name=kernels[0].full_name)]
+        )
+        with pytest.raises(SimulationError):
+            CampaignRunner(tmp_path / "journal", runner=runner,
+                           chunk_size=2, strict=True).run(kernels, space)

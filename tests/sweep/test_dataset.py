@@ -92,6 +92,122 @@ class TestAccess:
         )
 
 
+class TestQuarantine:
+    @pytest.fixture
+    def quarantined_dataset(self, space, records):
+        rng = np.random.default_rng(7)
+        perf = rng.uniform(1.0, 100.0, (3,) + space.shape)
+        perf[1] = np.nan
+        return ScalingDataset(
+            space, records, perf,
+            quarantined={"s1/p1.k2": "engine exploded"},
+        )
+
+    def test_quarantined_nan_row_accepted(self, quarantined_dataset):
+        assert quarantined_dataset.quarantined == {
+            "s1/p1.k2": "engine exploded"
+        }
+
+    def test_validate_returns_self(self, quarantined_dataset):
+        assert quarantined_dataset.validate() is quarantined_dataset
+
+    def test_healthy_drops_quarantined_rows(self, quarantined_dataset):
+        healthy = quarantined_dataset.healthy()
+        assert healthy.kernel_names == ["s1/p1.k1", "s2/p2.k1"]
+        assert healthy.quarantined == {}
+
+    def test_healthy_is_identity_without_quarantine(self, dataset):
+        assert dataset.healthy() is dataset
+
+    def test_error_names_offending_kernel(self, space, records):
+        perf = np.ones((3,) + space.shape)
+        perf[1, 0, 0, 0] = np.nan
+        with pytest.raises(DatasetError, match="s1/p1.k2"):
+            ScalingDataset(space, records, perf)
+
+    def test_non_positive_error_names_kernel(self, space, records):
+        perf = np.ones((3,) + space.shape)
+        perf[2, 0, 0, 0] = -1.0
+        with pytest.raises(DatasetError, match="s2/p2.k1"):
+            ScalingDataset(space, records, perf)
+
+    def test_quarantined_row_must_be_nan_filled(self, space, records):
+        perf = np.ones((3,) + space.shape)
+        with pytest.raises(DatasetError, match="NaN-filled"):
+            ScalingDataset(space, records, perf,
+                           quarantined={"s1/p1.k2": "bad"})
+
+    def test_unknown_quarantined_name_rejected(self, space, records):
+        perf = np.ones((3,) + space.shape)
+        with pytest.raises(DatasetError, match="absent"):
+            ScalingDataset(space, records, perf,
+                           quarantined={"nope/x.y": "bad"})
+
+    def test_subset_carries_quarantine(self, quarantined_dataset):
+        sub = quarantined_dataset.subset(["s1/p1.k2", "s2/p2.k1"])
+        assert sub.quarantined == {"s1/p1.k2": "engine exploded"}
+
+    def test_save_load_round_trips_quarantine(
+        self, quarantined_dataset, tmp_path
+    ):
+        path = quarantined_dataset.save(tmp_path / "q.npz")
+        restored = ScalingDataset.load(path)
+        assert restored.quarantined == quarantined_dataset.quarantined
+        assert np.isnan(restored.kernel_cube("s1/p1.k2")).all()
+
+
+class TestAtomicPersistence:
+    def test_interrupted_save_leaves_previous_file_intact(
+        self, dataset, tmp_path, monkeypatch
+    ):
+        path = dataset.save(tmp_path / "data.npz")
+        good_bytes = path.read_bytes()
+
+        def exploding_savez(handle, **arrays):
+            handle.write(b"partial garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", exploding_savez)
+        with pytest.raises(OSError):
+            dataset.save(path)
+        assert path.read_bytes() == good_bytes
+        assert ScalingDataset.load(path).kernel_names == \
+            dataset.kernel_names
+        assert not list(tmp_path.glob("*.tmp*"))
+
+    def test_interrupted_csv_leaves_previous_file_intact(
+        self, dataset, tmp_path, monkeypatch
+    ):
+        path = dataset.export_csv(tmp_path / "data.csv")
+        good_text = path.read_text()
+
+        import builtins
+
+        real_open = builtins.open
+
+        def exploding_open(file, mode="r", *args, **kwargs):
+            handle = real_open(file, mode, *args, **kwargs)
+            if "w" in mode and "tmp" in str(file):
+                original_write = handle.write
+                state = {"writes": 0}
+
+                def write(text):
+                    state["writes"] += 1
+                    if state["writes"] > 3:
+                        raise OSError("disk full")
+                    return original_write(text)
+
+                handle.write = write
+            return handle
+
+        monkeypatch.setattr(builtins, "open", exploding_open)
+        with pytest.raises(OSError):
+            dataset.export_csv(path)
+        monkeypatch.undo()
+        assert path.read_text() == good_text
+        assert not list(tmp_path.glob("*.tmp*"))
+
+
 class TestPersistence:
     def test_save_load_round_trip(self, dataset, tmp_path):
         path = dataset.save(tmp_path / "data.npz")

@@ -1,0 +1,176 @@
+"""Fault injection engine and per-kernel quarantine in the runner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.simulator import GpuSimulator
+from repro.suites import all_kernels
+from repro.sweep import (
+    FaultKind,
+    FaultSpec,
+    FaultyEngine,
+    SweepRunner,
+    reduced_space,
+)
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return all_kernels("proxyapps")[:6]
+
+
+@pytest.fixture(scope="module")
+def space():
+    return reduced_space(4, 4, 4)
+
+
+@pytest.fixture(scope="module")
+def clean_dataset(kernels, space):
+    return SweepRunner().run(kernels, space)
+
+
+def faulty_runner(specs):
+    return SweepRunner(simulator=FaultyEngine(GpuSimulator(), specs))
+
+
+class TestFaultSpec:
+    def test_dict_round_trip(self):
+        spec = FaultSpec(
+            kind=FaultKind.HANG, kernel_name="a/b.c", kernel_index=3,
+            scope="worker", max_trips=2, state_path="/tmp/x",
+            hang_s=1.5, message="m",
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rejects_unknown_scope(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.RAISE, scope="everywhere")
+
+
+class TestRaiseFault:
+    def test_strict_raises_structured_error(self, kernels, space):
+        target = kernels[2].full_name
+        runner = faulty_runner(
+            [FaultSpec(kind=FaultKind.RAISE, kernel_name=target,
+                       message="boom")]
+        )
+        with pytest.raises(SimulationError) as excinfo:
+            runner.run(kernels, space, strict=True)
+        assert excinfo.value.kernel_name == target
+        assert "boom" in str(excinfo.value)
+
+    def test_non_strict_quarantines_only_target(
+        self, kernels, space, clean_dataset
+    ):
+        target = kernels[2].full_name
+        runner = faulty_runner(
+            [FaultSpec(kind=FaultKind.RAISE, kernel_name=target,
+                       message="boom")]
+        )
+        dataset = runner.run(kernels, space, strict=False)
+        assert dataset.quarantined == {target: "boom"}
+        assert np.isnan(dataset.kernel_cube(target)).all()
+        healthy = dataset.healthy()
+        assert target not in healthy.kernel_names
+        np.testing.assert_array_equal(
+            healthy.perf,
+            clean_dataset.subset(healthy.kernel_names).perf,
+        )
+
+    def test_kernel_index_targets_nth_call(self, kernels, space):
+        runner = faulty_runner(
+            [FaultSpec(kind=FaultKind.RAISE, kernel_index=1)]
+        )
+        dataset = runner.run(kernels, space, strict=False)
+        assert list(dataset.quarantined) == [kernels[1].full_name]
+
+
+class TestNanFault:
+    def test_silent_corruption_detected_and_quarantined(
+        self, kernels, space
+    ):
+        target = kernels[0].full_name
+        runner = faulty_runner(
+            [FaultSpec(kind=FaultKind.NAN, kernel_name=target)]
+        )
+        dataset = runner.run(kernels, space, strict=False)
+        assert "non-finite" in dataset.quarantined[target]
+
+    def test_silent_corruption_fails_fast_in_strict(self, kernels, space):
+        runner = faulty_runner(
+            [FaultSpec(kind=FaultKind.NAN,
+                       kernel_name=kernels[0].full_name)]
+        )
+        with pytest.raises(SimulationError, match="non-finite"):
+            runner.run(kernels, space, strict=True)
+
+
+class TestTripCounting:
+    def test_max_trips_expires_in_process(self, kernels, space):
+        spec = FaultSpec(kind=FaultKind.RAISE,
+                         kernel_name=kernels[0].full_name, max_trips=1)
+        engine = FaultyEngine(GpuSimulator(), [spec])
+        runner = SweepRunner(simulator=engine)
+        assert runner.run(kernels[:2], space, strict=False).quarantined
+        assert not runner.run(kernels[:2], space, strict=False).quarantined
+
+    def test_state_file_counts_trips(self, kernels, space, tmp_path):
+        state = tmp_path / "trips"
+        spec = FaultSpec(kind=FaultKind.RAISE,
+                         kernel_name=kernels[0].full_name,
+                         max_trips=1, state_path=str(state))
+        # Two *fresh* engines share the tally through the state file.
+        assert faulty_runner([spec]).run(
+            kernels[:2], space, strict=False
+        ).quarantined
+        assert not faulty_runner([spec]).run(
+            kernels[:2], space, strict=False
+        ).quarantined
+        assert state.stat().st_size == 1
+
+
+class TestScopes:
+    def test_worker_scoped_fault_inert_in_main_process(
+        self, kernels, space, clean_dataset
+    ):
+        spec = FaultSpec(kind=FaultKind.RAISE, scope="worker")
+        dataset = faulty_runner([spec]).run(kernels, space)
+        np.testing.assert_array_equal(dataset.perf, clean_dataset.perf)
+
+    def test_main_scoped_fault_fires_in_main_process(
+        self, kernels, space
+    ):
+        spec = FaultSpec(kind=FaultKind.RAISE, scope="main",
+                         kernel_name=kernels[0].full_name)
+        with pytest.raises(SimulationError):
+            faulty_runner([spec]).run(kernels, space)
+
+
+class TestRunnerErrorWrapping:
+    def test_arbitrary_engine_exception_becomes_simulation_error(
+        self, kernels, space
+    ):
+        class ExplodingSimulator:
+            def simulate_grid(self, kernel, space, mode=None):
+                raise ZeroDivisionError("model blew up")
+
+        runner = SweepRunner(simulator=ExplodingSimulator())
+        with pytest.raises(SimulationError) as excinfo:
+            runner.run(kernels[:1], space, strict=True)
+        assert excinfo.value.kernel_name == kernels[0].full_name
+        assert "ZeroDivisionError" in excinfo.value.reason
+
+    def test_simulator_dispatch_wraps_engine_failures(
+        self, kernels, space, monkeypatch
+    ):
+        simulator = GpuSimulator()
+        monkeypatch.setattr(
+            simulator._interval_batch, "simulate_grid",
+            lambda *a, **k: (_ for _ in ()).throw(
+                FloatingPointError("overflow")
+            ),
+        )
+        with pytest.raises(SimulationError) as excinfo:
+            simulator.simulate_grid(kernels[0], space)
+        assert excinfo.value.kernel_name == kernels[0].full_name

@@ -35,48 +35,75 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Benchmark suites" in output
 
-    def test_sweep_writes_dataset(self, tmp_path, capsys, monkeypatch):
-        # Shrink the sweep via a reduced kernel list for speed.
+    @staticmethod
+    def _shrink_sweep(monkeypatch, count=4):
+        """Point the sweep command at a tiny campaign for speed."""
         import repro.cli as cli_module
         from repro.suites import all_kernels
-        from repro.sweep import SweepRunner, reduced_space
+        from repro.sweep import reduced_space
 
-        kernels = all_kernels()[:3]
+        kernels = all_kernels()[:count]
+        monkeypatch.setattr(cli_module, "all_kernels", lambda: kernels)
+        monkeypatch.setattr(cli_module, "PAPER_SPACE",
+                            reduced_space(4, 4, 4))
+        return kernels
 
-        def fake_collect(progress=None, **kwargs):
-            return SweepRunner().run(kernels, reduced_space(4, 4, 4))
-
-        monkeypatch.setattr(cli_module, "collect_paper_dataset",
-                            fake_collect)
+    def test_sweep_writes_dataset(self, tmp_path, capsys, monkeypatch):
+        self._shrink_sweep(monkeypatch)
         out = tmp_path / "data.npz"
         csv = tmp_path / "data.csv"
         assert main(["sweep", "--out", str(out), "--csv", str(csv)]) == 0
         assert out.exists() and csv.exists()
+        output = capsys.readouterr().out
+        assert "campaign:" in output
 
     def test_sweep_engine_mode_flag(self, tmp_path, monkeypatch):
         # The escape hatch forwards the chosen grid path to the runner.
-        import repro.cli as cli_module
+        import repro.sweep.runner as runner_module
         from repro.gpu import GridMode
-        from repro.suites import all_kernels
-        from repro.sweep import SweepRunner, reduced_space
 
-        kernels = all_kernels()[:2]
+        self._shrink_sweep(monkeypatch, count=2)
         seen = {}
+        real_runner = runner_module.SweepRunner
 
-        def fake_collect(progress=None, grid_mode=GridMode.BATCH):
-            seen["grid_mode"] = grid_mode
-            return SweepRunner(grid_mode=grid_mode).run(
-                kernels, reduced_space(4, 4, 4)
-            )
+        class RecordingRunner(real_runner):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                seen["grid_mode"] = self.grid_mode
 
-        monkeypatch.setattr(cli_module, "collect_paper_dataset",
-                            fake_collect)
+        monkeypatch.setattr(runner_module, "SweepRunner",
+                            RecordingRunner)
         out = tmp_path / "data.npz"
         assert main(["sweep", "--out", str(out),
                      "--engine-mode", "scalar"]) == 0
         assert seen["grid_mode"] is GridMode.SCALAR
         assert main(["sweep", "--out", str(out)]) == 0
         assert seen["grid_mode"] is GridMode.BATCH
+
+    def test_sweep_resume_uses_journal(self, tmp_path, capsys,
+                                       monkeypatch):
+        self._shrink_sweep(monkeypatch)
+        out = tmp_path / "data.npz"
+        journal = tmp_path / "data.npz.journal"
+        assert main(["sweep", "--out", str(out),
+                     "--chunk-size", "2"]) == 0
+        assert journal.is_dir()
+        first = capsys.readouterr().out
+        assert "0 resumed" in first
+        assert main(["sweep", "--out", str(out),
+                     "--chunk-size", "2", "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "2 resumed" in second and "0 executed" in second
+
+    def test_sweep_parser_campaign_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--resume", "--strict", "--journal", "j",
+             "--chunk-size", "8", "--workers", "2"]
+        )
+        assert args.resume and args.strict
+        assert args.journal == "j"
+        assert args.chunk_size == 8
+        assert args.workers == 2
 
     def test_classify_from_saved_dataset(self, tmp_path, capsys):
         from repro.suites import all_kernels
@@ -88,6 +115,27 @@ class TestCommands:
         path = dataset.save(tmp_path / "d.npz")
         assert main(["classify", "--data", str(path)]) == 0
         assert "Taxonomy classification" in capsys.readouterr().out
+
+    def test_classify_drops_quarantined_rows(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.suites import all_kernels
+        from repro.sweep import ScalingDataset, SweepRunner, reduced_space
+
+        kernels = all_kernels()[:4]
+        clean = SweepRunner().run(kernels, reduced_space(4, 4, 4))
+        perf = clean.perf.copy()
+        perf[1] = np.nan
+        bad_name = kernels[1].full_name
+        dataset = ScalingDataset(
+            clean.space, clean.kernel_records, perf,
+            quarantined={bad_name: "injected fault"},
+        )
+        path = dataset.save(tmp_path / "q.npz")
+        assert main(["classify", "--data", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "Taxonomy classification" in captured.out
+        assert bad_name in captured.err
 
     def test_kernel_inspection(self, tmp_path, capsys):
         from repro.suites import all_kernels
