@@ -12,12 +12,19 @@ from __future__ import annotations
 import pytest
 
 from repro.report.experiments import ExperimentContext
+from repro.sweep import SweepCache
 
 
 @pytest.fixture(scope="session")
 def ctx() -> ExperimentContext:
-    """Experiment context with the sweep and taxonomy memoised."""
-    context = ExperimentContext()
+    """Experiment context with the sweep and taxonomy memoised.
+
+    The dataset goes through the content-addressed sweep cache
+    (``$GPUSCALE_CACHE_DIR`` or the default location): the first
+    benchmark session simulates and stores it, repeat sessions load
+    the ``.npz`` and skip simulation entirely.
+    """
+    context = ExperimentContext(cache=SweepCache())
     # Touch both so per-benchmark timings measure the analysis, not
     # the shared data collection.
     context.dataset

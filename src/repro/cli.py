@@ -8,12 +8,21 @@ Usage (installed as ``gpuscale`` or via ``python -m repro.cli``)::
     gpuscale classify [--data data.npz] # taxonomy labels + histogram
     gpuscale report [T3 F7 ...]         # regenerate tables/figures
     gpuscale kernel rodinia/bfs.kernel1 # one kernel's scaling detail
+    gpuscale cache info                 # sweep result cache contents
+    gpuscale cache clear                # drop every cached sweep
 
 ``sweep`` runs as a fault-tolerant campaign: progress is journaled to
 ``<out>.journal`` chunk by chunk, a failing kernel is quarantined
 (reported, NaN row) instead of aborting — ``--strict`` restores
 fail-fast — and ``--resume`` continues an interrupted run from the last
 completed chunk instead of restarting all 237,897 points.
+
+``classify``, ``report``, and ``kernel`` consult a content-addressed
+sweep result cache when no ``--data`` file is given: the first run
+simulates and stores the dataset keyed by a SHA-256 of the kernels,
+space, and engine; repeat runs load it without invoking the engine.
+``--no-cache`` bypasses the cache, ``--cache-dir`` relocates it, and
+``gpuscale cache clear`` invalidates it explicitly.
 """
 
 from __future__ import annotations
@@ -116,7 +125,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_or_collect(data: Optional[str]) -> ScalingDataset:
+def _make_cache(args: argparse.Namespace):
+    """The result cache selected by ``--no-cache``/``--cache-dir``."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.sweep.cache import SweepCache
+
+    return SweepCache(getattr(args, "cache_dir", None))
+
+
+def _load_or_collect(
+    data: Optional[str], cache=None
+) -> ScalingDataset:
     if data:
         dataset = ScalingDataset.load(data).validate()
         if dataset.quarantined:
@@ -127,11 +147,17 @@ def _load_or_collect(data: Optional[str]) -> ScalingDataset:
             )
             dataset = dataset.healthy()
         return dataset
+    if cache is not None:
+        from repro.sweep.cache import cached_paper_dataset
+
+        return cached_paper_dataset(
+            progress=_progress, cache=cache
+        ).validate()
     return collect_paper_dataset(progress=_progress).validate()
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
-    dataset = _load_or_collect(args.data)
+    dataset = _load_or_collect(args.data, cache=_make_cache(args))
     result = classify(dataset)
     rows = [
         [cat.value, n] for cat, n in result.category_counts().items()
@@ -148,7 +174,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     ids = [e.upper() for e in args.experiments] or sorted(EXPERIMENTS)
-    ctx = ExperimentContext()
+    ctx = ExperimentContext(cache=_make_cache(args))
     if args.out:
         from repro.report.artifacts import write_artifacts
 
@@ -191,8 +217,27 @@ def _cmd_energy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.sweep.cache import SweepCache
+
+    cache = SweepCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr"
+              f"{'y' if removed == 1 else 'ies'} "
+              f"from {cache.cache_dir}")
+        return 0
+    entries = cache.entries()
+    print(f"cache directory: {cache.cache_dir}")
+    print(f"entries:         {len(entries)}")
+    for path in entries:
+        size_kib = path.stat().st_size / 1024
+        print(f"  {path.name}  ({size_kib:.0f} KiB)")
+    return 0
+
+
 def _cmd_kernel(args: argparse.Namespace) -> int:
-    dataset = _load_or_collect(args.data)
+    dataset = _load_or_collect(args.data, cache=_make_cache(args))
     result = classify(dataset)
     label = result.label_for(args.kernel)
     print(f"kernel:   {args.kernel}")
@@ -262,10 +307,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", default=None,
                        help="also export long-format CSV here")
     sweep.add_argument("--engine-mode", default="batch",
-                       choices=["batch", "scalar"],
-                       help="grid evaluation path: the vectorized batch "
-                       "engine (default) or the per-point scalar oracle "
-                       "for debugging batch regressions")
+                       choices=["batch", "scalar", "study"],
+                       help="grid evaluation path: the per-kernel "
+                       "vectorized batch engine (default), the "
+                       "per-point scalar oracle for debugging batch "
+                       "regressions, or whole-study kernel-axis "
+                       "batching (fastest; one broadcast over the "
+                       "entire kernel x configuration lattice)")
     sweep.add_argument("--resume", action="store_true",
                        help="resume from the campaign journal instead "
                        "of restarting from scratch")
@@ -283,11 +331,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the sweep "
                        "(default: 1, serial)")
 
+    def add_cache_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--no-cache", action="store_true",
+                       help="always re-simulate; do not read or write "
+                       "the sweep result cache")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="sweep result cache directory (default: "
+                       "$GPUSCALE_CACHE_DIR or ~/.cache/gpuscale)")
+
     classify_p = sub.add_parser("classify", help="run the taxonomy")
     classify_p.add_argument("--data", default=None,
                             help="saved dataset (.npz); sweeps if omitted")
     classify_p.add_argument("-v", "--verbose", action="store_true",
                             help="print every kernel's label")
+    add_cache_flags(classify_p)
 
     report = sub.add_parser("report", help="regenerate tables/figures")
     report.add_argument("experiments", nargs="*",
@@ -295,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", default=None,
                         help="write Markdown+JSON artifacts to this "
                         "directory instead of stdout")
+    add_cache_flags(report)
 
     sub.add_parser(
         "summary",
@@ -315,6 +373,16 @@ def build_parser() -> argparse.ArgumentParser:
     kernel.add_argument("kernel", help="suite/program.kernel identifier")
     kernel.add_argument("--data", default=None,
                         help="saved dataset (.npz); sweeps if omitted")
+    add_cache_flags(kernel)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the sweep result cache"
+    )
+    cache.add_argument("action", choices=["info", "clear"],
+                       help="'info' lists entries, 'clear' deletes them")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="sweep result cache directory (default: "
+                       "$GPUSCALE_CACHE_DIR or ~/.cache/gpuscale)")
 
     return parser
 
@@ -333,6 +401,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "kernel": _cmd_kernel,
     "energy": _cmd_energy,
+    "cache": _cmd_cache,
     "summary": _cmd_summary,
     "whatif": _cmd_whatif,
 }

@@ -14,7 +14,12 @@ from repro.gpu.counters import (
     collect_counters,
     counters_from_result,
 )
-from repro.gpu.dispatch import DispatchPlan, plan_dispatch
+from repro.gpu.dispatch import (
+    BatchDispatch,
+    DispatchPlan,
+    plan_dispatch,
+    plan_dispatch_batch,
+)
 from repro.gpu.dvfs import (
     CU_SETTINGS,
     ENGINE_DOMAIN,
@@ -24,10 +29,12 @@ from repro.gpu.dvfs import (
     snap_cu_count,
 )
 from repro.gpu.event_sim import EventSimResult, EventSimulator
+from repro.gpu.caches import BatchCacheBehaviour
 from repro.gpu.interval_batch import (
     BatchIntervalModel,
     GridBreakdown,
     KernelGridResult,
+    StudyGridResult,
 )
 from repro.gpu.interval_model import (
     IntervalBreakdown,
@@ -36,8 +43,10 @@ from repro.gpu.interval_model import (
 )
 from repro.gpu.memory import MemoryModel, MemorySystemState
 from repro.gpu.occupancy import (
+    BatchOccupancy,
     OccupancyResult,
     compute_occupancy,
+    compute_occupancy_batch,
     kernel_occupancy,
 )
 from repro.gpu.products import (
@@ -49,12 +58,22 @@ from repro.gpu.products import (
     W9100_LIKE,
     product,
 )
-from repro.gpu.simulator import Engine, GpuSimulator, GridMode, simulate
+from repro.gpu.simulator import (
+    Engine,
+    GpuSimulator,
+    GridMode,
+    engine_call_count,
+    reset_engine_call_count,
+    simulate,
+)
 
 __all__ = [
     "APU_LIKE",
     "BASE_CONFIG",
+    "BatchCacheBehaviour",
+    "BatchDispatch",
     "BatchIntervalModel",
+    "BatchOccupancy",
     "CU_SETTINGS",
     "CacheBehaviour",
     "CacheModel",
@@ -82,14 +101,19 @@ __all__ = [
     "Microarchitecture",
     "OccupancyResult",
     "PRODUCTS",
+    "StudyGridResult",
     "W9100_LIKE",
     "collect_counters",
     "compute_occupancy",
+    "compute_occupancy_batch",
     "counters_from_result",
+    "engine_call_count",
     "kernel_occupancy",
     "legal_cu_counts",
     "plan_dispatch",
+    "plan_dispatch_batch",
     "product",
+    "reset_engine_call_count",
     "simulate",
     "snap_cu_count",
 ]

@@ -21,9 +21,15 @@ falls as the concurrent footprint overflows the cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.gpu.config import Microarchitecture
 from repro.kernels.kernel import Kernel
+
+if TYPE_CHECKING:  # typing-only; keeps gpu -> kernels import lazy
+    from repro.kernels.pack import KernelPack
 
 
 @dataclass(frozen=True)
@@ -121,5 +127,87 @@ class CacheModel:
             ),
             concurrent_footprint_bytes=self.concurrent_footprint_bytes(
                 kernel, active_cus, workgroups_per_cu
+            ),
+        )
+
+    def behaviour_batch(
+        self, pack: "KernelPack", active_cus: np.ndarray,
+        workgroups_per_cu: np.ndarray,
+    ) -> "BatchCacheBehaviour":
+        """Vectorized :meth:`behaviour` over (kernel, CU-count) pairs.
+
+        *active_cus* is ``(K, C)`` (the dispatch plan's active-CU
+        matrix); *workgroups_per_cu* is the ``(K,)`` per-kernel
+        occupancy. Arithmetic repeats the scalar methods elementwise —
+        same association order, same guards — so the arrays are exactly
+        the scalar values.
+        """
+        if np.any(active_cus < 1):
+            raise ValueError(
+                f"active_cus must be >= 1, got {int(active_cus.min())}"
+            )
+        if np.any(workgroups_per_cu < 1):
+            raise ValueError(
+                "workgroups_per_cu must be >= 1, got "
+                f"{int(workgroups_per_cu.min())}"
+            )
+        footprint_bytes = pack.ch("footprint_bytes").reshape(-1, 1)
+        shared_fraction = pack.ch("shared_footprint").reshape(-1, 1)
+        num_workgroups = pack.num_workgroups.reshape(-1, 1)
+        per_cu = workgroups_per_cu.reshape(-1, 1)
+
+        shared_set = footprint_bytes * shared_fraction
+        private_total = footprint_bytes - shared_set
+        resident_wgs = np.minimum(num_workgroups, active_cus * per_cu)
+        private_resident = private_total * resident_wgs / num_workgroups
+        footprint = shared_set + private_resident
+
+        l2_reuse = pack.ch("l2_reuse").reshape(-1, 1)
+        # footprint == 0 (zero-footprint kernel) falls through to the
+        # bare l2_reuse, matching the scalar guard; errstate silences
+        # the discarded division.
+        with np.errstate(divide="ignore"):
+            residency = np.minimum(
+                1.0, self._uarch.l2_bytes_total / footprint
+            )
+        l2_hit_rate = np.where(
+            footprint <= 0.0, l2_reuse, l2_reuse * residency
+        )
+
+        l1_hit_rate = pack.ch("l1_reuse")
+        dram_fraction = (
+            (1.0 - l1_hit_rate.reshape(-1, 1)) * (1.0 - l2_hit_rate)
+        )
+        return BatchCacheBehaviour(
+            l1_hit_rate=l1_hit_rate,
+            l2_hit_rate=l2_hit_rate,
+            dram_fraction=dram_fraction,
+            concurrent_footprint_bytes=footprint,
+        )
+
+
+@dataclass(frozen=True)
+class BatchCacheBehaviour:
+    """Cache behaviour of K kernels across C CU settings.
+
+    ``l1_hit_rate`` is ``(K,)`` (a kernel-only property); the rest are
+    ``(K, C)`` matrices aligned with the dispatch plan's active-CU
+    matrix.
+    """
+
+    l1_hit_rate: np.ndarray
+    l2_hit_rate: np.ndarray
+    dram_fraction: np.ndarray
+    concurrent_footprint_bytes: np.ndarray
+
+    def behaviour(
+        self, kernel_index: int, cu_index: int
+    ) -> CacheBehaviour:
+        """The scalar :class:`CacheBehaviour` at one lattice point."""
+        return CacheBehaviour(
+            l1_hit_rate=float(self.l1_hit_rate[kernel_index]),
+            l2_hit_rate=float(self.l2_hit_rate[kernel_index, cu_index]),
+            concurrent_footprint_bytes=float(
+                self.concurrent_footprint_bytes[kernel_index, cu_index]
             ),
         )

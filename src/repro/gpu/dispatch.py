@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.gpu.occupancy import OccupancyResult
 from repro.kernels.kernel import LaunchGeometry
 
@@ -76,4 +78,67 @@ def plan_dispatch(
         active_cus=active_cus,
         resident_workgroups_per_cu=per_cu,
         batches=batches,
+    )
+
+
+@dataclass(frozen=True)
+class BatchDispatch:
+    """Dispatch plans for K kernels across C CU settings at once.
+
+    Integer arrays are ``(K, C)``-shaped (kernel-major, matching the
+    study lattice); ``quantisation_factor`` repeats the scalar
+    :attr:`DispatchPlan.quantisation_factor` float arithmetic
+    elementwise, so the batch values are exactly the scalar values.
+    """
+
+    num_workgroups: np.ndarray  # (K,)
+    active_cus: np.ndarray  # (K, C)
+    resident_workgroups_total: np.ndarray  # (K, C)
+    batches: np.ndarray  # (K, C)
+    quantisation_factor: np.ndarray  # (K, C)
+
+    def plan(self, kernel_index: int, cu_index: int) -> DispatchPlan:
+        """The scalar :class:`DispatchPlan` at one lattice point."""
+        resident = int(
+            self.resident_workgroups_total[kernel_index, cu_index]
+        )
+        active = int(self.active_cus[kernel_index, cu_index])
+        return DispatchPlan(
+            num_workgroups=int(self.num_workgroups[kernel_index]),
+            active_cus=active,
+            resident_workgroups_per_cu=resident // active,
+            batches=int(self.batches[kernel_index, cu_index]),
+        )
+
+
+def plan_dispatch_batch(
+    num_workgroups: np.ndarray,
+    workgroups_per_cu: np.ndarray,
+    cu_counts: np.ndarray,
+) -> BatchDispatch:
+    """Vectorized :func:`plan_dispatch` over (kernel, CU-count) pairs.
+
+    *num_workgroups* and *workgroups_per_cu* are ``(K,)`` int64 arrays
+    (one per packed kernel); *cu_counts* is the ``(C,)`` CU axis of the
+    sweep. ``-(-a // b)`` is integer ceil, identical to the scalar
+    ``math.ceil`` at launch-size magnitudes.
+    """
+    if np.any(cu_counts < 1):
+        raise ValueError(
+            f"cu_count must be >= 1, got {int(cu_counts.min())}"
+        )
+    wg = num_workgroups.reshape(-1, 1)
+    per_cu = workgroups_per_cu.reshape(-1, 1)
+    active_cus = np.minimum(cu_counts.reshape(1, -1), wg)
+    batches = -(-wg // (active_cus * per_cu))
+    resident_total = active_cus * per_cu
+    resident = np.minimum(resident_total, wg)
+    ideal_batches = wg / resident
+    quantisation = batches / ideal_batches
+    return BatchDispatch(
+        num_workgroups=num_workgroups,
+        active_cus=active_cus,
+        resident_workgroups_total=resident_total,
+        batches=batches,
+        quantisation_factor=quantisation,
     )

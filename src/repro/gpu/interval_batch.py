@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.gpu.caches import CacheModel
 from repro.gpu.config import HardwareConfig, Microarchitecture
-from repro.gpu.dispatch import plan_dispatch
+from repro.gpu.dispatch import plan_dispatch, plan_dispatch_batch
 from repro.gpu.interval_model import (
     ATOMIC_CONCURRENCY_SLOPE,
     ATOMIC_SERIAL_CYCLES,
@@ -44,8 +44,14 @@ from repro.gpu.interval_model import (
     REQUEST_BYTES,
 )
 from repro.gpu.memory import MAX_QUEUE_STRETCH, MemoryModel
-from repro.gpu.occupancy import OccupancyResult, compute_occupancy
+from repro.gpu.occupancy import (
+    BatchOccupancy,
+    OccupancyResult,
+    compute_occupancy,
+    compute_occupancy_batch,
+)
 from repro.kernels.kernel import Kernel
+from repro.kernels.pack import KernelPack
 from repro.units import ns_to_seconds, us_to_seconds
 
 if TYPE_CHECKING:  # avoid a gpu -> sweep import cycle at runtime
@@ -124,6 +130,35 @@ class KernelGridResult:
     global_size: int
 
 
+@dataclass(frozen=True)
+class StudyGridResult:
+    """Outcome of simulating an entire kernel pack over one grid.
+
+    The whole-study analogue of :class:`KernelGridResult`: ``time_s``
+    and ``items_per_second`` are ``(n_kernels, n_cu, n_eng, n_mem)``
+    tensors whose leading axis follows pack order; slicing
+    ``items_per_second[i]`` yields exactly the per-kernel grid the
+    batch path produces for ``pack.kernel(i)``. CU-axis quantities
+    (L2 hit rate, DRAM traffic) are ``(n_kernels, n_cu)`` matrices;
+    occupancy is per kernel only.
+    """
+
+    kernel_names: "tuple[str, ...]"
+    time_s: np.ndarray
+    items_per_second: np.ndarray
+    occupancy: BatchOccupancy
+    l2_hit_rate: np.ndarray
+    dram_bytes: np.ndarray
+    global_size: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.kernel_names)
+
+    def perf_row(self, index: int) -> np.ndarray:
+        """One kernel's ``(n_cu, n_eng, n_mem)`` throughput grid."""
+        return self.items_per_second[index]
+
+
 class BatchIntervalModel:
     """Vectorized analytical timing model over one microarchitecture.
 
@@ -133,7 +168,7 @@ class BatchIntervalModel:
     """
 
     def __init__(self) -> None:
-        self._cache_models: Dict[int, CacheModel] = {}
+        self._uarch_states: Dict[Microarchitecture, _UarchState] = {}
 
     def simulate_grid(
         self, kernel: Kernel, space: "ConfigurationSpace"
@@ -171,7 +206,8 @@ class BatchIntervalModel:
             [p.resident_workgroups_total for p in plans], dtype=np.int64
         ).reshape(n_cu, 1, 1)
 
-        cache_model = self._cache_model(uarch)
+        state = self._state(uarch)
+        cache_model = state.cache_model
         behaviours = [
             cache_model.behaviour(
                 kernel, p.active_cus, occupancy.workgroups_per_cu
@@ -185,15 +221,9 @@ class BatchIntervalModel:
         ).reshape(n_cu, 1, 1)
 
         # bandwidth_efficiency only reads the kernel's access pattern
-        # and the active-CU count; any config of this uarch will do.
-        memory = MemoryModel(
-            HardwareConfig(
-                cu_count=space.cu_counts[0],
-                engine_mhz=space.engine_mhz[0],
-                memory_mhz=space.memory_mhz[0],
-                uarch=uarch,
-            )
-        )
+        # and the active-CU count, so the memoized per-uarch model works
+        # for every configuration of this space.
+        memory = state.memory_model
         efficiency = np.asarray(
             [
                 memory.bandwidth_efficiency(
@@ -356,11 +386,248 @@ class BatchIntervalModel:
             global_size=geometry.global_size,
         )
 
+    def simulate_study(
+        self, pack: KernelPack, space: "ConfigurationSpace"
+    ) -> StudyGridResult:
+        """Predict every packed kernel at every point of *space* at once.
+
+        The kernel axis joins the broadcast: per-kernel quantities are
+        ``(K, 1, 1, 1)`` columns, dispatch/cache/DRAM-efficiency state
+        is a ``(K, C, 1, 1)`` matrix, and the clock terms keep their
+        ``(1, 1, E, 1)`` / ``(1, 1, 1, M)`` shapes — the whole
+        267-kernel x 891-configuration study collapses into one set of
+        ``(K, C, E, M)`` array expressions with no Python loop over
+        kernels or CUs.
+
+        The arithmetic repeats :meth:`simulate_grid` operation by
+        operation (scalar guards become exact zero products or masked
+        ``np.where`` branches), so slicing the result along the kernel
+        axis reproduces the per-kernel batch path, which itself matches
+        the scalar oracle (``tests/gpu/test_study_engine.py``).
+        """
+        uarch = space.uarch
+        n_cu, n_eng, n_mem = space.shape
+        n_kernels = len(pack)
+        shape = (n_kernels, n_cu, n_eng, n_mem)
+
+        def col(values: np.ndarray) -> np.ndarray:
+            """A per-kernel vector as a (K, 1, 1, 1) broadcast column."""
+            return values.reshape(n_kernels, 1, 1, 1)
+
+        cu_counts_1d = np.asarray(space.cu_counts, dtype=np.int64)
+        cu_counts = cu_counts_1d.reshape(1, n_cu, 1, 1)
+        engine_hz = np.asarray(space.engine_mhz, dtype=np.float64) * 1e6
+        engine_hz = engine_hz.reshape(1, 1, n_eng, 1)
+        memory_hz = np.asarray(space.memory_mhz, dtype=np.float64) * 1e6
+        memory_hz = memory_hz.reshape(1, 1, 1, n_mem)
+
+        # --- Kernel/CU-axis hoist, now vectorized over the pack -------
+        occupancy = compute_occupancy_batch(pack, uarch)
+        waves_per_cu = col(occupancy.waves_per_cu)
+        dispatch = plan_dispatch_batch(
+            pack.num_workgroups, occupancy.workgroups_per_cu, cu_counts_1d
+        )
+        active_cus = dispatch.active_cus.reshape(n_kernels, n_cu, 1, 1)
+        quantisation = dispatch.quantisation_factor.reshape(
+            n_kernels, n_cu, 1, 1
+        )
+        resident_total = dispatch.resident_workgroups_total.reshape(
+            n_kernels, n_cu, 1, 1
+        )
+
+        state = self._state(uarch)
+        caches = state.cache_model.behaviour_batch(
+            pack, dispatch.active_cus, occupancy.workgroups_per_cu
+        )
+        l1_hit_rate = col(caches.l1_hit_rate)
+        dram_fraction = caches.dram_fraction.reshape(
+            n_kernels, n_cu, 1, 1
+        )
+        efficiency = state.memory_model.bandwidth_efficiency_batch(
+            pack.ch("coalescing_efficiency"),
+            pack.ch("row_locality_sensitivity"),
+            dispatch.active_cus,
+        ).reshape(n_kernels, n_cu, 1, 1)
+
+        items = col(
+            pack.geometry["global_size"].astype(np.float64)
+        )
+        total_waves = col(pack.total_waves.astype(np.float64))
+
+        # --- Throughput intervals -------------------------------------
+        lane_ops = (
+            items * col(pack.ch("valu_ops_per_item"))
+            / col(pack.ch("simd_efficiency"))
+        )
+        issue_factor = np.minimum(
+            1.0, waves_per_cu / FULL_ISSUE_WAVES
+        )
+        throughput = (
+            active_cus * uarch.lanes_per_cu * engine_hz * issue_factor
+        )
+        compute_s = lane_ops / throughput
+
+        salu_s = (
+            total_waves * col(pack.ch("salu_ops_per_item"))
+            / (active_cus * engine_hz)
+        )
+
+        # A zero-LDS kernel divides an exact 0.0 numerator — same value
+        # the scalar guard returns, with no per-kernel branch.
+        lds_bytes = items * col(pack.ch("lds_bytes_per_item"))
+        per_device = cu_counts * 128 * engine_hz
+        active_share = per_device * active_cus / cu_counts
+        lds_s = lds_bytes / active_share
+
+        issued_bytes = items * col(pack.global_bytes_per_item)
+        l2_bytes = issued_bytes * (1.0 - l1_hit_rate)
+        dram_bytes = issued_bytes * dram_fraction
+        peak_l2 = uarch.l2_banks * 64 * engine_hz
+        l2_s = l2_bytes / peak_l2
+
+        # --- DRAM bandwidth, bounded by Little's law -------------------
+        bytes_per_cycle = (
+            uarch.memory_bus_bits / 8 * uarch.memory_data_rate
+        )
+        peak_dram = bytes_per_cycle * memory_hz
+        achieved_bw = peak_dram * efficiency
+        concurrency = (
+            active_cus * waves_per_cu
+            * col(pack.ch("memory_parallelism"))
+        )
+        l2_time = uarch.l2_latency_cycles / engine_hz
+        dram_time = uarch.dram_latency_cycles / memory_hz
+        fixed_time = ns_to_seconds(uarch.dram_fixed_latency_ns)
+        unloaded_latency = l2_time + dram_time + fixed_time
+        little_bw = concurrency * REQUEST_BYTES / unloaded_latency
+        effective_bw = np.minimum(achieved_bw, little_bw)
+        dram_positive = dram_bytes > 0.0
+        dram_s = np.where(dram_positive, dram_bytes / effective_bw, 0.0)
+
+        # --- Exposed dependence-chain latency (two-pass for loading) ---
+        # A zero dependent-access fraction zeroes ``dependent`` and with
+        # it every latency product, reproducing the scalar early-out.
+        memory_side = dram_time + fixed_time
+        requests = (l2_bytes + 0.0) / REQUEST_BYTES
+        dependent = requests * col(
+            pack.ch("dependent_access_fraction")
+        )
+        l2_bytes_positive = l2_bytes > 0.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            miss_fraction = np.where(
+                l2_bytes_positive, dram_bytes / l2_bytes, 0.0
+            )
+        chain_concurrency = np.maximum(
+            1.0, active_cus * waves_per_cu
+        )
+        l2_latency = uarch.l2_latency_cycles / engine_hz
+
+        def exposed(dram_latency):
+            mean_latency = (
+                miss_fraction * dram_latency
+                + (1.0 - miss_fraction) * l2_latency
+            )
+            return dependent * mean_latency / chain_concurrency
+
+        # Pass 1: unloaded queues (utilisation 0 -> no stretch).
+        latency_s = exposed(l2_time + memory_side / (1.0 - 0.0))
+
+        first_pass_max = _chain_max(
+            compute_s, salu_s, lds_s, l2_s, dram_s, latency_s
+        )
+        refine = (first_pass_max > 0.0) & dram_positive
+        if np.any(refine):
+            with np.errstate(divide="ignore", invalid="ignore"):
+                utilisation = np.minimum(
+                    1.0, (dram_bytes / achieved_bw) / first_pass_max
+                )
+            utilisation = np.where(refine, utilisation, 0.0)
+            bounded = np.minimum(
+                utilisation, 1.0 - 1.0 / MAX_QUEUE_STRETCH
+            )
+            loaded = l2_time + memory_side / (1.0 - bounded)
+            latency_s = np.where(refine, exposed(loaded), latency_s)
+
+        # --- Serial additions ------------------------------------------
+        # Zero atomic traffic or contention zeroes ``serialised`` and
+        # the whole term, matching the scalar guard exactly.
+        contention = col(pack.ch("atomic_contention"))
+        serialised = (
+            items * col(pack.ch("atomic_ops_per_item")) * contention
+        )
+        concurrency_growth = 1.0 + ATOMIC_CONCURRENCY_SLOPE * (
+            contention * (active_cus - 1) / 43.0
+        )
+        cycles = serialised * ATOMIC_SERIAL_CYCLES * concurrency_growth
+        atomic_s = cycles / engine_hz
+
+        barrier_s = (
+            col(pack.num_workgroups)
+            * col(pack.ch("barriers_per_workgroup"))
+            * BARRIER_CYCLES
+            / engine_hz
+            / resident_total
+        )
+        launch_s = us_to_seconds(col(pack.ch("launch_overhead_us")))
+
+        # --- Combination (quantised local peak vs shared peak) ---------
+        local_peak = _chain_max(compute_s, salu_s, lds_s, latency_s)
+        shared_peak = np.maximum(l2_s, dram_s)
+        dominant = np.maximum(local_peak * quantisation, shared_peak)
+        overlap_sum = (
+            ((((compute_s + salu_s) + lds_s) + l2_s) + dram_s) + latency_s
+        )
+        overlap_max = np.maximum(local_peak, shared_peak)
+        spill = NON_OVERLAP_FRACTION * (overlap_sum - overlap_max)
+        parallel_s = dominant + spill
+        time_s = parallel_s + atomic_s + barrier_s + launch_s
+
+        time_s = _materialise(time_s, shape)
+        items_per_second = col(pack.geometry["global_size"]) / time_s
+
+        return StudyGridResult(
+            kernel_names=pack.names,
+            time_s=time_s,
+            items_per_second=items_per_second,
+            occupancy=occupancy,
+            l2_hit_rate=caches.l2_hit_rate,
+            dram_bytes=dram_bytes.reshape(n_kernels, n_cu),
+            global_size=pack.geometry["global_size"].copy(),
+        )
+
+    def _state(self, uarch: Microarchitecture) -> "_UarchState":
+        # Keyed by value, not id(): chunked campaigns deserialise a
+        # fresh (equal) Microarchitecture per chunk, and an id() key
+        # would rebuild cache/memory state for every one of them.
+        if uarch not in self._uarch_states:
+            self._uarch_states[uarch] = _UarchState(
+                cache_model=CacheModel(uarch),
+                memory_model=MemoryModel(
+                    HardwareConfig(
+                        cu_count=1,
+                        engine_mhz=1.0,
+                        memory_mhz=1.0,
+                        uarch=uarch,
+                    )
+                ),
+            )
+        return self._uarch_states[uarch]
+
     def _cache_model(self, uarch: Microarchitecture) -> CacheModel:
-        key = id(uarch)
-        if key not in self._cache_models:
-            self._cache_models[key] = CacheModel(uarch)
-        return self._cache_models[key]
+        return self._state(uarch).cache_model
+
+
+@dataclass(frozen=True)
+class _UarchState:
+    """Per-microarchitecture derived state, built once and reused.
+
+    ``bandwidth_efficiency`` reads no clock or CU field of its config,
+    so one placeholder :class:`HardwareConfig` serves every grid point
+    of every space on this uarch.
+    """
+
+    cache_model: CacheModel
+    memory_model: MemoryModel
 
 
 def _chain_max(first, *rest):

@@ -42,7 +42,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.gpu.caches import CacheModel
-from repro.gpu.config import HardwareConfig
+from repro.gpu.config import HardwareConfig, Microarchitecture
 from repro.gpu.dispatch import DispatchPlan, plan_dispatch
 from repro.gpu.memory import MemoryModel
 from repro.gpu.occupancy import OccupancyResult, compute_occupancy
@@ -133,7 +133,7 @@ class IntervalModel:
     """Analytical timing model over one microarchitecture."""
 
     def __init__(self) -> None:
-        self._cache_models: Dict[int, CacheModel] = {}
+        self._cache_models: Dict[Microarchitecture, CacheModel] = {}
 
     def simulate(
         self, kernel: Kernel, config: HardwareConfig
@@ -249,10 +249,12 @@ class IntervalModel:
     # ------------------------------------------------------------------
 
     def _cache_model(self, uarch) -> CacheModel:
-        key = id(uarch)
-        if key not in self._cache_models:
-            self._cache_models[key] = CacheModel(uarch)
-        return self._cache_models[key]
+        # Keyed by value, not id(): chunked campaigns deserialise a
+        # fresh (equal) Microarchitecture per chunk, and an id() key
+        # would rebuild cache state for every one of them.
+        if uarch not in self._cache_models:
+            self._cache_models[uarch] = CacheModel(uarch)
+        return self._cache_models[uarch]
 
     @staticmethod
     def _compute_interval(

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.gpu.config import HardwareConfig
 from repro.units import ns_to_seconds
 
@@ -78,6 +80,50 @@ class MemoryModel:
         interleave_penalty = float(active_cus) ** (-exponent)
         efficiency = coalescing_efficiency * interleave_penalty
         return max(MIN_BANDWIDTH_EFFICIENCY, min(1.0, efficiency))
+
+    def bandwidth_efficiency_batch(
+        self,
+        coalescing_efficiency: np.ndarray,
+        row_locality_sensitivity: np.ndarray,
+        active_cus: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`bandwidth_efficiency`.
+
+        *coalescing_efficiency* and *row_locality_sensitivity* are
+        ``(K,)`` per-kernel arrays; *active_cus* is the ``(K, C)``
+        active-CU matrix. Same power-law and clamps as the scalar
+        method, elementwise. NumPy's SIMD ``pow`` disagrees with
+        libm's by 1 ulp on some inputs, so the power law is evaluated
+        through Python's ``pow`` on the (few) unique (CU, exponent)
+        pairs — bit-identical to the scalar path at negligible cost.
+        """
+        if np.any(active_cus < 1):
+            raise ValueError(
+                f"active_cus must be >= 1, got {int(active_cus.min())}"
+            )
+        exponent = (
+            row_locality_sensitivity.reshape(-1, 1)
+            * ROW_LOCALITY_EXPONENT
+        )
+        active_f = active_cus.astype(np.float64)
+        pairs = np.stack(
+            [
+                active_f.ravel(),
+                np.broadcast_to(exponent, active_f.shape).ravel(),
+            ],
+            axis=1,
+        )
+        unique, inverse = np.unique(pairs, axis=0, return_inverse=True)
+        powered = np.asarray(
+            [float(base) ** (-float(exp)) for base, exp in unique]
+        )
+        interleave_penalty = powered[inverse].reshape(active_f.shape)
+        efficiency = (
+            coalescing_efficiency.reshape(-1, 1) * interleave_penalty
+        )
+        return np.maximum(
+            MIN_BANDWIDTH_EFFICIENCY, np.minimum(1.0, efficiency)
+        )
 
     def unloaded_miss_latency_s(self) -> float:
         """L2-miss-to-DRAM latency at zero load, in seconds.

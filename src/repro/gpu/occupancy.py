@@ -20,10 +20,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
 
 from repro.errors import WorkloadError
 from repro.gpu.config import Microarchitecture
 from repro.kernels.kernel import Kernel, LaunchGeometry, ResourceUsage
+
+if TYPE_CHECKING:  # pack imports nothing from here; avoid a cycle anyway
+    from repro.kernels.pack import KernelPack
+
+#: Resource names in the scalar limiter dict's insertion order; the
+#: batch path's argmin tie-breaking must match ``min(limits, ...)``.
+OCCUPANCY_LIMIT_ORDER = (
+    "wave_slots", "workgroup_slots", "vgpr", "sgpr", "lds",
+)
 
 
 @dataclass(frozen=True)
@@ -132,3 +144,101 @@ def kernel_occupancy(
 ) -> OccupancyResult:
     """Convenience wrapper taking a :class:`~repro.kernels.kernel.Kernel`."""
     return compute_occupancy(kernel.geometry, kernel.resources, uarch)
+
+
+@dataclass(frozen=True)
+class BatchOccupancy:
+    """Occupancy of every packed kernel on one microarchitecture.
+
+    Arrays are indexed in pack order; ``limiters`` holds the binding
+    resource name per kernel with the same tie-breaking as the scalar
+    calculator (first entry of :data:`OCCUPANCY_LIMIT_ORDER` wins).
+    """
+
+    waves_per_cu: np.ndarray
+    workgroups_per_cu: np.ndarray
+    limiters: Tuple[str, ...]
+
+    @property
+    def occupancy_fraction(self) -> np.ndarray:
+        """Per-kernel waves resident relative to the 40-wave cap."""
+        return self.waves_per_cu / 40.0
+
+    def result(self, index: int) -> OccupancyResult:
+        """The scalar :class:`OccupancyResult` for one packed kernel."""
+        return OccupancyResult(
+            waves_per_cu=int(self.waves_per_cu[index]),
+            workgroups_per_cu=int(self.workgroups_per_cu[index]),
+            limiter=self.limiters[index],
+        )
+
+
+def compute_occupancy_batch(
+    pack: "KernelPack", uarch: Microarchitecture
+) -> BatchOccupancy:
+    """Vectorized :func:`compute_occupancy` over a whole kernel pack.
+
+    All limits are integer arithmetic, so the batch result is *exactly*
+    the scalar result for every kernel — the study engine relies on
+    this to stay bit-compatible with the per-kernel path.
+    """
+    waves_per_wg = pack.waves_per_workgroup
+    vgprs = pack.resources["vgprs"]
+    sgprs = pack.resources["sgprs"]
+    lds = pack.resources["lds_bytes_per_workgroup"]
+
+    over = lds > uarch.lds_bytes_per_cu
+    if np.any(over):
+        index = int(np.argmax(over))
+        raise WorkloadError(
+            f"workgroup LDS usage {int(lds[index])} exceeds the "
+            f"{uarch.lds_bytes_per_cu}-byte CU capacity "
+            f"(kernel {pack.names[index]})"
+        )
+
+    # Same granule arithmetic as the scalar helpers; ``-(-a // b)`` is
+    # integer ceil, identical to math.ceil on these magnitudes.
+    vgpr_alloc = -(-vgprs // 4) * 4
+    sgpr_alloc = -(-sgprs // 8) * 8
+    vgpr_waves = np.minimum(
+        uarch.max_waves_per_simd, uarch.vgprs_per_simd // vgpr_alloc
+    )
+    sgpr_waves = np.minimum(
+        uarch.max_waves_per_simd, uarch.sgprs_per_cu // sgpr_alloc
+    )
+    lds_workgroups = np.where(
+        lds == 0,
+        uarch.max_workgroups_per_cu,
+        np.minimum(
+            uarch.max_workgroups_per_cu,
+            uarch.lds_bytes_per_cu // np.maximum(lds, 1),
+        ),
+    )
+
+    # Rows stacked in OCCUPANCY_LIMIT_ORDER; argmin keeps the first of
+    # equal minima, matching the scalar dict's ``min`` tie-breaking.
+    limits = np.stack(
+        [
+            np.broadcast_to(
+                np.int64(uarch.max_waves_per_cu), waves_per_wg.shape
+            ),
+            uarch.max_workgroups_per_cu * waves_per_wg,
+            vgpr_waves * uarch.simds_per_cu,
+            sgpr_waves * uarch.simds_per_cu,
+            lds_workgroups * waves_per_wg,
+        ]
+    )
+    limiter_index = np.argmin(limits, axis=0)
+    wave_cap = np.min(limits, axis=0)
+
+    workgroups = np.maximum(1, wave_cap // waves_per_wg)
+    workgroups = np.minimum(workgroups, uarch.max_workgroups_per_cu)
+    waves = workgroups * waves_per_wg
+
+    return BatchOccupancy(
+        waves_per_cu=waves,
+        workgroups_per_cu=workgroups,
+        limiters=tuple(
+            OCCUPANCY_LIMIT_ORDER[i] for i in limiter_index
+        ),
+    )

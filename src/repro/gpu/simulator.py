@@ -17,7 +17,7 @@ reference oracle for debugging batch-engine regressions.
 from __future__ import annotations
 
 from enum import Enum
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Sequence, Union
 
 import numpy as np
 
@@ -28,14 +28,37 @@ from repro.gpu.interval_batch import (
     BatchIntervalModel,
     GridBreakdown,
     KernelGridResult,
+    StudyGridResult,
 )
 from repro.gpu.interval_model import IntervalModel, KernelRunResult
 from repro.kernels.kernel import Kernel
+from repro.kernels.pack import KernelPack
 
 if TYPE_CHECKING:  # avoid a gpu -> sweep import cycle at runtime
     from repro.sweep.space import ConfigurationSpace
 
 SimulationResult = Union[KernelRunResult, EventSimResult]
+
+#: Process-wide count of engine evaluations (scalar, grid, or study
+#: calls). The result cache's acceptance test asserts cached re-runs
+#: leave this untouched; it is diagnostic state, not a public metric.
+_ENGINE_CALLS = 0
+
+
+def engine_call_count() -> int:
+    """Engine evaluations (simulate/grid/study) since the last reset."""
+    return _ENGINE_CALLS
+
+
+def reset_engine_call_count() -> None:
+    """Zero the process-wide engine-call counter."""
+    global _ENGINE_CALLS
+    _ENGINE_CALLS = 0
+
+
+def _count_engine_call() -> None:
+    global _ENGINE_CALLS
+    _ENGINE_CALLS += 1
 
 
 class Engine(Enum):
@@ -46,12 +69,15 @@ class Engine(Enum):
 
 
 class GridMode(Enum):
-    """How :meth:`GpuSimulator.simulate_grid` evaluates a grid."""
+    """How grid-shaped simulations are evaluated."""
 
-    #: Vectorized batch engine (NumPy broadcast over the whole grid).
+    #: Vectorized batch engine (NumPy broadcast over one kernel's grid).
     BATCH = "batch"
     #: One scalar ``simulate`` call per configuration (reference oracle).
     SCALAR = "scalar"
+    #: Whole-study kernel-axis batching: every kernel's grid in one
+    #: broadcast over the (kernel, cu, eng, mem) lattice.
+    STUDY = "study"
 
 
 class GpuSimulator:
@@ -73,6 +99,7 @@ class GpuSimulator:
     ) -> SimulationResult:
         """Run *kernel* at *config* and return a result with ``time_s``
         and ``items_per_second``."""
+        _count_engine_call()
         if self._engine is Engine.INTERVAL:
             return self._interval.simulate(kernel, config)
         if self._engine is Engine.EVENT:
@@ -97,8 +124,12 @@ class GpuSimulator:
         :class:`~repro.errors.SimulationError` naming the kernel, so
         fault-tolerant sweeps can attribute and quarantine them.
         """
+        _count_engine_call()
         try:
-            if self._engine is Engine.INTERVAL and mode is GridMode.BATCH:
+            if self._engine is Engine.INTERVAL and mode in (
+                GridMode.BATCH,
+                GridMode.STUDY,  # a single kernel *is* a 1-kernel study
+            ):
                 return self._interval_batch.simulate_grid(kernel, space)
             return self._scalar_grid(kernel, space)
         except ReproError:
@@ -106,6 +137,44 @@ class GpuSimulator:
         except Exception as exc:
             raise SimulationError(
                 kernel.full_name, f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    def simulate_study(
+        self,
+        kernels: Union[KernelPack, Sequence[Kernel]],
+        space: "ConfigurationSpace",
+    ) -> StudyGridResult:
+        """Run every kernel at every configuration in one broadcast.
+
+        Accepts a prepacked :class:`~repro.kernels.pack.KernelPack` or
+        any kernel sequence (packed on the fly). Interval engine only —
+        the event engine has no batch formulation, so callers holding an
+        event simulator get a :class:`~repro.errors.ConfigurationError`
+        and should fall back to per-kernel grids.
+
+        Unexpected engine failures are wrapped in a
+        :class:`~repro.errors.SimulationError`; whole-study evaluation
+        cannot attribute a failure to one kernel, so the sweep layer
+        retries kernel by kernel to isolate and quarantine the culprit.
+        """
+        if self._engine is not Engine.INTERVAL:
+            raise ConfigurationError(
+                "whole-study batching requires the interval engine, "
+                f"got {self._engine.value!r}"
+            )
+        pack = (
+            kernels
+            if isinstance(kernels, KernelPack)
+            else KernelPack.from_kernels(list(kernels))
+        )
+        _count_engine_call()
+        try:
+            return self._interval_batch.simulate_study(pack, space)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise SimulationError(
+                "<study>", f"{type(exc).__name__}: {exc}"
             ) from exc
 
     def _scalar_grid(

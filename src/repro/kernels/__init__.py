@@ -17,6 +17,7 @@ from repro.kernels.archetypes import (
     tiny_kernel,
 )
 from repro.kernels.characteristics import KernelCharacteristics
+from repro.kernels.pack import KernelPack, pack_kernels
 from repro.kernels.workload import KernelInvocation, ProgramProfile
 from repro.kernels.kernel import (
     WAVEFRONT_SIZE,
@@ -30,6 +31,7 @@ __all__ = [
     "Kernel",
     "KernelInvocation",
     "KernelCharacteristics",
+    "KernelPack",
     "LaunchGeometry",
     "ProgramProfile",
     "ResourceUsage",
@@ -43,6 +45,7 @@ __all__ = [
     "latency_kernel",
     "lds_kernel",
     "limited_parallelism_kernel",
+    "pack_kernels",
     "streaming_kernel",
     "thrashing_kernel",
     "tiny_kernel",

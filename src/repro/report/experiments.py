@@ -55,10 +55,21 @@ class ExperimentResult:
 
 
 class ExperimentContext:
-    """Shared, memoised inputs for all experiment producers."""
+    """Shared, memoised inputs for all experiment producers.
 
-    def __init__(self, space: ConfigurationSpace = PAPER_SPACE):
+    *cache*, when given, is a :class:`~repro.sweep.cache.SweepCache`
+    consulted before simulating: a warm cache regenerates every
+    artifact without a single engine call (``gpuscale report`` wires
+    this up unless ``--no-cache`` is passed).
+    """
+
+    def __init__(
+        self,
+        space: ConfigurationSpace = PAPER_SPACE,
+        cache=None,
+    ):
         self._space = space
+        self._cache = cache
         self._dataset: Optional[ScalingDataset] = None
         self._taxonomy: Optional[TaxonomyResult] = None
 
@@ -66,9 +77,16 @@ class ExperimentContext:
     def dataset(self) -> ScalingDataset:
         """The full sweep (collected and validated on first access)."""
         if self._dataset is None:
-            self._dataset = collect_paper_dataset(
-                space=self._space
-            ).validate()
+            if self._cache is not None:
+                from repro.sweep.cache import cached_paper_dataset
+
+                self._dataset = cached_paper_dataset(
+                    space=self._space, cache=self._cache
+                ).validate()
+            else:
+                self._dataset = collect_paper_dataset(
+                    space=self._space
+                ).validate()
         return self._dataset
 
     @property

@@ -1,6 +1,12 @@
 """Data-collection harness: configuration space, sweep runner, dataset,
 axis views, fault-tolerant campaigns, and fault injection."""
 
+from repro.sweep.cache import (
+    SweepCache,
+    cached_paper_dataset,
+    fingerprint_blob,
+    sweep_fingerprint,
+)
 from repro.sweep.campaign import CampaignReport, CampaignRunner
 from repro.sweep.dataset import KernelRecord, ScalingDataset
 from repro.sweep.faults import FaultKind, FaultSpec, FaultyEngine
@@ -33,11 +39,15 @@ __all__ = [
     "ParallelSweepRunner",
     "ScalingDataset",
     "SupervisionStats",
+    "SweepCache",
     "SweepRunner",
     "axis_slice",
     "axis_values",
+    "cached_paper_dataset",
     "clock_surface",
     "collect_paper_dataset",
+    "fingerprint_blob",
+    "sweep_fingerprint",
     "end_to_end_speedups",
     "normalised_cube",
     "perturb",

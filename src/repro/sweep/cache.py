@@ -1,0 +1,199 @@
+"""Content-addressed sweep result cache.
+
+Every downstream consumer — ``gpuscale classify``, ``gpuscale report``,
+the ablation/noise/sampling studies — starts from the same 267-kernel x
+891-configuration dataset. The model is deterministic, so that dataset
+is a pure function of its inputs: the kernel definitions, the
+configuration space, and the engine. :class:`SweepCache` keys a saved
+:class:`~repro.sweep.dataset.ScalingDataset` by the SHA-256 of exactly
+those inputs (the same canonical-JSON hashing the campaign journal uses
+for its fingerprint, extended from kernel *names* to full kernel
+*content* so an edited characteristic can never alias a stale result).
+A repeat invocation loads the ``.npz`` instead of re-simulating; any
+change to a kernel, the space, or the engine changes the key and misses
+naturally.
+
+Cache entries live under ``$GPUSCALE_CACHE_DIR`` (default
+``~/.cache/gpuscale``), one atomic ``.npz`` per fingerprint. Corrupt or
+unreadable entries count as misses — the cache is an accelerator, never
+a correctness dependency. Datasets containing quarantined kernels are
+not cached: a frozen failure row would outlive the transient fault that
+produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import DatasetError, ReproError
+from repro.gpu.simulator import Engine, GridMode
+from repro.kernels.kernel import Kernel
+from repro.sweep.dataset import ScalingDataset
+from repro.sweep.runner import ProgressCallback, collect_paper_dataset
+from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "GPUSCALE_CACHE_DIR"
+
+#: Bump to invalidate every existing entry after a model change that
+#: alters outputs without touching any fingerprinted input.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$GPUSCALE_CACHE_DIR`` or ``~/.cache/gpuscale``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "gpuscale"
+
+
+def fingerprint_blob(payload: dict) -> str:
+    """SHA-256 of *payload* as canonical (sorted-keys) JSON.
+
+    The shared hashing primitive behind both the campaign journal
+    fingerprint and the sweep cache key — one definition, so the two
+    can never drift apart in encoding.
+    """
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def sweep_fingerprint(
+    kernels: Sequence[Kernel],
+    space: ConfigurationSpace,
+    engine: Engine = Engine.INTERVAL,
+) -> str:
+    """Content address of one sweep's inputs.
+
+    Full ``kernel.to_dict()`` payloads (characteristics, geometry,
+    resources), the space including its microarchitecture, and the
+    engine. Grid mode is deliberately excluded: the scalar, batch, and
+    study paths are equivalence-tested to produce the same dataset, so
+    they share cache entries.
+    """
+    return fingerprint_blob(
+        {
+            "version": CACHE_SCHEMA_VERSION,
+            "kernels": [k.to_dict() for k in kernels],
+            "space": space.to_dict(),
+            "engine": engine.value,
+        }
+    )
+
+
+class SweepCache:
+    """Fingerprint-keyed store of saved scaling datasets."""
+
+    def __init__(self, cache_dir: Union[str, Path, None] = None):
+        self._dir = (
+            Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @property
+    def cache_dir(self) -> Path:
+        """Directory holding the cache entries."""
+        return self._dir
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Where the entry for *fingerprint* lives (existing or not)."""
+        return self._dir / f"sweep_{fingerprint}.npz"
+
+    def load(self, fingerprint: str) -> Optional[ScalingDataset]:
+        """The cached dataset, or ``None`` on miss.
+
+        A corrupt, truncated, or invalid entry is deleted and treated
+        as a miss: the caller re-simulates and overwrites it.
+        """
+        path = self.path_for(fingerprint)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            dataset = ScalingDataset.load(path).validate()
+        except (ReproError, OSError, ValueError, KeyError):
+            self.invalidate(fingerprint)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return dataset
+
+    def store(self, fingerprint: str, dataset: ScalingDataset) -> Path:
+        """Persist *dataset* under *fingerprint* (atomic write).
+
+        Refuses datasets with quarantined kernels — those rows record a
+        (possibly transient) failure, not a result worth replaying.
+        """
+        if dataset.quarantined:
+            raise DatasetError(
+                "refusing to cache a dataset with quarantined kernels: "
+                + ", ".join(sorted(dataset.quarantined))
+            )
+        self._dir.mkdir(parents=True, exist_ok=True)
+        path = dataset.save(self.path_for(fingerprint))
+        self.stores += 1
+        return path
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one entry; ``True`` if something was deleted."""
+        path = self.path_for(fingerprint)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def entries(self) -> List[Path]:
+        """Every cache entry, sorted by name."""
+        if not self._dir.is_dir():
+            return []
+        return sorted(self._dir.glob("sweep_*.npz"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+        return removed
+
+
+def cached_paper_dataset(
+    engine: Engine = Engine.INTERVAL,
+    space: ConfigurationSpace = PAPER_SPACE,
+    progress: Optional[ProgressCallback] = None,
+    grid_mode: GridMode = GridMode.BATCH,
+    strict: bool = True,
+    cache: Optional[SweepCache] = None,
+) -> ScalingDataset:
+    """:func:`collect_paper_dataset` behind the result cache.
+
+    On a hit the engine is never invoked (pinned by the engine-call
+    counter in the cache tests); on a miss the dataset is collected,
+    stored, and returned. Pass an explicit *cache* to control the
+    directory; ``None`` uses the default location.
+    """
+    from repro.suites import all_kernels
+
+    if cache is None:
+        cache = SweepCache()
+    fingerprint = sweep_fingerprint(all_kernels(), space, engine)
+    dataset = cache.load(fingerprint)
+    if dataset is not None:
+        return dataset
+    dataset = collect_paper_dataset(
+        engine, space, progress, grid_mode, strict=strict
+    )
+    if not dataset.quarantined:
+        cache.store(fingerprint, dataset)
+    return dataset

@@ -25,7 +25,6 @@ either durably recorded or cleanly absent.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -36,6 +35,7 @@ import numpy as np
 from repro.atomic import atomic_path, atomic_write_text
 from repro.errors import CampaignError
 from repro.gpu.simulator import Engine, GridMode
+from repro.sweep.cache import fingerprint_blob
 from repro.kernels.kernel import Kernel
 from repro.sweep.dataset import KernelRecord, ScalingDataset
 from repro.sweep.runner import (
@@ -216,20 +216,23 @@ class CampaignRunner:
     def _fingerprint(
         self, names: Sequence[str], space: ConfigurationSpace
     ) -> str:
-        """Identity of this campaign's inputs and execution settings."""
+        """Identity of this campaign's inputs and execution settings.
+
+        The payload layout is load-bearing: existing journals store
+        this hash, so changing a key or adding a field orphans every
+        resumable campaign on disk.
+        """
         engine = getattr(self._runner, "engine", Engine.INTERVAL)
         grid_mode = getattr(self._runner, "grid_mode", GridMode.BATCH)
-        blob = json.dumps(
+        return fingerprint_blob(
             {
                 "kernels": list(names),
                 "space": space.to_dict(),
                 "chunk_size": self._chunk_size,
                 "engine": engine.value,
                 "grid_mode": grid_mode.value,
-            },
-            sort_keys=True,
-        ).encode()
-        return hashlib.sha256(blob).hexdigest()
+            }
+        )
 
     def _load_manifest(self) -> Optional[dict]:
         path = self._journal / MANIFEST_NAME

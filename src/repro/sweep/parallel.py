@@ -22,6 +22,17 @@ Kernels and the configuration space travel to workers as plain dicts,
 including the microarchitecture, so non-default hardware families
 (e.g. :data:`repro.gpu.families.APU_SPACE`) parallelise the same way
 the paper grid does.
+
+Result rows travel back through a ``multiprocessing.shared_memory``
+segment rather than the result pickle: the parent allocates one
+``(n_kernels, n_cu, n_eng, n_mem)`` float64 ndarray up front, each
+chunk payload carries the segment name plus the chunk's kernel-row
+offset, and workers write their rows straight into the mapped buffer —
+the pickled result shrinks to quarantine metadata. Retried chunks
+simply rewrite their rows (deterministic data, idempotent), degraded
+chunks are written by the parent, and any failure to create or attach
+the segment falls back to pickling rows exactly as before, so
+supervision and quarantine semantics are unchanged.
 """
 
 from __future__ import annotations
@@ -30,6 +41,7 @@ import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -60,6 +72,44 @@ DEFAULT_MAX_RETRIES = 2
 DEFAULT_RETRY_BACKOFF_S = 0.25
 
 
+def _untrack_shared_memory(segment) -> None:
+    """Detach *segment* from this process's resource tracker.
+
+    Attaching registers the segment with the tracker a second time
+    (bpo-39959); without the unregister, worker exits emit spurious
+    leak warnings and can unlink a segment the parent still owns.
+    """
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _write_rows_shared(shm_info: dict, perf: np.ndarray) -> bool:
+    """Write one chunk's rows into the shared result array.
+
+    Returns ``False`` (caller falls back to pickling the rows) if the
+    segment cannot be attached or written — a missing segment, a
+    platform without shared memory, a size mismatch.
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=shm_info["name"])
+    except Exception:
+        return False
+    try:
+        view = np.ndarray(
+            tuple(shm_info["shape"]), dtype=np.float64, buffer=segment.buf
+        )
+        offset = int(shm_info["offset"])
+        view[offset:offset + perf.shape[0]] = perf
+        return True
+    except Exception:
+        return False
+    finally:
+        segment.close()
+        _untrack_shared_memory(segment)
+
+
 def _sweep_chunk(payload: dict) -> dict:
     """Worker: sweep a chunk of kernels (serialised as dicts).
 
@@ -67,6 +117,9 @@ def _sweep_chunk(payload: dict) -> dict:
     surface a failure with the originating kernel's name rather than a
     bare pickled traceback. Kernels and the space travel as plain
     dicts so the worker start method (fork or spawn) does not matter.
+    Rows are written into the parent's shared-memory result array when
+    the payload names one (zero-copy); otherwise — or if attaching
+    fails — they are pickled back as before.
     """
     try:
         kernels = [Kernel.from_dict(p) for p in payload["kernels"]]
@@ -80,6 +133,11 @@ def _sweep_chunk(payload: dict) -> dict:
             engine, GridMode(payload["mode"]), simulator=simulator
         )
         dataset = runner.run(kernels, space, strict=payload["strict"])
+        shm_info = payload.get("shm")
+        if shm_info is not None and _write_rows_shared(
+            shm_info, dataset.perf
+        ):
+            return {"ok": True, "quarantined": dataset.quarantined}
         return {
             "ok": True,
             "perf": dataset.perf,
@@ -178,32 +236,82 @@ class ParallelSweepRunner:
             list(kernels[i:i + chunk_size])
             for i in range(0, len(kernels), chunk_size)
         ]
-        space_payload = space.to_dict()
-        fault_payloads = [s.to_dict() for s in self._faults]
-        payloads = [
-            {
-                "kernels": [k.to_dict() for k in chunk],
-                "space": space_payload,
-                "engine": self._engine.value,
-                "mode": self._grid_mode.value,
-                "strict": strict,
-                "faults": fault_payloads,
-            }
-            for chunk in chunks
-        ]
+        offsets = [0] * len(chunks)
+        for i in range(1, len(chunks)):
+            offsets[i] = offsets[i - 1] + len(chunks[i - 1])
 
-        results = self._supervise(
-            chunks, payloads, space, progress, strict, total=len(kernels)
-        )
+        result_shape = (len(kernels),) + space.shape
+        shm = self._create_shared_result(result_shape)
+        try:
+            space_payload = space.to_dict()
+            fault_payloads = [s.to_dict() for s in self._faults]
+            payloads = [
+                {
+                    "kernels": [k.to_dict() for k in chunk],
+                    "space": space_payload,
+                    "engine": self._engine.value,
+                    "mode": self._grid_mode.value,
+                    "strict": strict,
+                    "faults": fault_payloads,
+                    **(
+                        {
+                            "shm": {
+                                "name": shm.name,
+                                "shape": list(result_shape),
+                                "offset": offsets[i],
+                            }
+                        }
+                        if shm is not None
+                        else {}
+                    ),
+                }
+                for i, chunk in enumerate(chunks)
+            ]
 
-        perf = np.concatenate(
-            [results[i]["perf"] for i in range(len(chunks))], axis=0
-        )
+            results = self._supervise(
+                chunks, payloads, space, progress, strict,
+                total=len(kernels),
+            )
+
+            perf = np.empty(result_shape, dtype=np.float64)
+            shared_view = (
+                np.ndarray(result_shape, dtype=np.float64, buffer=shm.buf)
+                if shm is not None
+                else None
+            )
+            for i, chunk in enumerate(chunks):
+                lo = offsets[i]
+                hi = lo + len(chunk)
+                chunk_perf = results[i].get("perf")
+                if chunk_perf is not None:
+                    # Pickle fallback or parent-side serial degradation.
+                    perf[lo:hi] = chunk_perf
+                else:
+                    perf[lo:hi] = shared_view[lo:hi]
+        finally:
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+
         quarantined: Dict[str, str] = {}
         for i in range(len(chunks)):
             quarantined.update(results[i]["quarantined"])
         records = [KernelRecord.from_full_name(name) for name in names]
         return ScalingDataset(space, records, perf, quarantined=quarantined)
+
+    @staticmethod
+    def _create_shared_result(result_shape) -> Optional[
+        shared_memory.SharedMemory
+    ]:
+        """The shared result segment, or ``None`` to pickle rows back."""
+        n_bytes = int(np.prod(result_shape)) * np.dtype(np.float64).itemsize
+        try:
+            return shared_memory.SharedMemory(create=True, size=n_bytes)
+        except Exception:
+            return None
 
     # ------------------------------------------------------------------
     # Supervision

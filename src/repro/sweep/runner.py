@@ -5,8 +5,13 @@ kernels under firmware CU-fusing/DVFS control) with the performance
 model. The full paper-scale sweep is 267 x 891 = 237,897 simulations;
 the batch interval engine evaluates each kernel's whole 891-point grid
 as one set of NumPy broadcasts (see ``repro/gpu/interval_batch.py``),
-completing the study in well under a second. ``GridMode.SCALAR``
-retains the original one-call-per-point path as a reference oracle.
+completing the study in well under a second, and ``GridMode.STUDY``
+goes one axis further — the entire kernel catalog in a single
+(kernel, cu, eng, mem) broadcast, tens of milliseconds for the full
+study. ``GridMode.SCALAR`` retains the original one-call-per-point
+path as a reference oracle; simulators that cannot batch the kernel
+axis (the event engine, fault-injection wrappers) transparently fall
+back to the per-kernel loop, preserving quarantine semantics.
 
 Fault isolation is per kernel row: with ``strict=False`` a kernel whose
 simulation raises — or silently produces non-finite or non-positive
@@ -98,6 +103,32 @@ class SweepRunner:
         perf = np.empty((len(kernels), n_cu, n_eng, n_mem), dtype=np.float64)
         quarantined: Dict[str, str] = {}
 
+        if self._grid_mode is GridMode.STUDY:
+            study_perf = self._try_study(kernels, space)
+            if study_perf is not None:
+                for row, kernel in enumerate(kernels):
+                    values = study_perf[row]
+                    reason = self._row_defect(values, space)
+                    if reason is None:
+                        perf[row] = values
+                    else:
+                        error = SimulationError(kernel.full_name, reason)
+                        if strict:
+                            raise error
+                        perf[row] = np.nan
+                        quarantined[kernel.full_name] = error.reason
+                    if progress is not None:
+                        progress(row + 1, len(kernels))
+                records = [
+                    KernelRecord.from_full_name(name) for name in names
+                ]
+                return ScalingDataset(
+                    space, records, perf, quarantined=quarantined
+                )
+            # Whole-study evaluation failed or is unsupported by this
+            # simulator: fall through to the per-kernel loop, which
+            # attributes and quarantines failures kernel by kernel.
+
         for row, kernel in enumerate(kernels):
             try:
                 perf[row] = self._simulate_row(kernel, space)
@@ -113,6 +144,44 @@ class SweepRunner:
         records = [KernelRecord.from_full_name(name) for name in names]
         return ScalingDataset(space, records, perf, quarantined=quarantined)
 
+    def _try_study(
+        self, kernels: Sequence[Kernel], space: ConfigurationSpace
+    ) -> Optional[np.ndarray]:
+        """One whole-study evaluation, or ``None`` to fall back.
+
+        Simulators without a ``simulate_study`` method (the event
+        engine, fault-injection wrappers) and whole-study failures both
+        return ``None``: the per-kernel loop repeats the work with full
+        per-kernel fault attribution, which is what quarantine needs.
+        """
+        simulate_study = getattr(self._simulator, "simulate_study", None)
+        if simulate_study is None:
+            return None
+        try:
+            result = simulate_study(kernels, space)
+        except Exception:
+            return None
+        values = np.asarray(result.items_per_second, dtype=np.float64)
+        if values.shape != (len(kernels),) + space.shape:
+            return None
+        return values
+
+    @staticmethod
+    def _row_defect(
+        values: np.ndarray, space: ConfigurationSpace
+    ) -> Optional[str]:
+        """Why one kernel's throughput row is unusable, if it is."""
+        if values.shape != space.shape:
+            return (
+                f"engine returned shape {values.shape}, "
+                f"expected {space.shape}"
+            )
+        if not np.all(np.isfinite(values)):
+            return "engine produced non-finite throughput"
+        if np.any(values <= 0):
+            return "engine produced non-positive throughput"
+        return None
+
     def _simulate_row(
         self, kernel: Kernel, space: ConfigurationSpace
     ) -> np.ndarray:
@@ -121,20 +190,9 @@ class SweepRunner:
             kernel, space, mode=self._grid_mode
         )
         values = np.asarray(grid.items_per_second, dtype=np.float64)
-        if values.shape != space.shape:
-            raise SimulationError(
-                kernel.full_name,
-                f"engine returned shape {values.shape}, "
-                f"expected {space.shape}",
-            )
-        if not np.all(np.isfinite(values)):
-            raise SimulationError(
-                kernel.full_name, "engine produced non-finite throughput"
-            )
-        if np.any(values <= 0):
-            raise SimulationError(
-                kernel.full_name, "engine produced non-positive throughput"
-            )
+        reason = self._row_defect(values, space)
+        if reason is not None:
+            raise SimulationError(kernel.full_name, reason)
         return values
 
     @staticmethod

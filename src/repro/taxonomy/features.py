@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+import numpy as np
+
 from repro.errors import ClassificationError
 from repro.sweep.dataset import ScalingDataset
 from repro.sweep.views import Axis, AxisSlice, axis_slice
@@ -43,13 +45,14 @@ def _median3(curve: Tuple[float, ...]) -> Tuple[float, ...]:
     """
     if len(curve) < 3:
         return curve
-    smoothed = [curve[0]]
-    for i in range(1, len(curve) - 1):
-        smoothed.append(
-            sorted((curve[i - 1], curve[i], curve[i + 1]))[1]
-        )
-    smoothed.append(curve[-1])
-    return tuple(smoothed)
+    arr = np.asarray(curve, dtype=np.float64)
+    windows = np.stack((arr[:-2], arr[1:-1], arr[2:]))
+    middles = np.sort(windows, axis=0)[1]
+    return (
+        (curve[0],)
+        + tuple(float(v) for v in middles)
+        + (curve[-1],)
+    )
 
 
 @dataclass(frozen=True)
@@ -116,15 +119,13 @@ def _tail_slope(
     question to the top of the axis.
     """
     count = max(2, math.ceil(len(speedup) / 2))
-    xs = [math.log(k) for k in knobs[-count:]]
-    ys = [math.log(max(s, 1e-12)) for s in speedup[-count:]]
-    mean_x = sum(xs) / len(xs)
-    mean_y = sum(ys) / len(ys)
-    var_x = sum((x - mean_x) ** 2 for x in xs)
-    cov = sum(
-        (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+    xs = np.log(np.asarray(knobs[-count:], dtype=np.float64))
+    ys = np.log(
+        np.maximum(np.asarray(speedup[-count:], dtype=np.float64), 1e-12)
     )
-    return cov / var_x
+    dx = xs - xs.mean()
+    dy = ys - ys.mean()
+    return float((dx * dy).sum() / (dx * dx).sum())
 
 
 def axis_features_from_slice(slice_: AxisSlice) -> AxisFeatures:

@@ -1,0 +1,276 @@
+"""Whole-study kernel-axis batching vs. the per-kernel oracles.
+
+``GridMode.STUDY`` evaluates the entire catalog in one
+``(kernel, cu, eng, mem)`` broadcast. Its contract is strict: slicing
+the study tensor at any kernel must be *bitwise identical* to the
+per-kernel batch path, and within ``rtol=1e-12`` of the scalar
+reference oracle — the same invariant chain the batch engine pins
+against the scalar model in ``test_interval_batch.py``, extended one
+axis. This file also pins the per-microarchitecture state hoist: cache
+and memory derived state is built once per uarch, never per call.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.gpu import Engine, GpuSimulator, GridMode
+from repro.gpu.families import APU_SPACE
+from repro.gpu.interval_batch import BatchIntervalModel
+import repro.gpu.interval_batch as interval_batch
+from repro.gpu.caches import CacheModel
+from repro.kernels import ARCHETYPE_BUILDERS, KernelPack
+from repro.suites import all_kernels, all_suites
+from repro.sweep import (
+    FaultKind,
+    FaultSpec,
+    FaultyEngine,
+    PAPER_SPACE,
+    SweepRunner,
+    reduced_space,
+)
+from repro.sweep.space import ConfigurationSpace
+
+RTOL = 1e-12
+
+
+def batch_rows(kernels, space):
+    """Per-kernel batch grids, stacked along the kernel axis."""
+    model = BatchIntervalModel()
+    return np.stack(
+        [model.simulate_grid(k, space).time_s for k in kernels]
+    )
+
+
+class TestStudyVsBatchBitExact:
+    """The study path must reproduce the batch path to the last bit."""
+
+    def test_full_catalog_reduced_space(self):
+        kernels = all_kernels()
+        space = reduced_space(2, 2, 2)
+        study = GpuSimulator().simulate_study(kernels, space)
+        np.testing.assert_array_equal(
+            study.time_s, batch_rows(kernels, space)
+        )
+
+    def test_full_catalog_paper_space(self):
+        kernels = all_kernels()
+        study = GpuSimulator().simulate_study(kernels, PAPER_SPACE)
+        np.testing.assert_array_equal(
+            study.time_s, batch_rows(kernels, PAPER_SPACE)
+        )
+
+    @pytest.mark.parametrize(
+        "suite", [suite.name for suite in all_suites()]
+    )
+    def test_each_suite_paper_space(self, suite):
+        kernels = all_kernels(suite)
+        study = GpuSimulator().simulate_study(kernels, PAPER_SPACE)
+        np.testing.assert_array_equal(
+            study.time_s, batch_rows(kernels, PAPER_SPACE)
+        )
+
+
+class TestStudyVsScalarOracle:
+    """And stay within the batch engine's tolerance of the scalar."""
+
+    def test_full_catalog_vs_scalar(self):
+        kernels = all_kernels()
+        space = reduced_space(4, 4, 4)
+        study = GpuSimulator().simulate_study(kernels, space)
+        sim = GpuSimulator()
+        for i, kernel in enumerate(kernels):
+            scalar = sim.simulate_grid(
+                kernel, space, mode=GridMode.SCALAR
+            )
+            np.testing.assert_allclose(
+                study.time_s[i], scalar.time_s, rtol=RTOL
+            )
+
+    @pytest.mark.parametrize("kind", sorted(ARCHETYPE_BUILDERS))
+    @pytest.mark.parametrize(
+        "space",
+        [reduced_space(2, 2, 2), APU_SPACE],
+        ids=["hawaii", "kaveri-apu"],
+    )
+    def test_every_archetype_every_uarch_family(self, kind, space):
+        kernel = ARCHETYPE_BUILDERS[kind](f"{kind}_probe", suite="probe")
+        study = GpuSimulator().simulate_study([kernel], space)
+        scalar = GpuSimulator().simulate_grid(
+            kernel, space, mode=GridMode.SCALAR
+        )
+        np.testing.assert_allclose(
+            study.time_s[0], scalar.time_s, rtol=RTOL
+        )
+
+
+class TestStudyResultContents:
+    def test_shapes_and_names(self):
+        kernels = all_kernels("rodinia")
+        space = reduced_space(2, 2, 2)
+        study = GpuSimulator().simulate_study(kernels, space)
+        n = len(kernels)
+        assert len(study) == n
+        assert study.kernel_names == tuple(k.full_name for k in kernels)
+        assert study.time_s.shape == (n,) + space.shape
+        assert study.items_per_second.shape == (n,) + space.shape
+        assert study.l2_hit_rate.shape == (n, space.shape[0])
+        assert study.dram_bytes.shape == (n, space.shape[0])
+        np.testing.assert_array_equal(
+            study.global_size,
+            [k.geometry.global_size for k in kernels],
+        )
+
+    def test_perf_row_matches_batch_grid(self):
+        kernels = all_kernels("polybench")
+        space = reduced_space(2, 2, 2)
+        study = GpuSimulator().simulate_study(kernels, space)
+        model = BatchIntervalModel()
+        for i, kernel in enumerate(kernels):
+            grid = model.simulate_grid(kernel, space)
+            np.testing.assert_array_equal(
+                study.perf_row(i), grid.items_per_second
+            )
+
+    def test_cu_axis_vectors_match_batch(self):
+        kernels = all_kernels("parboil")
+        space = reduced_space(2, 2, 2)
+        study = GpuSimulator().simulate_study(kernels, space)
+        model = BatchIntervalModel()
+        for i, kernel in enumerate(kernels):
+            grid = model.simulate_grid(kernel, space)
+            np.testing.assert_array_equal(
+                study.l2_hit_rate[i], grid.l2_hit_rate
+            )
+            np.testing.assert_array_equal(
+                study.dram_bytes[i], grid.dram_bytes
+            )
+
+    def test_occupancy_matches_batch(self):
+        kernels = all_kernels("opendwarfs")
+        space = reduced_space(2, 2, 2)
+        study = GpuSimulator().simulate_study(kernels, space)
+        model = BatchIntervalModel()
+        for i, kernel in enumerate(kernels):
+            grid = model.simulate_grid(kernel, space)
+            scalar_occ = study.occupancy.result(i)
+            assert scalar_occ == grid.occupancy
+
+    def test_accepts_prepacked_kernels(self):
+        kernels = all_kernels("proxyapps")
+        space = reduced_space(4, 4, 4)
+        sim = GpuSimulator()
+        from_list = sim.simulate_study(kernels, space)
+        from_pack = sim.simulate_study(
+            KernelPack.from_kernels(kernels), space
+        )
+        np.testing.assert_array_equal(
+            from_list.time_s, from_pack.time_s
+        )
+
+    def test_event_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GpuSimulator(Engine.EVENT).simulate_study(
+                all_kernels("proxyapps"), reduced_space(4, 4, 4)
+            )
+
+
+class TestSweepRunnerStudyMode:
+    def test_dataset_identical_to_batch_mode(self):
+        kernels = all_kernels()
+        space = reduced_space(2, 2, 2)
+        batch = SweepRunner(grid_mode=GridMode.BATCH).run(kernels, space)
+        study = SweepRunner(grid_mode=GridMode.STUDY).run(kernels, space)
+        np.testing.assert_array_equal(batch.perf, study.perf)
+        assert batch.kernel_names == study.kernel_names
+        assert study.quarantined == {}
+
+    def test_progress_ticks_per_kernel_row(self):
+        kernels = all_kernels("proxyapps")
+        calls = []
+        SweepRunner(grid_mode=GridMode.STUDY).run(
+            kernels, reduced_space(4, 4, 4),
+            progress=lambda d, t: calls.append((d, t)),
+        )
+        assert calls == [
+            (i + 1, len(kernels)) for i in range(len(kernels))
+        ]
+
+    def test_fault_engine_falls_back_with_quarantine(self):
+        """A simulator without ``simulate_study`` (the fault-injection
+        wrapper) must transparently use the per-kernel loop, keeping
+        full quarantine attribution."""
+        kernels = all_kernels("proxyapps")
+        space = reduced_space(4, 4, 4)
+        target = kernels[3].full_name
+        faulty = FaultyEngine(
+            GpuSimulator(),
+            [FaultSpec(kind=FaultKind.RAISE, kernel_name=target,
+                       message="study fallback boom")],
+        )
+        runner = SweepRunner(
+            grid_mode=GridMode.STUDY, simulator=faulty
+        )
+        dataset = runner.run(kernels, space, strict=False)
+        assert dataset.quarantined == {target: "study fallback boom"}
+        assert np.isnan(dataset.perf[3]).all()
+        clean = SweepRunner(grid_mode=GridMode.STUDY).run(kernels, space)
+        healthy = dataset.healthy()
+        np.testing.assert_array_equal(
+            healthy.perf, clean.subset(healthy.kernel_names).perf
+        )
+
+    def test_fault_engine_strict_raises_named_error(self):
+        kernels = all_kernels("proxyapps")
+        target = kernels[3].full_name
+        faulty = FaultyEngine(
+            GpuSimulator(),
+            [FaultSpec(kind=FaultKind.RAISE, kernel_name=target,
+                       message="strict boom")],
+        )
+        runner = SweepRunner(
+            grid_mode=GridMode.STUDY, simulator=faulty
+        )
+        with pytest.raises(SimulationError) as excinfo:
+            runner.run(kernels, reduced_space(4, 4, 4), strict=True)
+        assert excinfo.value.kernel_name == target
+
+
+class TestUarchStateHoisting:
+    """Derived cache/memory state is built once per uarch, not per call
+    — the chunked-campaign fix: equal-but-distinct uarch instances
+    (e.g. deserialised per chunk) must share one state entry."""
+
+    def test_cache_model_built_once_across_study_calls(self, monkeypatch):
+        constructions = []
+
+        class CountingCacheModel(CacheModel):
+            def __init__(self, uarch):
+                constructions.append(uarch)
+                super().__init__(uarch)
+
+        monkeypatch.setattr(
+            interval_batch, "CacheModel", CountingCacheModel
+        )
+        model = BatchIntervalModel()
+        kernels = all_kernels("proxyapps")
+        pack = KernelPack.from_kernels(kernels)
+        space = reduced_space(4, 4, 4)
+        for _ in range(3):
+            model.simulate_study(pack, space)
+            model.simulate_grid(kernels[0], space)
+        assert len(constructions) == 1
+
+    def test_equal_uarch_instances_share_state(self):
+        space = reduced_space(4, 4, 4)
+        rehydrated = ConfigurationSpace.from_dict(space.to_dict())
+        assert rehydrated.uarch is not space.uarch
+        assert rehydrated.uarch == space.uarch
+        model = BatchIntervalModel()
+        assert model._state(space.uarch) is model._state(rehydrated.uarch)
+
+    def test_distinct_uarches_get_distinct_state(self):
+        model = BatchIntervalModel()
+        hawaii = model._state(PAPER_SPACE.uarch)
+        apu = model._state(APU_SPACE.uarch)
+        assert hawaii is not apu

@@ -1,0 +1,188 @@
+"""Content-addressed sweep result cache.
+
+The acceptance property: a cached re-run never invokes the engine.
+``engine_call_count`` pins that — a hit must leave the counter at
+zero — and the fingerprint must move with every simulated input
+(kernel content, space, engine) while staying put across grid modes,
+which are equivalence-tested elsewhere.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.gpu import Engine
+from repro.gpu.families import APU_SPACE
+from repro.gpu.simulator import (
+    GridMode,
+    engine_call_count,
+    reset_engine_call_count,
+)
+from repro.suites import all_kernels
+from repro.sweep import (
+    SweepCache,
+    SweepRunner,
+    cached_paper_dataset,
+    reduced_space,
+    sweep_fingerprint,
+)
+from repro.sweep.cache import CACHE_DIR_ENV, default_cache_dir
+
+
+@pytest.fixture
+def kernels():
+    return all_kernels("proxyapps")
+
+
+@pytest.fixture
+def space():
+    return reduced_space(4, 4, 4)
+
+
+@pytest.fixture
+def dataset(kernels, space):
+    return SweepRunner().run(kernels, space)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return SweepCache(tmp_path / "cache")
+
+
+class TestFingerprint:
+    def test_deterministic(self, kernels, space):
+        assert sweep_fingerprint(kernels, space) == sweep_fingerprint(
+            kernels, space
+        )
+
+    def test_sensitive_to_kernel_content(self, kernels, space):
+        base = sweep_fingerprint(kernels, space)
+        edited = list(kernels)
+        edited[0] = dataclasses.replace(
+            edited[0],
+            characteristics=dataclasses.replace(
+                edited[0].characteristics,
+                valu_ops_per_item=(
+                    edited[0].characteristics.valu_ops_per_item + 1.0
+                ),
+            ),
+        )
+        assert sweep_fingerprint(edited, space) != base
+
+    def test_sensitive_to_space_and_uarch(self, kernels, space):
+        base = sweep_fingerprint(kernels, space)
+        assert sweep_fingerprint(kernels, reduced_space(2, 2, 2)) != base
+        assert sweep_fingerprint(kernels, APU_SPACE) != base
+
+    def test_sensitive_to_engine(self, kernels, space):
+        assert sweep_fingerprint(
+            kernels, space, Engine.INTERVAL
+        ) != sweep_fingerprint(kernels, space, Engine.EVENT)
+
+    def test_kernel_order_matters(self, kernels, space):
+        reordered = list(reversed(kernels))
+        assert sweep_fingerprint(reordered, space) != sweep_fingerprint(
+            kernels, space
+        )
+
+
+class TestCacheStoreLoad:
+    def test_miss_then_hit_round_trip(self, cache, kernels, space, dataset):
+        fp = sweep_fingerprint(kernels, space)
+        assert cache.load(fp) is None
+        assert cache.misses == 1
+        cache.store(fp, dataset)
+        loaded = cache.load(fp)
+        assert loaded is not None
+        assert cache.hits == 1
+        np.testing.assert_array_equal(loaded.perf, dataset.perf)
+        assert loaded.kernel_names == dataset.kernel_names
+
+    def test_corrupt_entry_is_miss_and_removed(
+        self, cache, kernels, space, dataset
+    ):
+        fp = sweep_fingerprint(kernels, space)
+        cache.store(fp, dataset)
+        cache.path_for(fp).write_bytes(b"not an npz archive")
+        assert cache.load(fp) is None
+        assert not cache.path_for(fp).exists()
+
+    def test_invalidate_and_entries(self, cache, kernels, space, dataset):
+        fp = sweep_fingerprint(kernels, space)
+        assert cache.invalidate(fp) is False
+        cache.store(fp, dataset)
+        assert cache.entries() == [cache.path_for(fp)]
+        assert cache.invalidate(fp) is True
+        assert cache.entries() == []
+
+    def test_clear_removes_everything(self, cache, kernels, space, dataset):
+        cache.store(sweep_fingerprint(kernels, space), dataset)
+        cache.store(
+            sweep_fingerprint(kernels, reduced_space(2, 2, 2)),
+            SweepRunner().run(kernels, reduced_space(2, 2, 2)),
+        )
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+    def test_refuses_quarantined_dataset(self, cache, kernels, space):
+        from repro.sweep.dataset import ScalingDataset
+
+        clean = SweepRunner().run(kernels, space)
+        perf = clean.perf.copy()
+        perf[0] = np.nan
+        quarantined = ScalingDataset(
+            space, clean.kernel_records, perf,
+            quarantined={kernels[0].full_name: "injected"},
+        )
+        with pytest.raises(DatasetError):
+            cache.store(sweep_fingerprint(kernels, space), quarantined)
+
+    def test_empty_cache_dir_is_fine(self, tmp_path):
+        cache = SweepCache(tmp_path / "never_created")
+        assert cache.entries() == []
+        assert cache.clear() == 0
+
+
+class TestCachedPaperDataset:
+    def test_hit_skips_engine_entirely(self, cache, space, monkeypatch):
+        kernels = all_kernels("proxyapps")
+        monkeypatch.setattr(
+            "repro.suites.all_kernels", lambda: kernels
+        )
+        first = cached_paper_dataset(space=space, cache=cache)
+        assert cache.stores == 1
+        reset_engine_call_count()
+        second = cached_paper_dataset(space=space, cache=cache)
+        assert engine_call_count() == 0, (
+            "cached re-run must not invoke the engine"
+        )
+        np.testing.assert_array_equal(first.perf, second.perf)
+
+    def test_grid_modes_share_entries(self, cache, space, monkeypatch):
+        kernels = all_kernels("proxyapps")
+        monkeypatch.setattr(
+            "repro.suites.all_kernels", lambda: kernels
+        )
+        cached_paper_dataset(
+            space=space, cache=cache, grid_mode=GridMode.STUDY
+        )
+        reset_engine_call_count()
+        batch = cached_paper_dataset(
+            space=space, cache=cache, grid_mode=GridMode.BATCH
+        )
+        assert engine_call_count() == 0
+        study = SweepRunner(grid_mode=GridMode.STUDY).run(kernels, space)
+        np.testing.assert_array_equal(batch.perf, study.perf)
+
+
+class TestDefaultDirectory:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env_cache"))
+        assert default_cache_dir() == tmp_path / "env_cache"
+        assert SweepCache().cache_dir == tmp_path / "env_cache"
+
+    def test_default_under_home(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert default_cache_dir().name == "gpuscale"

@@ -6,7 +6,13 @@ import pytest
 from repro.errors import DatasetError
 from repro.gpu.families import APU_SPACE
 from repro.suites import all_kernels
-from repro.sweep import SweepRunner, reduced_space
+from repro.sweep import (
+    FaultKind,
+    FaultSpec,
+    SweepRunner,
+    reduced_space,
+)
+import repro.sweep.parallel as parallel_module
 from repro.sweep.parallel import ParallelSweepRunner
 
 
@@ -69,3 +75,105 @@ class TestParallelRunner:
 
     def test_worker_count_defaults_positive(self):
         assert ParallelSweepRunner().workers >= 1
+
+
+class TestSharedMemoryTransfer:
+    """Zero-copy result rows: same dataset whether the rows travel
+    through the shared segment, the pickle fallback, or a degraded
+    serial chunk — and quarantine metadata is unaffected."""
+
+    @pytest.fixture(scope="class")
+    def kernels(self):
+        return all_kernels("proxyapps")
+
+    @pytest.fixture(scope="class")
+    def space(self):
+        return reduced_space(4, 4, 4)
+
+    @pytest.fixture(scope="class")
+    def clean_dataset(self, kernels, space):
+        return SweepRunner().run(kernels, space)
+
+    def test_segment_created_and_released(self, kernels, space):
+        runner = ParallelSweepRunner(workers=3)
+        created = []
+        original = ParallelSweepRunner._create_shared_result
+
+        def tracking(result_shape):
+            shm = original(result_shape)
+            created.append(shm)
+            return shm
+
+        ParallelSweepRunner._create_shared_result = staticmethod(tracking)
+        try:
+            runner.run(kernels, space)
+        finally:
+            ParallelSweepRunner._create_shared_result = staticmethod(
+                original
+            )
+        assert len(created) == 1 and created[0] is not None
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=created[0].name)
+
+    def test_pickle_fallback_when_segment_unavailable(
+        self, kernels, space, clean_dataset, monkeypatch
+    ):
+        monkeypatch.setattr(
+            ParallelSweepRunner,
+            "_create_shared_result",
+            staticmethod(lambda result_shape: None),
+        )
+        dataset = ParallelSweepRunner(workers=3).run(kernels, space)
+        np.testing.assert_array_equal(dataset.perf, clean_dataset.perf)
+
+    def test_pickle_fallback_when_worker_attach_fails(
+        self, kernels, space, clean_dataset, monkeypatch
+    ):
+        # Patched before the (forked) pool is created, so workers
+        # inherit the broken writer and must fall back to pickling.
+        monkeypatch.setattr(
+            parallel_module,
+            "_write_rows_shared",
+            lambda shm_info, perf: False,
+        )
+        dataset = ParallelSweepRunner(workers=3).run(kernels, space)
+        np.testing.assert_array_equal(dataset.perf, clean_dataset.perf)
+
+    def test_quarantine_metadata_crosses_shared_path(
+        self, kernels, space, clean_dataset
+    ):
+        """PR 2 semantics through the shared segment: the quarantined
+        kernel still yields a NaN row plus its recorded cause."""
+        target = kernels[2].full_name
+        runner = ParallelSweepRunner(
+            workers=3, retry_backoff_s=0,
+            faults=[FaultSpec(kind=FaultKind.RAISE, kernel_name=target,
+                              scope="worker", message="shm boom")],
+        )
+        dataset = runner.run(kernels, space, strict=False)
+        assert dataset.quarantined == {target: "shm boom"}
+        row = dataset.kernel_names.index(target)
+        assert np.isnan(dataset.perf[row]).all()
+        healthy = dataset.healthy()
+        np.testing.assert_array_equal(
+            healthy.perf,
+            clean_dataset.subset(healthy.kernel_names).perf,
+        )
+
+    def test_degraded_chunk_rows_written_by_parent(
+        self, kernels, space, clean_dataset
+    ):
+        """A chunk that exhausts retries is recomputed serially in the
+        parent; its rows must land in the result regardless of the
+        shared segment the workers were using."""
+        runner = ParallelSweepRunner(
+            workers=3, chunk_timeout_s=2.0, max_retries=0,
+            retry_backoff_s=0,
+            faults=[FaultSpec(kind=FaultKind.EXIT, scope="worker",
+                              kernel_name=kernels[2].full_name)],
+        )
+        dataset = runner.run(kernels, space)
+        np.testing.assert_array_equal(dataset.perf, clean_dataset.perf)
+        assert runner.last_stats.degraded_chunks == 1

@@ -106,3 +106,97 @@ class TestExtractFeatures:
         for prefix in ("cu", "engine", "memory"):
             assert f"{prefix}_gain" in flat
             assert f"{prefix}_elasticity" in flat
+
+
+class TestVectorizedHelpers:
+    """The NumPy forms of ``_median3``/``_tail_slope`` against their
+    original pure-Python definitions: the median filter must be exact;
+    the OLS slope agrees to 1 ulp (NumPy's SIMD ``log`` can differ
+    from libm's by one bit on rare inputs — verified label-preserving
+    over the full catalog in the study engine tests)."""
+
+    @staticmethod
+    def _median3_ref(curve):
+        if len(curve) < 3:
+            return curve
+        out = [curve[0]]
+        for i in range(1, len(curve) - 1):
+            out.append(sorted((curve[i - 1], curve[i], curve[i + 1]))[1])
+        out.append(curve[-1])
+        return tuple(out)
+
+    @staticmethod
+    def _tail_slope_ref(knobs, speedup):
+        count = max(2, math.ceil(len(speedup) / 2))
+        xs = [math.log(k) for k in knobs[-count:]]
+        ys = [math.log(max(s, 1e-12)) for s in speedup[-count:]]
+        mean_x = sum(xs) / len(xs)
+        mean_y = sum(ys) / len(ys)
+        var_x = sum((x - mean_x) ** 2 for x in xs)
+        cov = sum(
+            (x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)
+        )
+        return cov / var_x
+
+    def test_median3_matches_reference_exactly(self):
+        import itertools
+
+        from repro.taxonomy.features import _median3
+
+        values = (0.7, 1.0, 1.3, 1.31, 2.5, 0.2)
+        for n in (1, 2, 3, 5):
+            for curve in itertools.permutations(values, n):
+                assert _median3(curve) == self._median3_ref(curve)
+
+    def test_median3_short_curves_are_identity(self):
+        from repro.taxonomy.features import _median3
+
+        assert _median3((1.0,)) == (1.0,)
+        assert _median3((1.0, 2.0)) == (1.0, 2.0)
+
+    def test_tail_slope_matches_reference_within_ulp(self):
+        import numpy as np
+
+        from repro.taxonomy.features import _tail_slope
+
+        rng = np.random.default_rng(7)
+        for n in (2, 3, 5, 6, 11):
+            for _ in range(200):
+                knobs = tuple(
+                    sorted(rng.uniform(100.0, 1500.0, size=n))
+                )
+                speedup = tuple(rng.uniform(0.0, 8.0, size=n))
+                got = _tail_slope(knobs, speedup)
+                want = self._tail_slope_ref(knobs, speedup)
+                assert got == pytest.approx(want, rel=1e-13, abs=1e-13)
+
+    def test_full_catalog_features_unchanged(self):
+        """The vectorization must not move any feature the taxonomy
+        thresholds read, across every catalog kernel's curves."""
+        import numpy as np
+
+        from repro.gpu import GpuSimulator
+        from repro.suites import all_kernels
+        from repro.sweep import PAPER_SPACE
+        from repro.sweep.dataset import KernelRecord, ScalingDataset
+        from repro.sweep.views import axis_slice
+        from repro.taxonomy.features import _median3, _tail_slope
+
+        kernels = all_kernels()
+        study = GpuSimulator().simulate_study(kernels, PAPER_SPACE)
+        records = [
+            KernelRecord.from_full_name(k.full_name) for k in kernels
+        ]
+        dataset = ScalingDataset(
+            PAPER_SPACE, records, study.items_per_second
+        )
+        worst = 0.0
+        for kernel in kernels:
+            for axis in Axis:
+                sl = axis_slice(dataset, kernel.full_name, axis)
+                smoothed = _median3(sl.speedup)
+                assert smoothed == self._median3_ref(sl.speedup)
+                got = _tail_slope(sl.knob_values, smoothed)
+                want = self._tail_slope_ref(sl.knob_values, smoothed)
+                worst = max(worst, abs(got - want))
+        assert worst < 1e-15

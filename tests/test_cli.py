@@ -151,6 +151,108 @@ class TestCommands:
         assert "category:" in output
 
 
+class TestCacheFlags:
+    def test_parser_accepts_cache_flags(self):
+        for command in (["classify"], ["report"], ["kernel", "k"]):
+            args = build_parser().parse_args(
+                command + ["--no-cache", "--cache-dir", "c"]
+            )
+            assert args.no_cache and args.cache_dir == "c"
+
+    def test_cache_info_empty(self, tmp_path, capsys):
+        assert main(["cache", "info",
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        output = capsys.readouterr().out
+        assert "entries:         0" in output
+
+    def test_classify_populates_then_hits_cache(self, tmp_path, capsys,
+                                                monkeypatch):
+        from repro.gpu.simulator import (
+            engine_call_count,
+            reset_engine_call_count,
+        )
+        from repro.suites import all_kernels
+
+        kernels = all_kernels()[:4]
+        monkeypatch.setattr(
+            "repro.suites.all_kernels", lambda: kernels
+        )
+        monkeypatch.setattr(
+            "repro.cli.collect_paper_dataset",
+            lambda **kw: (_ for _ in ()).throw(
+                AssertionError("cache path not taken")
+            ),
+        )
+        cache_dir = tmp_path / "cache"
+        assert main(["classify", "--cache-dir", str(cache_dir)]) == 0
+        assert list(cache_dir.glob("sweep_*.npz"))
+        reset_engine_call_count()
+        assert main(["classify", "--cache-dir", str(cache_dir)]) == 0
+        assert engine_call_count() == 0
+
+        assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+        assert "entries:         1" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert not list(cache_dir.glob("sweep_*.npz"))
+
+    def test_report_cached_rerun_skips_simulation(self, tmp_path, capsys):
+        from repro.gpu.simulator import (
+            engine_call_count,
+            reset_engine_call_count,
+        )
+
+        cache_dir = tmp_path / "cache"
+        assert main(["report", "T3", "--cache-dir", str(cache_dir)]) == 0
+        assert list(cache_dir.glob("sweep_*.npz"))
+        reset_engine_call_count()
+        assert main(["report", "T3", "--cache-dir", str(cache_dir)]) == 0
+        assert engine_call_count() == 0, (
+            "cached gpuscale report must not simulate"
+        )
+        assert "T3" in capsys.readouterr().out
+
+    def test_no_cache_bypasses_store(self, tmp_path, monkeypatch):
+        from repro.suites import all_kernels
+        from repro.sweep import reduced_space
+
+        kernels = all_kernels()[:4]
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("GPUSCALE_CACHE_DIR", str(cache_dir))
+        import repro.cli as cli_module
+        import repro.sweep.runner as runner_module
+
+        monkeypatch.setattr(
+            cli_module, "collect_paper_dataset",
+            lambda **kw: runner_module.SweepRunner().run(
+                kernels, reduced_space(4, 4, 4)
+            ),
+        )
+        assert main(["classify", "--no-cache"]) == 0
+        assert not cache_dir.exists()
+
+    def test_sweep_engine_mode_study_forwarded(self, tmp_path,
+                                               monkeypatch):
+        import repro.sweep.runner as runner_module
+        from repro.gpu import GridMode
+
+        TestCommands._shrink_sweep(monkeypatch, count=2)
+        seen = {}
+        real_runner = runner_module.SweepRunner
+
+        class RecordingRunner(real_runner):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                seen["grid_mode"] = self.grid_mode
+
+        monkeypatch.setattr(runner_module, "SweepRunner",
+                            RecordingRunner)
+        out = tmp_path / "data.npz"
+        assert main(["sweep", "--out", str(out),
+                     "--engine-mode", "study"]) == 0
+        assert seen["grid_mode"] is GridMode.STUDY
+
+
 class TestEnergyCommand:
     def test_energy_default_objective(self, capsys):
         assert main(["energy", "shoc/triad.triad"]) == 0
