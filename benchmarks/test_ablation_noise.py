@@ -8,7 +8,6 @@ labels are unchanged; label churn grows with the noise level but the
 category *populations* stay within a few kernels of the clean run.
 """
 
-import numpy as np
 
 from repro.report.tables import render_table
 from repro.sweep.noise import perturb

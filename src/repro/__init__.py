@@ -33,6 +33,10 @@ from repro.gpu import (
     GpuSimulator,
     HardwareConfig,
     Microarchitecture,
+    TimingEngine,
+    get_engine,
+    list_engines,
+    register_engine,
     simulate,
 )
 from repro.kernels import Kernel, KernelCharacteristics, LaunchGeometry
@@ -74,9 +78,13 @@ __all__ = [
     "SweepRunner",
     "TaxonomyCategory",
     "TaxonomyClassifier",
+    "TimingEngine",
     "WorkloadError",
     "classify",
     "collect_paper_dataset",
+    "get_engine",
+    "list_engines",
     "reduced_space",
+    "register_engine",
     "simulate",
 ]

@@ -9,7 +9,7 @@ what kernels actually achieve is the motivation for the taxonomy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

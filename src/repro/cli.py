@@ -8,6 +8,7 @@ Usage (installed as ``gpuscale`` or via ``python -m repro.cli``)::
     gpuscale classify [--data data.npz] # taxonomy labels + histogram
     gpuscale report [T3 F7 ...]         # regenerate tables/figures
     gpuscale kernel rodinia/bfs.kernel1 # one kernel's scaling detail
+    gpuscale engines                    # registered timing engines
     gpuscale cache info                 # sweep result cache contents
     gpuscale cache clear                # drop every cached sweep
 
@@ -92,18 +93,19 @@ def _progress(done: int, total: int) -> None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.gpu.simulator import GridMode
     from repro.sweep.campaign import CampaignRunner
     from repro.sweep.parallel import ParallelSweepRunner
     from repro.sweep.runner import SweepRunner
 
-    grid_mode = GridMode(args.engine_mode)
     if args.workers and args.workers > 1:
         inner = ParallelSweepRunner(
-            workers=args.workers, grid_mode=grid_mode
+            engine=args.engine, workers=args.workers,
+            grid_mode=args.engine_mode,
         )
     else:
-        inner = SweepRunner(grid_mode=grid_mode)
+        inner = SweepRunner(
+            engine=args.engine, grid_mode=args.engine_mode
+        )
     journal = args.journal or f"{args.out}.journal"
     runner = CampaignRunner(
         journal,
@@ -301,11 +303,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     whatif.add_argument("kernel", help="suite/program.kernel identifier")
 
+    from repro.gpu.engine import engine_names
+
     sweep = sub.add_parser("sweep", help="collect the full dataset")
     sweep.add_argument("--out", default="scaling_dataset.npz",
                        help="output .npz path")
     sweep.add_argument("--csv", default=None,
                        help="also export long-format CSV here")
+    sweep.add_argument("--engine", default="interval",
+                       choices=list(engine_names()),
+                       help="registered timing engine to simulate with "
+                       "(default: interval; see 'gpuscale engines')")
     sweep.add_argument("--engine-mode", default="batch",
                        choices=["batch", "scalar", "study"],
                        help="grid evaluation path: the per-kernel "
@@ -375,6 +383,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="saved dataset (.npz); sweeps if omitted")
     add_cache_flags(kernel)
 
+    sub.add_parser(
+        "engines",
+        help="list registered timing engines with their capabilities",
+    )
+
     cache = sub.add_parser(
         "cache", help="inspect or clear the sweep result cache"
     )
@@ -385,6 +398,34 @@ def build_parser() -> argparse.ArgumentParser:
                        "$GPUSCALE_CACHE_DIR or ~/.cache/gpuscale)")
 
     return parser
+
+
+def _cmd_engines(_args: argparse.Namespace) -> int:
+    from repro.gpu.engine import list_engines
+
+    def mark(flag: bool) -> str:
+        return "yes" if flag else "-"
+
+    rows = []
+    for reg in list_engines():
+        caps = reg.capabilities
+        descriptor = reg.descriptor
+        rows.append([
+            reg.name,
+            mark(caps.point),
+            mark(caps.grid),
+            mark(caps.study),
+            descriptor.family,
+            f"v{descriptor.version}",
+            reg.summary,
+        ])
+    print(render_table(
+        ["engine", "point", "grid", "study", "family", "version",
+         "summary"],
+        rows,
+        title="Registered timing engines",
+    ))
+    return 0
 
 
 def _cmd_summary(_args: argparse.Namespace) -> int:
@@ -402,6 +443,7 @@ _COMMANDS = {
     "kernel": _cmd_kernel,
     "energy": _cmd_energy,
     "cache": _cmd_cache,
+    "engines": _cmd_engines,
     "summary": _cmd_summary,
     "whatif": _cmd_whatif,
 }

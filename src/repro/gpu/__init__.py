@@ -28,6 +28,21 @@ from repro.gpu.dvfs import (
     legal_cu_counts,
     snap_cu_count,
 )
+from repro.gpu.engine import (
+    EngineCapabilities,
+    EngineDescriptor,
+    EngineRegistration,
+    GridSpace,
+    TimingEngine,
+    engine_calls,
+    engine_fingerprint,
+    engine_names,
+    get_engine,
+    list_engines,
+    register_engine,
+    reset_engine_calls,
+    unregister_engine,
+)
 from repro.gpu.event_sim import EventSimResult, EventSimulator
 from repro.gpu.caches import BatchCacheBehaviour
 from repro.gpu.interval_batch import (
@@ -82,12 +97,17 @@ __all__ = [
     "EMBEDDED",
     "ENGINE_DOMAIN",
     "Engine",
+    "EngineCapabilities",
+    "EngineDescriptor",
+    "EngineRegistration",
     "EventSimResult",
     "EventSimulator",
     "FrequencyDomain",
     "GpuSimulator",
     "GridBreakdown",
     "GridMode",
+    "GridSpace",
+    "TimingEngine",
     "HAWAII_UARCH",
     "HardwareConfig",
     "IntervalBreakdown",
@@ -108,12 +128,20 @@ __all__ = [
     "compute_occupancy_batch",
     "counters_from_result",
     "engine_call_count",
+    "engine_calls",
+    "engine_fingerprint",
+    "engine_names",
+    "get_engine",
     "kernel_occupancy",
     "legal_cu_counts",
+    "list_engines",
     "plan_dispatch",
     "plan_dispatch_batch",
     "product",
+    "register_engine",
     "reset_engine_call_count",
+    "reset_engine_calls",
     "simulate",
     "snap_cu_count",
+    "unregister_engine",
 ]

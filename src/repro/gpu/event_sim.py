@@ -26,6 +26,7 @@ from typing import List, Tuple
 from repro.gpu.caches import CacheModel
 from repro.gpu.config import HardwareConfig
 from repro.gpu.dispatch import plan_dispatch
+from repro.gpu.engine import EVENT_DESCRIPTOR, EngineDescriptor
 from repro.gpu.interval_model import REQUEST_BYTES
 from repro.gpu.memory import MemoryModel
 from repro.gpu.occupancy import compute_occupancy
@@ -108,7 +109,22 @@ class EventSimResult:
 
 
 class EventSimulator:
-    """Workgroup-granularity discrete-event execution engine."""
+    """Workgroup-granularity discrete-event execution engine.
+
+    Registered as the ``"event"`` timing engine: point-capable only.
+    There is no batch formulation of the event loop, so grid requests
+    through the facade degrade to the generic point loop and study
+    requests are refused (the sweep layer falls back to per-kernel
+    grids).
+    """
+
+    supports_point = True
+    supports_grid = False
+    supports_study = False
+
+    def descriptor(self) -> EngineDescriptor:
+        """Stable engine identity (its own ``event`` family)."""
+        return EVENT_DESCRIPTOR
 
     def simulate(
         self,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.gpu.config import HardwareConfig, Microarchitecture
 from repro.sweep.space import ConfigurationSpace
-from repro.units import KIB, MIB
+from repro.units import KIB
 
 #: Kaveri-class APU: 8 CUs, 512 KiB L2, 128-bit DDR3-2133 (dual
 #: channel, double data rate -> ~34 GB/s at the top memory state).

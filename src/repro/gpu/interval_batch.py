@@ -28,13 +28,18 @@ remains the reference oracle (``tests/gpu/test_interval_batch.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict
+from typing import Dict
 
 import numpy as np
 
 from repro.gpu.caches import CacheModel
 from repro.gpu.config import HardwareConfig, Microarchitecture
 from repro.gpu.dispatch import plan_dispatch, plan_dispatch_batch
+from repro.gpu.engine import (
+    INTERVAL_BATCH_DESCRIPTOR,
+    EngineDescriptor,
+    GridSpace,
+)
 from repro.gpu.interval_model import (
     ATOMIC_CONCURRENCY_SLOPE,
     ATOMIC_SERIAL_CYCLES,
@@ -53,9 +58,6 @@ from repro.gpu.occupancy import (
 from repro.kernels.kernel import Kernel
 from repro.kernels.pack import KernelPack
 from repro.units import ns_to_seconds, us_to_seconds
-
-if TYPE_CHECKING:  # avoid a gpu -> sweep import cycle at runtime
-    from repro.sweep.space import ConfigurationSpace
 
 #: Names of the overlappable intervals, in the scalar model's
 #: tie-breaking order (``IntervalBreakdown.bottleneck`` keeps the first
@@ -167,11 +169,19 @@ class BatchIntervalModel:
     at >10x the sweep throughput.
     """
 
+    supports_point = False
+    supports_grid = True
+    supports_study = True
+
     def __init__(self) -> None:
         self._uarch_states: Dict[Microarchitecture, _UarchState] = {}
 
+    def descriptor(self) -> EngineDescriptor:
+        """Stable engine identity (shares the ``interval`` family)."""
+        return INTERVAL_BATCH_DESCRIPTOR
+
     def simulate_grid(
-        self, kernel: Kernel, space: "ConfigurationSpace"
+        self, kernel: Kernel, space: GridSpace
     ) -> KernelGridResult:
         """Predict *kernel*'s execution time at every point of *space*."""
         uarch = space.uarch
@@ -387,7 +397,7 @@ class BatchIntervalModel:
         )
 
     def simulate_study(
-        self, pack: KernelPack, space: "ConfigurationSpace"
+        self, pack: KernelPack, space: GridSpace
     ) -> StudyGridResult:
         """Predict every packed kernel at every point of *space* at once.
 

@@ -44,6 +44,7 @@ from typing import Dict
 from repro.gpu.caches import CacheModel
 from repro.gpu.config import HardwareConfig, Microarchitecture
 from repro.gpu.dispatch import DispatchPlan, plan_dispatch
+from repro.gpu.engine import INTERVAL_DESCRIPTOR, EngineDescriptor
 from repro.gpu.memory import MemoryModel
 from repro.gpu.occupancy import OccupancyResult, compute_occupancy
 from repro.kernels.kernel import Kernel
@@ -130,10 +131,24 @@ class KernelRunResult:
 
 
 class IntervalModel:
-    """Analytical timing model over one microarchitecture."""
+    """Analytical timing model over one microarchitecture.
+
+    Registered as the ``"interval"`` timing engine: point-capable
+    only — grid and study calls resolve to the vectorized family
+    sibling ``"interval-batch"``, or force this oracle point by point
+    via ``mode="scalar"``.
+    """
+
+    supports_point = True
+    supports_grid = False
+    supports_study = False
 
     def __init__(self) -> None:
         self._cache_models: Dict[Microarchitecture, CacheModel] = {}
+
+    def descriptor(self) -> EngineDescriptor:
+        """Stable engine identity (name/family/version)."""
+        return INTERVAL_DESCRIPTOR
 
     def simulate(
         self, kernel: Kernel, config: HardwareConfig

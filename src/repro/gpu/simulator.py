@@ -1,137 +1,210 @@
-"""Public simulation facade.
+"""Public simulation facade over the engine registry.
 
 :class:`GpuSimulator` hides the choice of timing engine behind one
-``simulate`` call. The analytical interval engine is the default (fast
-enough for the full 267-kernel x 891-configuration sweep); the
-discrete-event engine provides an independent cross-check of scaling
-shapes.
+``simulate`` call. It is a thin capability-resolving shell: the engine
+named at construction is looked up in the registry
+(:mod:`repro.gpu.engine`), and each call shape — point, grid, study —
+is routed to the named engine when it supports that shape natively, to
+a family sibling that does (the scalar interval oracle's grid calls
+resolve to ``interval-batch``), or degraded one level (grid -> point
+loop) when nothing in the family can batch it. Engines selectable here
+are exactly the registry's: ``gpuscale engines`` lists them, and a new
+backend registered with :func:`repro.gpu.engine.register_engine`
+becomes available to every consumer of this facade without touching
+this module.
 
-For whole-grid workloads, :meth:`GpuSimulator.simulate_grid` evaluates
-one kernel over an entire :class:`~repro.sweep.space.ConfigurationSpace`
-at once. With the interval engine this dispatches to the vectorized
-:class:`~repro.gpu.interval_batch.BatchIntervalModel` (the default);
-:class:`GridMode.SCALAR` forces the point-by-point path, which is the
-reference oracle for debugging batch-engine regressions.
+The legacy :class:`Engine`/:class:`GridMode` enums are re-exported as
+deprecated aliases; their values are registry/mode names, and every
+parameter accepting them also accepts the plain string.
 """
 
 from __future__ import annotations
 
-from enum import Enum
-from typing import TYPE_CHECKING, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError, ReproError, SimulationError
 from repro.gpu.config import HardwareConfig
-from repro.gpu.event_sim import EventSimResult, EventSimulator
+from repro.gpu.engine import (
+    Engine,
+    EngineCapabilities,
+    EngineDescriptor,
+    EngineSpec,
+    GridMode,
+    GridModeSpec,
+    GridSpace,
+    engine_calls,
+    engine_registration,
+    find_family_engine,
+    get_engine,
+    normalize_engine,
+    normalize_grid_mode,
+    record_engine_call,
+    reset_engine_calls,
+)
+from repro.gpu.event_sim import EventSimResult
 from repro.gpu.interval_batch import (
-    BatchIntervalModel,
     GridBreakdown,
     KernelGridResult,
     StudyGridResult,
 )
-from repro.gpu.interval_model import IntervalModel, KernelRunResult
+from repro.gpu.interval_model import KernelRunResult
 from repro.kernels.kernel import Kernel
 from repro.kernels.pack import KernelPack
 
-if TYPE_CHECKING:  # avoid a gpu -> sweep import cycle at runtime
-    from repro.sweep.space import ConfigurationSpace
-
 SimulationResult = Union[KernelRunResult, EventSimResult]
 
-#: Process-wide count of engine evaluations (scalar, grid, or study
-#: calls). The result cache's acceptance test asserts cached re-runs
-#: leave this untouched; it is diagnostic state, not a public metric.
-_ENGINE_CALLS = 0
+__all__ = [
+    "Engine",
+    "GpuSimulator",
+    "GridMode",
+    "SimulationResult",
+    "engine_call_count",
+    "reset_engine_call_count",
+    "simulate",
+]
 
 
 def engine_call_count() -> int:
-    """Engine evaluations (simulate/grid/study) since the last reset."""
-    return _ENGINE_CALLS
+    """Engine evaluations (simulate/grid/study) since the last reset.
+
+    Compatibility shim over the registry's per-engine counters
+    (:func:`repro.gpu.engine.engine_calls`): the total across every
+    registered engine. The result cache's acceptance test asserts
+    cached re-runs leave this untouched.
+    """
+    return engine_calls()
 
 
 def reset_engine_call_count() -> None:
-    """Zero the process-wide engine-call counter."""
-    global _ENGINE_CALLS
-    _ENGINE_CALLS = 0
-
-
-def _count_engine_call() -> None:
-    global _ENGINE_CALLS
-    _ENGINE_CALLS += 1
-
-
-class Engine(Enum):
-    """Available timing engines."""
-
-    INTERVAL = "interval"
-    EVENT = "event"
-
-
-class GridMode(Enum):
-    """How grid-shaped simulations are evaluated."""
-
-    #: Vectorized batch engine (NumPy broadcast over one kernel's grid).
-    BATCH = "batch"
-    #: One scalar ``simulate`` call per configuration (reference oracle).
-    SCALAR = "scalar"
-    #: Whole-study kernel-axis batching: every kernel's grid in one
-    #: broadcast over the (kernel, cu, eng, mem) lattice.
-    STUDY = "study"
+    """Zero every engine's call counter (compatibility shim)."""
+    reset_engine_calls()
 
 
 class GpuSimulator:
-    """Simulate kernels on configurable GCN-class hardware."""
+    """Simulate kernels on configurable GCN-class hardware.
 
-    def __init__(self, engine: Engine = Engine.INTERVAL):
-        self._engine = engine
-        self._interval = IntervalModel()
-        self._interval_batch = BatchIntervalModel()
-        self._event = EventSimulator()
+    *engine* names any registered timing engine (``"interval"``,
+    ``"event"``, ``"predictor"``, ...) or is a legacy :class:`Engine`
+    member. Capability resolution happens once, here; no consumer
+    above this facade branches on engine identity again.
+    """
+
+    def __init__(self, engine: EngineSpec = "interval"):
+        name = normalize_engine(engine)
+        registration = engine_registration(name)  # fail fast on typos
+        self._name = name
+        self._family = registration.descriptor.family
+        backend = get_engine(name)
+        # Resolve each call shape: the named engine if it supports the
+        # shape natively, else a family sibling that does. Instances
+        # are shared across shapes resolving to the same engine so
+        # per-instance caches (e.g. per-uarch batch state) are shared.
+        resolved = {name: backend}
+
+        def resolve(capability: str):
+            if getattr(registration.capabilities, capability, False):
+                return backend
+            sibling = find_family_engine(
+                self._family, capability, exclude=name
+            )
+            if sibling is None:
+                return None
+            if sibling.name not in resolved:
+                resolved[sibling.name] = get_engine(sibling.name)
+            return resolved[sibling.name]
+
+        self._point = resolve("point")
+        self._grid = resolve("grid")
+        self._study = resolve("study")
 
     @property
-    def engine(self) -> Engine:
-        """The engine this simulator dispatches to."""
-        return self._engine
+    def engine(self) -> Union[Engine, str]:
+        """The engine selection (legacy enum where one exists)."""
+        try:
+            return Engine(self._name)
+        except ValueError:
+            return self._name
+
+    @property
+    def engine_name(self) -> str:
+        """Registry name of the engine this simulator dispatches to."""
+        return self._name
+
+    def descriptor(self) -> EngineDescriptor:
+        """Stable identity of the selected engine."""
+        return engine_registration(self._name).descriptor
+
+    # -- negotiated capabilities (the facade satisfies TimingEngine) ---
+
+    @property
+    def supports_point(self) -> bool:
+        """True if single-point simulation is available."""
+        return self._point is not None
+
+    @property
+    def supports_grid(self) -> bool:
+        """True if grid simulation is available (natively or degraded)."""
+        return self._point is not None or self._grid is not None
+
+    @property
+    def supports_study(self) -> bool:
+        """True if whole-study batching is available."""
+        return self._study is not None
+
+    @property
+    def capabilities(self) -> EngineCapabilities:
+        """The negotiated capability set of this facade."""
+        return EngineCapabilities(
+            point=self.supports_point,
+            grid=self.supports_grid,
+            study=self.supports_study,
+        )
+
+    # ------------------------------------------------------------------
+    # Call shapes
+    # ------------------------------------------------------------------
 
     def simulate(
         self, kernel: Kernel, config: HardwareConfig
     ) -> SimulationResult:
         """Run *kernel* at *config* and return a result with ``time_s``
         and ``items_per_second``."""
-        _count_engine_call()
-        if self._engine is Engine.INTERVAL:
-            return self._interval.simulate(kernel, config)
-        if self._engine is Engine.EVENT:
-            return self._event.simulate(kernel, config)
-        raise ConfigurationError(f"unknown engine {self._engine!r}")
+        if self._point is None:
+            raise ConfigurationError(
+                f"engine {self._name!r} cannot simulate single points "
+                "(no point-capable engine in its family)"
+            )
+        record_engine_call(self._name)
+        return self._point.simulate(kernel, config)
 
     def simulate_grid(
         self,
         kernel: Kernel,
-        space: "ConfigurationSpace",
-        mode: GridMode = GridMode.BATCH,
+        space: GridSpace,
+        mode: GridModeSpec = "batch",
     ) -> KernelGridResult:
         """Run *kernel* at every configuration of *space* at once.
 
         Returns ``(n_cu, n_eng, n_mem)`` time/throughput tensors indexed
-        like :meth:`ConfigurationSpace.config`. The interval engine uses
-        the vectorized batch path unless *mode* forces the scalar
-        oracle; the event engine always simulates point by point.
+        like ``ConfigurationSpace.config``. The grid-capable engine
+        resolved at construction evaluates the whole grid in one call
+        unless ``mode="scalar"`` forces the point-loop oracle; engines
+        with no grid path in their family degrade to the point loop
+        transparently.
 
         Unexpected engine failures (anything outside the package's own
         error hierarchy) are wrapped in a structured
         :class:`~repro.errors.SimulationError` naming the kernel, so
         fault-tolerant sweeps can attribute and quarantine them.
         """
-        _count_engine_call()
+        mode = normalize_grid_mode(mode)
+        record_engine_call(self._name)
         try:
-            if self._engine is Engine.INTERVAL and mode in (
-                GridMode.BATCH,
-                GridMode.STUDY,  # a single kernel *is* a 1-kernel study
-            ):
-                return self._interval_batch.simulate_grid(kernel, space)
-            return self._scalar_grid(kernel, space)
+            if mode == "scalar" or self._grid is None:
+                return self._point_grid(kernel, space)
+            return self._grid.simulate_grid(kernel, space)
         except ReproError:
             raise
         except Exception as exc:
@@ -142,34 +215,35 @@ class GpuSimulator:
     def simulate_study(
         self,
         kernels: Union[KernelPack, Sequence[Kernel]],
-        space: "ConfigurationSpace",
+        space: GridSpace,
     ) -> StudyGridResult:
         """Run every kernel at every configuration in one broadcast.
 
         Accepts a prepacked :class:`~repro.kernels.pack.KernelPack` or
-        any kernel sequence (packed on the fly). Interval engine only —
-        the event engine has no batch formulation, so callers holding an
-        event simulator get a :class:`~repro.errors.ConfigurationError`
-        and should fall back to per-kernel grids.
+        any kernel sequence (packed on the fly). Requires a
+        study-capable engine in the selected family — callers holding
+        one without (the event engine, the predictor) get a
+        :class:`~repro.errors.ConfigurationError` and should fall back
+        to per-kernel grids.
 
         Unexpected engine failures are wrapped in a
         :class:`~repro.errors.SimulationError`; whole-study evaluation
         cannot attribute a failure to one kernel, so the sweep layer
         retries kernel by kernel to isolate and quarantine the culprit.
         """
-        if self._engine is not Engine.INTERVAL:
+        if self._study is None:
             raise ConfigurationError(
-                "whole-study batching requires the interval engine, "
-                f"got {self._engine.value!r}"
+                "whole-study batching requires a study-capable engine, "
+                f"and {self._name!r} has none in its family"
             )
         pack = (
             kernels
             if isinstance(kernels, KernelPack)
             else KernelPack.from_kernels(list(kernels))
         )
-        _count_engine_call()
+        record_engine_call(self._name)
         try:
-            return self._interval_batch.simulate_study(pack, space)
+            return self._study.simulate_study(pack, space)
         except ReproError:
             raise
         except Exception as exc:
@@ -177,10 +251,15 @@ class GpuSimulator:
                 "<study>", f"{type(exc).__name__}: {exc}"
             ) from exc
 
-    def _scalar_grid(
-        self, kernel: Kernel, space: "ConfigurationSpace"
+    def _point_grid(
+        self, kernel: Kernel, space: GridSpace
     ) -> KernelGridResult:
-        """Point-by-point grid evaluation through :meth:`simulate`."""
+        """Point-by-point grid evaluation through :meth:`simulate`.
+
+        The generic grid -> point degradation: the reference-oracle
+        evaluation order for the interval family, and the only grid
+        path for point-only engines (event simulator, point-only
+        registrations)."""
         shape = space.shape
         n_cu, n_eng, n_mem = shape
         time_s = np.empty(shape, dtype=np.float64)
@@ -232,7 +311,7 @@ class GpuSimulator:
 def simulate(
     kernel: Kernel,
     config: HardwareConfig,
-    engine: Engine = Engine.INTERVAL,
+    engine: EngineSpec = "interval",
 ) -> SimulationResult:
     """Module-level convenience wrapper around :class:`GpuSimulator`."""
     return GpuSimulator(engine).simulate(kernel, config)

@@ -31,7 +31,6 @@ top of these constructors; every parameter can be overridden.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.kernels.characteristics import KernelCharacteristics
 from repro.kernels.kernel import Kernel, LaunchGeometry, ResourceUsage

@@ -15,7 +15,6 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 
-import numpy as np
 
 from repro.errors import AnalysisError
 from repro.gpu.config import HardwareConfig

@@ -23,7 +23,6 @@ mostly idle) and vice versa.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.errors import ConfigurationError
 from repro.gpu.config import HardwareConfig

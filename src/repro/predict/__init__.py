@@ -9,6 +9,7 @@ Two predictors over collected scaling data:
   scaling-shape space.
 """
 
+from repro.predict.engine import PredictorEngine
 from repro.predict.interpolate import CubeInterpolator, interpolator
 from repro.predict.predictor import PredictedCube, ScalingPredictor
 from repro.predict.what_if import (
@@ -30,6 +31,7 @@ from repro.predict.sampling import (
 __all__ = [
     "CubeInterpolator",
     "PredictedCube",
+    "PredictorEngine",
     "ReconstructionReport",
     "SamplingPlan",
     "STANDARD_SCENARIOS",

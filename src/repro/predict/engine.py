@@ -1,0 +1,147 @@
+"""The k-NN surrogate as a registered timing engine.
+
+:class:`PredictorEngine` adapts :class:`~repro.predict.predictor.
+ScalingPredictor` to the :class:`~repro.gpu.engine.TimingEngine`
+protocol, making cross-kernel prediction selectable anywhere an engine
+name is accepted (``gpuscale sweep --engine predictor``). Per kernel it
+runs only the seven probe configurations through the exact scalar
+interval model, then transplants the full 891-point surface from a
+corpus of archetype kernels swept once (per configuration space) with
+the vectorized interval engine.
+
+This is the cheap-approximate end of the engine spectrum: grid-capable
+only (its output is a whole surface; a single predicted point would
+cost the same seven probes), in its own ``predictor`` family so its
+approximate surfaces never share cache entries or campaign
+fingerprints with exact interval results, and with all diagnostic
+tensors (interval breakdowns, cache behaviour) zeroed — the surrogate
+predicts throughput, not mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.gpu.engine import (
+    PREDICTOR_DESCRIPTOR,
+    EngineDescriptor,
+    GridSpace,
+)
+from repro.gpu.interval_batch import (
+    BatchIntervalModel,
+    GridBreakdown,
+    KernelGridResult,
+)
+from repro.gpu.interval_model import IntervalModel
+from repro.kernels.archetypes import ARCHETYPE_BUILDERS, build_archetype
+from repro.kernels.kernel import Kernel
+from repro.kernels.pack import KernelPack
+from repro.predict.predictor import ScalingPredictor
+from repro.sweep.dataset import KernelRecord, ScalingDataset
+
+#: How many corpus neighbours a prediction blends.
+DEFAULT_NEIGHBOURS = 3
+
+
+def _corpus_kernels(kinds: Sequence[str]) -> List[Kernel]:
+    """One corpus kernel per archetype kind, deterministically named."""
+    return [
+        build_archetype(kind, program=f"corpus-{kind}") for kind in kinds
+    ]
+
+
+class PredictorEngine:
+    """Grid-only surrogate engine: probe exactly, transplant the rest.
+
+    Registered as ``"predictor"``. The corpus — every archetype kernel
+    swept over the requested space with the batch interval engine — is
+    built lazily per configuration space and cached on the instance,
+    so sweeping N kernels costs one corpus study plus 7N exact probe
+    points instead of 891N.
+    """
+
+    supports_point = False
+    supports_grid = True
+    supports_study = False
+
+    def __init__(
+        self,
+        corpus_kinds: Optional[Sequence[str]] = None,
+        neighbours: int = DEFAULT_NEIGHBOURS,
+    ):
+        self._kinds = tuple(corpus_kinds or sorted(ARCHETYPE_BUILDERS))
+        self._neighbours = neighbours
+        self._oracle = IntervalModel()
+        self._batch = BatchIntervalModel()
+        self._predictors: Dict[GridSpace, ScalingPredictor] = {}
+
+    def descriptor(self) -> EngineDescriptor:
+        """Stable engine identity (its own ``predictor`` family)."""
+        return PREDICTOR_DESCRIPTOR
+
+    @property
+    def corpus_kinds(self) -> "tuple[str, ...]":
+        """Archetype kinds forming the transplant corpus."""
+        return self._kinds
+
+    def _predictor(self, space: GridSpace) -> ScalingPredictor:
+        """The fitted corpus predictor for *space* (cached)."""
+        cached = self._predictors.get(space)
+        if cached is not None:
+            return cached
+        kernels = _corpus_kernels(self._kinds)
+        study = self._batch.simulate_study(
+            KernelPack.from_kernels(kernels), space
+        )
+        records = [
+            KernelRecord(
+                full_name=k.full_name,
+                suite=k.suite,
+                program=k.program,
+                kernel=k.name,
+            )
+            for k in kernels
+        ]
+        dataset = ScalingDataset(space, records, study.items_per_second)
+        predictor = ScalingPredictor(dataset, k=self._neighbours)
+        self._predictors[space] = predictor
+        return predictor
+
+    def simulate_grid(
+        self, kernel: Kernel, space: GridSpace
+    ) -> KernelGridResult:
+        """Predict *kernel*'s full grid from seven exact probe runs.
+
+        The probes (grid corners plus centre, per
+        :meth:`ScalingPredictor.probe_configs`) run through the scalar
+        interval oracle; the surface shape comes from the corpus.
+        Mechanism tensors (breakdown, cache behaviour) are zeroed:
+        the surrogate has no per-interval story to tell.
+        """
+        predictor = self._predictor(space)
+        probes = [
+            self._oracle.simulate(kernel, config).items_per_second
+            for config in predictor.probe_configs()
+        ]
+        cube = predictor.predict_cube(probes).cube
+        shape = space.shape
+        zeros = {
+            f"{name}_s": np.zeros(shape, dtype=np.float64)
+            for name in (
+                "compute", "salu", "lds", "l2", "dram", "latency",
+                "atomic", "barrier", "launch",
+            )
+        }
+        global_size = kernel.geometry.global_size
+        return KernelGridResult(
+            kernel_name=kernel.full_name,
+            time_s=global_size / cube,
+            items_per_second=cube,
+            breakdown=GridBreakdown(**zeros),
+            occupancy=None,
+            l2_hit_rate=np.zeros(shape[0], dtype=np.float64),
+            dram_bytes=np.zeros(shape[0], dtype=np.float64),
+            global_size=global_size,
+        )

@@ -11,13 +11,12 @@ fourteen artifacts costs one sweep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.analysis.crossover import crossover_map
-from repro.analysis.regression import summarise_by_category
 from repro.analysis.speedup import (
     cdf_by_category,
     configuration_ceiling,

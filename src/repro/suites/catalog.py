@@ -10,7 +10,7 @@ at the paper's scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
 from repro.errors import SuiteError

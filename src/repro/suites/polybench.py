@@ -12,7 +12,6 @@ to fill 44 CUs. PolyBench is the second pillar of the paper's
 from __future__ import annotations
 
 from repro.kernels.archetypes import (
-    balanced_kernel,
     cache_resident_kernel,
     lds_kernel,
     limited_parallelism_kernel,

@@ -15,14 +15,12 @@ from __future__ import annotations
 from repro.kernels.archetypes import (
     atomic_kernel,
     balanced_kernel,
-    cache_resident_kernel,
     compute_kernel,
     divergent_kernel,
     latency_kernel,
     lds_kernel,
     limited_parallelism_kernel,
     streaming_kernel,
-    thrashing_kernel,
     tiny_kernel,
 )
 from repro.suites.catalog import ProgramBuilder, Suite

@@ -13,7 +13,6 @@ from __future__ import annotations
 from repro.kernels.archetypes import (
     atomic_kernel,
     balanced_kernel,
-    cache_resident_kernel,
     compute_kernel,
     divergent_kernel,
     latency_kernel,

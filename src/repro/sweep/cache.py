@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 from repro.errors import DatasetError, ReproError
-from repro.gpu.simulator import Engine, GridMode
+from repro.gpu.engine import EngineSpec, GridModeSpec, engine_fingerprint
 from repro.kernels.kernel import Kernel
 from repro.sweep.dataset import ScalingDataset
 from repro.sweep.runner import ProgressCallback, collect_paper_dataset
@@ -66,22 +66,24 @@ def fingerprint_blob(payload: dict) -> str:
 def sweep_fingerprint(
     kernels: Sequence[Kernel],
     space: ConfigurationSpace,
-    engine: Engine = Engine.INTERVAL,
+    engine: EngineSpec = "interval",
 ) -> str:
     """Content address of one sweep's inputs.
 
     Full ``kernel.to_dict()`` payloads (characteristics, geometry,
     resources), the space including its microarchitecture, and the
-    engine. Grid mode is deliberately excluded: the scalar, batch, and
-    study paths are equivalence-tested to produce the same dataset, so
-    they share cache entries.
+    engine's descriptor-derived fingerprint material
+    (:func:`repro.gpu.engine.engine_fingerprint`). Engines in one
+    family are equivalence-tested to produce the same dataset, so they
+    share material — and cache entries; grid mode is excluded for the
+    same reason (scalar, batch, and study paths are oracle-equal).
     """
     return fingerprint_blob(
         {
             "version": CACHE_SCHEMA_VERSION,
             "kernels": [k.to_dict() for k in kernels],
             "space": space.to_dict(),
-            "engine": engine.value,
+            "engine": engine_fingerprint(engine),
         }
     )
 
@@ -169,10 +171,10 @@ class SweepCache:
 
 
 def cached_paper_dataset(
-    engine: Engine = Engine.INTERVAL,
+    engine: EngineSpec = "interval",
     space: ConfigurationSpace = PAPER_SPACE,
     progress: Optional[ProgressCallback] = None,
-    grid_mode: GridMode = GridMode.BATCH,
+    grid_mode: GridModeSpec = "batch",
     strict: bool = True,
     cache: Optional[SweepCache] = None,
 ) -> ScalingDataset:

@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.atomic import atomic_path, atomic_write_text
 from repro.errors import CampaignError
-from repro.gpu.simulator import Engine, GridMode
+from repro.gpu.engine import engine_fingerprint, normalize_grid_mode
 from repro.sweep.cache import fingerprint_blob
 from repro.kernels.kernel import Kernel
 from repro.sweep.dataset import KernelRecord, ScalingDataset
@@ -220,17 +220,21 @@ class CampaignRunner:
 
         The payload layout is load-bearing: existing journals store
         this hash, so changing a key or adding a field orphans every
-        resumable campaign on disk.
+        resumable campaign on disk. The engine value is the
+        descriptor-derived fingerprint material
+        (:func:`repro.gpu.engine.engine_fingerprint`), which for the
+        built-in engines is byte-identical to the pre-registry enum
+        values.
         """
-        engine = getattr(self._runner, "engine", Engine.INTERVAL)
-        grid_mode = getattr(self._runner, "grid_mode", GridMode.BATCH)
+        engine = getattr(self._runner, "engine", "interval")
+        grid_mode = getattr(self._runner, "grid_mode", "batch")
         return fingerprint_blob(
             {
                 "kernels": list(names),
                 "space": space.to_dict(),
                 "chunk_size": self._chunk_size,
-                "engine": engine.value,
-                "grid_mode": grid_mode.value,
+                "engine": engine_fingerprint(engine),
+                "grid_mode": normalize_grid_mode(grid_mode),
             }
         )
 

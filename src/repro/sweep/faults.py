@@ -30,7 +30,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.gpu.simulator import GpuSimulator, GridMode, SimulationResult
+from repro.gpu.engine import (
+    FAULTY_DESCRIPTOR,
+    EngineDescriptor,
+    GridModeSpec,
+)
+from repro.gpu.simulator import GpuSimulator, SimulationResult
 from repro.kernels.kernel import Kernel
 
 
@@ -112,6 +117,10 @@ class FaultyEngine:
     in order and triggers those that match.
     """
 
+    supports_point = True
+    supports_grid = True
+    supports_study = False
+
     def __init__(
         self, simulator: GpuSimulator, specs: Sequence[FaultSpec]
     ):
@@ -125,6 +134,15 @@ class FaultyEngine:
         """The wrapped simulator's engine."""
         return self._simulator.engine
 
+    def descriptor(self) -> EngineDescriptor:
+        """Identity of the fault-injection wrapper itself.
+
+        Deliberately *not* the wrapped engine's descriptor: results
+        produced under injection must never share a cache or campaign
+        fingerprint with clean runs.
+        """
+        return FAULTY_DESCRIPTOR
+
     @property
     def specs(self) -> List[FaultSpec]:
         """The configured fault specs."""
@@ -135,7 +153,7 @@ class FaultyEngine:
         return self._simulator.simulate(kernel, config)
 
     def simulate_grid(
-        self, kernel: Kernel, space, mode: GridMode = GridMode.BATCH
+        self, kernel: Kernel, space, mode: GridModeSpec = "batch"
     ):
         """Simulate a grid, tripping any matching faults."""
         call_index = self._calls

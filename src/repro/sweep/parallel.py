@@ -47,7 +47,15 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.gpu.simulator import Engine, GpuSimulator, GridMode
+from repro.gpu.engine import (
+    Engine,
+    EngineSpec,
+    GridMode,
+    GridModeSpec,
+    normalize_engine,
+    normalize_grid_mode,
+)
+from repro.gpu.simulator import GpuSimulator
 from repro.kernels.kernel import Kernel
 from repro.sweep.dataset import KernelRecord, ScalingDataset
 from repro.sweep.faults import FaultSpec, FaultyEngine
@@ -124,13 +132,13 @@ def _sweep_chunk(payload: dict) -> dict:
     try:
         kernels = [Kernel.from_dict(p) for p in payload["kernels"]]
         space = ConfigurationSpace.from_dict(payload["space"])
-        engine = Engine(payload["engine"])
+        engine = payload["engine"]  # a registry name string
         simulator = GpuSimulator(engine)
         specs = [FaultSpec.from_dict(s) for s in payload.get("faults", [])]
         if specs:
             simulator = FaultyEngine(simulator, specs)
         runner = SweepRunner(
-            engine, GridMode(payload["mode"]), simulator=simulator
+            engine, payload["mode"], simulator=simulator
         )
         dataset = runner.run(kernels, space, strict=payload["strict"])
         shm_info = payload.get("shm")
@@ -168,20 +176,20 @@ class ParallelSweepRunner:
 
     def __init__(
         self,
-        engine: Engine = Engine.INTERVAL,
+        engine: EngineSpec = "interval",
         workers: Optional[int] = None,
-        grid_mode: GridMode = GridMode.BATCH,
+        grid_mode: GridModeSpec = "batch",
         *,
         chunk_timeout_s: float = DEFAULT_CHUNK_TIMEOUT_S,
         max_retries: int = DEFAULT_MAX_RETRIES,
         retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
         faults: Sequence[FaultSpec] = (),
     ):
-        self._engine = engine
+        self._engine_name = normalize_engine(engine)
         self._workers = workers or max(
             1, multiprocessing.cpu_count() - 1
         )
-        self._grid_mode = grid_mode
+        self._mode = normalize_grid_mode(grid_mode)
         self._chunk_timeout_s = chunk_timeout_s
         self._max_retries = max_retries
         self._retry_backoff_s = retry_backoff_s
@@ -194,14 +202,27 @@ class ParallelSweepRunner:
         return self._workers
 
     @property
-    def engine(self) -> Engine:
-        """The timing engine selection."""
-        return self._engine
+    def engine(self):
+        """The engine selection (legacy enum where one exists)."""
+        try:
+            return Engine(self._engine_name)
+        except ValueError:
+            return self._engine_name
 
     @property
-    def grid_mode(self) -> GridMode:
-        """How each worker evaluates a kernel's configuration grid."""
-        return self._grid_mode
+    def engine_name(self) -> str:
+        """Registry name of the selected engine."""
+        return self._engine_name
+
+    @property
+    def grid_mode(self):
+        """How workers evaluate a kernel's grid (legacy enum alias)."""
+        return GridMode(self._mode)
+
+    @property
+    def grid_mode_name(self) -> str:
+        """Canonical grid-mode name (``batch``/``scalar``/``study``)."""
+        return self._mode
 
     @property
     def last_stats(self) -> SupervisionStats:
@@ -249,8 +270,8 @@ class ParallelSweepRunner:
                 {
                     "kernels": [k.to_dict() for k in chunk],
                     "space": space_payload,
-                    "engine": self._engine.value,
-                    "mode": self._grid_mode.value,
+                    "engine": self._engine_name,
+                    "mode": self._mode,
                     "strict": strict,
                     "faults": fault_payloads,
                     **(
@@ -319,11 +340,11 @@ class ParallelSweepRunner:
 
     def _serial_runner(self) -> SweepRunner:
         """An in-process runner with the same engine (and faults)."""
-        simulator = GpuSimulator(self._engine)
+        simulator = GpuSimulator(self._engine_name)
         if self._faults:
             simulator = FaultyEngine(simulator, self._faults)
         return SweepRunner(
-            self._engine, self._grid_mode, simulator=simulator
+            self._engine_name, self._mode, simulator=simulator
         )
 
     def _make_pool(self):

@@ -5,13 +5,14 @@ kernels under firmware CU-fusing/DVFS control) with the performance
 model. The full paper-scale sweep is 267 x 891 = 237,897 simulations;
 the batch interval engine evaluates each kernel's whole 891-point grid
 as one set of NumPy broadcasts (see ``repro/gpu/interval_batch.py``),
-completing the study in well under a second, and ``GridMode.STUDY``
+completing the study in well under a second, and ``grid_mode="study"``
 goes one axis further — the entire kernel catalog in a single
 (kernel, cu, eng, mem) broadcast, tens of milliseconds for the full
-study. ``GridMode.SCALAR`` retains the original one-call-per-point
-path as a reference oracle; simulators that cannot batch the kernel
-axis (the event engine, fault-injection wrappers) transparently fall
-back to the per-kernel loop, preserving quarantine semantics.
+study. ``grid_mode="scalar"`` retains the original one-call-per-point
+path as a reference oracle; simulators whose capability flags rule out
+kernel-axis batching (the event engine, fault-injection wrappers,
+point-only registrations) transparently fall back to the per-kernel
+loop, preserving quarantine semantics.
 
 Fault isolation is per kernel row: with ``strict=False`` a kernel whose
 simulation raises — or silently produces non-finite or non-positive
@@ -29,7 +30,15 @@ from typing import Callable, Dict, Optional, Sequence
 import numpy as np
 
 from repro.errors import DatasetError, SimulationError
-from repro.gpu.simulator import Engine, GpuSimulator, GridMode
+from repro.gpu.engine import (
+    Engine,
+    EngineSpec,
+    GridMode,
+    GridModeSpec,
+    normalize_engine,
+    normalize_grid_mode,
+)
+from repro.gpu.simulator import GpuSimulator
 from repro.kernels.kernel import Kernel
 from repro.sweep.dataset import KernelRecord, ScalingDataset
 from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
@@ -49,23 +58,30 @@ def check_kernel_list(kernels: Sequence[Kernel]) -> None:
 class SweepRunner:
     """Collect the scaling dataset for a set of kernels.
 
-    *simulator*, when given, replaces the internally constructed
-    :class:`GpuSimulator` — any object with the same ``simulate_grid``
-    signature works, which is how the fault-injection test engine
-    (:class:`~repro.sweep.faults.FaultyEngine`) slots in.
+    *engine* is any registered engine name (or legacy :class:`Engine`
+    member); *simulator*, when given, replaces the internally
+    constructed :class:`GpuSimulator` — any object with the same
+    ``simulate_grid`` signature works, which is how the fault-injection
+    test engine (:class:`~repro.sweep.faults.FaultyEngine`) slots in.
+    The runner negotiates capabilities rather than inspecting engine
+    identity: a study request degrades to per-kernel grids when the
+    simulator declares (or reveals) no study support, and the facade
+    degrades grids to point loops below that.
     """
 
     def __init__(
         self,
-        engine: Engine = Engine.INTERVAL,
-        grid_mode: GridMode = GridMode.BATCH,
+        engine: EngineSpec = "interval",
+        grid_mode: GridModeSpec = "batch",
         simulator=None,
     ):
-        self._engine = engine
+        self._engine_name = normalize_engine(engine)
         self._simulator = (
-            simulator if simulator is not None else GpuSimulator(engine)
+            simulator
+            if simulator is not None
+            else GpuSimulator(self._engine_name)
         )
-        self._grid_mode = grid_mode
+        self._mode = normalize_grid_mode(grid_mode)
 
     @property
     def simulator(self):
@@ -73,14 +89,27 @@ class SweepRunner:
         return self._simulator
 
     @property
-    def engine(self) -> Engine:
-        """The timing engine selection."""
-        return self._engine
+    def engine(self):
+        """The engine selection (legacy enum where one exists)."""
+        try:
+            return Engine(self._engine_name)
+        except ValueError:
+            return self._engine_name
 
     @property
-    def grid_mode(self) -> GridMode:
-        """How each kernel's configuration grid is evaluated."""
-        return self._grid_mode
+    def engine_name(self) -> str:
+        """Registry name of the selected engine."""
+        return self._engine_name
+
+    @property
+    def grid_mode(self):
+        """How each kernel's grid is evaluated (legacy enum alias)."""
+        return GridMode(self._mode)
+
+    @property
+    def grid_mode_name(self) -> str:
+        """Canonical grid-mode name (``batch``/``scalar``/``study``)."""
+        return self._mode
 
     def run(
         self,
@@ -103,7 +132,7 @@ class SweepRunner:
         perf = np.empty((len(kernels), n_cu, n_eng, n_mem), dtype=np.float64)
         quarantined: Dict[str, str] = {}
 
-        if self._grid_mode is GridMode.STUDY:
+        if self._mode == "study":
             study_perf = self._try_study(kernels, space)
             if study_perf is not None:
                 for row, kernel in enumerate(kernels):
@@ -149,11 +178,16 @@ class SweepRunner:
     ) -> Optional[np.ndarray]:
         """One whole-study evaluation, or ``None`` to fall back.
 
-        Simulators without a ``simulate_study`` method (the event
-        engine, fault-injection wrappers) and whole-study failures both
-        return ``None``: the per-kernel loop repeats the work with full
-        per-kernel fault attribution, which is what quarantine needs.
+        Capability negotiation, not identity inspection: a simulator
+        that declares ``supports_study = False`` (the event engine via
+        the facade, fault-injection wrappers, point-only
+        registrations), lacks ``simulate_study`` entirely, or fails the
+        whole-study call returns ``None`` — the per-kernel loop then
+        repeats the work with full per-kernel fault attribution, which
+        is what quarantine needs.
         """
+        if getattr(self._simulator, "supports_study", None) is False:
+            return None
         simulate_study = getattr(self._simulator, "simulate_study", None)
         if simulate_study is None:
             return None
@@ -187,7 +221,7 @@ class SweepRunner:
     ) -> np.ndarray:
         """One kernel's grid, checked for silent data corruption."""
         grid = self._simulator.simulate_grid(
-            kernel, space, mode=self._grid_mode
+            kernel, space, mode=self._mode
         )
         values = np.asarray(grid.items_per_second, dtype=np.float64)
         reason = self._row_defect(values, space)
@@ -209,10 +243,10 @@ class SweepRunner:
 
 
 def collect_paper_dataset(
-    engine: Engine = Engine.INTERVAL,
+    engine: EngineSpec = "interval",
     space: ConfigurationSpace = PAPER_SPACE,
     progress: Optional[ProgressCallback] = None,
-    grid_mode: GridMode = GridMode.BATCH,
+    grid_mode: GridModeSpec = "batch",
     strict: bool = True,
 ) -> ScalingDataset:
     """Run the full study: all 267 catalog kernels over the 891 configs."""

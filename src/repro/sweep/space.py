@@ -7,8 +7,8 @@ MHz, 5x), and 9 memory-clock states (150..1250 MHz, 8.33x bandwidth).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from dataclasses import dataclass
+from typing import Iterator, Tuple
 
 from repro.errors import ConfigurationError
 from repro.gpu.config import HAWAII_UARCH, HardwareConfig, Microarchitecture

@@ -35,11 +35,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Tuple
 
-from repro.taxonomy.axis import (
-    AxisBehaviour,
-    is_responsive,
-    is_strongly_responsive,
-)
+from repro.taxonomy.axis import AxisBehaviour, is_strongly_responsive
 from repro.taxonomy.features import ScalingFeatures
 
 #: CU-axis knee position below which CU scaling counts as stopping

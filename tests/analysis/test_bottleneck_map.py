@@ -1,6 +1,5 @@
 """Bottleneck-migration maps."""
 
-import pytest
 
 from repro.analysis.bottleneck_map import bottleneck_map, migration_summary
 from repro.kernels import (

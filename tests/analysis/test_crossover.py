@@ -6,7 +6,7 @@ import pytest
 from repro.analysis import balance_point, crossover_map
 from repro.errors import AnalysisError
 from repro.sweep import ConfigurationSpace, SweepRunner
-from repro.kernels import balanced_kernel, compute_kernel, streaming_kernel
+from repro.kernels import balanced_kernel
 
 
 class TestDominanceMaps:

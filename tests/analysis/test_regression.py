@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import fit_all, fit_kernel, summarise_by_category
-from repro.taxonomy import classify
 
 
 class TestKernelFits:

@@ -1,6 +1,5 @@
 """Roofline utilities."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (
@@ -10,7 +9,7 @@ from repro.analysis import (
     ridge_trajectory,
     roofline_series,
 )
-from repro.gpu import HardwareConfig, W9100_LIKE
+from repro.gpu import W9100_LIKE
 from repro.kernels import compute_kernel, streaming_kernel
 
 

@@ -1,6 +1,5 @@
 """Profiler-style counter derivation."""
 
-import pytest
 
 from repro.gpu import HardwareConfig, W9100_LIKE
 from repro.gpu.counters import collect_counters

@@ -1,6 +1,5 @@
 """Event-driven engine: determinism, warmup, imbalance behaviour."""
 
-import pytest
 
 from repro.gpu import EventSimulator, HardwareConfig
 from repro.gpu.event_sim import _imbalance

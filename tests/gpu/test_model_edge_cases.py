@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.gpu import HardwareConfig, IntervalModel
 from repro.kernels import Kernel, KernelCharacteristics, LaunchGeometry

@@ -49,7 +49,6 @@ class TestAccuracy:
         neighbour and reproduce its surface closely."""
         name = paper_dataset.kernel_names[0]
         cube = paper_dataset.kernel_cube(name)
-        space = paper_dataset.space
         probes = [
             float(
                 cube[

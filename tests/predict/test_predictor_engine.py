@@ -1,0 +1,126 @@
+"""The k-NN surrogate as a registered grid-only timing engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.engine import engine_registration, get_engine
+from repro.gpu.simulator import GpuSimulator
+from repro.predict.engine import PredictorEngine
+from repro.sweep.runner import SweepRunner
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return GpuSimulator("predictor")
+
+
+class TestRegistration:
+    def test_registered_grid_only(self):
+        entry = engine_registration("predictor")
+        assert entry.capabilities.grid
+        assert not entry.capabilities.point
+        assert not entry.capabilities.study
+        assert entry.descriptor.family == "predictor"
+
+    def test_factory_builds_engine(self):
+        engine = get_engine("predictor")
+        assert isinstance(engine, PredictorEngine)
+        assert engine.corpus_kinds  # default corpus is non-empty
+
+    def test_facade_refuses_point_and_study(
+        self, simulator, archetype_kernels, flagship
+    ):
+        with pytest.raises(ConfigurationError):
+            simulator.simulate(archetype_kernels[0], flagship)
+        with pytest.raises(ConfigurationError):
+            simulator.simulate_study(archetype_kernels, None)
+
+
+class TestPrediction:
+    def test_grid_is_finite_positive_and_shaped(
+        self, simulator, archetype_kernels, small_space
+    ):
+        result = simulator.simulate_grid(
+            archetype_kernels[0], small_space
+        )
+        assert result.items_per_second.shape == small_space.shape
+        assert np.isfinite(result.items_per_second).all()
+        assert (result.items_per_second > 0).all()
+        np.testing.assert_allclose(
+            result.time_s * result.items_per_second,
+            float(result.global_size),
+        )
+
+    def test_corpus_member_predicts_itself(self, small_space):
+        # An archetype kernel is (a renamed copy of) a corpus kernel,
+        # so its probes match a corpus signature almost exactly and the
+        # transplanted surface collapses onto the exact one.
+        from repro.kernels.archetypes import build_archetype
+
+        kernel = build_archetype("streaming", program="probe")
+        predicted = GpuSimulator("predictor").simulate_grid(
+            kernel, small_space
+        )
+        exact = GpuSimulator("interval").simulate_grid(
+            kernel, small_space
+        )
+        np.testing.assert_allclose(
+            predicted.items_per_second,
+            exact.items_per_second,
+            rtol=1e-6,
+        )
+
+    def test_prediction_anchored_to_exact_base_point(
+        self, simulator, archetype_kernels, small_space
+    ):
+        # The (0,0,0) probe is simulated exactly, and predict_cube
+        # denormalises against it, so the base corner is near-exact
+        # for every kernel, corpus member or not.
+        for kernel in archetype_kernels[:3]:
+            predicted = simulator.simulate_grid(kernel, small_space)
+            exact = GpuSimulator("interval").simulate(
+                kernel, small_space.config(0, 0, 0)
+            )
+            base = predicted.items_per_second[0, 0, 0]
+            assert base == pytest.approx(
+                exact.items_per_second, rel=1e-6
+            )
+
+    def test_corpus_is_cached_per_space(
+        self, archetype_kernels, small_space
+    ):
+        engine = PredictorEngine()
+        engine.simulate_grid(archetype_kernels[0], small_space)
+        predictor = engine._predictors[small_space]
+        engine.simulate_grid(archetype_kernels[1], small_space)
+        assert engine._predictors[small_space] is predictor
+
+
+class TestSweepIntegration:
+    def test_sweep_runner_collects_predictor_dataset(
+        self, archetype_kernels, small_space
+    ):
+        dataset = SweepRunner(engine="predictor").run(
+            archetype_kernels, small_space
+        )
+        assert dataset.perf.shape == (
+            len(archetype_kernels),
+        ) + small_space.shape
+        assert np.isfinite(dataset.perf).all()
+        assert not dataset.quarantined
+
+    def test_study_mode_degrades_through_runner(
+        self, archetype_kernels, small_space
+    ):
+        # No study capability anywhere in the predictor family: the
+        # runner falls back to per-kernel grids transparently.
+        study = SweepRunner(engine="predictor", grid_mode="study").run(
+            archetype_kernels, small_space
+        )
+        batch = SweepRunner(engine="predictor").run(
+            archetype_kernels, small_space
+        )
+        np.testing.assert_array_equal(study.perf, batch.perf)

@@ -3,12 +3,7 @@
 import pytest
 
 from repro.errors import AnalysisError
-from repro.predict.sampling import (
-    SamplingPlan,
-    budget_sweep,
-    evaluate_plan,
-    plan_for_budget,
-)
+from repro.predict.sampling import budget_sweep, evaluate_plan, plan_for_budget
 
 
 class TestPlans:

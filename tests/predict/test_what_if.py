@@ -1,6 +1,5 @@
 """What-if optimisation counterfactuals."""
 
-import pytest
 
 from repro.kernels import (
     atomic_kernel,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SuiteError
 from repro.kernels import compute_kernel
-from repro.suites import Program, ProgramBuilder, Suite
+from repro.suites import Program, ProgramBuilder
 
 
 def kernels(program, suite, names):

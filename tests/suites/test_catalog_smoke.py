@@ -8,7 +8,6 @@ depends on.
 
 import math
 
-import pytest
 
 from repro.gpu import Engine, GpuSimulator, HardwareConfig
 from repro.power import EnergyModel

@@ -7,7 +7,6 @@ launches). They guard against edits that would silently hollow out the
 study's behavioural coverage.
 """
 
-import pytest
 
 from repro.suites import all_kernels, suite
 

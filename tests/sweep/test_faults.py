@@ -166,7 +166,7 @@ class TestRunnerErrorWrapping:
     ):
         simulator = GpuSimulator()
         monkeypatch.setattr(
-            simulator._interval_batch, "simulate_grid",
+            simulator._grid, "simulate_grid",
             lambda *a, **k: (_ for _ in ()).throw(
                 FloatingPointError("overflow")
             ),

@@ -5,7 +5,7 @@ import pytest
 import numpy as np
 
 from repro.errors import DatasetError
-from repro.gpu import GpuSimulator, GridMode, HardwareConfig
+from repro.gpu import GpuSimulator, GridMode
 from repro.kernels import compute_kernel, streaming_kernel
 from repro.sweep import SweepRunner, reduced_space
 

@@ -1,6 +1,5 @@
 """Per-axis behaviour classification rules."""
 
-import pytest
 
 from repro.sweep.views import Axis, AxisSlice
 from repro.taxonomy import AxisBehaviour, classify_axis

@@ -6,7 +6,6 @@ the catalog authoring and the classifier against changes that would
 silently retell a different story.
 """
 
-import pytest
 
 from repro.taxonomy import TaxonomyCategory
 

@@ -305,3 +305,72 @@ class TestCatalogPrograms:
         output = capsys.readouterr().out
         assert "pagerank" in output
         assert "Betweenness centrality" in output
+
+
+class TestEnginesCommand:
+    def test_engines_lists_registry(self, capsys):
+        assert main(["engines"]) == 0
+        output = capsys.readouterr().out
+        assert "Registered timing engines" in output
+        for name in ("interval", "interval-batch", "event", "predictor"):
+            assert name in output
+        # Capability matrix and descriptor columns are rendered.
+        for column in ("point", "grid", "study", "family", "version"):
+            assert column in output
+        assert "v1" in output
+
+    def test_engines_reflects_new_registration(self, capsys):
+        from repro.gpu.engine import (
+            EngineCapabilities,
+            register_engine,
+            unregister_engine,
+        )
+
+        register_engine(
+            "test-cli-engine",
+            object,
+            capabilities=EngineCapabilities(point=True),
+            summary="registered mid-session",
+        )
+        try:
+            assert main(["engines"]) == 0
+            output = capsys.readouterr().out
+            assert "test-cli-engine" in output
+            assert "registered mid-session" in output
+        finally:
+            unregister_engine("test-cli-engine")
+
+    def test_sweep_engine_flag_forwards_to_runner(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.sweep.runner as runner_module
+        from repro.suites import all_kernels
+        from repro.sweep import reduced_space
+
+        import repro.cli as cli_module
+
+        kernels = all_kernels()[:2]
+        monkeypatch.setattr(cli_module, "all_kernels", lambda: kernels)
+        monkeypatch.setattr(cli_module, "PAPER_SPACE",
+                            reduced_space(4, 4, 4))
+        seen = {}
+        real_runner = runner_module.SweepRunner
+
+        class RecordingRunner(real_runner):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                seen["engine"] = self.engine_name
+
+        monkeypatch.setattr(runner_module, "SweepRunner",
+                            RecordingRunner)
+        out = tmp_path / "data.npz"
+        assert main(["sweep", "--out", str(out),
+                     "--engine", "event"]) == 0
+        assert seen["engine"] == "event"
+        assert main(["sweep", "--out", str(out)]) == 0
+        assert seen["engine"] == "interval"
+
+    def test_sweep_rejects_unknown_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--engine", "warp-drive"])
+        assert "invalid choice" in capsys.readouterr().err

@@ -6,9 +6,8 @@ properties the study depends on (determinism, suite decomposability).
 """
 
 import numpy as np
-import pytest
 
-from repro import classify, collect_paper_dataset
+from repro import classify
 from repro.analysis import analyse_all_suites, speedup_summary
 from repro.report import ExperimentContext, run_experiment
 from repro.suites import all_kernels
