@@ -1,0 +1,164 @@
+"""Service throughput: the micro-batching query service under load.
+
+Not a paper artifact — this guards the property that makes
+``gpuscale serve`` useful as infrastructure: the micro-batcher must
+amortise engine dispatch well enough that a single-worker service
+sustains ≥1,000 requests/second end to end (socket, HTTP parse,
+schema validation, batcher, engine, JSON response) on a shared CI
+machine. The floor is ~2x below what commodity hardware measures, so
+it catches a batching regression (per-request engine dispatch, lost
+dedup) without flaking on slow runners.
+
+Each run records sustained throughput, p50/p99 latency, and the
+batch-size distribution scraped from ``/metrics`` into
+``BENCH_service.json`` — CI uploads it, so the service-throughput
+trajectory accumulates across commits alongside the sweep numbers.
+"""
+
+import asyncio
+import json
+import os
+import re
+
+from repro.service.loadgen import (
+    encode_request,
+    fetch,
+    run_load,
+    standard_point_payloads,
+)
+from repro.service.server import GpuScaleService, ServiceConfig
+
+#: Measurements gathered here, emitted as one JSON artifact by the
+#: final test (file order places it last).
+_MEASUREMENTS = {}
+
+#: Where the trajectory artifact lands (override with
+#: ``$BENCH_SERVICE_OUT``).
+_ARTIFACT_PATH = os.environ.get("BENCH_SERVICE_OUT", "BENCH_service.json")
+
+#: The acceptance floor: sustained point-query throughput.
+THROUGHPUT_FLOOR_RPS = 1_000
+
+KERNELS = [
+    "rodinia/bfs.kernel1",
+    "shoc/triad.triad",
+    "rodinia/nw.needle_1",
+]
+CONFIGS = [(44, 1000.0, 1250.0), (8, 600.0, 475.0)]
+
+
+async def _serve_and_load(payload_pool, *, total, concurrency):
+    """Boot an in-process service, run the load, scrape /metrics."""
+    service = GpuScaleService(ServiceConfig(port=0, use_cache=False))
+    await service.start()
+    try:
+        report = await run_load(
+            service.config.host,
+            service.port,
+            payload_pool,
+            total=total,
+            concurrency=concurrency,
+        )
+        _status, metrics_body = await fetch(
+            service.config.host, service.port, "GET", "/metrics"
+        )
+        return report, metrics_body.decode()
+    finally:
+        await service.shutdown(drain=True)
+
+
+def _batch_size_distribution(metrics_text):
+    """The ``gpuscale_batch_size`` histogram as {le: cumulative}."""
+    distribution = {}
+    for match in re.finditer(
+        r'gpuscale_batch_size_bucket\{le="([^"]+)"\} (\d+)',
+        metrics_text,
+    ):
+        distribution[match.group(1)] = int(match.group(2))
+    sums = re.search(r"gpuscale_batch_size_sum (\S+)", metrics_text)
+    count = re.search(r"gpuscale_batch_size_count (\d+)", metrics_text)
+    return (
+        distribution,
+        float(sums.group(1)) if sums else 0.0,
+        int(count.group(1)) if count else 0,
+    )
+
+
+def _record(line, report, metrics_text):
+    distribution, size_sum, batches = _batch_size_distribution(
+        metrics_text
+    )
+    _MEASUREMENTS[line] = {
+        **report.as_dict(),
+        "batches": batches,
+        "mean_batch_size": size_sum / batches if batches else 0.0,
+        "batch_size_distribution": distribution,
+    }
+
+
+def test_point_load_sustains_floor():
+    """3,000 point queries over 16 keep-alive connections."""
+    pool = standard_point_payloads(KERNELS, CONFIGS)
+
+    report, metrics_text = asyncio.run(
+        _serve_and_load(pool, total=3000, concurrency=16)
+    )
+    _record("points", report, metrics_text)
+
+    print(
+        f"\nservice point-load: {report.throughput_rps:,.0f} req/s, "
+        f"p50 {report.p50_ms:.2f} ms, p99 {report.p99_ms:.2f} ms, "
+        f"mean batch {_MEASUREMENTS['points']['mean_batch_size']:.1f}"
+    )
+    assert report.errors == 0
+    assert report.requests == 3000
+    assert report.throughput_rps > THROUGHPUT_FLOOR_RPS
+    # The batcher must actually be coalescing: with 16 concurrent
+    # clients, far fewer engine batches than requests.
+    assert _MEASUREMENTS["points"]["mean_batch_size"] > 2.0
+    # p99 stays within an interactive budget even on shared runners.
+    assert report.p99_ms < 250.0
+
+
+def test_mixed_load_with_grid_queries():
+    """Points and full-surface grid queries interleaved."""
+    space = {
+        "cu_counts": [4, 16, 44],
+        "engine_mhz": [300.0, 1000.0],
+        "memory_mhz": [475.0, 1250.0],
+    }
+    pool = standard_point_payloads(KERNELS, CONFIGS) + [
+        encode_request(
+            "/v1/simulate", {"kernel": name, "space": space}
+        )
+        for name in KERNELS
+    ]
+
+    report, metrics_text = asyncio.run(
+        _serve_and_load(pool, total=900, concurrency=8)
+    )
+    _record("mixed", report, metrics_text)
+
+    print(
+        f"\nservice mixed-load: {report.throughput_rps:,.0f} req/s, "
+        f"p99 {report.p99_ms:.2f} ms"
+    )
+    assert report.errors == 0
+    assert report.requests == 900
+    # Grid surfaces are ~12 points each and ride the same batches;
+    # a loose floor still catches per-request dispatch regressions.
+    assert report.throughput_rps > THROUGHPUT_FLOOR_RPS / 2
+
+
+def test_emit_trajectory_artifact():
+    """Write this run's service measurements to ``BENCH_service.json``.
+
+    File order runs this after the load tests, so the artifact
+    carries whatever lines completed; CI uploads it, accumulating a
+    per-commit service-throughput trajectory.
+    """
+    assert _MEASUREMENTS, "no service benchmarks ran before the emitter"
+    with open(_ARTIFACT_PATH, "w") as handle:
+        json.dump({"service": _MEASUREMENTS}, handle, indent=1)
+        handle.write("\n")
+    print(f"\nservice trajectory written to {_ARTIFACT_PATH}")

@@ -11,10 +11,19 @@ half-written hybrid.
 
 from __future__ import annotations
 
+import itertools
 import os
+import threading
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, Union
+
+#: Per-process counter making every temp name unique. The pid alone is
+#: not enough: two *threads* of one process writing the same final path
+#: concurrently (e.g. the query service's engine worker racing a test
+#: harness on one cache entry) would share a pid-suffixed temp file and
+#: interleave their bytes.
+_SEQUENCE = itertools.count()
 
 
 @contextmanager
@@ -24,9 +33,16 @@ def atomic_path(path: Union[str, Path]) -> Iterator[Path]:
     The body writes to the yielded temp path. If it completes without
     raising, the temp file is renamed over *path* atomically; if it
     raises, the temp file is removed and *path* is left untouched.
+    Temp names are unique per call (pid, thread, sequence number), so
+    concurrent writers — threads included — never share one; the last
+    ``os.replace`` to land wins, and every intermediate state of the
+    final path is some writer's complete output.
     """
     path = Path(path)
-    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    tmp = path.with_name(
+        f".{path.name}.tmp.{os.getpid()}"
+        f".{threading.get_ident()}.{next(_SEQUENCE)}"
+    )
     try:
         yield tmp
         os.replace(tmp, path)

@@ -219,6 +219,49 @@ def _cmd_energy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.server import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        engine=args.engine,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_limit=args.queue_limit,
+        request_timeout_s=args.request_timeout,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+
+    async def main() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # non-Unix event loops
+                pass
+
+        def ready(service) -> None:
+            print(
+                "gpuscale serve listening on "
+                f"http://{config.host}:{service.port} "
+                f"(engine={config.engine} max_batch={config.max_batch} "
+                f"max_wait_ms={config.max_wait_ms:g})",
+                flush=True,
+            )
+
+        await run_service(config, stop_event=stop, ready_callback=ready)
+
+    asyncio.run(main())
+    print("gpuscale serve drained cleanly")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.sweep.cache import SweepCache
 
@@ -388,6 +431,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered timing engines with their capabilities",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the async micro-batching HTTP query service",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="bind port; 0 picks a free one "
+                       "(default: 8000)")
+    serve.add_argument("--engine", default="interval",
+                       choices=list(engine_names()),
+                       help="registered timing engine answering "
+                       "queries (default: interval)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       metavar="N",
+                       help="most queries coalesced into one engine "
+                       "dispatch (default: 64)")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       metavar="MS",
+                       help="longest a query waits for batch peers "
+                       "(default: 2.0)")
+    serve.add_argument("--queue-limit", type=int, default=1024,
+                       metavar="N",
+                       help="admission queue bound; beyond it "
+                       "requests get 429 (default: 1024)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       metavar="S",
+                       help="per-request service timeout in seconds; "
+                       "beyond it requests get 503 (default: 30)")
+    add_cache_flags(serve)
+
     cache = sub.add_parser(
         "cache", help="inspect or clear the sweep result cache"
     )
@@ -444,6 +518,7 @@ _COMMANDS = {
     "energy": _cmd_energy,
     "cache": _cmd_cache,
     "engines": _cmd_engines,
+    "serve": _cmd_serve,
     "summary": _cmd_summary,
     "whatif": _cmd_whatif,
 }

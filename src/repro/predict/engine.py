@@ -20,7 +20,8 @@ predicts throughput, not mechanism.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections import OrderedDict
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -43,6 +44,12 @@ from repro.sweep.dataset import KernelRecord, ScalingDataset
 
 #: How many corpus neighbours a prediction blends.
 DEFAULT_NEIGHBOURS = 3
+
+#: How many per-space fitted predictors one engine instance retains.
+#: Each entry holds a full corpus study (archetypes x the space), so a
+#: long-lived server process sweeping many ad-hoc spaces would grow
+#: without bound if this were not capped; eviction is LRU.
+DEFAULT_MAX_CACHED_SPACES = 8
 
 
 def _corpus_kernels(kinds: Sequence[str]) -> List[Kernel]:
@@ -70,12 +77,21 @@ class PredictorEngine:
         self,
         corpus_kinds: Optional[Sequence[str]] = None,
         neighbours: int = DEFAULT_NEIGHBOURS,
+        max_cached_spaces: int = DEFAULT_MAX_CACHED_SPACES,
     ):
+        if max_cached_spaces < 1:
+            raise ValueError(
+                "max_cached_spaces must be >= 1, got "
+                f"{max_cached_spaces}"
+            )
         self._kinds = tuple(corpus_kinds or sorted(ARCHETYPE_BUILDERS))
         self._neighbours = neighbours
+        self._max_cached_spaces = max_cached_spaces
         self._oracle = IntervalModel()
         self._batch = BatchIntervalModel()
-        self._predictors: Dict[GridSpace, ScalingPredictor] = {}
+        self._predictors: (
+            "OrderedDict[GridSpace, ScalingPredictor]"
+        ) = OrderedDict()
 
     def descriptor(self) -> EngineDescriptor:
         """Stable engine identity (its own ``predictor`` family)."""
@@ -86,10 +102,21 @@ class PredictorEngine:
         """Archetype kinds forming the transplant corpus."""
         return self._kinds
 
+    @property
+    def max_cached_spaces(self) -> int:
+        """The LRU cap on per-space fitted predictors."""
+        return self._max_cached_spaces
+
+    @property
+    def cached_space_count(self) -> int:
+        """Fitted predictors currently retained."""
+        return len(self._predictors)
+
     def _predictor(self, space: GridSpace) -> ScalingPredictor:
-        """The fitted corpus predictor for *space* (cached)."""
+        """The fitted corpus predictor for *space* (LRU-cached)."""
         cached = self._predictors.get(space)
         if cached is not None:
+            self._predictors.move_to_end(space)
             return cached
         kernels = _corpus_kernels(self._kinds)
         study = self._batch.simulate_study(
@@ -107,6 +134,8 @@ class PredictorEngine:
         dataset = ScalingDataset(space, records, study.items_per_second)
         predictor = ScalingPredictor(dataset, k=self._neighbours)
         self._predictors[space] = predictor
+        while len(self._predictors) > self._max_cached_spaces:
+            self._predictors.popitem(last=False)
         return predictor
 
     def simulate_grid(

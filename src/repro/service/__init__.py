@@ -1,0 +1,49 @@
+"""The online query service: inference-style serving of the engines.
+
+The study engine answers 237,897-point sweeps in ~30 ms, but until
+this package every consumer had to fork a CLI run. :mod:`repro.service`
+turns the engine registry into an always-on building block shaped like
+an inference stack:
+
+* :mod:`repro.service.batcher` — an asyncio micro-batcher that
+  coalesces concurrent simulate queries into single grid/study engine
+  calls, bit-exact versus direct per-request calls.
+* :mod:`repro.service.server` — a stdlib-only asyncio HTTP server
+  exposing ``/v1/simulate``, ``/v1/classify``, ``/v1/whatif``,
+  ``/v1/engines``, ``/healthz``, and ``/metrics``.
+* :mod:`repro.service.schema` — versioned request validation with
+  structured 400 errors.
+* :mod:`repro.service.metrics` — counters and latency/batch-size
+  histograms rendered in Prometheus text format.
+* :mod:`repro.service.loadgen` — the load-generator harness behind the
+  service throughput benchmark.
+
+``gpuscale serve`` wires it all together.
+"""
+
+from repro.service.batcher import (
+    GridQuery,
+    MicroBatcher,
+    OverloadError,
+    PointQuery,
+    ServiceClosedError,
+    ServiceTimeoutError,
+)
+from repro.service.metrics import MetricsRegistry, ServiceMetrics
+from repro.service.schema import RequestError, SCHEMA_VERSION
+from repro.service.server import GpuScaleService, ServiceConfig
+
+__all__ = [
+    "GpuScaleService",
+    "GridQuery",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "OverloadError",
+    "PointQuery",
+    "RequestError",
+    "SCHEMA_VERSION",
+    "ServiceClosedError",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "ServiceTimeoutError",
+]

@@ -1,0 +1,512 @@
+"""The inference-style micro-batcher over a timing engine.
+
+Concurrent queries arrive one HTTP request at a time, but the engines
+underneath are fastest when asked big questions: the study engine
+evaluates the entire kernel x configuration lattice in one broadcast.
+:class:`MicroBatcher` closes that gap the way an inference server
+batches model calls: queries wait in a bounded admission queue for at
+most ``max_wait_ms`` (or until ``max_batch`` of them have gathered),
+then the whole batch dispatches as the *fewest* engine calls that
+preserve bit-exactness:
+
+* grid queries sharing a configuration space coalesce into **one**
+  ``simulate_study`` call (pack rows are bitwise identical to
+  per-kernel ``simulate_grid`` results — the PR 3 invariant this
+  module leans on and the service tests re-pin);
+* duplicate queries — same kernel, same config or space — are
+  evaluated **once** and fanned out to every waiting caller;
+* point queries keep the scalar point engine's exact numerics and
+  amortise only the executor dispatch.
+
+Failure isolation mirrors the sweep layer: an engine failure is
+attributed to the query that caused it and *only* that query — batch
+peers get their results. A failing ``simulate_study`` is retried
+kernel by kernel so one poisoned kernel cannot take down its batch.
+
+Grid results are read through and written back to the content-addressed
+sweep cache (:mod:`repro.sweep.cache`) when one is supplied, keyed as
+single-kernel datasets — a repeated grid query never touches the
+engine again, across restarts.
+
+Backpressure is explicit: a full admission queue raises
+:class:`OverloadError` (HTTP 429), a query that waits longer than its
+timeout raises :class:`ServiceTimeoutError` (HTTP 503), and a stopped
+batcher raises :class:`ServiceClosedError` (HTTP 503).
+``stop(drain=True)`` refuses new work but answers everything already
+admitted before returning.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.gpu.config import HardwareConfig
+from repro.kernels.kernel import Kernel
+from repro.sweep.space import ConfigurationSpace
+
+#: Default coalescing window (milliseconds).
+DEFAULT_MAX_WAIT_MS = 2.0
+
+#: Default batch-size cap.
+DEFAULT_MAX_BATCH = 64
+
+#: Default admission-queue bound.
+DEFAULT_QUEUE_LIMIT = 1024
+
+
+class OverloadError(ReproError):
+    """The admission queue is full; the caller should shed load (429)."""
+
+
+class ServiceTimeoutError(ReproError):
+    """A query exceeded its per-request timeout while queued (503)."""
+
+
+class ServiceClosedError(ReproError):
+    """The batcher is stopped or draining; no new work admitted (503)."""
+
+
+@dataclass(frozen=True)
+class PointQuery:
+    """One (kernel, hardware point) evaluation."""
+
+    kernel: Kernel
+    config: HardwareConfig
+
+
+@dataclass(frozen=True)
+class GridQuery:
+    """One (kernel, configuration space) surface evaluation."""
+
+    kernel: Kernel
+    space: ConfigurationSpace
+
+
+Query = Union[PointQuery, GridQuery]
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """A point query's answer, bit-for-bit the point engine's."""
+
+    kernel_name: str
+    time_s: float
+    items_per_second: float
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """A grid query's answer: the kernel's throughput surface.
+
+    ``items_per_second`` has the space's ``(n_cu, n_eng, n_mem)``
+    shape and is bitwise identical whether it came from a coalesced
+    study call, a solo grid call, or the sweep cache. Time is *always*
+    derived as ``global_size / items_per_second`` by consumers, so
+    every path reports identical bits for both tensors.
+    """
+
+    kernel_name: str
+    items_per_second: np.ndarray
+    global_size: int
+    from_cache: bool = False
+
+    @property
+    def time_s(self) -> np.ndarray:
+        """Execution time per configuration (derived, see class doc)."""
+        return self.global_size / self.items_per_second
+
+
+_STOP = object()
+
+
+class MicroBatcher:
+    """Coalesce concurrent queries into batched engine calls.
+
+    *simulator* is anything with the :class:`~repro.gpu.simulator.
+    GpuSimulator` call surface (``simulate``/``simulate_grid`` plus
+    the ``supports_*`` flags); the facade itself is the normal choice.
+    Engine work runs on a single worker thread — engines carry
+    per-instance caches that are not thread-safe, and one thread is
+    what makes batching (rather than lock contention) the concurrency
+    story.
+    """
+
+    def __init__(
+        self,
+        simulator: Any,
+        *,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        cache: Optional[Any] = None,
+        metrics: Optional[Any] = None,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {max_wait_ms}"
+            )
+        if queue_limit < 1:
+            raise ValueError(
+                f"queue_limit must be >= 1, got {queue_limit}"
+            )
+        self._simulator = simulator
+        self._max_batch = max_batch
+        self._max_wait_s = max_wait_ms / 1000.0
+        self._queue_limit = queue_limit
+        self._cache = cache
+        self._metrics = metrics
+        self._queue: Optional[asyncio.Queue] = None
+        self._collector: Optional[asyncio.Task] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = True
+        self.batches_dispatched = 0
+        self.queries_answered = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Begin collecting; must run inside the serving event loop."""
+        if self._collector is not None:
+            raise RuntimeError("batcher already started")
+        self._queue = asyncio.Queue(maxsize=self._queue_limit + 1)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="gpuscale-engine"
+        )
+        self._closed = False
+        self._collector = asyncio.get_running_loop().create_task(
+            self._collect_loop()
+        )
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the batcher.
+
+        With ``drain=True`` (the graceful path) new submissions are
+        refused immediately, every admitted query is answered, and the
+        worker thread is joined. With ``drain=False`` queued queries
+        fail with :class:`ServiceClosedError`.
+        """
+        if self._collector is None:
+            return
+        self._closed = True
+        if not drain:
+            pending: List[Tuple[Query, asyncio.Future]] = []
+            while self._queue is not None and not self._queue.empty():
+                entry = self._queue.get_nowait()
+                if entry is not _STOP:
+                    pending.append(entry)
+            for _, future in pending:
+                if not future.done():
+                    future.set_exception(
+                        ServiceClosedError("service shut down")
+                    )
+        await self._queue.put(_STOP)
+        await self._collector
+        self._collector = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._queue = None
+
+    @property
+    def running(self) -> bool:
+        """True while the batcher accepts queries."""
+        return self._collector is not None and not self._closed
+
+    @property
+    def pending(self) -> int:
+        """Queries waiting in the admission queue."""
+        return 0 if self._queue is None else self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    async def submit(
+        self, query: Query, timeout: Optional[float] = None
+    ) -> Union[PointResult, GridResult]:
+        """Enqueue *query*; await its result.
+
+        Raises :class:`OverloadError` when the admission queue is
+        full, :class:`ServiceClosedError` when the batcher is stopped
+        or draining, and :class:`ServiceTimeoutError` when the answer
+        does not arrive within *timeout* seconds.
+        """
+        if not isinstance(query, (PointQuery, GridQuery)):
+            raise TypeError(f"not a query: {query!r}")
+        if self._closed or self._queue is None:
+            raise ServiceClosedError(
+                "service is shutting down; no new queries admitted"
+            )
+        if self._queue.qsize() >= self._queue_limit:
+            raise OverloadError(
+                f"admission queue full ({self._queue_limit} queries); "
+                "retry with backoff"
+            )
+        future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._queue.put_nowait((query, future))
+        self._note_queue_depth()
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            raise ServiceTimeoutError(
+                f"query timed out after {timeout}s in the service"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Collection and dispatch
+    # ------------------------------------------------------------------
+
+    async def _collect_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        queue = self._queue
+        while True:
+            entry = await queue.get()
+            self._note_queue_depth()
+            if entry is _STOP:
+                return
+            batch = [entry]
+            deadline = loop.time() + self._max_wait_s
+            stop_seen = False
+            while len(batch) < self._max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    entry = await asyncio.wait_for(
+                        queue.get(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+                self._note_queue_depth()
+                if entry is _STOP:
+                    stop_seen = True
+                    break
+                batch.append(entry)
+            await self._run_batch(batch)
+            if stop_seen:
+                return
+
+    async def _run_batch(
+        self, batch: List[Tuple[Query, asyncio.Future]]
+    ) -> None:
+        """Dispatch one batch to the worker thread; fan results out."""
+        # Dedup on the loop thread: queries are frozen dataclasses, so
+        # equal queries hash equal and share one engine evaluation.
+        waiters: Dict[Query, List[asyncio.Future]] = {}
+        for query, future in batch:
+            waiters.setdefault(query, []).append(future)
+        unique = list(waiters)
+        loop = asyncio.get_running_loop()
+        outcomes, shapes, cache_stats = await loop.run_in_executor(
+            self._executor, self._evaluate, unique
+        )
+        self.batches_dispatched += 1
+        self.queries_answered += len(batch)
+        if self._metrics is not None:
+            self._metrics.record_batch(len(batch), shapes)
+            for outcome, count in cache_stats.items():
+                self._metrics.record_cache(outcome, count)
+        for query, futures in waiters.items():
+            status, value = outcomes[query]
+            for future in futures:
+                if future.done():  # caller timed out or was cancelled
+                    continue
+                if status == "ok":
+                    future.set_result(value)
+                else:
+                    future.set_exception(value)
+
+    def _note_queue_depth(self) -> None:
+        if self._metrics is not None and self._queue is not None:
+            self._metrics.set_queue_depth(self._queue.qsize())
+
+    # ------------------------------------------------------------------
+    # Engine-side evaluation (worker thread)
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, queries: List[Query]):
+        """Evaluate unique queries with the fewest engine calls.
+
+        Returns ``(outcomes, shapes, cache_stats)`` where *outcomes*
+        maps each query to ``("ok", result)`` or ``("err", exception)``
+        — one entry per query, always, so a failure never leaks into a
+        peer's slot.
+        """
+        outcomes: Dict[Query, Tuple[str, Any]] = {}
+        shapes: List[str] = []
+        cache_stats = {"hit": 0, "miss": 0, "store": 0}
+        grids: Dict[ConfigurationSpace, List[GridQuery]] = {}
+        for query in queries:
+            if isinstance(query, GridQuery):
+                grids.setdefault(query.space, []).append(query)
+            else:
+                shapes.append("point")
+                try:
+                    result = self._simulator.simulate(
+                        query.kernel, query.config
+                    )
+                    outcomes[query] = (
+                        "ok",
+                        PointResult(
+                            kernel_name=query.kernel.full_name,
+                            time_s=float(result.time_s),
+                            items_per_second=float(
+                                result.items_per_second
+                            ),
+                        ),
+                    )
+                except ReproError as exc:
+                    outcomes[query] = ("err", exc)
+        for space, group in grids.items():
+            self._evaluate_grid_group(
+                space, group, outcomes, shapes, cache_stats
+            )
+        return outcomes, shapes, cache_stats
+
+    def _evaluate_grid_group(
+        self,
+        space: ConfigurationSpace,
+        group: List[GridQuery],
+        outcomes: Dict[Query, Tuple[str, Any]],
+        shapes: List[str],
+        cache_stats: Dict[str, int],
+    ) -> None:
+        """One space's grid queries: cache reads, then study/grid calls."""
+        pending: List[GridQuery] = []
+        fingerprints: Dict[GridQuery, str] = {}
+        for query in group:
+            cached = self._cache_load(query, space, fingerprints)
+            if cached is not None:
+                cache_stats["hit"] += 1
+                outcomes[query] = ("ok", cached)
+            else:
+                if self._cache is not None:
+                    cache_stats["miss"] += 1
+                pending.append(query)
+        if not pending:
+            return
+        supports_study = getattr(
+            self._simulator, "supports_study", False
+        )
+        if supports_study and len(pending) > 1:
+            shapes.append("study")
+            try:
+                study = self._simulator.simulate_study(
+                    [q.kernel for q in pending], space
+                )
+            except ReproError:
+                # Whole-study failures cannot be attributed to one
+                # kernel; isolate by retrying kernel by kernel below.
+                pass
+            else:
+                for row, query in enumerate(pending):
+                    result = GridResult(
+                        kernel_name=query.kernel.full_name,
+                        items_per_second=np.asarray(
+                            study.items_per_second[row]
+                        ),
+                        global_size=query.kernel.geometry.global_size,
+                    )
+                    outcomes[query] = ("ok", result)
+                    cache_stats["store"] += self._cache_store(
+                        query, space, fingerprints, result
+                    )
+                return
+        for query in pending:
+            shapes.append("grid")
+            try:
+                grid = self._simulator.simulate_grid(
+                    query.kernel, space
+                )
+            except ReproError as exc:
+                outcomes[query] = ("err", exc)
+                continue
+            result = GridResult(
+                kernel_name=query.kernel.full_name,
+                items_per_second=np.asarray(grid.items_per_second),
+                global_size=query.kernel.geometry.global_size,
+            )
+            outcomes[query] = ("ok", result)
+            cache_stats["store"] += self._cache_store(
+                query, space, fingerprints, result
+            )
+
+    # -- sweep-cache integration ---------------------------------------
+
+    def _fingerprint(
+        self,
+        query: GridQuery,
+        space: ConfigurationSpace,
+        fingerprints: Dict[GridQuery, str],
+    ) -> str:
+        from repro.sweep.cache import sweep_fingerprint
+
+        fingerprint = fingerprints.get(query)
+        if fingerprint is None:
+            fingerprint = sweep_fingerprint(
+                [query.kernel], space, self._simulator
+            )
+            fingerprints[query] = fingerprint
+        return fingerprint
+
+    def _cache_load(
+        self,
+        query: GridQuery,
+        space: ConfigurationSpace,
+        fingerprints: Dict[GridQuery, str],
+    ) -> Optional[GridResult]:
+        if self._cache is None:
+            return None
+        try:
+            dataset = self._cache.load(
+                self._fingerprint(query, space, fingerprints)
+            )
+        except ReproError:
+            return None
+        if dataset is None:
+            return None
+        return GridResult(
+            kernel_name=query.kernel.full_name,
+            items_per_second=dataset.perf[0],
+            global_size=query.kernel.geometry.global_size,
+            from_cache=True,
+        )
+
+    def _cache_store(
+        self,
+        query: GridQuery,
+        space: ConfigurationSpace,
+        fingerprints: Dict[GridQuery, str],
+        result: GridResult,
+    ) -> int:
+        """Best-effort write-back; returns 1 on a successful store."""
+        if self._cache is None:
+            return 0
+        from repro.sweep.dataset import KernelRecord, ScalingDataset
+
+        try:
+            dataset = ScalingDataset(
+                space,
+                [KernelRecord.from_full_name(result.kernel_name)],
+                result.items_per_second[np.newaxis, ...],
+            )
+            self._cache.store(
+                self._fingerprint(query, space, fingerprints), dataset
+            )
+        except (ReproError, OSError):
+            # The cache is an accelerator, never a dependency: refuse
+            # nothing to the caller over a failed write-back.
+            return 0
+        return 1

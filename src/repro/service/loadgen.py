@@ -1,0 +1,223 @@
+"""Load-generator harness for the query service.
+
+A stdlib-only closed-loop load generator: *concurrency* keep-alive
+connections each fire requests back-to-back until the shared request
+budget is spent, recording per-request wall-clock latency. The report
+carries sustained throughput plus p50/p99 latency — the numbers the
+service benchmark asserts floors on and records into the BENCH
+trajectory.
+
+The client speaks the same minimal HTTP/1.1 the server does (one
+request line, a ``Content-Length`` body, keep-alive responses), so a
+measurement exercises the full production path: socket, parser,
+schema validation, micro-batcher, engine, JSON response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run."""
+
+    requests: int
+    errors: int
+    seconds: float
+    latencies_s: List[float] = field(repr=False, default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of wall clock."""
+        return self.requests / self.seconds if self.seconds > 0 else 0.0
+
+    def latency_quantile_ms(self, q: float) -> float:
+        """The *q*-quantile of request latency, in milliseconds."""
+        if not self.latencies_s:
+            return float("nan")
+        ordered = sorted(self.latencies_s)
+        rank = min(
+            len(ordered) - 1, max(0, round(q * (len(ordered) - 1)))
+        )
+        return ordered[rank] * 1000.0
+
+    @property
+    def p50_ms(self) -> float:
+        """Median request latency (milliseconds)."""
+        return self.latency_quantile_ms(0.50)
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile request latency (milliseconds)."""
+        return self.latency_quantile_ms(0.99)
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean request latency (milliseconds)."""
+        if not self.latencies_s:
+            return float("nan")
+        return statistics.fmean(self.latencies_s) * 1000.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly summary (no raw latency list)."""
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "seconds": self.seconds,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": {
+                "p50": self.p50_ms,
+                "p99": self.p99_ms,
+                "mean": self.mean_ms,
+            },
+        }
+
+
+def encode_request(
+    path: str, payload: Any, host: str = "localhost"
+) -> bytes:
+    """One serialised keep-alive POST, ready to write to a socket."""
+    body = json.dumps(payload).encode()
+    head = (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: keep-alive\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+async def read_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, bytes]:
+    """Read one HTTP/1.1 response; returns (status, body)."""
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+async def run_load(
+    host: str,
+    port: int,
+    requests: Sequence[bytes],
+    *,
+    total: int,
+    concurrency: int = 8,
+) -> LoadReport:
+    """Fire *total* requests over *concurrency* keep-alive connections.
+
+    *requests* is a pool of pre-encoded request bytes; workers walk it
+    round-robin (so a small pool exercises the batcher's dedup path
+    while distinct entries keep the engine honest). Any non-2xx
+    response counts as an error; connection failures abort the run.
+    """
+    if not requests:
+        raise ValueError("need at least one request payload")
+    counter = {"next": 0}
+    latencies: List[List[float]] = [[] for _ in range(concurrency)]
+    errors = [0] * concurrency
+    loop = asyncio.get_running_loop()
+
+    async def worker(slot: int) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            while True:
+                index = counter["next"]
+                if index >= total:
+                    return
+                counter["next"] = index + 1
+                request = requests[index % len(requests)]
+                started = loop.time()
+                writer.write(request)
+                await writer.drain()
+                status, _body = await read_response(reader)
+                latencies[slot].append(loop.time() - started)
+                if status >= 300:
+                    errors[slot] += 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    started = loop.time()
+    await asyncio.gather(*(worker(i) for i in range(concurrency)))
+    elapsed = loop.time() - started
+    flat = [value for bucket in latencies for value in bucket]
+    return LoadReport(
+        requests=len(flat),
+        errors=sum(errors),
+        seconds=elapsed,
+        latencies_s=flat,
+    )
+
+
+def standard_point_payloads(
+    kernel_names: Sequence[str],
+    configs: Sequence[Tuple[int, float, float]],
+    path: str = "/v1/simulate",
+) -> List[bytes]:
+    """A request pool crossing catalog kernels with hardware points."""
+    pool = []
+    for name in kernel_names:
+        for cu_count, engine_mhz, memory_mhz in configs:
+            pool.append(
+                encode_request(
+                    path,
+                    {
+                        "version": 1,
+                        "kernel": name,
+                        "config": {
+                            "cu_count": cu_count,
+                            "engine_mhz": engine_mhz,
+                            "memory_mhz": memory_mhz,
+                        },
+                    },
+                )
+            )
+    return pool
+
+
+async def fetch(
+    host: str, port: int, method: str, path: str,
+    payload: Optional[Any] = None,
+) -> Tuple[int, bytes]:
+    """One-shot helper: open, send one request, read, close."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        if method.upper() == "GET":
+            writer.write(
+                (
+                    f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+        else:
+            writer.write(encode_request(path, payload, host))
+        await writer.drain()
+        return await read_response(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass

@@ -1,0 +1,351 @@
+"""Service telemetry: counters, gauges, histograms, Prometheus text.
+
+A deliberately small, stdlib-only metrics core: the service needs
+counts (requests by endpoint/status, batches, rejections), live levels
+(queue depth, in-flight requests), and distributions (request latency,
+batch size) — and it needs to render them in the Prometheus text
+exposition format at ``/metrics`` so any scraper can watch a running
+``gpuscale serve``. Everything is guarded by one registry lock; the
+recording paths are a dict increment, cheap enough for the request
+hot path.
+
+Bucket conventions follow Prometheus: histogram buckets are cumulative
+``_bucket{le="..."}`` series with a ``+Inf`` terminator plus ``_sum``
+and ``_count``. Label values are escaped per the exposition format
+(backslash, double quote, newline).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds): 250 us to 10 s, log-ish spacing.
+LATENCY_BUCKETS = (
+    0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default batch-size buckets (requests coalesced per engine dispatch).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+LabelValues = Tuple[str, ...]
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(names: Sequence[str], values: LabelValues) -> str:
+    if not names:
+        return ""
+    pairs = ", ".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+class Counter:
+    """A monotonically increasing sample set, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help_text: str,
+        labelnames: Sequence[str] = (),
+    ):
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._values: Dict[LabelValues, float] = {}
+
+    def inc(self, amount: float = 1.0, *labels: str) -> None:
+        """Add *amount* to the sample at *labels* (created at 0)."""
+        if len(labels) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {labels!r}"
+            )
+        self._values[labels] = self._values.get(labels, 0.0) + amount
+
+    def value(self, *labels: str) -> float:
+        """Current sample at *labels* (0 when never incremented)."""
+        return self._values.get(labels, 0.0)
+
+    def total(self) -> float:
+        """Sum across every label combination."""
+        return sum(self._values.values())
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        if not self._values:
+            if not self.labelnames:
+                lines.append(f"{self.name} 0")
+            return lines
+        for labels in sorted(self._values):
+            lines.append(
+                f"{self.name}{_render_labels(self.labelnames, labels)} "
+                f"{_format_value(self._values[labels])}"
+            )
+        return lines
+
+
+class Gauge(Counter):
+    """A sample that can go up and down (queue depth, in-flight)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, *labels: str) -> None:
+        """Set the sample at *labels* to *value*."""
+        if len(labels) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {labels!r}"
+            )
+        self._values[labels] = float(value)
+
+    def dec(self, amount: float = 1.0, *labels: str) -> None:
+        """Subtract *amount* from the sample at *labels*."""
+        self.inc(-amount, *labels)
+
+
+class Histogram:
+    """A fixed-bucket distribution (unlabelled; one series per metric)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help_text: str,
+        buckets: Sequence[float],
+    ):
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(
+            buckets
+        ):
+            raise ValueError(
+                f"{name} buckets must be strictly increasing: {buckets}"
+            )
+        self.name = name
+        self.help_text = help_text
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._counts[i] += 1
+                return
+        self._counts[-1] += 1
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Cumulative counts keyed by upper bound (incl. ``+Inf``)."""
+        result: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.buckets, self._counts):
+            running += count
+            result[_format_value(bound)] = running
+        result["+Inf"] = running + self._counts[-1]
+        return result
+
+    def quantile(self, q: float) -> float:
+        """Approximate *q*-quantile from the bucket boundaries.
+
+        Returns the upper bound of the first bucket whose cumulative
+        count reaches ``q * count`` — the same estimate a Prometheus
+        ``histogram_quantile`` would give, without interpolation. The
+        last bucket's estimate is its lower bound (there is no upper).
+        """
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        running = 0
+        for bound, count in zip(self.buckets, self._counts):
+            running += count
+            if running >= target:
+                return bound
+        return self.buckets[-1] if self.buckets else float("inf")
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for bound, cumulative in self.bucket_counts().items():
+            lines.append(
+                f'{self.name}_bucket{{le="{bound}"}} {cumulative}'
+            )
+        lines.append(f"{self.name}_sum {_format_value(self.sum)}")
+        lines.append(f"{self.name}_count {self.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """A lock-guarded collection of metrics with one text renderer."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, object]" = {}
+
+    def counter(
+        self, name: str, help_text: str,
+        labelnames: Sequence[str] = (),
+    ) -> Counter:
+        """Create (or fetch) a counter registered under *name*."""
+        return self._register(Counter(name, help_text, labelnames))
+
+    def gauge(
+        self, name: str, help_text: str,
+        labelnames: Sequence[str] = (),
+    ) -> Gauge:
+        """Create (or fetch) a gauge registered under *name*."""
+        return self._register(Gauge(name, help_text, labelnames))
+
+    def histogram(
+        self, name: str, help_text: str, buckets: Sequence[float],
+    ) -> Histogram:
+        """Create (or fetch) a histogram registered under *name*."""
+        return self._register(Histogram(name, help_text, buckets))
+
+    def _register(self, metric):
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValueError(
+                        f"metric {metric.name!r} already registered "
+                        f"as {type(existing).__name__}"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
+
+    @property
+    def lock(self) -> threading.Lock:
+        """The registry lock (shared by the recording helpers below)."""
+        return self._lock
+
+    def render(self) -> str:
+        """The full Prometheus text exposition (trailing newline)."""
+        with self._lock:
+            lines: List[str] = []
+            for name in sorted(self._metrics):
+                lines.extend(self._metrics[name].render())
+        return "\n".join(lines) + "\n"
+
+
+class ServiceMetrics:
+    """The query service's instrument panel.
+
+    One instance per :class:`~repro.service.server.GpuScaleService`.
+    All recording methods are thread-safe: the asyncio loop and the
+    engine executor thread both report here.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry or MetricsRegistry()
+        r = self.registry
+        self.requests = r.counter(
+            "gpuscale_requests_total",
+            "HTTP requests served, by endpoint and status code.",
+            ("endpoint", "status"),
+        )
+        self.request_latency = r.histogram(
+            "gpuscale_request_latency_seconds",
+            "End-to-end request latency (parse to response write).",
+            LATENCY_BUCKETS,
+        )
+        self.batches = r.counter(
+            "gpuscale_batches_total",
+            "Micro-batches dispatched to the engine executor.",
+        )
+        self.batch_size = r.histogram(
+            "gpuscale_batch_size",
+            "Requests coalesced per micro-batch.",
+            BATCH_SIZE_BUCKETS,
+        )
+        self.engine_calls = r.counter(
+            "gpuscale_engine_calls_total",
+            "Engine evaluations issued, by call shape.",
+            ("shape",),
+        )
+        self.cache_events = r.counter(
+            "gpuscale_cache_events_total",
+            "Sweep-cache outcomes for grid queries.",
+            ("outcome",),
+        )
+        self.rejected = r.counter(
+            "gpuscale_rejected_total",
+            "Requests rejected before evaluation, by reason.",
+            ("reason",),
+        )
+        self.queue_depth = r.gauge(
+            "gpuscale_queue_depth",
+            "Queries waiting in the admission queue.",
+        )
+        self.inflight = r.gauge(
+            "gpuscale_inflight_requests",
+            "HTTP requests currently being handled.",
+        )
+
+    # -- recording helpers (each takes the registry lock once) ---------
+
+    def record_request(
+        self, endpoint: str, status: int, latency_s: float
+    ) -> None:
+        """Count one finished HTTP request and its latency."""
+        with self.registry.lock:
+            self.requests.inc(1.0, endpoint, str(status))
+            self.request_latency.observe(latency_s)
+
+    def record_batch(self, size: int, engine_shapes: Iterable[str]) -> None:
+        """Count one dispatched micro-batch of *size* requests."""
+        with self.registry.lock:
+            self.batches.inc()
+            self.batch_size.observe(size)
+            for shape in engine_shapes:
+                self.engine_calls.inc(1.0, shape)
+
+    def record_cache(self, outcome: str, count: int = 1) -> None:
+        """Count sweep-cache outcomes (``hit`` / ``miss`` / ``store``)."""
+        if count <= 0:
+            return
+        with self.registry.lock:
+            self.cache_events.inc(count, outcome)
+
+    def record_rejection(self, reason: str) -> None:
+        """Count one pre-evaluation rejection (overload, timeout, ...)."""
+        with self.registry.lock:
+            self.rejected.inc(1.0, reason)
+
+    def set_queue_depth(self, depth: int) -> None:
+        """Publish the admission queue's current depth."""
+        with self.registry.lock:
+            self.queue_depth.set(depth)
+
+    def adjust_inflight(self, delta: int) -> None:
+        """Track HTTP requests entering (+1) and leaving (-1) handling."""
+        with self.registry.lock:
+            self.inflight.inc(delta)
+
+    def render(self) -> str:
+        """The ``/metrics`` payload."""
+        return self.registry.render()

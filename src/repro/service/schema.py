@@ -1,0 +1,295 @@
+"""Versioned request schemas with structured validation errors.
+
+Every ``/v1/*`` POST body is validated here before it reaches the
+batcher. Validation failures raise :class:`RequestError`, which carries
+a machine-readable ``code``, a human-readable ``message``, and (where
+one applies) the offending ``field`` — the server renders it as a
+structured 400 body::
+
+    {"error": {"code": "missing_field", "message": "...", "field": "kernel"}}
+
+Request bodies carry an optional ``"version"`` key; absent means the
+current :data:`SCHEMA_VERSION`. Anything else is rejected with
+``unsupported_version`` so clients pinned to a future schema fail
+loudly instead of being half-interpreted.
+
+Kernels are named two ways: a catalog identifier string
+(``"rodinia/bfs.kernel1"``) or a full inline kernel definition (the
+:meth:`~repro.kernels.kernel.Kernel.to_dict` payload), so callers can
+query hypothetical kernels that exist nowhere in the catalog.
+Configuration spaces are ``"paper"`` (the 11 x 9 x 9 study grid) or an
+explicit ``{cu_counts, engine_mhz, memory_mhz}`` axes payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import ReproError, SuiteError, WorkloadError
+from repro.gpu.config import HardwareConfig
+from repro.kernels.kernel import Kernel
+from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
+
+#: The one schema version this server speaks.
+SCHEMA_VERSION = 1
+
+#: Cap on grid sizes a single query may request (anti-foot-gun: a
+#: malformed axes payload must not commission a gigapoint broadcast).
+MAX_GRID_POINTS = 1_000_000
+
+
+class RequestError(ReproError):
+    """A structurally invalid request (HTTP 400).
+
+    *code* is stable and machine-readable; *field* names the offending
+    body key when one exists.
+    """
+
+    def __init__(
+        self, code: str, message: str, field: Optional[str] = None
+    ):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.field = field
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The structured 400 body."""
+        error: Dict[str, Any] = {
+            "code": self.code, "message": self.message,
+        }
+        if self.field is not None:
+            error["field"] = self.field
+        return {"error": error}
+
+
+@dataclass(frozen=True)
+class SimulateRequest:
+    """A validated ``/v1/simulate`` body: one kernel, one call shape.
+
+    Exactly one of *config* (a point query) or *space* (a grid query)
+    is set.
+    """
+
+    kernel: Kernel
+    config: Optional[HardwareConfig] = None
+    space: Optional[ConfigurationSpace] = None
+
+    @property
+    def is_grid(self) -> bool:
+        """True for grid queries."""
+        return self.space is not None
+
+
+@dataclass(frozen=True)
+class ClassifyRequest:
+    """A validated ``/v1/classify`` body: kernel plus taxonomy grid."""
+
+    kernel: Kernel
+    space: ConfigurationSpace
+
+
+@dataclass(frozen=True)
+class WhatIfRequest:
+    """A validated ``/v1/whatif`` body: kernel plus evaluation point."""
+
+    kernel: Kernel
+    config: HardwareConfig
+
+
+def _require_mapping(payload: Any) -> Mapping[str, Any]:
+    if not isinstance(payload, Mapping):
+        raise RequestError(
+            "invalid_body",
+            f"request body must be a JSON object, got "
+            f"{type(payload).__name__}",
+        )
+    return payload
+
+
+def check_version(payload: Mapping[str, Any]) -> None:
+    """Reject bodies written against another schema version."""
+    version = payload.get("version", SCHEMA_VERSION)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise RequestError(
+            "unsupported_version",
+            f"version must be an integer, got {version!r}",
+            field="version",
+        )
+    if version != SCHEMA_VERSION:
+        raise RequestError(
+            "unsupported_version",
+            f"this server speaks schema version {SCHEMA_VERSION}, "
+            f"request carries {version}",
+            field="version",
+        )
+
+
+def parse_kernel(payload: Mapping[str, Any]) -> Kernel:
+    """The request's kernel: catalog name or inline definition."""
+    if "kernel" not in payload:
+        raise RequestError(
+            "missing_field", "request has no 'kernel'", field="kernel"
+        )
+    spec = payload["kernel"]
+    if isinstance(spec, str):
+        from repro.suites import kernel_by_name
+
+        try:
+            return kernel_by_name(spec)
+        except SuiteError:
+            raise RequestError(
+                "unknown_kernel",
+                f"no catalog kernel named {spec!r} "
+                "(see 'gpuscale catalog')",
+                field="kernel",
+            ) from None
+    if isinstance(spec, Mapping):
+        try:
+            return Kernel.from_dict(dict(spec))
+        except (WorkloadError, KeyError, TypeError, ValueError) as exc:
+            raise RequestError(
+                "invalid_kernel",
+                f"inline kernel definition rejected: {exc}",
+                field="kernel",
+            ) from exc
+    raise RequestError(
+        "invalid_kernel",
+        "kernel must be a catalog name string or an inline "
+        f"definition object, got {type(spec).__name__}",
+        field="kernel",
+    )
+
+
+def _parse_number(
+    payload: Mapping[str, Any], field: str, parent: str
+) -> float:
+    value = payload.get(field)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestError(
+            "invalid_config",
+            f"{parent}.{field} must be a number, got {value!r}",
+            field=f"{parent}.{field}",
+        )
+    return float(value)
+
+
+def parse_config(spec: Any, field: str = "config") -> HardwareConfig:
+    """A hardware point: ``{cu_count, engine_mhz, memory_mhz}``."""
+    if not isinstance(spec, Mapping):
+        raise RequestError(
+            "invalid_config",
+            f"{field} must be an object, got {type(spec).__name__}",
+            field=field,
+        )
+    unknown = set(spec) - {"cu_count", "engine_mhz", "memory_mhz"}
+    if unknown:
+        raise RequestError(
+            "invalid_config",
+            f"unknown {field} keys: {sorted(unknown)}",
+            field=field,
+        )
+    for required in ("cu_count", "engine_mhz", "memory_mhz"):
+        if required not in spec:
+            raise RequestError(
+                "missing_field",
+                f"{field} has no '{required}'",
+                field=f"{field}.{required}",
+            )
+    try:
+        return HardwareConfig(
+            cu_count=int(_parse_number(spec, "cu_count", field)),
+            engine_mhz=_parse_number(spec, "engine_mhz", field),
+            memory_mhz=_parse_number(spec, "memory_mhz", field),
+        )
+    except ReproError as exc:
+        if isinstance(exc, RequestError):
+            raise
+        raise RequestError(
+            "invalid_config", str(exc), field=field
+        ) from exc
+
+
+def parse_space(spec: Any, field: str = "space") -> ConfigurationSpace:
+    """A configuration grid: ``"paper"`` or explicit axes."""
+    if spec == "paper":
+        return PAPER_SPACE
+    if not isinstance(spec, Mapping):
+        raise RequestError(
+            "invalid_space",
+            f"{field} must be \"paper\" or an axes object, got "
+            f"{spec!r}",
+            field=field,
+        )
+    unknown = set(spec) - {"cu_counts", "engine_mhz", "memory_mhz"}
+    if unknown:
+        raise RequestError(
+            "invalid_space",
+            f"unknown {field} keys: {sorted(unknown)}",
+            field=field,
+        )
+    try:
+        space = ConfigurationSpace.from_dict(dict(spec))
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        raise RequestError(
+            "invalid_space",
+            f"{field} rejected: {exc}",
+            field=field,
+        ) from exc
+    if space.size > MAX_GRID_POINTS:
+        raise RequestError(
+            "grid_too_large",
+            f"{field} spans {space.size} points; this server caps "
+            f"grid queries at {MAX_GRID_POINTS}",
+            field=field,
+        )
+    return space
+
+
+def parse_simulate(payload: Any) -> SimulateRequest:
+    """Validate a ``/v1/simulate`` body."""
+    payload = _require_mapping(payload)
+    check_version(payload)
+    kernel = parse_kernel(payload)
+    has_config = "config" in payload
+    has_space = "space" in payload
+    if has_config == has_space:
+        raise RequestError(
+            "invalid_shape",
+            "exactly one of 'config' (point query) or 'space' "
+            "(grid query) is required",
+        )
+    if has_config:
+        return SimulateRequest(
+            kernel=kernel, config=parse_config(payload["config"])
+        )
+    return SimulateRequest(
+        kernel=kernel, space=parse_space(payload["space"])
+    )
+
+
+def parse_classify(payload: Any) -> ClassifyRequest:
+    """Validate a ``/v1/classify`` body (space defaults to the paper
+    grid — the taxonomy's end-of-axis features want full resolution)."""
+    payload = _require_mapping(payload)
+    check_version(payload)
+    kernel = parse_kernel(payload)
+    space = (
+        parse_space(payload["space"]) if "space" in payload else PAPER_SPACE
+    )
+    return ClassifyRequest(kernel=kernel, space=space)
+
+
+def parse_whatif(payload: Any) -> WhatIfRequest:
+    """Validate a ``/v1/whatif`` body (config defaults to the paper
+    grid's flagship corner)."""
+    payload = _require_mapping(payload)
+    check_version(payload)
+    kernel = parse_kernel(payload)
+    config = (
+        parse_config(payload["config"])
+        if "config" in payload
+        else PAPER_SPACE.max_config
+    )
+    return WhatIfRequest(kernel=kernel, config=config)

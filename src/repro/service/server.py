@@ -1,0 +1,649 @@
+"""The asyncio HTTP query service (stdlib only).
+
+:class:`GpuScaleService` binds a plain ``asyncio.start_server`` socket
+and speaks just enough HTTP/1.1 — request line, headers,
+``Content-Length`` bodies, keep-alive — to serve JSON queries against
+the engine registry through the micro-batcher:
+
+====================  ======  =========================================
+endpoint              method  answers
+====================  ======  =========================================
+``/v1/simulate``      POST    one kernel at a point or over a grid
+``/v1/classify``      POST    taxonomy label for one kernel
+``/v1/whatif``        POST    ranked optimisation counterfactuals
+``/v1/engines``       GET     the engine registry's capability table
+``/healthz``          GET     liveness (``ok`` / ``draining``)
+``/metrics``          GET     Prometheus text exposition
+====================  ======  =========================================
+
+Overload semantics (see DESIGN.md "Service architecture"): a full
+admission queue answers 429, a per-request timeout or a draining
+server answers 503, malformed bodies answer structured 400s from
+:mod:`repro.service.schema`. Shutdown is graceful by default: the
+listener closes, in-flight requests finish, the batcher drains, and
+only then do idle keep-alive connections get torn down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.service import schema
+from repro.service.batcher import (
+    GridQuery,
+    MicroBatcher,
+    OverloadError,
+    PointQuery,
+    ServiceClosedError,
+    ServiceTimeoutError,
+)
+from repro.service.metrics import ServiceMetrics
+
+#: Hard caps on what one request may ship.
+MAX_REQUEST_LINE = 8192
+MAX_HEADERS = 100
+MAX_BODY_BYTES = 2 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpViolation(Exception):
+    """A malformed HTTP request (connection closes after the error)."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one ``gpuscale serve`` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8000
+    engine: str = "interval"
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    queue_limit: int = 1024
+    request_timeout_s: float = 30.0
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+
+
+def _error_payload(code: str, message: str) -> Dict[str, Any]:
+    return {"error": {"code": code, "message": message}}
+
+
+class GpuScaleService:
+    """One serving instance: listener + batcher + metrics."""
+
+    def __init__(
+        self,
+        config: ServiceConfig = ServiceConfig(),
+        simulator: Optional[Any] = None,
+        cache: Optional[Any] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        from repro.gpu.simulator import GpuSimulator
+
+        self.config = config
+        self.metrics = metrics or ServiceMetrics()
+        self._simulator = simulator or GpuSimulator(config.engine)
+        if cache is None and config.use_cache:
+            from repro.sweep.cache import SweepCache
+
+            cache = SweepCache(config.cache_dir)
+        self.batcher = MicroBatcher(
+            self._simulator,
+            max_batch=config.max_batch,
+            max_wait_ms=config.max_wait_ms,
+            queue_limit=config.queue_limit,
+            cache=cache,
+            metrics=self.metrics,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = False
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._connections: "set[asyncio.Task]" = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the real one)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        """True once shutdown has begun."""
+        return self._draining
+
+    async def start(self) -> None:
+        """Start the batcher and bind the listener."""
+        await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+        )
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (used by ``gpuscale serve``)."""
+        if self._server is None:
+            raise RuntimeError("service is not started")
+        await self._server.serve_forever()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop serving.
+
+        Graceful (``drain=True``): refuse new work, let in-flight
+        requests and every admitted query finish, then close idle
+        connections. ``drain=False`` tears everything down at once.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            await self._idle.wait()
+        await self.batcher.stop(drain=drain)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+        self._connections.clear()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                    and not self._draining
+                )
+                self._inflight += 1
+                self._idle.clear()
+                self.metrics.adjust_inflight(1)
+                started = time.perf_counter()
+                try:
+                    status, payload, content_type, extra = (
+                        await self._dispatch(method, path, body)
+                    )
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
+                    self.metrics.adjust_inflight(-1)
+                self.metrics.record_request(
+                    path, status, time.perf_counter() - started
+                )
+                await self._write_response(
+                    writer, status, payload, content_type,
+                    keep_alive=keep_alive, extra_headers=extra,
+                )
+                if not keep_alive:
+                    break
+        except _HttpViolation as violation:
+            await self._write_response(
+                writer,
+                violation.status,
+                json.dumps(
+                    _error_payload(violation.code, violation.message)
+                ),
+                "application/json",
+                keep_alive=False,
+            )
+        except (
+            asyncio.CancelledError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+        ):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        try:
+            line = await reader.readline()
+        except ValueError as exc:  # line longer than the stream limit
+            raise _HttpViolation(
+                400, "request_too_long", str(exc)
+            ) from exc
+        if not line:
+            return None
+        if len(line) > MAX_REQUEST_LINE:
+            raise _HttpViolation(
+                400, "request_too_long", "request line exceeds 8 KiB"
+            )
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _HttpViolation(
+                400, "malformed_request",
+                f"unparseable request line {line!r}",
+            )
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            header_line = await reader.readline()
+            if header_line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= MAX_HEADERS:
+                raise _HttpViolation(
+                    400, "malformed_request", "too many headers"
+                )
+            name, sep, value = (
+                header_line.decode("latin-1").partition(":")
+            )
+            if not sep:
+                raise _HttpViolation(
+                    400, "malformed_request",
+                    f"unparseable header {header_line!r}",
+                )
+            headers[name.strip().lower()] = value.strip()
+        raw_length = headers.get("content-length", "0")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpViolation(
+                400, "malformed_request",
+                f"unparseable Content-Length {raw_length!r}",
+            ) from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpViolation(
+                413, "body_too_large",
+                f"body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte cap",
+            )
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method.upper(), path, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: str,
+        content_type: str,
+        keep_alive: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        encoded = body.encode()
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(encoded)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + encoded)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, str, str, Optional[Dict[str, str]]]:
+        """Route one request; returns (status, body, type, headers)."""
+        routes = {
+            ("GET", "/healthz"): self._get_healthz,
+            ("GET", "/metrics"): self._get_metrics,
+            ("GET", "/v1/engines"): self._get_engines,
+            ("POST", "/v1/simulate"): self._post_simulate,
+            ("POST", "/v1/classify"): self._post_classify,
+            ("POST", "/v1/whatif"): self._post_whatif,
+        }
+        handler = routes.get((method, path))
+        if handler is None:
+            known_paths = {p for _, p in routes}
+            if path in known_paths:
+                return (
+                    405,
+                    json.dumps(_error_payload(
+                        "method_not_allowed",
+                        f"{method} is not supported on {path}",
+                    )),
+                    "application/json",
+                    None,
+                )
+            return (
+                404,
+                json.dumps(_error_payload(
+                    "not_found", f"no endpoint at {path}"
+                )),
+                "application/json",
+                None,
+            )
+        if method == "POST" and self._draining:
+            return (
+                503,
+                json.dumps(_error_payload(
+                    "draining", "server is shutting down"
+                )),
+                "application/json",
+                None,
+            )
+        try:
+            if method == "POST":
+                payload = self._decode_json(body)
+                status, response = await handler(payload)
+            else:
+                status, response = await handler()
+        except schema.RequestError as exc:
+            self.metrics.record_rejection("invalid_request")
+            return (
+                400, json.dumps(exc.to_payload()),
+                "application/json", None,
+            )
+        except OverloadError as exc:
+            self.metrics.record_rejection("overload")
+            return (
+                429,
+                json.dumps(_error_payload("overloaded", str(exc))),
+                "application/json",
+                {"Retry-After": "1"},
+            )
+        except ServiceTimeoutError as exc:
+            self.metrics.record_rejection("timeout")
+            return (
+                503,
+                json.dumps(_error_payload("timeout", str(exc))),
+                "application/json",
+                None,
+            )
+        except ServiceClosedError as exc:
+            self.metrics.record_rejection("draining")
+            return (
+                503,
+                json.dumps(_error_payload("draining", str(exc))),
+                "application/json",
+                None,
+            )
+        except ConfigurationError as exc:
+            # e.g. a point query against a grid-only engine.
+            return (
+                400,
+                json.dumps(_error_payload(
+                    "unsupported_query", str(exc)
+                )),
+                "application/json",
+                None,
+            )
+        except WorkloadError as exc:
+            # A request-supplied kernel that breaks a model invariant
+            # (e.g. a what-if transform on a degenerate inline kernel).
+            return (
+                400,
+                json.dumps(_error_payload(
+                    "invalid_kernel", str(exc)
+                )),
+                "application/json",
+                None,
+            )
+        except SimulationError as exc:
+            return (
+                500,
+                json.dumps(_error_payload(
+                    "simulation_failed", str(exc)
+                )),
+                "application/json",
+                None,
+            )
+        except ReproError as exc:
+            return (
+                500,
+                json.dumps(_error_payload(
+                    "internal_error", str(exc)
+                )),
+                "application/json",
+                None,
+            )
+        if isinstance(response, str):  # /metrics renders its own text
+            return (
+                status, response,
+                "text/plain; version=0.0.4; charset=utf-8", None,
+            )
+        return status, json.dumps(response), "application/json", None
+
+    @staticmethod
+    def _decode_json(body: bytes) -> Any:
+        if not body:
+            raise schema.RequestError(
+                "invalid_json", "POST body is empty; send a JSON object"
+            )
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise schema.RequestError(
+                "invalid_json", f"body is not valid JSON: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    async def _get_healthz(self) -> Tuple[int, Dict[str, Any]]:
+        status = "draining" if self._draining else "ok"
+        return 200, {
+            "status": status,
+            "engine": getattr(
+                self._simulator, "engine_name", self.config.engine
+            ),
+            "queue_depth": self.batcher.pending,
+        }
+
+    async def _get_metrics(self) -> Tuple[int, str]:
+        return 200, self.metrics.render()
+
+    async def _get_engines(self) -> Tuple[int, Dict[str, Any]]:
+        from repro.gpu.engine import list_engines
+
+        engines = [
+            {
+                "name": reg.name,
+                "family": reg.descriptor.family,
+                "version": reg.descriptor.version,
+                "capabilities": reg.capabilities.as_dict(),
+                "summary": reg.summary,
+            }
+            for reg in list_engines()
+        ]
+        return 200, {"engines": engines}
+
+    async def _post_simulate(
+        self, payload: Any
+    ) -> Tuple[int, Dict[str, Any]]:
+        request = schema.parse_simulate(payload)
+        timeout = self.config.request_timeout_s
+        if request.is_grid:
+            result = await self.batcher.submit(
+                GridQuery(kernel=request.kernel, space=request.space),
+                timeout=timeout,
+            )
+            space = request.space
+            return 200, {
+                "kernel": result.kernel_name,
+                "space": {
+                    "cu_counts": list(space.cu_counts),
+                    "engine_mhz": list(space.engine_mhz),
+                    "memory_mhz": list(space.memory_mhz),
+                },
+                "items_per_second": result.items_per_second.tolist(),
+                "time_s": result.time_s.tolist(),
+                "from_cache": result.from_cache,
+            }
+        result = await self.batcher.submit(
+            PointQuery(kernel=request.kernel, config=request.config),
+            timeout=timeout,
+        )
+        config = request.config
+        return 200, {
+            "kernel": result.kernel_name,
+            "config": {
+                "cu_count": config.cu_count,
+                "engine_mhz": config.engine_mhz,
+                "memory_mhz": config.memory_mhz,
+            },
+            "time_s": result.time_s,
+            "items_per_second": result.items_per_second,
+        }
+
+    async def _post_classify(
+        self, payload: Any
+    ) -> Tuple[int, Dict[str, Any]]:
+        from repro.sweep.dataset import KernelRecord, ScalingDataset
+        from repro.taxonomy.classifier import classify
+        from repro.taxonomy.explain import explain_label
+
+        request = schema.parse_classify(payload)
+        result = await self.batcher.submit(
+            GridQuery(kernel=request.kernel, space=request.space),
+            timeout=self.config.request_timeout_s,
+        )
+        dataset = ScalingDataset(
+            request.space,
+            [KernelRecord.from_full_name(result.kernel_name)],
+            np.asarray(result.items_per_second)[np.newaxis, ...],
+        )
+        label = classify(dataset).labels[0]
+        return 200, {
+            "kernel": result.kernel_name,
+            "category": label.category.value,
+            "behaviours": {
+                "cu": label.cu_behaviour.value,
+                "engine": label.engine_behaviour.value,
+                "memory": label.memory_behaviour.value,
+            },
+            "explanation": explain_label(label),
+            "from_cache": result.from_cache,
+        }
+
+    async def _post_whatif(
+        self, payload: Any
+    ) -> Tuple[int, Dict[str, Any]]:
+        from repro.predict.what_if import STANDARD_SCENARIOS
+
+        request = schema.parse_whatif(payload)
+        timeout = self.config.request_timeout_s
+        # Baseline plus every scenario submitted together: the batcher
+        # coalesces all seven evaluations into one micro-batch.
+        queries = [
+            PointQuery(kernel=request.kernel, config=request.config)
+        ] + [
+            PointQuery(
+                kernel=scenario.apply(request.kernel),
+                config=request.config,
+            )
+            for scenario in STANDARD_SCENARIOS
+        ]
+        results = await asyncio.gather(
+            *(self.batcher.submit(q, timeout=timeout) for q in queries)
+        )
+        baseline = results[0].items_per_second
+        scenarios = sorted(
+            (
+                {
+                    "name": scenario.name,
+                    "description": scenario.description,
+                    "speedup": result.items_per_second / baseline,
+                    "optimised_items_per_second": (
+                        result.items_per_second
+                    ),
+                }
+                for scenario, result in zip(
+                    STANDARD_SCENARIOS, results[1:]
+                )
+            ),
+            key=lambda row: -row["speedup"],
+        )
+        config = request.config
+        return 200, {
+            "kernel": request.kernel.full_name,
+            "config": {
+                "cu_count": config.cu_count,
+                "engine_mhz": config.engine_mhz,
+                "memory_mhz": config.memory_mhz,
+            },
+            "baseline_items_per_second": baseline,
+            "scenarios": scenarios,
+        }
+
+
+async def run_service(
+    config: ServiceConfig,
+    *,
+    stop_event: Optional[asyncio.Event] = None,
+    ready_callback=None,
+) -> None:
+    """Start a service, announce readiness, serve until *stop_event*.
+
+    The CLI's async main: installs nothing itself (signal handling is
+    the caller's job), drains gracefully once *stop_event* fires.
+    """
+    service = GpuScaleService(config)
+    await service.start()
+    if ready_callback is not None:
+        ready_callback(service)
+    if stop_event is None:
+        stop_event = asyncio.Event()
+    try:
+        await stop_event.wait()
+    finally:
+        await service.shutdown(drain=True)

@@ -19,6 +19,14 @@ unreadable entries count as misses — the cache is an accelerator, never
 a correctness dependency. Datasets containing quarantined kernels are
 not cached: a frozen failure row would outlive the transient fault that
 produced it.
+
+The cache is safe under concurrent readers and writers — the query
+service's engine worker, parallel sweep processes, and test harnesses
+may all hit one directory at once. Writes go through
+:func:`repro.atomic.atomic_path` (per-call-unique temp name, then
+``os.replace``), so a reader only ever sees some writer's *complete*
+bytes; a read racing a delete, a replace, or a corrupt entry counts as
+a miss and never propagates an error. Stat counters are lock-guarded.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
@@ -95,9 +104,14 @@ class SweepCache:
         self._dir = (
             Path(cache_dir) if cache_dir is not None else default_cache_dir()
         )
+        self._stats_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
+
+    def _count(self, stat: str) -> None:
+        with self._stats_lock:
+            setattr(self, stat, getattr(self, stat) + 1)
 
     @property
     def cache_dir(self) -> Path:
@@ -112,19 +126,21 @@ class SweepCache:
         """The cached dataset, or ``None`` on miss.
 
         A corrupt, truncated, or invalid entry is deleted and treated
-        as a miss: the caller re-simulates and overwrites it.
+        as a miss: the caller re-simulates and overwrites it. Races
+        are tolerated the same way — an entry deleted or replaced
+        between the existence check and the read is just a miss.
         """
         path = self.path_for(fingerprint)
         if not path.exists():
-            self.misses += 1
+            self._count("misses")
             return None
         try:
             dataset = ScalingDataset.load(path).validate()
         except (ReproError, OSError, ValueError, KeyError):
             self.invalidate(fingerprint)
-            self.misses += 1
+            self._count("misses")
             return None
-        self.hits += 1
+        self._count("hits")
         return dataset
 
     def store(self, fingerprint: str, dataset: ScalingDataset) -> Path:
@@ -140,16 +156,22 @@ class SweepCache:
             )
         self._dir.mkdir(parents=True, exist_ok=True)
         path = dataset.save(self.path_for(fingerprint))
-        self.stores += 1
+        self._count("stores")
         return path
 
     def invalidate(self, fingerprint: str) -> bool:
-        """Drop one entry; ``True`` if something was deleted."""
+        """Drop one entry; ``True`` if something was deleted.
+
+        Tolerates a concurrent delete (both callers report having
+        invalidated, neither errors).
+        """
         path = self.path_for(fingerprint)
         try:
             path.unlink()
             return True
         except FileNotFoundError:
+            return False
+        except OSError:
             return False
 
     def entries(self) -> List[Path]:
@@ -165,7 +187,7 @@ class SweepCache:
             try:
                 path.unlink()
                 removed += 1
-            except FileNotFoundError:
+            except OSError:
                 pass
         return removed
 

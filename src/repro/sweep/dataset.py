@@ -19,6 +19,7 @@ be dropped with :meth:`ScalingDataset.healthy`.
 from __future__ import annotations
 
 import json
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -268,7 +269,16 @@ class ScalingDataset:
             with np.load(path, allow_pickle=False) as archive:
                 perf = archive["perf"]
                 metadata = json.loads(str(archive["metadata"]))
-        except (KeyError, ValueError, json.JSONDecodeError) as exc:
+        except (
+            KeyError,
+            ValueError,
+            json.JSONDecodeError,
+            EOFError,
+            zipfile.BadZipFile,
+            OSError,
+        ) as exc:
+            # Truncated, garbage, or non-zip bytes surface from np.load
+            # as any of these; all mean "not a dataset".
             raise DatasetError(f"malformed dataset at {path}: {exc}") from exc
         space = ConfigurationSpace.from_dict(metadata["space"])
         records = [

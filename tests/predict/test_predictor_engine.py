@@ -99,6 +99,65 @@ class TestPrediction:
         assert engine._predictors[small_space] is predictor
 
 
+class TestPredictorCacheBound:
+    """The per-space predictor cache is LRU-bounded.
+
+    A long-lived server process answering ad-hoc-space queries must
+    not let the corpus cache grow without limit: eviction triggers at
+    ``max_cached_spaces``, dropping the least recently used space.
+    """
+
+    @staticmethod
+    def _spaces(n):
+        from repro.sweep import reduced_space
+
+        strides = [(2, 2, 2), (2, 2, 4), (2, 4, 2), (4, 2, 2),
+                   (4, 4, 2), (4, 2, 4)]
+        return [reduced_space(*strides[i]) for i in range(n)]
+
+    def test_eviction_triggers_at_cap(self, archetype_kernels):
+        engine = PredictorEngine(max_cached_spaces=2)
+        kernel = archetype_kernels[0]
+        first, second, third = self._spaces(3)
+        engine.simulate_grid(kernel, first)
+        engine.simulate_grid(kernel, second)
+        assert engine.cached_space_count == 2
+        survivors = dict(engine._predictors)
+        engine.simulate_grid(kernel, third)
+        assert engine.cached_space_count == 2
+        assert first not in engine._predictors  # LRU evicted
+        assert engine._predictors[second] is survivors[second]
+        assert third in engine._predictors
+
+    def test_hit_refreshes_recency(self, archetype_kernels):
+        engine = PredictorEngine(max_cached_spaces=2)
+        kernel = archetype_kernels[0]
+        first, second, third = self._spaces(3)
+        engine.simulate_grid(kernel, first)
+        engine.simulate_grid(kernel, second)
+        engine.simulate_grid(kernel, first)  # refresh: now second is LRU
+        engine.simulate_grid(kernel, third)
+        assert first in engine._predictors
+        assert second not in engine._predictors
+        assert engine.cached_space_count == 2
+
+    def test_evicted_space_is_refit_consistently(
+        self, archetype_kernels
+    ):
+        engine = PredictorEngine(max_cached_spaces=1)
+        kernel = archetype_kernels[0]
+        first, second = self._spaces(2)
+        before = engine.simulate_grid(kernel, first).items_per_second
+        engine.simulate_grid(kernel, second)  # evicts first
+        assert first not in engine._predictors
+        after = engine.simulate_grid(kernel, first).items_per_second
+        np.testing.assert_array_equal(before, after)
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PredictorEngine(max_cached_spaces=0)
+
+
 class TestSweepIntegration:
     def test_sweep_runner_collects_predictor_dataset(
         self, archetype_kernels, small_space

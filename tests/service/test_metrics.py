@@ -1,0 +1,176 @@
+"""The stdlib metrics core and its Prometheus text rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServiceMetrics,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c_total", "help")
+        assert counter.value() == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        assert counter.total() == 3.5
+
+    def test_labelled_samples_are_independent(self):
+        counter = Counter("c_total", "help", ("endpoint", "status"))
+        counter.inc(1.0, "/v1/simulate", "200")
+        counter.inc(1.0, "/v1/simulate", "400")
+        counter.inc(1.0, "/healthz", "200")
+        assert counter.value("/v1/simulate", "200") == 1
+        assert counter.total() == 3
+
+    def test_label_arity_enforced(self):
+        counter = Counter("c_total", "help", ("endpoint",))
+        with pytest.raises(ValueError):
+            counter.inc(1.0)
+
+    def test_render_sorted_and_typed(self):
+        counter = Counter("c_total", "requests", ("status",))
+        counter.inc(2.0, "200")
+        counter.inc(1.0, "404")
+        lines = counter.render()
+        assert lines[0] == "# HELP c_total requests"
+        assert lines[1] == "# TYPE c_total counter"
+        assert lines[2] == 'c_total{status="200"} 2'
+        assert lines[3] == 'c_total{status="404"} 1'
+
+    def test_label_escaping(self):
+        counter = Counter("c_total", "h", ("path",))
+        counter.inc(1.0, 'we"ird\npath\\x')
+        rendered = "\n".join(counter.render())
+        assert r'we\"ird\npath\\x' in rendered
+
+
+class TestGauge:
+    def test_set_and_dec(self):
+        gauge = Gauge("g", "help")
+        gauge.set(10)
+        gauge.dec(3)
+        assert gauge.value() == 7
+        assert "# TYPE g gauge" in gauge.render()
+
+
+class TestHistogram:
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "help", (1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("h", "help", (2.0, 1.0))
+
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram("h", "help", (0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        counts = histogram.bucket_counts()
+        assert counts["0.1"] == 1
+        assert counts["1"] == 3  # cumulative
+        assert counts["10"] == 4
+        assert counts["+Inf"] == 5
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(56.05)
+
+    def test_quantile_estimates_from_bounds(self):
+        histogram = Histogram("h", "help", (1.0, 2.0, 4.0))
+        for value in (0.5,) * 50 + (1.5,) * 49 + (3.0,):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(0.99) == 2.0
+        assert histogram.quantile(1.0) == 4.0
+
+    def test_empty_quantile_is_nan(self):
+        import math
+
+        assert math.isnan(Histogram("h", "h", (1.0,)).quantile(0.5))
+
+    def test_render_shape(self):
+        histogram = Histogram("h", "help", (1.0,))
+        histogram.observe(0.5)
+        rendered = "\n".join(histogram.render())
+        assert 'h_bucket{le="1"} 1' in rendered
+        assert 'h_bucket{le="+Inf"} 1' in rendered
+        assert "h_sum 0.5" in rendered
+        assert "h_count 1" in rendered
+
+
+class TestRegistry:
+    def test_same_name_returns_same_metric(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "help")
+        second = registry.counter("x_total", "help")
+        assert first is second
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "help")
+        with pytest.raises(ValueError):
+            registry.gauge("x", "help")
+
+    def test_render_concatenates_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", "second").inc()
+        registry.counter("a_total", "first").inc()
+        rendered = registry.render()
+        assert rendered.index("a_total") < rendered.index("b_total")
+        assert rendered.endswith("\n")
+
+
+class TestServiceMetrics:
+    def test_request_recording(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("/v1/simulate", 200, 0.003)
+        metrics.record_request("/v1/simulate", 400, 0.001)
+        assert metrics.requests.value("/v1/simulate", "200") == 1
+        assert metrics.request_latency.count == 2
+
+    def test_batch_recording(self):
+        metrics = ServiceMetrics()
+        metrics.record_batch(7, ["study", "point", "point"])
+        assert metrics.batches.value() == 1
+        assert metrics.batch_size.sum == 7
+        assert metrics.engine_calls.value("study") == 1
+        assert metrics.engine_calls.value("point") == 2
+
+    def test_cache_and_rejection_recording(self):
+        metrics = ServiceMetrics()
+        metrics.record_cache("hit", 3)
+        metrics.record_cache("miss", 0)  # no-op
+        metrics.record_rejection("overload")
+        assert metrics.cache_events.value("hit") == 3
+        assert metrics.cache_events.value("miss") == 0
+        assert metrics.rejected.value("overload") == 1
+
+    def test_gauges(self):
+        metrics = ServiceMetrics()
+        metrics.set_queue_depth(12)
+        metrics.adjust_inflight(1)
+        metrics.adjust_inflight(1)
+        metrics.adjust_inflight(-1)
+        assert metrics.queue_depth.value() == 12
+        assert metrics.inflight.value() == 1
+
+    def test_render_exposes_every_family(self):
+        metrics = ServiceMetrics()
+        rendered = metrics.render()
+        for name in (
+            "gpuscale_requests_total",
+            "gpuscale_request_latency_seconds",
+            "gpuscale_batches_total",
+            "gpuscale_batch_size",
+            "gpuscale_engine_calls_total",
+            "gpuscale_cache_events_total",
+            "gpuscale_rejected_total",
+            "gpuscale_queue_depth",
+            "gpuscale_inflight_requests",
+        ):
+            assert f"# TYPE {name} " in rendered

@@ -1,0 +1,207 @@
+"""Request-schema validation: structured 400s for every bad shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.config import HardwareConfig
+from repro.service import schema
+from repro.suites import kernel_by_name
+from repro.sweep.space import PAPER_SPACE
+
+KERNEL = "rodinia/bfs.kernel1"
+
+
+def err(callable_, *args):
+    with pytest.raises(schema.RequestError) as excinfo:
+        callable_(*args)
+    return excinfo.value
+
+
+class TestVersion:
+    def test_missing_version_means_current(self):
+        request = schema.parse_simulate(
+            {"kernel": KERNEL, "space": "paper"}
+        )
+        assert request.is_grid
+
+    def test_explicit_current_version_accepted(self):
+        schema.check_version({"version": schema.SCHEMA_VERSION})
+
+    @pytest.mark.parametrize("bad", [0, 2, -1, "1", 1.0, True, None])
+    def test_other_versions_rejected(self, bad):
+        error = err(schema.check_version, {"version": bad})
+        assert error.code == "unsupported_version"
+        assert error.field == "version"
+
+
+class TestKernel:
+    def test_catalog_name_resolves(self):
+        kernel = schema.parse_kernel({"kernel": KERNEL})
+        assert kernel == kernel_by_name(KERNEL)
+
+    def test_unknown_name_is_structured(self):
+        error = err(schema.parse_kernel, {"kernel": "nope/missing.k"})
+        assert error.code == "unknown_kernel"
+        assert error.field == "kernel"
+        payload = error.to_payload()
+        assert payload["error"]["code"] == "unknown_kernel"
+        assert payload["error"]["field"] == "kernel"
+
+    def test_inline_definition_round_trips(self):
+        original = kernel_by_name(KERNEL)
+        parsed = schema.parse_kernel({"kernel": original.to_dict()})
+        assert parsed == original
+
+    def test_garbage_inline_definition(self):
+        error = err(schema.parse_kernel, {"kernel": {"bogus": 1}})
+        assert error.code == "invalid_kernel"
+
+    def test_missing_kernel(self):
+        error = err(schema.parse_kernel, {})
+        assert error.code == "missing_field"
+        assert error.field == "kernel"
+
+    @pytest.mark.parametrize("bad", [7, [1], None, True])
+    def test_wrong_kernel_type(self, bad):
+        assert err(
+            schema.parse_kernel, {"kernel": bad}
+        ).code == "invalid_kernel"
+
+
+class TestConfig:
+    def test_valid_config(self):
+        config = schema.parse_config(
+            {"cu_count": 44, "engine_mhz": 1000, "memory_mhz": 1250}
+        )
+        assert config == HardwareConfig(44, 1000.0, 1250.0)
+
+    def test_unknown_keys_rejected(self):
+        error = err(
+            schema.parse_config,
+            {"cu_count": 4, "engine_mhz": 1, "memory_mhz": 1,
+             "cu_clock": 9},
+        )
+        assert error.code == "invalid_config"
+        assert "cu_clock" in error.message
+
+    def test_missing_axis(self):
+        error = err(schema.parse_config, {"cu_count": 4})
+        assert error.code == "missing_field"
+        assert error.field == "config.engine_mhz"
+
+    def test_non_numeric_axis(self):
+        error = err(
+            schema.parse_config,
+            {"cu_count": "many", "engine_mhz": 1, "memory_mhz": 1},
+        )
+        assert error.code == "invalid_config"
+        assert error.field == "config.cu_count"
+
+    def test_domain_error_is_wrapped(self):
+        # Structurally fine, semantically impossible: the model's own
+        # validation surfaces as a structured 400, not a 500.
+        error = err(
+            schema.parse_config,
+            {"cu_count": -3, "engine_mhz": 1000, "memory_mhz": 1250},
+        )
+        assert error.code == "invalid_config"
+
+    def test_not_an_object(self):
+        assert err(schema.parse_config, 17).code == "invalid_config"
+
+
+class TestSpace:
+    def test_paper_literal(self):
+        assert schema.parse_space("paper") is PAPER_SPACE
+
+    def test_explicit_axes(self):
+        space = schema.parse_space(
+            {"cu_counts": [4, 8], "engine_mhz": [500.0],
+             "memory_mhz": [475.0, 950.0]}
+        )
+        assert space.shape == (2, 1, 2)
+
+    def test_unknown_keys_rejected(self):
+        error = err(
+            schema.parse_space,
+            {"cu_counts": [4], "engine_mhz": [1], "memory_mhz": [1],
+             "voltages": [0.9]},
+        )
+        assert error.code == "invalid_space"
+
+    def test_grid_too_large(self):
+        axis = list(range(1, 202))
+        error = err(
+            schema.parse_space,
+            {"cu_counts": axis, "engine_mhz": axis, "memory_mhz": axis},
+        )
+        assert error.code == "grid_too_large"
+
+    def test_garbage_spec(self):
+        assert err(schema.parse_space, "tiny").code == "invalid_space"
+
+
+class TestSimulate:
+    def test_point_shape(self):
+        request = schema.parse_simulate(
+            {
+                "kernel": KERNEL,
+                "config": {
+                    "cu_count": 44, "engine_mhz": 1000,
+                    "memory_mhz": 1250,
+                },
+            }
+        )
+        assert not request.is_grid
+        assert request.config.cu_count == 44
+
+    def test_grid_shape(self):
+        request = schema.parse_simulate(
+            {"kernel": KERNEL, "space": "paper"}
+        )
+        assert request.is_grid
+        assert request.space is PAPER_SPACE
+
+    def test_both_shapes_rejected(self):
+        error = err(
+            schema.parse_simulate,
+            {
+                "kernel": KERNEL,
+                "space": "paper",
+                "config": {
+                    "cu_count": 4, "engine_mhz": 1, "memory_mhz": 1,
+                },
+            },
+        )
+        assert error.code == "invalid_shape"
+
+    def test_neither_shape_rejected(self):
+        assert err(
+            schema.parse_simulate, {"kernel": KERNEL}
+        ).code == "invalid_shape"
+
+    def test_non_object_body(self):
+        assert err(schema.parse_simulate, [1, 2]).code == "invalid_body"
+
+
+class TestClassifyAndWhatIf:
+    def test_classify_defaults_to_paper_space(self):
+        request = schema.parse_classify({"kernel": KERNEL})
+        assert request.space is PAPER_SPACE
+
+    def test_whatif_defaults_to_flagship_corner(self):
+        request = schema.parse_whatif({"kernel": KERNEL})
+        assert request.config == PAPER_SPACE.max_config
+
+    def test_whatif_explicit_config(self):
+        request = schema.parse_whatif(
+            {
+                "kernel": KERNEL,
+                "config": {
+                    "cu_count": 8, "engine_mhz": 700,
+                    "memory_mhz": 950,
+                },
+            }
+        )
+        assert request.config.cu_count == 8
