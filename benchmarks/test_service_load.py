@@ -24,6 +24,7 @@ from repro.service.loadgen import (
     encode_request,
     fetch,
     run_load,
+    run_saturation,
     standard_point_payloads,
 )
 from repro.service.server import GpuScaleService, ServiceConfig
@@ -38,6 +39,13 @@ _ARTIFACT_PATH = os.environ.get("BENCH_SERVICE_OUT", "BENCH_service.json")
 
 #: The acceptance floor: sustained point-query throughput.
 THROUGHPUT_FLOOR_RPS = 1_000
+
+#: Fleet mode: ``--workers 4`` must clear 5,000 req/s on CI-class
+#: hardware (4 vCPUs). On smaller boxes four processes time-share the
+#: cores and the router's IPC costs what the parallelism can't repay,
+#: so the floor falls back to a sanity bound instead of flaking.
+FLEET_WORKERS = 4
+FLEET_FLOOR_RPS = 5_000 if (os.cpu_count() or 1) >= 4 else 800
 
 KERNELS = [
     "rodinia/bfs.kernel1",
@@ -148,6 +156,145 @@ def test_mixed_load_with_grid_queries():
     # Grid surfaces are ~12 points each and ride the same batches;
     # a loose floor still catches per-request dispatch regressions.
     assert report.throughput_rps > THROUGHPUT_FLOOR_RPS / 2
+
+
+def _fleet_batch_stats(metrics_text):
+    """Batch-size stats from the ``worker="fleet"`` merged series."""
+    distribution = {}
+    for match in re.finditer(
+        r'gpuscale_batch_size_bucket\{worker="fleet", '
+        r'le="([^"]+)"\} (\d+)',
+        metrics_text,
+    ):
+        distribution[match.group(1)] = int(match.group(2))
+    sums = re.search(
+        r'gpuscale_batch_size_sum\{worker="fleet"\} (\S+)', metrics_text
+    )
+    count = re.search(
+        r'gpuscale_batch_size_count\{worker="fleet"\} (\d+)',
+        metrics_text,
+    )
+    return (
+        distribution,
+        float(sums.group(1)) if sums else 0.0,
+        int(count.group(1)) if count else 0,
+    )
+
+
+def test_fleet_load_sustains_floor():
+    """3,000 point queries against a ``--workers 4`` fleet.
+
+    The floor is hardware-gated: ≥5,000 req/s where four real cores
+    exist (CI), a sanity bound where they don't. Worker count and the
+    host's core count land in the artifact either way, so a trajectory
+    point is never read against the wrong floor.
+    """
+    pool = standard_point_payloads(KERNELS, CONFIGS)
+
+    async def scenario():
+        service = GpuScaleService(
+            ServiceConfig(
+                port=0, use_cache=False, workers=FLEET_WORKERS
+            )
+        )
+        await service.start()
+        try:
+            report = await run_load(
+                service.config.host,
+                service.port,
+                pool,
+                total=3000,
+                concurrency=32,
+            )
+            _status, metrics_body = await fetch(
+                service.config.host, service.port, "GET", "/metrics"
+            )
+            return report, metrics_body.decode()
+        finally:
+            await service.shutdown(drain=True)
+
+    report, metrics_text = asyncio.run(scenario())
+    distribution, size_sum, batches = _fleet_batch_stats(metrics_text)
+    _MEASUREMENTS["fleet"] = {
+        **report.as_dict(),
+        "workers": FLEET_WORKERS,
+        "cpu_count": os.cpu_count(),
+        "floor_rps": FLEET_FLOOR_RPS,
+        "batches": batches,
+        "mean_batch_size": size_sum / batches if batches else 0.0,
+        "batch_size_distribution": distribution,
+    }
+
+    print(
+        f"\nservice fleet-load ({FLEET_WORKERS} workers, "
+        f"{os.cpu_count()} cpus): {report.throughput_rps:,.0f} req/s, "
+        f"p50 {report.p50_ms:.2f} ms, p99 {report.p99_ms:.2f} ms"
+    )
+    assert report.errors == 0
+    assert report.requests == 3000
+    assert report.throughput_rps > FLEET_FLOOR_RPS
+    # The scrape really aggregated across processes.
+    assert 'worker="fleet"' in metrics_text
+    assert batches > 0
+
+
+def test_open_loop_saturation_past_the_knee():
+    """Fixed-rate arrivals through and past the service's knee.
+
+    Below the knee the open-loop report shows (almost) pure 200s; at
+    2.5x measured capacity the service must shed with 429s — never
+    socket errors or silent drops — and arrival-to-completion latency
+    must visibly grow. Both rungs land in the artifact.
+    """
+    pool = standard_point_payloads(KERNELS, CONFIGS)
+
+    async def scenario():
+        service = GpuScaleService(
+            ServiceConfig(port=0, use_cache=False, queue_limit=16)
+        )
+        await service.start()
+        host, port = service.config.host, service.port
+        try:
+            capacity = await run_load(
+                host, port, pool, total=600, concurrency=16
+            )
+            below, past = await run_saturation(
+                host, port, pool,
+                rates_rps=[
+                    capacity.throughput_rps * 0.4,
+                    capacity.throughput_rps * 2.5,
+                ],
+                step_duration_s=1.5,
+                connections=64,
+            )
+            return capacity, below, past
+        finally:
+            await service.shutdown(drain=True)
+
+    capacity, below, past = asyncio.run(scenario())
+    _MEASUREMENTS["saturation"] = {
+        "capacity_rps": capacity.throughput_rps,
+        "below_knee": below.as_dict(),
+        "past_knee": past.as_dict(),
+    }
+
+    print(
+        f"\nservice saturation: capacity "
+        f"{capacity.throughput_rps:,.0f} rps; below knee "
+        f"shed {below.shed_rate:.1%} p99 {below.p99_ms:.1f} ms; "
+        f"past knee shed {past.shed_rate:.1%} "
+        f"p99 {past.p99_ms:.1f} ms"
+    )
+    assert below.errors == 0 and past.errors == 0
+    assert set(below.statuses) | set(past.statuses) <= {200, 429, 503}
+    # Below the knee: essentially everything is answered.
+    assert below.shed_rate < 0.1
+    assert below.statuses.get(200, 0) > 0
+    # Past the knee: the service sheds with 429s, and the open-loop
+    # latency (arrival to completion) reflects the backlog.
+    assert past.statuses.get(429, 0) > 0
+    assert past.shed_rate > below.shed_rate
+    assert past.p99_ms > below.p50_ms
 
 
 def test_emit_trajectory_artifact():

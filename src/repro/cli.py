@@ -225,6 +225,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service.server import ServiceConfig, run_service
 
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}")
+        return 2
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -235,6 +238,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout_s=args.request_timeout,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        workers=args.workers,
     )
 
     async def main() -> None:
@@ -251,7 +255,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "gpuscale serve listening on "
                 f"http://{config.host}:{service.port} "
                 f"(engine={config.engine} max_batch={config.max_batch} "
-                f"max_wait_ms={config.max_wait_ms:g})",
+                f"max_wait_ms={config.max_wait_ms:g} "
+                f"workers={config.workers})",
                 flush=True,
             )
 
@@ -460,6 +465,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="S",
                        help="per-request service timeout in seconds; "
                        "beyond it requests get 503 (default: 30)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="engine worker processes; 1 serves "
+                       "in-process, N>1 runs a sharded fleet behind "
+                       "a router (default: 1)")
     add_cache_flags(serve)
 
     cache = sub.add_parser(

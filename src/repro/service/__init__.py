@@ -15,13 +15,20 @@ an inference stack:
   structured 400 errors.
 * :mod:`repro.service.metrics` — counters and latency/batch-size
   histograms rendered in Prometheus text format.
-* :mod:`repro.service.loadgen` — the load-generator harness behind the
-  service throughput benchmark.
+* :mod:`repro.service.router` / :mod:`repro.service.worker` /
+  :mod:`repro.service.transport` — the ``--workers N`` multi-process
+  fleet: a consistent-hash router in the serving process, N spawned
+  engine workers each running their own batcher, and the framed
+  shared-memory IPC between them.
+* :mod:`repro.service.loadgen` — the closed- and open-loop
+  load-generator harness behind the service throughput and
+  saturation benchmarks.
 
 ``gpuscale serve`` wires it all together.
 """
 
 from repro.service.batcher import (
+    DrainRateEstimator,
     GridQuery,
     MicroBatcher,
     OverloadError,
@@ -29,13 +36,26 @@ from repro.service.batcher import (
     ServiceClosedError,
     ServiceTimeoutError,
 )
-from repro.service.metrics import MetricsRegistry, ServiceMetrics
+from repro.service.metrics import (
+    MetricsRegistry,
+    ServiceMetrics,
+    render_fleet,
+)
+from repro.service.router import (
+    FleetExecutor,
+    HashRing,
+    WorkerUnavailableError,
+)
 from repro.service.schema import RequestError, SCHEMA_VERSION
 from repro.service.server import GpuScaleService, ServiceConfig
+from repro.service.worker import WorkerConfig
 
 __all__ = [
+    "DrainRateEstimator",
+    "FleetExecutor",
     "GpuScaleService",
     "GridQuery",
+    "HashRing",
     "MetricsRegistry",
     "MicroBatcher",
     "OverloadError",
@@ -46,4 +66,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceMetrics",
     "ServiceTimeoutError",
+    "WorkerConfig",
+    "WorkerUnavailableError",
+    "render_fleet",
 ]

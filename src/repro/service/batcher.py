@@ -61,7 +61,17 @@ DEFAULT_QUEUE_LIMIT = 1024
 
 
 class OverloadError(ReproError):
-    """The admission queue is full; the caller should shed load (429)."""
+    """The admission queue is full; the caller should shed load (429).
+
+    *retry_after* is the shedding side's own estimate (seconds) of when
+    the queue will have drained — computed from current depth and the
+    observed drain rate, never a hard-coded constant — and becomes the
+    429 response's ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ServiceTimeoutError(ReproError):
@@ -125,6 +135,53 @@ class GridResult:
 _STOP = object()
 
 
+class DrainRateEstimator:
+    """EWMA of how fast admitted queries get answered (queries/s).
+
+    Fed one sample per completed micro-batch; asked, on overload, how
+    long the current queue depth will take to drain. The estimate is
+    clamped to ``[floor_s, cap_s]`` so a cold or idle service still
+    gives a sane ``Retry-After`` and a pathological backlog never
+    tells clients to go away for hours.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        floor_s: float = 1.0,
+        cap_s: float = 60.0,
+    ):
+        self._alpha = alpha
+        self.floor_s = floor_s
+        self.cap_s = cap_s
+        self._rate_rps = 0.0
+        self._last_time: Optional[float] = None
+
+    @property
+    def rate_rps(self) -> float:
+        """Smoothed drain rate (0.0 until two samples have arrived)."""
+        return self._rate_rps
+
+    def record(self, answered: int, now: float) -> None:
+        """Fold in one batch of *answered* queries finishing at *now*."""
+        if self._last_time is not None and now > self._last_time:
+            instant = answered / (now - self._last_time)
+            if self._rate_rps <= 0.0:
+                self._rate_rps = instant
+            else:
+                self._rate_rps = (
+                    self._alpha * instant
+                    + (1.0 - self._alpha) * self._rate_rps
+                )
+        self._last_time = now
+
+    def retry_after_s(self, depth: int) -> float:
+        """Seconds until a *depth*-deep queue should have drained."""
+        if depth <= 0 or self._rate_rps <= 0.0:
+            return self.floor_s
+        return min(max(depth / self._rate_rps, self.floor_s), self.cap_s)
+
+
 class MicroBatcher:
     """Coalesce concurrent queries into batched engine calls.
 
@@ -167,6 +224,7 @@ class MicroBatcher:
         self._collector: Optional[asyncio.Task] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._closed = True
+        self._drain_rate = DrainRateEstimator()
         self.batches_dispatched = 0
         self.queries_answered = 0
 
@@ -227,6 +285,10 @@ class MicroBatcher:
         """Queries waiting in the admission queue."""
         return 0 if self._queue is None else self._queue.qsize()
 
+    def retry_after_s(self) -> float:
+        """How long a shed caller should back off, from live state."""
+        return self._drain_rate.retry_after_s(self.pending)
+
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
@@ -250,7 +312,10 @@ class MicroBatcher:
         if self._queue.qsize() >= self._queue_limit:
             raise OverloadError(
                 f"admission queue full ({self._queue_limit} queries); "
-                "retry with backoff"
+                "retry with backoff",
+                retry_after=self._drain_rate.retry_after_s(
+                    self._queue.qsize()
+                ),
             )
         future: asyncio.Future = (
             asyncio.get_running_loop().create_future()
@@ -314,6 +379,7 @@ class MicroBatcher:
         )
         self.batches_dispatched += 1
         self.queries_answered += len(batch)
+        self._drain_rate.record(len(batch), loop.time())
         if self._metrics is not None:
             self._metrics.record_batch(len(batch), shapes)
             for outcome, count in cache_stats.items():

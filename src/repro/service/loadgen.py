@@ -1,16 +1,23 @@
 """Load-generator harness for the query service.
 
-A stdlib-only closed-loop load generator: *concurrency* keep-alive
-connections each fire requests back-to-back until the shared request
-budget is spent, recording per-request wall-clock latency. The report
-carries sustained throughput plus p50/p99 latency — the numbers the
-service benchmark asserts floors on and records into the BENCH
-trajectory.
+Two stdlib-only traffic shapes:
+
+* **closed loop** (:func:`run_load`): *concurrency* keep-alive
+  connections each fire requests back-to-back until the shared budget
+  is spent. Offered load adapts to service speed, so this measures
+  *capacity* — the throughput floor the service benchmark asserts.
+* **open loop** (:func:`run_open_loop`): arrivals are scheduled at a
+  fixed rate regardless of completions, the way real traffic behaves.
+  Latency is measured from *scheduled arrival* to completion, so
+  client-side queueing counts — which is what makes the knee visible.
+  Past saturation the report carries shed rates (429/503 by status
+  code) instead of pretending throughput kept up.
+  :func:`run_saturation` steps a rate ladder through the knee.
 
 The client speaks the same minimal HTTP/1.1 the server does (one
 request line, a ``Content-Length`` body, keep-alive responses), so a
 measurement exercises the full production path: socket, parser,
-schema validation, micro-batcher, engine, JSON response.
+schema validation, router/micro-batcher, engine, JSON response.
 """
 
 from __future__ import annotations
@@ -20,6 +27,15 @@ import json
 import statistics
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+def _quantile_ms(latencies_s: Sequence[float], q: float) -> float:
+    """The *q*-quantile of a latency sample, in milliseconds."""
+    if not latencies_s:
+        return float("nan")
+    ordered = sorted(latencies_s)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank] * 1000.0
 
 
 @dataclass
@@ -38,13 +54,7 @@ class LoadReport:
 
     def latency_quantile_ms(self, q: float) -> float:
         """The *q*-quantile of request latency, in milliseconds."""
-        if not self.latencies_s:
-            return float("nan")
-        ordered = sorted(self.latencies_s)
-        rank = min(
-            len(ordered) - 1, max(0, round(q * (len(ordered) - 1)))
-        )
-        return ordered[rank] * 1000.0
+        return _quantile_ms(self.latencies_s, q)
 
     @property
     def p50_ms(self) -> float:
@@ -169,6 +179,208 @@ async def run_load(
         seconds=elapsed,
         latencies_s=flat,
     )
+
+
+@dataclass
+class OpenLoopReport:
+    """Outcome of one fixed-arrival-rate run."""
+
+    offered_rps: float
+    seconds: float
+    scheduled: int
+    completed: int
+    errors: int
+    unsent: int
+    statuses: Dict[int, int] = field(default_factory=dict)
+    latencies_s: List[float] = field(repr=False, default_factory=list)
+
+    @property
+    def achieved_rps(self) -> float:
+        """Completed requests per second of wall clock."""
+        return self.completed / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def shed(self) -> int:
+        """Requests the service refused under load (429 + 503)."""
+        return self.statuses.get(429, 0) + self.statuses.get(503, 0)
+
+    @property
+    def shed_rate(self) -> float:
+        """Refused fraction of everything that reached the wire."""
+        return self.shed / self.completed if self.completed else 0.0
+
+    def latency_quantile_ms(self, q: float) -> float:
+        """The *q*-quantile of arrival-to-completion latency (ms)."""
+        return _quantile_ms(self.latencies_s, q)
+
+    @property
+    def p50_ms(self) -> float:
+        """Median arrival-to-completion latency (milliseconds)."""
+        return self.latency_quantile_ms(0.50)
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile arrival-to-completion latency (ms)."""
+        return self.latency_quantile_ms(0.99)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly summary (no raw latency list)."""
+        return {
+            "offered_rps": self.offered_rps,
+            "achieved_rps": self.achieved_rps,
+            "seconds": self.seconds,
+            "scheduled": self.scheduled,
+            "completed": self.completed,
+            "errors": self.errors,
+            "unsent": self.unsent,
+            "statuses": {
+                str(status): count
+                for status, count in sorted(self.statuses.items())
+            },
+            "shed_rate": self.shed_rate,
+            "latency_ms": {
+                "p50": self.p50_ms,
+                "p99": self.p99_ms,
+            },
+        }
+
+
+async def run_open_loop(
+    host: str,
+    port: int,
+    requests: Sequence[bytes],
+    *,
+    rate_rps: float,
+    duration_s: float,
+    connections: int = 32,
+) -> OpenLoopReport:
+    """Offer *rate_rps* arrivals/s for *duration_s*, come what may.
+
+    A scheduler enqueues arrivals on a fixed clock; *connections*
+    keep-alive workers drain the arrival queue as fast as the service
+    answers. When the service falls behind, arrivals pile up in the
+    queue and their measured latency grows (arrival-to-completion) —
+    exactly the open-loop behaviour closed-loop harnesses hide. Every
+    response status is counted; arrivals still queued when the clock
+    runs out are reported as ``unsent``, not silently dropped.
+    """
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    if not requests:
+        raise ValueError("need at least one request payload")
+    loop = asyncio.get_running_loop()
+    arrivals: "asyncio.Queue" = asyncio.Queue()
+    total = max(1, int(rate_rps * duration_s))
+    statuses: Dict[int, int] = {}
+    latencies: List[float] = []
+    errors = 0
+    done = False
+
+    async def scheduler() -> None:
+        nonlocal done
+        start = loop.time()
+        for index in range(total):
+            target = start + index / rate_rps
+            delay = target - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            arrivals.put_nowait((index, target))
+        done = True
+
+    async def worker() -> None:
+        nonlocal errors
+        reader = writer = None
+        try:
+            while True:
+                if done and arrivals.empty():
+                    return
+                try:
+                    index, scheduled_at = await asyncio.wait_for(
+                        arrivals.get(), 0.05
+                    )
+                except asyncio.TimeoutError:
+                    continue
+                if writer is None:
+                    reader, writer = await asyncio.open_connection(
+                        host, port
+                    )
+                request = requests[index % len(requests)]
+                try:
+                    writer.write(request)
+                    await writer.drain()
+                    status, _body = await read_response(reader)
+                except (ConnectionError, OSError,
+                        asyncio.IncompleteReadError):
+                    errors += 1
+                    writer.close()
+                    reader = writer = None
+                    continue
+                latencies.append(loop.time() - scheduled_at)
+                statuses[status] = statuses.get(status, 0) + 1
+        finally:
+            if writer is not None:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    started = loop.time()
+    schedule = loop.create_task(scheduler())
+    # Workers stop once the schedule is exhausted *and* the queue is
+    # empty — but an overloaded run must end, so they get a grace
+    # period of one duration past the schedule, then the rest counts
+    # as unsent.
+    try:
+        await asyncio.wait_for(
+            asyncio.gather(schedule, *(
+                worker() for _ in range(connections)
+            )),
+            timeout=duration_s * 2 + 10.0,
+        )
+    except asyncio.TimeoutError:
+        pass
+    unsent = arrivals.qsize()
+    elapsed = loop.time() - started
+    return OpenLoopReport(
+        offered_rps=rate_rps,
+        seconds=elapsed,
+        scheduled=total,
+        completed=len(latencies),
+        errors=errors,
+        unsent=unsent,
+        statuses=statuses,
+        latencies_s=latencies,
+    )
+
+
+async def run_saturation(
+    host: str,
+    port: int,
+    requests: Sequence[bytes],
+    *,
+    rates_rps: Sequence[float],
+    step_duration_s: float = 2.0,
+    connections: int = 32,
+) -> List[OpenLoopReport]:
+    """Step an open-loop rate ladder through (and past) the knee.
+
+    Returns one report per offered rate, in order: below the knee
+    ``achieved_rps`` tracks ``offered_rps`` and the shed rate is ~0;
+    past it throughput plateaus, latency grows, and 429/503 counts
+    appear — the saturation curve the overload benchmark records.
+    """
+    reports = []
+    for rate in rates_rps:
+        reports.append(
+            await run_open_loop(
+                host, port, requests,
+                rate_rps=rate,
+                duration_s=step_duration_s,
+                connections=connections,
+            )
+        )
+    return reports
 
 
 def standard_point_payloads(

@@ -83,6 +83,18 @@ class Counter:
         """Current sample at *labels* (0 when never incremented)."""
         return self._values.get(labels, 0.0)
 
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-data copy (picklable; crosses process boundaries)."""
+        return {
+            "kind": self.kind,
+            "help": self.help_text,
+            "labelnames": list(self.labelnames),
+            "samples": [
+                [list(labels), value]
+                for labels, value in sorted(self._values.items())
+            ],
+        }
+
     def total(self) -> float:
         """Sum across every label combination."""
         return sum(self._values.values())
@@ -184,6 +196,17 @@ class Histogram:
                 return bound
         return self.buckets[-1] if self.buckets else float("inf")
 
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-data copy (picklable; crosses process boundaries)."""
+        return {
+            "kind": self.kind,
+            "help": self.help_text,
+            "buckets": list(self.buckets),
+            "counts": list(self._counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
     def render(self) -> List[str]:
         lines = [
             f"# HELP {self.name} {self.help_text}",
@@ -250,6 +273,140 @@ class MetricsRegistry:
             for name in sorted(self._metrics):
                 lines.extend(self._metrics[name].render())
         return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-data copies of every metric, keyed by name.
+
+        Taken under the registry lock, so one snapshot is internally
+        consistent; the result is picklable and is what fleet workers
+        ship to the router for :func:`render_fleet`.
+        """
+        with self._lock:
+            return {
+                name: metric.snapshot()
+                for name, metric in self._metrics.items()
+            }
+
+
+def _merge_histogram(
+    merged: Dict[str, object], snap: Dict[str, object]
+) -> None:
+    if merged["buckets"] != snap["buckets"]:
+        # Differently-bucketed twins cannot merge; keep the first.
+        return
+    merged["counts"] = [
+        a + b for a, b in zip(merged["counts"], snap["counts"])
+    ]
+    merged["sum"] += snap["sum"]
+    merged["count"] += snap["count"]
+
+
+def _render_snapshot_metric(
+    name: str,
+    snap: Dict[str, object],
+    worker: Optional[str],
+    with_meta: bool,
+) -> List[str]:
+    """Render one snapshotted metric, optionally labelled by worker."""
+    lines: List[str] = []
+    if with_meta:
+        lines.append(f"# HELP {name} {snap['help']}")
+        lines.append(f"# TYPE {name} {snap['kind']}")
+    prefix = [] if worker is None else [("worker", worker)]
+    if snap["kind"] == "histogram":
+        running = 0
+        counts = snap["counts"]
+        for bound, count in zip(snap["buckets"], counts):
+            running += count
+            labels = prefix + [("le", _format_value(bound))]
+            lines.append(f"{name}_bucket{_render_pairs(labels)} {running}")
+        labels = prefix + [("le", "+Inf")]
+        lines.append(
+            f"{name}_bucket{_render_pairs(labels)} {running + counts[-1]}"
+        )
+        lines.append(
+            f"{name}_sum{_render_pairs(prefix)} "
+            f"{_format_value(snap['sum'])}"
+        )
+        lines.append(f"{name}_count{_render_pairs(prefix)} {snap['count']}")
+        return lines
+    samples = snap["samples"]
+    if not samples and not snap["labelnames"] and worker is None:
+        lines.append(f"{name} 0")
+        return lines
+    for labelvalues, value in samples:
+        labels = prefix + list(zip(snap["labelnames"], labelvalues))
+        lines.append(
+            f"{name}{_render_pairs(labels)} {_format_value(value)}"
+        )
+    if not samples and not snap["labelnames"]:
+        lines.append(f"{name}{_render_pairs(prefix)} 0")
+    return lines
+
+
+def _render_pairs(pairs: List[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    rendered = ", ".join(
+        f'{label}="{_escape_label(str(value))}"' for label, value in pairs
+    )
+    return "{" + rendered + "}"
+
+
+def render_fleet(snapshots: Dict[str, Dict[str, Dict[str, object]]]) -> str:
+    """Aggregate per-process registry snapshots into one exposition.
+
+    *snapshots* maps a worker label (``"router"``, ``"0"``, ``"1"``,
+    ...) to that process's :meth:`MetricsRegistry.snapshot`. Every
+    series is re-emitted with a ``worker`` label, and a synthetic
+    ``worker="fleet"`` series carries the totals — counters and gauges
+    sum sample-wise, histograms merge bucket-wise — so one scrape
+    shows both the per-worker breakdown and the fleet aggregate under
+    the metric's single HELP/TYPE header (what keeps the exposition
+    format valid across N processes).
+    """
+    names = sorted({n for snap in snapshots.values() for n in snap})
+    lines: List[str] = []
+    for name in names:
+        merged: Optional[Dict[str, object]] = None
+        first = True
+        for worker in sorted(snapshots):
+            snap = snapshots[worker].get(name)
+            if snap is None:
+                continue
+            lines.extend(
+                _render_snapshot_metric(name, snap, worker, first)
+            )
+            first = False
+            if merged is None:
+                merged = {
+                    key: (list(value) if isinstance(value, list) else value)
+                    for key, value in snap.items()
+                }
+                if "samples" in snap:
+                    merged["samples"] = [
+                        [list(labels), value]
+                        for labels, value in snap["samples"]
+                    ]
+            elif snap["kind"] == "histogram":
+                _merge_histogram(merged, snap)
+            else:
+                totals = {
+                    tuple(labels): value
+                    for labels, value in merged["samples"]
+                }
+                for labels, value in snap["samples"]:
+                    key = tuple(labels)
+                    totals[key] = totals.get(key, 0.0) + value
+                merged["samples"] = [
+                    [list(labels), value]
+                    for labels, value in sorted(totals.items())
+                ]
+        if merged is not None:
+            lines.extend(
+                _render_snapshot_metric(name, merged, "fleet", False)
+            )
+    return "\n".join(lines) + "\n"
 
 
 class ServiceMetrics:

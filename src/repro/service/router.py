@@ -1,0 +1,579 @@
+"""The fleet router: shard, dispatch, supervise, drain.
+
+:class:`FleetExecutor` gives ``gpuscale serve --workers N`` the same
+four-method surface the in-process :class:`~repro.service.batcher.
+MicroBatcher` exposes (``start`` / ``submit`` / ``stop`` /
+``pending``), which is the seam that lets :mod:`repro.service.server`
+run identically in both modes. Behind that surface it owns N spawned
+engine-worker processes (:mod:`repro.service.worker`), one socketpair
+each, and routes every validated query with a consistent-hash ring:
+
+* **grid queries** shard by the ``(space, engine)`` fingerprint — the
+  same canonical-JSON hash the sweep cache keys on — so every query
+  against one surface lands on one worker. That single placement rule
+  is what makes the fleet's cache single-flight *by construction*:
+  concurrent misses for a fingerprint all queue on the same worker's
+  batcher, which coalesces them into one study call and one cache
+  write, fleet-wide.
+* **point queries** shard by ``(kernel, config)`` so duplicates keep
+  hitting the same batcher's dedup map.
+
+Supervision: a reader task per worker detects death as EOF, respawns
+the process, and resubmits that worker's in-flight queries — queries
+are pure computations, so replaying them is safe and invisible to the
+HTTP caller (they keep awaiting the same future). Graceful shutdown
+first answers everything admitted (restarting any worker that dies
+mid-drain), then sends each worker a ``drain`` frame and joins it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import itertools
+import socket
+from multiprocessing import get_context
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.service import transport
+from repro.service.batcher import (
+    DrainRateEstimator,
+    GridQuery,
+    OverloadError,
+    PointQuery,
+    PointResult,
+    GridResult,
+    Query,
+    ServiceClosedError,
+    ServiceTimeoutError,
+)
+from repro.service.metrics import render_fleet
+from repro.service.worker import WorkerConfig, worker_main
+
+#: How long to wait for a freshly spawned worker's ``ready`` frame.
+WORKER_START_TIMEOUT_S = 30.0
+
+#: How long a worker gets to ack a ``drain`` frame before termination.
+WORKER_DRAIN_TIMEOUT_S = 30.0
+
+#: Consecutive failed (re)spawns before a shard is declared lost.
+MAX_RESTART_ATTEMPTS = 3
+
+#: Virtual nodes per worker on the hash ring.
+VNODES_PER_WORKER = 64
+
+
+class WorkerUnavailableError(ReproError):
+    """A shard's worker could not be (re)started; its queries fail."""
+
+
+def _hash64(key: str) -> int:
+    digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent hashing of shard keys onto worker indices.
+
+    *Virtual nodes* smooth the per-worker share; the mapping depends
+    only on ``(n_workers, vnodes)``, so every router instance with the
+    same fleet size routes identically (and a restarted worker keeps
+    exactly its old shard — restarts never reshuffle placement).
+    """
+
+    def __init__(
+        self, n_workers: int, vnodes: int = VNODES_PER_WORKER
+    ):
+        if n_workers < 1:
+            raise ValueError(f"need >= 1 worker, got {n_workers}")
+        points: List[Tuple[int, int]] = []
+        for worker in range(n_workers):
+            for vnode in range(vnodes):
+                points.append((_hash64(f"{worker}:{vnode}"), worker))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [w for _, w in points]
+
+    def lookup(self, key: str) -> int:
+        """The worker index owning *key*."""
+        index = bisect.bisect(self._hashes, _hash64(key))
+        return self._owners[index % len(self._owners)]
+
+
+class _WorkerHandle:
+    """Router-side state of one worker process."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.process = None
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.supervisor: Optional[asyncio.Task] = None
+        self.connected = False
+        self.lost = False  # true once restarts are exhausted
+        self.draining = False
+        self.restarts = 0
+        self.pid: Optional[int] = None
+        self.drain_rate = DrainRateEstimator()
+        #: request_id -> (payload, future, timeout); the resubmission
+        #: source of truth when the process dies.
+        self.inflight: Dict[int, Tuple[Any, asyncio.Future, Any]] = {}
+        #: request_id -> future for ping/metrics/drain round-trips.
+        self.control: Dict[int, asyncio.Future] = {}
+
+
+class FleetExecutor:
+    """N worker processes behind the MicroBatcher's submit surface."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        engine: str = "interval",
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+        queue_limit: int = 1024,
+        use_cache: bool = True,
+        cache_dir: Optional[str] = None,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"need >= 1 worker, got {n_workers}")
+        self.n_workers = n_workers
+        self._engine = engine
+        self._worker_config = dict(
+            engine=engine,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            queue_limit=queue_limit,
+            use_cache=use_cache,
+            cache_dir=cache_dir,
+        )
+        # The router admits a bounded number of queries per worker; the
+        # worker's own queue_limit stays the authoritative 429 source
+        # (it knows its drain rate), this cap just bounds router memory
+        # if a worker stalls.
+        self._inflight_limit = queue_limit + 4 * max_batch
+        self._ring = HashRing(n_workers)
+        self._handles = [_WorkerHandle(i) for i in range(n_workers)]
+        self._ctx = get_context("spawn")
+        self._request_ids = itertools.count(1)
+        self._engine_digest: Optional[str] = None
+        self._space_digests: Dict[Any, str] = {}
+        self._closed = True
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """True while the fleet accepts queries."""
+        return not self._closed and not self._draining
+
+    @property
+    def pending(self) -> int:
+        """Queries admitted by the router and not yet answered."""
+        return sum(len(h.inflight) for h in self._handles)
+
+    async def start(self) -> None:
+        """Spawn every worker and wait for all ``ready`` frames."""
+        self._closed = False
+        await asyncio.gather(
+            *(self._spawn(handle) for handle in self._handles)
+        )
+        for handle in self._handles:
+            handle.supervisor = asyncio.get_running_loop().create_task(
+                self._supervise(handle)
+            )
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the fleet.
+
+        ``drain=True``: refuse new work, answer every admitted query
+        (restarting any worker that dies mid-drain), then hand each
+        worker a ``drain`` frame so its own batcher drains, and join
+        the processes. ``drain=False``: fail in-flight queries with
+        :class:`ServiceClosedError` and terminate immediately.
+        """
+        if self._closed and not any(h.process for h in self._handles):
+            return
+        self._draining = True
+        if drain:
+            await self._await_inflight()
+            self._closed = True
+            await asyncio.gather(
+                *(self._drain_worker(h) for h in self._handles)
+            )
+        else:
+            self._closed = True
+            for handle in self._handles:
+                for request_id in list(handle.inflight):
+                    entry = handle.inflight.pop(request_id, None)
+                    if entry is not None and not entry[1].done():
+                        entry[1].set_exception(
+                            ServiceClosedError("service shut down")
+                        )
+        for handle in self._handles:
+            if handle.supervisor is not None:
+                handle.supervisor.cancel()
+        await asyncio.gather(
+            *(
+                h.supervisor
+                for h in self._handles
+                if h.supervisor is not None
+            ),
+            return_exceptions=True,
+        )
+        for handle in self._handles:
+            await self._dispose(handle, force=not drain)
+
+    async def _await_inflight(self) -> None:
+        """Wait until every admitted query has an answer."""
+        while True:
+            futures = [
+                entry[1]
+                for handle in self._handles
+                for entry in list(handle.inflight.values())
+            ]
+            futures = [f for f in futures if not f.done()]
+            if not futures:
+                return
+            await asyncio.wait(futures)
+            # Let reader callbacks pop answered entries before rescan.
+            await asyncio.sleep(0)
+
+    async def _drain_worker(self, handle: _WorkerHandle) -> None:
+        handle.draining = True
+        if not handle.connected:
+            return
+        try:
+            await asyncio.wait_for(
+                self._control_roundtrip(handle, "drain"),
+                WORKER_DRAIN_TIMEOUT_S,
+            )
+        except (asyncio.TimeoutError, ReproError, ConnectionError):
+            pass  # _dispose falls back to terminate + join
+
+    async def _dispose(
+        self, handle: _WorkerHandle, force: bool
+    ) -> None:
+        """Close the socket and join (or kill) the process."""
+        handle.connected = False
+        if handle.writer is not None:
+            handle.writer.close()
+            try:
+                await handle.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            handle.writer = None
+        process = handle.process
+        if process is None:
+            return
+        loop = asyncio.get_running_loop()
+        if force and process.is_alive():
+            process.terminate()
+        await loop.run_in_executor(None, process.join, 10)
+        if process.is_alive():
+            process.kill()
+            await loop.run_in_executor(None, process.join, 10)
+        handle.process = None
+
+    # ------------------------------------------------------------------
+    # Spawning and supervision
+    # ------------------------------------------------------------------
+
+    async def _spawn(self, handle: _WorkerHandle) -> None:
+        """Start (or replace) *handle*'s process; await its ready frame."""
+        parent_sock, child_sock = socket.socketpair()
+        config = WorkerConfig(
+            worker_id=handle.index, **self._worker_config
+        )
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_sock, config),
+            name=f"gpuscale-worker-{handle.index}",
+            daemon=True,
+        )
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, process.start)
+        child_sock.close()
+        reader, writer = await asyncio.open_connection(sock=parent_sock)
+        frame = await asyncio.wait_for(
+            transport.read_frame(reader), WORKER_START_TIMEOUT_S
+        )
+        if frame is None or frame[0] != "ready":
+            writer.close()
+            process.terminate()
+            raise WorkerUnavailableError(
+                f"worker {handle.index} never reported ready "
+                f"(got {frame!r})"
+            )
+        handle.process = process
+        handle.reader = reader
+        handle.writer = writer
+        handle.pid = frame[2]
+        handle.connected = True
+
+    async def _supervise(self, handle: _WorkerHandle) -> None:
+        """Read frames until shutdown, restarting a dead worker."""
+        while True:
+            frame = None
+            try:
+                frame = await transport.read_frame(handle.reader)
+            except (transport.TransportError, ConnectionError, OSError):
+                frame = None
+            if frame is not None:
+                self._handle_frame(handle, frame)
+                continue
+            # EOF: the worker died (or exited after a drain ack).
+            handle.connected = False
+            if self._closed or (
+                handle.draining and not handle.inflight
+            ):
+                return
+            await self._restart(handle)
+            if handle.lost:
+                return
+
+    async def _restart(self, handle: _WorkerHandle) -> None:
+        """Respawn *handle*'s worker and resubmit its in-flight work."""
+        await self._dispose(handle, force=True)
+        for request_id in list(handle.control):
+            future = handle.control.pop(request_id, None)
+            if future is not None and not future.done():
+                future.set_exception(
+                    WorkerUnavailableError(
+                        f"worker {handle.index} died mid-request"
+                    )
+                )
+        for attempt in range(MAX_RESTART_ATTEMPTS):
+            try:
+                await self._spawn(handle)
+            except (ReproError, OSError, asyncio.TimeoutError):
+                await asyncio.sleep(0.2 * (attempt + 1))
+                continue
+            handle.restarts += 1
+            self._resubmit(handle)
+            return
+        handle.lost = True
+        for request_id in list(handle.inflight):
+            entry = handle.inflight.pop(request_id, None)
+            if entry is not None and not entry[1].done():
+                entry[1].set_exception(
+                    WorkerUnavailableError(
+                        f"worker {handle.index} could not be restarted "
+                        f"after {MAX_RESTART_ATTEMPTS} attempts"
+                    )
+                )
+
+    def _resubmit(self, handle: _WorkerHandle) -> None:
+        """Replay in-flight queries onto a freshly restarted worker.
+
+        Safe because queries are pure, deterministic computations: the
+        caller keeps awaiting the same future and cannot observe the
+        replay (results are bit-identical by the engine's determinism).
+        """
+        for request_id in list(handle.inflight):
+            entry = handle.inflight.get(request_id)
+            if entry is None:
+                continue
+            payload, future, timeout = entry
+            if future.done():  # caller timed out while worker was down
+                handle.inflight.pop(request_id, None)
+                continue
+            self._send(handle, ("query", request_id, payload, timeout))
+
+    def _send(
+        self, handle: _WorkerHandle, frame: Tuple[Any, ...]
+    ) -> None:
+        """Best-effort frame write; a dead socket is the supervisor's
+        problem (EOF -> restart -> resubmit), not the submitter's."""
+        if not handle.connected or handle.writer is None:
+            return
+        try:
+            transport.send_frame(handle.writer, frame)
+        except (ConnectionError, OSError, RuntimeError):
+            handle.connected = False
+
+    def _handle_frame(
+        self, handle: _WorkerHandle, frame: Tuple[Any, ...]
+    ) -> None:
+        kind = frame[0]
+        if kind == "result":
+            _, request_id, encoded = frame
+            entry = handle.inflight.pop(request_id, None)
+            handle.drain_rate.record(
+                1, asyncio.get_running_loop().time()
+            )
+            if entry is None or entry[1].done():
+                transport.release_result(encoded)
+                return
+            try:
+                entry[1].set_result(transport.decode_result(encoded))
+            except ReproError as exc:
+                entry[1].set_exception(exc)
+        elif kind == "error":
+            _, request_id, code, message, extra = frame
+            entry = handle.inflight.pop(request_id, None)
+            if entry is None or entry[1].done():
+                return
+            entry[1].set_exception(
+                transport.decode_error(code, message, extra)
+            )
+        elif kind in ("pong", "metrics", "drained"):
+            future = handle.control.pop(frame[1], None)
+            if future is not None and not future.done():
+                future.set_result(frame)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def _space_digest(self, space) -> str:
+        """Cache ``(space, engine)`` fingerprints by space identity."""
+        digest = self._space_digests.get(space)
+        if digest is None:
+            from repro.gpu.engine import engine_fingerprint
+            from repro.sweep.cache import fingerprint_blob
+
+            if self._engine_digest is None:
+                self._engine_digest = fingerprint_blob(
+                    {"engine": engine_fingerprint(self._engine)}
+                )
+            digest = fingerprint_blob(
+                {
+                    "space": space.to_dict(),
+                    "engine": self._engine_digest,
+                }
+            )
+            self._space_digests[space] = digest
+        return digest
+
+    def shard_key(self, query: Query) -> str:
+        """The consistent-hash key: ``(space, engine)`` fingerprint
+        for grids, ``(kernel, config)`` identity for points."""
+        if isinstance(query, GridQuery):
+            return f"g|{self._space_digest(query.space)}"
+        config = query.config
+        return (
+            f"p|{query.kernel.full_name}|{config.cu_count}"
+            f"|{config.engine_mhz}|{config.memory_mhz}"
+        )
+
+    def worker_for(self, query: Query) -> int:
+        """Which worker index *query* routes to (exposed for tests)."""
+        return self._ring.lookup(self.shard_key(query))
+
+    async def submit(
+        self, query: Query, timeout: Optional[float] = None
+    ) -> Union[PointResult, GridResult]:
+        """Route *query* to its shard's worker; await the answer."""
+        if not isinstance(query, (PointQuery, GridQuery)):
+            raise TypeError(f"not a query: {query!r}")
+        if self._closed or self._draining:
+            raise ServiceClosedError(
+                "service is shutting down; no new queries admitted"
+            )
+        handle = self._handles[self.worker_for(query)]
+        if handle.lost:
+            raise WorkerUnavailableError(
+                f"worker {handle.index} is down and could not be "
+                "restarted"
+            )
+        if len(handle.inflight) >= self._inflight_limit:
+            raise OverloadError(
+                f"worker {handle.index} has {len(handle.inflight)} "
+                "queries in flight; retry with backoff",
+                retry_after=handle.drain_rate.retry_after_s(
+                    len(handle.inflight)
+                ),
+            )
+        request_id = next(self._request_ids)
+        future = asyncio.get_running_loop().create_future()
+        payload = transport.encode_query(query)
+        handle.inflight[request_id] = (payload, future, timeout)
+        self._send(handle, ("query", request_id, payload, timeout))
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            handle.inflight.pop(request_id, None)
+            raise ServiceTimeoutError(
+                f"query timed out after {timeout}s in the service"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Health and metrics
+    # ------------------------------------------------------------------
+
+    async def _control_roundtrip(
+        self, handle: _WorkerHandle, kind: str
+    ) -> Tuple[Any, ...]:
+        if not handle.connected:
+            raise WorkerUnavailableError(
+                f"worker {handle.index} is not connected"
+            )
+        request_id = next(self._request_ids)
+        future = asyncio.get_running_loop().create_future()
+        handle.control[request_id] = future
+        self._send(handle, (kind, request_id))
+        try:
+            return await future
+        finally:
+            handle.control.pop(request_id, None)
+
+    def worker_states(self) -> List[Dict[str, Any]]:
+        """Per-worker liveness for ``/healthz``."""
+        states = []
+        for handle in self._handles:
+            alive = (
+                handle.process is not None
+                and handle.process.is_alive()
+                and handle.connected
+            )
+            states.append(
+                {
+                    "worker": handle.index,
+                    "pid": handle.pid,
+                    "alive": bool(alive),
+                    "restarts": handle.restarts,
+                    "inflight": len(handle.inflight),
+                }
+            )
+        return states
+
+    async def render_metrics(self, router_registry) -> str:
+        """The fleet-wide ``/metrics`` exposition.
+
+        Collects a snapshot from every reachable worker (a worker that
+        fails to answer within 2 s is skipped — a scrape must never
+        hang on a dying process) and merges them with the router's own
+        registry under per-worker labels plus ``worker="fleet"``
+        totals.
+        """
+        snapshots = {"router": router_registry.snapshot()}
+
+        async def collect(handle: _WorkerHandle) -> None:
+            try:
+                frame = await asyncio.wait_for(
+                    self._control_roundtrip(handle, "metrics"), 2.0
+                )
+                snapshots[str(handle.index)] = frame[2]
+            except (
+                asyncio.TimeoutError, ReproError, ConnectionError,
+            ):
+                pass
+
+        await asyncio.gather(
+            *(collect(handle) for handle in self._handles)
+        )
+        return render_fleet(snapshots)
+
+    def retry_after_s(self) -> float:
+        """Backoff hint across the fleet: the worst per-worker drain."""
+        return max(
+            handle.drain_rate.retry_after_s(len(handle.inflight))
+            for handle in self._handles
+        )

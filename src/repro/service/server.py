@@ -16,11 +16,21 @@ endpoint              method  answers
 ``/metrics``          GET     Prometheus text exposition
 ====================  ======  =========================================
 
+The service is layered so both serving modes share one code path:
+socket handling and HTTP parsing live here, request validation in
+:mod:`repro.service.schema`, and query execution behind an *executor*
+seam — anything with ``start`` / ``submit`` / ``stop`` / ``pending``.
+With ``workers <= 1`` the executor is the in-process
+:class:`~repro.service.batcher.MicroBatcher`; with ``workers > 1`` it
+is a :class:`~repro.service.router.FleetExecutor` sharding queries
+onto worker processes. Endpoint handlers cannot tell the difference.
+
 Overload semantics (see DESIGN.md "Service architecture"): a full
-admission queue answers 429, a per-request timeout or a draining
-server answers 503, malformed bodies answer structured 400s from
-:mod:`repro.service.schema`. Shutdown is graceful by default: the
-listener closes, in-flight requests finish, the batcher drains, and
+admission queue answers 429 with a ``Retry-After`` computed from the
+queue's depth and observed drain rate, a per-request timeout or a
+draining server answers 503, malformed bodies answer structured 400s
+from :mod:`repro.service.schema`. Shutdown is graceful by default: the
+listener closes, in-flight requests finish, the executor drains, and
 only then do idle keep-alive connections get torn down.
 """
 
@@ -28,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
@@ -80,7 +91,14 @@ class _HttpViolation(Exception):
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Knobs of one ``gpuscale serve`` instance."""
+    """Knobs of one ``gpuscale serve`` instance.
+
+    ``workers`` selects the serving mode: ``1`` (the default) runs the
+    batcher in-process; ``N > 1`` runs a router in this process and
+    ``N`` spawned engine-worker processes, each with its own batcher
+    configured by the same ``max_batch`` / ``max_wait_ms`` /
+    ``queue_limit`` knobs.
+    """
 
     host: str = "127.0.0.1"
     port: int = 8000
@@ -91,6 +109,7 @@ class ServiceConfig:
     request_timeout_s: float = 30.0
     use_cache: bool = True
     cache_dir: Optional[str] = None
+    workers: int = 1
 
 
 def _error_payload(code: str, message: str) -> Dict[str, Any]:
@@ -98,7 +117,14 @@ def _error_payload(code: str, message: str) -> Dict[str, Any]:
 
 
 class GpuScaleService:
-    """One serving instance: listener + batcher + metrics."""
+    """One serving instance: listener + executor + metrics.
+
+    ``self.executor`` is the query-execution seam — a
+    :class:`MicroBatcher` (single-process) or a
+    :class:`~repro.service.router.FleetExecutor` (``workers > 1``).
+    ``self.batcher`` stays as an alias for the single-process case and
+    backwards compatibility.
+    """
 
     def __init__(
         self,
@@ -107,23 +133,45 @@ class GpuScaleService:
         cache: Optional[Any] = None,
         metrics: Optional[ServiceMetrics] = None,
     ):
-        from repro.gpu.simulator import GpuSimulator
-
         self.config = config
         self.metrics = metrics or ServiceMetrics()
-        self._simulator = simulator or GpuSimulator(config.engine)
-        if cache is None and config.use_cache:
-            from repro.sweep.cache import SweepCache
+        self.fleet = None
+        if config.workers > 1:
+            if simulator is not None or cache is not None:
+                raise ValueError(
+                    "fleet mode builds per-worker simulators and "
+                    "caches; injecting them is single-process only"
+                )
+            from repro.service.router import FleetExecutor
 
-            cache = SweepCache(config.cache_dir)
-        self.batcher = MicroBatcher(
-            self._simulator,
-            max_batch=config.max_batch,
-            max_wait_ms=config.max_wait_ms,
-            queue_limit=config.queue_limit,
-            cache=cache,
-            metrics=self.metrics,
-        )
+            self._simulator = None
+            self.fleet = FleetExecutor(
+                config.workers,
+                engine=config.engine,
+                max_batch=config.max_batch,
+                max_wait_ms=config.max_wait_ms,
+                queue_limit=config.queue_limit,
+                use_cache=config.use_cache,
+                cache_dir=config.cache_dir,
+            )
+            self.executor: Any = self.fleet
+        else:
+            from repro.gpu.simulator import GpuSimulator
+
+            self._simulator = simulator or GpuSimulator(config.engine)
+            if cache is None and config.use_cache:
+                from repro.sweep.cache import SweepCache
+
+                cache = SweepCache(config.cache_dir)
+            self.executor = MicroBatcher(
+                self._simulator,
+                max_batch=config.max_batch,
+                max_wait_ms=config.max_wait_ms,
+                queue_limit=config.queue_limit,
+                cache=cache,
+                metrics=self.metrics,
+            )
+        self.batcher = self.executor
         self._server: Optional[asyncio.AbstractServer] = None
         self._draining = False
         self._inflight = 0
@@ -148,8 +196,8 @@ class GpuScaleService:
         return self._draining
 
     async def start(self) -> None:
-        """Start the batcher and bind the listener."""
-        await self.batcher.start()
+        """Start the executor (batcher or fleet), bind the listener."""
+        await self.executor.start()
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.config.host,
@@ -175,7 +223,7 @@ class GpuScaleService:
             await self._server.wait_closed()
         if drain:
             await self._idle.wait()
-        await self.batcher.stop(drain=drain)
+        await self.executor.stop(drain=drain)
         for task in list(self._connections):
             task.cancel()
         if self._connections:
@@ -398,7 +446,7 @@ class GpuScaleService:
                 429,
                 json.dumps(_error_payload("overloaded", str(exc))),
                 "application/json",
-                {"Retry-After": "1"},
+                {"Retry-After": str(self._retry_after_s(exc))},
             )
         except ServiceTimeoutError as exc:
             self.metrics.record_rejection("timeout")
@@ -462,6 +510,22 @@ class GpuScaleService:
             )
         return status, json.dumps(response), "application/json", None
 
+    def _retry_after_s(self, exc: OverloadError) -> int:
+        """Whole seconds for the 429 ``Retry-After`` header.
+
+        Prefers the estimate the shedding component attached to the
+        exception (queue depth / observed drain rate); falls back to
+        asking the executor live, then to one second.
+        """
+        estimate = getattr(exc, "retry_after", None)
+        if estimate is None:
+            probe = getattr(self.executor, "retry_after_s", None)
+            if probe is not None:
+                estimate = probe()
+        if estimate is None or not estimate > 0:
+            estimate = 1.0
+        return max(1, math.ceil(estimate))
+
     @staticmethod
     def _decode_json(body: bytes) -> Any:
         if not body:
@@ -481,15 +545,30 @@ class GpuScaleService:
 
     async def _get_healthz(self) -> Tuple[int, Dict[str, Any]]:
         status = "draining" if self._draining else "ok"
-        return 200, {
+        payload: Dict[str, Any] = {
             "status": status,
             "engine": getattr(
                 self._simulator, "engine_name", self.config.engine
-            ),
-            "queue_depth": self.batcher.pending,
+            )
+            or self.config.engine,
+            "queue_depth": self.executor.pending,
         }
+        if self.fleet is not None:
+            states = self.fleet.worker_states()
+            payload["workers"] = states
+            if not self._draining and not all(
+                state["alive"] for state in states
+            ):
+                # A dead worker is being restarted (or its shard is
+                # lost); either way the fleet is not fully healthy.
+                payload["status"] = "degraded"
+        return 200, payload
 
     async def _get_metrics(self) -> Tuple[int, str]:
+        if self.fleet is not None:
+            return 200, await self.fleet.render_metrics(
+                self.metrics.registry
+            )
         return 200, self.metrics.render()
 
     async def _get_engines(self) -> Tuple[int, Dict[str, Any]]:
@@ -513,7 +592,7 @@ class GpuScaleService:
         request = schema.parse_simulate(payload)
         timeout = self.config.request_timeout_s
         if request.is_grid:
-            result = await self.batcher.submit(
+            result = await self.executor.submit(
                 GridQuery(kernel=request.kernel, space=request.space),
                 timeout=timeout,
             )
@@ -529,7 +608,7 @@ class GpuScaleService:
                 "time_s": result.time_s.tolist(),
                 "from_cache": result.from_cache,
             }
-        result = await self.batcher.submit(
+        result = await self.executor.submit(
             PointQuery(kernel=request.kernel, config=request.config),
             timeout=timeout,
         )
@@ -553,7 +632,7 @@ class GpuScaleService:
         from repro.taxonomy.explain import explain_label
 
         request = schema.parse_classify(payload)
-        result = await self.batcher.submit(
+        result = await self.executor.submit(
             GridQuery(kernel=request.kernel, space=request.space),
             timeout=self.config.request_timeout_s,
         )
@@ -594,7 +673,7 @@ class GpuScaleService:
             for scenario in STANDARD_SCENARIOS
         ]
         results = await asyncio.gather(
-            *(self.batcher.submit(q, timeout=timeout) for q in queries)
+            *(self.executor.submit(q, timeout=timeout) for q in queries)
         )
         baseline = results[0].items_per_second
         scenarios = sorted(

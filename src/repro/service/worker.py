@@ -1,0 +1,144 @@
+"""One engine-worker process of the ``--workers N`` fleet.
+
+A worker is deliberately thin: it owns a :class:`~repro.service.
+batcher.MicroBatcher` (and therefore an engine instance, a worker
+thread, and optionally a sweep-cache handle) and speaks the
+:mod:`repro.service.transport` frame protocol over the socketpair its
+router passed in. All HTTP parsing, validation, sharding, and
+supervision stay on the router side — the worker only ever sees
+already-validated queries, which is what lets the single- and
+multi-process modes share the batcher code path unchanged.
+
+Lifecycle: announce ``("ready", worker_id, pid)`` once the batcher is
+up, answer ``query``/``ping``/``metrics`` frames until either a
+``drain`` frame arrives (finish everything admitted, ack with
+``drained``, exit 0) or the socket hits EOF (the router died — tear
+down without draining so a killed fleet leaves no orphans).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.service import transport
+from repro.service.batcher import MicroBatcher
+from repro.service.metrics import ServiceMetrics
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything one worker needs, picklable for the spawn context."""
+
+    worker_id: int
+    engine: str = "interval"
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    queue_limit: int = 1024
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+
+
+def worker_main(sock: socket.socket, config: WorkerConfig) -> None:
+    """Process entry point (target of ``multiprocessing.Process``)."""
+    try:
+        asyncio.run(serve_worker(sock, config))
+    except KeyboardInterrupt:
+        pass
+
+
+async def serve_worker(
+    sock: socket.socket, config: WorkerConfig
+) -> None:
+    """Run one worker until drained or orphaned."""
+    from repro.gpu.simulator import GpuSimulator
+
+    reader, writer = await asyncio.open_connection(sock=sock)
+    simulator = GpuSimulator(config.engine)
+    cache = None
+    if config.use_cache:
+        from repro.sweep.cache import SweepCache
+
+        cache = SweepCache(config.cache_dir)
+    metrics = ServiceMetrics()
+    batcher = MicroBatcher(
+        simulator,
+        max_batch=config.max_batch,
+        max_wait_ms=config.max_wait_ms,
+        queue_limit=config.queue_limit,
+        cache=cache,
+        metrics=metrics,
+    )
+    await batcher.start()
+
+    loop = asyncio.get_running_loop()
+    tasks: "set[asyncio.Task]" = set()
+
+    async def answer(request_id: int, payload, timeout) -> None:
+        try:
+            query = transport.decode_query(payload)
+            result = await batcher.submit(query, timeout=timeout)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            code, message, extra = transport.encode_error(exc)
+            frame = ("error", request_id, code, message, extra)
+        else:
+            frame = ("result", request_id, transport.encode_result(result))
+        transport.send_frame(writer, frame)
+        await writer.drain()
+
+    transport.send_frame(writer, ("ready", config.worker_id, os.getpid()))
+    await writer.drain()
+
+    drained = False
+    try:
+        while True:
+            try:
+                frame = await transport.read_frame(reader)
+            except (transport.TransportError, ConnectionError):
+                break
+            if frame is None:  # router closed: we are orphaned
+                break
+            kind = frame[0]
+            if kind == "query":
+                _, request_id, payload, timeout = frame
+                task = loop.create_task(
+                    answer(request_id, payload, timeout)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            elif kind == "ping":
+                transport.send_frame(writer, ("pong", frame[1]))
+                await writer.drain()
+            elif kind == "metrics":
+                transport.send_frame(
+                    writer,
+                    ("metrics", frame[1], metrics.registry.snapshot()),
+                )
+                await writer.drain()
+            elif kind == "drain":
+                if tasks:
+                    await asyncio.gather(
+                        *list(tasks), return_exceptions=True
+                    )
+                await batcher.stop(drain=True)
+                drained = True
+                transport.send_frame(writer, ("drained", frame[1]))
+                await writer.drain()
+                break
+    finally:
+        for task in list(tasks):
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*list(tasks), return_exceptions=True)
+        if not drained and batcher.running:
+            await batcher.stop(drain=False)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -92,12 +92,26 @@ def all_kernels(suite_name: Optional[str] = None) -> List[Kernel]:
     return kernels
 
 
+@lru_cache(maxsize=1)
+def _kernel_index() -> Dict[str, Kernel]:
+    """``full_name`` -> kernel, built once from the canonical order.
+
+    The query service resolves thousands of kernel references per
+    second through :func:`kernel_by_name`; a linear scan over 267
+    kernels per lookup is measurable there, a dict hit is not. The
+    index also pins object identity: every lookup of one name returns
+    the *same* :class:`Kernel` instance, which keeps request payloads
+    cheap to compare and hash.
+    """
+    return {kernel.full_name: kernel for kernel in all_kernels()}
+
+
 def kernel_by_name(full_name: str) -> Kernel:
     """Look up one kernel by its ``suite/program.kernel`` identifier."""
-    for kernel in all_kernels():
-        if kernel.full_name == full_name:
-            return kernel
-    raise SuiteError(f"unknown kernel {full_name!r}")
+    kernel = _kernel_index().get(full_name)
+    if kernel is None:
+        raise SuiteError(f"unknown kernel {full_name!r}")
+    return kernel
 
 
 def catalog_totals() -> Dict[str, Tuple[int, int]]:

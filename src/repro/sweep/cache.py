@@ -36,7 +36,7 @@ import json
 import os
 import threading
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import DatasetError, ReproError
 from repro.gpu.engine import EngineSpec, GridModeSpec, engine_fingerprint
@@ -97,6 +97,46 @@ def sweep_fingerprint(
     )
 
 
+class SingleFlight:
+    """Per-key mutual exclusion for concurrent cache misses.
+
+    N threads asking for the same key get one lock; the first in
+    computes while the rest block, then re-check the cache and find
+    the winner's result. Lock records are reference-counted and
+    dropped when the last waiter leaves, so the key table never grows
+    with the (unbounded) set of fingerprints ever requested.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._keys: Dict[str, List] = {}  # key -> [lock, refcount]
+
+    def acquire(self, key: str) -> threading.Lock:
+        """Take the key's lock (blocking); pair with :meth:`release`."""
+        with self._lock:
+            entry = self._keys.get(key)
+            if entry is None:
+                entry = [threading.Lock(), 0]
+                self._keys[key] = entry
+            entry[1] += 1
+        entry[0].acquire()
+        return entry[0]
+
+    def release(self, key: str) -> None:
+        """Drop the key's lock; forgets the key with its last waiter."""
+        with self._lock:
+            entry = self._keys[key]
+            entry[1] -= 1
+            if entry[1] == 0:
+                del self._keys[key]
+        entry[0].release()
+
+    def active_keys(self) -> List[str]:
+        """Keys currently in flight (diagnostic)."""
+        with self._lock:
+            return sorted(self._keys)
+
+
 class SweepCache:
     """Fingerprint-keyed store of saved scaling datasets."""
 
@@ -105,6 +145,7 @@ class SweepCache:
             Path(cache_dir) if cache_dir is not None else default_cache_dir()
         )
         self._stats_lock = threading.Lock()
+        self._single_flight = SingleFlight()
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -130,18 +171,61 @@ class SweepCache:
         are tolerated the same way — an entry deleted or replaced
         between the existence check and the read is just a miss.
         """
+        return self._load(fingerprint, count_miss=True)
+
+    def _load(
+        self, fingerprint: str, count_miss: bool
+    ) -> Optional[ScalingDataset]:
         path = self.path_for(fingerprint)
         if not path.exists():
-            self._count("misses")
+            if count_miss:
+                self._count("misses")
             return None
         try:
             dataset = ScalingDataset.load(path).validate()
         except (ReproError, OSError, ValueError, KeyError):
             self.invalidate(fingerprint)
-            self._count("misses")
+            if count_miss:
+                self._count("misses")
             return None
         self._count("hits")
         return dataset
+
+    def load_or_compute(
+        self,
+        fingerprint: str,
+        compute: Callable[[], ScalingDataset],
+    ) -> ScalingDataset:
+        """Load the entry, or compute-and-store it exactly once.
+
+        Concurrent callers missing on the same *fingerprint* are
+        single-flighted: one runs *compute*, stores the result, and
+        every peer re-reads the stored entry instead of re-simulating
+        (the double-check inside the key lock). Distinct fingerprints
+        never contend. A dataset with quarantined kernels is returned
+        but not stored, matching :meth:`store`'s refusal policy.
+
+        The second look inside the lock deliberately does not count a
+        miss: the caller's attempt already counted one, and the stat
+        would otherwise double-count every single-flighted request.
+        """
+        dataset = self.load(fingerprint)
+        if dataset is not None:
+            return dataset
+        self._single_flight.acquire(fingerprint)
+        try:
+            dataset = self._load(fingerprint, count_miss=False)
+            if dataset is not None:
+                return dataset
+            dataset = compute()
+            if not dataset.quarantined:
+                try:
+                    self.store(fingerprint, dataset)
+                except (ReproError, OSError):
+                    pass  # an accelerator, never a dependency
+            return dataset
+        finally:
+            self._single_flight.release(fingerprint)
 
     def store(self, fingerprint: str, dataset: ScalingDataset) -> Path:
         """Persist *dataset* under *fingerprint* (atomic write).
@@ -204,20 +288,20 @@ def cached_paper_dataset(
 
     On a hit the engine is never invoked (pinned by the engine-call
     counter in the cache tests); on a miss the dataset is collected,
-    stored, and returned. Pass an explicit *cache* to control the
-    directory; ``None`` uses the default location.
+    stored, and returned — and concurrent misses for the same
+    fingerprint are single-flighted through
+    :meth:`SweepCache.load_or_compute`, so one collection run serves
+    every caller. Pass an explicit *cache* to control the directory;
+    ``None`` uses the default location.
     """
     from repro.suites import all_kernels
 
     if cache is None:
         cache = SweepCache()
     fingerprint = sweep_fingerprint(all_kernels(), space, engine)
-    dataset = cache.load(fingerprint)
-    if dataset is not None:
-        return dataset
-    dataset = collect_paper_dataset(
-        engine, space, progress, grid_mode, strict=strict
+    return cache.load_or_compute(
+        fingerprint,
+        lambda: collect_paper_dataset(
+            engine, space, progress, grid_mode, strict=strict
+        ),
     )
-    if not dataset.quarantined:
-        cache.store(fingerprint, dataset)
-    return dataset

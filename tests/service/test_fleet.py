@@ -1,0 +1,259 @@
+"""The worker fleet: sharding, bit-exactness, supervision, drain.
+
+Three invariants from the fleet design are pinned here:
+
+* **placement** — the consistent-hash ring is deterministic, covers
+  every worker, and sends every query against one ``(space, engine)``
+  surface to one worker (the property that makes the sweep cache
+  single-flight by construction);
+* **bit-exactness** — answers that crossed the process boundary and
+  the shared-memory result path are bitwise the direct
+  :class:`~repro.gpu.simulator.GpuSimulator` answers;
+* **supervision** — a SIGKILLed worker is restarted and its in-flight
+  queries are resubmitted invisibly, including while a graceful drain
+  is already under way: every admitted query is answered before
+  ``stop(drain=True)`` returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.gpu import W9100_LIKE, HardwareConfig
+from repro.gpu.simulator import GpuSimulator
+from repro.service.batcher import (
+    GridQuery,
+    PointQuery,
+    ServiceClosedError,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.router import FleetExecutor, HashRing
+from repro.suites import all_kernels, kernel_by_name
+from repro.sweep import reduced_space
+from repro.sweep.space import PAPER_SPACE
+
+KERNEL = "rodinia/bfs.kernel1"
+
+CONFIGS = (
+    W9100_LIKE,
+    HardwareConfig(cu_count=8, engine_mhz=600.0, memory_mhz=475.0),
+    HardwareConfig(cu_count=24, engine_mhz=925.0, memory_mhz=950.0),
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestHashRing:
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+
+    def test_deterministic_across_instances(self):
+        first, second = HashRing(4), HashRing(4)
+        keys = [f"shard-{i}" for i in range(256)]
+        assert [first.lookup(k) for k in keys] == [
+            second.lookup(k) for k in keys
+        ]
+
+    def test_every_worker_owns_a_fair_share(self):
+        ring = HashRing(4)
+        counts = [0, 0, 0, 0]
+        samples = 4000
+        for i in range(samples):
+            counts[ring.lookup(f"key-{i}")] += 1
+        assert all(count > 0 for count in counts)
+        # Virtual nodes keep the skew bounded: no worker owns less
+        # than half or more than double its fair share.
+        for count in counts:
+            assert samples / 8 < count < samples / 2
+
+    def test_single_worker_takes_everything(self):
+        ring = HashRing(1)
+        assert {ring.lookup(f"k{i}") for i in range(64)} == {0}
+
+
+class TestSharding:
+    """Placement rules, checked without spawning any process."""
+
+    def test_same_space_routes_to_one_worker(self):
+        fleet = FleetExecutor(4, use_cache=False)
+        workers = {
+            fleet.worker_for(GridQuery(kernel, PAPER_SPACE))
+            for kernel in all_kernels("proxyapps")
+        }
+        assert len(workers) == 1
+
+    def test_space_key_is_content_addressed_not_identity(self):
+        fleet = FleetExecutor(4, use_cache=False)
+        kernel = kernel_by_name(KERNEL)
+        first = GridQuery(kernel, reduced_space(3, 3, 3))
+        second = GridQuery(kernel, reduced_space(3, 3, 3))
+        assert first.space is not second.space
+        assert fleet.shard_key(first) == fleet.shard_key(second)
+
+    def test_distinct_spaces_get_distinct_keys(self):
+        fleet = FleetExecutor(4, use_cache=False)
+        kernel = kernel_by_name(KERNEL)
+        keys = {
+            fleet.shard_key(GridQuery(kernel, space))
+            for space in (
+                PAPER_SPACE, reduced_space(2, 2, 2), reduced_space(3, 2, 2),
+            )
+        }
+        assert len(keys) == 3
+
+    def test_point_key_pins_kernel_and_config(self):
+        fleet = FleetExecutor(4, use_cache=False)
+        kernel = kernel_by_name(KERNEL)
+        base = fleet.shard_key(PointQuery(kernel, CONFIGS[0]))
+        assert base == fleet.shard_key(PointQuery(kernel, CONFIGS[0]))
+        assert base != fleet.shard_key(PointQuery(kernel, CONFIGS[1]))
+        assert base != fleet.shard_key(
+            PointQuery(kernel_by_name("shoc/triad.triad"), CONFIGS[0])
+        )
+
+    def test_rejects_non_queries(self):
+        fleet = FleetExecutor(2, use_cache=False)
+
+        async def scenario():
+            fleet._closed = False  # skip process spawn for a type check
+            try:
+                await fleet.submit("not a query")
+            finally:
+                fleet._closed = True
+
+        with pytest.raises(TypeError):
+            run(scenario())
+
+
+class TestFleetProcesses:
+    """End-to-end through real spawned worker processes."""
+
+    def test_answers_are_bit_exact_and_fleet_drains(self):
+        direct = GpuSimulator("interval")
+        kernel = kernel_by_name(KERNEL)
+        point_query = PointQuery(kernel, W9100_LIKE)
+        grid_query = GridQuery(kernel, PAPER_SPACE)
+
+        async def scenario():
+            fleet = FleetExecutor(2, use_cache=False)
+            await fleet.start()
+            try:
+                point, grids = await asyncio.gather(
+                    fleet.submit(point_query),
+                    asyncio.gather(
+                        *(fleet.submit(grid_query) for _ in range(4))
+                    ),
+                )
+                metrics = await fleet.render_metrics(
+                    ServiceMetrics().registry
+                )
+                states = fleet.worker_states()
+            finally:
+                await fleet.stop(drain=True)
+            with pytest.raises(ServiceClosedError):
+                await fleet.submit(point_query)
+            return point, grids, metrics, states
+
+        point, grids, metrics, states = run(scenario())
+
+        expected_point = direct.simulate(kernel, W9100_LIKE)
+        assert point.time_s == float(expected_point.time_s)
+        assert point.items_per_second == float(
+            expected_point.items_per_second
+        )
+        expected_grid = direct.simulate_grid(kernel, PAPER_SPACE)
+        for grid in grids:
+            np.testing.assert_array_equal(
+                grid.items_per_second, expected_grid.items_per_second
+            )
+        # /metrics merges per-worker series under fleet totals.
+        assert 'worker="fleet"' in metrics
+        assert 'worker="0"' in metrics and 'worker="1"' in metrics
+        assert len(states) == 2
+        assert all(state["alive"] for state in states)
+        assert all(state["restarts"] == 0 for state in states)
+
+    def test_sigkilled_worker_restarts_and_replays_inflight(self):
+        kernels = all_kernels("proxyapps")
+        queries = [GridQuery(k, PAPER_SPACE) for k in kernels]
+
+        async def scenario():
+            fleet = FleetExecutor(2, use_cache=False, max_wait_ms=50.0)
+            await fleet.start()
+            try:
+                target = fleet.worker_for(queries[0])
+                victim_pid = fleet.worker_states()[target]["pid"]
+                # Kill first, then submit: the sends race the EOF, so
+                # the supervisor must recover every one of them.
+                os.kill(victim_pid, signal.SIGKILL)
+                results = await asyncio.gather(
+                    *(fleet.submit(q) for q in queries)
+                )
+                states = fleet.worker_states()
+            finally:
+                await fleet.stop(drain=True)
+            return target, results, states
+
+        target, results, states = run(scenario())
+
+        assert states[target]["restarts"] >= 1
+        assert states[target]["pid"] is not None
+        direct = GpuSimulator("interval")
+        for query, result in zip(queries, results):
+            expected = direct.simulate_grid(query.kernel, query.space)
+            np.testing.assert_array_equal(
+                result.items_per_second, expected.items_per_second
+            )
+
+    def test_drain_answers_every_admitted_query_despite_midway_kill(self):
+        kernels = all_kernels("proxyapps")
+        queries = [GridQuery(k, PAPER_SPACE) for k in kernels] + [
+            PointQuery(k, CONFIGS[i % len(CONFIGS)])
+            for i, k in enumerate(kernels)
+        ]
+
+        async def scenario():
+            fleet = FleetExecutor(2, use_cache=False, max_wait_ms=80.0)
+            await fleet.start()
+            tasks = [
+                asyncio.ensure_future(fleet.submit(q)) for q in queries
+            ]
+            await asyncio.sleep(0)  # admit everything
+            stop = asyncio.ensure_future(fleet.stop(drain=True))
+            await asyncio.sleep(0.02)
+            # SIGKILL the busiest worker while the drain is running.
+            busiest = max(
+                fleet.worker_states(),
+                key=lambda state: state["inflight"],
+            )
+            if busiest["inflight"] and busiest["pid"]:
+                os.kill(busiest["pid"], signal.SIGKILL)
+            results = await asyncio.gather(*tasks)
+            await stop
+            return results
+
+        results = run(scenario())
+
+        assert len(results) == len(queries)
+        direct = GpuSimulator("interval")
+        for query, result in zip(queries, results):
+            if isinstance(query, GridQuery):
+                expected = direct.simulate_grid(query.kernel, query.space)
+                np.testing.assert_array_equal(
+                    result.items_per_second,
+                    expected.items_per_second,
+                )
+            else:
+                expected = direct.simulate(query.kernel, query.config)
+                assert result.time_s == float(expected.time_s)
+                assert result.items_per_second == float(
+                    expected.items_per_second
+                )

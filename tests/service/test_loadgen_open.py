@@ -1,0 +1,185 @@
+"""Open-loop load generation: fixed arrivals, honest shed accounting.
+
+The closed-loop harness adapts its offered load to the service, so it
+can only measure capacity. :func:`run_open_loop` offers a fixed
+arrival rate whether or not the service keeps up — below the knee
+every arrival completes with a 200; past it the report must surface
+what actually happened (429/503 counts, client-side queueing latency,
+unsent arrivals) instead of pretending throughput kept up. Both
+regimes are pinned here against a real in-process service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+
+import pytest
+
+from repro.gpu.simulator import GpuSimulator
+from repro.service.loadgen import (
+    OpenLoopReport,
+    encode_request,
+    run_open_loop,
+    run_saturation,
+)
+from repro.service.server import GpuScaleService, ServiceConfig
+
+POINT_BODY = {
+    "kernel": "rodinia/bfs.kernel1",
+    "config": {"cu_count": 44, "engine_mhz": 1000, "memory_mhz": 1250},
+}
+
+
+class SlowPointSimulator:
+    """Point engine with a fixed per-call cost, to set a known knee."""
+
+    supports_point = True
+    supports_grid = False
+    supports_study = False
+    engine_name = "interval"
+
+    def __init__(self, delay_s: float):
+        self._inner = GpuSimulator("interval")
+        self._delay_s = delay_s
+
+    def simulate(self, kernel, config):
+        time.sleep(self._delay_s)
+        return self._inner.simulate(kernel, config)
+
+
+def with_service(fn, *, simulator=None, **config_overrides):
+    overrides = {"port": 0, "use_cache": False, **config_overrides}
+
+    async def scenario():
+        service = GpuScaleService(
+            ServiceConfig(**overrides), simulator=simulator
+        )
+        await service.start()
+        try:
+            return await fn(service)
+        finally:
+            await service.shutdown(drain=True)
+
+    return asyncio.run(scenario())
+
+
+class TestOpenLoopReport:
+    def test_quantiles_of_empty_sample_are_nan(self):
+        report = OpenLoopReport(
+            offered_rps=10.0, seconds=1.0, scheduled=0,
+            completed=0, errors=0, unsent=0,
+        )
+        assert math.isnan(report.p50_ms)
+        assert math.isnan(report.p99_ms)
+        assert report.achieved_rps == 0.0
+        assert report.shed_rate == 0.0
+
+    def test_shed_counts_429_and_503(self):
+        report = OpenLoopReport(
+            offered_rps=10.0, seconds=2.0, scheduled=20,
+            completed=20, errors=0, unsent=0,
+            statuses={200: 14, 429: 4, 503: 2},
+        )
+        assert report.shed == 6
+        assert report.shed_rate == 6 / 20
+        assert report.achieved_rps == 10.0
+
+    def test_as_dict_stringifies_status_keys(self):
+        report = OpenLoopReport(
+            offered_rps=10.0, seconds=2.0, scheduled=20,
+            completed=18, errors=1, unsent=1,
+            statuses={429: 3, 200: 15},
+            latencies_s=[0.001, 0.002, 0.004],
+        )
+        payload = report.as_dict()
+        assert payload["statuses"] == {"200": 15, "429": 3}
+        assert payload["unsent"] == 1
+        assert payload["offered_rps"] == 10.0
+        assert payload["latency_ms"]["p50"] == 2.0
+
+    def test_invalid_arguments_rejected(self):
+        async def scenario(service):
+            with pytest.raises(ValueError):
+                await run_open_loop(
+                    service.config.host, service.port, [b"x"],
+                    rate_rps=0.0, duration_s=0.1,
+                )
+            with pytest.raises(ValueError):
+                await run_open_loop(
+                    service.config.host, service.port, [],
+                    rate_rps=10.0, duration_s=0.1,
+                )
+
+        with_service(scenario)
+
+
+class TestBelowTheKnee:
+    def test_every_arrival_completes_with_200(self):
+        request = encode_request("/v1/simulate", POINT_BODY)
+
+        async def scenario(service):
+            return await run_open_loop(
+                service.config.host, service.port, [request],
+                rate_rps=200.0, duration_s=0.5, connections=8,
+            )
+
+        report = with_service(scenario)
+        assert report.scheduled == 100
+        assert report.completed == 100
+        assert report.unsent == 0
+        assert report.errors == 0
+        assert set(report.statuses) == {200}
+        assert report.shed == 0
+        assert len(report.latencies_s) == 100
+        assert report.p99_ms >= report.p50_ms > 0
+
+
+class TestPastTheKnee:
+    def test_overload_sheds_with_429_not_errors(self):
+        """Offered rate ~3x a known capacity: the service answers
+        what it can and 429s the rest; nothing is silently dropped."""
+        request = encode_request("/v1/simulate", POINT_BODY)
+        # 5 ms per point, unbatched: capacity ~200 req/s.
+        simulator = SlowPointSimulator(0.005)
+
+        async def scenario(service):
+            return await run_open_loop(
+                service.config.host, service.port, [request],
+                rate_rps=600.0, duration_s=0.6, connections=16,
+            )
+
+        report = with_service(
+            scenario,
+            simulator=simulator,
+            max_batch=1,
+            queue_limit=8,
+        )
+        assert report.errors == 0
+        assert set(report.statuses) <= {200, 429, 503}
+        assert report.statuses.get(200, 0) > 0
+        assert report.shed > 0, report.statuses
+        assert 0.0 < report.shed_rate < 1.0
+        # Every scheduled arrival is accounted for: answered, or
+        # still queued client-side when the clock ran out.
+        assert report.completed + report.unsent == report.scheduled
+
+
+class TestSaturationLadder:
+    def test_reports_one_rung_per_rate_in_order(self):
+        request = encode_request("/v1/simulate", POINT_BODY)
+
+        async def scenario(service):
+            return await run_saturation(
+                service.config.host, service.port, [request],
+                rates_rps=[100.0, 200.0],
+                step_duration_s=0.3,
+                connections=8,
+            )
+
+        reports = with_service(scenario)
+        assert [r.offered_rps for r in reports] == [100.0, 200.0]
+        for report in reports:
+            assert report.completed > 0
+            assert report.errors == 0

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import threading
 
 import numpy as np
 import pytest
@@ -417,6 +418,94 @@ class TestOverloadMapping:
         assert status == 503
         assert payload["error"]["code"] == "draining"
         assert health["status"] == "draining"
+
+
+class GatedPointSimulator:
+    """Point engine that blocks in the worker thread until released."""
+
+    supports_point = True
+    supports_grid = False
+    supports_study = False
+    engine_name = "interval"
+
+    def __init__(self):
+        self._inner = GpuSimulator("interval")
+        self.gate = threading.Event()
+
+    def simulate(self, kernel, config):
+        assert self.gate.wait(timeout=30), "test gate never opened"
+        return self._inner.simulate(kernel, config)
+
+
+class TestRetryAfterEstimation:
+    """The 429 ``Retry-After`` is queue depth over drain rate — an
+    estimate the service computes, never a hard-coded constant."""
+
+    def test_retry_after_tracks_queue_depth_and_drain_rate(self):
+        simulator = GatedPointSimulator()
+
+        async def scenario():
+            service = GpuScaleService(
+                ServiceConfig(
+                    port=0, use_cache=False,
+                    max_batch=1, max_wait_ms=0.5, queue_limit=4,
+                ),
+                simulator=simulator,
+            )
+            await service.start()
+            host = service.config.host
+            try:
+                # Prime the drain estimator with a known history:
+                # 5 queries answered over 10 s = 0.5 queries/s.
+                estimator = service.batcher._drain_rate
+                estimator.record(0, 0.0)
+                estimator.record(5, 10.0)
+                connections = []
+                for index in range(5):
+                    reader, writer = await asyncio.open_connection(
+                        host, service.port
+                    )
+                    writer.write(
+                        encode_request("/v1/simulate", POINT_BODY)
+                    )
+                    await writer.drain()
+                    connections.append((reader, writer))
+                    if index == 0:
+                        # Let the head query enter the (gated) engine
+                        # so the rest land in the admission queue.
+                        await asyncio.sleep(0.15)
+                await asyncio.sleep(0.15)
+                reader, writer = await asyncio.open_connection(
+                    host, service.port
+                )
+                writer.write(encode_request("/v1/simulate", POINT_BODY))
+                await writer.drain()
+                status_line = await reader.readline()
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode().partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", 0))
+                if length:
+                    await reader.readexactly(length)
+                writer.close()
+                simulator.gate.set()
+                for queued_reader, queued_writer in connections:
+                    await read_response(queued_reader)
+                    queued_writer.close()
+                return int(status_line.split()[1]), headers
+            finally:
+                simulator.gate.set()
+                await service.shutdown(drain=True)
+
+        status, headers = asyncio.run(scenario())
+        assert status == 429
+        # Queue depth 4 / 0.5 answered per second = 8 seconds — the
+        # live estimate, not the cold-start floor of 1.
+        assert headers["retry-after"] == "8"
 
 
 class TestConnectionBehaviour:

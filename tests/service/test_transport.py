@@ -1,0 +1,308 @@
+"""The router-worker wire protocol: framing, references, shm results.
+
+The contract pinned here is that a query or result surviving one
+round trip through :mod:`repro.service.transport` is *bitwise* the
+original — the fleet's end-to-end bit-exactness rests on this layer
+adding nothing and losing nothing. The shared-memory result path is
+additionally pinned to leave no segment behind: the decoder unlinks
+what the encoder created, and an abandoned result can still be freed
+exactly once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.gpu import W9100_LIKE, HardwareConfig
+from repro.gpu.simulator import GpuSimulator
+from repro.service import transport
+from repro.service.batcher import (
+    GridQuery,
+    GridResult,
+    OverloadError,
+    PointQuery,
+    PointResult,
+    ServiceClosedError,
+    ServiceTimeoutError,
+)
+from repro.service.transport import TransportError
+from repro.suites import kernel_by_name
+from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
+
+KERNEL = "rodinia/bfs.kernel1"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def roundtrip_frames(*frames):
+    """Feed encoded frames through a StreamReader, read them back."""
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        for frame in frames:
+            reader.feed_data(transport.encode_frame(frame))
+        reader.feed_eof()
+        out = []
+        while True:
+            frame = await transport.read_frame(reader)
+            if frame is None:
+                return out
+            out.append(frame)
+
+    return run(scenario())
+
+
+class TestFraming:
+    def test_round_trip_preserves_frames_in_order(self):
+        frames = [
+            ("ready", 3, 12345),
+            ("query", 7, ("point", KERNEL, (44, 1000.0, 1250.0)), None),
+            ("pong", 9),
+        ]
+        assert roundtrip_frames(*frames) == frames
+
+    def test_large_frame_round_trips(self):
+        array = np.arange(200_000, dtype=np.float64)
+        (frame,) = roundtrip_frames(("blob", array))
+        np.testing.assert_array_equal(frame[1], array)
+
+    def test_clean_eof_is_none(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            return await transport.read_frame(reader)
+
+        assert run(scenario()) is None
+
+    def test_truncated_length_prefix_raises(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00")  # half a length prefix
+            reader.feed_eof()
+            return await transport.read_frame(reader)
+
+        with pytest.raises(TransportError):
+            run(scenario())
+
+    def test_truncated_body_raises(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            blob = transport.encode_frame(("pong", 1))
+            reader.feed_data(blob[:-1])
+            reader.feed_eof()
+            return await transport.read_frame(reader)
+
+        with pytest.raises(TransportError):
+            run(scenario())
+
+    def test_oversized_announcement_refused(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            huge = transport.MAX_FRAME_BYTES + 1
+            reader.feed_data(huge.to_bytes(4, "big"))
+            return await transport.read_frame(reader)
+
+        with pytest.raises(TransportError):
+            run(scenario())
+
+    def test_oversized_frame_refused_at_encode(self):
+        with pytest.raises(TransportError):
+            transport.encode_frame(
+                ("blob", b"x" * (transport.MAX_FRAME_BYTES + 1))
+            )
+
+
+class TestQueryEncoding:
+    def test_catalog_kernel_travels_by_name(self):
+        kernel = kernel_by_name(KERNEL)
+        assert transport.encode_kernel(kernel) == KERNEL
+        assert transport.decode_kernel(KERNEL) is kernel
+
+    def test_equal_copy_of_catalog_kernel_travels_by_name(self):
+        copy = dataclasses.replace(kernel_by_name(KERNEL))
+        assert transport.encode_kernel(copy) == KERNEL
+
+    def test_inline_kernel_reusing_a_catalog_name_travels_by_value(self):
+        kernel = kernel_by_name(KERNEL)
+        edited = dataclasses.replace(
+            kernel,
+            characteristics=dataclasses.replace(
+                kernel.characteristics,
+                valu_ops_per_item=(
+                    kernel.characteristics.valu_ops_per_item + 1.0
+                ),
+            ),
+        )
+        ref = transport.encode_kernel(edited)
+        assert isinstance(ref, dict)
+        assert transport.decode_kernel(ref) == edited
+
+    def test_paper_space_travels_as_literal(self):
+        assert transport.encode_space(PAPER_SPACE) == "paper"
+        assert transport.decode_space("paper") is PAPER_SPACE
+
+    def test_custom_space_round_trips(self):
+        space = ConfigurationSpace(
+            cu_counts=(4, 16), engine_mhz=(300.0,), memory_mhz=(475.0,)
+        )
+        ref = transport.encode_space(space)
+        assert isinstance(ref, dict)
+        assert transport.decode_space(ref) == space
+
+    def test_point_query_round_trips(self):
+        query = PointQuery(kernel_by_name(KERNEL), W9100_LIKE)
+        decoded = transport.decode_query(transport.encode_query(query))
+        assert decoded == query
+
+    def test_grid_query_round_trips(self):
+        query = GridQuery(kernel_by_name(KERNEL), PAPER_SPACE)
+        decoded = transport.decode_query(transport.encode_query(query))
+        assert decoded == query
+
+    def test_non_default_config_round_trips_exact_floats(self):
+        config = HardwareConfig(
+            cu_count=28, engine_mhz=925.5, memory_mhz=1237.25
+        )
+        query = PointQuery(kernel_by_name(KERNEL), config)
+        decoded = transport.decode_query(transport.encode_query(query))
+        assert decoded.config.engine_mhz == 925.5
+        assert decoded.config.memory_mhz == 1237.25
+
+    def test_unknown_payload_kinds_raise(self):
+        with pytest.raises(TransportError):
+            transport.encode_query("not a query")
+        with pytest.raises(TransportError):
+            transport.decode_query(("warp", 1, 2))
+
+
+class TestResultEncoding:
+    def test_point_result_round_trips(self):
+        result = GpuSimulator("interval").simulate(
+            kernel_by_name(KERNEL), W9100_LIKE
+        )
+        query_result = PointResult(
+            kernel_name=KERNEL,
+            time_s=float(result.time_s),
+            items_per_second=float(result.items_per_second),
+        )
+        decoded = transport.decode_result(
+            transport.encode_result(query_result)
+        )
+        assert decoded == query_result
+
+    def test_grid_result_rides_shared_memory_bit_exact(self):
+        grid = GpuSimulator("interval").simulate_grid(
+            kernel_by_name(KERNEL), PAPER_SPACE
+        )
+        original = GridResult(
+            kernel_name=KERNEL,
+            items_per_second=np.asarray(grid.items_per_second),
+            global_size=grid.global_size,
+            from_cache=False,
+        )
+        payload = transport.encode_result(original)
+        assert payload[0] == "grid-shm", "surface must ride shm"
+        decoded = transport.decode_result(payload)
+        np.testing.assert_array_equal(
+            decoded.items_per_second, original.items_per_second
+        )
+        assert decoded.items_per_second.dtype == (
+            original.items_per_second.dtype
+        )
+        assert decoded.global_size == original.global_size
+        assert decoded.from_cache is original.from_cache
+        # The decoder unlinked the segment: a second decode cannot
+        # find it, and releasing the same payload again is a no-op.
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=payload[2])
+        transport.release_result(payload)
+
+    def test_release_frees_an_abandoned_grid_result(self):
+        from multiprocessing import shared_memory
+
+        original = GridResult(
+            kernel_name=KERNEL,
+            items_per_second=np.arange(24, dtype=np.float64).reshape(
+                2, 3, 4
+            ),
+            global_size=1024,
+            from_cache=True,
+        )
+        payload = transport.encode_result(original)
+        assert payload[0] == "grid-shm"
+        transport.release_result(payload)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=payload[2])
+
+    def test_inline_fallback_round_trips(self):
+        array = np.arange(12, dtype=np.float64).reshape(3, 2, 2)
+        payload = (
+            "grid-inline", KERNEL, array, 4096, False,
+        )
+        decoded = transport.decode_result(payload)
+        np.testing.assert_array_equal(decoded.items_per_second, array)
+        assert decoded.global_size == 4096
+
+    def test_unknown_result_kind_raises(self):
+        with pytest.raises(TransportError):
+            transport.decode_result(("tensor", KERNEL))
+
+
+class TestErrorEncoding:
+    @pytest.mark.parametrize(
+        "exc, code, cls",
+        [
+            (ServiceTimeoutError("slow"), "timeout", ServiceTimeoutError),
+            (ServiceClosedError("bye"), "closed", ServiceClosedError),
+            (ConfigurationError("bad cfg"), "configuration",
+             ConfigurationError),
+            (WorkloadError("bad kernel"), "workload", WorkloadError),
+            (ReproError("generic"), "repro", ReproError),
+        ],
+    )
+    def test_known_errors_round_trip(self, exc, code, cls):
+        got_code, message, extra = transport.encode_error(exc)
+        assert got_code == code
+        rebuilt = transport.decode_error(got_code, message, extra)
+        assert type(rebuilt) is cls
+        assert str(rebuilt) == str(exc)
+
+    def test_overload_carries_retry_after(self):
+        code, message, extra = transport.encode_error(
+            OverloadError("queue full", retry_after=7.25)
+        )
+        rebuilt = transport.decode_error(code, message, extra)
+        assert isinstance(rebuilt, OverloadError)
+        assert rebuilt.retry_after == 7.25
+
+    def test_simulation_error_keeps_kernel_and_reason(self):
+        code, message, extra = transport.encode_error(
+            SimulationError("rodinia/bfs.kernel1", "injected fault")
+        )
+        rebuilt = transport.decode_error(code, message, extra)
+        assert isinstance(rebuilt, SimulationError)
+        assert rebuilt.kernel_name == "rodinia/bfs.kernel1"
+        assert rebuilt.reason == "injected fault"
+
+    def test_foreign_exception_maps_to_internal(self):
+        code, message, _extra = transport.encode_error(
+            RuntimeError("boom")
+        )
+        assert code == "internal"
+        rebuilt = transport.decode_error(code, message, {})
+        assert isinstance(rebuilt, ReproError)
+        assert "boom" in str(rebuilt)

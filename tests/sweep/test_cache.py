@@ -177,6 +177,108 @@ class TestCachedPaperDataset:
         np.testing.assert_array_equal(batch.perf, study.perf)
 
 
+class TestSingleFlight:
+    """Concurrent misses on one fingerprint compute exactly once."""
+
+    def test_lock_records_are_refcounted_away(self):
+        from repro.sweep.cache import SingleFlight
+
+        flight = SingleFlight()
+        flight.acquire("a")
+        assert flight.active_keys() == ["a"]
+        flight.acquire("b")
+        assert flight.active_keys() == ["a", "b"]
+        flight.release("a")
+        flight.release("b")
+        assert flight.active_keys() == []
+
+    def test_distinct_keys_do_not_contend(self):
+        from repro.sweep.cache import SingleFlight
+
+        flight = SingleFlight()
+        flight.acquire("a")
+        # Holding "a" must not block "b" — acquire on a fresh key
+        # succeeds immediately on the same thread.
+        flight.acquire("b")
+        flight.release("b")
+        flight.release("a")
+
+    def test_racing_misses_compute_once_and_agree(
+        self, cache, kernels, space
+    ):
+        import threading
+
+        fp = sweep_fingerprint(kernels, space)
+        n_threads = 6
+        barrier = threading.Barrier(n_threads)
+        compute_calls = []
+        results = [None] * n_threads
+
+        def compute():
+            compute_calls.append(1)
+            return SweepRunner().run(kernels, space)
+
+        def racer(slot):
+            barrier.wait()
+            results[slot] = cache.load_or_compute(fp, compute)
+
+        threads = [
+            threading.Thread(target=racer, args=(slot,))
+            for slot in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(compute_calls) == 1, (
+            "single-flight must collapse concurrent misses"
+        )
+        assert cache.stores == 1
+        reference = results[0]
+        for result in results[1:]:
+            np.testing.assert_array_equal(result.perf, reference.perf)
+            assert result.kernel_names == reference.kernel_names
+        # Every thread except the compute winner found the entry
+        # exactly once — at its first look or at the double-check
+        # inside the lock, which deliberately counts no second miss.
+        assert cache.hits == n_threads - 1
+        assert 1 <= cache.misses <= n_threads
+        # Everything settled: no key left in flight.
+        assert cache._single_flight.active_keys() == []
+
+    def test_second_call_is_a_pure_hit(self, cache, kernels, space):
+        fp = sweep_fingerprint(kernels, space)
+        first = cache.load_or_compute(
+            fp, lambda: SweepRunner().run(kernels, space)
+        )
+
+        def explode():
+            raise AssertionError("hit must not recompute")
+
+        second = cache.load_or_compute(fp, explode)
+        np.testing.assert_array_equal(second.perf, first.perf)
+        assert cache.stores == 1
+
+    def test_quarantined_result_is_returned_but_never_stored(
+        self, cache, kernels, space
+    ):
+        from repro.sweep.dataset import ScalingDataset
+
+        fp = sweep_fingerprint(kernels, space)
+        clean = SweepRunner().run(kernels, space)
+        perf = clean.perf.copy()
+        perf[0] = np.nan
+        quarantined = ScalingDataset(
+            space, clean.kernel_records, perf,
+            quarantined={kernels[0].full_name: "injected"},
+        )
+        result = cache.load_or_compute(fp, lambda: quarantined)
+        assert result.quarantined
+        assert cache.stores == 0
+        assert not cache.path_for(fp).exists()
+
+
 class TestDefaultDirectory:
     def test_env_override(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env_cache"))
