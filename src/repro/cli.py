@@ -228,6 +228,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}")
         return 2
+    chaos = None
+    if args.chaos:
+        from repro.service.chaos import ChaosSpecError, parse_chaos
+
+        try:
+            chaos = parse_chaos(args.chaos)
+        except ChaosSpecError as exc:
+            print(f"--chaos rejected: {exc}")
+            return 2
+    if args.restart_budget < 1 or args.restart_window <= 0:
+        print(
+            "--restart-budget must be >= 1 and --restart-window > 0, "
+            f"got {args.restart_budget}/{args.restart_window:g}"
+        )
+        return 2
+    if args.hedge_fraction is not None and not (
+        0.0 < args.hedge_fraction <= 1.0
+    ):
+        print(
+            "--hedge-fraction must be in (0, 1], got "
+            f"{args.hedge_fraction:g} (use --no-hedge to disable)"
+        )
+        return 2
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -239,6 +262,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         workers=args.workers,
+        brownout=args.brownout,
+        restart_budget=args.restart_budget,
+        restart_window_s=args.restart_window,
+        hedge_fraction=(
+            None if args.no_hedge else args.hedge_fraction
+        ),
+        chaos=chaos,
     )
 
     async def main() -> None:
@@ -469,6 +499,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="engine worker processes; 1 serves "
                        "in-process, N>1 runs a sharded fleet behind "
                        "a router (default: 1)")
+    serve.add_argument("--brownout", default="off",
+                       choices=["off", "auto", "force"],
+                       help="degraded-fidelity policy for grid "
+                       "queries: 'auto' answers from the predictor "
+                       "tier (marked fidelity=degraded) when the "
+                       "exact tier is saturated or breaker-blocked, "
+                       "'force' always does (default: off)")
+    serve.add_argument("--restart-budget", type=int, default=8,
+                       metavar="N",
+                       help="worker restarts allowed per sliding "
+                       "window; while exhausted a crashed worker's "
+                       "shard fails over to ring neighbours "
+                       "(default: 8)")
+    serve.add_argument("--restart-window", type=float, default=60.0,
+                       metavar="S",
+                       help="the restart budget's sliding window in "
+                       "seconds (default: 60)")
+    serve.add_argument("--hedge-fraction", type=float, default=0.5,
+                       metavar="F",
+                       help="hedge a grid query to a second worker "
+                       "after it has burned this fraction of its "
+                       "deadline budget; first response wins "
+                       "(default: 0.5)")
+    serve.add_argument("--no-hedge", action="store_true",
+                       help="disable hedged dispatch")
+    serve.add_argument("--chaos", default=None, metavar="SPEC",
+                       help="seeded fault injection for the worker "
+                       "fleet, e.g. "
+                       "'seed=7,corrupt=0.05,kill=0.01,arm_after=20' "
+                       "(testing only; default: off)")
     add_cache_flags(serve)
 
     cache = sub.add_parser(

@@ -138,6 +138,29 @@ class PredictorEngine:
             self._predictors.popitem(last=False)
         return predictor
 
+    def measured_error(self, space: GridSpace) -> float:
+        """The engine's own accuracy story on *space*.
+
+        Median of leave-one-out errors over the transplant corpus:
+        each archetype is predicted from its seven probes using a
+        corpus that excludes it, and the per-kernel median absolute
+        relative errors are aggregated. The service's fidelity
+        brownout attaches this number to every degraded response so
+        callers know how approximate the surrogate tier is; cached
+        per fitted predictor (the corpus is fixed per space).
+        """
+        predictor = self._predictor(space)
+        cached = getattr(predictor, "_measured_error", None)
+        if cached is not None:
+            return cached
+        errors = [
+            predictor.leave_one_out_error(name)
+            for name in predictor.dataset.kernel_names
+        ]
+        estimate = float(np.median(errors))
+        predictor._measured_error = estimate
+        return estimate
+
     def simulate_grid(
         self, kernel: Kernel, space: GridSpace
     ) -> KernelGridResult:

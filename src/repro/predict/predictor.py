@@ -63,6 +63,9 @@ class ScalingPredictor:
             )
         self._dataset = dataset
         self._k = k
+        #: Lazily cached corpus-wide leave-one-out error (set by
+        #: consumers that measure it; the corpus is immutable).
+        self._measured_error: "float | None" = None
         base = dataset.perf[:, 0:1, 0:1, 0:1]
         self._normalised = dataset.perf / base
         self._signatures = np.stack(
@@ -71,6 +74,11 @@ class ScalingPredictor:
                 for i in range(dataset.num_kernels)
             ]
         )
+
+    @property
+    def dataset(self) -> ScalingDataset:
+        """The fitted corpus."""
+        return self._dataset
 
     # ------------------------------------------------------------------
     # Probing

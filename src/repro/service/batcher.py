@@ -78,6 +78,18 @@ class ServiceTimeoutError(ReproError):
     """A query exceeded its per-request timeout while queued (503)."""
 
 
+class DeadlineExceededError(ServiceTimeoutError):
+    """A query's absolute deadline passed before it was answered (503).
+
+    Deadlines propagate from HTTP admission through the router into
+    every worker's batcher as absolute ``time.monotonic()`` values, so
+    any hop can (and does) cancel work the client has already given up
+    on instead of orphaning it. Subclasses
+    :class:`ServiceTimeoutError` so every existing timeout-handling
+    path treats it correctly by default.
+    """
+
+
 class ServiceClosedError(ReproError):
     """The batcher is stopped or draining; no new work admitted (503)."""
 
@@ -119,12 +131,19 @@ class GridResult:
     study call, a solo grid call, or the sweep cache. Time is *always*
     derived as ``global_size / items_per_second`` by consumers, so
     every path reports identical bits for both tensors.
+
+    ``fidelity`` is ``"exact"`` for every engine/cache path and
+    ``"degraded"`` only when the brownout tier answered — degraded
+    surfaces additionally carry the tier's measured relative
+    ``error_estimate`` so a response is never silently approximate.
     """
 
     kernel_name: str
     items_per_second: np.ndarray
     global_size: int
     from_cache: bool = False
+    fidelity: str = "exact"
+    error_estimate: Optional[float] = None
 
     @property
     def time_s(self) -> np.ndarray:
@@ -257,14 +276,14 @@ class MicroBatcher:
             return
         self._closed = True
         if not drain:
-            pending: List[Tuple[Query, asyncio.Future]] = []
+            pending: List[Tuple[Query, asyncio.Future, Any]] = []
             while self._queue is not None and not self._queue.empty():
                 entry = self._queue.get_nowait()
                 if entry is not _STOP:
                     pending.append(entry)
-            for _, future in pending:
-                if not future.done():
-                    future.set_exception(
+            for entry in pending:
+                if not entry[1].done():
+                    entry[1].set_exception(
                         ServiceClosedError("service shut down")
                     )
         await self._queue.put(_STOP)
@@ -294,9 +313,19 @@ class MicroBatcher:
     # ------------------------------------------------------------------
 
     async def submit(
-        self, query: Query, timeout: Optional[float] = None
+        self,
+        query: Query,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> Union[PointResult, GridResult]:
         """Enqueue *query*; await its result.
+
+        *deadline* is an absolute ``time.monotonic()`` instant: once
+        it passes, the query is cancelled wherever it is — refused at
+        admission, dropped from its micro-batch before evaluation, or
+        failed while awaiting — with
+        :class:`DeadlineExceededError`. *timeout* remains the relative
+        form; when both are given the earlier one wins.
 
         Raises :class:`OverloadError` when the admission queue is
         full, :class:`ServiceClosedError` when the batcher is stopped
@@ -309,6 +338,16 @@ class MicroBatcher:
             raise ServiceClosedError(
                 "service is shutting down; no new queries admitted"
             )
+        loop = asyncio.get_running_loop()
+        remaining: Optional[float] = timeout
+        if deadline is not None:
+            left = deadline - loop.time()
+            if left <= 0:
+                self._record_deadline_exceeded()
+                raise DeadlineExceededError(
+                    "query deadline passed before admission"
+                )
+            remaining = left if remaining is None else min(remaining, left)
         if self._queue.qsize() >= self._queue_limit:
             raise OverloadError(
                 f"admission queue full ({self._queue_limit} queries); "
@@ -317,17 +356,28 @@ class MicroBatcher:
                     self._queue.qsize()
                 ),
             )
-        future: asyncio.Future = (
-            asyncio.get_running_loop().create_future()
-        )
-        self._queue.put_nowait((query, future))
+        future: asyncio.Future = loop.create_future()
+        self._queue.put_nowait((query, future, deadline))
         self._note_queue_depth()
         try:
-            return await asyncio.wait_for(future, timeout)
+            return await asyncio.wait_for(future, remaining)
         except asyncio.TimeoutError:
+            if deadline is not None and deadline - loop.time() <= 0:
+                self._record_deadline_exceeded()
+                raise DeadlineExceededError(
+                    "query deadline passed while awaiting the engine"
+                ) from None
             raise ServiceTimeoutError(
                 f"query timed out after {timeout}s in the service"
             ) from None
+
+    def _record_deadline_exceeded(self, count: int = 1) -> None:
+        if self._metrics is not None:
+            record = getattr(
+                self._metrics, "record_deadline_exceeded", None
+            )
+            if record is not None:
+                record(count)
 
     # ------------------------------------------------------------------
     # Collection and dispatch
@@ -364,16 +414,36 @@ class MicroBatcher:
                 return
 
     async def _run_batch(
-        self, batch: List[Tuple[Query, asyncio.Future]]
+        self, batch: List[Tuple[Query, asyncio.Future, Any]]
     ) -> None:
         """Dispatch one batch to the worker thread; fan results out."""
         # Dedup on the loop thread: queries are frozen dataclasses, so
         # equal queries hash equal and share one engine evaluation.
-        waiters: Dict[Query, List[asyncio.Future]] = {}
-        for query, future in batch:
-            waiters.setdefault(query, []).append(future)
-        unique = list(waiters)
+        # Queries whose deadline passed while queued are cancelled
+        # here — before any engine work — so a saturated batcher never
+        # burns its engine thread on answers nobody is waiting for.
         loop = asyncio.get_running_loop()
+        now = loop.time()
+        waiters: Dict[Query, List[asyncio.Future]] = {}
+        expired = 0
+        for query, future, deadline in batch:
+            if future.done():  # caller timed out or was cancelled
+                continue
+            if deadline is not None and deadline <= now:
+                expired += 1
+                future.set_exception(
+                    DeadlineExceededError(
+                        "query deadline passed while batched; "
+                        "evaluation cancelled"
+                    )
+                )
+                continue
+            waiters.setdefault(query, []).append(future)
+        if expired:
+            self._record_deadline_exceeded(expired)
+        if not waiters:
+            return
+        unique = list(waiters)
         outcomes, shapes, cache_stats = await loop.run_in_executor(
             self._executor, self._evaluate, unique
         )

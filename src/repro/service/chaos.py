@@ -1,0 +1,203 @@
+"""Deterministic fault injection for the worker fleet.
+
+The resilience layer is only as trustworthy as the failures it has
+been exercised against, so this module manufactures them on demand:
+a :class:`ChaosInjector` rides inside each worker process and, at
+every point where the worker is about to answer a query, draws one
+action from a seeded RNG — deliver normally, delay, truncate the
+frame mid-write, corrupt the pickle body, sabotage the shm handoff,
+hang, or die outright. Mid-drain kills exercise the shutdown path.
+
+Two properties make the schedule usable in tests:
+
+* **Determinism** — the RNG is seeded from ``(seed, worker_id,
+  generation)``, so the same chaos spec replays the same fault
+  sequence run after run, and a failure found in CI reproduces
+  locally from its seed alone.
+* **Progress** — the generation (the worker's restart count) is part
+  of the seed, so a respawned worker draws a *different* sequence
+  than its predecessor. Without this a ``kill`` drawn at event #0
+  would recur forever: every respawn would re-kill on the first
+  resubmitted query and the fleet could never make progress.
+
+Chaos is configured with a compact spec string so it can ride a CLI
+flag::
+
+    gpuscale serve --workers 4 --chaos "seed=7,corrupt=0.05,kill=0.01"
+
+See :func:`parse_chaos` for the grammar. With no ``--chaos`` flag the
+injector is absent entirely — the delivery path has literally zero
+chaos branches, keeping the non-chaos fleet bit-exact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class ChaosSpecError(ReproError):
+    """A malformed ``--chaos`` specification."""
+
+
+#: Fault kinds an injector can draw, in draw-priority order.
+ACTIONS = (
+    "kill", "hang", "truncate", "corrupt", "shm_fail", "delay",
+)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One seeded fault schedule for the whole fleet.
+
+    Each ``<action>`` field is the per-event probability of that
+    fault; draws are prioritised in :data:`ACTIONS` order, so e.g.
+    ``kill`` shadows ``delay`` when both would fire. *arm_after*
+    delays the onset — the first N events per worker always deliver
+    cleanly, which lets tests establish a healthy baseline first.
+    *workers* restricts injection to the named worker ids (``None``
+    means all).
+    """
+
+    seed: int = 0
+    kill: float = 0.0
+    hang: float = 0.0
+    truncate: float = 0.0
+    corrupt: float = 0.0
+    shm_fail: float = 0.0
+    delay: float = 0.0
+    drain_kill: float = 0.0
+    delay_ms: float = 50.0
+    hang_s: float = 30.0
+    arm_after: int = 0
+    workers: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        for action in ACTIONS + ("drain_kill",):
+            p = getattr(self, action)
+            if not 0.0 <= p <= 1.0:
+                raise ChaosSpecError(
+                    f"chaos probability {action}={p} outside [0, 1]"
+                )
+        if self.delay_ms < 0 or self.hang_s < 0 or self.arm_after < 0:
+            raise ChaosSpecError(
+                "delay_ms, hang_s, and arm_after must be >= 0"
+            )
+
+    def targets(self, worker_id: int) -> bool:
+        """Does this schedule apply to *worker_id*?"""
+        return self.workers is None or worker_id in self.workers
+
+
+_FLOAT_FIELDS = frozenset(
+    f.name for f in fields(ChaosConfig) if f.type == "float"
+)
+
+
+def parse_chaos(spec: str) -> ChaosConfig:
+    """Parse a ``key=value,key=value`` chaos spec.
+
+    Keys are the :class:`ChaosConfig` fields; ``workers`` takes a
+    ``+``-separated id list (``workers=0+2``). Example::
+
+        seed=7,corrupt=0.05,kill=0.01,arm_after=20,workers=0+1
+    """
+    values: dict = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ChaosSpecError(
+                f"chaos spec entry {part!r} is not key=value"
+            )
+        key, _, raw = part.partition("=")
+        key = key.strip()
+        raw = raw.strip()
+        try:
+            if key == "workers":
+                values[key] = tuple(
+                    sorted({int(w) for w in raw.split("+")})
+                )
+            elif key in ("seed", "arm_after"):
+                values[key] = int(raw)
+            elif key in _FLOAT_FIELDS:
+                values[key] = float(raw)
+            else:
+                raise ChaosSpecError(
+                    f"unknown chaos spec key {key!r} "
+                    f"(known: {', '.join(f.name for f in fields(ChaosConfig))})"
+                )
+        except ValueError as exc:
+            raise ChaosSpecError(
+                f"bad chaos spec value {part!r}: {exc}"
+            ) from exc
+    return ChaosConfig(**values)
+
+
+def format_chaos(config: ChaosConfig) -> str:
+    """The spec string round-tripping *config* (for logs and argv)."""
+    parts = []
+    defaults = ChaosConfig()
+    for f in fields(ChaosConfig):
+        value = getattr(config, f.name)
+        if value == getattr(defaults, f.name):
+            continue
+        if f.name == "workers":
+            parts.append(
+                "workers=" + "+".join(str(w) for w in value)
+            )
+        else:
+            parts.append(f"{f.name}={value}")
+    return ",".join(parts) or "seed=0"
+
+
+class ChaosInjector:
+    """Per-worker fault oracle.
+
+    One injector lives in each worker process; :meth:`sample` is
+    called once per delivery event and returns the action to take
+    (``None`` for clean delivery). The draw sequence is a pure
+    function of ``(seed, worker_id, generation)`` — replaying a run
+    with the same spec replays the same faults.
+    """
+
+    def __init__(
+        self, config: ChaosConfig, worker_id: int, generation: int = 0
+    ):
+        self.config = config
+        self.worker_id = worker_id
+        self.generation = generation
+        self.events = 0
+        self._active = config.targets(worker_id)
+        self._rng = random.Random(
+            f"gpuscale-chaos:{config.seed}:{worker_id}:{generation}"
+        )
+
+    def sample(self) -> Optional[str]:
+        """Draw the action for the next delivery event.
+
+        Always advances the RNG by a fixed number of draws per event
+        so the schedule stays aligned regardless of which actions
+        fire.
+        """
+        event = self.events
+        self.events += 1
+        draws = [self._rng.random() for _ in ACTIONS]
+        if not self._active or event < self.config.arm_after:
+            return None
+        for action, roll in zip(ACTIONS, draws):
+            if roll < getattr(self.config, action):
+                return action
+        return None
+
+    def sample_drain_kill(self) -> bool:
+        """Should this worker die mid-drain instead of exiting
+        cleanly?"""
+        roll = self._rng.random()
+        if not self._active:
+            return False
+        return roll < self.config.drain_kill

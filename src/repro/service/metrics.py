@@ -462,6 +462,40 @@ class ServiceMetrics:
             "gpuscale_inflight_requests",
             "HTTP requests currently being handled.",
         )
+        # Resilience instrumentation. The per-worker shard breakdown
+        # uses a 'shard' label (not 'worker') so fleet aggregation —
+        # which stamps every series with the emitting process's
+        # worker label — never produces duplicate label names.
+        self.deadline_exceeded = r.counter(
+            "gpuscale_deadline_exceeded_total",
+            "Queries cancelled because their deadline passed.",
+        )
+        self.hedges = r.counter(
+            "gpuscale_hedges_total",
+            "Hedged grid dispatches, by shard and outcome "
+            "(issued / won).",
+            ("shard", "outcome"),
+        )
+        self.breaker_transitions = r.counter(
+            "gpuscale_breaker_transitions_total",
+            "Circuit-breaker state transitions, by shard.",
+            ("shard", "transition"),
+        )
+        self.breaker_open = r.gauge(
+            "gpuscale_breaker_open",
+            "1 while a shard's circuit breaker is open.",
+            ("shard",),
+        )
+        self.worker_restarts = r.counter(
+            "gpuscale_worker_restarts_total",
+            "Worker processes respawned by the router, by shard.",
+            ("shard",),
+        )
+        self.degraded = r.counter(
+            "gpuscale_degraded_total",
+            "Responses answered at degraded fidelity, by reason.",
+            ("reason",),
+        )
 
     # -- recording helpers (each takes the registry lock once) ---------
 
@@ -492,6 +526,40 @@ class ServiceMetrics:
         """Count one pre-evaluation rejection (overload, timeout, ...)."""
         with self.registry.lock:
             self.rejected.inc(1.0, reason)
+
+    def record_deadline_exceeded(self, count: int = 1) -> None:
+        """Count queries cancelled because their deadline passed."""
+        if count <= 0:
+            return
+        with self.registry.lock:
+            self.deadline_exceeded.inc(count)
+
+    def record_hedge(self, shard: int, outcome: str) -> None:
+        """Count one hedge event (``issued`` / ``won``) for *shard*."""
+        with self.registry.lock:
+            self.hedges.inc(1.0, str(shard), outcome)
+
+    def record_breaker_transition(
+        self, shard: int, old_state: str, new_state: str
+    ) -> None:
+        """Count one breaker edge and publish the open/closed level."""
+        with self.registry.lock:
+            self.breaker_transitions.inc(
+                1.0, str(shard), f"{old_state}->{new_state}"
+            )
+            self.breaker_open.set(
+                1.0 if new_state == "open" else 0.0, str(shard)
+            )
+
+    def record_worker_restart(self, shard: int) -> None:
+        """Count one worker respawn for *shard*."""
+        with self.registry.lock:
+            self.worker_restarts.inc(1.0, str(shard))
+
+    def record_degraded(self, reason: str) -> None:
+        """Count one degraded-fidelity response."""
+        with self.registry.lock:
+            self.degraded.inc(1.0, reason)
 
     def set_queue_depth(self, depth: int) -> None:
         """Publish the admission queue's current depth."""

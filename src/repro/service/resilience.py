@@ -1,0 +1,371 @@
+"""Fleet resilience primitives: breakers, budgets, deadlines, brownout.
+
+The service's failure-handling policy lives here, separated from the
+mechanisms that enforce it (:mod:`repro.service.router` wires breakers
+and restart budgets around worker processes, :mod:`repro.service.
+server` wires brownout around the executor seam). Everything in this
+module is deliberately clock-injected — callers pass ``now`` — so the
+state machines are deterministic under test and replayable under the
+chaos harness.
+
+Four pieces:
+
+* :class:`CircuitBreaker` — the classic three-state machine guarding
+  one worker. Repeated *infrastructure* failures (timeouts, transport
+  corruption, process death) within a sliding window open the breaker;
+  an open breaker rejects dispatch so the router fails the shard over
+  to its ring neighbours; after a cooldown the breaker goes half-open
+  and admits probe traffic, closing again on the first success.
+  Application errors (a kernel that cannot be simulated) never trip it
+  — the worker is healthy, the query is not.
+* :class:`RestartBudget` — a sliding-window allowance of worker
+  respawns, replacing the old lifetime cap: a long-running fleet may
+  restart a flapping worker indefinitely, just never faster than
+  *budget* times per *window*. While the budget is exhausted the
+  worker stays down (its shard fails over); once the window slides the
+  supervisor tries again, so a transient crash storm is survivable
+  without resigning the shard forever.
+* :class:`Deadline` helpers — requests carry an *absolute* deadline in
+  ``time.monotonic()`` terms (CLOCK_MONOTONIC is system-wide on
+  Linux, so router and workers agree on it); every hop checks it and
+  cancels work the client can no longer benefit from.
+* :class:`BrownoutExecutor` — the degraded-fidelity fallback. When
+  the exact tier is saturated or breaker-blocked, grid queries are
+  answered by the registered ``predictor`` engine (7 exact probes +
+  surface transplant) instead of being refused, with an explicit
+  ``fidelity="degraded"`` marker and a measured leave-one-out error
+  estimate so callers know precisely what they got.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Optional
+
+from repro.errors import ReproError
+
+
+class WorkerUnavailableError(ReproError):
+    """No worker can currently serve this shard (down or breaker-open)."""
+
+
+# ----------------------------------------------------------------------
+# Deadlines
+# ----------------------------------------------------------------------
+
+
+def deadline_from_timeout(
+    timeout_s: Optional[float], now: Optional[float] = None
+) -> Optional[float]:
+    """The absolute monotonic deadline *timeout_s* from *now*."""
+    if timeout_s is None:
+        return None
+    if now is None:
+        now = time.monotonic()
+    return now + timeout_s
+
+
+def remaining_s(
+    deadline: Optional[float], now: Optional[float] = None
+) -> Optional[float]:
+    """Seconds left until *deadline* (negative once it has passed)."""
+    if deadline is None:
+        return None
+    if now is None:
+        now = time.monotonic()
+    return deadline - now
+
+
+def expired(
+    deadline: Optional[float], now: Optional[float] = None
+) -> bool:
+    """True once *deadline* has passed (never for ``None``)."""
+    left = remaining_s(deadline, now)
+    return left is not None and left <= 0.0
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+#: Breaker states (string-valued for cheap /healthz and metrics use).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning of one :class:`CircuitBreaker`.
+
+    *failure_threshold* infrastructure failures within *window_s*
+    seconds open the breaker; it stays open for *cooldown_s*, then
+    admits probes half-open.
+    """
+
+    failure_threshold: int = 5
+    window_s: float = 10.0
+    cooldown_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                "failure_threshold must be >= 1, got "
+                f"{self.failure_threshold}"
+            )
+        if self.window_s <= 0 or self.cooldown_s <= 0:
+            raise ValueError(
+                "window_s and cooldown_s must be > 0, got "
+                f"{self.window_s}/{self.cooldown_s}"
+            )
+
+
+class CircuitBreaker:
+    """Three-state breaker over one worker's infrastructure health.
+
+    ``closed`` admits everything; *failure_threshold* failures inside
+    *window_s* flip it ``open``; after *cooldown_s* the first
+    :meth:`allow` transitions it ``half-open`` (probe traffic only in
+    the sense that the next failure reopens instantly while the next
+    success closes fully). *on_transition* is called with
+    ``(old_state, new_state)`` on every edge — the router uses it to
+    count breaker opens/closes in ``/metrics``.
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig = BreakerConfig(),
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ):
+        self._config = config
+        self._on_transition = on_transition
+        self._state = CLOSED
+        self._failures: Deque[float] = deque()
+        self._opened_at = 0.0
+
+    @property
+    def config(self) -> BreakerConfig:
+        """The breaker's tuning."""
+        return self._config
+
+    def state(self, now: Optional[float] = None) -> str:
+        """The current state, advancing ``open`` to ``half-open``
+        once the cooldown has elapsed."""
+        if now is None:
+            now = time.monotonic()
+        if (
+            self._state == OPEN
+            and now - self._opened_at >= self._config.cooldown_s
+        ):
+            self._transition(HALF_OPEN)
+        return self._state
+
+    def allow(self, now: Optional[float] = None) -> bool:
+        """May a dispatch go to this worker right now?"""
+        return self.state(now) != OPEN
+
+    def record_failure(self, now: Optional[float] = None) -> None:
+        """Fold in one infrastructure failure (timeout, corruption,
+        death). Never call this for application errors."""
+        if now is None:
+            now = time.monotonic()
+        state = self.state(now)
+        if state == HALF_OPEN:
+            # The probe failed: straight back to open, fresh cooldown.
+            self._opened_at = now
+            self._failures.clear()
+            self._transition(OPEN)
+            return
+        self._failures.append(now)
+        self._prune(now)
+        if (
+            state == CLOSED
+            and len(self._failures) >= self._config.failure_threshold
+        ):
+            self._opened_at = now
+            self._failures.clear()
+            self._transition(OPEN)
+
+    def record_success(self, now: Optional[float] = None) -> None:
+        """Fold in one successful round trip."""
+        if now is None:
+            now = time.monotonic()
+        state = self.state(now)
+        if state == HALF_OPEN:
+            self._transition(CLOSED)
+        self._failures.clear()
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self._config.window_s
+        while self._failures and self._failures[0] < horizon:
+            self._failures.popleft()
+
+    def _transition(self, new_state: str) -> None:
+        old_state, self._state = self._state, new_state
+        if old_state != new_state and self._on_transition is not None:
+            self._on_transition(old_state, new_state)
+
+
+# ----------------------------------------------------------------------
+# Restart budget
+# ----------------------------------------------------------------------
+
+
+class RestartBudget:
+    """A sliding-window allowance of worker restarts.
+
+    Replaces the old lifetime cap: :meth:`try_acquire` grants at most
+    *budget* restarts within any *window_s*-second span and tells the
+    caller when the next slot frees up, so a supervisor can sleep
+    exactly until a retry becomes legal instead of giving a shard up
+    for dead.
+    """
+
+    def __init__(self, budget: int = 8, window_s: float = 60.0):
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        self.budget = budget
+        self.window_s = window_s
+        self._spent: Deque[float] = deque()
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window_s
+        while self._spent and self._spent[0] <= horizon:
+            self._spent.popleft()
+
+    def available(self, now: Optional[float] = None) -> int:
+        """Restart slots currently free."""
+        if now is None:
+            now = time.monotonic()
+        self._prune(now)
+        return self.budget - len(self._spent)
+
+    def try_acquire(self, now: Optional[float] = None) -> bool:
+        """Take one restart slot if any is free."""
+        if now is None:
+            now = time.monotonic()
+        if self.available(now) <= 0:
+            return False
+        self._spent.append(now)
+        return True
+
+    def next_free_s(self, now: Optional[float] = None) -> float:
+        """Seconds until a slot frees (0 when one is free now)."""
+        if now is None:
+            now = time.monotonic()
+        if self.available(now) > 0:
+            return 0.0
+        return max(0.0, self._spent[0] + self.window_s - now)
+
+
+# ----------------------------------------------------------------------
+# Fidelity brownout
+# ----------------------------------------------------------------------
+
+#: Brownout policies accepted by ``gpuscale serve --brownout``.
+BROWNOUT_MODES = ("off", "auto", "force")
+
+
+class BrownoutExecutor:
+    """Degraded-fidelity grid answers from the predictor tier.
+
+    Owns one registered ``predictor`` engine instance and a dedicated
+    single worker thread (the predictor's per-space corpus cache is
+    not thread-safe). :meth:`submit` answers a
+    :class:`~repro.service.batcher.GridQuery` with the surrogate
+    surface, marked ``fidelity="degraded"`` and carrying the engine's
+    measured leave-one-out error for that configuration space — an
+    honest answer to "how wrong might this be".
+
+    This is intentionally the *only* degraded tier for now: point
+    queries cannot brown out (the predictor is grid-only, and a single
+    point costs the same seven exact probes a surface does).
+    """
+
+    def __init__(self, engine: str = "predictor"):
+        self._engine_name = engine
+        self._engine: Any = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._error_estimates: Dict[Any, float] = {}
+
+    @property
+    def engine_name(self) -> str:
+        """The registered engine answering degraded queries."""
+        return self._engine_name
+
+    def _resolve(self) -> Any:
+        if self._engine is None:
+            from repro.gpu.engine import get_engine
+
+            self._engine = get_engine(self._engine_name)
+            if not getattr(self._engine, "supports_grid", False):
+                raise ValueError(
+                    f"brownout engine {self._engine_name!r} is not "
+                    "grid-capable"
+                )
+        return self._engine
+
+    def start(self) -> None:
+        """Create the evaluation thread (idempotent)."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="gpuscale-brownout"
+            )
+
+    def stop(self) -> None:
+        """Join the evaluation thread (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def error_estimate(self, space: Any) -> Optional[float]:
+        """Measured relative error of the degraded tier on *space*.
+
+        Asks the engine for its own accuracy measurement when it can
+        provide one (:meth:`~repro.predict.engine.PredictorEngine.
+        measured_error` runs leave-one-out over the transplant corpus)
+        and caches it per space; ``None`` when the engine has no error
+        story to tell.
+        """
+        cached = self._error_estimates.get(space)
+        if cached is not None:
+            return cached
+        probe = getattr(self._resolve(), "measured_error", None)
+        if probe is None:
+            return None
+        estimate = float(probe(space))
+        self._error_estimates[space] = estimate
+        return estimate
+
+    async def submit(self, query: Any) -> Any:
+        """Answer one grid query at degraded fidelity."""
+        from repro.service.batcher import GridQuery, GridResult
+
+        if not isinstance(query, GridQuery):
+            raise TypeError(
+                f"brownout serves grid queries only, got {query!r}"
+            )
+        if self._executor is None:
+            self.start()
+        loop = asyncio.get_running_loop()
+
+        def evaluate() -> GridResult:
+            import numpy as np
+
+            engine = self._resolve()
+            grid = engine.simulate_grid(query.kernel, query.space)
+            return GridResult(
+                kernel_name=query.kernel.full_name,
+                items_per_second=np.asarray(grid.items_per_second),
+                global_size=query.kernel.geometry.global_size,
+                fidelity="degraded",
+                error_estimate=self.error_estimate(query.space),
+            )
+
+        return await loop.run_in_executor(self._executor, evaluate)

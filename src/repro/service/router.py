@@ -1,4 +1,4 @@
-"""The fleet router: shard, dispatch, supervise, drain.
+"""The fleet router: shard, dispatch, supervise, fail over, drain.
 
 :class:`FleetExecutor` gives ``gpuscale serve --workers N`` the same
 four-method surface the in-process :class:`~repro.service.batcher.
@@ -18,12 +18,31 @@ each, and routes every validated query with a consistent-hash ring:
 * **point queries** shard by ``(kernel, config)`` so duplicates keep
   hitting the same batcher's dedup map.
 
-Supervision: a reader task per worker detects death as EOF, respawns
-the process, and resubmits that worker's in-flight queries — queries
-are pure computations, so replaying them is safe and invisible to the
-HTTP caller (they keep awaiting the same future). Graceful shutdown
-first answers everything admitted (restarting any worker that dies
-mid-drain), then sends each worker a ``drain`` frame and joins it.
+The resilience layer (PR 7) wraps that placement rule in policy from
+:mod:`repro.service.resilience`:
+
+* every worker sits behind a :class:`~repro.service.resilience.
+  CircuitBreaker` — repeated infrastructure failures (death, frame
+  corruption, timeouts) open it, and an open breaker drops the worker
+  out of its shards' preference chains so ring *neighbours* absorb
+  the load until a cooldown probe succeeds;
+* requests travel as :class:`_Dispatch` records that can be *placed*
+  on more than one worker over their lifetime: failover replaces a
+  placement when a worker dies or its frames stop decoding, and
+  **hedged dispatch** adds a second placement for a grid query that
+  has burned a configurable fraction of its deadline budget —
+  first answer wins, the loser's entry is dropped so its late frame
+  is freed, never double-delivered (queries are pure, so duplicates
+  are always safe);
+* worker restarts draw from a sliding-window :class:`~repro.service.
+  resilience.RestartBudget` instead of the old lifetime cap of 3: a
+  flapping worker can restart forever, just not faster than the
+  budget, and while it is down its shards fail over instead of
+  erroring;
+* every admitted query carries an absolute monotonic *deadline* that
+  rides the wire to the worker's batcher, so expired work is
+  cancelled at whichever hop notices first rather than computed for
+  nobody.
 """
 
 from __future__ import annotations
@@ -33,12 +52,14 @@ import bisect
 import hashlib
 import itertools
 import socket
+import time
 from multiprocessing import get_context
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ReproError
 from repro.service import transport
 from repro.service.batcher import (
+    DeadlineExceededError,
     DrainRateEstimator,
     GridQuery,
     OverloadError,
@@ -49,8 +70,23 @@ from repro.service.batcher import (
     ServiceClosedError,
     ServiceTimeoutError,
 )
+from repro.service.chaos import ChaosConfig
 from repro.service.metrics import render_fleet
+from repro.service.resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    RestartBudget,
+    WorkerUnavailableError,
+    expired,
+    remaining_s,
+)
 from repro.service.worker import WorkerConfig, worker_main
+
+__all__ = [
+    "FleetExecutor",
+    "HashRing",
+    "WorkerUnavailableError",
+]
 
 #: How long to wait for a freshly spawned worker's ``ready`` frame.
 WORKER_START_TIMEOUT_S = 30.0
@@ -58,15 +94,16 @@ WORKER_START_TIMEOUT_S = 30.0
 #: How long a worker gets to ack a ``drain`` frame before termination.
 WORKER_DRAIN_TIMEOUT_S = 30.0
 
-#: Consecutive failed (re)spawns before a shard is declared lost.
-MAX_RESTART_ATTEMPTS = 3
-
 #: Virtual nodes per worker on the hash ring.
 VNODES_PER_WORKER = 64
 
+#: Default sliding-window restart allowance per worker.
+DEFAULT_RESTART_BUDGET = 8
+DEFAULT_RESTART_WINDOW_S = 60.0
 
-class WorkerUnavailableError(ReproError):
-    """A shard's worker could not be (re)started; its queries fail."""
+#: Fraction of a query's deadline budget to burn before hedging a
+#: grid query onto a second worker.
+DEFAULT_HEDGE_FRACTION = 0.5
 
 
 def _hash64(key: str) -> int:
@@ -88,6 +125,7 @@ class HashRing:
     ):
         if n_workers < 1:
             raise ValueError(f"need >= 1 worker, got {n_workers}")
+        self.n_workers = n_workers
         points: List[Tuple[int, int]] = []
         for worker in range(n_workers):
             for vnode in range(vnodes):
@@ -101,27 +139,89 @@ class HashRing:
         index = bisect.bisect(self._hashes, _hash64(key))
         return self._owners[index % len(self._owners)]
 
+    def preference(self, key: str) -> List[int]:
+        """All workers in failover order for *key*.
+
+        The ring walked clockwise from the key's position, keeping
+        the first occurrence of each worker: element 0 is
+        :meth:`lookup`, element 1 is where the shard fails over when
+        its owner is down or breaker-open, and so on. Deterministic
+        per key, so failover (like primary placement) never depends
+        on router state.
+        """
+        start = bisect.bisect(self._hashes, _hash64(key))
+        order: List[int] = []
+        seen = set()
+        total = len(self._owners)
+        for step in range(total):
+            owner = self._owners[(start + step) % total]
+            if owner not in seen:
+                seen.add(owner)
+                order.append(owner)
+                if len(order) == self.n_workers:
+                    break
+        return order
+
+
+class _Dispatch:
+    """One admitted query's routing state.
+
+    A dispatch can be *placed* on several workers over its lifetime —
+    failover replaces a placement, hedging adds one — and every
+    placement registers in that worker's ``inflight`` map under a
+    fresh request id, all pointing back at the same caller-facing
+    future. The first frame to resolve the future wins; stale
+    placements are dropped so their late frames are released, not
+    delivered twice.
+    """
+
+    __slots__ = (
+        "query", "payload", "future", "timeout", "deadline",
+        "placements", "attempts",
+    )
+
+    def __init__(self, query, payload, future, timeout, deadline):
+        self.query = query
+        self.payload = payload
+        self.future = future
+        self.timeout = timeout
+        self.deadline = deadline
+        #: [(handle, request_id, is_hedge)]
+        self.placements: List[Tuple[Any, int, bool]] = []
+        self.attempts = 0
+
 
 class _WorkerHandle:
     """Router-side state of one worker process."""
 
-    def __init__(self, index: int):
+    def __init__(
+        self,
+        index: int,
+        breaker: CircuitBreaker,
+        budget: RestartBudget,
+    ):
         self.index = index
+        self.breaker = breaker
+        self.budget = budget
         self.process = None
         self.reader: Optional[asyncio.StreamReader] = None
         self.writer: Optional[asyncio.StreamWriter] = None
         self.supervisor: Optional[asyncio.Task] = None
         self.connected = False
-        self.lost = False  # true once restarts are exhausted
         self.draining = False
         self.restarts = 0
         self.pid: Optional[int] = None
         self.drain_rate = DrainRateEstimator()
-        #: request_id -> (payload, future, timeout); the resubmission
-        #: source of truth when the process dies.
-        self.inflight: Dict[int, Tuple[Any, asyncio.Future, Any]] = {}
+        #: request_id -> _Dispatch; the resubmission source of truth
+        #: when the process dies.
+        self.inflight: Dict[int, _Dispatch] = {}
         #: request_id -> future for ping/metrics/drain round-trips.
         self.control: Dict[int, asyncio.Future] = {}
+
+    @property
+    def available(self) -> bool:
+        """Can this worker take a dispatch right now?"""
+        return self.connected and not self.draining
 
 
 class FleetExecutor:
@@ -137,9 +237,17 @@ class FleetExecutor:
         queue_limit: int = 1024,
         use_cache: bool = True,
         cache_dir: Optional[str] = None,
+        chaos: Optional[ChaosConfig] = None,
+        metrics: Any = None,
+        breaker: Optional[BreakerConfig] = None,
+        restart_budget: int = DEFAULT_RESTART_BUDGET,
+        restart_window_s: float = DEFAULT_RESTART_WINDOW_S,
+        hedge_fraction: Optional[float] = DEFAULT_HEDGE_FRACTION,
     ):
         if n_workers < 1:
             raise ValueError(f"need >= 1 worker, got {n_workers}")
+        if hedge_fraction is not None and not 0.0 < hedge_fraction:
+            hedge_fraction = None
         self.n_workers = n_workers
         self._engine = engine
         self._worker_config = dict(
@@ -149,20 +257,52 @@ class FleetExecutor:
             queue_limit=queue_limit,
             use_cache=use_cache,
             cache_dir=cache_dir,
+            chaos=chaos,
         )
         # The router admits a bounded number of queries per worker; the
         # worker's own queue_limit stays the authoritative 429 source
         # (it knows its drain rate), this cap just bounds router memory
         # if a worker stalls.
         self._inflight_limit = queue_limit + 4 * max_batch
+        self._metrics = metrics
+        self._hedge_fraction = hedge_fraction
+        self._breaker_config = breaker or BreakerConfig()
         self._ring = HashRing(n_workers)
-        self._handles = [_WorkerHandle(i) for i in range(n_workers)]
+        self._handles = [
+            _WorkerHandle(
+                i,
+                breaker=CircuitBreaker(
+                    self._breaker_config,
+                    on_transition=self._breaker_recorder(i),
+                ),
+                budget=RestartBudget(restart_budget, restart_window_s),
+            )
+            for i in range(n_workers)
+        ]
         self._ctx = get_context("spawn")
         self._request_ids = itertools.count(1)
         self._engine_digest: Optional[str] = None
         self._space_digests: Dict[Any, str] = {}
         self._closed = True
         self._draining = False
+
+    # ------------------------------------------------------------------
+    # Metrics plumbing (all optional: a metrics-less fleet still works)
+    # ------------------------------------------------------------------
+
+    def _record(self, method: str, *args) -> None:
+        hook = getattr(self._metrics, method, None)
+        if hook is not None:
+            hook(*args)
+
+    def _breaker_recorder(self, index: int):
+        def on_transition(old_state: str, new_state: str) -> None:
+            self._record(
+                "record_breaker_transition",
+                str(index), old_state, new_state,
+            )
+
+        return on_transition
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -176,7 +316,10 @@ class FleetExecutor:
     @property
     def pending(self) -> int:
         """Queries admitted by the router and not yet answered."""
-        return sum(len(h.inflight) for h in self._handles)
+        seen = set()
+        for handle in self._handles:
+            seen.update(id(d) for d in handle.inflight.values())
+        return len(seen)
 
     async def start(self) -> None:
         """Spawn every worker and wait for all ``ready`` frames."""
@@ -193,10 +336,11 @@ class FleetExecutor:
         """Stop the fleet.
 
         ``drain=True``: refuse new work, answer every admitted query
-        (restarting any worker that dies mid-drain), then hand each
-        worker a ``drain`` frame so its own batcher drains, and join
-        the processes. ``drain=False``: fail in-flight queries with
-        :class:`ServiceClosedError` and terminate immediately.
+        (restarting or failing over any worker that dies mid-drain),
+        then hand each worker a ``drain`` frame so its own batcher
+        drains, and join the processes. ``drain=False``: fail
+        in-flight queries with :class:`ServiceClosedError` and
+        terminate immediately.
         """
         if self._closed and not any(h.process for h in self._handles):
             return
@@ -212,8 +356,8 @@ class FleetExecutor:
             for handle in self._handles:
                 for request_id in list(handle.inflight):
                     entry = handle.inflight.pop(request_id, None)
-                    if entry is not None and not entry[1].done():
-                        entry[1].set_exception(
+                    if entry is not None and not entry.future.done():
+                        entry.future.set_exception(
                             ServiceClosedError("service shut down")
                         )
         for handle in self._handles:
@@ -234,7 +378,7 @@ class FleetExecutor:
         """Wait until every admitted query has an answer."""
         while True:
             futures = [
-                entry[1]
+                entry.future
                 for handle in self._handles
                 for entry in list(handle.inflight.values())
             ]
@@ -289,7 +433,9 @@ class FleetExecutor:
         """Start (or replace) *handle*'s process; await its ready frame."""
         parent_sock, child_sock = socket.socketpair()
         config = WorkerConfig(
-            worker_id=handle.index, **self._worker_config
+            worker_id=handle.index,
+            generation=handle.restarts,
+            **self._worker_config,
         )
         process = self._ctx.Process(
             target=worker_main,
@@ -320,6 +466,8 @@ class FleetExecutor:
     async def _supervise(self, handle: _WorkerHandle) -> None:
         """Read frames until shutdown, restarting a dead worker."""
         while True:
+            if not handle.connected or handle.reader is None:
+                return
             frame = None
             try:
                 frame = await transport.read_frame(handle.reader)
@@ -328,46 +476,53 @@ class FleetExecutor:
             if frame is not None:
                 self._handle_frame(handle, frame)
                 continue
-            # EOF: the worker died (or exited after a drain ack).
+            # EOF (or stream corruption): the worker died, crashed
+            # mid-frame, or exited after a drain ack.
             handle.connected = False
+            self._fail_control(
+                handle, f"worker {handle.index} died mid-request"
+            )
             if self._closed or (
                 handle.draining and not handle.inflight
             ):
                 return
             await self._restart(handle)
-            if handle.lost:
-                return
 
-    async def _restart(self, handle: _WorkerHandle) -> None:
-        """Respawn *handle*'s worker and resubmit its in-flight work."""
-        await self._dispose(handle, force=True)
+    def _fail_control(self, handle: _WorkerHandle, message: str) -> None:
+        """Fail pending control round-trips so nothing awaits a ghost."""
         for request_id in list(handle.control):
             future = handle.control.pop(request_id, None)
             if future is not None and not future.done():
-                future.set_exception(
-                    WorkerUnavailableError(
-                        f"worker {handle.index} died mid-request"
-                    )
-                )
-        for attempt in range(MAX_RESTART_ATTEMPTS):
+                future.set_exception(WorkerUnavailableError(message))
+
+    async def _restart(self, handle: _WorkerHandle) -> None:
+        """Respawn *handle*'s worker within its restart budget.
+
+        Worker death is an infrastructure failure, so it feeds the
+        breaker. While the budget is exhausted the shard's in-flight
+        work fails over to ring neighbours and the supervisor sleeps
+        until the next restart slot frees up — a crash-looping worker
+        degrades its shard, it no longer loses it forever.
+        """
+        await self._dispose(handle, force=True)
+        handle.breaker.record_failure()
+        while not self._closed:
+            if handle.draining and not handle.inflight:
+                return
+            if not handle.budget.try_acquire():
+                self._failover_all(handle)
+                wait = min(handle.budget.next_free_s() + 0.01, 1.0)
+                await asyncio.sleep(wait)
+                continue
             try:
                 await self._spawn(handle)
             except (ReproError, OSError, asyncio.TimeoutError):
-                await asyncio.sleep(0.2 * (attempt + 1))
+                await asyncio.sleep(0.2)
                 continue
             handle.restarts += 1
+            self._record("record_worker_restart", str(handle.index))
             self._resubmit(handle)
             return
-        handle.lost = True
-        for request_id in list(handle.inflight):
-            entry = handle.inflight.pop(request_id, None)
-            if entry is not None and not entry[1].done():
-                entry[1].set_exception(
-                    WorkerUnavailableError(
-                        f"worker {handle.index} could not be restarted "
-                        f"after {MAX_RESTART_ATTEMPTS} attempts"
-                    )
-                )
 
     def _resubmit(self, handle: _WorkerHandle) -> None:
         """Replay in-flight queries onto a freshly restarted worker.
@@ -380,11 +535,39 @@ class FleetExecutor:
             entry = handle.inflight.get(request_id)
             if entry is None:
                 continue
-            payload, future, timeout = entry
-            if future.done():  # caller timed out while worker was down
+            if entry.future.done():  # caller gave up while worker was down
                 handle.inflight.pop(request_id, None)
                 continue
-            self._send(handle, ("query", request_id, payload, timeout))
+            self._send(
+                handle,
+                (
+                    "query", request_id, entry.payload,
+                    entry.timeout, entry.deadline,
+                ),
+            )
+
+    def _failover_all(self, handle: _WorkerHandle) -> None:
+        """Move a down worker's in-flight work to ring neighbours.
+
+        Dispatches with no eligible neighbour stay parked on *handle*
+        and are resubmitted when it finally respawns.
+        """
+        for request_id in list(handle.inflight):
+            dispatch = handle.inflight.get(request_id)
+            if dispatch is None:
+                continue
+            if dispatch.future.done():
+                handle.inflight.pop(request_id, None)
+                continue
+            target = self._pick_target(dispatch, exclude=(handle,))
+            if target is None:
+                continue  # parked until respawn
+            handle.inflight.pop(request_id, None)
+            dispatch.placements = [
+                p for p in dispatch.placements
+                if not (p[0] is handle and p[1] == request_id)
+            ]
+            self._place(dispatch, target)
 
     def _send(
         self, handle: _WorkerHandle, frame: Tuple[Any, ...]
@@ -404,29 +587,151 @@ class FleetExecutor:
         kind = frame[0]
         if kind == "result":
             _, request_id, encoded = frame
-            entry = handle.inflight.pop(request_id, None)
+            dispatch = handle.inflight.pop(request_id, None)
             handle.drain_rate.record(
                 1, asyncio.get_running_loop().time()
             )
-            if entry is None or entry[1].done():
+            if dispatch is None or dispatch.future.done():
                 transport.release_result(encoded)
                 return
             try:
-                entry[1].set_result(transport.decode_result(encoded))
+                result = transport.decode_result(encoded)
+            except transport.TransportError as exc:
+                # The worker answered but the handoff failed (e.g. a
+                # vanished shm segment): infrastructure, not the
+                # query's fault — count it and try another placement.
+                handle.breaker.record_failure()
+                self._drop_placement(dispatch, handle, request_id)
+                self._failover_dispatch(dispatch, exc)
+                return
             except ReproError as exc:
-                entry[1].set_exception(exc)
+                dispatch.future.set_exception(exc)
+                self._settle(dispatch)
+                return
+            handle.breaker.record_success()
+            if self._was_hedge(dispatch, handle, request_id):
+                self._record("record_hedge", str(handle.index), "won")
+            dispatch.future.set_result(result)
+            self._settle(dispatch)
         elif kind == "error":
             _, request_id, code, message, extra = frame
-            entry = handle.inflight.pop(request_id, None)
-            if entry is None or entry[1].done():
+            dispatch = handle.inflight.pop(request_id, None)
+            if dispatch is None or dispatch.future.done():
                 return
-            entry[1].set_exception(
+            # The worker is answering — its infrastructure is fine,
+            # whatever it thinks of the query.
+            handle.breaker.record_success()
+            dispatch.future.set_exception(
                 transport.decode_error(code, message, extra)
             )
+            self._settle(dispatch)
         elif kind in ("pong", "metrics", "drained"):
             future = handle.control.pop(frame[1], None)
             if future is not None and not future.done():
                 future.set_result(frame)
+
+    @staticmethod
+    def _was_hedge(
+        dispatch: _Dispatch, handle: _WorkerHandle, request_id: int
+    ) -> bool:
+        return any(
+            h is handle and rid == request_id and is_hedge
+            for h, rid, is_hedge in dispatch.placements
+        )
+
+    def _settle(self, dispatch: _Dispatch) -> None:
+        """Drop every remaining placement of a resolved dispatch so
+        stale frames are released instead of delivered twice."""
+        for h, rid, _ in dispatch.placements:
+            h.inflight.pop(rid, None)
+        dispatch.placements.clear()
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def _candidates(self, query: Query) -> List[_WorkerHandle]:
+        """The shard's failover chain as handles, owner first."""
+        return [
+            self._handles[index]
+            for index in self._ring.preference(self.shard_key(query))
+        ]
+
+    def _pick_target(
+        self,
+        dispatch: _Dispatch,
+        exclude: Tuple[_WorkerHandle, ...] = (),
+    ) -> Optional[_WorkerHandle]:
+        """The best worker for a new placement of *dispatch*."""
+        placed = {h for h, _, _ in dispatch.placements}
+        now = time.monotonic()
+        for handle in self._candidates(dispatch.query):
+            if handle in placed or handle in exclude:
+                continue
+            if not handle.available or not handle.breaker.allow(now):
+                continue
+            if len(handle.inflight) >= self._inflight_limit:
+                continue
+            return handle
+        return None
+
+    def _place(
+        self,
+        dispatch: _Dispatch,
+        handle: _WorkerHandle,
+        is_hedge: bool = False,
+    ) -> int:
+        request_id = next(self._request_ids)
+        dispatch.placements.append((handle, request_id, is_hedge))
+        dispatch.attempts += 1
+        handle.inflight[request_id] = dispatch
+        self._send(
+            handle,
+            (
+                "query", request_id, dispatch.payload,
+                dispatch.timeout, dispatch.deadline,
+            ),
+        )
+        return request_id
+
+    def _drop_placement(
+        self,
+        dispatch: _Dispatch,
+        handle: _WorkerHandle,
+        request_id: int,
+    ) -> None:
+        dispatch.placements = [
+            p for p in dispatch.placements
+            if not (p[0] is handle and p[1] == request_id)
+        ]
+
+    def _failover_dispatch(
+        self, dispatch: _Dispatch, exc: ReproError
+    ) -> None:
+        """Re-place a dispatch whose placement just failed, or fail
+        its future with *exc* once the fleet is out of options."""
+        if dispatch.future.done():
+            self._settle(dispatch)
+            return
+        if dispatch.placements:
+            return  # a sibling placement (hedge) is still in flight
+        if dispatch.attempts > 2 * self.n_workers + 1:
+            dispatch.future.set_exception(exc)
+            return
+        target = self._pick_target(dispatch)
+        if target is None:
+            # Allow one same-worker retry when nobody else is
+            # eligible (single-worker fleets still recover from a
+            # lost shm segment by recomputing).
+            now = time.monotonic()
+            for handle in self._candidates(dispatch.query):
+                if handle.available and handle.breaker.allow(now):
+                    target = handle
+                    break
+        if target is None:
+            dispatch.future.set_exception(exc)
+            return
+        self._place(dispatch, target)
 
     # ------------------------------------------------------------------
     # Submission
@@ -468,41 +773,133 @@ class FleetExecutor:
         return self._ring.lookup(self.shard_key(query))
 
     async def submit(
-        self, query: Query, timeout: Optional[float] = None
+        self,
+        query: Query,
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> Union[PointResult, GridResult]:
-        """Route *query* to its shard's worker; await the answer."""
+        """Route *query* to its shard's healthiest worker.
+
+        *deadline* is absolute ``loop.time()``/``time.monotonic()``;
+        it travels with the query to the worker's batcher, bounds the
+        await here, and (for grid queries) paces the hedge timer.
+        """
         if not isinstance(query, (PointQuery, GridQuery)):
             raise TypeError(f"not a query: {query!r}")
         if self._closed or self._draining:
             raise ServiceClosedError(
                 "service is shutting down; no new queries admitted"
             )
-        handle = self._handles[self.worker_for(query)]
-        if handle.lost:
-            raise WorkerUnavailableError(
-                f"worker {handle.index} is down and could not be "
-                "restarted"
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        if expired(deadline, now):
+            self._record("record_deadline_exceeded")
+            raise DeadlineExceededError(
+                "deadline expired before fleet dispatch"
             )
-        if len(handle.inflight) >= self._inflight_limit:
+        left = remaining_s(deadline, now)
+        budget = timeout
+        deadline_bound = False
+        if left is not None and (budget is None or left <= budget):
+            budget = left
+            deadline_bound = True
+
+        # The primary is the healthiest worker in the shard's chain
+        # (down and breaker-open workers fail over to neighbours), but
+        # saturation does NOT fail over: spilling a hot shard onto its
+        # neighbour would break the single-flight cache placement, so
+        # a saturated owner still answers 429 with a backoff hint.
+        primary = None
+        for handle in self._candidates(query):
+            if handle.available and handle.breaker.allow(now):
+                primary = handle
+                break
+        if primary is None:
+            raise self._no_target_error(query, now)
+        if len(primary.inflight) >= self._inflight_limit:
             raise OverloadError(
-                f"worker {handle.index} has {len(handle.inflight)} "
-                "queries in flight; retry with backoff",
-                retry_after=handle.drain_rate.retry_after_s(
-                    len(handle.inflight)
+                f"worker {primary.index} has "
+                f"{len(primary.inflight)} queries in flight; retry "
+                "with backoff",
+                retry_after=primary.drain_rate.retry_after_s(
+                    len(primary.inflight)
                 ),
             )
-        request_id = next(self._request_ids)
-        future = asyncio.get_running_loop().create_future()
-        payload = transport.encode_query(query)
-        handle.inflight[request_id] = (payload, future, timeout)
-        self._send(handle, ("query", request_id, payload, timeout))
+        dispatch = _Dispatch(
+            query=query,
+            payload=transport.encode_query(query),
+            future=loop.create_future(),
+            timeout=timeout,
+            deadline=deadline,
+        )
+        self._place(dispatch, primary)
+        hedge_task = None
+        if (
+            self._hedge_fraction is not None
+            and budget is not None
+            and isinstance(query, GridQuery)
+            and self.n_workers > 1
+        ):
+            hedge_task = loop.create_task(
+                self._hedge_later(
+                    dispatch, budget * self._hedge_fraction
+                )
+            )
         try:
-            return await asyncio.wait_for(future, timeout)
+            return await asyncio.wait_for(dispatch.future, budget)
         except asyncio.TimeoutError:
-            handle.inflight.pop(request_id, None)
+            # Slow workers count against their breakers: a worker
+            # that repeatedly runs queries into their deadlines is
+            # indistinguishable from a hung one.
+            for h, _, _ in dispatch.placements:
+                h.breaker.record_failure()
+            if deadline_bound:
+                self._record("record_deadline_exceeded")
+                raise DeadlineExceededError(
+                    f"query missed its deadline after {budget:.3f}s "
+                    "in the fleet"
+                ) from None
             raise ServiceTimeoutError(
                 f"query timed out after {timeout}s in the service"
             ) from None
+        finally:
+            if hedge_task is not None:
+                hedge_task.cancel()
+            self._settle(dispatch)
+
+    def _no_target_error(self, query: Query, now: float) -> ReproError:
+        """Why is no worker eligible right now?"""
+        states = []
+        for handle in self._candidates(query):
+            if not handle.available:
+                states.append(f"worker {handle.index} down")
+            elif not handle.breaker.allow(now):
+                states.append(f"worker {handle.index} breaker-open")
+        return WorkerUnavailableError(
+            "no worker can take this query: " + "; ".join(states)
+        )
+
+    async def _hedge_later(
+        self, dispatch: _Dispatch, delay: float
+    ) -> None:
+        """After *delay*, duplicate the dispatch onto a second worker.
+
+        Queries are pure, so the duplicate is safe: both placements
+        compute the same bits, the first one back resolves the
+        future, and :meth:`_settle` drops the loser so its late frame
+        is freed.
+        """
+        try:
+            await asyncio.sleep(delay)
+        except asyncio.CancelledError:
+            return
+        if dispatch.future.done() or not dispatch.placements:
+            return
+        target = self._pick_target(dispatch)
+        if target is None:
+            return
+        self._place(dispatch, target, is_hedge=True)
+        self._record("record_hedge", str(target.index), "issued")
 
     # ------------------------------------------------------------------
     # Health and metrics
@@ -525,7 +922,8 @@ class FleetExecutor:
             handle.control.pop(request_id, None)
 
     def worker_states(self) -> List[Dict[str, Any]]:
-        """Per-worker liveness for ``/healthz``."""
+        """Per-worker liveness, breaker, and budget for ``/healthz``."""
+        now = time.monotonic()
         states = []
         for handle in self._handles:
             alive = (
@@ -540,6 +938,14 @@ class FleetExecutor:
                     "alive": bool(alive),
                     "restarts": handle.restarts,
                     "inflight": len(handle.inflight),
+                    "breaker": handle.breaker.state(now),
+                    "restart_budget": {
+                        "available": handle.budget.available(now),
+                        "window_s": handle.budget.window_s,
+                        "next_free_s": round(
+                            handle.budget.next_free_s(now), 3
+                        ),
+                    },
                 }
             )
         return states

@@ -69,12 +69,15 @@ class SimulateRequest:
     """A validated ``/v1/simulate`` body: one kernel, one call shape.
 
     Exactly one of *config* (a point query) or *space* (a grid query)
-    is set.
+    is set. *timeout_s* is the caller's own budget (from the optional
+    ``timeout_ms`` body key); the server clamps it to its configured
+    ceiling and turns it into the request's absolute deadline.
     """
 
     kernel: Kernel
     config: Optional[HardwareConfig] = None
     space: Optional[ConfigurationSpace] = None
+    timeout_s: Optional[float] = None
 
     @property
     def is_grid(self) -> bool:
@@ -88,6 +91,7 @@ class ClassifyRequest:
 
     kernel: Kernel
     space: ConfigurationSpace
+    timeout_s: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -96,6 +100,7 @@ class WhatIfRequest:
 
     kernel: Kernel
     config: HardwareConfig
+    timeout_s: Optional[float] = None
 
 
 def _require_mapping(payload: Any) -> Mapping[str, Any]:
@@ -247,11 +252,37 @@ def parse_space(spec: Any, field: str = "space") -> ConfigurationSpace:
     return space
 
 
+def parse_timeout_ms(payload: Mapping[str, Any]) -> Optional[float]:
+    """The optional per-request budget, converted to seconds.
+
+    ``timeout_ms`` lets a caller ask for *less* time than the server's
+    default; the server clamps it to its own ceiling, so it can never
+    buy more.
+    """
+    if "timeout_ms" not in payload:
+        return None
+    value = payload["timeout_ms"]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestError(
+            "invalid_timeout",
+            f"timeout_ms must be a number, got {value!r}",
+            field="timeout_ms",
+        )
+    if not value > 0:
+        raise RequestError(
+            "invalid_timeout",
+            f"timeout_ms must be > 0, got {value!r}",
+            field="timeout_ms",
+        )
+    return float(value) / 1000.0
+
+
 def parse_simulate(payload: Any) -> SimulateRequest:
     """Validate a ``/v1/simulate`` body."""
     payload = _require_mapping(payload)
     check_version(payload)
     kernel = parse_kernel(payload)
+    timeout_s = parse_timeout_ms(payload)
     has_config = "config" in payload
     has_space = "space" in payload
     if has_config == has_space:
@@ -262,10 +293,14 @@ def parse_simulate(payload: Any) -> SimulateRequest:
         )
     if has_config:
         return SimulateRequest(
-            kernel=kernel, config=parse_config(payload["config"])
+            kernel=kernel,
+            config=parse_config(payload["config"]),
+            timeout_s=timeout_s,
         )
     return SimulateRequest(
-        kernel=kernel, space=parse_space(payload["space"])
+        kernel=kernel,
+        space=parse_space(payload["space"]),
+        timeout_s=timeout_s,
     )
 
 
@@ -278,7 +313,9 @@ def parse_classify(payload: Any) -> ClassifyRequest:
     space = (
         parse_space(payload["space"]) if "space" in payload else PAPER_SPACE
     )
-    return ClassifyRequest(kernel=kernel, space=space)
+    return ClassifyRequest(
+        kernel=kernel, space=space, timeout_s=parse_timeout_ms(payload)
+    )
 
 
 def parse_whatif(payload: Any) -> WhatIfRequest:
@@ -292,4 +329,6 @@ def parse_whatif(payload: Any) -> WhatIfRequest:
         if "config" in payload
         else PAPER_SPACE.max_config
     )
-    return WhatIfRequest(kernel=kernel, config=config)
+    return WhatIfRequest(
+        kernel=kernel, config=config, timeout_s=parse_timeout_ms(payload)
+    )

@@ -53,6 +53,7 @@ from repro.errors import (
 )
 from repro.service import schema
 from repro.service.batcher import (
+    DeadlineExceededError,
     GridQuery,
     MicroBatcher,
     OverloadError,
@@ -60,7 +61,14 @@ from repro.service.batcher import (
     ServiceClosedError,
     ServiceTimeoutError,
 )
+from repro.service.chaos import ChaosConfig
 from repro.service.metrics import ServiceMetrics
+from repro.service.resilience import (
+    BROWNOUT_MODES,
+    BrownoutExecutor,
+    WorkerUnavailableError,
+    deadline_from_timeout,
+)
 
 #: Hard caps on what one request may ship.
 MAX_REQUEST_LINE = 8192
@@ -98,6 +106,17 @@ class ServiceConfig:
     ``N`` spawned engine-worker processes, each with its own batcher
     configured by the same ``max_batch`` / ``max_wait_ms`` /
     ``queue_limit`` knobs.
+
+    Resilience knobs (PR 7): ``brownout`` selects the degraded-tier
+    policy (``off`` refuses work under pressure as before, ``auto``
+    answers saturated or breaker-blocked grid queries from the
+    predictor tier with an explicit fidelity marker, ``force`` sends
+    *every* grid query there — a load-shedding and testing mode);
+    ``restart_budget`` / ``restart_window_s`` bound worker respawns
+    per sliding window; ``hedge_fraction`` is how much of a request's
+    deadline budget may burn before a grid query is hedged to a
+    second worker (``None`` disables hedging); ``chaos`` carries a
+    parsed fault-injection schedule into every worker.
     """
 
     host: str = "127.0.0.1"
@@ -110,6 +129,18 @@ class ServiceConfig:
     use_cache: bool = True
     cache_dir: Optional[str] = None
     workers: int = 1
+    brownout: str = "off"
+    restart_budget: int = 8
+    restart_window_s: float = 60.0
+    hedge_fraction: Optional[float] = 0.5
+    chaos: Optional[ChaosConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.brownout not in BROWNOUT_MODES:
+            raise ValueError(
+                f"brownout must be one of {BROWNOUT_MODES}, got "
+                f"{self.brownout!r}"
+            )
 
 
 def _error_payload(code: str, message: str) -> Dict[str, Any]:
@@ -153,6 +184,11 @@ class GpuScaleService:
                 queue_limit=config.queue_limit,
                 use_cache=config.use_cache,
                 cache_dir=config.cache_dir,
+                chaos=config.chaos,
+                metrics=self.metrics,
+                restart_budget=config.restart_budget,
+                restart_window_s=config.restart_window_s,
+                hedge_fraction=config.hedge_fraction,
             )
             self.executor: Any = self.fleet
         else:
@@ -172,6 +208,9 @@ class GpuScaleService:
                 metrics=self.metrics,
             )
         self.batcher = self.executor
+        self.brownout: Optional[BrownoutExecutor] = None
+        if config.brownout != "off":
+            self.brownout = BrownoutExecutor()
         self._server: Optional[asyncio.AbstractServer] = None
         self._draining = False
         self._inflight = 0
@@ -224,6 +263,8 @@ class GpuScaleService:
         if drain:
             await self._idle.wait()
         await self.executor.stop(drain=drain)
+        if self.brownout is not None:
+            self.brownout.stop()
         for task in list(self._connections):
             task.cancel()
         if self._connections:
@@ -448,11 +489,35 @@ class GpuScaleService:
                 "application/json",
                 {"Retry-After": str(self._retry_after_s(exc))},
             )
+        except DeadlineExceededError as exc:
+            # Before ServiceTimeoutError: a deadline miss IS a
+            # timeout, but callers deserve the sharper code.
+            self.metrics.record_rejection("deadline")
+            return (
+                503,
+                json.dumps(
+                    _error_payload("deadline_exceeded", str(exc))
+                ),
+                "application/json",
+                None,
+            )
         except ServiceTimeoutError as exc:
             self.metrics.record_rejection("timeout")
             return (
                 503,
                 json.dumps(_error_payload("timeout", str(exc))),
+                "application/json",
+                None,
+            )
+        except WorkerUnavailableError as exc:
+            # Every worker for the shard is down or breaker-open and
+            # brownout was off (or the query was not brownout-able).
+            self.metrics.record_rejection("unavailable")
+            return (
+                503,
+                json.dumps(
+                    _error_payload("no_worker_available", str(exc))
+                ),
                 "application/json",
                 None,
             )
@@ -540,6 +605,71 @@ class GpuScaleService:
             ) from exc
 
     # ------------------------------------------------------------------
+    # Deadlines and brownout
+    # ------------------------------------------------------------------
+
+    def _request_budget(
+        self, request: Any
+    ) -> Tuple[float, float]:
+        """The effective timeout and absolute deadline of a request.
+
+        The caller's ``timeout_ms`` can only shrink the server's
+        configured ceiling, never grow it; the deadline is absolute
+        ``time.monotonic()`` and travels with every query all the way
+        into the worker's batcher.
+        """
+        timeout = self.config.request_timeout_s
+        asked = getattr(request, "timeout_s", None)
+        if asked is not None:
+            timeout = min(timeout, asked)
+        return timeout, deadline_from_timeout(timeout)
+
+    async def _submit_grid(
+        self, query: GridQuery, timeout: float, deadline: float
+    ) -> Tuple[Any, Optional[str]]:
+        """One grid query through the brownout policy.
+
+        Returns ``(result, degraded_reason)`` — the reason is ``None``
+        when the exact tier answered. ``auto`` falls back to the
+        degraded tier only when the exact tier refuses (saturation or
+        breaker-blocked workers); ``force`` routes everything there.
+        """
+        mode = self.config.brownout
+        if mode == "force" and self.brownout is not None:
+            return await self._degraded(query, "forced")
+        try:
+            result = await self.executor.submit(
+                query, timeout=timeout, deadline=deadline
+            )
+            return result, None
+        except OverloadError:
+            if mode == "auto" and self.brownout is not None:
+                return await self._degraded(query, "saturation")
+            raise
+        except WorkerUnavailableError:
+            if mode == "auto" and self.brownout is not None:
+                return await self._degraded(query, "breaker")
+            raise
+
+    async def _degraded(
+        self, query: GridQuery, reason: str
+    ) -> Tuple[Any, str]:
+        self.metrics.record_degraded(reason)
+        return await self.brownout.submit(query), reason
+
+    @staticmethod
+    def _fidelity_fields(
+        result: Any, reason: Optional[str]
+    ) -> Dict[str, Any]:
+        """The response keys that declare what the caller got."""
+        fidelity = getattr(result, "fidelity", "exact")
+        fields: Dict[str, Any] = {"fidelity": fidelity}
+        if fidelity != "exact":
+            fields["fidelity_error"] = result.error_estimate
+            fields["degraded_reason"] = reason
+        return fields
+
+    # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
 
@@ -552,6 +682,7 @@ class GpuScaleService:
             )
             or self.config.engine,
             "queue_depth": self.executor.pending,
+            "brownout": self.config.brownout,
         }
         if self.fleet is not None:
             states = self.fleet.worker_states()
@@ -590,11 +721,12 @@ class GpuScaleService:
         self, payload: Any
     ) -> Tuple[int, Dict[str, Any]]:
         request = schema.parse_simulate(payload)
-        timeout = self.config.request_timeout_s
+        timeout, deadline = self._request_budget(request)
         if request.is_grid:
-            result = await self.executor.submit(
+            result, reason = await self._submit_grid(
                 GridQuery(kernel=request.kernel, space=request.space),
-                timeout=timeout,
+                timeout,
+                deadline,
             )
             space = request.space
             return 200, {
@@ -607,10 +739,12 @@ class GpuScaleService:
                 "items_per_second": result.items_per_second.tolist(),
                 "time_s": result.time_s.tolist(),
                 "from_cache": result.from_cache,
+                **self._fidelity_fields(result, reason),
             }
         result = await self.executor.submit(
             PointQuery(kernel=request.kernel, config=request.config),
             timeout=timeout,
+            deadline=deadline,
         )
         config = request.config
         return 200, {
@@ -622,6 +756,7 @@ class GpuScaleService:
             },
             "time_s": result.time_s,
             "items_per_second": result.items_per_second,
+            "fidelity": "exact",
         }
 
     async def _post_classify(
@@ -632,9 +767,11 @@ class GpuScaleService:
         from repro.taxonomy.explain import explain_label
 
         request = schema.parse_classify(payload)
-        result = await self.executor.submit(
+        timeout, deadline = self._request_budget(request)
+        result, reason = await self._submit_grid(
             GridQuery(kernel=request.kernel, space=request.space),
-            timeout=self.config.request_timeout_s,
+            timeout,
+            deadline,
         )
         dataset = ScalingDataset(
             request.space,
@@ -652,6 +789,7 @@ class GpuScaleService:
             },
             "explanation": explain_label(label),
             "from_cache": result.from_cache,
+            **self._fidelity_fields(result, reason),
         }
 
     async def _post_whatif(
@@ -660,7 +798,7 @@ class GpuScaleService:
         from repro.predict.what_if import STANDARD_SCENARIOS
 
         request = schema.parse_whatif(payload)
-        timeout = self.config.request_timeout_s
+        timeout, deadline = self._request_budget(request)
         # Baseline plus every scenario submitted together: the batcher
         # coalesces all seven evaluations into one micro-batch.
         queries = [
@@ -673,7 +811,12 @@ class GpuScaleService:
             for scenario in STANDARD_SCENARIOS
         ]
         results = await asyncio.gather(
-            *(self.executor.submit(q, timeout=timeout) for q in queries)
+            *(
+                self.executor.submit(
+                    q, timeout=timeout, deadline=deadline
+                )
+                for q in queries
+            )
         )
         baseline = results[0].items_per_second
         scenarios = sorted(

@@ -47,6 +47,7 @@ from repro.errors import (
     WorkloadError,
 )
 from repro.service.batcher import (
+    DeadlineExceededError,
     GridQuery,
     GridResult,
     OverloadError,
@@ -62,7 +63,11 @@ from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
 #: memory, so legitimate frames stay small).
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
-_LENGTH = struct.Struct(">I")
+#: The length prefix is parsed *signed* on purpose: a corrupted
+#: high bit then reads as an impossible negative length and is
+#: refused outright, instead of masquerading as a multi-gigabyte
+#: announcement.
+_LENGTH = struct.Struct(">i")
 
 
 class TransportError(ReproError):
@@ -98,6 +103,11 @@ async def read_frame(
             "peer closed mid-frame (truncated length prefix)"
         ) from exc
     (length,) = _LENGTH.unpack(header)
+    if length <= 0:
+        raise TransportError(
+            f"frame announces a non-positive length ({length}); "
+            "corrupt length prefix"
+        )
     if length > MAX_FRAME_BYTES:
         raise TransportError(
             f"frame announces {length} bytes, cap is {MAX_FRAME_BYTES}"
@@ -108,7 +118,15 @@ async def read_frame(
         raise TransportError(
             "peer closed mid-frame (truncated body)"
         ) from exc
-    return pickle.loads(blob)
+    try:
+        return pickle.loads(blob)
+    except Exception as exc:
+        # A flipped byte anywhere in the body surfaces here; after a
+        # corrupt frame the stream can no longer be trusted, so the
+        # caller treats this like peer death (restart + resubmit).
+        raise TransportError(
+            f"corrupt frame body ({type(exc).__name__}: {exc})"
+        ) from exc
 
 
 def send_frame(
@@ -282,7 +300,12 @@ def decode_result(
         # Attaching registers with the resource tracker (bpo-39959),
         # but unlink() below unregisters again — so unlike the worker
         # side, no manual untrack here: the pair balances itself.
-        segment = shared_memory.SharedMemory(name=name)
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except (OSError, ValueError) as exc:
+            raise TransportError(
+                f"failed to attach result segment {name!r}: {exc}"
+            ) from exc
         try:
             view = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
             array = np.array(view)
@@ -324,6 +347,7 @@ def release_result(payload: Tuple[Any, ...]) -> None:
 _ERROR_CODES = {
     "overload": OverloadError,
     "timeout": ServiceTimeoutError,
+    "deadline": DeadlineExceededError,
     "closed": ServiceClosedError,
     "configuration": ConfigurationError,
     "workload": WorkloadError,
@@ -338,6 +362,9 @@ def encode_error(exc: BaseException) -> Tuple[str, str, Dict[str, Any]]:
             "overload", str(exc),
             {"retry_after": getattr(exc, "retry_after", None)},
         )
+    # Subclass ordering: DeadlineExceededError IS a ServiceTimeoutError.
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline", str(exc), {}
     if isinstance(exc, ServiceTimeoutError):
         return "timeout", str(exc), {}
     if isinstance(exc, ServiceClosedError):

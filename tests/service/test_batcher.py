@@ -614,3 +614,141 @@ class TestBackpressure:
 
         result = run(scenario())
         assert result.items_per_second > 0
+
+
+class TestDeadlines:
+    """Absolute-deadline propagation through the batcher."""
+
+    def test_expired_deadline_refused_at_admission(
+        self, archetype_kernels
+    ):
+        from repro.service.batcher import DeadlineExceededError
+
+        async def scenario():
+            batcher = await make_batcher(GpuSimulator("interval"))
+            try:
+                loop = asyncio.get_running_loop()
+                with pytest.raises(DeadlineExceededError):
+                    await batcher.submit(
+                        PointQuery(archetype_kernels[0], W9100_LIKE),
+                        deadline=loop.time() - 0.001,
+                    )
+            finally:
+                await batcher.stop(drain=False)
+
+        run(scenario())
+
+    def test_deadline_beats_timeout_when_earlier(
+        self, archetype_kernels
+    ):
+        from repro.service.batcher import DeadlineExceededError
+
+        engine = GatedSimulator(GpuSimulator("interval"))
+
+        async def scenario():
+            batcher = await make_batcher(
+                engine, max_batch=1, max_wait_ms=0.0
+            )
+            try:
+                loop = asyncio.get_running_loop()
+                with pytest.raises(DeadlineExceededError):
+                    await batcher.submit(
+                        PointQuery(archetype_kernels[0], W9100_LIKE),
+                        timeout=30.0,
+                        deadline=loop.time() + 0.05,
+                    )
+            finally:
+                engine.gate.set()
+                await batcher.stop(drain=False)
+
+        run(scenario())
+
+    def test_plain_timeout_still_raises_timeout_error(
+        self, archetype_kernels
+    ):
+        from repro.service.batcher import DeadlineExceededError
+
+        engine = GatedSimulator(GpuSimulator("interval"))
+
+        async def scenario():
+            batcher = await make_batcher(
+                engine, max_batch=1, max_wait_ms=0.0
+            )
+            try:
+                with pytest.raises(ServiceTimeoutError) as excinfo:
+                    await batcher.submit(
+                        PointQuery(archetype_kernels[0], W9100_LIKE),
+                        timeout=0.05,
+                    )
+                assert not isinstance(
+                    excinfo.value, DeadlineExceededError
+                )
+            finally:
+                engine.gate.set()
+                await batcher.stop(drain=False)
+
+        run(scenario())
+
+    def test_expired_entries_are_cancelled_not_computed(
+        self, archetype_kernels
+    ):
+        """A query whose deadline passes while it waits behind a slow
+        batch is dropped before evaluation: the engine never sees it."""
+        from repro.service.batcher import DeadlineExceededError
+
+        engine = GatedSimulator(GpuSimulator("interval"))
+        counted = CountingSimulator(engine)
+
+        async def scenario():
+            batcher = await make_batcher(
+                counted, max_batch=1, max_wait_ms=0.0
+            )
+            loop = asyncio.get_running_loop()
+            # First query occupies the engine thread at the gate.
+            blocker = asyncio.ensure_future(
+                batcher.submit(
+                    PointQuery(archetype_kernels[0], W9100_LIKE)
+                )
+            )
+            await asyncio.sleep(0.05)
+            # Second query's deadline expires while it queues.
+            doomed = asyncio.ensure_future(
+                batcher.submit(
+                    PointQuery(archetype_kernels[1], W9100_LIKE),
+                    deadline=loop.time() + 0.05,
+                )
+            )
+            await asyncio.sleep(0.2)
+            engine.gate.set()
+            result = await blocker
+            with pytest.raises(DeadlineExceededError):
+                await doomed
+            await batcher.stop(drain=True)
+            return result, counted.point_calls
+
+        result, point_calls = run(scenario())
+        assert result.items_per_second > 0
+        assert point_calls == 1, "expired query must not be evaluated"
+
+    def test_deadline_metric_is_counted(self, archetype_kernels):
+        from repro.service.batcher import DeadlineExceededError
+        from repro.service.metrics import ServiceMetrics
+
+        metrics = ServiceMetrics()
+
+        async def scenario():
+            batcher = await make_batcher(
+                GpuSimulator("interval"), metrics=metrics
+            )
+            try:
+                loop = asyncio.get_running_loop()
+                with pytest.raises(DeadlineExceededError):
+                    await batcher.submit(
+                        PointQuery(archetype_kernels[0], W9100_LIKE),
+                        deadline=loop.time() - 1.0,
+                    )
+            finally:
+                await batcher.stop(drain=False)
+
+        run(scenario())
+        assert metrics.deadline_exceeded.value() == 1

@@ -1,0 +1,279 @@
+"""Chaos harness: spec parsing, schedule determinism, and the fleet
+resilience property.
+
+The property pinned at the bottom is the contract the whole resilience
+layer exists to provide: under a seeded fault schedule (kills, frame
+truncation, corrupt pickles, shm attach failures, delays), every
+admitted query gets **exactly one** outcome — a bit-exact result or a
+structured error — the fleet drains cleanly, and no shared-memory
+segment leaks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.gpu import W9100_LIKE
+from repro.gpu.simulator import GpuSimulator
+from repro.service.batcher import GridQuery, PointQuery
+from repro.service.chaos import (
+    ACTIONS,
+    ChaosConfig,
+    ChaosInjector,
+    ChaosSpecError,
+    format_chaos,
+    parse_chaos,
+)
+from repro.service.router import FleetExecutor
+from repro.suites import all_kernels, kernel_by_name
+from repro.sweep import reduced_space
+
+KERNEL = "rodinia/bfs.kernel1"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestChaosSpec:
+    def test_parse_full_spec(self):
+        config = parse_chaos(
+            "seed=7,corrupt=0.05,kill=0.01,arm_after=20,workers=0+2"
+        )
+        assert config.seed == 7
+        assert config.corrupt == 0.05
+        assert config.kill == 0.01
+        assert config.arm_after == 20
+        assert config.workers == (0, 2)
+
+    def test_parse_ignores_whitespace_and_blanks(self):
+        config = parse_chaos(" seed=3 , , delay=0.5 ")
+        assert config.seed == 3
+        assert config.delay == 0.5
+
+    def test_format_parse_round_trip(self):
+        config = ChaosConfig(
+            seed=42,
+            kill=0.01,
+            truncate=0.125,
+            shm_fail=0.25,
+            delay=0.5,
+            delay_ms=10.0,
+            arm_after=8,
+            workers=(1, 3),
+        )
+        assert parse_chaos(format_chaos(config)) == config
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "corrupt",  # not key=value
+            "unknown=1",  # no such knob
+            "kill=1.5",  # probability outside [0, 1]
+            "kill=-0.1",
+            "hang_s=-1",
+            "seed=x",  # unparsable value
+            "workers=a+b",
+        ],
+    )
+    def test_bad_specs_are_refused(self, spec):
+        with pytest.raises(ChaosSpecError):
+            parse_chaos(spec)
+
+    def test_targets(self):
+        assert ChaosConfig().targets(5)
+        scoped = ChaosConfig(workers=(0, 2))
+        assert scoped.targets(0) and scoped.targets(2)
+        assert not scoped.targets(1)
+
+
+class TestChaosInjector:
+    CONFIG = ChaosConfig(
+        seed=13, kill=0.05, corrupt=0.1, delay=0.2, truncate=0.05
+    )
+
+    def sequence(self, injector, n=300):
+        return [injector.sample() for _ in range(n)]
+
+    def test_same_identity_replays_the_same_schedule(self):
+        first = self.sequence(ChaosInjector(self.CONFIG, 1, 0))
+        second = self.sequence(ChaosInjector(self.CONFIG, 1, 0))
+        assert first == second
+        assert any(action is not None for action in first)
+
+    def test_workers_and_generations_draw_distinct_schedules(self):
+        base = self.sequence(ChaosInjector(self.CONFIG, 1, 0))
+        other_worker = self.sequence(ChaosInjector(self.CONFIG, 2, 0))
+        respawned = self.sequence(ChaosInjector(self.CONFIG, 1, 1))
+        assert base != other_worker
+        assert base != respawned
+
+    def test_only_known_actions_fire(self):
+        drawn = set(self.sequence(ChaosInjector(self.CONFIG, 0, 0)))
+        drawn.discard(None)
+        assert drawn <= set(ACTIONS)
+
+    def test_arm_after_grace_period(self):
+        config = ChaosConfig(seed=13, kill=1.0, arm_after=10)
+        injector = ChaosInjector(config, 0, 0)
+        first = [injector.sample() for _ in range(10)]
+        assert first == [None] * 10
+        assert injector.sample() == "kill"
+
+    def test_untargeted_worker_never_fires(self):
+        config = ChaosConfig(seed=13, kill=1.0, workers=(0,))
+        assert self.sequence(ChaosInjector(config, 1, 0)) == [
+            None
+        ] * 300
+
+    def test_drain_kill(self):
+        always = ChaosInjector(ChaosConfig(drain_kill=1.0), 0, 0)
+        never = ChaosInjector(ChaosConfig(drain_kill=0.0), 0, 0)
+        assert always.sample_drain_kill()
+        assert not never.sample_drain_kill()
+
+
+class TestFleetUnderChaos:
+    """The resilience property, end to end through real processes."""
+
+    def _queries(self):
+        kernels = all_kernels("proxyapps") + all_kernels("shoc")
+        space = reduced_space(3, 3, 3)
+        queries = [GridQuery(k, space) for k in kernels[:10]]
+        queries += [
+            PointQuery(k, W9100_LIKE) for k in kernels[:10]
+        ]
+        return queries
+
+    def _expected(self, query):
+        direct = GpuSimulator("interval")
+        if isinstance(query, GridQuery):
+            return direct.simulate_grid(query.kernel, query.space)
+        return direct.simulate(query.kernel, query.config)
+
+    def _run_fleet(self, chaos, n_workers=3):
+        queries = self._queries()
+
+        async def scenario():
+            fleet = FleetExecutor(
+                n_workers,
+                use_cache=False,
+                max_wait_ms=20.0,
+                chaos=chaos,
+                restart_budget=64,
+                restart_window_s=60.0,
+            )
+            await fleet.start()
+            tasks = [
+                asyncio.ensure_future(
+                    fleet.submit(query, timeout=60.0)
+                )
+                for query in queries
+            ]
+            # The no-hang bound: everything settles well inside the
+            # per-query timeout, even while workers are being killed.
+            outcomes = await asyncio.wait_for(
+                asyncio.gather(*tasks, return_exceptions=True),
+                timeout=120.0,
+            )
+            await asyncio.wait_for(fleet.stop(drain=True), 60.0)
+            return outcomes
+
+        return queries, run(scenario())
+
+    def _check_outcomes(self, queries, outcomes):
+        assert len(outcomes) == len(queries)
+        answered = 0
+        for query, outcome in zip(queries, outcomes):
+            if isinstance(outcome, Exception):
+                # Structured service errors only — no raw pickle /
+                # OS / asyncio exceptions may escape to callers.
+                assert isinstance(outcome, ReproError), outcome
+                continue
+            answered += 1
+            expected = self._expected(query)
+            if isinstance(query, GridQuery):
+                np.testing.assert_array_equal(
+                    outcome.items_per_second,
+                    expected.items_per_second,
+                )
+            else:
+                assert outcome.items_per_second == float(
+                    expected.items_per_second
+                )
+        return answered
+
+    def test_every_query_answered_exactly_once_under_chaos(self):
+        before = set(os.listdir("/dev/shm"))
+        chaos = ChaosConfig(
+            seed=2015,
+            kill=0.02,
+            truncate=0.03,
+            corrupt=0.03,
+            shm_fail=0.05,
+            delay=0.2,
+            delay_ms=20.0,
+            arm_after=2,
+        )
+        queries, outcomes = self._run_fleet(chaos)
+        answered = self._check_outcomes(queries, outcomes)
+        # The schedule is gentle enough that the fleet keeps
+        # answering: chaos degrades, it must not black out.
+        assert answered >= len(queries) // 2
+        leaked = {
+            name
+            for name in set(os.listdir("/dev/shm")) - before
+            if name.startswith("psm_")
+        }
+        assert not leaked, f"leaked shared memory: {leaked}"
+
+    def test_mid_drain_kills_do_not_stall_shutdown(self):
+        chaos = ChaosConfig(seed=7, drain_kill=1.0)
+        queries, outcomes = self._run_fleet(chaos, n_workers=2)
+        answered = self._check_outcomes(queries, outcomes)
+        assert answered == len(queries)
+
+    def test_aggressive_shm_failure_still_terminates(self):
+        """shm_fail=1.0 breaks every grid result segment; the router
+        must fail over a bounded number of times, then surface a
+        structured error rather than loop forever."""
+        chaos = ChaosConfig(seed=3, shm_fail=1.0)
+        kernel = kernel_by_name(KERNEL)
+        grid = GridQuery(kernel, reduced_space(3, 3, 3))
+        point = PointQuery(kernel, W9100_LIKE)
+
+        async def scenario():
+            fleet = FleetExecutor(
+                2, use_cache=False, chaos=chaos, max_wait_ms=10.0
+            )
+            await fleet.start()
+            try:
+                grid_outcome, point_outcome = await asyncio.wait_for(
+                    asyncio.gather(
+                        fleet.submit(grid, timeout=30.0),
+                        fleet.submit(point, timeout=30.0),
+                        return_exceptions=True,
+                    ),
+                    timeout=60.0,
+                )
+            finally:
+                await asyncio.wait_for(fleet.stop(drain=True), 30.0)
+            return grid_outcome, point_outcome
+
+        grid_outcome, point_outcome = run(scenario())
+        assert isinstance(grid_outcome, ReproError)
+        # Point results travel inline, untouched by shm failures.
+        expected = GpuSimulator("interval").simulate(kernel, W9100_LIKE)
+        assert point_outcome.items_per_second == float(
+            expected.items_per_second
+        )
+
+    def test_chaos_off_is_bit_exact_and_fault_free(self):
+        queries, outcomes = self._run_fleet(None, n_workers=2)
+        answered = self._check_outcomes(queries, outcomes)
+        assert answered == len(queries)

@@ -257,3 +257,218 @@ class TestFleetProcesses:
                 assert result.items_per_second == float(
                     expected.items_per_second
                 )
+
+
+class TestPreferenceChains:
+    def test_preference_starts_with_the_owner(self):
+        ring = HashRing(4)
+        for i in range(64):
+            key = f"key-{i}"
+            chain = ring.preference(key)
+            assert chain[0] == ring.lookup(key)
+
+    def test_preference_covers_every_worker_once(self):
+        ring = HashRing(4)
+        for i in range(64):
+            chain = ring.preference(f"key-{i}")
+            assert sorted(chain) == [0, 1, 2, 3]
+
+    def test_single_worker_chain(self):
+        assert HashRing(1).preference("anything") == [0]
+
+
+class TestFleetDeadlines:
+    def test_expired_deadline_refused_before_dispatch(self):
+        from repro.service.batcher import DeadlineExceededError
+
+        metrics = ServiceMetrics()
+
+        async def scenario():
+            fleet = FleetExecutor(2, use_cache=False, metrics=metrics)
+            await fleet.start()
+            try:
+                with pytest.raises(DeadlineExceededError):
+                    await fleet.submit(
+                        PointQuery(kernel_by_name(KERNEL), W9100_LIKE),
+                        deadline=(
+                            asyncio.get_running_loop().time() - 1.0
+                        ),
+                    )
+            finally:
+                await fleet.stop(drain=False)
+
+        run(scenario())
+        assert metrics.deadline_exceeded.value() == 1
+
+
+class TestFleetResilience:
+    """Breakers, restart budgets, hedging — through real processes."""
+
+    def test_worker_states_expose_breaker_and_budget(self):
+        async def scenario():
+            fleet = FleetExecutor(2, use_cache=False)
+            await fleet.start()
+            try:
+                return fleet.worker_states()
+            finally:
+                await fleet.stop(drain=True)
+
+        states = run(scenario())
+        for state in states:
+            assert state["breaker"] == "closed"
+            budget = state["restart_budget"]
+            assert budget["available"] >= 1
+            assert budget["window_s"] > 0
+            assert budget["next_free_s"] == 0.0
+
+    def test_open_breaker_diverts_the_shard_to_its_neighbour(self):
+        from repro.service.resilience import BreakerConfig
+
+        kernel = kernel_by_name(KERNEL)
+        query = GridQuery(kernel, PAPER_SPACE)
+        metrics = ServiceMetrics()
+
+        async def scenario():
+            # One infra failure trips the breaker; a long cooldown
+            # keeps it open for the rest of the test.
+            fleet = FleetExecutor(
+                2,
+                use_cache=False,
+                metrics=metrics,
+                breaker=BreakerConfig(
+                    failure_threshold=1,
+                    window_s=60.0,
+                    cooldown_s=60.0,
+                ),
+            )
+            await fleet.start()
+            try:
+                target = fleet.worker_for(query)
+                os.kill(fleet.worker_states()[target]["pid"],
+                        signal.SIGKILL)
+                # Wait for the supervisor to notice and restart.
+                for _ in range(200):
+                    state = fleet.worker_states()[target]
+                    if state["restarts"] >= 1 and state["alive"]:
+                        break
+                    await asyncio.sleep(0.05)
+                states = fleet.worker_states()
+                result = await fleet.submit(query, timeout=30.0)
+            finally:
+                await fleet.stop(drain=True)
+            return target, states, result
+
+        target, states, result = run(scenario())
+
+        assert states[target]["breaker"] == "open"
+        expected = GpuSimulator("interval").simulate_grid(
+            kernel_by_name(KERNEL), PAPER_SPACE
+        )
+        np.testing.assert_array_equal(
+            result.items_per_second, expected.items_per_second
+        )
+        text = run(
+            _render(metrics)
+        )
+        assert (
+            'gpuscale_breaker_transitions_total{'
+            f'shard="{target}", transition="closed->open"}} 1' in text
+        )
+        assert f'gpuscale_breaker_open{{shard="{target}"}} 1' in text
+
+    def test_exhausted_restart_budget_fails_over_not_crashes(self):
+        kernel = kernel_by_name(KERNEL)
+        query = GridQuery(kernel, PAPER_SPACE)
+
+        async def scenario():
+            fleet = FleetExecutor(
+                2,
+                use_cache=False,
+                restart_budget=1,
+                restart_window_s=120.0,
+            )
+            await fleet.start()
+            try:
+                target = fleet.worker_for(query)
+                # First kill consumes the only restart slot.
+                os.kill(fleet.worker_states()[target]["pid"],
+                        signal.SIGKILL)
+                for _ in range(200):
+                    state = fleet.worker_states()[target]
+                    if state["restarts"] >= 1 and state["alive"]:
+                        break
+                    await asyncio.sleep(0.05)
+                # Second kill exhausts it: the shard must divert to
+                # its neighbour instead of dying or hanging.
+                os.kill(fleet.worker_states()[target]["pid"],
+                        signal.SIGKILL)
+                await asyncio.sleep(0.3)
+                result = await fleet.submit(query, timeout=30.0)
+                states = fleet.worker_states()
+            finally:
+                await fleet.stop(drain=False)
+            return target, states, result
+
+        target, states, result = run(scenario())
+
+        assert states[target]["restart_budget"]["available"] == 0
+        assert states[target]["restart_budget"]["next_free_s"] > 0
+        expected = GpuSimulator("interval").simulate_grid(
+            kernel_by_name(KERNEL), PAPER_SPACE
+        )
+        np.testing.assert_array_equal(
+            result.items_per_second, expected.items_per_second
+        )
+
+    def test_hedge_rescues_a_hanging_primary(self):
+        from repro.service.chaos import ChaosConfig
+
+        kernel = kernel_by_name(KERNEL)
+        query = GridQuery(kernel, PAPER_SPACE)
+        metrics = ServiceMetrics()
+
+        # The shard owner is deterministic, so chaos can be aimed at
+        # it before any process exists.
+        target = FleetExecutor(2, use_cache=False).worker_for(query)
+
+        async def scenario():
+            fleet = FleetExecutor(
+                2,
+                use_cache=False,
+                metrics=metrics,
+                hedge_fraction=0.05,
+                chaos=ChaosConfig(
+                    seed=11,
+                    hang=1.0,
+                    hang_s=120.0,
+                    workers=(target,),
+                ),
+            )
+            await fleet.start()
+            try:
+                result = await fleet.submit(query, timeout=30.0)
+            finally:
+                await fleet.stop(drain=False)
+            return result
+
+        result = run(scenario())
+
+        expected = GpuSimulator("interval").simulate_grid(
+            kernel_by_name(KERNEL), PAPER_SPACE
+        )
+        np.testing.assert_array_equal(
+            result.items_per_second, expected.items_per_second
+        )
+        text = run(_render(metrics))
+        assert (
+            f'gpuscale_hedges_total{{shard="{1 - target}", '
+            'outcome="issued"} 1' in text
+        )
+        assert (
+            f'gpuscale_hedges_total{{shard="{1 - target}", '
+            'outcome="won"} 1' in text
+        )
+
+
+async def _render(metrics):
+    return metrics.registry.render()

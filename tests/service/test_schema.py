@@ -205,3 +205,38 @@ class TestClassifyAndWhatIf:
             }
         )
         assert request.config.cu_count == 8
+
+
+class TestTimeoutMs:
+    def test_absent_means_no_caller_budget(self):
+        request = schema.parse_simulate(
+            {"kernel": KERNEL, "space": "paper"}
+        )
+        assert request.timeout_s is None
+
+    def test_converted_to_seconds(self):
+        request = schema.parse_simulate(
+            {"kernel": KERNEL, "space": "paper", "timeout_ms": 250}
+        )
+        assert request.timeout_s == pytest.approx(0.25)
+
+    def test_accepted_on_classify_and_whatif(self):
+        classify = schema.parse_classify(
+            {"kernel": KERNEL, "timeout_ms": 1500}
+        )
+        whatif = schema.parse_whatif(
+            {"kernel": KERNEL, "timeout_ms": 1500.5}
+        )
+        assert classify.timeout_s == pytest.approx(1.5)
+        assert whatif.timeout_s == pytest.approx(1.5005)
+
+    @pytest.mark.parametrize(
+        "bad", ["100", None, True, False, 0, -5, -0.1]
+    )
+    def test_invalid_values_rejected(self, bad):
+        error = err(
+            schema.parse_simulate,
+            {"kernel": KERNEL, "space": "paper", "timeout_ms": bad},
+        )
+        assert error.code == "invalid_timeout"
+        assert error.field == "timeout_ms"

@@ -362,7 +362,7 @@ class TestOverloadMapping:
         self, exc, status, code
     ):
         async def scenario(service):
-            async def rejecting_submit(query, timeout=None):
+            async def rejecting_submit(query, timeout=None, deadline=None):
                 raise exc
 
             service.batcher.submit = rejecting_submit
@@ -374,7 +374,7 @@ class TestOverloadMapping:
 
     def test_429_carries_retry_after(self):
         async def scenario(service):
-            async def rejecting_submit(query, timeout=None):
+            async def rejecting_submit(query, timeout=None, deadline=None):
                 raise OverloadError("full")
 
             service.batcher.submit = rejecting_submit
@@ -570,3 +570,181 @@ class TestConnectionBehaviour:
         status, payload = run(scenario())
         assert status == 200
         assert payload["kernel"] == KERNEL
+
+
+class TestBrownoutAndFidelity:
+    """Fidelity marking and degraded (predictor) fallback answers."""
+
+    def test_exact_grid_response_is_marked(self):
+        async def scenario(service):
+            status, body = await post(
+                service,
+                "/v1/simulate",
+                {"kernel": KERNEL, "space": SMALL_SPACE_BODY},
+            )
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario)
+        assert status == 200
+        assert payload["fidelity"] == "exact"
+        assert "fidelity_error" not in payload
+        assert "degraded_reason" not in payload
+
+    def test_point_response_is_marked_exact(self):
+        async def scenario(service):
+            status, body = await post(
+                service, "/v1/simulate", POINT_BODY
+            )
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario)
+        assert status == 200
+        assert payload["fidelity"] == "exact"
+
+    def test_forced_brownout_answers_from_the_predictor(self):
+        async def scenario(service):
+            status, body = await post(
+                service,
+                "/v1/simulate",
+                {"kernel": KERNEL, "space": SMALL_SPACE_BODY},
+            )
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario, brownout="force")
+        assert status == 200
+        assert payload["fidelity"] == "degraded"
+        assert payload["degraded_reason"] == "forced"
+        assert 0.0 <= payload["fidelity_error"] < 1.0
+
+        from repro.gpu.engine import get_engine
+        from repro.suites import kernel_by_name
+        from repro.sweep.space import ConfigurationSpace
+
+        space = ConfigurationSpace.from_dict(dict(SMALL_SPACE_BODY))
+        expected = get_engine("predictor").simulate_grid(
+            kernel_by_name(KERNEL), space
+        )
+        np.testing.assert_array_equal(
+            np.asarray(payload["items_per_second"]),
+            expected.items_per_second,
+        )
+
+    def test_auto_brownout_absorbs_saturation(self):
+        async def scenario(service):
+            async def rejecting_submit(
+                query, timeout=None, deadline=None
+            ):
+                raise OverloadError("queue full")
+
+            service.batcher.submit = rejecting_submit
+            status, body = await post(
+                service,
+                "/v1/simulate",
+                {"kernel": KERNEL, "space": SMALL_SPACE_BODY},
+            )
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario, brownout="auto")
+        assert status == 200
+        assert payload["fidelity"] == "degraded"
+        assert payload["degraded_reason"] == "saturation"
+
+    def test_brownout_off_still_429s_on_saturation(self):
+        async def scenario(service):
+            async def rejecting_submit(
+                query, timeout=None, deadline=None
+            ):
+                raise OverloadError("queue full")
+
+            service.batcher.submit = rejecting_submit
+            status, body = await post(
+                service,
+                "/v1/simulate",
+                {"kernel": KERNEL, "space": SMALL_SPACE_BODY},
+            )
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario)  # brownout="off"
+        assert status == 429
+        assert payload["error"]["code"] == "overloaded"
+
+    def test_classify_carries_fidelity_fields(self):
+        async def scenario(service):
+            status, body = await post(
+                service, "/v1/classify", {"kernel": KERNEL}
+            )
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario, brownout="force")
+        assert status == 200
+        assert payload["fidelity"] == "degraded"
+        assert payload["degraded_reason"] == "forced"
+
+    def test_degraded_responses_are_counted(self):
+        async def scenario(service):
+            await post(
+                service,
+                "/v1/simulate",
+                {"kernel": KERNEL, "space": SMALL_SPACE_BODY},
+            )
+            status, body = await get(service, "/metrics")
+            return status, body.decode()
+
+        status, text = with_service(scenario, brownout="force")
+        assert status == 200
+        assert 'gpuscale_degraded_total{reason="forced"} 1' in text
+
+    def test_healthz_reports_brownout_mode(self):
+        async def scenario(service):
+            status, body = await get(service, "/healthz")
+            return json.loads(body)
+
+        payload = with_service(scenario, brownout="auto")
+        assert payload["brownout"] == "auto"
+
+
+class TestDeadlinesOverHttp:
+    def test_timeout_ms_is_honoured(self):
+        """A caller budget smaller than the server's shrinks the
+        dispatch budget, and an exhausted deadline maps to 503
+        deadline_exceeded."""
+        from repro.service.batcher import DeadlineExceededError
+
+        seen = {}
+
+        async def scenario(service):
+            async def expiring_submit(
+                query, timeout=None, deadline=None
+            ):
+                seen["timeout"] = timeout
+                seen["deadline"] = deadline
+                raise DeadlineExceededError(
+                    "query deadline passed before admission"
+                )
+
+            service.batcher.submit = expiring_submit
+            status, body = await post(
+                service,
+                "/v1/simulate",
+                {**POINT_BODY, "timeout_ms": 100},
+            )
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario)
+        assert status == 503
+        assert payload["error"]["code"] == "deadline_exceeded"
+        assert seen["timeout"] == pytest.approx(0.1)
+        assert seen["deadline"] is not None
+
+    def test_invalid_timeout_ms_is_a_400(self):
+        async def scenario(service):
+            status, body = await post(
+                service,
+                "/v1/simulate",
+                {**POINT_BODY, "timeout_ms": -1},
+            )
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario)
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_timeout"

@@ -27,6 +27,7 @@ from repro.gpu import W9100_LIKE, HardwareConfig
 from repro.gpu.simulator import GpuSimulator
 from repro.service import transport
 from repro.service.batcher import (
+    DeadlineExceededError,
     GridQuery,
     GridResult,
     OverloadError,
@@ -68,7 +69,10 @@ class TestFraming:
     def test_round_trip_preserves_frames_in_order(self):
         frames = [
             ("ready", 3, 12345),
-            ("query", 7, ("point", KERNEL, (44, 1000.0, 1250.0)), None),
+            (
+                "query", 7,
+                ("point", KERNEL, (44, 1000.0, 1250.0)), None, 81.25,
+            ),
             ("pong", 9),
         ]
         assert roundtrip_frames(*frames) == frames
@@ -122,6 +126,52 @@ class TestFraming:
             transport.encode_frame(
                 ("blob", b"x" * (transport.MAX_FRAME_BYTES + 1))
             )
+
+    @pytest.mark.parametrize("length", [0, -1, -(2**31)])
+    def test_non_positive_length_prefix_refused(self, length):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(
+                length.to_bytes(4, "big", signed=True) + b"junk"
+            )
+            return await transport.read_frame(reader)
+
+        with pytest.raises(TransportError, match="non-positive"):
+            run(scenario())
+
+    def test_corrupt_high_bit_reads_as_negative_not_gigabytes(self):
+        # A flipped MSB in the prefix must be refused outright, not
+        # interpreted as a ~2 GiB announcement to wait for.
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\xff\x00\x00\x10" + b"body")
+            return await transport.read_frame(reader)
+
+        with pytest.raises(TransportError, match="non-positive"):
+            run(scenario())
+
+    def test_corrupt_pickle_body_raises(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            blob = b"\x93this is not a pickle"
+            reader.feed_data(len(blob).to_bytes(4, "big") + blob)
+            reader.feed_eof()
+            return await transport.read_frame(reader)
+
+        with pytest.raises(TransportError, match="corrupt frame body"):
+            run(scenario())
+
+    def test_flipped_byte_in_valid_frame_raises(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            encoded = bytearray(transport.encode_frame(("pong", 42)))
+            encoded[7] ^= 0xFF  # corrupt the body, keep the length
+            reader.feed_data(bytes(encoded))
+            reader.feed_eof()
+            return await transport.read_frame(reader)
+
+        with pytest.raises(TransportError):
+            run(scenario())
 
 
 class TestQueryEncoding:
@@ -261,12 +311,32 @@ class TestResultEncoding:
         with pytest.raises(TransportError):
             transport.decode_result(("tensor", KERNEL))
 
+    def test_failed_shm_attach_is_a_transport_error(self):
+        # The worker announced a segment that no longer exists (died
+        # between create and router attach, or chaos unlinked it):
+        # the router must get a structured error, not an uncaught
+        # FileNotFoundError that kills its supervisor task.
+        payload = (
+            "grid-shm", KERNEL, "gpuscale-no-such-segment",
+            (2, 3, 4), "float64", 1024, False,
+        )
+        with pytest.raises(TransportError, match="failed to attach"):
+            transport.decode_result(payload)
+
+    def test_release_of_a_vanished_segment_is_a_noop(self):
+        transport.release_result(
+            ("grid-shm", KERNEL, "gpuscale-no-such-segment",
+             (1,), "float64", 1, False)
+        )
+
 
 class TestErrorEncoding:
     @pytest.mark.parametrize(
         "exc, code, cls",
         [
             (ServiceTimeoutError("slow"), "timeout", ServiceTimeoutError),
+            (DeadlineExceededError("late"), "deadline",
+             DeadlineExceededError),
             (ServiceClosedError("bye"), "closed", ServiceClosedError),
             (ConfigurationError("bad cfg"), "configuration",
              ConfigurationError),
