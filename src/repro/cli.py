@@ -560,11 +560,12 @@ def _cmd_engines(_args: argparse.Namespace) -> int:
             mark(caps.study),
             descriptor.family,
             f"v{descriptor.version}",
+            descriptor.fidelity,
             reg.summary,
         ])
     print(render_table(
         ["engine", "point", "grid", "study", "family", "version",
-         "summary"],
+         "fidelity", "summary"],
         rows,
         title="Registered timing engines",
     ))

@@ -111,6 +111,24 @@ class EngineCapabilities:
         return {"point": self.point, "grid": self.grid, "study": self.study}
 
 
+#: Fidelity tiers, most faithful first. ``reference`` engines model
+#: microarchitectural mechanisms directly (the discrete-event
+#: cross-check); ``exact`` engines are the analytical interval family
+#: that defines the study dataset; ``approximate`` engines trade
+#: accuracy for speed and publish a measured error budget. The service
+#: routes a toleranced query to the cheapest tier whose error fits.
+FIDELITY_TIERS: Tuple[str, ...] = ("reference", "exact", "approximate")
+
+
+def fidelity_rank(fidelity: str) -> int:
+    """Position of *fidelity* in :data:`FIDELITY_TIERS` (0 = most
+    faithful); unknown strings rank after every known tier."""
+    try:
+        return FIDELITY_TIERS.index(fidelity)
+    except ValueError:
+        return len(FIDELITY_TIERS)
+
+
 @dataclass(frozen=True)
 class EngineDescriptor:
     """Stable identity of one timing engine.
@@ -120,12 +138,21 @@ class EngineDescriptor:
     are equivalence-tested to produce identical datasets, so
     fingerprints must not distinguish them. *version* tracks the
     engine's numerics; *material* names the modelled substrate.
+
+    *fidelity* places the engine on the :data:`FIDELITY_TIERS` ladder
+    and *error_budget* bounds its error against the exact tier: 0.0
+    for reference/exact engines (equivalence-tested), a measured
+    median-relative-error ceiling for approximate ones. Neither field
+    enters :meth:`fingerprint_material` — fidelity metadata routes
+    queries, it does not change what an engine computes.
     """
 
     name: str
     family: str
     version: int = 1
     material: str = "gcn3-hawaii-class"
+    fidelity: str = "exact"
+    error_budget: float = 0.0
 
     def fingerprint_material(self) -> str:
         """The string cache keys and campaign journals embed.
@@ -441,6 +468,12 @@ def _interval_batch_factory(**kwargs: Any) -> Any:
     return BatchIntervalModel(**kwargs)
 
 
+def _study_mt_factory(**kwargs: Any) -> Any:
+    from repro.gpu.study_mt import StudyMTModel
+
+    return StudyMTModel(**kwargs)
+
+
 def _event_factory(**kwargs: Any) -> Any:
     from repro.gpu.event_sim import EventSimulator
 
@@ -468,9 +501,23 @@ INTERVAL_DESCRIPTOR = EngineDescriptor(name="interval", family="interval")
 INTERVAL_BATCH_DESCRIPTOR = EngineDescriptor(
     name="interval-batch", family="interval"
 )
-EVENT_DESCRIPTOR = EngineDescriptor(name="event", family="event")
+# study-mt shares the interval family at version 1, so it shares the
+# family's fingerprint material — and therefore its cache entries —
+# exactly as the bit-exactness tests demand.
+STUDY_MT_DESCRIPTOR = EngineDescriptor(name="study-mt", family="interval")
+EVENT_DESCRIPTOR = EngineDescriptor(
+    name="event", family="event", fidelity="reference"
+)
+#: Declared ceiling on the predictor's median relative error across
+#: held-out corpus kernels — the static budget `/v1/engines` reports.
+#: Routing uses the live per-space measured error, which is tighter.
+PREDICTOR_ERROR_BUDGET = 0.35
 PREDICTOR_DESCRIPTOR = EngineDescriptor(
-    name="predictor", family="predictor", material="knn-surrogate"
+    name="predictor",
+    family="predictor",
+    material="knn-surrogate",
+    fidelity="approximate",
+    error_budget=PREDICTOR_ERROR_BUDGET,
 )
 # The wrapper is its own family on purpose: family membership promises
 # numerical equivalence, so fault-corrupted results must never resolve
@@ -496,6 +543,15 @@ def _register_builtins() -> None:
         descriptor=INTERVAL_BATCH_DESCRIPTOR,
         summary="vectorized interval model (per-kernel grid and "
         "whole-study kernel-axis batching)",
+        replace=True,
+    )
+    register_engine(
+        "study-mt",
+        _study_mt_factory,
+        capabilities=EngineCapabilities(study=True),
+        descriptor=STUDY_MT_DESCRIPTOR,
+        summary="multi-core study engine: kernel-axis tiles across a "
+        "process pool assembled through shared memory",
         replace=True,
     )
     register_engine(

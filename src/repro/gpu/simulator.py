@@ -51,7 +51,7 @@ from repro.gpu.interval_batch import (
 )
 from repro.gpu.interval_model import KernelRunResult
 from repro.kernels.kernel import Kernel
-from repro.kernels.pack import KernelPack
+from repro.kernels.pack import KernelPack, memoized_pack
 
 SimulationResult = Union[KernelRunResult, EventSimResult]
 
@@ -239,7 +239,7 @@ class GpuSimulator:
         pack = (
             kernels
             if isinstance(kernels, KernelPack)
-            else KernelPack.from_kernels(list(kernels))
+            else memoized_pack(list(kernels))
         )
         record_engine_call(self._name)
         try:

@@ -20,6 +20,10 @@ so the pack is a pure layout transformation, never a approximation.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -127,6 +131,45 @@ class KernelPack:
             ),
         )
 
+    def subset(self, lo: int, hi: int) -> "KernelPack":
+        """A contiguous kernel-row slice ``[lo, hi)`` as its own pack.
+
+        Every array is re-materialised contiguous, so a tile shipped to
+        a worker process pickles only its own rows, not the parent
+        catalog's. Values are copied verbatim — no re-derivation — so a
+        sliced pack evaluates bit-identically to the same rows of the
+        parent (the kernel-axis tiling invariant the study-mt engine
+        relies on).
+        """
+        if not 0 <= lo < hi <= len(self):
+            raise WorkloadError(
+                f"invalid pack slice [{lo}, {hi}) of {len(self)} kernels"
+            )
+        sl = slice(lo, hi)
+        return KernelPack(
+            names=self.names[sl],
+            programs=self.programs[sl],
+            kernel_names=self.kernel_names[sl],
+            suites=self.suites[sl],
+            characteristics={
+                field: np.ascontiguousarray(arr[sl])
+                for field, arr in self.characteristics.items()
+            },
+            geometry={
+                field: np.ascontiguousarray(arr[sl])
+                for field, arr in self.geometry.items()
+            },
+            resources={
+                field: np.ascontiguousarray(arr[sl])
+                for field, arr in self.resources.items()
+            },
+            num_workgroups=np.ascontiguousarray(self.num_workgroups[sl]),
+            waves_per_workgroup=np.ascontiguousarray(
+                self.waves_per_workgroup[sl]
+            ),
+            total_waves=np.ascontiguousarray(self.total_waves[sl]),
+        )
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
@@ -183,3 +226,65 @@ def pack_kernels(kernels: Sequence[Kernel]) -> KernelPack:
     """Module-level convenience wrapper around
     :meth:`KernelPack.from_kernels`."""
     return KernelPack.from_kernels(kernels)
+
+
+# ----------------------------------------------------------------------
+# Pack memoization
+# ----------------------------------------------------------------------
+
+#: Catalogs worth caching packs for. The full study catalog plus a few
+#: alternates (per-suite subsets, ablations) fit comfortably; anything
+#: churning through more distinct catalogs than this is not a study
+#: loop and should not hold packs alive.
+_PACK_CACHE_CAPACITY = 8
+
+_pack_cache: "OrderedDict[str, KernelPack]" = OrderedDict()
+_pack_cache_lock = threading.Lock()
+
+
+def catalog_fingerprint(kernels: Sequence[Kernel]) -> str:
+    """A content hash identifying *kernels* (values and order).
+
+    Hashes the canonical dict form of every kernel, so two catalogs
+    fingerprint equal exactly when packing them yields equal packs.
+    Deliberately local (hashlib over sorted-keys JSON) rather than
+    borrowing the sweep cache's fingerprint helper: the kernels layer
+    sits below ``repro.sweep`` and must not import it.
+    """
+    digest = hashlib.sha256()
+    for kernel in kernels:
+        digest.update(
+            json.dumps(kernel.to_dict(), sort_keys=True).encode()
+        )
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def memoized_pack(kernels: Sequence[Kernel]) -> KernelPack:
+    """Pack *kernels*, reusing a cached pack for a known catalog.
+
+    Keyed by :func:`catalog_fingerprint`, so repeated whole-study calls
+    over the same 267-kernel catalog stop re-packing it every time.
+    The returned pack is shared — safe because :class:`KernelPack` is
+    frozen and the engines treat its arrays as read-only. A small LRU
+    bounds memory across distinct catalogs.
+    """
+    key = catalog_fingerprint(kernels)
+    with _pack_cache_lock:
+        cached = _pack_cache.get(key)
+        if cached is not None:
+            _pack_cache.move_to_end(key)
+            return cached
+    pack = KernelPack.from_kernels(list(kernels))
+    with _pack_cache_lock:
+        _pack_cache[key] = pack
+        _pack_cache.move_to_end(key)
+        while len(_pack_cache) > _PACK_CACHE_CAPACITY:
+            _pack_cache.popitem(last=False)
+    return pack
+
+
+def clear_pack_cache() -> None:
+    """Drop every memoized pack (test isolation hook)."""
+    with _pack_cache_lock:
+        _pack_cache.clear()

@@ -496,6 +496,12 @@ class ServiceMetrics:
             "Responses answered at degraded fidelity, by reason.",
             ("reason",),
         )
+        self.tier_selected = r.counter(
+            "gpuscale_tier_selected_total",
+            "Grid queries routed to a fidelity tier, by tier and "
+            "routing reason.",
+            ("tier", "reason"),
+        )
 
     # -- recording helpers (each takes the registry lock once) ---------
 
@@ -560,6 +566,11 @@ class ServiceMetrics:
         """Count one degraded-fidelity response."""
         with self.registry.lock:
             self.degraded.inc(1.0, reason)
+
+    def record_tier(self, tier: str, reason: str) -> None:
+        """Count one fidelity-tier routing decision for a grid query."""
+        with self.registry.lock:
+            self.tier_selected.inc(1.0, tier, reason)
 
     def set_queue_depth(self, depth: int) -> None:
         """Publish the admission queue's current depth."""

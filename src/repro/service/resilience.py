@@ -343,8 +343,30 @@ class BrownoutExecutor:
         self._error_estimates[space] = estimate
         return estimate
 
-    async def submit(self, query: Any) -> Any:
-        """Answer one grid query at degraded fidelity."""
+    async def error_estimate_async(self, space: Any) -> Optional[float]:
+        """:meth:`error_estimate`, evaluated on the tier's own thread.
+
+        The first call per space runs leave-one-out over the corpus —
+        too much work for the event loop, and the predictor's caches
+        are only safe on the single executor thread that also serves
+        :meth:`submit`.
+        """
+        if self._executor is None:
+            self.start()
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, self.error_estimate, space
+        )
+
+    async def submit(self, query: Any, fidelity: str = "degraded") -> Any:
+        """Answer one grid query from the surrogate tier.
+
+        *fidelity* labels the answer: ``"degraded"`` when brownout
+        pressed this tier into service, ``"approximate"`` when the
+        caller's tolerance selected it on purpose. The numbers are the
+        same either way; the label tells the client which contract
+        applied.
+        """
         from repro.service.batcher import GridQuery, GridResult
 
         if not isinstance(query, GridQuery):
@@ -364,7 +386,7 @@ class BrownoutExecutor:
                 kernel_name=query.kernel.full_name,
                 items_per_second=np.asarray(grid.items_per_second),
                 global_size=query.kernel.geometry.global_size,
-                fidelity="degraded",
+                fidelity=fidelity,
                 error_estimate=self.error_estimate(query.space),
             )
 

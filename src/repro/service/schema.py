@@ -78,6 +78,11 @@ class SimulateRequest:
     config: Optional[HardwareConfig] = None
     space: Optional[ConfigurationSpace] = None
     timeout_s: Optional[float] = None
+    #: Acceptable relative error (from the optional ``tolerance`` body
+    #: key). ``None`` demands the exact tier; a number lets the server
+    #: answer from the cheapest fidelity tier whose measured error
+    #: fits. Grid queries only.
+    tolerance: Optional[float] = None
 
     @property
     def is_grid(self) -> bool:
@@ -92,6 +97,7 @@ class ClassifyRequest:
     kernel: Kernel
     space: ConfigurationSpace
     timeout_s: Optional[float] = None
+    tolerance: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -277,12 +283,38 @@ def parse_timeout_ms(payload: Mapping[str, Any]) -> Optional[float]:
     return float(value) / 1000.0
 
 
+def parse_tolerance(payload: Mapping[str, Any]) -> Optional[float]:
+    """The optional acceptable relative error for fidelity routing.
+
+    ``tolerance`` is a fraction (``0.25`` accepts answers within 25%
+    of the exact tier); ``0`` explicitly demands exactness. Absent
+    means exact — tiered routing is strictly opt-in.
+    """
+    if "tolerance" not in payload:
+        return None
+    value = payload["tolerance"]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestError(
+            "invalid_tolerance",
+            f"tolerance must be a number, got {value!r}",
+            field="tolerance",
+        )
+    if not value >= 0:
+        raise RequestError(
+            "invalid_tolerance",
+            f"tolerance must be >= 0, got {value!r}",
+            field="tolerance",
+        )
+    return float(value)
+
+
 def parse_simulate(payload: Any) -> SimulateRequest:
     """Validate a ``/v1/simulate`` body."""
     payload = _require_mapping(payload)
     check_version(payload)
     kernel = parse_kernel(payload)
     timeout_s = parse_timeout_ms(payload)
+    tolerance = parse_tolerance(payload)
     has_config = "config" in payload
     has_space = "space" in payload
     if has_config == has_space:
@@ -292,6 +324,13 @@ def parse_simulate(payload: Any) -> SimulateRequest:
             "(grid query) is required",
         )
     if has_config:
+        if tolerance is not None:
+            raise RequestError(
+                "invalid_tolerance",
+                "tolerance applies to grid queries only; point "
+                "queries are always answered exactly",
+                field="tolerance",
+            )
         return SimulateRequest(
             kernel=kernel,
             config=parse_config(payload["config"]),
@@ -301,6 +340,7 @@ def parse_simulate(payload: Any) -> SimulateRequest:
         kernel=kernel,
         space=parse_space(payload["space"]),
         timeout_s=timeout_s,
+        tolerance=tolerance,
     )
 
 
@@ -314,7 +354,10 @@ def parse_classify(payload: Any) -> ClassifyRequest:
         parse_space(payload["space"]) if "space" in payload else PAPER_SPACE
     )
     return ClassifyRequest(
-        kernel=kernel, space=space, timeout_s=parse_timeout_ms(payload)
+        kernel=kernel,
+        space=space,
+        timeout_s=parse_timeout_ms(payload),
+        tolerance=parse_tolerance(payload),
     )
 
 

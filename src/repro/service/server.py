@@ -208,9 +208,14 @@ class GpuScaleService:
                 metrics=self.metrics,
             )
         self.batcher = self.executor
+        # The surrogate tier serves two policies over one engine and
+        # thread: brownout (pressure pushes queries there) and
+        # tolerance routing (callers opt in per query). The former is
+        # config-gated; the latter is always available.
+        self._predictor_tier = BrownoutExecutor()
         self.brownout: Optional[BrownoutExecutor] = None
         if config.brownout != "off":
-            self.brownout = BrownoutExecutor()
+            self.brownout = self._predictor_tier
         self._server: Optional[asyncio.AbstractServer] = None
         self._draining = False
         self._inflight = 0
@@ -263,8 +268,7 @@ class GpuScaleService:
         if drain:
             await self._idle.wait()
         await self.executor.stop(drain=drain)
-        if self.brownout is not None:
-            self.brownout.stop()
+        self._predictor_tier.stop()
         for task in list(self._connections):
             task.cancel()
         if self._connections:
@@ -625,22 +629,39 @@ class GpuScaleService:
         return timeout, deadline_from_timeout(timeout)
 
     async def _submit_grid(
-        self, query: GridQuery, timeout: float, deadline: float
+        self,
+        query: GridQuery,
+        timeout: float,
+        deadline: float,
+        tolerance: Optional[float] = None,
     ) -> Tuple[Any, Optional[str]]:
-        """One grid query through the brownout policy.
+        """One grid query through tier routing and brownout policy.
 
-        Returns ``(result, degraded_reason)`` — the reason is ``None``
-        when the exact tier answered. ``auto`` falls back to the
-        degraded tier only when the exact tier refuses (saturation or
-        breaker-blocked workers); ``force`` routes everything there.
+        Returns ``(result, reason)`` — the reason is ``None`` when the
+        exact tier answered normally. A *tolerance* routes the query to
+        the cheapest fidelity tier whose measured error fits: the
+        predictor (seven exact probes + surface transplant) when its
+        per-space leave-one-out error is within tolerance, the exact
+        tier otherwise — exact tiers have zero error, so they satisfy
+        any tolerance and are the unconditional fallback. Brownout is
+        orthogonal and keeps its PR 7 semantics: ``force`` routes every
+        grid query to the degraded tier, ``auto`` falls back there
+        only when the exact tier refuses (saturation or
+        breaker-blocked workers).
         """
         mode = self.config.brownout
         if mode == "force" and self.brownout is not None:
             return await self._degraded(query, "forced")
+        if tolerance is not None:
+            routed = await self._route_by_tolerance(query, tolerance)
+            if routed is not None:
+                return routed
         try:
             result = await self.executor.submit(
                 query, timeout=timeout, deadline=deadline
             )
+            if tolerance is None:
+                self.metrics.record_tier("exact", "default")
             return result, None
         except OverloadError:
             if mode == "auto" and self.brownout is not None:
@@ -650,6 +671,31 @@ class GpuScaleService:
             if mode == "auto" and self.brownout is not None:
                 return await self._degraded(query, "breaker")
             raise
+
+    async def _route_by_tolerance(
+        self, query: GridQuery, tolerance: float
+    ) -> Optional[Tuple[Any, str]]:
+        """The approximate tier's answer, or ``None`` for exact.
+
+        Any surrogate-tier failure — no measured error, error above
+        tolerance, or the predictor itself erroring — resolves to the
+        exact tier: tolerance can only ever relax fidelity, never
+        availability.
+        """
+        try:
+            error = await self._predictor_tier.error_estimate_async(
+                query.space
+            )
+            if error is not None and error <= tolerance:
+                result = await self._predictor_tier.submit(
+                    query, fidelity="approximate"
+                )
+                self.metrics.record_tier("predictor", "tolerance")
+                return result, "tolerance"
+        except Exception:
+            pass
+        self.metrics.record_tier("exact", "tolerance_fallback")
+        return None
 
     async def _degraded(
         self, query: GridQuery, reason: str
@@ -666,7 +712,10 @@ class GpuScaleService:
         fields: Dict[str, Any] = {"fidelity": fidelity}
         if fidelity != "exact":
             fields["fidelity_error"] = result.error_estimate
+        if fidelity == "degraded":
             fields["degraded_reason"] = reason
+        elif fidelity == "approximate":
+            fields["tier"] = "predictor"
         return fields
 
     # ------------------------------------------------------------------
@@ -711,6 +760,11 @@ class GpuScaleService:
                 "family": reg.descriptor.family,
                 "version": reg.descriptor.version,
                 "capabilities": reg.capabilities.as_dict(),
+                "fidelity": reg.descriptor.fidelity,
+                "error_budget": reg.descriptor.error_budget,
+                "fingerprint_material": (
+                    reg.descriptor.fingerprint_material()
+                ),
                 "summary": reg.summary,
             }
             for reg in list_engines()
@@ -727,6 +781,7 @@ class GpuScaleService:
                 GridQuery(kernel=request.kernel, space=request.space),
                 timeout,
                 deadline,
+                tolerance=request.tolerance,
             )
             space = request.space
             return 200, {
@@ -772,6 +827,7 @@ class GpuScaleService:
             GridQuery(kernel=request.kernel, space=request.space),
             timeout,
             deadline,
+            tolerance=request.tolerance,
         )
         dataset = ScalingDataset(
             request.space,

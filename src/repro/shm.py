@@ -1,0 +1,129 @@
+"""Shared-memory result transport shared by the parallel evaluators.
+
+Both multiprocess evaluation paths in the repo — the kernel-chunked
+:class:`~repro.sweep.parallel.ParallelSweepRunner` (PR 3) and the
+kernel-axis-tiled :class:`~repro.gpu.study_mt.StudyMTModel` — move
+their bulk float64 result tensors between processes the same way: the
+parent allocates one ``multiprocessing.shared_memory`` segment shaped
+like the full result, each worker payload carries a small descriptor
+(``{"name", "shape", "offset"}``), and workers write their contiguous
+leading-axis rows straight into the mapped buffer so the pickled
+result shrinks to metadata. This module is the one home for that
+layout, deliberately neutral in the package hierarchy: ``repro.gpu``
+modules must not import ``repro.sweep`` (the PR 4 layering rule), and
+the sweep layer should not reach into engine internals either.
+
+Everything here is best-effort by design. Failure to create or attach
+a segment returns ``None``/``False`` instead of raising, and callers
+fall back to pickling rows — shared memory is an accelerator, never a
+correctness dependency (sandboxes without ``/dev/shm`` still work).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def untrack_segment(segment: shared_memory.SharedMemory) -> None:
+    """Detach *segment* from this process's resource tracker.
+
+    Attaching registers the segment with the tracker (bpo-39959); a
+    process with its *own* tracker must unregister or its exit will
+    unlink a segment the creator still owns. ``multiprocessing``
+    children inherit the creator's tracker, where attach-register is
+    a set no-op — there, unregistering would instead remove the
+    creator's sole entry and make the eventual ``unlink()`` complain,
+    so the worker paths below deliberately skip this.
+    """
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def ensure_tracker() -> None:
+    """Start the parent's resource tracker before forking workers.
+
+    Children forked while no tracker exists each spawn their own on
+    first shm use; those private trackers never see the parent's
+    ``unlink()`` and warn about "leaked" segments at worker exit.
+    Starting the tracker up front makes every child inherit it, so
+    attach-time registers collapse into the parent's single entry.
+    """
+    try:
+        resource_tracker.ensure_running()
+    except Exception:
+        pass
+
+
+def create_segment(
+    shape, dtype=np.float64
+) -> Optional[shared_memory.SharedMemory]:
+    """A parent-owned segment sized for *shape*, or ``None``.
+
+    ``None`` means shared memory is unavailable here (platform or
+    sandbox); the caller should fall back to pickled rows. The parent
+    is responsible for ``close()`` + ``unlink()`` when done.
+    """
+    n_bytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+    try:
+        return shared_memory.SharedMemory(create=True, size=n_bytes)
+    except Exception:
+        return None
+
+
+def segment_descriptor(
+    segment: shared_memory.SharedMemory, shape, offset: int
+) -> Dict[str, object]:
+    """The picklable payload a worker needs to write its rows."""
+    return {
+        "name": segment.name,
+        "shape": list(shape),
+        "offset": int(offset),
+    }
+
+
+def attach_view(shm_info: dict) -> Optional[tuple]:
+    """Attach to a descriptor's segment; ``(segment, ndarray)`` view.
+
+    Returns ``None`` when the segment cannot be attached (already
+    unlinked, platform without shared memory). The caller owns the
+    returned segment handle and must ``close()`` it (and usually
+    :func:`untrack_segment`) when finished; the view is only valid
+    while the handle stays open.
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=shm_info["name"])
+    except Exception:
+        return None
+    view = np.ndarray(
+        tuple(shm_info["shape"]), dtype=np.float64, buffer=segment.buf
+    )
+    return segment, view
+
+
+def write_rows(shm_info: dict, rows: np.ndarray) -> bool:
+    """Write one worker's leading-axis rows into the shared result.
+
+    Returns ``False`` (caller falls back to pickling the rows) if the
+    segment cannot be attached or written — a missing segment, a
+    platform without shared memory, a size mismatch.
+    """
+    attached = attach_view(shm_info)
+    if attached is None:
+        return False
+    segment, view = attached
+    try:
+        offset = int(shm_info["offset"])
+        view[offset:offset + rows.shape[0]] = rows
+        return True
+    except Exception:
+        return False
+    finally:
+        # Pool workers share the parent's resource tracker: close the
+        # mapping but leave the (single, parent-owned) registration
+        # for the parent's unlink — see untrack_segment.
+        segment.close()

@@ -41,12 +41,18 @@ import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass, field
-from multiprocessing import resource_tracker, shared_memory
+from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.shm import (
+    create_segment,
+    ensure_tracker,
+    untrack_segment,
+    write_rows,
+)
 from repro.gpu.engine import (
     Engine,
     EngineSpec,
@@ -80,42 +86,11 @@ DEFAULT_MAX_RETRIES = 2
 DEFAULT_RETRY_BACKOFF_S = 0.25
 
 
-def _untrack_shared_memory(segment) -> None:
-    """Detach *segment* from this process's resource tracker.
-
-    Attaching registers the segment with the tracker a second time
-    (bpo-39959); without the unregister, worker exits emit spurious
-    leak warnings and can unlink a segment the parent still owns.
-    """
-    try:
-        resource_tracker.unregister(segment._name, "shared_memory")
-    except Exception:
-        pass
-
-
-def _write_rows_shared(shm_info: dict, perf: np.ndarray) -> bool:
-    """Write one chunk's rows into the shared result array.
-
-    Returns ``False`` (caller falls back to pickling the rows) if the
-    segment cannot be attached or written — a missing segment, a
-    platform without shared memory, a size mismatch.
-    """
-    try:
-        segment = shared_memory.SharedMemory(name=shm_info["name"])
-    except Exception:
-        return False
-    try:
-        view = np.ndarray(
-            tuple(shm_info["shape"]), dtype=np.float64, buffer=segment.buf
-        )
-        offset = int(shm_info["offset"])
-        view[offset:offset + perf.shape[0]] = perf
-        return True
-    except Exception:
-        return False
-    finally:
-        segment.close()
-        _untrack_shared_memory(segment)
+# The shared-memory transport lives in repro.shm so the study-mt
+# engine can share the layout without a gpu -> sweep import; these
+# aliases keep the established monkeypatch/injection points stable.
+_untrack_shared_memory = untrack_segment
+_write_rows_shared = write_rows
 
 
 def _sweep_chunk(payload: dict) -> dict:
@@ -328,11 +303,7 @@ class ParallelSweepRunner:
         shared_memory.SharedMemory
     ]:
         """The shared result segment, or ``None`` to pickle rows back."""
-        n_bytes = int(np.prod(result_shape)) * np.dtype(np.float64).itemsize
-        try:
-            return shared_memory.SharedMemory(create=True, size=n_bytes)
-        except Exception:
-            return None
+        return create_segment(result_shape)
 
     # ------------------------------------------------------------------
     # Supervision
@@ -351,6 +322,10 @@ class ParallelSweepRunner:
         """A worker pool, or ``None`` where pools cannot be created
         (e.g. sandboxes that forbid spawning processes)."""
         try:
+            # Workers must inherit the parent's shm resource tracker
+            # (a private per-worker tracker mistakes the parent's
+            # result segment for a leak at exit).
+            ensure_tracker()
             return multiprocessing.Pool(self._workers)
         except (OSError, PermissionError, RuntimeError, ValueError):
             return None

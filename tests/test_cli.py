@@ -312,12 +312,20 @@ class TestEnginesCommand:
         assert main(["engines"]) == 0
         output = capsys.readouterr().out
         assert "Registered timing engines" in output
-        for name in ("interval", "interval-batch", "event", "predictor"):
+        for name in (
+            "interval", "interval-batch", "study-mt", "event",
+            "predictor",
+        ):
             assert name in output
         # Capability matrix and descriptor columns are rendered.
-        for column in ("point", "grid", "study", "family", "version"):
+        for column in (
+            "point", "grid", "study", "family", "version", "fidelity",
+        ):
             assert column in output
         assert "v1" in output
+        # The fidelity-tier ladder is visible in the table.
+        for tier in ("reference", "exact", "approximate"):
+            assert tier in output
 
     def test_engines_reflects_new_registration(self, capsys):
         from repro.gpu.engine import (
