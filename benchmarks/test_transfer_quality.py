@@ -1,0 +1,102 @@
+"""Extension — cross-architecture taxonomy transfer quality.
+
+The PR 9 acceptance experiment: for every ordered pair of registered
+microarchitecture families, predict each catalog kernel's taxonomy
+class on the target family from its measured surface on the source
+family (leave-one-out over the cross-family corpus), and score the
+class agreement with a confusion matrix. Shape claims: accuracy well
+above the majority-class baseline on every pair, and single-digit
+median surface error.
+
+Also emits ``BENCH_families.json`` — the per-family taxonomy
+distribution snapshot plus per-pair transfer accuracies — which CI
+uploads alongside ``BENCH_sweep.json``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+
+from repro.analysis.transfer import evaluate_transfer, taxonomy_distributions
+from repro.gpu.uarch import family_names
+
+#: Where the snapshot artifact lands (override with
+#: ``$BENCH_FAMILIES_OUT``).
+_ARTIFACT_PATH = os.environ.get(
+    "BENCH_FAMILIES_OUT", "BENCH_families.json"
+)
+
+#: Every ordered family pair; populated by the accuracy test, written
+#: by the emitter (file order runs the emitter last).
+_MEASUREMENTS: dict = {}
+
+
+def test_transfer_accuracy_all_pairs(benchmark):
+    """Class transfer beats 85% on every ordered family pair."""
+
+    def evaluate_all():
+        return {
+            (source, target): evaluate_transfer(source, target)
+            for source, target in itertools.permutations(
+                family_names(), 2
+            )
+        }
+
+    evaluations = benchmark.pedantic(
+        evaluate_all, rounds=1, iterations=1
+    )
+
+    rows = []
+    for (source, target), evaluation in sorted(evaluations.items()):
+        rows.append(
+            f"{source:>8} -> {target:<8} "
+            f"accuracy {evaluation.accuracy:.3f} "
+            f"surface error {evaluation.transfer_error:.1%}"
+        )
+        _MEASUREMENTS.setdefault("transfer", {})[
+            f"{source}->{target}"
+        ] = {
+            "accuracy": evaluation.accuracy,
+            "transfer_error": evaluation.transfer_error,
+            "kernels": evaluation.matrix.total,
+        }
+    print("\n" + "\n".join(rows))
+
+    for (source, target), evaluation in evaluations.items():
+        assert evaluation.matrix.total == 267
+        assert evaluation.accuracy >= 0.85, (
+            f"{source}->{target} transfer accuracy "
+            f"{evaluation.accuracy:.3f} below floor"
+        )
+        assert evaluation.transfer_error <= 0.10
+
+
+def test_family_taxonomy_distributions(benchmark):
+    """Per-family taxonomies migrate the way machine balance says."""
+    distributions = benchmark.pedantic(
+        taxonomy_distributions, rounds=1, iterations=1
+    )
+    assert set(distributions) == set(family_names())
+    for name, counts in distributions.items():
+        assert sum(counts.values()) == 267, name
+
+    # The bandwidth-starved APU pushes kernels toward bandwidth-bound
+    # and collapses the contention class relative to the discrete card.
+    assert distributions["kaveri"]["bandwidth_bound"] > (
+        distributions["hawaii"]["bandwidth_bound"]
+    )
+    assert distributions["kaveri"]["cu_inverse"] < (
+        distributions["hawaii"]["cu_inverse"]
+    )
+    _MEASUREMENTS["taxonomy_distributions"] = distributions
+
+
+def test_emit_families_artifact():
+    """Write the snapshot artifact to ``BENCH_families.json``."""
+    assert _MEASUREMENTS, "no transfer benchmarks ran before the emitter"
+    with open(_ARTIFACT_PATH, "w") as handle:
+        json.dump(_MEASUREMENTS, handle, indent=1)
+        handle.write("\n")
+    print(f"\nfamily snapshot written to {_ARTIFACT_PATH}")

@@ -1,5 +1,6 @@
 """Evaluation analytics: suite scalability, scaling-law regression,
-bottleneck crossovers, speedup distributions and knob sensitivities."""
+bottleneck crossovers, speedup distributions, knob sensitivities, and
+cross-architecture taxonomy transfer scoring."""
 
 from repro.analysis.bottleneck_map import (
     BottleneckMap,
@@ -53,6 +54,15 @@ from repro.analysis.speedup import (
     overall_cdf,
     speedup_summary,
 )
+from repro.analysis.transfer import (
+    ConfusionMatrix,
+    TransferEvaluation,
+    TransferRow,
+    confusion_from_labels,
+    evaluate_transfer,
+    family_taxonomy,
+    taxonomy_distributions,
+)
 from repro.analysis.suite_scaling import (
     KernelScalability,
     SuiteScalability,
@@ -66,6 +76,9 @@ from repro.analysis.suite_scaling import (
 __all__ = [
     "BottleneckMap",
     "CategoryRegressionSummary",
+    "ConfusionMatrix",
+    "TransferEvaluation",
+    "TransferRow",
     "InputScalingPoint",
     "InputScalingStudy",
     "RooflinePoint",
@@ -84,8 +97,11 @@ __all__ = [
     "bottleneck_map",
     "cdf_by_category",
     "configuration_ceiling",
+    "confusion_from_labels",
     "crossover_map",
     "dominant_knob_histogram",
+    "evaluate_transfer",
+    "family_taxonomy",
     "fit_all",
     "fit_kernel",
     "kernel_scalability",
@@ -106,5 +122,6 @@ __all__ = [
     "speedup_summary",
     "study_input_scaling",
     "summarise_by_category",
+    "taxonomy_distributions",
     "useful_cu_histogram",
 ]

@@ -1,0 +1,292 @@
+"""Cross-architecture taxonomy transfer, scored by confusion matrices.
+
+The acceptance metric for the transfer mode (ROADMAP item 2): predict
+every catalog kernel's *taxonomy class* on family B from its measured
+surface on family A, and compare against the class the model assigns
+when the kernel actually runs on B. :class:`ConfusionMatrix` holds the
+actual-by-predicted counts; :func:`evaluate_transfer` produces one per
+family pair; :func:`family_taxonomy` reruns the full taxonomy on any
+registered family's canonical grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.gpu.interval_batch import BatchIntervalModel
+from repro.gpu.uarch import get_family
+from repro.kernels.kernel import Kernel
+from repro.kernels.pack import KernelPack
+from repro.predict.transfer import (
+    DEFAULT_NEIGHBOURS,
+    transfer_predictor,
+)
+from repro.sweep.dataset import KernelRecord, ScalingDataset
+from repro.taxonomy.categories import TaxonomyCategory
+from repro.taxonomy.classifier import TaxonomyResult, classify
+
+
+def _catalog_kernels() -> List[Kernel]:
+    from repro.suites import all_kernels
+
+    return list(all_kernels())
+
+
+def _dataset(
+    kernels: Sequence[Kernel], space, perf: np.ndarray
+) -> ScalingDataset:
+    records = [
+        KernelRecord(
+            full_name=k.full_name,
+            suite=k.suite,
+            program=k.program,
+            kernel=k.name,
+        )
+        for k in kernels
+    ]
+    return ScalingDataset(space, records, perf)
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Actual-by-predicted taxonomy-class counts.
+
+    Rows are the class the model assigns on the target family (ground
+    truth); columns are the class transfer predicted. A perfect
+    transfer is diagonal.
+    """
+
+    categories: Tuple[TaxonomyCategory, ...]
+    counts: np.ndarray  # shape (n_categories, n_categories), int64
+
+    @property
+    def total(self) -> int:
+        """Kernels scored."""
+        return int(self.counts.sum())
+
+    @property
+    def accuracy(self) -> float:
+        """Diagonal fraction — exact class agreement."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return float(np.trace(self.counts)) / total
+
+    def recall(self, category: TaxonomyCategory) -> float:
+        """Fraction of *category*'s actual kernels predicted as it."""
+        row = self.categories.index(category)
+        actual = self.counts[row].sum()
+        if actual == 0:
+            return 0.0
+        return float(self.counts[row, row]) / float(actual)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible payload (category names key the rows)."""
+        return {
+            "categories": [c.value for c in self.categories],
+            "counts": self.counts.tolist(),
+            "total": self.total,
+            "accuracy": self.accuracy,
+        }
+
+    def render(self) -> str:
+        """A fixed-width table (actual rows, predicted columns)."""
+        names = [c.value for c in self.categories]
+        width = max(len(n) for n in names) + 2
+        cell = max(6, max(len(n) for n in names) + 1)
+        lines = [
+            " " * width
+            + "".join(f"{n:>{cell}}" for n in names)
+            + "   (predicted)"
+        ]
+        for row, name in enumerate(names):
+            cells = "".join(
+                f"{int(v):>{cell}}" for v in self.counts[row]
+            )
+            lines.append(f"{name:<{width}}" + cells)
+        lines.append(
+            f"accuracy {self.accuracy:.3f} over {self.total} kernels"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TransferRow:
+    """One kernel's transfer outcome."""
+
+    kernel_name: str
+    actual: TaxonomyCategory
+    predicted: TaxonomyCategory
+    nearest: str
+
+    @property
+    def agrees(self) -> bool:
+        """True when the predicted class matches the actual class."""
+        return self.actual is self.predicted
+
+
+@dataclass(frozen=True)
+class TransferEvaluation:
+    """A scored transfer run: one family pair, many kernels."""
+
+    source_family: str
+    target_family: str
+    matrix: ConfusionMatrix
+    rows: Tuple[TransferRow, ...]
+    #: The fitted predictor's leave-one-out surface error.
+    transfer_error: float
+
+    @property
+    def accuracy(self) -> float:
+        """Exact class-agreement fraction."""
+        return self.matrix.accuracy
+
+    def to_dict(self) -> dict:
+        """JSON-compatible payload."""
+        return {
+            "source_family": self.source_family,
+            "target_family": self.target_family,
+            "confusion": self.matrix.to_dict(),
+            "transfer_error": self.transfer_error,
+            "kernels": [
+                {
+                    "kernel": row.kernel_name,
+                    "actual": row.actual.value,
+                    "predicted": row.predicted.value,
+                    "nearest": row.nearest,
+                }
+                for row in self.rows
+            ],
+        }
+
+
+def confusion_from_labels(
+    pairs: Sequence[Tuple[TaxonomyCategory, TaxonomyCategory]],
+) -> ConfusionMatrix:
+    """Build a matrix from (actual, predicted) category pairs."""
+    categories = tuple(TaxonomyCategory)
+    index = {c: i for i, c in enumerate(categories)}
+    counts = np.zeros((len(categories), len(categories)), dtype=np.int64)
+    for actual, predicted in pairs:
+        counts[index[actual], index[predicted]] += 1
+    return ConfusionMatrix(categories=categories, counts=counts)
+
+
+def family_taxonomy(
+    family_name: str, kernels: Optional[Sequence[Kernel]] = None
+) -> TaxonomyResult:
+    """The full taxonomy on *family_name*'s canonical grid.
+
+    Sweeps *kernels* (default: the whole 267-kernel catalog) over the
+    family's canonical space with the batch interval engine and
+    classifies every surface — the per-family rerun of the paper's
+    experiment.
+    """
+    family = get_family(family_name)
+    kernels = list(kernels) if kernels is not None else _catalog_kernels()
+    if not kernels:
+        raise AnalysisError("family_taxonomy needs at least one kernel")
+    study = BatchIntervalModel().simulate_study(
+        KernelPack.from_kernels(kernels), family.space
+    )
+    return classify(_dataset(kernels, family.space, study.items_per_second))
+
+
+def evaluate_transfer(
+    source: str,
+    target: str,
+    kernels: Optional[Sequence[Kernel]] = None,
+    *,
+    k: int = DEFAULT_NEIGHBOURS,
+) -> TransferEvaluation:
+    """Score taxonomy-class transfer from *source* to *target*.
+
+    Every kernel is swept on the source family's canonical grid
+    (measurement), its target surface predicted by the cross-family
+    corpus, and the predicted class compared against the class from an
+    actual target-family sweep (ground truth). Returns the confusion
+    matrix plus per-kernel rows.
+    """
+    predictor = transfer_predictor(source, target, k=k)
+    source_family = predictor.source
+    target_family = predictor.target
+    kernels = list(kernels) if kernels is not None else _catalog_kernels()
+    if not kernels:
+        raise AnalysisError("evaluate_transfer needs at least one kernel")
+
+    batch = BatchIntervalModel()
+    pack = KernelPack.from_kernels(kernels)
+    source_perf = batch.simulate_study(
+        pack, source_family.space
+    ).items_per_second
+    target_perf = batch.simulate_study(
+        pack, target_family.space
+    ).items_per_second
+
+    # Excluding each kernel's own corpus row makes this a leave-one-out
+    # score: the headline accuracy never counts a self-match.
+    predictions = [
+        predictor.predict_cube(
+            source_perf[i],
+            kernel_name=k.full_name,
+            exclude=k.full_name,
+        )
+        for i, k in enumerate(kernels)
+    ]
+    predicted_perf = np.stack([p.cube for p in predictions])
+
+    actual_result = classify(
+        _dataset(kernels, target_family.space, target_perf)
+    )
+    predicted_result = classify(
+        _dataset(kernels, target_family.space, predicted_perf)
+    )
+
+    rows = []
+    pairs = []
+    for kernel, prediction in zip(kernels, predictions):
+        actual = actual_result.label_for(kernel.full_name).category
+        predicted = predicted_result.label_for(kernel.full_name).category
+        pairs.append((actual, predicted))
+        rows.append(
+            TransferRow(
+                kernel_name=kernel.full_name,
+                actual=actual,
+                predicted=predicted,
+                nearest=prediction.nearest,
+            )
+        )
+
+    return TransferEvaluation(
+        source_family=source_family.name,
+        target_family=target_family.name,
+        matrix=confusion_from_labels(pairs),
+        rows=tuple(rows),
+        transfer_error=predictor.measured_error(),
+    )
+
+
+def taxonomy_distributions(
+    family_names_seq: Optional[Sequence[str]] = None,
+    kernels: Optional[Sequence[Kernel]] = None,
+) -> Dict[str, Dict[str, int]]:
+    """Per-family taxonomy category counts (snapshot artifact payload).
+
+    Keys are family names; values map category value strings to kernel
+    counts over the family's canonical grid.
+    """
+    from repro.gpu.uarch import family_names
+
+    names = list(family_names_seq or family_names())
+    result: Dict[str, Dict[str, int]] = {}
+    for name in names:
+        taxonomy = family_taxonomy(name, kernels)
+        result[name] = {
+            category.value: count
+            for category, count in taxonomy.category_counts().items()
+        }
+    return result

@@ -9,6 +9,9 @@ Usage (installed as ``gpuscale`` or via ``python -m repro.cli``)::
     gpuscale report [T3 F7 ...]         # regenerate tables/figures
     gpuscale kernel rodinia/bfs.kernel1 # one kernel's scaling detail
     gpuscale engines                    # registered timing engines
+    gpuscale families                   # microarchitecture families
+    gpuscale transfer rodinia/bfs.kernel1 --from hawaii --to kaveri
+    gpuscale transfer --evaluate --from hawaii --to kaveri
     gpuscale cache info                 # sweep result cache contents
     gpuscale cache clear                # drop every cached sweep
 
@@ -466,6 +469,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered timing engines with their capabilities",
     )
 
+    sub.add_parser(
+        "families",
+        help="list registered microarchitecture families",
+    )
+
+    transfer = sub.add_parser(
+        "transfer",
+        help="predict a kernel's scaling surface and taxonomy class "
+        "on one microarchitecture family from its measured surface "
+        "on another",
+    )
+    transfer.add_argument("kernel", nargs="?", default=None,
+                          help="suite/program.kernel identifier "
+                          "(omit with --evaluate)")
+    transfer.add_argument("--from", dest="source", required=True,
+                          metavar="FAMILY",
+                          help="family the kernel is measured on")
+    transfer.add_argument("--to", dest="target", required=True,
+                          metavar="FAMILY",
+                          help="family to predict for")
+    transfer.add_argument("--evaluate", action="store_true",
+                          help="score the whole catalog instead: "
+                          "leave-one-out taxonomy-class confusion "
+                          "matrix for the family pair")
+    transfer.add_argument("--neighbours", type=int, default=None,
+                          metavar="K",
+                          help="corpus neighbours blended per "
+                          "prediction (default: 3)")
+    transfer.add_argument("--json", action="store_true",
+                          help="emit JSON instead of tables")
+
     serve = sub.add_parser(
         "serve",
         help="run the async micro-batching HTTP query service",
@@ -572,6 +606,134 @@ def _cmd_engines(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_families(_args: argparse.Namespace) -> int:
+    from repro.gpu.uarch import list_families
+
+    rows = []
+    for family in list_families():
+        flagship = family.flagship
+        rows.append([
+            family.name,
+            flagship.cu_count,
+            f"{flagship.peak_gflops:.0f}",
+            f"{flagship.peak_dram_gb_per_sec:.0f}",
+            f"{flagship.machine_balance_flops_per_byte:.1f}",
+            "x".join(str(n) for n in family.space.shape),
+            family.summary,
+        ])
+    print(render_table(
+        ["family", "CUs", "GFLOP/s", "GB/s", "flop/byte", "grid",
+         "summary"],
+        rows,
+        title="Registered microarchitecture families",
+    ))
+    return 0
+
+
+def _cmd_transfer(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.analysis.transfer import evaluate_transfer
+    from repro.predict.transfer import (
+        DEFAULT_NEIGHBOURS,
+        transfer_predictor,
+    )
+
+    k = args.neighbours or DEFAULT_NEIGHBOURS
+    if args.evaluate:
+        evaluation = evaluate_transfer(args.source, args.target, k=k)
+        if args.json:
+            print(json_mod.dumps(evaluation.to_dict(), indent=2))
+            return 0
+        print(
+            f"Taxonomy-class transfer {evaluation.source_family} -> "
+            f"{evaluation.target_family} (leave-one-out over "
+            f"{evaluation.matrix.total} kernels)\n"
+        )
+        print(evaluation.matrix.render())
+        print(
+            f"median leave-one-out surface error: "
+            f"{evaluation.transfer_error:.1%}"
+        )
+        return 0
+
+    if args.kernel is None:
+        print(
+            "gpuscale transfer: a kernel identifier is required "
+            "unless --evaluate is given",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.gpu.interval_batch import BatchIntervalModel
+    from repro.kernels.pack import KernelPack
+    from repro.suites import kernel_by_name
+    from repro.sweep.dataset import KernelRecord
+
+    kernel = kernel_by_name(args.kernel)
+    predictor = transfer_predictor(args.source, args.target, k=k)
+    source_perf = BatchIntervalModel().simulate_study(
+        KernelPack.from_kernels([kernel]), predictor.source.space
+    ).items_per_second[0]
+    prediction = predictor.predict_cube(
+        source_perf, kernel_name=kernel.full_name
+    )
+    target_space = predictor.target.space
+    dataset = ScalingDataset(
+        target_space,
+        [KernelRecord.from_full_name(kernel.full_name)],
+        prediction.cube[None, ...],
+    )
+    label = classify(dataset).labels[0]
+    if args.json:
+        print(json_mod.dumps({
+            "kernel": kernel.full_name,
+            "source_family": prediction.source_family,
+            "target_family": prediction.target_family,
+            "category": label.category.value,
+            "behaviours": {
+                "cu": label.cu_behaviour.value,
+                "engine": label.engine_behaviour.value,
+                "memory": label.memory_behaviour.value,
+            },
+            "neighbours": list(prediction.neighbours),
+            "neighbour_distances": list(
+                prediction.neighbour_distances
+            ),
+            "transfer_error": predictor.measured_error(),
+            "items_per_second": prediction.cube.tolist(),
+        }, indent=2))
+        return 0
+    peak = float(prediction.cube.max())
+    base = float(prediction.cube[0, 0, 0])
+    print(
+        f"{kernel.full_name}: measured on "
+        f"{prediction.source_family}, predicted for "
+        f"{prediction.target_family}"
+    )
+    print(f"  predicted class     {label.category.value}")
+    print(
+        f"  behaviours          cu={label.cu_behaviour.value} "
+        f"engine={label.engine_behaviour.value} "
+        f"memory={label.memory_behaviour.value}"
+    )
+    print(
+        f"  predicted range     {base:.3g} -> {peak:.3g} items/s "
+        f"({peak / base:.1f}x over the grid)"
+    )
+    neighbours = ", ".join(
+        f"{name} (d={dist:.2f})"
+        for name, dist in zip(
+            prediction.neighbours, prediction.neighbour_distances
+        )
+    )
+    print(f"  corpus neighbours   {neighbours}")
+    print(
+        f"  corpus LOO error    {predictor.measured_error():.1%} "
+        "(median relative surface error)"
+    )
+    return 0
+
+
 def _cmd_summary(_args: argparse.Namespace) -> int:
     from repro.report.summary import study_summary
 
@@ -588,6 +750,8 @@ _COMMANDS = {
     "energy": _cmd_energy,
     "cache": _cmd_cache,
     "engines": _cmd_engines,
+    "families": _cmd_families,
+    "transfer": _cmd_transfer,
     "serve": _cmd_serve,
     "summary": _cmd_summary,
     "whatif": _cmd_whatif,

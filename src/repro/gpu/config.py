@@ -22,6 +22,13 @@ from repro.errors import ConfigurationError
 from repro.units import GB, KIB, MIB
 
 
+#: Microarchitecture fields carrying real (non-integer) values; every
+#: other physics field deserialises as an int.
+_FLOAT_FIELDS = frozenset(
+    {"dram_fixed_latency_ns", "host_bandwidth_fraction"}
+)
+
+
 @dataclass(frozen=True)
 class Microarchitecture:
     """Fixed (non-swept) parameters of the modelled GPU.
@@ -29,6 +36,13 @@ class Microarchitecture:
     Defaults describe a Hawaii-class (FirePro W9100-like) part: 4
     16-lane SIMDs per CU, 16 KiB vector L1 per CU, 1 MiB shared L2,
     64 KiB LDS per CU, and a 512-bit GDDR5 interface (quad-pumped).
+
+    The ``name`` slug is display-only identity (metrics labels,
+    ``/healthz``, error messages). It is excluded from equality,
+    hashing, and :meth:`to_dict` so cache/journal fingerprints stay
+    derived purely from physics values — renaming a family never
+    invalidates cached sweeps, and two parts with identical physics
+    memoize as one.
     """
 
     simds_per_cu: int = 4
@@ -48,9 +62,15 @@ class Microarchitecture:
     dram_latency_cycles: int = 30  # interface serialisation, memory clock
     dram_fixed_latency_ns: float = 150.0  # DRAM core timings + controller,
     # fixed in wall-clock time (tRCD/tCAS/tRP do not scale with clocks)
+    vgpr_granule: int = 4  # VGPR allocation granularity (waves round up)
+    sgpr_granule: int = 8  # SGPR allocation granularity
+    #: Fraction of peak DRAM bandwidth reserved by a host sharing the
+    #: memory controller (APU contention); 0 for discrete parts.
+    host_bandwidth_fraction: float = 0.0
+    name: str = dataclasses.field(default="", compare=False)
 
     def __post_init__(self) -> None:
-        for name in (
+        for field_name in (
             "simds_per_cu",
             "lanes_per_simd",
             "max_waves_per_simd",
@@ -66,11 +86,23 @@ class Microarchitecture:
             "l1_latency_cycles",
             "l2_latency_cycles",
             "dram_latency_cycles",
+            "vgpr_granule",
+            "sgpr_granule",
         ):
-            if getattr(self, name) < 1:
-                raise ConfigurationError(f"{name} must be >= 1")
+            if getattr(self, field_name) < 1:
+                raise ConfigurationError(f"{field_name} must be >= 1")
         if self.dram_fixed_latency_ns < 0:
             raise ConfigurationError("dram_fixed_latency_ns must be >= 0")
+        if not 0.0 <= self.host_bandwidth_fraction < 1.0:
+            raise ConfigurationError(
+                "host_bandwidth_fraction must be in [0, 1), got "
+                f"{self.host_bandwidth_fraction}"
+            )
+
+    @property
+    def label(self) -> str:
+        """The display slug, ``"custom"`` for anonymous instances."""
+        return self.name or "custom"
 
     @property
     def lanes_per_cu(self) -> int:
@@ -83,31 +115,45 @@ class Microarchitecture:
         return self.simds_per_cu * self.max_waves_per_simd
 
     def to_dict(self) -> dict:
-        """Serialise every parameter (JSON-compatible)."""
-        return dataclasses.asdict(self)
+        """Serialise every physics parameter (JSON-compatible).
+
+        The ``name`` slug is deliberately omitted: fingerprints built
+        over this payload identify the *physics*, so renames never
+        invalidate caches.
+        """
+        return {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name != "name"
+        }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Microarchitecture":
-        """Reconstruct from :meth:`to_dict` output (validated)."""
-        fields = {f.name: f.type for f in dataclasses.fields(cls)}
-        unknown = set(payload) - set(fields)
+        """Reconstruct from :meth:`to_dict` output (validated).
+
+        Accepts an optional ``"name"`` key (display identity) on top of
+        the physics payload; missing physics fields take the Hawaii
+        defaults, so payloads written before a field existed still load.
+        """
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - fields
         if unknown:
             raise ConfigurationError(
                 f"unknown microarchitecture fields: {sorted(unknown)}"
             )
-        converted = {
-            name: (
-                float(value)
-                if name == "dram_fixed_latency_ns"
-                else int(value)
-            )
-            for name, value in payload.items()
-        }
+        converted = {}
+        for key, value in payload.items():
+            if key == "name":
+                converted[key] = str(value)
+            elif key in _FLOAT_FIELDS:
+                converted[key] = float(value)
+            else:
+                converted[key] = int(value)
         return cls(**converted)
 
 
 #: The reference microarchitecture used across the study.
-HAWAII_UARCH = Microarchitecture()
+HAWAII_UARCH = Microarchitecture(name="hawaii")
 
 
 @dataclass(frozen=True)
@@ -163,12 +209,18 @@ class HardwareConfig:
 
         ``bus_bits/8`` bytes per transfer, ``memory_data_rate`` transfers
         per memory-clock cycle (4 for GDDR5). At 1250 MHz on a 512-bit
-        bus this gives the W9100's datasheet 320 GB/s.
+        bus this gives the W9100's datasheet 320 GB/s. On shared-memory
+        parts the host's reserved share
+        (``uarch.host_bandwidth_fraction``) comes off the top.
         """
         bytes_per_cycle = (
             self.uarch.memory_bus_bits / 8 * self.uarch.memory_data_rate
         )
-        return bytes_per_cycle * self.memory_hz
+        return (
+            bytes_per_cycle
+            * self.memory_hz
+            * (1.0 - self.uarch.host_bandwidth_fraction)
+        )
 
     @property
     def peak_dram_gb_per_sec(self) -> float:

@@ -1,14 +1,17 @@
-"""Alternative hardware families.
+"""The Kaveri-class APU family.
 
 The paper emulates the "small, embedded designs to large, high-powered
 discrete cards" span by fusing down one discrete GPU. A natural
 question it leaves open is whether the taxonomy *transfers*: is a
 kernel that is bandwidth-bound on the discrete card also bandwidth-
 bound on an APU whose machine balance is entirely different? This
-module defines a Kaveri-class APU family (shared DDR3 memory: ~7x less
-bandwidth, smaller L2, fewer CUs) and the sweep grid for it, feeding
-the portability experiment in
-``benchmarks/test_extension_portability.py``.
+module defines a Kaveri-class APU family (shared DDR3 memory: ~9x less
+raw bus bandwidth than the discrete flagship, ~11x less once the host's
+share of the shared controller comes off the top, smaller L2, fewer
+CUs) and the sweep grid for it. It feeds the portability experiment in
+``benchmarks/test_extension_portability.py`` (promoted to a tier-1
+smoke in ``tests/gpu/test_portability_smoke.py``) and registers as the
+``"kaveri"`` entry of the family registry in :mod:`repro.gpu.uarch`.
 """
 
 from __future__ import annotations
@@ -18,13 +21,17 @@ from repro.sweep.space import ConfigurationSpace
 from repro.units import KIB
 
 #: Kaveri-class APU: 8 CUs, 512 KiB L2, 128-bit DDR3-2133 (dual
-#: channel, double data rate -> ~34 GB/s at the top memory state).
+#: channel, double data rate -> ~34 GB/s raw at the top memory state).
+#: The CPU shares the memory controller; ``host_bandwidth_fraction``
+#: models its reserved slice, leaving the GPU ~29 GB/s effective.
 KAVERI_UARCH = Microarchitecture(
     l2_bytes_total=512 * KIB,
     l2_banks=4,
     memory_bus_bits=128,
     memory_data_rate=2,
     dram_fixed_latency_ns=120.0,
+    host_bandwidth_fraction=0.15,
+    name="kaveri",
 )
 
 #: The APU's flagship operating point (A10-7850K-like).
@@ -46,7 +53,8 @@ APU_SPACE = ConfigurationSpace(
 def apu_balance_vs_discrete() -> float:
     """Machine-balance ratio (APU over discrete flagship).
 
-    Shared DDR3 cuts bandwidth by ~9x while compute only falls ~8x, so
+    Shared DDR3 cuts effective bandwidth by ~11x (a ~9x narrower bus
+    plus the host's reserved share) while compute only falls ~8x, so
     the APU's FLOP-per-byte ridge sits *higher*: kernels migrate toward
     bandwidth-bound when they move from the discrete card to the APU.
     """

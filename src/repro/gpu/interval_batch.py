@@ -278,7 +278,12 @@ class BatchIntervalModel:
         bytes_per_cycle = (
             uarch.memory_bus_bits / 8 * uarch.memory_data_rate
         )
-        peak_dram = bytes_per_cycle * memory_hz
+        # Host contention comes off the top in the same operand order
+        # as HardwareConfig.peak_dram_bytes_per_sec (bit-compat).
+        peak_dram = (
+            bytes_per_cycle * memory_hz
+            * (1.0 - uarch.host_bandwidth_fraction)
+        )
         achieved_bw = peak_dram * efficiency
         concurrency = (
             active_cus * occupancy.waves_per_cu * ch.memory_parallelism
@@ -499,7 +504,12 @@ class BatchIntervalModel:
         bytes_per_cycle = (
             uarch.memory_bus_bits / 8 * uarch.memory_data_rate
         )
-        peak_dram = bytes_per_cycle * memory_hz
+        # Host contention comes off the top in the same operand order
+        # as HardwareConfig.peak_dram_bytes_per_sec (bit-compat).
+        peak_dram = (
+            bytes_per_cycle * memory_hz
+            * (1.0 - uarch.host_bandwidth_fraction)
+        )
         achieved_bw = peak_dram * efficiency
         concurrency = (
             active_cus * waves_per_cu

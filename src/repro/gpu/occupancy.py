@@ -45,21 +45,25 @@ class OccupancyResult:
     waves_per_cu: int
     workgroups_per_cu: int
     limiter: str
+    #: Architectural wave-slot cap of the uarch the result was computed
+    #: on (40 on GCN, 64 on SM-style parts).
+    wave_slot_cap: int = 40
 
     @property
     def occupancy_fraction(self) -> float:
-        """Waves resident relative to the 40-wave architectural cap."""
-        return self.waves_per_cu / 40.0
+        """Waves resident relative to the architectural wave-slot cap."""
+        return self.waves_per_cu / self.wave_slot_cap
 
 
 def waves_limited_by_vgprs(vgprs: int, uarch: Microarchitecture) -> int:
     """Waves per SIMD permitted by vector-register pressure.
 
-    GCN allocates VGPRs in granules of 4; a wave using ``v`` registers
-    allows ``floor(256 / ceil4(v))`` resident waves on its SIMD, capped
-    at the architectural 10.
+    Registers allocate in granules of ``uarch.vgpr_granule`` (4 on
+    GCN); a wave using ``v`` registers allows
+    ``floor(vgprs_per_simd / ceil_granule(v))`` resident waves on its
+    SIMD, capped at the architectural slot count.
     """
-    granule = 4
+    granule = uarch.vgpr_granule
     allocated = math.ceil(vgprs / granule) * granule
     return min(uarch.max_waves_per_simd, uarch.vgprs_per_simd // allocated)
 
@@ -67,10 +71,12 @@ def waves_limited_by_vgprs(vgprs: int, uarch: Microarchitecture) -> int:
 def waves_limited_by_sgprs(sgprs: int, uarch: Microarchitecture) -> int:
     """Waves per SIMD permitted by scalar-register pressure.
 
-    SGPRs allocate in granules of 8 from a per-SIMD pool of 512
-    (``sgprs_per_cu`` names the per-SIMD pool for simplicity).
+    SGPRs allocate in granules of ``uarch.sgpr_granule`` (8 on GCN)
+    from a per-SIMD pool (``sgprs_per_cu`` names the per-SIMD pool for
+    simplicity). SIMT-style families without a scalar file model this
+    with a pool large enough that it never binds.
     """
-    granule = 8
+    granule = uarch.sgpr_granule
     allocated = math.ceil(sgprs / granule) * granule
     return min(uarch.max_waves_per_simd, uarch.sgprs_per_cu // allocated)
 
@@ -88,7 +94,8 @@ def workgroups_limited_by_lds(
     if lds_bytes_per_workgroup > uarch.lds_bytes_per_cu:
         raise WorkloadError(
             f"workgroup LDS usage {lds_bytes_per_workgroup} exceeds the "
-            f"{uarch.lds_bytes_per_cu}-byte CU capacity"
+            f"{uarch.lds_bytes_per_cu}-byte CU capacity "
+            f"({uarch.label} uarch)"
         )
     return min(
         uarch.max_workgroups_per_cu,
@@ -135,7 +142,10 @@ def compute_occupancy(
     waves = workgroups * waves_per_wg
 
     return OccupancyResult(
-        waves_per_cu=waves, workgroups_per_cu=workgroups, limiter=limiter
+        waves_per_cu=waves,
+        workgroups_per_cu=workgroups,
+        limiter=limiter,
+        wave_slot_cap=uarch.max_waves_per_cu,
     )
 
 
@@ -158,11 +168,13 @@ class BatchOccupancy:
     waves_per_cu: np.ndarray
     workgroups_per_cu: np.ndarray
     limiters: Tuple[str, ...]
+    #: Architectural wave-slot cap of the computed-on uarch.
+    wave_slot_cap: int = 40
 
     @property
     def occupancy_fraction(self) -> np.ndarray:
-        """Per-kernel waves resident relative to the 40-wave cap."""
-        return self.waves_per_cu / 40.0
+        """Per-kernel waves resident relative to the wave-slot cap."""
+        return self.waves_per_cu / self.wave_slot_cap
 
     def result(self, index: int) -> OccupancyResult:
         """The scalar :class:`OccupancyResult` for one packed kernel."""
@@ -170,6 +182,7 @@ class BatchOccupancy:
             waves_per_cu=int(self.waves_per_cu[index]),
             workgroups_per_cu=int(self.workgroups_per_cu[index]),
             limiter=self.limiters[index],
+            wave_slot_cap=self.wave_slot_cap,
         )
 
 
@@ -193,13 +206,13 @@ def compute_occupancy_batch(
         raise WorkloadError(
             f"workgroup LDS usage {int(lds[index])} exceeds the "
             f"{uarch.lds_bytes_per_cu}-byte CU capacity "
-            f"(kernel {pack.names[index]})"
+            f"(kernel {pack.names[index]}, {uarch.label} uarch)"
         )
 
     # Same granule arithmetic as the scalar helpers; ``-(-a // b)`` is
     # integer ceil, identical to math.ceil on these magnitudes.
-    vgpr_alloc = -(-vgprs // 4) * 4
-    sgpr_alloc = -(-sgprs // 8) * 8
+    vgpr_alloc = -(-vgprs // uarch.vgpr_granule) * uarch.vgpr_granule
+    sgpr_alloc = -(-sgprs // uarch.sgpr_granule) * uarch.sgpr_granule
     vgpr_waves = np.minimum(
         uarch.max_waves_per_simd, uarch.vgprs_per_simd // vgpr_alloc
     )
@@ -241,4 +254,5 @@ def compute_occupancy_batch(
         limiters=tuple(
             OCCUPANCY_LIMIT_ORDER[i] for i in limiter_index
         ),
+        wave_slot_cap=uarch.max_waves_per_cu,
     )

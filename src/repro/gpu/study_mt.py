@@ -311,6 +311,7 @@ class StudyMTModel:
                 waves_per_cu=waves_per_cu,
                 workgroups_per_cu=workgroups_per_cu,
                 limiters=tuple(limiters),
+                wave_slot_cap=space.uarch.max_waves_per_cu,
             ),
             l2_hit_rate=l2_hit_rate,
             dram_bytes=dram_bytes,

@@ -1,0 +1,339 @@
+"""The microarchitecture-family seam: descriptors and registry.
+
+Mirrors the timing-engine registry (:mod:`repro.gpu.engine`): a
+*family* is a named, fingerprinted microarchitecture — physics values,
+a flagship operating point, and the canonical sweep grid the taxonomy
+runs on. Everything above the physics layer (service, CLI, transfer
+analysis) resolves families by name through this registry instead of
+importing per-family constants, so adding a part is one registration.
+
+Identity is split deliberately:
+
+* the **name slug** (``"hawaii"``, ``"kaveri"``, ...) is display and
+  routing identity — metrics labels, ``/healthz``, error messages,
+  request payloads;
+* the **fingerprint material** is the family's physics value payload
+  (:meth:`~repro.gpu.config.Microarchitecture.to_dict`), which is what
+  sweep-cache keys and campaign journals embed (via
+  ``space.to_dict()``). Renaming a family never invalidates caches;
+  changing a physics value always does.
+
+Four families register at import: the paper's Hawaii reference, the
+Kaveri shared-memory APU (host bandwidth contention), an SM-style part
+with 32-wide warps and SIMT occupancy rules (per-warp register
+granules, no scalar-file limit), and an HBM-class big-memory part
+(Fiji-like 4096-bit stack).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.gpu.config import HAWAII_UARCH, HardwareConfig, Microarchitecture
+from repro.gpu.families import APU_SPACE, KAVERI_FLAGSHIP, KAVERI_UARCH
+from repro.gpu.products import W9100_LIKE
+from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
+from repro.units import KIB, MIB
+
+
+@dataclass(frozen=True)
+class FamilyDescriptor:
+    """Stable identity of one microarchitecture family.
+
+    *name* is the registry key; *version* tracks the family's physics
+    (a value change should bump it in the changelog sense, but the
+    fingerprint already moves with the values themselves).
+    """
+
+    name: str
+    version: int = 1
+
+    def fingerprint_material(self, uarch: Microarchitecture) -> dict:
+        """The payload cache keys embed: physics values, never the name.
+
+        This is exactly ``uarch.to_dict()`` — byte-identical to the
+        pre-registry payloads ``ConfigurationSpace.to_dict()`` already
+        feeds into sweep fingerprints, so existing cache entries stay
+        valid and renames never invalidate them.
+        """
+        return uarch.to_dict()
+
+
+@dataclass(frozen=True)
+class UarchFamily:
+    """One registered family: physics, flagship point, canonical grid.
+
+    ``space`` is the family's canonical sweep grid — the grid its
+    taxonomy runs on and the grid cross-family transfer measures
+    surfaces over. Its axes span knob ranges in the spirit of the
+    paper's (a wide CU range, ~3-5x clocks), scaled to the part.
+    """
+
+    name: str
+    uarch: Microarchitecture
+    flagship: HardwareConfig
+    space: ConfigurationSpace
+    summary: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ConfigurationError(f"invalid family name {self.name!r}")
+        if self.space.uarch != self.uarch:
+            raise ConfigurationError(
+                f"family {self.name!r}: canonical space carries a "
+                "different microarchitecture"
+            )
+        if self.flagship.uarch != self.uarch:
+            raise ConfigurationError(
+                f"family {self.name!r}: flagship carries a different "
+                "microarchitecture"
+            )
+
+    def descriptor(self) -> FamilyDescriptor:
+        """This family's stable identity."""
+        return FamilyDescriptor(name=self.name)
+
+    def fingerprint_material(self) -> dict:
+        """Value-derived fingerprint payload (see the module docstring)."""
+        return self.descriptor().fingerprint_material(self.uarch)
+
+    def to_dict(self) -> dict:
+        """Summary payload for ``/healthz`` and ``gpuscale families``."""
+        return {
+            "name": self.name,
+            "summary": self.summary,
+            "space_shape": list(self.space.shape),
+            "space_size": self.space.size,
+            "flagship": self.flagship.to_dict(),
+            "peak_gflops": self.flagship.peak_gflops,
+            "peak_dram_gb_per_sec": self.flagship.peak_dram_gb_per_sec,
+            "machine_balance_flops_per_byte": (
+                self.flagship.machine_balance_flops_per_byte
+            ),
+        }
+
+
+_FAMILIES: Dict[str, UarchFamily] = {}
+_FAMILIES_LOCK = threading.Lock()
+
+
+def register_family(
+    family: UarchFamily, *, replace: bool = False
+) -> UarchFamily:
+    """Register *family* under its name slug.
+
+    Registering an existing name raises unless ``replace=True``.
+    Returns the registered family.
+    """
+    with _FAMILIES_LOCK:
+        if family.name in _FAMILIES and not replace:
+            raise ConfigurationError(
+                f"family {family.name!r} is already registered "
+                "(pass replace=True to override)"
+            )
+        _FAMILIES[family.name] = family
+    return family
+
+
+def unregister_family(name: str) -> bool:
+    """Drop one registration; ``True`` if something was removed."""
+    with _FAMILIES_LOCK:
+        return _FAMILIES.pop(name, None) is not None
+
+
+def get_family(name: str) -> UarchFamily:
+    """The family registered under *name*, or a structured error."""
+    with _FAMILIES_LOCK:
+        family = _FAMILIES.get(name)
+    if family is None:
+        known = ", ".join(sorted(_FAMILIES)) or "<none>"
+        raise ConfigurationError(
+            f"unknown microarchitecture family {name!r}; "
+            f"registered families: {known}"
+        )
+    return family
+
+
+def list_families() -> Tuple[UarchFamily, ...]:
+    """Every registration, sorted by name."""
+    with _FAMILIES_LOCK:
+        families = sorted(_FAMILIES.values(), key=lambda f: f.name)
+    return tuple(families)
+
+
+def family_names() -> Tuple[str, ...]:
+    """Registered family names, sorted."""
+    return tuple(family.name for family in list_families())
+
+
+def family_for_uarch(uarch: Microarchitecture) -> Optional[UarchFamily]:
+    """The registered family whose physics equal *uarch* (else None).
+
+    Equality is value-based (the ``name`` slug is excluded from
+    comparison), so an anonymous ``Microarchitecture`` with Hawaii
+    values resolves to the ``hawaii`` family.
+    """
+    with _FAMILIES_LOCK:
+        named = _FAMILIES.get(uarch.name) if uarch.name else None
+        if named is not None and named.uarch == uarch:
+            return named
+        for family in _FAMILIES.values():
+            if family.uarch == uarch:
+                return family
+    return None
+
+
+def family_label(uarch: Microarchitecture) -> str:
+    """Display slug for *uarch*: its name, a registry match, or
+    ``"custom"`` — the label metrics and error messages carry."""
+    if uarch.name:
+        return uarch.name
+    family = family_for_uarch(uarch)
+    return family.name if family is not None else "custom"
+
+
+@contextmanager
+def family_registration(
+    family: UarchFamily, *, replace: bool = False
+) -> Iterator[UarchFamily]:
+    """Temporarily register *family* (tests); restores the previous
+    entry — or removes the name — on exit."""
+    with _FAMILIES_LOCK:
+        previous = _FAMILIES.get(family.name)
+    register_family(family, replace=replace or previous is not None)
+    try:
+        yield family
+    finally:
+        with _FAMILIES_LOCK:
+            if previous is None:
+                _FAMILIES.pop(family.name, None)
+            else:
+                _FAMILIES[family.name] = previous
+
+
+# ----------------------------------------------------------------------
+# Built-in families
+# ----------------------------------------------------------------------
+
+#: SM-style part (GM200/Titan-X-like): 32-wide warps, 64 warp slots
+#: per SM, per-warp register allocation in granules of 8 from a 512-
+#: register per-scheduler pool, no scalar register file (the SGPR pool
+#: is sized so it never binds), 96 KiB shared memory, 3 MiB L2 on a
+#: 384-bit GDDR5 interface.
+MAXWELL_UARCH = Microarchitecture(
+    simds_per_cu=4,
+    lanes_per_simd=32,
+    max_waves_per_simd=16,
+    max_workgroups_per_cu=32,
+    vgprs_per_simd=512,
+    sgprs_per_cu=4096,
+    lds_bytes_per_cu=96 * KIB,
+    l1_bytes_per_cu=24 * KIB,
+    l2_bytes_total=3 * MIB,
+    l2_banks=24,
+    memory_bus_bits=384,
+    memory_data_rate=4,
+    l1_latency_cycles=80,
+    l2_latency_cycles=220,
+    dram_latency_cycles=30,
+    dram_fixed_latency_ns=170.0,
+    vgpr_granule=8,
+    sgpr_granule=8,
+    name="maxwell",
+)
+
+#: Titan-X-like flagship: 24 SMs, 336 GB/s.
+MAXWELL_FLAGSHIP = HardwareConfig(
+    cu_count=24, engine_mhz=1000.0, memory_mhz=1750.0,
+    uarch=MAXWELL_UARCH,
+)
+
+#: Canonical SM-style sweep grid: 6 x 7 x 7 = 294 configurations
+#: (6x SMs, 3x engine clock, 4.4x memory clock).
+MAXWELL_SPACE = ConfigurationSpace(
+    cu_counts=(4, 8, 12, 16, 20, 24),
+    engine_mhz=(400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0),
+    memory_mhz=(400.0, 625.0, 850.0, 1075.0, 1300.0, 1525.0, 1750.0),
+    uarch=MAXWELL_UARCH,
+)
+
+#: HBM-class big-memory part (Fiji/Fury-X-like): GCN occupancy rules,
+#: but a 4096-bit on-interposer stack at double data rate (512 GB/s at
+#: the 500 MHz top state), 2 MiB L2 over 32 banks, and a shorter fixed
+#: DRAM latency (the stack sits on the interposer).
+FIJI_UARCH = Microarchitecture(
+    l2_bytes_total=2 * MIB,
+    l2_banks=32,
+    memory_bus_bits=4096,
+    memory_data_rate=2,
+    dram_fixed_latency_ns=110.0,
+    name="fiji",
+)
+
+#: Fury-X-like flagship: 64 CUs, 8.6 TFLOP/s, 512 GB/s.
+FIJI_FLAGSHIP = HardwareConfig(
+    cu_count=64, engine_mhz=1050.0, memory_mhz=500.0, uarch=FIJI_UARCH
+)
+
+#: Canonical HBM-class sweep grid: 8 x 6 x 6 = 288 configurations
+#: (8x CUs, 3.5x engine clock, 4x memory clock).
+FIJI_SPACE = ConfigurationSpace(
+    cu_counts=(8, 16, 24, 32, 40, 48, 56, 64),
+    engine_mhz=(300.0, 450.0, 600.0, 750.0, 900.0, 1050.0),
+    memory_mhz=(125.0, 200.0, 275.0, 350.0, 425.0, 500.0),
+    uarch=FIJI_UARCH,
+)
+
+
+def _register_builtins() -> None:
+    register_family(
+        UarchFamily(
+            name="hawaii",
+            uarch=HAWAII_UARCH,
+            flagship=W9100_LIKE,
+            space=PAPER_SPACE,
+            summary="GCN3 Hawaii-class discrete reference (the paper's "
+            "fused-down W9100): 891-point study grid",
+        ),
+        replace=True,
+    )
+    register_family(
+        UarchFamily(
+            name="kaveri",
+            uarch=KAVERI_UARCH,
+            flagship=KAVERI_FLAGSHIP,
+            space=APU_SPACE,
+            summary="Kaveri-class shared-memory APU: DDR3 behind host "
+            "contention, machine balance tilted toward bandwidth",
+        ),
+        replace=True,
+    )
+    register_family(
+        UarchFamily(
+            name="maxwell",
+            uarch=MAXWELL_UARCH,
+            flagship=MAXWELL_FLAGSHIP,
+            space=MAXWELL_SPACE,
+            summary="SM-style part: 32-wide warps, 64 warp slots/SM, "
+            "per-warp register granules, no scalar-file limit",
+        ),
+        replace=True,
+    )
+    register_family(
+        UarchFamily(
+            name="fiji",
+            uarch=FIJI_UARCH,
+            flagship=FIJI_FLAGSHIP,
+            space=FIJI_SPACE,
+            summary="HBM-class big-memory part: 4096-bit stack, "
+            "512 GB/s, machine balance tilted toward compute",
+        ),
+        replace=True,
+    )
+
+
+_register_builtins()

@@ -6,7 +6,10 @@ Two predictors over collected scaling data:
   kernel (off-grid configurations);
 * :class:`ScalingPredictor` — full-surface prediction for an
   *unmeasured* kernel from seven probe runs, by nearest neighbours in
-  scaling-shape space.
+  scaling-shape space;
+* :class:`CrossFamilyPredictor` — cross-architecture transfer of a
+  kernel's scaling surface from one microarchitecture family's grid
+  to another's, via a corpus measured on both.
 """
 
 from repro.predict.engine import PredictorEngine
@@ -27,8 +30,15 @@ from repro.predict.sampling import (
     evaluate_plan,
     plan_for_budget,
 )
+from repro.predict.transfer import (
+    CrossFamilyPredictor,
+    TransferPrediction,
+    clear_transfer_cache,
+    transfer_predictor,
+)
 
 __all__ = [
+    "CrossFamilyPredictor",
     "CubeInterpolator",
     "PredictedCube",
     "PredictorEngine",
@@ -37,12 +47,15 @@ __all__ = [
     "STANDARD_SCENARIOS",
     "ScalingPredictor",
     "Scenario",
+    "TransferPrediction",
     "WhatIfResult",
     "best_advice",
     "budget_sweep",
+    "clear_transfer_cache",
     "collect_plan_dataset",
     "evaluate_plan",
     "interpolator",
     "plan_for_budget",
+    "transfer_predictor",
     "what_if",
 ]

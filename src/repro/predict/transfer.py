@@ -1,0 +1,327 @@
+"""Cross-architecture scaling-surface transfer.
+
+The paper's open question: does a kernel's scaling class *transfer*
+across machine balances? Related work answers it empirically — Stevens
+& Klöckner (arXiv 1904.09538) predict a kernel's performance on one
+machine from measurements on another, black-box, via a corpus measured
+on both. This module implements that scheme over the probe+transplant
+machinery of :mod:`repro.predict.predictor`:
+
+1. build a **cross-family corpus**: the full kernel catalog plus one
+   kernel per synthetic archetype, swept over *both* families'
+   canonical grids (one batch study per family, ~0.1 s per pair);
+2. signature-match the new kernel's measured source-family surface
+   against the corpus's source surfaces (the same log2 probe-ratio
+   signature the single-family predictor uses);
+3. transplant the matched corpus kernels' *target-family* normalised
+   surfaces (inverse-distance-weighted log-space blend), and anchor
+   absolute performance with the blended corpus base-performance ratio
+   ``base_target / base_source`` — fully black-box: no target-family
+   measurement of the new kernel is needed.
+
+Evaluation passes ``exclude=<kernel name>`` so a catalog kernel never
+matches its own corpus row; serving deliberately does not — a corpus
+hit at distance zero *is* the right answer for a known kernel.
+
+:func:`transfer_predictor` memoises fitted predictors per (family
+pair, corpus, k), so a serving process pays the two corpus studies
+once per pair.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.gpu.interval_batch import BatchIntervalModel
+from repro.gpu.uarch import UarchFamily, get_family
+from repro.kernels.archetypes import ARCHETYPE_BUILDERS, build_archetype
+from repro.kernels.kernel import Kernel
+from repro.kernels.pack import KernelPack
+from repro.predict.predictor import _PROBE_COORDS
+
+#: How many corpus neighbours a transfer blends.
+DEFAULT_NEIGHBOURS = 3
+
+
+def default_corpus_kernels() -> List[Kernel]:
+    """The cross-family corpus: the full catalog plus the archetypes.
+
+    The catalog carries the real class structure (the corpus a serving
+    process matches against); the archetypes add synthetic coverage at
+    the extremes so a kernel unlike anything in the catalog still
+    finds a sane neighbourhood.
+    """
+    from repro.suites import all_kernels
+
+    kernels = list(all_kernels())
+    kernels.extend(
+        build_archetype(kind, program=f"corpus-{kind}")
+        for kind in sorted(ARCHETYPE_BUILDERS)
+    )
+    return kernels
+
+
+def surface_signature(cube: np.ndarray) -> np.ndarray:
+    """Log2 probe-ratio signature of one scaling surface.
+
+    The same shape descriptor :class:`~repro.predict.predictor.
+    ScalingPredictor` matches on: the surface's response at the grid
+    corners and centre, normalised to the base corner — absolute
+    performance cancels, so signatures compare across kernels (and,
+    here, across the source family's grid resolutions).
+    """
+    base = float(cube[0, 0, 0])
+    if not base > 0:
+        raise AnalysisError("surface base point must be positive")
+    values = [float(cube[c, e, m]) / base for c, e, m in _PROBE_COORDS]
+    if any(v <= 0 for v in values):
+        raise AnalysisError("surface values must be positive")
+    return np.log2(np.asarray(values[1:]))  # base point is always 1
+
+
+@dataclass(frozen=True)
+class TransferPrediction:
+    """Outcome of one cross-family transfer."""
+
+    kernel_name: str
+    source_family: str
+    target_family: str
+    #: Predicted items/second over the target family's canonical grid.
+    cube: np.ndarray
+    neighbours: Tuple[str, ...]
+    neighbour_distances: Tuple[float, ...]
+
+    @property
+    def nearest(self) -> str:
+        """The closest corpus kernel."""
+        return self.neighbours[0]
+
+
+class CrossFamilyPredictor:
+    """k-NN transfer from family A surfaces to family B surfaces."""
+
+    def __init__(
+        self,
+        source: UarchFamily,
+        target: UarchFamily,
+        kernels: Optional[Sequence[Kernel]] = None,
+        k: int = DEFAULT_NEIGHBOURS,
+    ):
+        self._source = source
+        self._target = target
+        kernels = (
+            list(kernels) if kernels is not None
+            else default_corpus_kernels()
+        )
+        if k < 1 or k > len(kernels):
+            raise AnalysisError(
+                f"k={k} invalid for a {len(kernels)}-kernel corpus"
+            )
+        self._k = k
+
+        self._corpus_names = tuple(k.full_name for k in kernels)
+        self._corpus_index = {
+            name: i for i, name in enumerate(self._corpus_names)
+        }
+        pack = KernelPack.from_kernels(kernels)
+        batch = BatchIntervalModel()
+        source_perf = batch.simulate_study(
+            pack, source.space
+        ).items_per_second
+        target_perf = batch.simulate_study(
+            pack, target.space
+        ).items_per_second
+
+        source_base = source_perf[:, 0:1, 0:1, 0:1]
+        target_base = target_perf[:, 0:1, 0:1, 0:1]
+        self._signatures = np.stack(
+            [
+                surface_signature(source_perf[i] / source_base[i])
+                for i in range(len(kernels))
+            ]
+        )
+        self._target_normalised = target_perf / target_base
+        #: Per-corpus-kernel absolute anchor: how much faster (log
+        #: space) the kernel's base corner runs on the target family.
+        self._log_base_ratio = np.log(
+            target_base[:, 0, 0, 0] / source_base[:, 0, 0, 0]
+        )
+        #: Lazily cached leave-one-out error (the corpus is immutable).
+        self._measured_error: Optional[float] = None
+
+    @property
+    def source(self) -> UarchFamily:
+        """The measured-on family."""
+        return self._source
+
+    @property
+    def target(self) -> UarchFamily:
+        """The predicted-for family."""
+        return self._target
+
+    @property
+    def corpus_names(self) -> Tuple[str, ...]:
+        """Corpus kernel names, in corpus order."""
+        return self._corpus_names
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def _blend(
+        self, signature: np.ndarray, exclude: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(order, weights, distances) of the k nearest corpus rows."""
+        distances = np.linalg.norm(self._signatures - signature, axis=1)
+        if exclude is not None:
+            distances = distances.copy()
+            distances[exclude] = np.inf
+        order = np.argsort(distances)[: self._k]
+        weights = 1.0 / (distances[order] + 1e-9)
+        weights = weights / weights.sum()
+        return order, weights, distances
+
+    def _transplant(
+        self, order: np.ndarray, weights: np.ndarray
+    ) -> Tuple[np.ndarray, float]:
+        """(blended normalised target cube, blended log base ratio)."""
+        log_blend = np.zeros_like(self._target_normalised[0])
+        log_ratio = 0.0
+        for weight, row in zip(weights, order):
+            log_blend += weight * np.log(self._target_normalised[row])
+            log_ratio += weight * float(self._log_base_ratio[row])
+        return np.exp(log_blend), log_ratio
+
+    def predict_cube(
+        self,
+        source_cube: np.ndarray,
+        kernel_name: str = "",
+        *,
+        exclude: Optional[str] = None,
+    ) -> TransferPrediction:
+        """Predict the target-family surface from a source surface.
+
+        *source_cube* is the kernel's measured items/second over the
+        source family's canonical grid (shape must match
+        ``source.space.shape``). The result's ``cube`` spans the
+        target family's canonical grid, anchored by the blended corpus
+        base-performance ratio — no target measurement required.
+
+        *exclude* masks one corpus kernel by name — evaluation uses it
+        so a catalog kernel is never predicted from its own corpus row.
+        """
+        expected = self._source.space.shape
+        if tuple(source_cube.shape) != tuple(expected):
+            raise AnalysisError(
+                f"source cube shape {tuple(source_cube.shape)} does not "
+                f"match the {self._source.name} canonical grid "
+                f"{tuple(expected)}"
+            )
+        excluded_index = (
+            self._corpus_index.get(exclude) if exclude else None
+        )
+        signature = surface_signature(source_cube)
+        order, weights, distances = self._blend(
+            signature, exclude=excluded_index
+        )
+        normalised, log_ratio = self._transplant(order, weights)
+        base = float(source_cube[0, 0, 0]) * float(np.exp(log_ratio))
+        return TransferPrediction(
+            kernel_name=kernel_name,
+            source_family=self._source.name,
+            target_family=self._target.name,
+            cube=normalised * base,
+            neighbours=tuple(
+                self._corpus_names[i] for i in order
+            ),
+            neighbour_distances=tuple(
+                float(distances[i]) for i in order
+            ),
+        )
+
+    def measured_error(self) -> float:
+        """Median leave-one-out relative surface error over the corpus.
+
+        Each corpus kernel's target surface is predicted from its
+        source surface with its own corpus row masked; per-kernel
+        median absolute relative errors aggregate by median. This is
+        the error estimate ``/v1/transfer`` responses report.
+        """
+        if self._measured_error is not None:
+            return self._measured_error
+        errors = []
+        for i in range(len(self._corpus_names)):
+            order, weights, _ = self._blend(
+                self._signatures[i], exclude=i
+            )
+            normalised, log_ratio = self._transplant(order, weights)
+            # Both sides divided by the kernel's source base: the
+            # relative error is identical to the absolute comparison.
+            predicted = normalised * float(np.exp(log_ratio))
+            actual = self._target_normalised[i] * float(
+                np.exp(self._log_base_ratio[i])
+            )
+            relative = np.abs(predicted - actual) / actual
+            errors.append(float(np.median(relative)))
+        self._measured_error = float(np.median(errors))
+        return self._measured_error
+
+
+# ----------------------------------------------------------------------
+# Process-wide fitted-predictor cache
+# ----------------------------------------------------------------------
+
+_CacheKey = Tuple[object, ...]
+_PREDICTORS: Dict[_CacheKey, CrossFamilyPredictor] = {}
+_PREDICTORS_LOCK = threading.Lock()
+
+#: Fitted family pairs one process retains (each holds two corpus
+#: studies; eviction is coarse — clear-all — because the pair count is
+#: bounded by the registry size squared in practice).
+MAX_CACHED_PAIRS = 16
+
+
+def transfer_predictor(
+    source: str, target: str, *, k: int = DEFAULT_NEIGHBOURS
+) -> CrossFamilyPredictor:
+    """A fitted :class:`CrossFamilyPredictor` for a family pair.
+
+    Families resolve through the registry by name; the fitted corpus
+    is memoised on (physics values, canonical grids, k) so renames or
+    repeated requests never refit, while re-registering a family with
+    new physics does. Custom corpora bypass this helper — construct
+    :class:`CrossFamilyPredictor` directly.
+    """
+    source_family = get_family(source)
+    target_family = get_family(target)
+    if source_family.name == target_family.name:
+        raise AnalysisError(
+            f"transfer requires two distinct families, got "
+            f"{source_family.name!r} twice"
+        )
+    key = (
+        source_family.uarch, source_family.space,
+        target_family.uarch, target_family.space,
+        k,
+    )
+    with _PREDICTORS_LOCK:
+        cached = _PREDICTORS.get(key)
+    if cached is not None:
+        return cached
+    predictor = CrossFamilyPredictor(source_family, target_family, k=k)
+    with _PREDICTORS_LOCK:
+        if len(_PREDICTORS) >= MAX_CACHED_PAIRS:
+            _PREDICTORS.clear()
+        _PREDICTORS[key] = predictor
+    return predictor
+
+
+def clear_transfer_cache() -> None:
+    """Drop every fitted predictor (tests)."""
+    with _PREDICTORS_LOCK:
+        _PREDICTORS.clear()

@@ -502,6 +502,18 @@ class ServiceMetrics:
             "routing reason.",
             ("tier", "reason"),
         )
+        self.family_queries = r.counter(
+            "gpuscale_family_queries_total",
+            "Grid queries served, by microarchitecture family "
+            "('custom' for unregistered physics).",
+            ("family",),
+        )
+        self.transfer_requests = r.counter(
+            "gpuscale_transfer_requests_total",
+            "Cross-architecture transfer predictions served, by "
+            "family pair.",
+            ("source_family", "target_family"),
+        )
 
     # -- recording helpers (each takes the registry lock once) ---------
 
@@ -571,6 +583,16 @@ class ServiceMetrics:
         """Count one fidelity-tier routing decision for a grid query."""
         with self.registry.lock:
             self.tier_selected.inc(1.0, tier, reason)
+
+    def record_family(self, family: str) -> None:
+        """Count one grid query against a microarchitecture family."""
+        with self.registry.lock:
+            self.family_queries.inc(1.0, family)
+
+    def record_transfer(self, source: str, target: str) -> None:
+        """Count one cross-architecture transfer prediction."""
+        with self.registry.lock:
+            self.transfer_requests.inc(1.0, source, target)
 
     def set_queue_depth(self, depth: int) -> None:
         """Publish the admission queue's current depth."""

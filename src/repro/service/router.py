@@ -742,24 +742,33 @@ class FleetExecutor:
         digest = self._space_digests.get(space)
         if digest is None:
             from repro.gpu.engine import engine_fingerprint
+            from repro.gpu.uarch import family_label
             from repro.sweep.cache import fingerprint_blob
 
             if self._engine_digest is None:
                 self._engine_digest = fingerprint_blob(
                     {"engine": engine_fingerprint(self._engine)}
                 )
-            digest = fingerprint_blob(
-                {
-                    "space": space.to_dict(),
-                    "engine": self._engine_digest,
-                }
+            # The family label rides in the shard key so the routing
+            # unit is (family, grid, engine); the physics values in
+            # space.to_dict() already keep distinct families on
+            # distinct shards, the label keeps that legible.
+            digest = (
+                f"{family_label(space.uarch)}|"
+                + fingerprint_blob(
+                    {
+                        "space": space.to_dict(),
+                        "engine": self._engine_digest,
+                    }
+                )
             )
             self._space_digests[space] = digest
         return digest
 
     def shard_key(self, query: Query) -> str:
-        """The consistent-hash key: ``(space, engine)`` fingerprint
-        for grids, ``(kernel, config)`` identity for points."""
+        """The consistent-hash key: ``(family, space, engine)``
+        fingerprint for grids, ``(kernel, config)`` identity for
+        points."""
         if isinstance(query, GridQuery):
             return f"g|{self._space_digest(query.space)}"
         config = query.config

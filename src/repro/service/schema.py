@@ -17,8 +17,13 @@ Kernels are named two ways: a catalog identifier string
 (``"rodinia/bfs.kernel1"``) or a full inline kernel definition (the
 :meth:`~repro.kernels.kernel.Kernel.to_dict` payload), so callers can
 query hypothetical kernels that exist nowhere in the catalog.
-Configuration spaces are ``"paper"`` (the 11 x 9 x 9 study grid) or an
-explicit ``{cu_counts, engine_mhz, memory_mhz}`` axes payload.
+Configuration spaces are named three ways: ``"paper"`` (the 11 x 9 x 9
+study grid), any registered microarchitecture family name (that
+family's canonical grid, e.g. ``"kaveri"``), or an explicit
+``{cu_counts, engine_mhz, memory_mhz}`` axes payload — optionally with
+a ``"uarch"`` key naming a registered family or inlining
+:meth:`~repro.gpu.config.Microarchitecture.to_dict` values, so callers
+can sweep custom grids on non-default physics.
 """
 
 from __future__ import annotations
@@ -26,8 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional
 
-from repro.errors import ReproError, SuiteError, WorkloadError
-from repro.gpu.config import HardwareConfig
+from repro.errors import ConfigurationError, ReproError, SuiteError, WorkloadError
+from repro.gpu.config import HardwareConfig, Microarchitecture
 from repro.kernels.kernel import Kernel
 from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
 
@@ -106,6 +111,22 @@ class WhatIfRequest:
 
     kernel: Kernel
     config: HardwareConfig
+    timeout_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class TransferRequest:
+    """A validated ``/v1/transfer`` body: kernel plus a family pair.
+
+    The kernel is measured on *source_family*'s canonical grid (through
+    the normal batcher/fleet path) and its scaling surface and taxonomy
+    class on *target_family* are predicted from the cross-family
+    corpus — no target-family sweep of the kernel happens.
+    """
+
+    kernel: Kernel
+    source_family: str
+    target_family: str
     timeout_s: Optional[float] = None
 
 
@@ -222,26 +243,91 @@ def parse_config(spec: Any, field: str = "config") -> HardwareConfig:
         ) from exc
 
 
+def parse_family(spec: Any, field: str = "family"):
+    """A registered family by name, or a structured 400."""
+    from repro.gpu.uarch import family_names, get_family
+
+    if not isinstance(spec, str):
+        raise RequestError(
+            "unknown_family",
+            f"{field} must be a family name string, got "
+            f"{type(spec).__name__}",
+            field=field,
+        )
+    try:
+        return get_family(spec)
+    except ConfigurationError:
+        known = ", ".join(family_names())
+        raise RequestError(
+            "unknown_family",
+            f"no microarchitecture family named {spec!r}; registered "
+            f"families: {known}",
+            field=field,
+        ) from None
+
+
+def _parse_uarch(spec: Any, field: str) -> Microarchitecture:
+    """The axes payload's optional physics: a family name or values."""
+    if isinstance(spec, str):
+        return parse_family(spec, field=field).uarch
+    if isinstance(spec, Mapping):
+        try:
+            return Microarchitecture.from_dict(dict(spec))
+        except (ReproError, TypeError, ValueError) as exc:
+            raise RequestError(
+                "invalid_space",
+                f"{field} rejected: {exc}",
+                field=field,
+            ) from exc
+    raise RequestError(
+        "invalid_space",
+        f"{field} must be a family name string or a "
+        f"microarchitecture values object, got {type(spec).__name__}",
+        field=field,
+    )
+
+
 def parse_space(spec: Any, field: str = "space") -> ConfigurationSpace:
-    """A configuration grid: ``"paper"`` or explicit axes."""
+    """A configuration grid: ``"paper"``, a family name, or axes.
+
+    A string other than ``"paper"`` resolves through the family
+    registry to that family's canonical grid. An axes object may carry
+    an optional ``"uarch"`` key (family name or inline physics values)
+    so a custom grid can sweep non-default physics.
+    """
     if spec == "paper":
         return PAPER_SPACE
+    if isinstance(spec, str):
+        return parse_family(spec, field=field).space
     if not isinstance(spec, Mapping):
         raise RequestError(
             "invalid_space",
-            f"{field} must be \"paper\" or an axes object, got "
-            f"{spec!r}",
+            f"{field} must be \"paper\", a family name, or an axes "
+            f"object, got {spec!r}",
             field=field,
         )
-    unknown = set(spec) - {"cu_counts", "engine_mhz", "memory_mhz"}
+    unknown = set(spec) - {"cu_counts", "engine_mhz", "memory_mhz", "uarch"}
     if unknown:
         raise RequestError(
             "invalid_space",
             f"unknown {field} keys: {sorted(unknown)}",
             field=field,
         )
+    axes = {k: v for k, v in spec.items() if k != "uarch"}
+    uarch = (
+        _parse_uarch(spec["uarch"], f"{field}.uarch")
+        if "uarch" in spec
+        else None
+    )
     try:
-        space = ConfigurationSpace.from_dict(dict(spec))
+        space = ConfigurationSpace.from_dict(dict(axes))
+        if uarch is not None:
+            space = ConfigurationSpace(
+                cu_counts=space.cu_counts,
+                engine_mhz=space.engine_mhz,
+                memory_mhz=space.memory_mhz,
+                uarch=uarch,
+            )
     except (ReproError, KeyError, TypeError, ValueError) as exc:
         raise RequestError(
             "invalid_space",
@@ -358,6 +444,40 @@ def parse_classify(payload: Any) -> ClassifyRequest:
         space=space,
         timeout_s=parse_timeout_ms(payload),
         tolerance=parse_tolerance(payload),
+    )
+
+
+def parse_transfer(payload: Any) -> TransferRequest:
+    """Validate a ``/v1/transfer`` body.
+
+    Requires ``kernel``, ``source_family``, and ``target_family`` (two
+    distinct registered family names); accepts the usual optional
+    ``timeout_ms``.
+    """
+    payload = _require_mapping(payload)
+    check_version(payload)
+    kernel = parse_kernel(payload)
+    for required in ("source_family", "target_family"):
+        if required not in payload:
+            raise RequestError(
+                "missing_field",
+                f"request has no '{required}'",
+                field=required,
+            )
+    source = parse_family(payload["source_family"], field="source_family")
+    target = parse_family(payload["target_family"], field="target_family")
+    if source.name == target.name:
+        raise RequestError(
+            "invalid_transfer",
+            f"source_family and target_family must differ, got "
+            f"{source.name!r} twice",
+            field="target_family",
+        )
+    return TransferRequest(
+        kernel=kernel,
+        source_family=source.name,
+        target_family=target.name,
+        timeout_s=parse_timeout_ms(payload),
     )
 
 

@@ -11,7 +11,9 @@ endpoint              method  answers
 ``/v1/simulate``      POST    one kernel at a point or over a grid
 ``/v1/classify``      POST    taxonomy label for one kernel
 ``/v1/whatif``        POST    ranked optimisation counterfactuals
+``/v1/transfer``      POST    cross-family surface + class prediction
 ``/v1/engines``       GET     the engine registry's capability table
+``/v1/families``      GET     the microarchitecture-family registry
 ``/healthz``          GET     liveness (``ok`` / ``draining``)
 ``/metrics``          GET     Prometheus text exposition
 ====================  ======  =========================================
@@ -439,9 +441,11 @@ class GpuScaleService:
             ("GET", "/healthz"): self._get_healthz,
             ("GET", "/metrics"): self._get_metrics,
             ("GET", "/v1/engines"): self._get_engines,
+            ("GET", "/v1/families"): self._get_families,
             ("POST", "/v1/simulate"): self._post_simulate,
             ("POST", "/v1/classify"): self._post_classify,
             ("POST", "/v1/whatif"): self._post_whatif,
+            ("POST", "/v1/transfer"): self._post_transfer,
         }
         handler = routes.get((method, path))
         if handler is None:
@@ -649,6 +653,9 @@ class GpuScaleService:
         only when the exact tier refuses (saturation or
         breaker-blocked workers).
         """
+        from repro.gpu.uarch import family_label
+
+        self.metrics.record_family(family_label(query.space.uarch))
         mode = self.config.brownout
         if mode == "force" and self.brownout is not None:
             return await self._degraded(query, "forced")
@@ -723,6 +730,8 @@ class GpuScaleService:
     # ------------------------------------------------------------------
 
     async def _get_healthz(self) -> Tuple[int, Dict[str, Any]]:
+        from repro.gpu.uarch import family_names
+
         status = "draining" if self._draining else "ok"
         payload: Dict[str, Any] = {
             "status": status,
@@ -732,6 +741,7 @@ class GpuScaleService:
             or self.config.engine,
             "queue_depth": self.executor.pending,
             "brownout": self.config.brownout,
+            "families": list(family_names()),
         }
         if self.fleet is not None:
             states = self.fleet.worker_states()
@@ -770,6 +780,13 @@ class GpuScaleService:
             for reg in list_engines()
         ]
         return 200, {"engines": engines}
+
+    async def _get_families(self) -> Tuple[int, Dict[str, Any]]:
+        from repro.gpu.uarch import list_families
+
+        return 200, {
+            "families": [family.to_dict() for family in list_families()]
+        }
 
     async def _post_simulate(
         self, payload: Any
@@ -844,6 +861,71 @@ class GpuScaleService:
                 "memory": label.memory_behaviour.value,
             },
             "explanation": explain_label(label),
+            "from_cache": result.from_cache,
+            **self._fidelity_fields(result, reason),
+        }
+
+    async def _post_transfer(
+        self, payload: Any
+    ) -> Tuple[int, Dict[str, Any]]:
+        from repro.predict.transfer import transfer_predictor
+        from repro.sweep.dataset import KernelRecord, ScalingDataset
+        from repro.taxonomy.classifier import classify
+
+        request = schema.parse_transfer(payload)
+        timeout, deadline = self._request_budget(request)
+        # Fitting the cross-family corpus costs two batch studies; it
+        # is memoised per family pair, so only the first request for a
+        # pair pays — off the event loop either way.
+        predictor = await asyncio.to_thread(
+            transfer_predictor,
+            request.source_family,
+            request.target_family,
+        )
+        source_space = predictor.source.space
+        result, reason = await self._submit_grid(
+            GridQuery(kernel=request.kernel, space=source_space),
+            timeout,
+            deadline,
+        )
+        prediction = predictor.predict_cube(
+            np.asarray(result.items_per_second),
+            kernel_name=result.kernel_name,
+        )
+        target_space = predictor.target.space
+        dataset = ScalingDataset(
+            target_space,
+            [KernelRecord.from_full_name(result.kernel_name)],
+            prediction.cube[np.newaxis, ...],
+        )
+        label = classify(dataset).labels[0]
+        transfer_error = await asyncio.to_thread(
+            predictor.measured_error
+        )
+        self.metrics.record_transfer(
+            request.source_family, request.target_family
+        )
+        return 200, {
+            "kernel": result.kernel_name,
+            "source_family": request.source_family,
+            "target_family": request.target_family,
+            "category": label.category.value,
+            "behaviours": {
+                "cu": label.cu_behaviour.value,
+                "engine": label.engine_behaviour.value,
+                "memory": label.memory_behaviour.value,
+            },
+            "neighbours": list(prediction.neighbours),
+            "neighbour_distances": list(
+                prediction.neighbour_distances
+            ),
+            "transfer_error": transfer_error,
+            "target_space": {
+                "cu_counts": list(target_space.cu_counts),
+                "engine_mhz": list(target_space.engine_mhz),
+                "memory_mhz": list(target_space.memory_mhz),
+            },
+            "items_per_second": prediction.cube.tolist(),
             "from_cache": result.from_cache,
             **self._fidelity_fields(result, reason),
         }

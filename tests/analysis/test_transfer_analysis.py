@@ -1,0 +1,120 @@
+"""Transfer scoring: confusion matrices and per-family taxonomies."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.transfer import (
+    confusion_from_labels,
+    evaluate_transfer,
+    family_taxonomy,
+    taxonomy_distributions,
+)
+from repro.errors import AnalysisError
+from repro.suites import all_kernels
+from repro.taxonomy.categories import TaxonomyCategory
+
+CB = TaxonomyCategory.COMPUTE_BOUND
+BB = TaxonomyCategory.BANDWIDTH_BOUND
+
+
+def subset(n=24):
+    """A deterministic slice of the catalog for fast evaluations."""
+    return all_kernels()[:n]
+
+
+class TestConfusionMatrix:
+    def test_diagonal_accuracy(self):
+        matrix = confusion_from_labels([(CB, CB), (BB, BB), (BB, CB)])
+        assert matrix.total == 3
+        assert matrix.accuracy == pytest.approx(2 / 3)
+        assert matrix.recall(BB) == pytest.approx(0.5)
+        assert matrix.recall(CB) == 1.0
+
+    def test_empty_matrix(self):
+        matrix = confusion_from_labels([])
+        assert matrix.total == 0
+        assert matrix.accuracy == 0.0
+        assert matrix.recall(CB) == 0.0
+
+    def test_counts_cover_all_categories(self):
+        matrix = confusion_from_labels([(CB, BB)])
+        n = len(tuple(TaxonomyCategory))
+        assert matrix.counts.shape == (n, n)
+        assert matrix.counts.sum() == 1
+
+    def test_render_and_to_dict(self):
+        matrix = confusion_from_labels([(CB, CB), (BB, CB)])
+        text = matrix.render()
+        assert "compute_bound" in text
+        assert "accuracy 0.500 over 2 kernels" in text
+        payload = matrix.to_dict()
+        assert payload["accuracy"] == 0.5
+        assert np.asarray(payload["counts"]).sum() == 2
+
+
+class TestFamilyTaxonomy:
+    def test_hawaii_taxonomy_matches_paper_grid(self):
+        result = family_taxonomy("hawaii", subset())
+        assert len(result.labels) == len(subset())
+
+    def test_families_disagree_somewhere(self):
+        """The taxonomy is family-sensitive: some labels move."""
+        kernels = subset(48)
+        hawaii = family_taxonomy("hawaii", kernels)
+        kaveri = family_taxonomy("kaveri", kernels)
+        moved = sum(
+            h.category is not k.category
+            for h, k in zip(hawaii.labels, kaveri.labels)
+        )
+        assert moved > 0
+
+    def test_empty_kernels_rejected(self):
+        with pytest.raises(AnalysisError):
+            family_taxonomy("hawaii", [])
+
+
+class TestEvaluateTransfer:
+    def test_subset_evaluation_shape(self):
+        kernels = subset()
+        evaluation = evaluate_transfer("hawaii", "kaveri", kernels)
+        assert evaluation.source_family == "hawaii"
+        assert evaluation.target_family == "kaveri"
+        assert evaluation.matrix.total == len(kernels)
+        assert len(evaluation.rows) == len(kernels)
+        assert 0.0 <= evaluation.accuracy <= 1.0
+        assert evaluation.transfer_error >= 0.0
+
+    def test_leave_one_out_never_self_matches(self):
+        kernels = subset()
+        evaluation = evaluate_transfer("hawaii", "kaveri", kernels)
+        for row in evaluation.rows:
+            assert row.nearest != row.kernel_name
+
+    def test_accuracy_floor_on_subset(self):
+        """Class agreement well above chance on a catalog slice."""
+        evaluation = evaluate_transfer("hawaii", "maxwell", subset(40))
+        assert evaluation.accuracy >= 0.7
+
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        evaluation = evaluate_transfer("hawaii", "kaveri", subset(8))
+        payload = json.loads(json.dumps(evaluation.to_dict()))
+        assert payload["confusion"]["total"] == 8
+        assert len(payload["kernels"]) == 8
+
+
+class TestTaxonomyDistributions:
+    def test_all_families_covered(self):
+        from repro.gpu.uarch import family_names
+
+        distributions = taxonomy_distributions(kernels=subset())
+        assert set(distributions) == set(family_names())
+        for counts in distributions.values():
+            assert sum(counts.values()) == len(subset())
+
+    def test_explicit_family_list(self):
+        distributions = taxonomy_distributions(
+            ["hawaii"], kernels=subset(8)
+        )
+        assert list(distributions) == ["hawaii"]

@@ -1,0 +1,46 @@
+"""Tier-1 smoke of the taxonomy-portability claim (satellite of PR 9).
+
+``benchmarks/test_extension_portability.py`` runs the full portability
+experiment under the benchmark harness; this is its fast tier-1
+promotion — the whole catalog swept on the discrete and APU canonical
+grids with the study engine (fractions of a second), checking the same
+three shape claims: a substantial stable core, systematic migration
+toward bandwidth-bound on the bandwidth-starved APU, and the collapse
+of the contention class on the small device.
+"""
+
+from collections import Counter
+
+from repro.analysis.transfer import family_taxonomy
+from repro.taxonomy.categories import TaxonomyCategory
+
+
+def test_apu_portability_shape():
+    discrete = family_taxonomy("hawaii")
+    apu = family_taxonomy("kaveri")
+
+    pairs = Counter(
+        (d.category, a.category)
+        for d, a in zip(discrete.labels, apu.labels)
+    )
+    total = len(discrete.labels)
+    assert total == 267
+
+    stable = sum(n for (d, a), n in pairs.items() if d is a)
+    assert stable / total >= 0.45
+
+    to_bandwidth = sum(
+        n for (d, a), n in pairs.items()
+        if a is TaxonomyCategory.BANDWIDTH_BOUND
+        and d is not TaxonomyCategory.BANDWIDTH_BOUND
+    )
+    from_bandwidth = sum(
+        n for (d, a), n in pairs.items()
+        if d is TaxonomyCategory.BANDWIDTH_BOUND
+        and a is not TaxonomyCategory.BANDWIDTH_BOUND
+    )
+    assert to_bandwidth > from_bandwidth
+
+    assert apu.category_counts()[TaxonomyCategory.CU_INVERSE] < (
+        discrete.category_counts()[TaxonomyCategory.CU_INVERSE]
+    )

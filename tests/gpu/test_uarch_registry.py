@@ -1,0 +1,254 @@
+"""The microarchitecture-family registry and per-family physics.
+
+Pins the PR 9 seam: families resolve by name, fingerprints derive from
+physics values (never the name slug), and each built-in family's
+batch-engine surface is bit-identical to the scalar oracle — the
+bit-exactness invariant survives non-default physics.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import GpuSimulator, IntervalModel
+from repro.gpu.config import HAWAII_UARCH, Microarchitecture
+from repro.gpu.interval_batch import BatchIntervalModel
+from repro.gpu.occupancy import compute_occupancy
+from repro.gpu.uarch import (
+    MAXWELL_UARCH,
+    UarchFamily,
+    family_for_uarch,
+    family_label,
+    family_names,
+    family_registration,
+    get_family,
+    list_families,
+    register_family,
+    unregister_family,
+)
+from repro.kernels.archetypes import build_archetype
+from repro.suites import kernel_by_name
+from repro.sweep.space import ConfigurationSpace
+
+RTOL = 1e-12
+
+BUILTINS = ("fiji", "hawaii", "kaveri", "maxwell")
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert family_names() == BUILTINS
+
+    def test_each_family_space_carries_its_uarch(self):
+        for family in list_families():
+            assert family.space.uarch == family.uarch
+            assert family.flagship.uarch == family.uarch
+            assert family.space.size >= 100
+
+    def test_unknown_family_lists_known(self):
+        with pytest.raises(ConfigurationError) as err:
+            get_family("vega")
+        message = str(err.value)
+        assert "vega" in message
+        for name in BUILTINS:
+            assert name in message
+
+    def test_register_duplicate_requires_replace(self):
+        family = get_family("hawaii")
+        with pytest.raises(ConfigurationError):
+            register_family(family)
+        register_family(family, replace=True)
+
+    def test_temporary_registration_restores(self):
+        hawaii = get_family("hawaii")
+        stand_in = UarchFamily(
+            name="testpart",
+            uarch=hawaii.uarch,
+            flagship=hawaii.flagship,
+            space=hawaii.space,
+        )
+        with family_registration(stand_in):
+            assert get_family("testpart") is stand_in
+        assert "testpart" not in family_names()
+        assert not unregister_family("testpart")
+
+    def test_mismatched_space_uarch_rejected(self):
+        hawaii = get_family("hawaii")
+        kaveri = get_family("kaveri")
+        with pytest.raises(ConfigurationError):
+            UarchFamily(
+                name="broken",
+                uarch=hawaii.uarch,
+                flagship=hawaii.flagship,
+                space=kaveri.space,
+            )
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        for family in list_families():
+            payload = family.to_dict()
+            assert json.loads(json.dumps(payload))["name"] == family.name
+
+
+class TestFingerprints:
+    def test_material_is_value_payload_without_name(self):
+        for family in list_families():
+            material = family.fingerprint_material()
+            assert material == family.uarch.to_dict()
+            assert "name" not in material
+
+    def test_rename_keeps_fingerprint(self):
+        maxwell = get_family("maxwell")
+        renamed = dataclasses.replace(maxwell.uarch, name="gm200")
+        assert renamed.to_dict() == maxwell.uarch.to_dict()
+        assert renamed == maxwell.uarch
+
+    def test_value_change_moves_fingerprint(self):
+        maxwell = get_family("maxwell")
+        tweaked = dataclasses.replace(maxwell.uarch, l2_banks=48)
+        assert tweaked.to_dict() != maxwell.uarch.to_dict()
+
+
+class TestFamilyLabel:
+    def test_named_uarch_uses_its_slug(self):
+        assert family_label(MAXWELL_UARCH) == "maxwell"
+
+    def test_anonymous_values_resolve_through_registry(self):
+        anonymous = Microarchitecture()
+        assert anonymous.name == ""
+        assert anonymous == HAWAII_UARCH
+        assert family_for_uarch(anonymous).name == "hawaii"
+        assert family_label(anonymous) == "hawaii"
+
+    def test_unregistered_values_label_custom(self):
+        bespoke = dataclasses.replace(
+            Microarchitecture(), l2_banks=5, name=""
+        )
+        assert family_for_uarch(bespoke) is None
+        assert family_label(bespoke) == "custom"
+
+
+class TestFamilyPhysics:
+    def test_simt_occupancy_differs_from_gcn(self):
+        """32-wide warps double the wave count of the same kernel."""
+        kernel = build_archetype("compute", program="physics")
+        gcn = compute_occupancy(
+            kernel.geometry, kernel.resources, HAWAII_UARCH
+        )
+        simt = compute_occupancy(
+            kernel.geometry, kernel.resources, MAXWELL_UARCH
+        )
+        assert simt.wave_slot_cap == MAXWELL_UARCH.max_waves_per_cu
+        assert gcn.wave_slot_cap == HAWAII_UARCH.max_waves_per_cu
+        assert simt.waves_per_cu > gcn.waves_per_cu
+
+    def test_vgpr_granule_rounds_allocation(self):
+        """An 84-register wave pads to 84 on GCN but 88 on SM."""
+        from repro.gpu.occupancy import waves_limited_by_vgprs
+
+        # granule 4: ceil(84/4)*4 = 84; granule 8: ceil(84/8)*8 = 88
+        assert waves_limited_by_vgprs(84, HAWAII_UARCH) == min(
+            HAWAII_UARCH.max_waves_per_simd,
+            HAWAII_UARCH.vgprs_per_simd // 84,
+        )
+        assert waves_limited_by_vgprs(84, MAXWELL_UARCH) == min(
+            MAXWELL_UARCH.max_waves_per_simd,
+            MAXWELL_UARCH.vgprs_per_simd // 88,
+        )
+
+    def test_simt_scalar_file_never_binds(self):
+        from repro.gpu.occupancy import waves_limited_by_sgprs
+
+        assert waves_limited_by_sgprs(100, MAXWELL_UARCH) == (
+            MAXWELL_UARCH.max_waves_per_simd
+        )
+        assert waves_limited_by_sgprs(100, HAWAII_UARCH) < (
+            HAWAII_UARCH.max_waves_per_simd
+        )
+
+    def test_hbm_bandwidth_dwarfs_gddr(self):
+        fiji = get_family("fiji")
+        hawaii = get_family("hawaii")
+        assert fiji.flagship.peak_dram_gb_per_sec > (
+            1.5 * hawaii.flagship.peak_dram_gb_per_sec
+        )
+
+    def test_host_contention_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            Microarchitecture(host_bandwidth_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            Microarchitecture(host_bandwidth_fraction=-0.1)
+
+
+class TestBatchScalarBitExactness:
+    """The oracle invariant on every non-default family."""
+
+    @pytest.mark.parametrize("name", ["maxwell", "fiji", "kaveri"])
+    @pytest.mark.parametrize(
+        "kernel_name",
+        ["rodinia/bfs.kernel1", "shoc/triad.triad"],
+    )
+    def test_family_grid_matches_scalar(self, name, kernel_name):
+        family = get_family(name)
+        space = ConfigurationSpace(
+            cu_counts=family.space.cu_counts[:2],
+            engine_mhz=family.space.engine_mhz[:2],
+            memory_mhz=family.space.memory_mhz[:2],
+            uarch=family.uarch,
+        )
+        kernel = kernel_by_name(kernel_name)
+        batch = BatchIntervalModel().simulate_grid(kernel, space)
+        scalar = IntervalModel()
+        for c in range(2):
+            for e in range(2):
+                for m in range(2):
+                    expected = scalar.simulate(
+                        kernel, space.config(c, e, m)
+                    ).time_s
+                    assert batch.time_s[c, e, m] == expected
+
+    def test_study_engine_matches_grid_on_family(self):
+        family = get_family("maxwell")
+        kernels = [
+            build_archetype("compute", program="study-compute"),
+            build_archetype("streaming", program="study-streaming"),
+        ]
+        from repro.kernels.pack import KernelPack
+
+        study = BatchIntervalModel().simulate_study(
+            KernelPack.from_kernels(kernels), family.space
+        )
+        for i, kernel in enumerate(kernels):
+            grid = BatchIntervalModel().simulate_grid(
+                kernel, family.space
+            )
+            np.testing.assert_array_equal(
+                study.time_s[i], grid.time_s
+            )
+
+    def test_hawaii_results_unchanged_by_contention_hook(self):
+        """f=0.0 multiplies by exactly 1.0: the paper's numbers hold."""
+        from repro.gpu.products import W9100_LIKE
+
+        assert W9100_LIKE.uarch.host_bandwidth_fraction == 0.0
+        uarch = W9100_LIKE.uarch
+        bytes_per_cycle = (
+            uarch.memory_bus_bits / 8 * uarch.memory_data_rate
+        )
+        raw = bytes_per_cycle * W9100_LIKE.memory_hz
+        assert W9100_LIKE.peak_dram_bytes_per_sec == raw
+
+
+class TestSimulatorOnFamilies:
+    def test_simulator_accepts_family_flagships(self):
+        kernel = kernel_by_name("rodinia/bfs.kernel1")
+        sim = GpuSimulator()
+        times = {
+            family.name: sim.simulate(kernel, family.flagship).time_s
+            for family in list_families()
+        }
+        assert times["kaveri"] > times["hawaii"]
+        assert all(t > 0 for t in times.values())

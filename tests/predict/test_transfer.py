@@ -1,0 +1,176 @@
+"""Cross-family surface transfer: corpus, signatures, predictions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.gpu.interval_batch import BatchIntervalModel
+from repro.kernels.archetypes import build_archetype
+from repro.kernels.pack import KernelPack
+from repro.predict.transfer import (
+    CrossFamilyPredictor,
+    clear_transfer_cache,
+    default_corpus_kernels,
+    surface_signature,
+    transfer_predictor,
+)
+from repro.suites import kernel_by_name
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_transfer_cache()
+    yield
+    clear_transfer_cache()
+
+
+def small_predictor(k=3):
+    """A predictor over a small archetype corpus (fast)."""
+    from repro.gpu.uarch import get_family
+    from repro.kernels.archetypes import ARCHETYPE_BUILDERS
+
+    kernels = [
+        build_archetype(kind, program=f"tiny-{kind}")
+        for kind in sorted(ARCHETYPE_BUILDERS)
+    ]
+    return CrossFamilyPredictor(
+        get_family("hawaii"), get_family("kaveri"), kernels=kernels, k=k
+    )
+
+
+class TestCorpus:
+    def test_default_corpus_is_catalog_plus_archetypes(self):
+        kernels = default_corpus_kernels()
+        names = [k.full_name for k in kernels]
+        assert len(names) == len(set(names))
+        assert len(kernels) > 267
+        assert any("corpus-" in n for n in names)
+
+    def test_k_must_fit_corpus(self):
+        with pytest.raises(AnalysisError):
+            small_predictor(k=0)
+        with pytest.raises(AnalysisError):
+            small_predictor(k=1000)
+
+
+class TestSignature:
+    def test_flat_surface_signature_is_zero(self):
+        cube = np.ones((3, 3, 3))
+        np.testing.assert_array_equal(
+            surface_signature(cube), np.zeros(6)
+        )
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(7)
+        cube = np.exp(rng.normal(size=(4, 5, 6)))
+        np.testing.assert_allclose(
+            surface_signature(cube), surface_signature(cube * 137.0)
+        )
+
+    def test_nonpositive_rejected(self):
+        cube = np.ones((2, 2, 2))
+        cube[0, 0, 0] = 0.0
+        with pytest.raises(AnalysisError):
+            surface_signature(cube)
+
+
+class TestPrediction:
+    def test_corpus_kernel_round_trips_exactly(self):
+        """A known kernel hits its own corpus row at distance zero."""
+        predictor = small_predictor()
+        kernel = build_archetype("streaming", program="tiny-streaming")
+        source_perf = BatchIntervalModel().simulate_study(
+            KernelPack.from_kernels([kernel]), predictor.source.space
+        ).items_per_second[0]
+        prediction = predictor.predict_cube(
+            source_perf, kernel_name=kernel.full_name
+        )
+        assert prediction.nearest == kernel.full_name
+        assert prediction.neighbour_distances[0] < 1e-9
+        target_perf = BatchIntervalModel().simulate_study(
+            KernelPack.from_kernels([kernel]), predictor.target.space
+        ).items_per_second[0]
+        np.testing.assert_allclose(
+            prediction.cube, target_perf, rtol=1e-6
+        )
+
+    def test_exclude_masks_own_row(self):
+        predictor = small_predictor()
+        kernel = build_archetype("streaming", program="tiny-streaming")
+        source_perf = BatchIntervalModel().simulate_study(
+            KernelPack.from_kernels([kernel]), predictor.source.space
+        ).items_per_second[0]
+        prediction = predictor.predict_cube(
+            source_perf,
+            kernel_name=kernel.full_name,
+            exclude=kernel.full_name,
+        )
+        assert kernel.full_name not in prediction.neighbours
+
+    def test_shape_mismatch_rejected(self):
+        predictor = small_predictor()
+        with pytest.raises(AnalysisError):
+            predictor.predict_cube(np.ones((2, 2, 2)))
+
+    def test_prediction_spans_target_grid(self):
+        predictor = small_predictor()
+        kernel = kernel_by_name("rodinia/bfs.kernel1")
+        source_perf = BatchIntervalModel().simulate_study(
+            KernelPack.from_kernels([kernel]), predictor.source.space
+        ).items_per_second[0]
+        prediction = predictor.predict_cube(source_perf)
+        assert prediction.cube.shape == predictor.target.space.shape
+        assert np.all(prediction.cube > 0)
+        assert prediction.source_family == "hawaii"
+        assert prediction.target_family == "kaveri"
+
+    def test_measured_error_is_cached_and_sane(self):
+        predictor = small_predictor()
+        error = predictor.measured_error()
+        assert 0.0 <= error < 1.0
+        assert predictor.measured_error() == error
+
+
+class TestPredictorCache:
+    def test_same_pair_memoised(self):
+        first = transfer_predictor("hawaii", "kaveri")
+        assert transfer_predictor("hawaii", "kaveri") is first
+        assert transfer_predictor("kaveri", "hawaii") is not first
+
+    def test_same_family_rejected(self):
+        with pytest.raises(AnalysisError):
+            transfer_predictor("hawaii", "hawaii")
+
+    def test_unknown_family_structured_error(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            transfer_predictor("hawaii", "vega")
+
+    def test_physics_change_refits(self):
+        import dataclasses
+
+        from repro.gpu.uarch import (
+            UarchFamily,
+            family_registration,
+            get_family,
+        )
+
+        first = transfer_predictor("hawaii", "kaveri")
+        kaveri = get_family("kaveri")
+        tweaked_uarch = dataclasses.replace(
+            kaveri.uarch, dram_fixed_latency_ns=200.0
+        )
+        tweaked = UarchFamily(
+            name="kaveri",
+            uarch=tweaked_uarch,
+            flagship=dataclasses.replace(
+                kaveri.flagship, uarch=tweaked_uarch
+            ),
+            space=dataclasses.replace(
+                kaveri.space, uarch=tweaked_uarch
+            ),
+        )
+        with family_registration(tweaked, replace=True):
+            refit = transfer_predictor("hawaii", "kaveri")
+            assert refit is not first

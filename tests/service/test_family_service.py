@@ -1,0 +1,387 @@
+"""Families through the service path (PR 9 satellite).
+
+The serialization invariant: a grid query on a non-default family —
+named space, inline uarch, or `/v1/transfer` source sweep — answers
+**bit-exactly** what the direct :class:`~repro.gpu.simulator.
+GpuSimulator` computes, in the single-process server and in a
+``--workers 2`` fleet alike; and the fleet's ``/v1/transfer`` response
+is identical to the single-process one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.gpu.simulator import GpuSimulator
+from repro.gpu.uarch import family_names, get_family
+from repro.service import schema
+from repro.service.loadgen import fetch
+from repro.service.server import GpuScaleService, ServiceConfig
+from repro.suites import kernel_by_name
+from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+KERNEL = "rodinia/bfs.kernel1"
+
+TRANSFER_BODY = {
+    "kernel": KERNEL,
+    "source_family": "hawaii",
+    "target_family": "kaveri",
+}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def with_service(fn, **config_overrides):
+    overrides = {"port": 0, "use_cache": False, **config_overrides}
+
+    async def scenario():
+        service = GpuScaleService(ServiceConfig(**overrides))
+        await service.start()
+        try:
+            return await fn(service)
+        finally:
+            await service.shutdown(drain=True)
+
+    return run(scenario())
+
+
+def post(service, path, payload):
+    return fetch(service.config.host, service.port, "POST", path, payload)
+
+
+def get(service, path):
+    return fetch(service.config.host, service.port, "GET", path)
+
+
+# ----------------------------------------------------------------------
+# Schema
+# ----------------------------------------------------------------------
+
+
+class TestSchema:
+    def test_family_name_resolves_canonical_space(self):
+        space = schema.parse_space("kaveri")
+        assert space == get_family("kaveri").space
+
+    def test_paper_still_works(self):
+        assert schema.parse_space("paper") == PAPER_SPACE
+
+    def test_unknown_family_structured_400(self):
+        with pytest.raises(schema.RequestError) as err:
+            schema.parse_space("vega")
+        assert err.value.code == "unknown_family"
+        assert "kaveri" in err.value.message
+
+    def test_axes_with_family_uarch(self):
+        space = schema.parse_space({
+            "cu_counts": [2, 4],
+            "engine_mhz": [500.0],
+            "memory_mhz": [600.0],
+            "uarch": "maxwell",
+        })
+        assert space.uarch == get_family("maxwell").uarch
+
+    def test_axes_with_inline_uarch_values(self):
+        material = get_family("fiji").uarch.to_dict()
+        space = schema.parse_space({
+            "cu_counts": [8, 16],
+            "engine_mhz": [300.0],
+            "memory_mhz": [125.0],
+            "uarch": material,
+        })
+        assert space.uarch == get_family("fiji").uarch
+
+    def test_axes_with_bad_uarch_rejected(self):
+        with pytest.raises(schema.RequestError) as err:
+            schema.parse_space({
+                "cu_counts": [2],
+                "engine_mhz": [500.0],
+                "memory_mhz": [600.0],
+                "uarch": {"no_such_field": 3},
+            })
+        assert err.value.code == "invalid_space"
+
+    def test_transfer_requires_both_families(self):
+        with pytest.raises(schema.RequestError) as err:
+            schema.parse_transfer({"kernel": KERNEL})
+        assert err.value.code == "missing_field"
+
+    def test_transfer_rejects_same_family(self):
+        with pytest.raises(schema.RequestError) as err:
+            schema.parse_transfer({
+                "kernel": KERNEL,
+                "source_family": "hawaii",
+                "target_family": "hawaii",
+            })
+        assert err.value.code == "invalid_transfer"
+
+    def test_transfer_rejects_unknown_family(self):
+        with pytest.raises(schema.RequestError) as err:
+            schema.parse_transfer({
+                "kernel": KERNEL,
+                "source_family": "hawaii",
+                "target_family": "vega",
+            })
+        assert err.value.code == "unknown_family"
+        assert err.value.field == "target_family"
+
+    def test_transfer_parses(self):
+        request = schema.parse_transfer(dict(TRANSFER_BODY))
+        assert request.source_family == "hawaii"
+        assert request.target_family == "kaveri"
+        assert request.kernel.full_name == KERNEL
+
+
+# ----------------------------------------------------------------------
+# Single-process server
+# ----------------------------------------------------------------------
+
+
+class TestSingleProcess:
+    def test_healthz_lists_families(self):
+        async def scenario(service):
+            status, body = await get(service, "/healthz")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["families"] == list(family_names())
+
+        with_service(scenario)
+
+    def test_families_endpoint(self):
+        async def scenario(service):
+            status, body = await get(service, "/v1/families")
+            assert status == 200
+            families = json.loads(body)["families"]
+            assert [f["name"] for f in families] == list(family_names())
+            for entry in families:
+                assert entry["peak_gflops"] > 0
+                assert entry["space_size"] >= 100
+
+        with_service(scenario)
+
+    @pytest.mark.parametrize("name", ["kaveri", "maxwell", "fiji"])
+    def test_family_grid_bit_exact_vs_simulator(self, name):
+        """Named-family grids answer the direct simulator's floats."""
+        family = get_family(name)
+        space = ConfigurationSpace(
+            cu_counts=family.space.cu_counts[:2],
+            engine_mhz=family.space.engine_mhz[:2],
+            memory_mhz=family.space.memory_mhz[:2],
+            uarch=family.uarch,
+        )
+        expected = GpuSimulator().simulate_grid(
+            kernel_by_name(KERNEL), space
+        ).items_per_second
+
+        async def scenario(service):
+            status, body = await post(service, "/v1/simulate", {
+                "kernel": KERNEL,
+                "space": {
+                    "cu_counts": list(space.cu_counts),
+                    "engine_mhz": list(space.engine_mhz),
+                    "memory_mhz": list(space.memory_mhz),
+                    "uarch": name,
+                },
+            })
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["items_per_second"] == expected.tolist()
+
+        with_service(scenario)
+
+    def test_canonical_family_space_by_name(self):
+        family = get_family("kaveri")
+        expected = GpuSimulator().simulate_grid(
+            kernel_by_name(KERNEL), family.space
+        ).items_per_second
+
+        async def scenario(service):
+            status, body = await post(service, "/v1/simulate", {
+                "kernel": KERNEL, "space": "kaveri",
+            })
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["items_per_second"] == expected.tolist()
+            assert payload["space"]["cu_counts"] == list(
+                family.space.cu_counts
+            )
+
+        with_service(scenario)
+
+    def test_unknown_family_answers_400(self):
+        async def scenario(service):
+            status, body = await post(service, "/v1/simulate", {
+                "kernel": KERNEL, "space": "vega",
+            })
+            assert status == 400
+            assert json.loads(body)["error"]["code"] == "unknown_family"
+
+        with_service(scenario)
+
+    def test_transfer_endpoint_predicts_class(self):
+        async def scenario(service):
+            status, body = await post(
+                service, "/v1/transfer", dict(TRANSFER_BODY)
+            )
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["source_family"] == "hawaii"
+            assert payload["target_family"] == "kaveri"
+            assert payload["category"]
+            assert len(payload["neighbours"]) == 3
+            assert payload["transfer_error"] >= 0.0
+            shape = np.asarray(payload["items_per_second"]).shape
+            assert shape == get_family("kaveri").space.shape
+            assert payload["fidelity"] == "exact"
+
+        with_service(scenario)
+
+    def test_transfer_same_family_400(self):
+        async def scenario(service):
+            status, body = await post(service, "/v1/transfer", {
+                "kernel": KERNEL,
+                "source_family": "hawaii",
+                "target_family": "hawaii",
+            })
+            assert status == 400
+            assert json.loads(body)["error"]["code"] == (
+                "invalid_transfer"
+            )
+
+        with_service(scenario)
+
+    def test_metrics_count_families_and_transfers(self):
+        async def scenario(service):
+            await post(service, "/v1/simulate", {
+                "kernel": KERNEL, "space": "kaveri",
+            })
+            await post(
+                service, "/v1/transfer", dict(TRANSFER_BODY)
+            )
+            status, body = await get(service, "/metrics")
+            assert status == 200
+            if isinstance(body, bytes):
+                body = body.decode()
+            assert (
+                'gpuscale_family_queries_total{family="kaveri"}'
+            ) in body
+            # The transfer's source sweep runs on the hawaii grid.
+            assert (
+                'gpuscale_family_queries_total{family="hawaii"}'
+            ) in body
+            assert (
+                'gpuscale_transfer_requests_total'
+                '{source_family="hawaii", target_family="kaveri"} 1'
+            ) in body
+
+        with_service(scenario)
+
+
+# ----------------------------------------------------------------------
+# Fleet agreement
+# ----------------------------------------------------------------------
+
+
+def _spawn_server(*extra_args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--no-cache", *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    line = process.stdout.readline()
+    match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+    if not match:
+        process.kill()
+        process.wait(timeout=10)
+        raise AssertionError(f"no listen line, got {line!r}")
+    return process, int(match.group(1))
+
+
+def _kill(process):
+    if process.poll() is None:
+        process.kill()
+        process.wait(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def fleet_port():
+    process, port = _spawn_server("--workers", "2")
+    try:
+        yield port
+    finally:
+        _kill(process)
+
+
+@pytest.fixture(scope="module")
+def single_port():
+    process, port = _spawn_server()
+    try:
+        yield port
+    finally:
+        _kill(process)
+
+
+def _post_one(port, path, body):
+    async def scenario():
+        status, payload = await fetch(
+            "127.0.0.1", port, "POST", path, body
+        )
+        return status, json.loads(payload)
+
+    return run(scenario())
+
+
+class TestFleetAgreement:
+    def test_family_grid_fleet_vs_single_vs_simulator(
+        self, fleet_port, single_port
+    ):
+        family = get_family("maxwell")
+        body = {"kernel": KERNEL, "space": "maxwell"}
+        status_f, fleet = _post_one(fleet_port, "/v1/simulate", body)
+        status_s, single = _post_one(single_port, "/v1/simulate", body)
+        assert status_f == status_s == 200
+        assert fleet["items_per_second"] == single["items_per_second"]
+        expected = GpuSimulator().simulate_grid(
+            kernel_by_name(KERNEL), family.space
+        ).items_per_second
+        assert fleet["items_per_second"] == expected.tolist()
+
+    def test_transfer_fleet_vs_single_identical(
+        self, fleet_port, single_port
+    ):
+        status_f, fleet = _post_one(
+            fleet_port, "/v1/transfer", dict(TRANSFER_BODY)
+        )
+        status_s, single = _post_one(
+            single_port, "/v1/transfer", dict(TRANSFER_BODY)
+        )
+        assert status_f == status_s == 200
+        # from_cache may differ between servers; everything the
+        # prediction itself carries must be identical, bit for bit.
+        for key in (
+            "kernel", "source_family", "target_family", "category",
+            "behaviours", "neighbours", "neighbour_distances",
+            "transfer_error", "target_space", "items_per_second",
+        ):
+            assert fleet[key] == single[key], key

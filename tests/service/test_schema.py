@@ -139,7 +139,12 @@ class TestSpace:
         assert error.code == "grid_too_large"
 
     def test_garbage_spec(self):
-        assert err(schema.parse_space, "tiny").code == "invalid_space"
+        # A string space is a family name; an unrecognised one gets
+        # the structured family error naming the registered families.
+        error = err(schema.parse_space, "tiny")
+        assert error.code == "unknown_family"
+        assert "hawaii" in error.message
+        assert err(schema.parse_space, 17).code == "invalid_space"
 
 
 class TestSimulate:

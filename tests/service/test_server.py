@@ -245,7 +245,7 @@ class TestValidationErrors:
             ({"kernel": KERNEL}, "invalid_shape"),
             ({"kernel": KERNEL, "space": "paper", "version": 9},
              "unsupported_version"),
-            ({"kernel": KERNEL, "space": "huge"}, "invalid_space"),
+            ({"kernel": KERNEL, "space": "huge"}, "unknown_family"),
         ],
     )
     def test_simulate_400s(self, body, code):

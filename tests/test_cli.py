@@ -382,3 +382,45 @@ class TestEnginesCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--engine", "warp-drive"])
         assert "invalid choice" in capsys.readouterr().err
+
+
+class TestFamilies:
+    def test_families_lists_registry(self, capsys):
+        assert main(["families"]) == 0
+        output = capsys.readouterr().out
+        for name in ("hawaii", "kaveri", "maxwell", "fiji"):
+            assert name in output
+
+    def test_transfer_requires_families(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["transfer", "rodinia/bfs.kernel1"]
+            )
+        assert "--from" in capsys.readouterr().err
+
+    def test_transfer_kernel_prediction(self, capsys):
+        assert main([
+            "transfer", "rodinia/bfs.kernel1",
+            "--from", "hawaii", "--to", "kaveri",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "predicted class" in output
+        assert "corpus neighbours" in output
+
+    def test_transfer_json_mode(self, capsys):
+        import json
+
+        assert main([
+            "transfer", "rodinia/bfs.kernel1",
+            "--from", "hawaii", "--to", "kaveri", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["source_family"] == "hawaii"
+        assert payload["target_family"] == "kaveri"
+        assert payload["category"]
+
+    def test_transfer_without_kernel_needs_evaluate(self, capsys):
+        assert main([
+            "transfer", "--from", "hawaii", "--to", "kaveri",
+        ]) == 2
+        assert "kernel identifier" in capsys.readouterr().err
