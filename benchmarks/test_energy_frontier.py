@@ -1,0 +1,160 @@
+"""Energy-serving throughput: batched Pareto frontiers under load.
+
+Not a paper artifact — this guards the property that makes
+``/v1/optimize`` servable: the vectorized energy path plus the
+read-through energy cache must answer batched frontier sweeps far
+faster than a per-point evaluation loop could. Two floors:
+
+* the *direct* path (EnergyModel.surfaces + the Pareto sweep) prices
+  a kernel's full 891-point frontier in well under 100 ms, and
+* the *served* path sustains ≥10 frontier requests/second end to end
+  (socket, schema, batcher, cache, selection, JSON) on a shared CI
+  runner — conservative by an order of magnitude against commodity
+  hardware, so it catches a vectorisation or cache regression
+  without flaking on slow machines.
+
+Each run records both rates into ``BENCH_energy.json``; CI uploads
+it, accumulating a per-commit energy-serving trajectory.
+"""
+
+import asyncio
+import json
+import os
+import time
+
+from repro.power import DvfsOptimizer
+from repro.service.loadgen import fetch
+from repro.service.server import GpuScaleService, ServiceConfig
+from repro.suites import all_kernels
+
+#: Measurements gathered here, emitted as one JSON artifact by the
+#: final test (file order places it last).
+_MEASUREMENTS = {}
+
+#: Where the trajectory artifact lands (override with
+#: ``$BENCH_ENERGY_OUT``).
+_ARTIFACT_PATH = os.environ.get("BENCH_ENERGY_OUT", "BENCH_energy.json")
+
+#: Direct-path floor: full-grid frontiers per second via the
+#: vectorized energy model (a per-point loop manages ~1/s).
+DIRECT_FLOOR_PER_S = 20.0
+
+#: Served-path floor: concurrent ``/v1/optimize`` frontier requests
+#: per second through the full HTTP/batcher/cache stack.
+SERVED_FLOOR_RPS = 10.0
+
+#: Kernels the load mixes over (all suites represented).
+KERNEL_COUNT = 8
+
+
+def _kernel_names():
+    names = []
+    seen = set()
+    for kernel in all_kernels():
+        if kernel.suite in seen:
+            continue
+        seen.add(kernel.suite)
+        names.append(kernel.full_name)
+        if len(names) == KERNEL_COUNT:
+            break
+    return names
+
+
+def test_direct_frontier_throughput():
+    """The vectorized energy path prices full-grid frontiers fast."""
+    optimizer = DvfsOptimizer()
+    kernels = [
+        kernel for kernel in all_kernels()
+        if kernel.full_name in set(_kernel_names())
+    ]
+    # Warm import/JIT-free caches outside the timed region.
+    optimizer.frontier(kernels[0])
+    start = time.perf_counter()
+    total_points = 0
+    for kernel in kernels:
+        total_points += len(optimizer.frontier(kernel))
+    elapsed = time.perf_counter() - start
+    rate = len(kernels) / elapsed
+    _MEASUREMENTS["direct"] = {
+        "kernels": len(kernels),
+        "frontiers_per_second": rate,
+        "mean_frontier_points": total_points / len(kernels),
+    }
+    print(f"\ndirect frontier rate: {rate:.1f}/s "
+          f"({total_points / len(kernels):.1f} points each)")
+    assert rate > DIRECT_FLOOR_PER_S
+
+
+def test_served_frontier_throughput(tmp_path):
+    """Batched ``/v1/optimize`` frontier requests through the stack.
+
+    The mix repeats each kernel several times: repeats dedup in the
+    batcher or hit the energy cache, which is exactly the serving
+    pattern the endpoint exists for.
+    """
+    names = _kernel_names()
+    bodies = [
+        {"kernel": name, "frontier": True}
+        for _ in range(5)
+        for name in names
+    ]
+
+    async def wave(service):
+        start = time.perf_counter()
+        responses = await asyncio.gather(*(
+            fetch(service.config.host, service.port, "POST",
+                  "/v1/optimize", body)
+            for body in bodies
+        ))
+        return responses, time.perf_counter() - start
+
+    async def scenario():
+        service = GpuScaleService(ServiceConfig(
+            port=0, cache_dir=str(tmp_path / "cache"),
+        ))
+        await service.start()
+        try:
+            cold = await wave(service)
+            warm = await wave(service)
+            return cold, warm
+        finally:
+            await service.shutdown(drain=True)
+
+    (cold, cold_s), (warm, warm_s) = asyncio.run(scenario())
+    rates = {}
+    for label, responses, elapsed in (
+        ("cold", cold, cold_s), ("warm", warm, warm_s)
+    ):
+        payloads = [json.loads(body) for status, body in responses]
+        for (status, _), payload in zip(responses, payloads):
+            assert status == 200
+            assert payload["frontier"]
+        cached = sum(1 for p in payloads if p["from_cache"])
+        rate = len(bodies) / elapsed
+        rates[label] = rate
+        _MEASUREMENTS[f"served_{label}"] = {
+            "requests": len(bodies),
+            "requests_per_second": rate,
+            "from_cache": cached,
+        }
+        print(f"\nserved frontier rate ({label}): {rate:.1f} req/s "
+              f"({cached}/{len(bodies)} cache hits)")
+        if label == "warm":
+            # Every repeat of an already-priced surface must be a
+            # cache read, never an engine call.
+            assert cached == len(bodies)
+    assert rates["cold"] > SERVED_FLOOR_RPS
+    assert rates["warm"] > SERVED_FLOOR_RPS
+
+
+def test_emit_trajectory_artifact():
+    """Write this run's energy measurements to ``BENCH_energy.json``.
+
+    File order runs this after the load tests; CI uploads the file,
+    accumulating a per-commit energy-serving trajectory.
+    """
+    assert _MEASUREMENTS, "no energy benchmarks ran before the emitter"
+    with open(_ARTIFACT_PATH, "w") as handle:
+        json.dump({"energy": _MEASUREMENTS}, handle, indent=1)
+        handle.write("\n")
+    print(f"\nenergy trajectory written to {_ARTIFACT_PATH}")

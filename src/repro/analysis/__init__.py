@@ -7,6 +7,11 @@ from repro.analysis.bottleneck_map import (
     bottleneck_map,
     migration_summary,
 )
+from repro.analysis.coschedule import (
+    NON_SCALING,
+    CompositionMatrix,
+    class_composition_matrix,
+)
 from repro.analysis.crossover import (
     CrossoverMap,
     balance_point,
@@ -76,7 +81,10 @@ from repro.analysis.suite_scaling import (
 __all__ = [
     "BottleneckMap",
     "CategoryRegressionSummary",
+    "CompositionMatrix",
     "ConfusionMatrix",
+    "NON_SCALING",
+    "class_composition_matrix",
     "TransferEvaluation",
     "TransferRow",
     "InputScalingPoint",

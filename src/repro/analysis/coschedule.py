@@ -1,0 +1,222 @@
+"""Class-composition analysis: what co-scheduling does to the taxonomy.
+
+A kernel's scaling class describes its *solo* surface; a co-resident
+partner re-shapes that surface by stealing CUs, bandwidth share and L2
+capacity. This module asks the taxonomy-level question: for each
+ordered pair of scaling classes, pick a representative kernel of each,
+co-schedule them over the grid, and classify the first kernel's
+*composed* throughput surface. The result is a class-composition
+matrix — "a compute-bound kernel next to a bandwidth-bound partner
+lands in class X" — plus the pairings that *destroy* scaling: composed
+surfaces that fall into a non-scaling class (plateau, CU-inverse or
+parallelism-limited) even though the kernel scaled on its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coschedule.model import CoScheduleModel
+from repro.errors import AnalysisError
+from repro.gpu.interval_batch import BatchIntervalModel
+from repro.kernels.kernel import Kernel
+from repro.kernels.pack import KernelPack
+from repro.suites.registry import all_kernels
+from repro.sweep.dataset import KernelRecord, ScalingDataset
+from repro.sweep.space import PAPER_SPACE, ConfigurationSpace
+from repro.taxonomy.categories import TaxonomyCategory
+from repro.taxonomy.classifier import classify
+
+#: Classes whose members do not scale: landing here from a scaling
+#: solo class means the pairing destroyed the kernel's scaling.
+NON_SCALING = (
+    TaxonomyCategory.PLATEAU,
+    TaxonomyCategory.CU_INVERSE,
+    TaxonomyCategory.PARALLELISM_LIMITED,
+)
+
+
+def _dataset(kernel: Kernel, space, perf: np.ndarray) -> ScalingDataset:
+    record = KernelRecord(
+        full_name=kernel.full_name,
+        suite=kernel.suite,
+        program=kernel.program,
+        kernel=kernel.name,
+    )
+    return ScalingDataset(space, [record], perf[np.newaxis])
+
+
+@dataclass(frozen=True)
+class CompositionMatrix:
+    """Composed scaling class for every ordered pair of solo classes.
+
+    ``composed[i][j]`` is the class kernel A's surface lands in when a
+    representative of ``categories[i]`` runs next to a representative
+    of ``categories[j]`` (None when a class has no representative in
+    the catalog); ``destroyed[i][j]`` flags pairings that push a
+    scaling class into a non-scaling one.
+    """
+
+    categories: Tuple[TaxonomyCategory, ...]
+    representatives: Dict[TaxonomyCategory, str]
+    solo: Dict[TaxonomyCategory, TaxonomyCategory]
+    composed: Tuple[Tuple[Optional[TaxonomyCategory], ...], ...]
+    destroyed: Tuple[Tuple[bool, ...], ...]
+
+    def composed_class(
+        self, a: TaxonomyCategory, b: TaxonomyCategory
+    ) -> Optional[TaxonomyCategory]:
+        """The class *a*'s representative lands in next to *b*'s."""
+        i = self.categories.index(a)
+        j = self.categories.index(b)
+        return self.composed[i][j]
+
+    def destroys_scaling(
+        self, a: TaxonomyCategory, b: TaxonomyCategory
+    ) -> bool:
+        """True when pairing *a* with *b* lands *a* in a non-scaling
+        class it did not occupy solo."""
+        i = self.categories.index(a)
+        j = self.categories.index(b)
+        return self.destroyed[i][j]
+
+    @property
+    def destructive_pairs(
+        self,
+    ) -> List[Tuple[TaxonomyCategory, TaxonomyCategory]]:
+        """All ordered (victim, partner) pairs that destroy scaling."""
+        pairs = []
+        for i, a in enumerate(self.categories):
+            for j, b in enumerate(self.categories):
+                if self.destroyed[i][j]:
+                    pairs.append((a, b))
+        return pairs
+
+    def to_dict(self) -> dict:
+        """JSON-compatible payload."""
+        return {
+            "categories": [c.value for c in self.categories],
+            "representatives": {
+                c.value: name
+                for c, name in self.representatives.items()
+            },
+            "composed": [
+                [cell.value if cell is not None else None for cell in row]
+                for row in self.composed
+            ],
+            "destroyed": [list(row) for row in self.destroyed],
+        }
+
+    def render(self) -> str:
+        """A fixed-width table (victim rows, partner columns).
+
+        Cells show the victim's composed class, suffixed ``!`` when the
+        pairing destroyed its scaling; ``-`` marks classes without a
+        catalog representative.
+        """
+        names = [c.value for c in self.categories]
+        width = max(len(n) for n in names) + 2
+        cell = max(8, max(len(n) for n in names) + 2)
+        lines = [
+            " " * width
+            + "".join(f"{n:>{cell}}" for n in names)
+            + "   (partner)"
+        ]
+        for i, name in enumerate(names):
+            cells = ""
+            for j in range(len(names)):
+                composed = self.composed[i][j]
+                if composed is None:
+                    text = "-"
+                else:
+                    text = composed.value
+                    if self.destroyed[i][j]:
+                        text += "!"
+                cells += f"{text:>{cell}}"
+            lines.append(f"{name:<{width}}" + cells)
+        return "\n".join(lines)
+
+
+def class_composition_matrix(
+    kernels: Optional[Sequence[Kernel]] = None,
+    space: ConfigurationSpace = PAPER_SPACE,
+    model: Optional[CoScheduleModel] = None,
+) -> CompositionMatrix:
+    """The composed scaling class of every ordered class pair.
+
+    Classifies the catalog solo (one batch study over *space*), picks
+    the first kernel of each class in catalog order as its
+    representative, then co-schedules every ordered representative pair
+    and classifies the first kernel's composed throughput surface.
+    Deterministic: same catalog, same space, same matrix.
+    """
+    kernels = (
+        list(kernels) if kernels is not None else list(all_kernels())
+    )
+    if not kernels:
+        raise AnalysisError(
+            "class_composition_matrix needs at least one kernel"
+        )
+    model = model or CoScheduleModel()
+
+    study = BatchIntervalModel().simulate_study(
+        KernelPack.from_kernels(kernels), space
+    )
+    records = [
+        KernelRecord(
+            full_name=k.full_name,
+            suite=k.suite,
+            program=k.program,
+            kernel=k.name,
+        )
+        for k in kernels
+    ]
+    solo_result = classify(
+        ScalingDataset(space, records, study.items_per_second)
+    )
+
+    categories = tuple(TaxonomyCategory)
+    representatives: Dict[TaxonomyCategory, Kernel] = {}
+    solo_class: Dict[TaxonomyCategory, TaxonomyCategory] = {}
+    for kernel in kernels:
+        category = solo_result.label_for(kernel.full_name).category
+        if category not in representatives:
+            representatives[category] = kernel
+            solo_class[category] = category
+
+    composed_rows: List[Tuple[Optional[TaxonomyCategory], ...]] = []
+    destroyed_rows: List[Tuple[bool, ...]] = []
+    for victim_class in categories:
+        victim = representatives.get(victim_class)
+        composed_row: List[Optional[TaxonomyCategory]] = []
+        destroyed_row: List[bool] = []
+        for partner_class in categories:
+            partner = representatives.get(partner_class)
+            if victim is None or partner is None:
+                composed_row.append(None)
+                destroyed_row.append(False)
+                continue
+            surface = model.pair_surface(victim, partner, space)
+            composed = classify(
+                _dataset(victim, space, surface.perf_a)
+            ).label_for(victim.full_name).category
+            composed_row.append(composed)
+            destroyed_row.append(
+                composed in NON_SCALING
+                and victim_class not in NON_SCALING
+            )
+        composed_rows.append(tuple(composed_row))
+        destroyed_rows.append(tuple(destroyed_row))
+
+    return CompositionMatrix(
+        categories=categories,
+        representatives={
+            c: k.full_name for c, k in representatives.items()
+        },
+        solo=solo_class,
+        composed=tuple(composed_rows),
+        destroyed=tuple(destroyed_rows),
+    )

@@ -12,6 +12,10 @@ Usage (installed as ``gpuscale`` or via ``python -m repro.cli``)::
     gpuscale families                   # microarchitecture families
     gpuscale transfer rodinia/bfs.kernel1 --from hawaii --to kaveri
     gpuscale transfer --evaluate --from hawaii --to kaveri
+    gpuscale optimize rodinia/bfs.kernel1 --objective min_energy
+    gpuscale optimize rodinia/bfs.kernel1 --frontier --power-cap 150
+    gpuscale coschedule rodinia/bfs.kernel1 rodinia/nw.kernel1
+    gpuscale coschedule --matrix        # class-composition matrix
     gpuscale cache info                 # sweep result cache contents
     gpuscale cache clear                # drop every cached sweep
 
@@ -219,6 +223,233 @@ def _cmd_energy(args: argparse.Namespace) -> int:
           f"{100 * (1 - chosen.energy_j / flagship.energy_j):+.1f}% saved")
     print(f"time vs flagship:   "
           f"{100 * (chosen.time_s / flagship.time_s - 1):+.1f}%")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.errors import AnalysisError
+    from repro.power import EnergyModel, Objective
+    from repro.power.dvfs_opt import frontier_points, select_optimum
+    from repro.suites import kernel_by_name
+
+    kernel = kernel_by_name(args.kernel)
+    objective = Objective(args.objective)
+    if args.pair is not None:
+        if args.engine is not None:
+            print("gpuscale optimize: --engine applies to solo "
+                  "kernels only (the co-schedule model prices pairs)",
+                  file=sys.stderr)
+            return 2
+        from repro.coschedule import CoScheduleModel
+
+        partner = kernel_by_name(args.pair)
+        surface = CoScheduleModel().pair_surface(
+            kernel, partner, PAPER_SPACE
+        )
+        time_s = surface.makespan_s
+        energy_j = surface.energy_j
+        power_w = surface.power_w
+        subject = f"{kernel.full_name} + {partner.full_name}"
+    else:
+        surfaces = EnergyModel(engine=args.engine).surfaces(
+            kernel, PAPER_SPACE
+        )
+        time_s = surfaces.time_s
+        energy_j = surfaces.energy_j
+        power_w = surfaces.power_w
+        subject = kernel.full_name
+
+    if args.frontier:
+        points = frontier_points(
+            PAPER_SPACE, time_s, energy_j, power_w, args.power_cap
+        )
+        if args.json:
+            print(json_mod.dumps([
+                {
+                    "config": p.config.label(),
+                    "time_s": p.time_s,
+                    "energy_j": p.energy_j,
+                    "power_w": p.power_w,
+                }
+                for p in points
+            ], indent=2))
+            return 0
+        rows = [
+            [p.config.label(), f"{p.time_s:.3e}",
+             f"{p.energy_j:.3e}", f"{p.power_w:.1f}"]
+            for p in points
+        ]
+        print(render_table(
+            ["configuration", "time (s)", "energy (J)", "power (W)"],
+            rows,
+            title=f"Energy/perf Pareto frontier for {subject}"
+            + (f" (cap {args.power_cap:g} W)" if args.power_cap else ""),
+        ))
+        return 0
+
+    try:
+        c, e, m = select_optimum(
+            time_s, energy_j, power_w, objective, args.power_cap
+        )
+    except AnalysisError as exc:
+        print(f"gpuscale optimize: {exc}", file=sys.stderr)
+        return 1
+    config = PAPER_SPACE.config(c, e, m)
+    chosen_t = float(time_s[c, e, m])
+    chosen_e = float(energy_j[c, e, m])
+    chosen_p = float(power_w[c, e, m])
+    if args.json:
+        print(json_mod.dumps({
+            "kernel": kernel.full_name,
+            "kernel_b": args.pair and kernel_by_name(args.pair).full_name,
+            "objective": objective.value,
+            "power_cap_w": args.power_cap,
+            "config": config.label(),
+            "time_s": chosen_t,
+            "energy_j": chosen_e,
+            "power_w": chosen_p,
+            "edp": chosen_t * chosen_e,
+        }, indent=2))
+        return 0
+    print(f"subject:          {subject}")
+    print(f"objective:        {objective.value}"
+          + (f" (cap {args.power_cap:g} W)" if args.power_cap else ""))
+    print(f"operating point:  {config.label()}")
+    print(f"time:             {chosen_t:.3e} s")
+    print(f"energy:           {chosen_e:.3e} J")
+    print(f"power:            {chosen_p:.1f} W")
+    print(f"edp:              {chosen_t * chosen_e:.3e} J*s")
+    return 0
+
+
+def _cmd_coschedule(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.coschedule import CoScheduleModel
+
+    if args.matrix:
+        from repro.analysis import class_composition_matrix
+
+        matrix = class_composition_matrix()
+        if args.json:
+            print(json_mod.dumps(matrix.to_dict(), indent=2))
+            return 0
+        print(matrix.render())
+        pairs = matrix.destructive_pairs
+        if pairs:
+            print("\nscaling-destroying pairings (victim x partner):")
+            for a, b in pairs:
+                print(f"  {a.value} x {b.value}")
+        else:
+            print("\nno pairing destroys a scaling class")
+        return 0
+
+    if args.kernel_a is None or args.kernel_b is None:
+        print("gpuscale coschedule: two kernel identifiers are "
+              "required unless --matrix is given", file=sys.stderr)
+        return 2
+    from repro.suites import kernel_by_name
+
+    kernel_a = kernel_by_name(args.kernel_a)
+    kernel_b = kernel_by_name(args.kernel_b)
+    model = CoScheduleModel()
+
+    point_flags = (args.cu, args.eng, args.mem)
+    if any(f is not None for f in point_flags):
+        if any(f is None for f in point_flags):
+            print("gpuscale coschedule: --cu, --eng and --mem must be "
+                  "given together", file=sys.stderr)
+            return 2
+        try:
+            c = PAPER_SPACE.cu_counts.index(args.cu)
+            e = PAPER_SPACE.engine_mhz.index(args.eng)
+            m = PAPER_SPACE.memory_mhz.index(args.mem)
+        except ValueError:
+            print("gpuscale coschedule: configuration off the paper "
+                  f"grid; cu in {PAPER_SPACE.cu_counts}, engine in "
+                  f"{PAPER_SPACE.engine_mhz}, memory in "
+                  f"{PAPER_SPACE.memory_mhz}", file=sys.stderr)
+            return 2
+        result = model.evaluate(kernel_a, kernel_b, PAPER_SPACE.config(c, e, m))
+        if args.json:
+            print(json_mod.dumps({
+                "config": result.config.label(),
+                "a": {
+                    "kernel": result.a.kernel_name,
+                    "cu_allotment": result.a.cu_allotment,
+                    "time_s": result.a.time_s,
+                    "solo_time_s": result.a.solo_time_s,
+                    "slowdown": result.a.time_s / result.a.solo_time_s,
+                    "bandwidth_share": result.a.dram_demand_share,
+                },
+                "b": {
+                    "kernel": result.b.kernel_name,
+                    "cu_allotment": result.b.cu_allotment,
+                    "time_s": result.b.time_s,
+                    "solo_time_s": result.b.solo_time_s,
+                    "slowdown": result.b.time_s / result.b.solo_time_s,
+                    "bandwidth_share": result.b.dram_demand_share,
+                },
+                "makespan_s": result.makespan_s,
+                "power_w": result.power_w,
+                "energy_j": result.energy_j,
+                "stp": result.stp,
+                "antt": result.antt,
+            }, indent=2))
+            return 0
+        print(f"configuration:  {result.config.label()}")
+        for label, share in (("A", result.a), ("B", result.b)):
+            print(f"kernel {label}:       {share.kernel_name}")
+            print(f"  CUs           {share.cu_allotment}")
+            print(f"  time          {share.time_s:.3e} s "
+                  f"(solo {share.solo_time_s:.3e} s, "
+                  f"slowdown {share.time_s / share.solo_time_s:.2f}x)")
+            print(f"  bw share      {share.dram_demand_share:.3f}")
+        print(f"makespan:       {result.makespan_s:.3e} s")
+        print(f"power:          {result.power_w:.1f} W")
+        print(f"energy:         {result.energy_j:.3e} J")
+        print(f"STP:            {result.stp:.3f}")
+        print(f"ANTT:           {result.antt:.3f}")
+        return 0
+
+    surface = model.pair_surface(kernel_a, kernel_b, PAPER_SPACE)
+    import numpy as np
+
+    stp = surface.stp
+    antt = surface.antt
+    best = np.unravel_index(int(np.argmax(stp)), stp.shape)
+    best_config = PAPER_SPACE.config(*best)
+    if args.json:
+        print(json_mod.dumps({
+            "kernel_a": surface.kernel_a,
+            "kernel_b": surface.kernel_b,
+            "stp": {"min": float(stp.min()), "mean": float(stp.mean()),
+                    "max": float(stp.max())},
+            "antt": {"min": float(antt.min()),
+                     "mean": float(antt.mean()),
+                     "max": float(antt.max())},
+            "slowdown_a": {"min": float(surface.slowdown_a.min()),
+                           "max": float(surface.slowdown_a.max())},
+            "slowdown_b": {"min": float(surface.slowdown_b.min()),
+                           "max": float(surface.slowdown_b.max())},
+            "best_stp_config": best_config.label(),
+            "best_stp": float(stp[best]),
+        }, indent=2))
+        return 0
+    print(f"pair:           {surface.kernel_a} + {surface.kernel_b}")
+    print(f"grid:           {'x'.join(str(n) for n in stp.shape)} "
+          "(paper space)")
+    print(f"STP:            min {stp.min():.3f}  mean {stp.mean():.3f}"
+          f"  max {stp.max():.3f}")
+    print(f"ANTT:           min {antt.min():.3f}  "
+          f"mean {antt.mean():.3f}  max {antt.max():.3f}")
+    print(f"slowdown A:     {surface.slowdown_a.min():.2f}x - "
+          f"{surface.slowdown_a.max():.2f}x")
+    print(f"slowdown B:     {surface.slowdown_b.min():.2f}x - "
+          f"{surface.slowdown_b.max():.2f}x")
+    print(f"best STP:       {stp[best]:.3f} at {best_config.label()}")
     return 0
 
 
@@ -457,6 +688,53 @@ def build_parser() -> argparse.ArgumentParser:
                         help="DVFS objective (default: min_edp)")
     energy.add_argument("--power-cap", type=float, default=None,
                         help="board power cap in watts")
+
+    optimize = sub.add_parser(
+        "optimize",
+        help="energy-optimal configuration or Pareto frontier for a "
+        "kernel (or a co-scheduled pair)",
+    )
+    optimize.add_argument("kernel", help="suite/program.kernel identifier")
+    optimize.add_argument("--pair", default=None, metavar="KERNEL_B",
+                          help="co-resident partner kernel: optimise "
+                          "the pair's makespan/energy surface instead")
+    optimize.add_argument("--objective", default="min_edp",
+                          choices=["min_energy", "min_edp", "max_perf"],
+                          help="selection objective (default: min_edp)")
+    optimize.add_argument("--power-cap", type=float, default=None,
+                          metavar="W", help="board power cap in watts")
+    optimize.add_argument("--frontier", action="store_true",
+                          help="print the full (time, energy) Pareto "
+                          "frontier instead of one operating point")
+    optimize.add_argument("--engine", default=None,
+                          choices=list(engine_names()),
+                          help="registered timing engine pricing the "
+                          "solo surface (default: interval)")
+    optimize.add_argument("--json", action="store_true",
+                          help="emit JSON instead of text")
+
+    coschedule = sub.add_parser(
+        "coschedule",
+        help="contended outcome of two co-resident kernels, or the "
+        "taxonomy class-composition matrix",
+    )
+    coschedule.add_argument("kernel_a", nargs="?", default=None,
+                            help="first kernel (omit with --matrix)")
+    coschedule.add_argument("kernel_b", nargs="?", default=None,
+                            help="co-resident partner kernel")
+    coschedule.add_argument("--cu", type=int, default=None,
+                            help="CU count for a single-point query")
+    coschedule.add_argument("--eng", type=float, default=None,
+                            metavar="MHZ", help="engine clock for a "
+                            "single-point query")
+    coschedule.add_argument("--mem", type=float, default=None,
+                            metavar="MHZ", help="memory clock for a "
+                            "single-point query")
+    coschedule.add_argument("--matrix", action="store_true",
+                            help="print the class-composition matrix "
+                            "over the whole catalog instead")
+    coschedule.add_argument("--json", action="store_true",
+                            help="emit JSON instead of text")
 
     kernel = sub.add_parser("kernel", help="inspect one kernel")
     kernel.add_argument("kernel", help="suite/program.kernel identifier")
@@ -748,6 +1026,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "kernel": _cmd_kernel,
     "energy": _cmd_energy,
+    "optimize": _cmd_optimize,
+    "coschedule": _cmd_coschedule,
     "cache": _cmd_cache,
     "engines": _cmd_engines,
     "families": _cmd_families,

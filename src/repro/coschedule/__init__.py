@@ -1,0 +1,23 @@
+"""Concurrent-kernel co-scheduling: pair contention over shared
+bandwidth and cache, iterated to a fixed point, with pair throughput
+(STP), fairness (ANTT) and pair energy surfaces over the sweep grid."""
+
+from repro.coschedule.model import (
+    DEFAULT_CU_SHARE,
+    FIXED_POINT_ITERATIONS,
+    CoScheduleModel,
+    CoScheduleResult,
+    KernelShare,
+    PairSurface,
+    partition_cus,
+)
+
+__all__ = [
+    "DEFAULT_CU_SHARE",
+    "FIXED_POINT_ITERATIONS",
+    "CoScheduleModel",
+    "CoScheduleResult",
+    "KernelShare",
+    "PairSurface",
+    "partition_cus",
+]

@@ -2,13 +2,23 @@
 
 Couples the timing model's activity factors with a CMOS-style board
 power model, then optimises over the 891-configuration space for
-min-energy / min-EDP / capped-power objectives. See DESIGN.md's
-extension notes; this mirrors the paper group's published follow-on
-direction (the dataset drove AMD Research's power-management work).
+min-energy / min-EDP / capped-power objectives — vectorized over the
+batch lattice, so an energy surface or Pareto frontier costs one
+engine grid call. See DESIGN.md's extension notes; this mirrors the
+paper group's published follow-on direction (the dataset drove AMD
+Research's power-management work).
 """
 
-from repro.power.dvfs_opt import DvfsOptimizer, Objective, OperatingPoint
-from repro.power.energy import EnergyModel, EnergyResult
+from repro.power.dvfs_opt import (
+    DvfsOptimizer,
+    FrontierPoint,
+    Objective,
+    OperatingPoint,
+    frontier_indices,
+    frontier_points,
+    select_optimum,
+)
+from repro.power.energy import EnergyModel, EnergyResult, EnergySurface
 from repro.power.model import (
     DEFAULT_POWER_MODEL,
     PowerBreakdown,
@@ -21,9 +31,14 @@ __all__ = [
     "DvfsOptimizer",
     "EnergyModel",
     "EnergyResult",
+    "EnergySurface",
+    "FrontierPoint",
     "Objective",
     "OperatingPoint",
     "PowerBreakdown",
     "PowerModel",
     "VoltageCurve",
+    "frontier_indices",
+    "frontier_points",
+    "select_optimum",
 ]

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.gpu.config import HardwareConfig
 
@@ -186,6 +188,81 @@ class PowerModel:
         return self.breakdown(
             config, compute_activity, memory_activity
         ).total_w
+
+    def board_power_surface(
+        self,
+        space,
+        compute_activity,
+        memory_activity,
+    ) -> np.ndarray:
+        """Board power at every point of *space* as one broadcast.
+
+        *compute_activity* / *memory_activity* are arrays broadcastable
+        to ``space.shape`` (typically the batch interval terms' activity
+        surfaces). The voltage curve and per-axis frequency terms are
+        evaluated with scalar Python arithmetic per axis value and the
+        component sums keep :meth:`breakdown`'s association order, so
+        every element is bit-identical to the scalar path.
+        """
+        n_cu, n_eng, n_mem = space.shape
+        ca = np.asarray(compute_activity, dtype=np.float64)
+        ma = np.asarray(memory_activity, dtype=np.float64)
+        for name, values in (
+            ("compute_activity", ca),
+            ("memory_activity", ma),
+        ):
+            if np.any(values < 0.0) or np.any(values > 1.0):
+                raise ConfigurationError(
+                    f"{name} must lie in [0, 1], got "
+                    f"[{float(values.min())}, {float(values.max())}]"
+                )
+
+        cu_counts = np.asarray(
+            space.cu_counts, dtype=np.int64
+        ).reshape(n_cu, 1, 1)
+        v_eng_values = [
+            self._engine_curve.volts(float(mhz))
+            for mhz in space.engine_mhz
+        ]
+        v_eng = np.asarray(v_eng_values).reshape(1, n_eng, 1)
+        eng_sq = np.asarray(
+            [(v / 1.2) ** 2 for v in v_eng_values]
+        ).reshape(1, n_eng, 1)
+        f_eng = np.asarray(
+            [float(mhz) / 1000.0 for mhz in space.engine_mhz]
+        ).reshape(1, n_eng, 1)
+        v_mem_values = [
+            self._memory_curve.volts(float(mhz))
+            for mhz in space.memory_mhz
+        ]
+        v_mem = np.asarray(v_mem_values).reshape(1, 1, n_mem)
+        mem_sq = np.asarray(
+            [(v / 1.5) ** 2 for v in v_mem_values]
+        ).reshape(1, 1, n_mem)
+        f_mem = np.asarray(
+            [float(mhz) / 1250.0 for mhz in space.memory_mhz]
+        ).reshape(1, 1, n_mem)
+
+        compute_dynamic = (
+            self._cu_dynamic_coeff_w * cu_counts * eng_sq * f_eng * ca
+        )
+        memory_dynamic = (
+            self._memory_dynamic_coeff_w * mem_sq * f_mem * ma
+        )
+        compute_static = (
+            self._cu_leakage_w_per_volt * cu_counts * v_eng
+        )
+        memory_static = self._memory_leakage_w_per_volt * v_mem
+        total = (
+            compute_dynamic
+            + memory_dynamic
+            + compute_static
+            + memory_static
+            + self._base_w
+        )
+        return np.ascontiguousarray(
+            np.broadcast_to(total, space.shape)
+        )
 
 
 #: Default model instance used across the energy analyses.

@@ -29,9 +29,11 @@ an inference stack:
 
 from repro.service.batcher import (
     DrainRateEstimator,
+    EnergyGridQuery,
     GridQuery,
     MicroBatcher,
     OverloadError,
+    PairGridQuery,
     PointQuery,
     ServiceClosedError,
     ServiceTimeoutError,
@@ -52,6 +54,7 @@ from repro.service.worker import WorkerConfig
 
 __all__ = [
     "DrainRateEstimator",
+    "EnergyGridQuery",
     "FleetExecutor",
     "GpuScaleService",
     "GridQuery",
@@ -59,6 +62,7 @@ __all__ = [
     "MetricsRegistry",
     "MicroBatcher",
     "OverloadError",
+    "PairGridQuery",
     "PointQuery",
     "RequestError",
     "SCHEMA_VERSION",

@@ -110,7 +110,37 @@ class GridQuery:
     space: ConfigurationSpace
 
 
-Query = Union[PointQuery, GridQuery]
+@dataclass(frozen=True)
+class EnergyGridQuery:
+    """One (kernel, space) energy-surface evaluation.
+
+    Answered by the vectorized :class:`~repro.power.energy.EnergyModel`
+    over the batcher's simulator, so the timing half is one engine grid
+    call and duplicate frontier sweeps coalesce exactly like grid
+    queries do.
+    """
+
+    kernel: Kernel
+    space: ConfigurationSpace
+
+
+@dataclass(frozen=True)
+class PairGridQuery:
+    """One co-scheduled (kernel pair, space) surface evaluation.
+
+    ``kernel_b=None`` is the idle-partner form (reproduces the solo
+    surface — useful as a baseline through the identical code path).
+    """
+
+    kernel_a: Kernel
+    kernel_b: Optional[Kernel]
+    space: ConfigurationSpace
+
+
+Query = Union[PointQuery, GridQuery, EnergyGridQuery, PairGridQuery]
+
+#: Every query dataclass submit() admits.
+QUERY_TYPES = (PointQuery, GridQuery, EnergyGridQuery, PairGridQuery)
 
 
 @dataclass(frozen=True)
@@ -149,6 +179,77 @@ class GridResult:
     def time_s(self) -> np.ndarray:
         """Execution time per configuration (derived, see class doc)."""
         return self.global_size / self.items_per_second
+
+
+@dataclass(frozen=True)
+class EnergyGridResult:
+    """An energy query's answer: time/power/energy over the space.
+
+    All three arrays have the space's ``(n_cu, n_eng, n_mem)`` shape
+    and carry the vectorized :class:`~repro.power.energy.EnergyModel`
+    bits unchanged, whether they came from the engine or from the
+    energy cache — the optimiser's argmin/frontier sweep over them is
+    therefore identical on every path.
+    """
+
+    kernel_name: str
+    time_s: np.ndarray
+    power_w: np.ndarray
+    energy_j: np.ndarray
+    global_size: int
+    from_cache: bool = False
+
+    @property
+    def items_per_second(self) -> np.ndarray:
+        """Throughput at every grid point."""
+        return self.global_size / self.time_s
+
+
+@dataclass(frozen=True)
+class PairGridResult:
+    """A pair query's answer: both kernels' contended surfaces.
+
+    The ``*_b`` fields are None for the idle-partner (solo) form, in
+    which case ``time_a`` is bitwise the kernel's solo surface.
+    """
+
+    kernel_a: str
+    kernel_b: Optional[str]
+    time_a: np.ndarray
+    time_b: Optional[np.ndarray]
+    solo_time_a: np.ndarray
+    solo_time_b: Optional[np.ndarray]
+    makespan_s: np.ndarray
+    power_w: np.ndarray
+    energy_j: np.ndarray
+    global_size_a: int
+    global_size_b: Optional[int]
+
+    @property
+    def slowdown_a(self) -> np.ndarray:
+        """Kernel A's contended slowdown at every grid point."""
+        return self.time_a / self.solo_time_a
+
+    @property
+    def slowdown_b(self) -> Optional[np.ndarray]:
+        """Kernel B's contended slowdown (None when solo)."""
+        if self.time_b is None:
+            return None
+        return self.time_b / self.solo_time_b
+
+    @property
+    def stp(self) -> np.ndarray:
+        """System throughput (sum of reciprocal slowdowns)."""
+        if self.time_b is None:
+            return 1.0 / self.slowdown_a
+        return 1.0 / self.slowdown_a + 1.0 / self.slowdown_b
+
+    @property
+    def antt(self) -> np.ndarray:
+        """Average normalised turnaround time (mean slowdown)."""
+        if self.time_b is None:
+            return self.slowdown_a
+        return (self.slowdown_a + self.slowdown_b) / 2.0
 
 
 _STOP = object()
@@ -332,7 +433,7 @@ class MicroBatcher:
         or draining, and :class:`ServiceTimeoutError` when the answer
         does not arrive within *timeout* seconds.
         """
-        if not isinstance(query, (PointQuery, GridQuery)):
+        if not isinstance(query, QUERY_TYPES):
             raise TypeError(f"not a query: {query!r}")
         if self._closed or self._queue is None:
             raise ServiceClosedError(
@@ -487,6 +588,14 @@ class MicroBatcher:
         for query in queries:
             if isinstance(query, GridQuery):
                 grids.setdefault(query.space, []).append(query)
+            elif isinstance(query, EnergyGridQuery):
+                shapes.append("energy")
+                outcomes[query] = self._evaluate_energy(
+                    query, cache_stats
+                )
+            elif isinstance(query, PairGridQuery):
+                shapes.append("pair")
+                outcomes[query] = self._evaluate_pair(query)
             else:
                 shapes.append("point")
                 try:
@@ -644,5 +753,149 @@ class MicroBatcher:
         except (ReproError, OSError):
             # The cache is an accelerator, never a dependency: refuse
             # nothing to the caller over a failed write-back.
+            return 0
+        return 1
+
+    # -- energy and pair evaluation ------------------------------------
+
+    def _energy_model(self):
+        """The lazily-built vectorized energy model over our engine.
+
+        Sharing the batcher's simulator keeps fidelity tiers, engine
+        fingerprints and (in tests) engine call counters honest: an
+        energy surface is exactly one ``simulate_grid`` on the same
+        engine grid queries use.
+        """
+        model = getattr(self, "_energy", None)
+        if model is None:
+            from repro.power.energy import EnergyModel
+
+            model = EnergyModel(simulator=self._simulator)
+            self._energy = model
+        return model
+
+    def _coschedule_model(self):
+        """The lazily-built pair contention model (pure, no engine)."""
+        model = getattr(self, "_coschedule", None)
+        if model is None:
+            from repro.coschedule.model import CoScheduleModel
+
+            model = CoScheduleModel()
+            self._coschedule = model
+        return model
+
+    def _evaluate_energy(
+        self, query: EnergyGridQuery, cache_stats: Dict[str, int]
+    ) -> Tuple[str, Any]:
+        """One energy surface: cache read-through, then one grid call."""
+        fingerprint: Optional[str] = None
+        if self._cache is not None:
+            fingerprint = self._fingerprint(query, query.space, {})
+            cached = self._energy_cache_load(query, fingerprint)
+            if cached is not None:
+                cache_stats["hit"] += 1
+                return ("ok", cached)
+            cache_stats["miss"] += 1
+        try:
+            surface = self._energy_model().surfaces(
+                query.kernel, query.space
+            )
+        except ReproError as exc:
+            return ("err", exc)
+        result = EnergyGridResult(
+            kernel_name=surface.kernel_name,
+            time_s=surface.time_s,
+            power_w=surface.power_w,
+            energy_j=surface.energy_j,
+            global_size=surface.global_size,
+        )
+        if fingerprint is not None:
+            cache_stats["store"] += self._energy_cache_store(
+                fingerprint, result
+            )
+        return ("ok", result)
+
+    def _evaluate_pair(self, query: PairGridQuery) -> Tuple[str, Any]:
+        """One co-scheduled pair surface (model-side, no engine call)."""
+        try:
+            surface = self._coschedule_model().pair_surface(
+                query.kernel_a, query.kernel_b, query.space
+            )
+        except ReproError as exc:
+            return ("err", exc)
+        return (
+            "ok",
+            PairGridResult(
+                kernel_a=surface.kernel_a,
+                kernel_b=surface.kernel_b,
+                time_a=surface.time_a,
+                time_b=surface.time_b,
+                solo_time_a=surface.solo_time_a,
+                solo_time_b=surface.solo_time_b,
+                makespan_s=surface.makespan_s,
+                power_w=surface.power_w,
+                energy_j=surface.energy_j,
+                global_size_a=surface.global_size_a,
+                global_size_b=surface.global_size_b,
+            ),
+        )
+
+    def _energy_path(self, fingerprint: str):
+        """Energy surfaces persist beside the sweep cache's datasets,
+        under their own prefix so the two namespaces never collide."""
+        return self._cache.cache_dir / f"energy_{fingerprint}.npz"
+
+    def _energy_cache_load(
+        self, query: EnergyGridQuery, fingerprint: str
+    ) -> Optional[EnergyGridResult]:
+        import zipfile
+
+        path = self._energy_path(fingerprint)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                return EnergyGridResult(
+                    kernel_name=query.kernel.full_name,
+                    time_s=np.asarray(data["time_s"]),
+                    power_w=np.asarray(data["power_w"]),
+                    energy_j=np.asarray(data["energy_j"]),
+                    global_size=int(data["global_size"]),
+                    from_cache=True,
+                )
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            # Corrupt or truncated entries fall back to the engine.
+            return None
+
+    def _energy_cache_store(
+        self, fingerprint: str, result: EnergyGridResult
+    ) -> int:
+        """Atomic best-effort write-back; returns 1 on success."""
+        import os
+        import tempfile
+
+        path = self._energy_path(fingerprint)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, suffix=".npz.tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez(
+                        handle,
+                        time_s=result.time_s,
+                        power_w=result.power_w,
+                        energy_j=result.energy_j,
+                        global_size=np.int64(result.global_size),
+                    )
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
             return 0
         return 1

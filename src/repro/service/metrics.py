@@ -514,6 +514,15 @@ class ServiceMetrics:
             "family pair.",
             ("source_family", "target_family"),
         )
+        self.optimize_requests = r.counter(
+            "gpuscale_optimize_requests_total",
+            "Energy-optimisation requests served, by objective.",
+            ("objective",),
+        )
+        self.coschedule_pairs = r.counter(
+            "gpuscale_coschedule_pairs_total",
+            "Co-scheduled kernel pairs evaluated for responses.",
+        )
 
     # -- recording helpers (each takes the registry lock once) ---------
 
@@ -593,6 +602,16 @@ class ServiceMetrics:
         """Count one cross-architecture transfer prediction."""
         with self.registry.lock:
             self.transfer_requests.inc(1.0, source, target)
+
+    def record_optimize(self, objective: str) -> None:
+        """Count one energy-optimisation request for *objective*."""
+        with self.registry.lock:
+            self.optimize_requests.inc(1.0, objective)
+
+    def record_coschedule(self) -> None:
+        """Count one co-scheduled pair evaluation."""
+        with self.registry.lock:
+            self.coschedule_pairs.inc()
 
     def set_queue_depth(self, depth: int) -> None:
         """Publish the admission queue's current depth."""

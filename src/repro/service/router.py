@@ -59,11 +59,13 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.errors import ReproError
 from repro.service import transport
 from repro.service.batcher import (
+    QUERY_TYPES,
     DeadlineExceededError,
     DrainRateEstimator,
+    EnergyGridQuery,
     GridQuery,
     OverloadError,
-    PointQuery,
+    PairGridQuery,
     PointResult,
     GridResult,
     Query,
@@ -767,10 +769,25 @@ class FleetExecutor:
 
     def shard_key(self, query: Query) -> str:
         """The consistent-hash key: ``(family, space, engine)``
-        fingerprint for grids, ``(kernel, config)`` identity for
+        fingerprint for grids, kernel-qualified fingerprints for
+        energy and pair surfaces, ``(kernel, config)`` identity for
         points."""
         if isinstance(query, GridQuery):
             return f"g|{self._space_digest(query.space)}"
+        if isinstance(query, EnergyGridQuery):
+            return (
+                f"e|{query.kernel.full_name}"
+                f"|{self._space_digest(query.space)}"
+            )
+        if isinstance(query, PairGridQuery):
+            partner = (
+                "-" if query.kernel_b is None
+                else query.kernel_b.full_name
+            )
+            return (
+                f"x|{query.kernel_a.full_name}|{partner}"
+                f"|{self._space_digest(query.space)}"
+            )
         config = query.config
         return (
             f"p|{query.kernel.full_name}|{config.cu_count}"
@@ -793,7 +810,7 @@ class FleetExecutor:
         it travels with the query to the worker's batcher, bounds the
         await here, and (for grid queries) paces the hedge timer.
         """
-        if not isinstance(query, (PointQuery, GridQuery)):
+        if not isinstance(query, QUERY_TYPES):
             raise TypeError(f"not a query: {query!r}")
         if self._closed or self._draining:
             raise ServiceClosedError(
@@ -846,7 +863,9 @@ class FleetExecutor:
         if (
             self._hedge_fraction is not None
             and budget is not None
-            and isinstance(query, GridQuery)
+            and isinstance(
+                query, (GridQuery, EnergyGridQuery, PairGridQuery)
+            )
             and self.n_workers > 1
         ):
             hedge_task = loop.create_task(

@@ -115,6 +115,47 @@ class WhatIfRequest:
 
 
 @dataclass(frozen=True)
+class OptimizeRequest:
+    """A validated ``/v1/optimize`` body: energy-optimal serving.
+
+    *kernel* is optimised alone, or co-scheduled with *kernel_b* when
+    one is given (the objective then prices the pair's makespan and
+    pair energy). *frontier* swaps the single-optimum answer for the
+    full (time, energy) Pareto frontier; *power_cap_w* excludes
+    configurations whose modelled board power exceeds the cap.
+    """
+
+    kernel: Kernel
+    objective: Any
+    kernel_b: Optional[Kernel] = None
+    power_cap_w: Optional[float] = None
+    frontier: bool = False
+    space: ConfigurationSpace = PAPER_SPACE
+    timeout_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class CoScheduleRequest:
+    """A validated ``/v1/coschedule`` body: one co-resident pair.
+
+    With *config* set the response is that single point's contention
+    breakdown; otherwise the pair is evaluated over *space* and the
+    response summarises the STP/ANTT surfaces.
+    """
+
+    kernel_a: Kernel
+    kernel_b: Kernel
+    config: Optional[HardwareConfig] = None
+    space: ConfigurationSpace = PAPER_SPACE
+    timeout_s: Optional[float] = None
+
+    @property
+    def is_point(self) -> bool:
+        """True when the request names a single configuration."""
+        return self.config is not None
+
+
+@dataclass(frozen=True)
 class TransferRequest:
     """A validated ``/v1/transfer`` body: kernel plus a family pair.
 
@@ -164,7 +205,11 @@ def parse_kernel(payload: Mapping[str, Any]) -> Kernel:
         raise RequestError(
             "missing_field", "request has no 'kernel'", field="kernel"
         )
-    spec = payload["kernel"]
+    return parse_kernel_spec(payload["kernel"], field="kernel")
+
+
+def parse_kernel_spec(spec: Any, field: str = "kernel") -> Kernel:
+    """One kernel reference: catalog name or inline definition."""
     if isinstance(spec, str):
         from repro.suites import kernel_by_name
 
@@ -175,7 +220,7 @@ def parse_kernel(payload: Mapping[str, Any]) -> Kernel:
                 "unknown_kernel",
                 f"no catalog kernel named {spec!r} "
                 "(see 'gpuscale catalog')",
-                field="kernel",
+                field=field,
             ) from None
     if isinstance(spec, Mapping):
         try:
@@ -184,13 +229,13 @@ def parse_kernel(payload: Mapping[str, Any]) -> Kernel:
             raise RequestError(
                 "invalid_kernel",
                 f"inline kernel definition rejected: {exc}",
-                field="kernel",
+                field=field,
             ) from exc
     raise RequestError(
         "invalid_kernel",
-        "kernel must be a catalog name string or an inline "
+        f"{field} must be a catalog name string or an inline "
         f"definition object, got {type(spec).__name__}",
-        field="kernel",
+        field=field,
     )
 
 
@@ -494,4 +539,125 @@ def parse_whatif(payload: Any) -> WhatIfRequest:
     )
     return WhatIfRequest(
         kernel=kernel, config=config, timeout_s=parse_timeout_ms(payload)
+    )
+
+
+def parse_objective(payload: Mapping[str, Any]):
+    """The optional DVFS objective; defaults to ``min_edp``."""
+    from repro.power.dvfs_opt import Objective
+
+    spec = payload.get("objective", Objective.MIN_EDP.value)
+    if isinstance(spec, str):
+        for objective in Objective:
+            if objective.value == spec:
+                return objective
+    known = ", ".join(o.value for o in Objective)
+    raise RequestError(
+        "invalid_objective",
+        f"objective must be one of: {known}; got {spec!r}",
+        field="objective",
+    )
+
+
+def parse_power_cap(payload: Mapping[str, Any]) -> Optional[float]:
+    """The optional board-power cap in watts (must be > 0)."""
+    if "power_cap_w" not in payload:
+        return None
+    value = payload["power_cap_w"]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestError(
+            "invalid_power_cap",
+            f"power_cap_w must be a number, got {value!r}",
+            field="power_cap_w",
+        )
+    if not value > 0:
+        raise RequestError(
+            "invalid_power_cap",
+            f"power_cap_w must be > 0, got {value!r}",
+            field="power_cap_w",
+        )
+    return float(value)
+
+
+def _parse_flag(
+    payload: Mapping[str, Any], field: str, default: bool = False
+) -> bool:
+    value = payload.get(field, default)
+    if not isinstance(value, bool):
+        raise RequestError(
+            "invalid_flag",
+            f"{field} must be a boolean, got {value!r}",
+            field=field,
+        )
+    return value
+
+
+def parse_optimize(payload: Any) -> OptimizeRequest:
+    """Validate a ``/v1/optimize`` body.
+
+    Requires ``kernel``; accepts optional ``kernel_b`` (pair
+    optimisation), ``objective`` (default ``min_edp``),
+    ``power_cap_w``, ``frontier`` (boolean), ``space`` and
+    ``timeout_ms``.
+    """
+    payload = _require_mapping(payload)
+    check_version(payload)
+    kernel = parse_kernel(payload)
+    kernel_b = (
+        parse_kernel_spec(payload["kernel_b"], field="kernel_b")
+        if "kernel_b" in payload
+        else None
+    )
+    space = (
+        parse_space(payload["space"])
+        if "space" in payload
+        else PAPER_SPACE
+    )
+    return OptimizeRequest(
+        kernel=kernel,
+        kernel_b=kernel_b,
+        objective=parse_objective(payload),
+        power_cap_w=parse_power_cap(payload),
+        frontier=_parse_flag(payload, "frontier"),
+        space=space,
+        timeout_s=parse_timeout_ms(payload),
+    )
+
+
+def parse_coschedule(payload: Any) -> CoScheduleRequest:
+    """Validate a ``/v1/coschedule`` body.
+
+    Requires ``kernel_a`` and ``kernel_b``; accepts at most one of
+    ``config`` (single-point breakdown) or ``space`` (surface
+    summary, default the paper grid), plus ``timeout_ms``.
+    """
+    payload = _require_mapping(payload)
+    check_version(payload)
+    for required in ("kernel_a", "kernel_b"):
+        if required not in payload:
+            raise RequestError(
+                "missing_field",
+                f"request has no '{required}'",
+                field=required,
+            )
+    if "config" in payload and "space" in payload:
+        raise RequestError(
+            "invalid_shape",
+            "at most one of 'config' (point) or 'space' (surface) "
+            "may be given",
+        )
+    config = (
+        parse_config(payload["config"]) if "config" in payload else None
+    )
+    space = (
+        parse_space(payload["space"])
+        if "space" in payload
+        else PAPER_SPACE
+    )
+    return CoScheduleRequest(
+        kernel_a=parse_kernel_spec(payload["kernel_a"], field="kernel_a"),
+        kernel_b=parse_kernel_spec(payload["kernel_b"], field="kernel_b"),
+        config=config,
+        space=space,
+        timeout_s=parse_timeout_ms(payload),
     )

@@ -12,6 +12,8 @@ endpoint              method  answers
 ``/v1/classify``      POST    taxonomy label for one kernel
 ``/v1/whatif``        POST    ranked optimisation counterfactuals
 ``/v1/transfer``      POST    cross-family surface + class prediction
+``/v1/optimize``      POST    energy-optimal config or Pareto frontier
+``/v1/coschedule``    POST    co-resident pair contention point/surface
 ``/v1/engines``       GET     the engine registry's capability table
 ``/v1/families``      GET     the microarchitecture-family registry
 ``/healthz``          GET     liveness (``ok`` / ``draining``)
@@ -56,9 +58,11 @@ from repro.errors import (
 from repro.service import schema
 from repro.service.batcher import (
     DeadlineExceededError,
+    EnergyGridQuery,
     GridQuery,
     MicroBatcher,
     OverloadError,
+    PairGridQuery,
     PointQuery,
     ServiceClosedError,
     ServiceTimeoutError,
@@ -446,6 +450,8 @@ class GpuScaleService:
             ("POST", "/v1/classify"): self._post_classify,
             ("POST", "/v1/whatif"): self._post_whatif,
             ("POST", "/v1/transfer"): self._post_transfer,
+            ("POST", "/v1/optimize"): self._post_optimize,
+            ("POST", "/v1/coschedule"): self._post_coschedule,
         }
         handler = routes.get((method, path))
         if handler is None:
@@ -983,6 +989,198 @@ class GpuScaleService:
             },
             "baseline_items_per_second": baseline,
             "scenarios": scenarios,
+        }
+
+    @staticmethod
+    def _config_payload(config: Any) -> Dict[str, Any]:
+        return {
+            "cu_count": config.cu_count,
+            "engine_mhz": config.engine_mhz,
+            "memory_mhz": config.memory_mhz,
+        }
+
+    async def _post_optimize(
+        self, payload: Any
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Energy-optimal serving over the full surface.
+
+        The surface (solo energy, or pair makespan/pair energy) is
+        computed wherever the executor routes it; the argmin / Pareto
+        sweep runs *here* on the returned arrays. Selection is pure
+        NumPy over bits that cross the fleet transport unchanged, so
+        single-process and fleet answers are identical by
+        construction.
+        """
+        from repro.errors import AnalysisError
+        from repro.power.dvfs_opt import (
+            frontier_points,
+            select_optimum,
+        )
+
+        request = schema.parse_optimize(payload)
+        timeout, deadline = self._request_budget(request)
+        if request.kernel_b is None:
+            result = await self.executor.submit(
+                EnergyGridQuery(
+                    kernel=request.kernel, space=request.space
+                ),
+                timeout=timeout,
+                deadline=deadline,
+            )
+            time_s = np.asarray(result.time_s)
+            names = {"kernel": result.kernel_name}
+            from_cache = result.from_cache
+        else:
+            result = await self.executor.submit(
+                PairGridQuery(
+                    kernel_a=request.kernel,
+                    kernel_b=request.kernel_b,
+                    space=request.space,
+                ),
+                timeout=timeout,
+                deadline=deadline,
+            )
+            # A pair is priced on its makespan and pair energy: the
+            # objective optimises the co-run as a whole.
+            time_s = np.asarray(result.makespan_s)
+            names = {
+                "kernel": result.kernel_a,
+                "kernel_b": result.kernel_b,
+            }
+            from_cache = False
+        energy_j = np.asarray(result.energy_j)
+        power_w = np.asarray(result.power_w)
+        self.metrics.record_optimize(request.objective.value)
+        space = request.space
+        try:
+            if request.frontier:
+                points = frontier_points(
+                    space, time_s, energy_j, power_w,
+                    request.power_cap_w,
+                )
+                return 200, {
+                    **names,
+                    "objective": request.objective.value,
+                    "power_cap_w": request.power_cap_w,
+                    "frontier": [
+                        {
+                            "config": self._config_payload(p.config),
+                            "time_s": p.time_s,
+                            "energy_j": p.energy_j,
+                            "power_w": p.power_w,
+                            "edp": p.edp,
+                        }
+                        for p in points
+                    ],
+                    "from_cache": from_cache,
+                }
+            c, e, m = select_optimum(
+                time_s, energy_j, power_w,
+                request.objective, request.power_cap_w,
+            )
+        except AnalysisError as exc:
+            # An unsatisfiable power cap is the caller's constraint
+            # problem, not a server fault: answer a structured 400.
+            raise schema.RequestError(
+                "unsatisfiable_power_cap", str(exc), field="power_cap_w"
+            ) from exc
+        config = space.config(c, e, m)
+        return 200, {
+            **names,
+            "objective": request.objective.value,
+            "power_cap_w": request.power_cap_w,
+            "config": self._config_payload(config),
+            "time_s": float(time_s[c, e, m]),
+            "energy_j": float(energy_j[c, e, m]),
+            "power_w": float(power_w[c, e, m]),
+            "edp": float(energy_j[c, e, m] * time_s[c, e, m]),
+            "from_cache": from_cache,
+        }
+
+    async def _post_coschedule(
+        self, payload: Any
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One co-resident pair: point breakdown or surface summary."""
+        from repro.sweep.space import ConfigurationSpace
+
+        request = schema.parse_coschedule(payload)
+        timeout, deadline = self._request_budget(request)
+        if request.is_point:
+            point = request.config
+            space = ConfigurationSpace(
+                cu_counts=(point.cu_count,),
+                engine_mhz=(point.engine_mhz,),
+                memory_mhz=(point.memory_mhz,),
+            )
+        else:
+            space = request.space
+        result = await self.executor.submit(
+            PairGridQuery(
+                kernel_a=request.kernel_a,
+                kernel_b=request.kernel_b,
+                space=space,
+            ),
+            timeout=timeout,
+            deadline=deadline,
+        )
+        self.metrics.record_coschedule()
+        stp = np.asarray(result.stp)
+        antt = np.asarray(result.antt)
+        if request.is_point:
+            idx = (0, 0, 0)
+            return 200, {
+                "kernel_a": result.kernel_a,
+                "kernel_b": result.kernel_b,
+                "config": self._config_payload(request.config),
+                "a": {
+                    "time_s": float(result.time_a[idx]),
+                    "solo_time_s": float(result.solo_time_a[idx]),
+                    "slowdown": float(result.slowdown_a[idx]),
+                },
+                "b": {
+                    "time_s": float(result.time_b[idx]),
+                    "solo_time_s": float(result.solo_time_b[idx]),
+                    "slowdown": float(result.slowdown_b[idx]),
+                },
+                "makespan_s": float(result.makespan_s[idx]),
+                "power_w": float(result.power_w[idx]),
+                "energy_j": float(result.energy_j[idx]),
+                "stp": float(stp[idx]),
+                "antt": float(antt[idx]),
+            }
+        best = np.unravel_index(int(np.argmax(stp)), stp.shape)
+        best_config = space.config(*(int(i) for i in best))
+        return 200, {
+            "kernel_a": result.kernel_a,
+            "kernel_b": result.kernel_b,
+            "space": {
+                "cu_counts": list(space.cu_counts),
+                "engine_mhz": list(space.engine_mhz),
+                "memory_mhz": list(space.memory_mhz),
+            },
+            "stp": {
+                "min": float(stp.min()),
+                "mean": float(stp.mean()),
+                "max": float(stp.max()),
+            },
+            "antt": {
+                "min": float(antt.min()),
+                "mean": float(antt.mean()),
+                "max": float(antt.max()),
+            },
+            "slowdown_a": {
+                "min": float(result.slowdown_a.min()),
+                "max": float(result.slowdown_a.max()),
+            },
+            "slowdown_b": {
+                "min": float(result.slowdown_b.min()),
+                "max": float(result.slowdown_b.max()),
+            },
+            "best_stp": {
+                "config": self._config_payload(best_config),
+                "stp": float(stp[best]),
+                "antt": float(antt[best]),
+            },
         }
 
 

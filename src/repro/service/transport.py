@@ -48,9 +48,13 @@ from repro.errors import (
 )
 from repro.service.batcher import (
     DeadlineExceededError,
+    EnergyGridQuery,
+    EnergyGridResult,
     GridQuery,
     GridResult,
     OverloadError,
+    PairGridQuery,
+    PairGridResult,
     PointQuery,
     PointResult,
     Query,
@@ -197,6 +201,20 @@ def encode_query(query: Query) -> Tuple[Any, ...]:
         )
     if isinstance(query, GridQuery):
         return ("grid", encode_kernel(query.kernel), encode_space(query.space))
+    if isinstance(query, EnergyGridQuery):
+        return (
+            "energygrid",
+            encode_kernel(query.kernel),
+            encode_space(query.space),
+        )
+    if isinstance(query, PairGridQuery):
+        return (
+            "pairgrid",
+            encode_kernel(query.kernel_a),
+            None if query.kernel_b is None
+            else encode_kernel(query.kernel_b),
+            encode_space(query.space),
+        )
     raise TransportError(f"not a query: {query!r}")
 
 
@@ -217,6 +235,19 @@ def decode_query(payload: Tuple[Any, ...]) -> Query:
         _, kernel_ref, space_ref = payload
         return GridQuery(
             kernel=decode_kernel(kernel_ref),
+            space=decode_space(space_ref),
+        )
+    if kind == "energygrid":
+        _, kernel_ref, space_ref = payload
+        return EnergyGridQuery(
+            kernel=decode_kernel(kernel_ref),
+            space=decode_space(space_ref),
+        )
+    if kind == "pairgrid":
+        _, a_ref, b_ref, space_ref = payload
+        return PairGridQuery(
+            kernel_a=decode_kernel(a_ref),
+            kernel_b=None if b_ref is None else decode_kernel(b_ref),
             space=decode_space(space_ref),
         )
     raise TransportError(f"unknown query kind {kind!r}")
@@ -243,13 +274,43 @@ def _untrack_shared_memory(segment) -> None:
 
 
 def encode_result(
-    result: Union[PointResult, GridResult],
+    result: Union[
+        PointResult, GridResult, EnergyGridResult, PairGridResult
+    ],
 ) -> Tuple[Any, ...]:
-    """Wire form of one result; grid surfaces go via shared memory."""
+    """Wire form of one result; grid surfaces go via shared memory.
+
+    Energy and pair surfaces ride the frame inline: at the paper
+    grid's 891 points their arrays total tens of kilobytes, far below
+    the frame cap, so a shared-memory round-trip would cost more than
+    it saves.
+    """
     if isinstance(result, PointResult):
         return (
             "point", result.kernel_name,
             result.time_s, result.items_per_second,
+        )
+    if isinstance(result, EnergyGridResult):
+        return (
+            "energy-inline", result.kernel_name,
+            np.ascontiguousarray(result.time_s),
+            np.ascontiguousarray(result.power_w),
+            np.ascontiguousarray(result.energy_j),
+            result.global_size, result.from_cache,
+        )
+    if isinstance(result, PairGridResult):
+        return (
+            "pair-inline", result.kernel_a, result.kernel_b,
+            np.ascontiguousarray(result.time_a),
+            None if result.time_b is None
+            else np.ascontiguousarray(result.time_b),
+            np.ascontiguousarray(result.solo_time_a),
+            None if result.solo_time_b is None
+            else np.ascontiguousarray(result.solo_time_b),
+            np.ascontiguousarray(result.makespan_s),
+            np.ascontiguousarray(result.power_w),
+            np.ascontiguousarray(result.energy_j),
+            result.global_size_a, result.global_size_b,
         )
     array = np.ascontiguousarray(result.items_per_second)
     try:
@@ -276,7 +337,7 @@ def encode_result(
 
 def decode_result(
     payload: Tuple[Any, ...],
-) -> Union[PointResult, GridResult]:
+) -> Union[PointResult, GridResult, EnergyGridResult, PairGridResult]:
     """Rebuild a result; attaches, copies out, and unlinks shm."""
     kind = payload[0]
     if kind == "point":
@@ -284,6 +345,33 @@ def decode_result(
         return PointResult(
             kernel_name=kernel_name, time_s=time_s,
             items_per_second=ips,
+        )
+    if kind == "energy-inline":
+        (_, kernel_name, time_s, power_w, energy_j,
+         global_size, from_cache) = payload
+        return EnergyGridResult(
+            kernel_name=kernel_name,
+            time_s=np.asarray(time_s),
+            power_w=np.asarray(power_w),
+            energy_j=np.asarray(energy_j),
+            global_size=global_size,
+            from_cache=from_cache,
+        )
+    if kind == "pair-inline":
+        (_, kernel_a, kernel_b, time_a, time_b, solo_a, solo_b,
+         makespan_s, power_w, energy_j, size_a, size_b) = payload
+        return PairGridResult(
+            kernel_a=kernel_a,
+            kernel_b=kernel_b,
+            time_a=np.asarray(time_a),
+            time_b=None if time_b is None else np.asarray(time_b),
+            solo_time_a=np.asarray(solo_a),
+            solo_time_b=None if solo_b is None else np.asarray(solo_b),
+            makespan_s=np.asarray(makespan_s),
+            power_w=np.asarray(power_w),
+            energy_j=np.asarray(energy_j),
+            global_size_a=size_a,
+            global_size_b=size_b,
         )
     if kind == "grid-inline":
         _, kernel_name, array, global_size, from_cache = payload

@@ -1,0 +1,108 @@
+"""Class-composition matrix: what co-scheduling does to the taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    NON_SCALING,
+    class_composition_matrix,
+)
+from repro.taxonomy.categories import TaxonomyCategory
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return class_composition_matrix()
+
+
+class TestRepresentatives:
+    def test_every_populated_class_has_a_representative(self, matrix):
+        """The catalog populates six of the seven classes; only MIXED
+        has no member."""
+        assert set(matrix.representatives) == set(
+            TaxonomyCategory
+        ) - {TaxonomyCategory.MIXED}
+
+    def test_representatives_classify_to_their_class(self, matrix):
+        for category in matrix.representatives:
+            assert matrix.solo[category] == category
+
+
+class TestComposition:
+    def test_compute_next_to_bandwidth_stays_compute(self, matrix):
+        """A compute-bound kernel loses CUs but not its bottleneck: the
+        partner's bandwidth traffic doesn't touch the VALU pipes."""
+        assert matrix.composed_class(
+            TaxonomyCategory.COMPUTE_BOUND,
+            TaxonomyCategory.BANDWIDTH_BOUND,
+        ) == TaxonomyCategory.COMPUTE_BOUND
+        assert not matrix.destroys_scaling(
+            TaxonomyCategory.COMPUTE_BOUND,
+            TaxonomyCategory.BANDWIDTH_BOUND,
+        )
+
+    def test_compute_victim_keeps_class_next_to_anyone(self, matrix):
+        for partner in matrix.representatives:
+            assert matrix.composed_class(
+                TaxonomyCategory.COMPUTE_BOUND, partner
+            ) == TaxonomyCategory.COMPUTE_BOUND
+
+    def test_plateau_stays_plateau_next_to_anyone(self, matrix):
+        """A launch-overhead kernel is flat solo and flat contended —
+        no partner can un-flatten it, and since it never scaled, no
+        pairing counts as destroying its scaling."""
+        for partner in matrix.representatives:
+            assert matrix.composed_class(
+                TaxonomyCategory.PLATEAU, partner
+            ) == TaxonomyCategory.PLATEAU
+            assert not matrix.destroys_scaling(
+                TaxonomyCategory.PLATEAU, partner
+            )
+
+    def test_bandwidth_next_to_compute_destroys_scaling(self, matrix):
+        """The one scaling-destroying pairing: a bandwidth-bound
+        victim next to a compute-bound partner lands CU-inverse — the
+        partner's CU appetite grows with the grid while the shared
+        pipe does not."""
+        composed = matrix.composed_class(
+            TaxonomyCategory.BANDWIDTH_BOUND,
+            TaxonomyCategory.COMPUTE_BOUND,
+        )
+        assert composed in NON_SCALING
+        assert matrix.destroys_scaling(
+            TaxonomyCategory.BANDWIDTH_BOUND,
+            TaxonomyCategory.COMPUTE_BOUND,
+        )
+
+    def test_destructive_pairs_pinned(self, matrix):
+        assert matrix.destructive_pairs == [(
+            TaxonomyCategory.BANDWIDTH_BOUND,
+            TaxonomyCategory.COMPUTE_BOUND,
+        )]
+
+    def test_non_scaling_victims_never_flagged(self, matrix):
+        """destroys_scaling is about *losing* scaling: a victim already
+        in a non-scaling class solo cannot be destroyed further."""
+        for victim in NON_SCALING:
+            if victim not in matrix.representatives:
+                continue
+            for partner in matrix.representatives:
+                assert not matrix.destroys_scaling(victim, partner)
+
+
+class TestSerialisation:
+    def test_to_dict_round_trips_the_cells(self, matrix):
+        payload = matrix.to_dict()
+        assert payload["categories"] == [
+            c.value for c in matrix.categories
+        ]
+        i = matrix.categories.index(TaxonomyCategory.BANDWIDTH_BOUND)
+        j = matrix.categories.index(TaxonomyCategory.COMPUTE_BOUND)
+        assert payload["composed"][i][j] == "cu_inverse"
+        assert payload["destroyed"][i][j] is True
+
+    def test_render_marks_destroyed_cells(self, matrix):
+        table = matrix.render()
+        assert "cu_inverse!" in table
+        assert "(partner)" in table

@@ -1,0 +1,224 @@
+"""Co-schedule model: bit-exactness, solo degeneracy, contention shape.
+
+The tentpole invariants pinned here:
+
+* the vectorized :meth:`CoScheduleModel.pair_surface` is **bitwise
+  identical** to the per-point :meth:`pair_surface_scalar` loop for
+  every surface it returns, and
+* an idle partner (``kernel_b=None``) reproduces the single-kernel
+  interval surface **exactly** — co-scheduling with nobody is a no-op,
+  not an approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu import HardwareConfig
+from repro.gpu.simulator import GpuSimulator
+from repro.coschedule import (
+    CoScheduleModel,
+    FIXED_POINT_ITERATIONS,
+    partition_cus,
+)
+from repro.suites import all_kernels, kernel_by_name
+from repro.sweep import reduced_space
+
+#: One kernel per suite — cheap but covers every workload generator.
+REPRESENTATIVES = (
+    "amdapp/binarysearch.binary_search",
+    "amdapp/bitonicsort.bitonic_global",
+    "rodinia/bfs.kernel1",
+    "shoc/fft.fft512_fwd",
+)
+
+PAIRS = (
+    (REPRESENTATIVES[0], REPRESENTATIVES[1]),
+    (REPRESENTATIVES[1], REPRESENTATIVES[2]),
+    (REPRESENTATIVES[2], REPRESENTATIVES[3]),
+    (REPRESENTATIVES[3], REPRESENTATIVES[0]),
+)
+
+SURFACE_FIELDS = (
+    "time_a", "time_b", "solo_time_a", "solo_time_b",
+    "demand_share_a", "demand_share_b", "makespan_s", "power_w",
+    "energy_j",
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CoScheduleModel()
+
+
+@pytest.fixture(scope="module")
+def space():
+    return reduced_space(4, 4, 4)
+
+
+class TestPartition:
+    def test_even_split(self):
+        assert partition_cus(32) == (16, 16)
+
+    def test_odd_count_keeps_both_sides(self):
+        a, b = partition_cus(5)
+        assert a + b == 5
+        assert a >= 1 and b >= 1
+
+    def test_share_biases_the_split(self):
+        a, b = partition_cus(40, share=0.75)
+        assert a == 30 and b == 10
+
+    def test_extreme_share_clamped(self):
+        assert partition_cus(8, share=0.999) == (7, 1)
+        assert partition_cus(8, share=0.001) == (1, 7)
+
+    def test_single_cu_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_cus(1)
+
+
+class TestValidation:
+    def test_share_outside_unit_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoScheduleModel(share=0.0)
+        with pytest.raises(ConfigurationError):
+            CoScheduleModel(share=1.0)
+
+    def test_iterations_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CoScheduleModel(iterations=0)
+
+    def test_single_cu_config_rejected(self, model):
+        a = kernel_by_name(REPRESENTATIVES[0])
+        b = kernel_by_name(REPRESENTATIVES[1])
+        with pytest.raises(ConfigurationError):
+            model.evaluate(
+                a, b, HardwareConfig(1, 1000.0, 1250.0)
+            )
+
+
+class TestBatchBitExactness:
+    @pytest.mark.parametrize("pair", PAIRS, ids=lambda p: f"{p[0]}+{p[1]}")
+    def test_pair_surface_matches_scalar_loop(self, model, space, pair):
+        kernel_a = kernel_by_name(pair[0])
+        kernel_b = kernel_by_name(pair[1])
+        batch = model.pair_surface(kernel_a, kernel_b, space)
+        scalar = model.pair_surface_scalar(kernel_a, kernel_b, space)
+        for name in SURFACE_FIELDS:
+            got = getattr(batch, name)
+            want = getattr(scalar, name)
+            assert np.array_equal(got, want), name
+        assert np.array_equal(batch.cu_a, scalar.cu_a)
+        assert np.array_equal(batch.cu_b, scalar.cu_b)
+
+    def test_idle_partner_matches_scalar_loop(self, model, space):
+        kernel = kernel_by_name(REPRESENTATIVES[0])
+        batch = model.pair_surface(kernel, None, space)
+        scalar = model.pair_surface_scalar(kernel, None, space)
+        assert np.array_equal(batch.time_a, scalar.time_a)
+        assert np.array_equal(batch.makespan_s, scalar.makespan_s)
+        assert np.array_equal(batch.energy_j, scalar.energy_j)
+
+
+class TestSoloDegeneracy:
+    @pytest.mark.parametrize("name", REPRESENTATIVES)
+    def test_idle_partner_reproduces_solo_surface(
+        self, model, space, name
+    ):
+        """An idle partner is exactly the single-kernel model."""
+        kernel = kernel_by_name(name)
+        surface = model.pair_surface(kernel, None, space)
+        solo = GpuSimulator("interval").simulate_grid(kernel, space)
+        assert np.array_equal(surface.time_a, solo.time_s)
+        assert surface.time_b is None
+        assert surface.kernel_b is None
+        assert np.array_equal(surface.demand_share_a, np.ones(space.shape))
+
+    def test_idle_partner_point_matches_grid(self, model, space):
+        kernel = kernel_by_name(REPRESENTATIVES[1])
+        surface = model.pair_surface(kernel, None, space)
+        result = model.evaluate(kernel, None, space.config(1, 1, 1))
+        assert result.a.time_s == surface.time_a[1, 1, 1]
+        assert result.b is None
+        assert result.stp == pytest.approx(1.0 / result.a.slowdown)
+
+
+class TestContentionShape:
+    @pytest.mark.parametrize("pair", PAIRS, ids=lambda p: f"{p[0]}+{p[1]}")
+    def test_slowdowns_at_least_one(self, model, space, pair):
+        """Sharing the device never speeds a kernel up."""
+        surface = model.pair_surface(
+            kernel_by_name(pair[0]), kernel_by_name(pair[1]), space
+        )
+        assert (surface.slowdown_a >= 1.0 - 1e-12).all()
+        assert (surface.slowdown_b >= 1.0 - 1e-12).all()
+        assert (surface.antt >= 1.0 - 1e-12).all()
+        assert (surface.stp <= 2.0 + 1e-12).all()
+        assert (surface.stp > 0.0).all()
+
+    def test_shares_live_in_fair_reclaim_band(self, model, space):
+        """The fixed point allocates each kernel at least its half-pipe
+        entitlement; reclaim can only push a share toward 1."""
+        surface = model.pair_surface(
+            kernel_by_name(REPRESENTATIVES[0]),
+            kernel_by_name(REPRESENTATIVES[1]),
+            space,
+        )
+        for share in (surface.demand_share_a, surface.demand_share_b):
+            assert (share >= 0.5).all()
+            assert (share <= 1.0).all()
+
+    def test_no_starvation_for_mismatched_pair(self, model):
+        """A lower-efficiency bandwidth kernel keeps half the pipe
+        instead of collapsing to a zero share (the failure mode of
+        proportional-to-achieved-demand sharing)."""
+        result = model.evaluate(
+            kernel_by_name("amdapp/binarysearch.binary_search"),
+            kernel_by_name("amdapp/bitonicsort.bitonic_global"),
+            HardwareConfig(32, 700.0, 837.5),
+        )
+        assert result.a.slowdown < 4.0
+        assert result.b.slowdown < 4.0
+        assert result.antt < 4.0
+
+    def test_makespan_and_energy_consistent(self, model, space):
+        surface = model.pair_surface(
+            kernel_by_name(REPRESENTATIVES[1]),
+            kernel_by_name(REPRESENTATIVES[2]),
+            space,
+        )
+        expected = np.maximum(surface.time_a, surface.time_b)
+        assert np.array_equal(surface.makespan_s, expected)
+        assert np.array_equal(
+            surface.energy_j, surface.makespan_s * surface.power_w
+        )
+
+    def test_iterations_converged(self, space):
+        """The share fixed point is insensitive to extra rounds: the
+        default count already sits within ~1e-6 of the limit."""
+        kernel_a = kernel_by_name(REPRESENTATIVES[0])
+        kernel_b = kernel_by_name(REPRESENTATIVES[1])
+        short = CoScheduleModel(iterations=FIXED_POINT_ITERATIONS)
+        long = CoScheduleModel(iterations=4 * FIXED_POINT_ITERATIONS)
+        a = short.pair_surface(kernel_a, kernel_b, space)
+        b = long.pair_surface(kernel_a, kernel_b, space)
+        np.testing.assert_allclose(a.time_a, b.time_a, rtol=1e-5)
+        np.testing.assert_allclose(a.time_b, b.time_b, rtol=1e-5)
+
+
+class TestCatalogSweep:
+    def test_every_catalog_kernel_survives_pairing(self, model):
+        """Every kernel co-scheduled with a fixed partner yields
+        finite, positive times at a mid-grid configuration."""
+        partner = kernel_by_name(REPRESENTATIVES[1])
+        config = HardwareConfig(20, 600.0, 700.0)
+        for kernel in all_kernels():
+            if kernel.full_name == partner.full_name:
+                continue
+            result = model.evaluate(kernel, partner, config)
+            assert result.a.time_s > 0.0
+            assert result.b.time_s > 0.0
+            assert np.isfinite(result.energy_j)

@@ -1,8 +1,9 @@
 """Energy accounting and DVFS optimisation."""
 
+import numpy as np
 import pytest
 
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ConfigurationError
 from repro.gpu import W9100_LIKE
 from repro.kernels import (
     compute_kernel,
@@ -68,6 +69,64 @@ class TestEnergyResult:
         assert time_cube.shape == energy_cube.shape == space.shape
         # Energy >= idle-power x time everywhere.
         assert (energy_cube > 10.0 * time_cube).all()
+
+
+class TestEnergySurfaces:
+    """The vectorized grid path against the scalar point loop."""
+
+    def test_surfaces_match_pointwise_evaluate(self, energy_model):
+        """The batch path reproduces the per-point loop to 1e-12
+        relative on every surface, for every kernel shape."""
+        space = reduced_space(4, 4, 4)
+        for builder in (compute_kernel, streaming_kernel,
+                        latency_kernel, tiny_kernel):
+            kernel = builder("k")
+            surface = energy_model.surfaces(kernel, space)
+            n_cu, n_eng, n_mem = space.shape
+            for c in range(n_cu):
+                for e in range(n_eng):
+                    for m in range(n_mem):
+                        point = energy_model.evaluate(
+                            kernel, space.config(c, e, m)
+                        )
+                        assert surface.time_s[c, e, m] == pytest.approx(
+                            point.time_s, rel=1e-12
+                        )
+                        assert surface.power_w[c, e, m] == pytest.approx(
+                            point.power_w, rel=1e-12
+                        )
+                        assert surface.energy_j[c, e, m] == pytest.approx(
+                            point.energy_j, rel=1e-12
+                        )
+
+    def test_surface_derived_quantities(self, energy_model):
+        space = reduced_space(4, 4, 4)
+        surface = energy_model.surfaces(streaming_kernel("s"), space)
+        assert surface.time_s.shape == space.shape
+        assert np.array_equal(
+            surface.edp, surface.energy_j * surface.time_s
+        )
+        assert (surface.items_per_second > 0).all()
+        assert (surface.items_per_joule > 0).all()
+
+    def test_result_at_matches_the_arrays(self, energy_model):
+        space = reduced_space(4, 4, 4)
+        surface = energy_model.surfaces(compute_kernel("c"), space)
+        point = surface.result_at(1, 2, 0)
+        assert point.time_s == surface.time_s[1, 2, 0]
+        assert point.energy_j == pytest.approx(
+            surface.energy_j[1, 2, 0]
+        )
+        assert point.config == space.config(1, 2, 0)
+
+    def test_engine_and_simulator_mutually_exclusive(self):
+        from repro.gpu.simulator import GpuSimulator
+
+        with pytest.raises(ConfigurationError):
+            EnergyModel(
+                engine="interval",
+                simulator=GpuSimulator("interval"),
+            )
 
 
 class TestOptimizer:

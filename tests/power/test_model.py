@@ -1,10 +1,12 @@
 """Power model: voltage curves, breakdown, calibration."""
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.gpu import EMBEDDED, W9100_LIKE, HardwareConfig
 from repro.power import PowerModel, VoltageCurve
+from repro.sweep import reduced_space
 
 
 @pytest.fixture
@@ -32,6 +34,25 @@ class TestVoltageCurve:
             VoltageCurve(1000.0, 200.0)
         with pytest.raises(ConfigurationError):
             VoltageCurve(200.0, 1000.0, 1.2, 0.9)
+
+    def test_clamped_volts_are_continuous_at_the_endpoints(self):
+        """Clamping outside the curve's range never produces a jump:
+        the voltage just beyond an endpoint equals the endpoint's."""
+        curve = VoltageCurve(200.0, 1000.0, 0.9, 1.2)
+        assert curve.volts(199.999) == curve.volts(200.0)
+        assert curve.volts(1000.001) == curve.volts(1000.0)
+
+    def test_degenerate_frequency_range_rejected(self):
+        """A zero-width curve (min == max) is rejected — interpolation
+        over it would divide by zero."""
+        with pytest.raises(ConfigurationError):
+            VoltageCurve(500.0, 500.0, 1.0, 1.0)
+
+    def test_flat_voltage_range_accepted(self):
+        """Equal min/max *volts* is fine: a flat curve over a real
+        frequency span interpolates to the constant."""
+        curve = VoltageCurve(200.0, 1000.0, 1.0, 1.0)
+        assert curve.volts(600.0) == pytest.approx(1.0)
 
 
 class TestCalibration:
@@ -80,3 +101,58 @@ class TestScalingStructure:
             model.breakdown(W9100_LIKE, compute_activity=1.5)
         with pytest.raises(ConfigurationError):
             model.breakdown(W9100_LIKE, memory_activity=-0.1)
+
+    def test_board_power_rejects_out_of_range_activities(self, model):
+        with pytest.raises(ConfigurationError):
+            model.board_power_w(W9100_LIKE, compute_activity=-0.01)
+        with pytest.raises(ConfigurationError):
+            model.board_power_w(W9100_LIKE, memory_activity=1.01)
+
+    def test_zero_cu_config_rejected(self):
+        """The hardware-config layer refuses a zero-CU device before
+        power can even be asked for it."""
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(0, 1000.0, 1250.0)
+        with pytest.raises(ConfigurationError):
+            HardwareConfig(-4, 1000.0, 1250.0)
+
+    def test_boundary_activities_accepted(self, model):
+        """Exactly 0.0 and exactly 1.0 are legal activity factors."""
+        idle = model.board_power_w(W9100_LIKE, 0.0, 0.0)
+        busy = model.board_power_w(W9100_LIKE, 1.0, 1.0)
+        assert busy > idle > 0.0
+
+
+class TestSurfacePath:
+    def test_board_power_surface_matches_scalar(self, model):
+        """The vectorized grid path is bit-identical to per-point
+        board_power_w at uniform activities."""
+        space = reduced_space(2, 2, 2)
+        for ca, ma in ((0.0, 0.0), (0.35, 0.8), (1.0, 1.0)):
+            surface = model.board_power_surface(
+                space,
+                np.full(space.shape, ca),
+                np.full(space.shape, ma),
+            )
+            n_cu, n_eng, n_mem = space.shape
+            for c in range(n_cu):
+                for e in range(n_eng):
+                    for m in range(n_mem):
+                        assert surface[c, e, m] == model.board_power_w(
+                            space.config(c, e, m), ca, ma
+                        )
+
+    def test_board_power_surface_rejects_bad_activities(self, model):
+        space = reduced_space(4, 4, 4)
+        with pytest.raises(ConfigurationError):
+            model.board_power_surface(
+                space,
+                np.full(space.shape, 1.5),
+                np.zeros(space.shape),
+            )
+        with pytest.raises(ConfigurationError):
+            model.board_power_surface(
+                space,
+                np.zeros(space.shape),
+                np.full(space.shape, -0.5),
+            )

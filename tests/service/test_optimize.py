@@ -1,0 +1,692 @@
+"""``/v1/optimize`` and ``/v1/coschedule``: energy-optimal serving.
+
+The acceptance invariants pinned here:
+
+* every configuration ``/v1/optimize`` returns under a power cap has
+  modelled board power at or below that cap (property-tested over
+  caps and objectives),
+* a repeated frontier/optimize request is answered from the energy
+  cache with **zero** engine calls, and
+* the fleet (``--workers 4``) answers ``/v1/optimize`` and
+  ``/v1/coschedule`` byte-for-byte like the single-process server —
+  selection runs router-side on arrays that cross the transport
+  bit-exact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.gpu.simulator import GpuSimulator
+from repro.power import EnergyModel, Objective
+from repro.power.dvfs_opt import frontier_points, select_optimum
+from repro.service import schema, transport
+from repro.service.batcher import (
+    EnergyGridQuery,
+    EnergyGridResult,
+    GridQuery,
+    MicroBatcher,
+    PairGridQuery,
+    PairGridResult,
+    PointQuery,
+)
+from repro.service.loadgen import fetch
+from repro.service.router import FleetExecutor
+from repro.service.server import GpuScaleService, ServiceConfig
+from repro.suites import kernel_by_name
+from repro.sweep import reduced_space
+from repro.sweep.space import PAPER_SPACE
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+KERNEL = "rodinia/bfs.kernel1"
+PARTNER = "shoc/triad.triad"
+
+SMALL_SPACE = {
+    "cu_counts": [4, 16, 44],
+    "engine_mhz": [300.0, 1000.0],
+    "memory_mhz": [475.0, 1250.0],
+}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def with_service(fn, **config_overrides):
+    overrides = {"port": 0, "use_cache": False, **config_overrides}
+
+    async def scenario():
+        service = GpuScaleService(ServiceConfig(**overrides))
+        await service.start()
+        try:
+            return await fn(service)
+        finally:
+            await service.shutdown(drain=True)
+
+    return run(scenario())
+
+
+def post(service, path, payload):
+    return fetch(service.config.host, service.port, "POST", path, payload)
+
+
+class TestSchema:
+    def test_optimize_defaults(self):
+        request = schema.parse_optimize({"kernel": KERNEL})
+        assert request.kernel.full_name == KERNEL
+        assert request.kernel_b is None
+        assert request.objective is Objective.MIN_EDP
+        assert request.power_cap_w is None
+        assert request.frontier is False
+        assert request.space is PAPER_SPACE
+
+    def test_optimize_full_body(self):
+        request = schema.parse_optimize({
+            "kernel": KERNEL,
+            "kernel_b": PARTNER,
+            "objective": "min_energy",
+            "power_cap_w": 150,
+            "frontier": True,
+            "space": SMALL_SPACE,
+        })
+        assert request.kernel_b.full_name == PARTNER
+        assert request.objective is Objective.MIN_ENERGY
+        assert request.power_cap_w == 150.0
+        assert request.frontier is True
+        assert request.space.shape == (3, 2, 2)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(schema.RequestError) as err:
+            schema.parse_optimize({"kernel": KERNEL, "objective": "warp"})
+        assert err.value.code == "invalid_objective"
+
+    @pytest.mark.parametrize("cap", [0, -5.0, "150", True, None])
+    def test_bad_power_cap_rejected(self, cap):
+        with pytest.raises(schema.RequestError) as err:
+            schema.parse_optimize({"kernel": KERNEL, "power_cap_w": cap})
+        assert err.value.code == "invalid_power_cap"
+
+    def test_non_boolean_frontier_rejected(self):
+        with pytest.raises(schema.RequestError) as err:
+            schema.parse_optimize({"kernel": KERNEL, "frontier": 1})
+        assert err.value.code == "invalid_flag"
+
+    def test_unknown_pair_kernel_names_the_field(self):
+        with pytest.raises(schema.RequestError) as err:
+            schema.parse_optimize({
+                "kernel": KERNEL, "kernel_b": "no/such.kernel",
+            })
+        assert err.value.field == "kernel_b"
+
+    def test_coschedule_requires_both_kernels(self):
+        with pytest.raises(schema.RequestError) as err:
+            schema.parse_coschedule({"kernel_a": KERNEL})
+        assert err.value.code == "missing_field"
+        assert err.value.field == "kernel_b"
+
+    def test_coschedule_rejects_config_and_space_together(self):
+        with pytest.raises(schema.RequestError) as err:
+            schema.parse_coschedule({
+                "kernel_a": KERNEL,
+                "kernel_b": PARTNER,
+                "config": {
+                    "cu_count": 44, "engine_mhz": 1000,
+                    "memory_mhz": 1250,
+                },
+                "space": SMALL_SPACE,
+            })
+        assert err.value.code == "invalid_shape"
+
+    def test_coschedule_point_body(self):
+        request = schema.parse_coschedule({
+            "kernel_a": KERNEL,
+            "kernel_b": PARTNER,
+            "config": {
+                "cu_count": 44, "engine_mhz": 1000,
+                "memory_mhz": 1250,
+            },
+        })
+        assert request.is_point
+        assert request.config.cu_count == 44
+
+
+class TestTransport:
+    def test_energy_query_round_trips(self):
+        kernel = kernel_by_name(KERNEL)
+        query = EnergyGridQuery(kernel, reduced_space(3, 3, 3))
+        decoded = transport.decode_query(transport.encode_query(query))
+        assert isinstance(decoded, EnergyGridQuery)
+        assert decoded.kernel.full_name == KERNEL
+        assert decoded.space.shape == query.space.shape
+        assert decoded == query
+
+    def test_pair_query_round_trips(self):
+        query = PairGridQuery(
+            kernel_by_name(KERNEL),
+            kernel_by_name(PARTNER),
+            reduced_space(3, 3, 3),
+        )
+        decoded = transport.decode_query(transport.encode_query(query))
+        assert isinstance(decoded, PairGridQuery)
+        assert decoded == query
+
+    def test_idle_pair_query_round_trips(self):
+        query = PairGridQuery(
+            kernel_by_name(KERNEL), None, reduced_space(3, 3, 3)
+        )
+        decoded = transport.decode_query(transport.encode_query(query))
+        assert decoded.kernel_b is None
+        assert decoded == query
+
+    def test_energy_result_round_trips_bit_exact(self):
+        kernel = kernel_by_name(KERNEL)
+        space = reduced_space(3, 3, 3)
+        surface = EnergyModel().surfaces(kernel, space)
+        original = EnergyGridResult(
+            kernel_name=KERNEL,
+            time_s=np.asarray(surface.time_s),
+            power_w=np.asarray(surface.power_w),
+            energy_j=np.asarray(surface.energy_j),
+            global_size=surface.global_size,
+            from_cache=False,
+        )
+        decoded = transport.decode_result(
+            transport.encode_result(original)
+        )
+        np.testing.assert_array_equal(decoded.time_s, original.time_s)
+        np.testing.assert_array_equal(decoded.power_w, original.power_w)
+        np.testing.assert_array_equal(
+            decoded.energy_j, original.energy_j
+        )
+        assert decoded.global_size == original.global_size
+        assert decoded.from_cache is False
+
+    def test_pair_result_round_trips_bit_exact(self):
+        from repro.coschedule import CoScheduleModel
+
+        space = reduced_space(4, 4, 4)
+        surface = CoScheduleModel().pair_surface(
+            kernel_by_name(KERNEL), kernel_by_name(PARTNER), space
+        )
+        original = PairGridResult(
+            kernel_a=surface.kernel_a,
+            kernel_b=surface.kernel_b,
+            time_a=np.asarray(surface.time_a),
+            time_b=np.asarray(surface.time_b),
+            solo_time_a=np.asarray(surface.solo_time_a),
+            solo_time_b=np.asarray(surface.solo_time_b),
+            makespan_s=np.asarray(surface.makespan_s),
+            power_w=np.asarray(surface.power_w),
+            energy_j=np.asarray(surface.energy_j),
+            global_size_a=surface.global_size_a,
+            global_size_b=surface.global_size_b,
+        )
+        decoded = transport.decode_result(
+            transport.encode_result(original)
+        )
+        for field in ("time_a", "time_b", "solo_time_a", "solo_time_b",
+                      "makespan_s", "power_w", "energy_j"):
+            np.testing.assert_array_equal(
+                getattr(decoded, field), getattr(original, field)
+            )
+        np.testing.assert_array_equal(decoded.stp, original.stp)
+        np.testing.assert_array_equal(decoded.antt, original.antt)
+
+
+class TestSharding:
+    """Placement of the new query kinds, without spawning processes."""
+
+    def test_energy_key_is_kernel_qualified(self):
+        fleet = FleetExecutor(4, use_cache=False)
+        space = reduced_space(3, 3, 3)
+        first = EnergyGridQuery(kernel_by_name(KERNEL), space)
+        second = EnergyGridQuery(kernel_by_name(PARTNER), space)
+        assert fleet.shard_key(first) != fleet.shard_key(second)
+        assert fleet.shard_key(first).startswith("e|")
+
+    def test_pair_key_fingerprints_both_kernels(self):
+        fleet = FleetExecutor(4, use_cache=False)
+        space = reduced_space(3, 3, 3)
+        a = kernel_by_name(KERNEL)
+        b = kernel_by_name(PARTNER)
+        ab = fleet.shard_key(PairGridQuery(a, b, space))
+        ba = fleet.shard_key(PairGridQuery(b, a, space))
+        idle = fleet.shard_key(PairGridQuery(a, None, space))
+        assert ab.startswith("x|")
+        assert len({ab, ba, idle}) == 3
+
+    def test_keys_disjoint_from_grid_and_point(self):
+        from repro.gpu import W9100_LIKE
+
+        fleet = FleetExecutor(4, use_cache=False)
+        space = reduced_space(3, 3, 3)
+        kernel = kernel_by_name(KERNEL)
+        keys = {
+            fleet.shard_key(GridQuery(kernel, space)),
+            fleet.shard_key(EnergyGridQuery(kernel, space)),
+            fleet.shard_key(PairGridQuery(kernel, None, space)),
+            fleet.shard_key(PointQuery(kernel, W9100_LIKE)),
+        }
+        assert len(keys) == 4
+
+
+class _CountingSimulator:
+    def __init__(self, inner):
+        self._inner = inner
+        self.engine_calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def simulate(self, kernel, config):
+        self.engine_calls += 1
+        return self._inner.simulate(kernel, config)
+
+    def simulate_grid(self, kernel, space):
+        self.engine_calls += 1
+        return self._inner.simulate_grid(kernel, space)
+
+    def simulate_study(self, pack, space):
+        self.engine_calls += 1
+        return self._inner.simulate_study(pack, space)
+
+
+class TestEnergyCache:
+    def test_repeat_energy_query_makes_zero_engine_calls(self, tmp_path):
+        from repro.sweep.cache import SweepCache
+
+        counting = _CountingSimulator(GpuSimulator("interval"))
+        cache = SweepCache(tmp_path / "cache")
+        query = EnergyGridQuery(
+            kernel_by_name(KERNEL), reduced_space(3, 3, 3)
+        )
+
+        async def scenario():
+            batcher = MicroBatcher(counting, cache=cache)
+            await batcher.start()
+            try:
+                first = await batcher.submit(query)
+                calls_after_first = counting.engine_calls
+                second = await batcher.submit(query)
+                return first, calls_after_first, second
+            finally:
+                await batcher.stop()
+
+        first, calls_after_first, second = run(scenario())
+        assert calls_after_first >= 1
+        assert counting.engine_calls == calls_after_first
+        assert not first.from_cache
+        assert second.from_cache
+        np.testing.assert_array_equal(second.time_s, first.time_s)
+        np.testing.assert_array_equal(second.power_w, first.power_w)
+        np.testing.assert_array_equal(second.energy_j, first.energy_j)
+
+    def test_energy_cache_is_distinct_from_sweep_cache(self, tmp_path):
+        """An energy surface and a plain sweep of the same (kernel,
+        space) coexist: different prefixes, no collisions."""
+        from repro.sweep.cache import SweepCache
+
+        cache = SweepCache(tmp_path / "cache")
+        kernel = kernel_by_name(KERNEL)
+        space = reduced_space(3, 3, 3)
+
+        async def scenario():
+            batcher = MicroBatcher(
+                GpuSimulator("interval"), cache=cache
+            )
+            await batcher.start()
+            try:
+                await batcher.submit(EnergyGridQuery(kernel, space))
+                await batcher.submit(GridQuery(kernel, space))
+                grid = await batcher.submit(GridQuery(kernel, space))
+                energy = await batcher.submit(
+                    EnergyGridQuery(kernel, space)
+                )
+                return grid, energy
+            finally:
+                await batcher.stop()
+
+        grid, energy = run(scenario())
+        assert grid.from_cache
+        assert energy.from_cache
+        names = sorted(
+            p.name for p in (tmp_path / "cache").iterdir()
+        )
+        assert any(n.startswith("energy_") for n in names)
+        assert any(n.startswith("sweep_") for n in names)
+
+
+@pytest.fixture(scope="module")
+def cap_surface():
+    """One solo energy surface the cap property test selects over."""
+    return EnergyModel().surfaces(
+        kernel_by_name(KERNEL), reduced_space(2, 2, 2)
+    )
+
+
+class TestPowerCapProperty:
+    @given(
+        cap=st.floats(min_value=20.0, max_value=400.0),
+        objective=st.sampled_from(list(Objective)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_selected_config_respects_cap(
+        self, cap_surface, cap, objective
+    ):
+        try:
+            c, e, m = select_optimum(
+                cap_surface.time_s,
+                cap_surface.energy_j,
+                cap_surface.power_w,
+                objective,
+                power_cap_w=cap,
+            )
+        except AnalysisError:
+            # Legal only when *no* grid point satisfies the cap.
+            assert (cap_surface.power_w > cap).all()
+            return
+        assert cap_surface.power_w[c, e, m] <= cap
+
+    @given(cap=st.floats(min_value=20.0, max_value=400.0))
+    @settings(max_examples=30, deadline=None)
+    def test_frontier_respects_cap(self, cap_surface, cap):
+        try:
+            points = frontier_points(
+                cap_surface.space,
+                cap_surface.time_s,
+                cap_surface.energy_j,
+                cap_surface.power_w,
+                power_cap_w=cap,
+            )
+        except AnalysisError:
+            assert (cap_surface.power_w > cap).all()
+            return
+        assert points
+        for point in points:
+            assert point.power_w <= cap
+
+
+class TestHttpOptimize:
+    def test_solo_optimize_under_cap(self):
+        async def scenario(service):
+            status, body = await post(service, "/v1/optimize", {
+                "kernel": KERNEL,
+                "objective": "min_energy",
+                "power_cap_w": 150.0,
+            })
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario)
+        assert status == 200
+        assert payload["kernel"] == KERNEL
+        assert payload["objective"] == "min_energy"
+        assert payload["power_w"] <= 150.0
+        assert payload["edp"] == pytest.approx(
+            payload["time_s"] * payload["energy_j"]
+        )
+        assert set(payload["config"]) == {
+            "cu_count", "engine_mhz", "memory_mhz",
+        }
+
+    def test_frontier_is_sorted_and_non_dominated(self):
+        async def scenario(service):
+            status, body = await post(service, "/v1/optimize", {
+                "kernel": KERNEL,
+                "frontier": True,
+                "space": SMALL_SPACE,
+            })
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario)
+        assert status == 200
+        frontier = payload["frontier"]
+        assert frontier
+        energies = [p["energy_j"] for p in frontier]
+        times = [p["time_s"] for p in frontier]
+        assert energies == sorted(energies)
+        # Along the frontier, paying more energy must buy time.
+        assert times == sorted(times, reverse=True)
+
+    def test_pair_optimize_prices_the_makespan(self):
+        async def scenario(service):
+            status, body = await post(service, "/v1/optimize", {
+                "kernel": KERNEL,
+                "kernel_b": PARTNER,
+                "objective": "max_perf",
+                "space": SMALL_SPACE,
+            })
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario)
+        assert status == 200
+        assert payload["kernel_b"] == PARTNER
+        assert payload["time_s"] > 0.0
+
+    def test_zero_cap_is_schema_rejected(self):
+        async def scenario(service):
+            status, body = await post(service, "/v1/optimize", {
+                "kernel": KERNEL, "power_cap_w": 0,
+            })
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario)
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_power_cap"
+
+    def test_cap_below_idle_power_is_unsatisfiable(self):
+        async def scenario(service):
+            status, body = await post(service, "/v1/optimize", {
+                "kernel": KERNEL, "power_cap_w": 5.0,
+            })
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario)
+        assert status == 400
+        assert payload["error"]["code"] == "unsatisfiable_power_cap"
+        assert payload["error"]["field"] == "power_cap_w"
+
+    def test_invalid_objective_is_structured_400(self):
+        async def scenario(service):
+            status, body = await post(service, "/v1/optimize", {
+                "kernel": KERNEL, "objective": "fastest",
+            })
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario)
+        assert status == 400
+        assert payload["error"]["code"] == "invalid_objective"
+
+    def test_optimize_metrics_counter_increments(self):
+        async def scenario(service):
+            await post(service, "/v1/optimize", {
+                "kernel": KERNEL, "space": SMALL_SPACE,
+            })
+            status, body = await fetch(
+                service.config.host, service.port, "GET", "/metrics"
+            )
+            return status, body.decode()
+
+        status, exposition = with_service(scenario)
+        assert status == 200
+        assert (
+            'gpuscale_optimize_requests_total{objective="min_edp"} 1'
+            in exposition
+        )
+
+
+class TestHttpCoschedule:
+    def test_point_breakdown(self):
+        async def scenario(service):
+            status, body = await post(service, "/v1/coschedule", {
+                "kernel_a": KERNEL,
+                "kernel_b": PARTNER,
+                "config": {
+                    "cu_count": 32, "engine_mhz": 700.0,
+                    "memory_mhz": 837.5,
+                },
+            })
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario)
+        assert status == 200
+        assert payload["a"]["slowdown"] >= 1.0
+        assert payload["b"]["slowdown"] >= 1.0
+        assert payload["stp"] == pytest.approx(
+            1.0 / payload["a"]["slowdown"]
+            + 1.0 / payload["b"]["slowdown"]
+        )
+        assert payload["makespan_s"] == pytest.approx(
+            max(payload["a"]["time_s"], payload["b"]["time_s"])
+        )
+
+    def test_surface_summary(self):
+        async def scenario(service):
+            status, body = await post(service, "/v1/coschedule", {
+                "kernel_a": KERNEL,
+                "kernel_b": PARTNER,
+                "space": SMALL_SPACE,
+            })
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario)
+        assert status == 200
+        assert payload["stp"]["min"] <= payload["stp"]["max"]
+        assert payload["antt"]["min"] >= 1.0
+        assert payload["best_stp"]["stp"] == pytest.approx(
+            payload["stp"]["max"]
+        )
+
+    def test_single_cu_point_is_structured_400(self):
+        async def scenario(service):
+            status, body = await post(service, "/v1/coschedule", {
+                "kernel_a": KERNEL,
+                "kernel_b": PARTNER,
+                "config": {
+                    "cu_count": 1, "engine_mhz": 1000.0,
+                    "memory_mhz": 1250.0,
+                },
+            })
+            return status, json.loads(body)
+
+        status, payload = with_service(scenario)
+        assert status == 400
+
+    def test_coschedule_metrics_counter_increments(self):
+        async def scenario(service):
+            await post(service, "/v1/coschedule", {
+                "kernel_a": KERNEL,
+                "kernel_b": PARTNER,
+                "space": SMALL_SPACE,
+            })
+            status, body = await fetch(
+                service.config.host, service.port, "GET", "/metrics"
+            )
+            return status, body.decode()
+
+        status, exposition = with_service(scenario)
+        assert status == 200
+        assert "gpuscale_coschedule_pairs_total 1" in exposition
+
+
+# ----------------------------------------------------------------------
+# Fleet bit-identity
+# ----------------------------------------------------------------------
+
+OPTIMIZE_BODIES = [
+    {"kernel": KERNEL, "objective": "min_energy", "space": SMALL_SPACE},
+    {"kernel": KERNEL, "objective": "min_edp",
+     "power_cap_w": 150.0, "space": SMALL_SPACE},
+    {"kernel": PARTNER, "frontier": True, "space": SMALL_SPACE},
+    {"kernel": KERNEL, "kernel_b": PARTNER, "objective": "max_perf",
+     "space": SMALL_SPACE},
+]
+
+COSCHEDULE_BODIES = [
+    {"kernel_a": KERNEL, "kernel_b": PARTNER, "space": SMALL_SPACE},
+    {"kernel_a": PARTNER, "kernel_b": KERNEL,
+     "config": {"cu_count": 24, "engine_mhz": 925.0,
+                "memory_mhz": 950.0}},
+]
+
+
+def _spawn_server(*extra_args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--no-cache", *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    line = process.stdout.readline()
+    match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+    if not match:
+        process.kill()
+        process.wait(timeout=10)
+        raise RuntimeError(f"server failed to start: {line!r}")
+    return process, int(match.group(1))
+
+
+def _kill(process):
+    if process.poll() is None:
+        process.kill()
+        process.wait(timeout=10)
+
+
+def _post_all(port, path_bodies):
+    async def scenario():
+        responses = await asyncio.gather(
+            *(
+                fetch("127.0.0.1", port, "POST", path, body)
+                for path, body in path_bodies
+            )
+        )
+        return [
+            (status, json.loads(body)) for status, body in responses
+        ]
+
+    return asyncio.run(scenario())
+
+
+@pytest.mark.slow
+class TestFleetBitIdentity:
+    def test_fleet_matches_single_process_exactly(self):
+        """``--workers 4`` answers optimize/coschedule queries with
+        payloads *equal* to the single-process server's — including
+        every float, because selection happens router-side on arrays
+        the transport moves bit-exact."""
+        requests = (
+            [("/v1/optimize", body) for body in OPTIMIZE_BODIES]
+            + [("/v1/coschedule", body) for body in COSCHEDULE_BODIES]
+        )
+        fleet, fleet_port = _spawn_server("--workers", "4")
+        try:
+            single, single_port = _spawn_server()
+            try:
+                fleet_answers = _post_all(fleet_port, requests)
+                single_answers = _post_all(single_port, requests)
+            finally:
+                _kill(single)
+        finally:
+            _kill(fleet)
+        assert fleet_answers == single_answers
+        for status, _ in fleet_answers:
+            assert status == 200
